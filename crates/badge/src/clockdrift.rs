@@ -1,0 +1,106 @@
+//! Per-badge clock assignment.
+//!
+//! Every badge unit stamps its records with its own crystal-driven clock:
+//! a startup offset of a few seconds plus a constant frequency skew of tens
+//! of ppm. Over a two-week mission the skew alone accumulates to the order
+//! of a minute — uncorrected, cross-badge analyses (meetings, conversations)
+//! would be nonsense, which is why the deployment carried a reference badge
+//! as a time source. The reference unit's own clock is the *canonical
+//! timeline* the pipeline maps everything onto.
+
+use crate::records::BadgeId;
+use ares_simkit::clock::DriftingClock;
+use ares_simkit::rng::SeedTree;
+use ares_simkit::time::SimDuration;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// The set of clocks of all badge units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockSet {
+    clocks: Vec<DriftingClock>,
+}
+
+/// Number of physical units: 6 primaries, 6 backups, 1 reference.
+pub const UNIT_COUNT: usize = 13;
+
+impl ClockSet {
+    /// Draws a clock per unit: offsets ~ N(0, 2.5 s), skews ~ N(0, 35 ppm).
+    /// The reference badge gets a much better clock (it is mains-powered and
+    /// temperature-stable at the station).
+    #[must_use]
+    pub fn generate(seed: &SeedTree) -> Self {
+        let mut rng = seed.child("badge").stream("clocks");
+        let offset_dist = Normal::new(0.0, 2.5).expect("sd > 0");
+        let skew_dist = Normal::new(0.0, 35.0).expect("sd > 0");
+        let clocks = (0..UNIT_COUNT)
+            .map(|i| {
+                if BadgeId(i as u8) == BadgeId::REFERENCE {
+                    DriftingClock::new(
+                        SimDuration::from_millis(rng.gen_range(-100..100)),
+                        rng.gen_range(-0.5..0.5),
+                    )
+                } else {
+                    DriftingClock::new(
+                        SimDuration::from_secs_f64(offset_dist.sample(&mut rng)),
+                        skew_dist.sample(&mut rng),
+                    )
+                }
+            })
+            .collect();
+        ClockSet { clocks }
+    }
+
+    /// The clock of a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit id is out of range.
+    #[must_use]
+    pub fn clock(&self, badge: BadgeId) -> &DriftingClock {
+        &self.clocks[badge.0 as usize]
+    }
+
+    /// The reference badge's clock.
+    #[must_use]
+    pub fn reference(&self) -> &DriftingClock {
+        self.clock(BadgeId::REFERENCE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_simkit::time::SimTime;
+
+    #[test]
+    fn clocks_are_deterministic_per_seed() {
+        let a = ClockSet::generate(&SeedTree::new(5));
+        let b = ClockSet::generate(&SeedTree::new(5));
+        let c = ClockSet::generate(&SeedTree::new(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reference_is_much_more_stable() {
+        let set = ClockSet::generate(&SeedTree::new(1));
+        let t = SimTime::from_day_hms(14, 20, 0, 0);
+        let ref_err = set.reference().error_at(t).abs();
+        assert!(ref_err < SimDuration::from_secs(1));
+        // At least one field unit drifts visibly over two weeks.
+        let worst = (0..6)
+            .map(|i| set.clock(BadgeId(i)).error_at(t).abs())
+            .max()
+            .unwrap();
+        assert!(worst > SimDuration::from_secs(5), "worst drift {worst}");
+    }
+
+    #[test]
+    fn skews_vary_across_units() {
+        let set = ClockSet::generate(&SeedTree::new(2));
+        let s0 = set.clock(BadgeId(0)).skew_ppm();
+        let s1 = set.clock(BadgeId(1)).skew_ppm();
+        assert!((s0 - s1).abs() > 1e-6);
+    }
+}

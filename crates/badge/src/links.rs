@@ -1,0 +1,210 @@
+//! Badge-to-badge links: 868 MHz proximity, infrared face-to-face contacts,
+//! and opportunistic time-sync with the reference badge.
+
+use crate::clockdrift::ClockSet;
+use crate::records::{BadgeId, ProximityObs, SyncSample};
+use crate::world::World;
+use ares_crew::truth::{MissionTruth, WearState};
+use ares_habitat::rf::Reception;
+use ares_simkit::geometry::{Point2, Vec2};
+use ares_simkit::time::SimTime;
+use rand::Rng;
+
+/// Samples the 868 MHz proximity observations a badge makes at one instant:
+/// which other units it hears and at what RSSI.
+pub fn proximity_sweep(
+    world: &World,
+    listener: BadgeId,
+    listener_pos: Point2,
+    units: &[(BadgeId, Point2)],
+    t_local: SimTime,
+    rng: &mut impl Rng,
+) -> Vec<ProximityObs> {
+    let mut out = Vec::new();
+    for &(other, pos) in units {
+        if other == listener {
+            continue;
+        }
+        if let Reception::Received(rssi) =
+            world.sub_ghz.transmit(&world.plan, pos, listener_pos, rng)
+        {
+            out.push(ProximityObs {
+                t_local,
+                other,
+                rssi,
+            });
+        }
+    }
+    out
+}
+
+/// Samples an infrared exchange between two *worn* badges. Badges on desks
+/// or chargers never register IR contacts (nobody faces them).
+#[allow(clippy::too_many_arguments)]
+pub fn ir_exchange(
+    world: &World,
+    a_pos: Point2,
+    a_facing: Vec2,
+    a_wear: WearState,
+    b_pos: Point2,
+    b_facing: Vec2,
+    b_wear: WearState,
+    rng: &mut impl Rng,
+) -> bool {
+    if !a_wear.is_worn() || !b_wear.is_worn() {
+        return false;
+    }
+    world
+        .ir
+        .detect(&world.plan, a_pos, a_facing, b_pos, b_facing, rng)
+}
+
+/// Attempts an opportunistic sync exchange with the reference badge: succeeds
+/// when the badge's BLE link to the station is up, and records both local
+/// clocks' readings of the same true instant.
+pub fn sync_attempt(
+    world: &World,
+    clocks: &ClockSet,
+    badge: BadgeId,
+    badge_pos: Point2,
+    t_true: SimTime,
+    rng: &mut impl Rng,
+) -> Option<SyncSample> {
+    if badge == BadgeId::REFERENCE {
+        return None;
+    }
+    match world
+        .ble
+        .transmit(&world.plan, world.station, badge_pos, rng)
+    {
+        Reception::Received(_) => Some(SyncSample {
+            t_local: clocks.clock(badge).local_time(t_true),
+            t_reference: clocks.reference().local_time(t_true),
+        }),
+        Reception::Lost => None,
+    }
+}
+
+/// Helper bundling the facing vector of a badge's wearer (or `None` when the
+/// badge is off-body).
+#[must_use]
+pub fn worn_facing(
+    world: &World,
+    badge: BadgeId,
+    t: SimTime,
+    truth: &MissionTruth,
+) -> Option<Vec2> {
+    let carrier = world.carrier_of(badge, t.mission_day())?;
+    let a = truth.of(carrier);
+    if !a.wear_state(t).is_worn() {
+        return None;
+    }
+    a.facing(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_habitat::rooms::RoomId;
+    use ares_simkit::rng::SeedTree;
+    use ares_simkit::time::SimDuration;
+
+    #[test]
+    fn proximity_hears_same_room_not_far_rooms() {
+        let world = World::icares();
+        let mut rng = SeedTree::new(20).stream("prox");
+        let kitchen = world.plan.room_center(RoomId::Kitchen);
+        let office = world.plan.room_center(RoomId::Office);
+        let units = vec![
+            (BadgeId(1), kitchen + Vec2::new(1.0, 0.0)),
+            (BadgeId(2), office),
+        ];
+        let mut heard1 = 0;
+        let mut heard2 = 0;
+        for i in 0..200 {
+            let obs = proximity_sweep(
+                &world,
+                BadgeId(0),
+                kitchen,
+                &units,
+                SimTime::from_secs(i),
+                &mut rng,
+            );
+            heard1 += obs.iter().filter(|o| o.other == BadgeId(1)).count();
+            heard2 += obs.iter().filter(|o| o.other == BadgeId(2)).count();
+        }
+        assert!(heard1 > 150, "same-room unit heard {heard1}");
+        assert_eq!(heard2, 0, "cross-habitat unit must be shielded");
+    }
+
+    #[test]
+    fn ir_requires_worn_badges() {
+        let world = World::icares();
+        let mut rng = SeedTree::new(21).stream("ir");
+        let p = world.plan.room_center(RoomId::Kitchen);
+        let q = p + Vec2::new(1.0, 0.0);
+        let east = Vec2::new(1.0, 0.0);
+        let west = Vec2::new(-1.0, 0.0);
+        let mut worn_hits = 0;
+        for _ in 0..100 {
+            if ir_exchange(
+                &world, p, east, WearState::Worn, q, west, WearState::Worn, &mut rng,
+            ) {
+                worn_hits += 1;
+            }
+            assert!(!ir_exchange(
+                &world,
+                p,
+                east,
+                WearState::Docked,
+                q,
+                west,
+                WearState::Worn,
+                &mut rng
+            ));
+        }
+        assert!(worn_hits > 60);
+    }
+
+    #[test]
+    fn sync_works_near_station_and_is_consistent() {
+        let world = World::icares();
+        let clocks = ClockSet::generate(&SeedTree::new(7));
+        let mut rng = SeedTree::new(22).stream("sync");
+        let t = SimTime::from_day_hms(3, 22, 0, 0);
+        // Docked at the station: sync succeeds almost always.
+        let mut got = None;
+        for _ in 0..20 {
+            if let Some(s) = sync_attempt(&world, &clocks, BadgeId(0), world.station, t, &mut rng)
+            {
+                got = Some(s);
+                break;
+            }
+        }
+        let s = got.expect("sync at the station");
+        // The pair encodes the true offset between the two clocks.
+        let expected = clocks.clock(BadgeId(0)).local_time(t) - clocks.reference().local_time(t);
+        assert!(((s.t_local - s.t_reference) - expected).abs() < SimDuration::from_micros(1));
+        // Far away behind walls: never syncs.
+        let biolab = world.plan.room_center(RoomId::Biolab);
+        for _ in 0..50 {
+            assert!(sync_attempt(&world, &clocks, BadgeId(0), biolab, t, &mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn reference_never_syncs_to_itself() {
+        let world = World::icares();
+        let clocks = ClockSet::generate(&SeedTree::new(7));
+        let mut rng = SeedTree::new(23).stream("sync2");
+        assert!(sync_attempt(
+            &world,
+            &clocks,
+            BadgeId::REFERENCE,
+            world.station,
+            SimTime::from_secs(0),
+            &mut rng
+        )
+        .is_none());
+    }
+}

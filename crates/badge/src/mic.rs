@@ -1,0 +1,276 @@
+//! The microphone feature extractor.
+//!
+//! "We used it to detect the presence of human speech, its loudness, and
+//! frequency … we did not, however, record raw data from conversations."
+//!
+//! The model turns ground-truth speech segments into per-frame features at
+//! the badge: sound level attenuated by spherical spreading and walls, a
+//! voiced flag, and the dominant source's fundamental frequency. A badge worn
+//! incorrectly (astronaut A's exposure problem) records muffled levels.
+
+use crate::records::AudioFrame;
+use crate::world::World;
+use ares_crew::truth::{MissionTruth, SpeechSegment};
+use ares_habitat::rooms::RoomId;
+use ares_simkit::geometry::Point2;
+use ares_simkit::time::{SimDuration, SimTime};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Parameters of the microphone model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicModel {
+    /// Attenuation per crossed wall (dB) — speech barely penetrates the
+    /// metal modules.
+    pub wall_loss_db: f64,
+    /// Minimum level for the voiced-band detector to fire (dB SPL at badge).
+    pub voiced_floor_db: f64,
+    /// Margin above ambient noise required to call a frame voiced (dB).
+    pub voiced_margin_db: f64,
+    /// Level penalty of a muffled (badly worn) badge (dB).
+    pub muffle_db: f64,
+}
+
+impl Default for MicModel {
+    fn default() -> Self {
+        MicModel {
+            wall_loss_db: 26.0,
+            voiced_floor_db: 45.0,
+            voiced_margin_db: 3.0,
+            muffle_db: 5.0,
+        }
+    }
+}
+
+impl MicModel {
+    /// Ambient noise floor of a room (dB SPL), before daily modulation.
+    #[must_use]
+    pub fn noise_floor(room: RoomId) -> f64 {
+        match room {
+            RoomId::Workshop => 47.0, // 3-D printers, tools
+            RoomId::Kitchen => 44.5,
+            RoomId::Main => 43.0,
+            RoomId::Storage => 41.0,
+            RoomId::Hangar => 39.0,
+            _ => 40.0,
+        }
+    }
+
+    /// The level of a speech source at a listening position.
+    #[must_use]
+    pub fn received_level(
+        &self,
+        world: &World,
+        seg_level_1m_db: f64,
+        source_pos: Point2,
+        badge_pos: Point2,
+    ) -> f64 {
+        let d = source_pos.distance(badge_pos).max(0.3);
+        let walls = world.plan.walls_crossed(source_pos, badge_pos);
+        seg_level_1m_db - 20.0 * d.log10() - walls as f64 * self.wall_loss_db
+    }
+
+    /// Extracts one audio frame at the badge.
+    ///
+    /// `active`: the speech segments overlapping the frame. `noise_adjust_db`
+    /// captures mission-wide quietness (days 11–12 had "much less other noise
+    /// recorded"); `muffled` models a badly exposed microphone.
+    #[allow(clippy::too_many_arguments)]
+    pub fn frame(
+        &self,
+        world: &World,
+        truth: &MissionTruth,
+        badge_pos: Point2,
+        t_true: SimTime,
+        t_local: SimTime,
+        active: &[&SpeechSegment],
+        noise_adjust_db: f64,
+        muffled: bool,
+        rng: &mut impl Rng,
+    ) -> AudioFrame {
+        let room = world.room_at(badge_pos);
+        let noise = MicModel::noise_floor(room)
+            + noise_adjust_db
+            + Normal::new(0.0, 1.4).expect("sd > 0").sample(rng);
+        let mut best: Option<(f64, f64)> = None; // (level, f0)
+        for seg in active {
+            let Some(pos) = truth.of(seg.source.located_with()).position(t_true) else {
+                continue;
+            };
+            let level = self.received_level(world, seg.level_db, pos, badge_pos);
+            if best.is_none_or(|(b, _)| level > b) {
+                best = Some((level, seg.f0_hz));
+            }
+        }
+        let muffle = if muffled { self.muffle_db } else { 0.0 };
+        let (mut level, voiced, f0) = match best {
+            Some((speech, f0)) if speech - muffle > noise + self.voiced_margin_db
+                && speech - muffle > self.voiced_floor_db =>
+            {
+                let f0_est = f0 + Normal::new(0.0, 2.0).expect("sd > 0").sample(rng);
+                (speech - muffle, true, Some(f0_est))
+            }
+            Some((speech, _)) => ((speech - muffle).max(noise), false, None),
+            None => (noise, false, None),
+        };
+        level += Normal::new(0.0, 0.6).expect("sd > 0").sample(rng);
+        AudioFrame {
+            t_local,
+            level_db: level,
+            voiced,
+            f0_hz: f0,
+        }
+    }
+}
+
+/// Gathers the speech segments overlapping a frame from a pre-sorted slice,
+/// advancing `cursor` monotonically (amortized O(1) per frame).
+pub fn active_segments<'a>(
+    speech: &'a [SpeechSegment],
+    cursor: &mut usize,
+    frame_start: SimTime,
+    frame_len: SimDuration,
+) -> Vec<&'a SpeechSegment> {
+    let frame_end = frame_start + frame_len;
+    // Advance past segments that ended before this frame. Segments are sorted
+    // by start; starts are close enough to ends (utterances ≤ 12 s) that a
+    // small look-back window suffices.
+    while *cursor < speech.len()
+        && speech[*cursor].interval.end + SimDuration::from_secs(15) < frame_start
+    {
+        *cursor += 1;
+    }
+    let mut out = Vec::new();
+    let mut i = *cursor;
+    while i < speech.len() && speech[i].interval.start < frame_end {
+        if speech[i].interval.end > frame_start {
+            out.push(&speech[i]);
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_crew::roster::AstronautId;
+    use ares_crew::truth::{AstronautTruth, PathPoint, VoiceSource};
+    use ares_simkit::rng::SeedTree;
+    use ares_simkit::series::Interval;
+
+    fn truth_with_speaker_at(pos: Point2) -> MissionTruth {
+        let mut astronauts: Vec<AstronautTruth> = (0..6).map(|_| AstronautTruth::default()).collect();
+        astronauts[0]
+            .path
+            .push(SimTime::from_secs(0), PathPoint { pos, facing: 0.0 });
+        MissionTruth {
+            astronauts,
+            speech: Vec::new(),
+            meetings: Vec::new(),
+        }
+    }
+
+    fn seg(level: f64, a: i64, b: i64) -> SpeechSegment {
+        SpeechSegment {
+            source: VoiceSource::Astronaut(AstronautId::A),
+            interval: Interval::new(SimTime::from_secs(a), SimTime::from_secs(b)),
+            level_db: level,
+            f0_hz: 205.0,
+        }
+    }
+
+    #[test]
+    fn close_speech_is_voiced_far_speech_is_not() {
+        let world = World::icares();
+        let mic = MicModel::default();
+        let mut rng = SeedTree::new(1).stream("mic");
+        let kitchen = world.plan.room_center(RoomId::Kitchen);
+        let truth = truth_with_speaker_at(kitchen);
+        let s = seg(68.0, 0, 10);
+        let t = SimTime::from_secs(5);
+        // Badge 1.2 m from the speaker: voiced, level near 66 dB.
+        let near = mic.frame(
+            &world, &truth,
+            kitchen + ares_simkit::geometry::Vec2::new(1.2, 0.0),
+            t, t, &[&s], 0.0, false, &mut rng,
+        );
+        assert!(near.voiced, "near frame must be voiced");
+        assert!((near.level_db - 66.4).abs() < 4.0, "level {}", near.level_db);
+        // Badge across the habitat (office): walls kill it.
+        let office = world.plan.room_center(RoomId::Office);
+        let far = mic.frame(&world, &truth, office, t, t, &[&s], 0.0, false, &mut rng);
+        assert!(!far.voiced);
+        assert!(far.level_db < 50.0);
+    }
+
+    #[test]
+    fn muffled_badge_loses_detections_at_range() {
+        let world = World::icares();
+        let mic = MicModel::default();
+        let mut rng = SeedTree::new(2).stream("mic2");
+        let kitchen = world.plan.room_center(RoomId::Kitchen);
+        let truth = truth_with_speaker_at(kitchen);
+        let s = seg(58.0, 0, 10);
+        let t = SimTime::from_secs(5);
+        // Stay inside the kitchen: offset along the room's long axis.
+        let pos = kitchen + ares_simkit::geometry::Vec2::new(0.0, 1.9);
+        let mut clear_voiced = 0;
+        let mut muffled_voiced = 0;
+        for _ in 0..200 {
+            if mic.frame(&world, &truth, pos, t, t, &[&s], 0.0, false, &mut rng).voiced {
+                clear_voiced += 1;
+            }
+            if mic.frame(&world, &truth, pos, t, t, &[&s], 0.0, true, &mut rng).voiced {
+                muffled_voiced += 1;
+            }
+        }
+        assert!(clear_voiced > muffled_voiced + 30, "{clear_voiced} vs {muffled_voiced}");
+    }
+
+    #[test]
+    fn quiet_days_lower_the_floor() {
+        let world = World::icares();
+        let mic = MicModel::default();
+        let mut rng = SeedTree::new(3).stream("mic3");
+        let p = world.plan.room_center(RoomId::Biolab);
+        let truth = truth_with_speaker_at(p);
+        let t = SimTime::from_secs(0);
+        let mean = |adj: f64, rng: &mut rand::rngs::StdRng| -> f64 {
+            (0..200)
+                .map(|_| mic.frame(&world, &truth, p, t, t, &[], adj, false, rng).level_db)
+                .sum::<f64>()
+                / 200.0
+        };
+        let normal = mean(0.0, &mut rng);
+        let quiet = mean(-4.0, &mut rng);
+        assert!(normal - quiet > 3.0);
+    }
+
+    #[test]
+    fn active_segments_windowing() {
+        let speech = vec![seg(60.0, 0, 5), seg(60.0, 10, 20), seg(60.0, 30, 31)];
+        let mut cursor = 0;
+        let hits = active_segments(
+            &speech,
+            &mut cursor,
+            SimTime::from_secs(12),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(hits.len(), 1);
+        let none = active_segments(
+            &speech,
+            &mut cursor,
+            SimTime::from_secs(25),
+            SimDuration::from_secs(1),
+        );
+        assert!(none.is_empty());
+        let last = active_segments(
+            &speech,
+            &mut cursor,
+            SimTime::from_secs(30),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(last.len(), 1);
+    }
+}

@@ -1,0 +1,384 @@
+//! The firmware recorder: turns ground truth into badge logs, day by day.
+//!
+//! One [`Recorder::record_day`] call produces the logs of all 13 units for one mission
+//! day — every sensor stream sampled at its configured rate, stamped with the
+//! unit's drifting local clock. Recording day-by-day keeps memory bounded
+//! (the real mission wrote to SD cards; we hand each day to the pipeline and
+//! drop it).
+
+use crate::clockdrift::{ClockSet, UNIT_COUNT};
+use crate::links;
+use crate::mic::{self, MicModel};
+use crate::records::{BadgeId, BadgeLog, MissionRecording, SamplingConfig};
+use crate::scanner;
+use crate::sensors::{self, ImuModel};
+use crate::storage::StorageMeter;
+use crate::world::World;
+use ares_crew::roster::{AstronautId, Roster};
+use ares_crew::truth::{MissionTruth, WearState};
+use ares_simkit::rng::SeedTree;
+use ares_simkit::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Mission-wide recording context.
+#[derive(Debug)]
+pub struct Recorder<'a> {
+    world: &'a World,
+    roster: &'a Roster,
+    truth: &'a MissionTruth,
+    clocks: ClockSet,
+    config: SamplingConfig,
+    seed: SeedTree,
+    /// Days on which astronaut A's badge sat muffled under the lab apron.
+    muffled_days: Vec<u32>,
+}
+
+impl<'a> Recorder<'a> {
+    /// Creates a recorder; clock drifts and muffle days are drawn from the
+    /// seed.
+    #[must_use]
+    pub fn new(
+        world: &'a World,
+        roster: &'a Roster,
+        truth: &'a MissionTruth,
+        config: SamplingConfig,
+        seed: SeedTree,
+    ) -> Self {
+        let clocks = ClockSet::generate(&seed);
+        let mut rng = seed.child("badge").stream("muffle");
+        let muffled_days = (2..=14u32).filter(|_| rng.gen::<f64>() < 0.35).collect();
+        Recorder {
+            world,
+            roster,
+            truth,
+            clocks,
+            config,
+            seed,
+            muffled_days,
+        }
+    }
+
+    /// The clock set in use (tests compare pipeline corrections against it).
+    #[must_use]
+    pub fn clocks(&self) -> &ClockSet {
+        &self.clocks
+    }
+
+    /// The sampling configuration.
+    #[must_use]
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+
+    /// Records one mission day (1-based) for all units.
+    ///
+    /// The recorded span covers the duty day plus the overnight docking
+    /// period before the next morning (sync exchanges happen at the
+    /// charger).
+    #[must_use]
+    pub fn record_day(&self, day: u32) -> MissionRecording {
+        let mut rng = self
+            .seed
+            .child("badge")
+            .stream_indexed("recorder-day", u64::from(day));
+        let start = SimTime::from_day_hms(day, 7, 0, 0);
+        let duty_end = SimTime::from_day_hms(day, 21, 0, 0);
+        let night_end = SimTime::from_day_hms(day + 1, 6, 55, 0);
+        let imu_model = ImuModel::default();
+        let mic_model = MicModel::default();
+        let noise_adjust = if self.world.incidents.talk_mood(day) < 0.5 {
+            -4.0
+        } else {
+            0.0
+        };
+
+        let mut logs: Vec<BadgeLog> = (0..UNIT_COUNT)
+            .map(|i| BadgeLog::new(BadgeId(i as u8)))
+            .collect();
+
+        // Pre-compute per-unit wear/position queries through the world.
+        let unit_ids: Vec<BadgeId> = (0..UNIT_COUNT).map(|i| BadgeId(i as u8)).collect();
+
+        // --- Daytime sampling at 1 Hz master tick -------------------------
+        let tick = SimDuration::from_secs(1);
+        let mut speech_cursor = 0usize;
+        let day_speech: Vec<ares_crew::truth::SpeechSegment> = self
+            .truth
+            .speech
+            .iter()
+            .filter(|s| s.interval.end > start && s.interval.start < duty_end)
+            .copied()
+            .collect();
+
+        let mut t = start;
+        while t < duty_end {
+            // Positions & wear of all units this tick.
+            let states: Vec<(BadgeId, ares_simkit::geometry::Point2, WearState)> = unit_ids
+                .iter()
+                .map(|&u| {
+                    (
+                        u,
+                        self.world.badge_position(u, t, self.truth),
+                        self.world.badge_wear(u, t, self.truth),
+                    )
+                })
+                .collect();
+            let positions: Vec<(BadgeId, ares_simkit::geometry::Point2)> =
+                states.iter().map(|&(u, p, _)| (u, p)).collect();
+            let elapsed = (t - start).as_micros();
+
+            let active = mic::active_segments(&day_speech, &mut speech_cursor, t, tick);
+
+            for (idx, &(unit, pos, wear)) in states.iter().enumerate() {
+                let carrier = self.world.carrier_of(unit, day);
+                let active_unit = carrier.is_some() || unit == BadgeId::REFERENCE;
+                if !active_unit && !matches!(unit, BadgeId(6..=11)) {
+                    continue;
+                }
+                // Backups and the reference sample environment/sync only.
+                let clock = self.clocks.clock(unit);
+                let t_local = clock.local_time(t);
+                let log = &mut logs[idx];
+
+                // A docked badge (EVA, exercise, forgotten on the charger)
+                // pauses full sampling — the firmware sleeps while charging —
+                // which is what makes badges "active" for only part of the
+                // daytime. Environment and sync continue below.
+                let sampling = carrier.is_some() && !matches!(wear, WearState::Docked);
+                if sampling {
+                    // BLE scan.
+                    if elapsed % self.config.scan_period.as_micros() == 0 {
+                        log.scans.push(scanner::scan(self.world, pos, t_local, &mut rng));
+                    }
+                    // IMU window.
+                    if elapsed % self.config.imu_window.as_micros() == 0 {
+                        let walking = carrier
+                            .map(|c| self.truth.of(c).is_walking(t) && wear.is_worn())
+                            .unwrap_or(false);
+                        let energy = carrier
+                            .map(|c| 0.8 + 0.4 * self.roster.member(c).profile.mobility)
+                            .unwrap_or(1.0);
+                        log.imu.push(imu_model.sample(t_local, wear, walking, energy, &mut rng));
+                    }
+                    // Audio frames (two per second at the default config).
+                    let af = self.config.audio_frame.as_micros();
+                    if elapsed % af == 0 {
+                        let frames_per_tick = (tick.as_micros() / af).max(1);
+                        let muffled = carrier == Some(AstronautId::A)
+                            && self.muffled_days.contains(&day);
+                        for k in 0..frames_per_tick {
+                            let ft = t + SimDuration::from_micros(k * af);
+                            log.audio.push(mic_model.frame(
+                                self.world,
+                                self.truth,
+                                pos,
+                                ft,
+                                clock.local_time(ft),
+                                &active,
+                                noise_adjust,
+                                muffled,
+                                &mut rng,
+                            ));
+                        }
+                    }
+                    // Proximity sweep.
+                    if elapsed % self.config.proximity_period.as_micros() == 0 {
+                        let obs = links::proximity_sweep(
+                            self.world, unit, pos, &positions, t_local, &mut rng,
+                        );
+                        log.proximity.extend(obs);
+                    }
+                    // Infrared exchanges (only toward higher unit ids to
+                    // sample each pair once; recorded on both).
+                    if elapsed % self.config.ir_period.as_micros() == 0 {
+                        for &(other, opos, owear) in states.iter().skip(idx + 1) {
+                            if self.world.carrier_of(other, day).is_none() {
+                                continue;
+                            }
+                            if pos.distance(opos) > self.world.ir.range_m {
+                                continue;
+                            }
+                            let (Some(fa), Some(fb)) = (
+                                links::worn_facing(self.world, unit, t, self.truth),
+                                links::worn_facing(self.world, other, t, self.truth),
+                            ) else {
+                                continue;
+                            };
+                            if links::ir_exchange(
+                                self.world, pos, fa, wear, opos, fb, owear, &mut rng,
+                            ) {
+                                log.ir.push(crate::records::IrContact { t_local, other });
+                            }
+                        }
+                    }
+                }
+                // Environment (all active units, including reference/backups).
+                if elapsed % self.config.env_period.as_micros() == 0 {
+                    log.env.push(sensors::sample_env(self.world, pos, t, t_local, &mut rng));
+                }
+                // Sync attempts.
+                if elapsed % self.config.sync_period.as_micros() == 0 {
+                    if let Some(s) =
+                        links::sync_attempt(self.world, &self.clocks, unit, pos, t, &mut rng)
+                    {
+                        log.sync.push(s);
+                    }
+                }
+            }
+            t += tick;
+        }
+
+        // IR contacts recorded on the lower-id unit only so far; mirror them
+        // onto the partner, stamped with the partner's own clock at the same
+        // true instant.
+        let mut mirrored: Vec<(usize, crate::records::IrContact)> = Vec::new();
+        for log in &logs {
+            for c in &log.ir {
+                let t_true = self.clocks.clock(log.badge).true_time(c.t_local);
+                mirrored.push((
+                    c.other.0 as usize,
+                    crate::records::IrContact {
+                        t_local: self.clocks.clock(c.other).local_time(t_true),
+                        other: log.badge,
+                    },
+                ));
+            }
+        }
+        for (idx, contact) in mirrored {
+            logs[idx].ir.push(contact);
+        }
+
+        // --- Overnight: docked sampling (sparse) + dense sync -------------
+        let mut tn = duty_end;
+        while tn < night_end {
+            for (idx, &unit) in unit_ids.iter().enumerate() {
+                let clock = self.clocks.clock(unit);
+                let pos = self.world.badge_position(unit, tn, self.truth);
+                let t_local = clock.local_time(tn);
+                if (tn - duty_end).as_micros() % self.config.env_period.as_micros() == 0 {
+                    logs[idx]
+                        .env
+                        .push(sensors::sample_env(self.world, pos, tn, t_local, &mut rng));
+                }
+                if let Some(s) =
+                    links::sync_attempt(self.world, &self.clocks, unit, pos, tn, &mut rng)
+                {
+                    logs[idx].sync.push(s);
+                }
+            }
+            tn += self.config.sync_period;
+        }
+
+        // --- Storage accounting -------------------------------------------
+        for (idx, &unit) in unit_ids.iter().enumerate() {
+            let mut meter = StorageMeter::new();
+            if self.world.carrier_of(unit, day).is_some() {
+                meter.record_active(&self.config, duty_end - start);
+                meter.record_docked(&self.config, night_end - duty_end);
+            } else {
+                meter.record_docked(&self.config, night_end - start);
+            }
+            logs[idx].bytes_written = meter.bytes();
+        }
+
+        MissionRecording { logs }
+    }
+
+    /// Records the instrumented portion of the mission (days 2–14; badges
+    /// were first worn on day 2) and stitches the result.
+    #[must_use]
+    pub fn record_mission(&self) -> MissionRecording {
+        let mut rec = MissionRecording::default();
+        for day in 2..=ares_crew::schedule::MISSION_DAYS {
+            rec.merge(self.record_day(day));
+        }
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_crew::behavior::{BehaviorConfig, BehaviorSim};
+    use ares_crew::incidents::IncidentScript;
+    use ares_crew::schedule::Schedule;
+
+    fn setup() -> (World, Roster, MissionTruth) {
+        let world = World::icares();
+        let roster = Roster::icares();
+        let schedule = Schedule::icares();
+        let incidents = IncidentScript::icares();
+        let truth = BehaviorSim::new(
+            &roster,
+            &schedule,
+            &incidents,
+            &world.plan,
+            BehaviorConfig::default(),
+        )
+        .generate();
+        (world, roster, truth)
+    }
+
+    #[test]
+    fn one_day_recording_has_all_streams() {
+        let (world, roster, truth) = setup();
+        let rec = Recorder::new(
+            &world,
+            &roster,
+            &truth,
+            SamplingConfig::default(),
+            SeedTree::new(99),
+        );
+        let day = rec.record_day(3);
+        assert_eq!(day.logs.len(), UNIT_COUNT);
+        let b0 = day.log(BadgeId(0)).unwrap();
+        assert!(!b0.scans.is_empty(), "scans");
+        assert!(!b0.audio.is_empty(), "audio");
+        assert!(!b0.imu.is_empty(), "imu");
+        assert!(!b0.env.is_empty(), "env");
+        assert!(!b0.proximity.is_empty(), "proximity");
+        assert!(!b0.sync.is_empty(), "sync");
+        assert!(b0.bytes_written > 1_000_000_000, "raw volume");
+        // The reference unit records env + no scans.
+        let r = day.log(BadgeId::REFERENCE).unwrap();
+        assert!(r.scans.is_empty());
+        assert!(!r.env.is_empty());
+    }
+
+    #[test]
+    fn timestamps_are_local_not_true() {
+        let (world, roster, truth) = setup();
+        let rec = Recorder::new(
+            &world,
+            &roster,
+            &truth,
+            SamplingConfig::default(),
+            SeedTree::new(99),
+        );
+        let day = rec.record_day(2);
+        // Find a unit with a visible offset and check its first scan differs
+        // from the true grid by roughly that offset.
+        let unit = BadgeId(0);
+        let clock = rec.clocks().clock(unit);
+        let scan0 = &day.log(unit).unwrap().scans[0];
+        let true_start = SimTime::from_day_hms(2, 7, 0, 0);
+        let expect = clock.local_time(true_start);
+        assert_eq!(scan0.t_local, expect);
+    }
+
+    #[test]
+    fn ir_contacts_are_mirrored() {
+        let (world, roster, truth) = setup();
+        let rec = Recorder::new(
+            &world,
+            &roster,
+            &truth,
+            SamplingConfig::default(),
+            SeedTree::new(99),
+        );
+        let day = rec.record_day(3);
+        let total: usize = day.logs.iter().map(|l| l.ir.len()).sum();
+        assert!(total > 0, "some IR contacts on a normal day");
+        assert_eq!(total % 2, 0, "contacts recorded pairwise");
+    }
+}

@@ -1,0 +1,314 @@
+//! Record types written by a badge to its SD card.
+//!
+//! All timestamps are **badge-local**: each badge stamps records with its own
+//! drifting clock. The offline pipeline (`ares-sociometrics::sync`) maps them
+//! back to the reference timeline before any cross-badge analysis — exactly
+//! the procedure used after ICAres-1.
+
+use ares_habitat::beacons::BeaconId;
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a physical badge unit.
+///
+/// Units 0–5 are initially assigned to astronauts A–F, 6–11 are the six
+/// redundant backups, and [`BadgeId::REFERENCE`] is the permanently charged
+/// reference badge at the station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct BadgeId(pub u8);
+
+impl BadgeId {
+    /// The reference badge at the charging station.
+    pub const REFERENCE: BadgeId = BadgeId(12);
+
+    /// The badge initially assigned to the astronaut with dense index `i`.
+    #[must_use]
+    pub fn primary(i: usize) -> BadgeId {
+        BadgeId(i as u8)
+    }
+
+    /// Whether this unit is one of the six backups.
+    #[must_use]
+    pub fn is_backup(self) -> bool {
+        (6..=11).contains(&self.0)
+    }
+}
+
+impl std::fmt::Display for BadgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "badge{:02}", self.0)
+    }
+}
+
+/// One BLE scan: the beacon advertisements heard in one scan window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeaconScan {
+    /// Badge-local timestamp of the scan.
+    pub t_local: SimTime,
+    /// `(beacon, RSSI dBm)` for every advertisement received.
+    pub hits: Vec<(BeaconId, f64)>,
+}
+
+/// One microphone feature frame (the badge never stores raw audio).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AudioFrame {
+    /// Badge-local timestamp of the frame start.
+    pub t_local: SimTime,
+    /// A-weighted level over the frame (dB SPL).
+    pub level_db: f64,
+    /// Whether voice-band energy dominated the frame.
+    pub voiced: bool,
+    /// Estimated fundamental frequency when voiced (Hz).
+    pub f0_hz: Option<f64>,
+}
+
+/// One inertial feature window (accelerometer + gyroscope summary).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImuSample {
+    /// Badge-local timestamp of the window start.
+    pub t_local: SimTime,
+    /// Variance of acceleration magnitude over the window ((m/s²)²).
+    pub accel_var: f64,
+    /// Mean acceleration magnitude (m/s²).
+    pub accel_mean: f64,
+    /// Dominant step-band frequency, if any (Hz).
+    pub step_hz: Option<f64>,
+}
+
+/// One environmental sample (thermometer, barometer, light sensor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvSample {
+    /// Badge-local timestamp.
+    pub t_local: SimTime,
+    /// Temperature (°C).
+    pub temperature_c: f64,
+    /// Pressure (hPa).
+    pub pressure_hpa: f64,
+    /// Illuminance (lux).
+    pub light_lux: f64,
+}
+
+/// One 868 MHz inter-badge proximity observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProximityObs {
+    /// Badge-local timestamp.
+    pub t_local: SimTime,
+    /// The badge heard.
+    pub other: BadgeId,
+    /// Received signal strength (dBm).
+    pub rssi: f64,
+}
+
+/// One infrared face-to-face contact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IrContact {
+    /// Badge-local timestamp.
+    pub t_local: SimTime,
+    /// The facing badge.
+    pub other: BadgeId,
+}
+
+/// One opportunistic time-sync exchange with the reference badge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncSample {
+    /// This badge's local time at the exchange.
+    pub t_local: SimTime,
+    /// The reference badge's local time in the same exchange.
+    pub t_reference: SimTime,
+}
+
+/// Everything one badge recorded over one span (typically a day).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct BadgeLog {
+    /// The physical unit.
+    pub badge: BadgeId,
+    /// BLE beacon scans.
+    pub scans: Vec<BeaconScan>,
+    /// Microphone feature frames.
+    pub audio: Vec<AudioFrame>,
+    /// Inertial windows.
+    pub imu: Vec<ImuSample>,
+    /// Environmental samples.
+    pub env: Vec<EnvSample>,
+    /// Inter-badge proximity observations.
+    pub proximity: Vec<ProximityObs>,
+    /// Infrared contacts.
+    pub ir: Vec<IrContact>,
+    /// Time-sync exchanges.
+    pub sync: Vec<SyncSample>,
+    /// Bytes of raw data written to the SD card over the span (the on-card
+    /// format is far denser than these in-memory features).
+    pub bytes_written: u64,
+}
+
+
+impl BadgeLog {
+    /// Creates an empty log for a unit.
+    #[must_use]
+    pub fn new(badge: BadgeId) -> Self {
+        BadgeLog {
+            badge,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of records across all streams.
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.scans.len()
+            + self.audio.len()
+            + self.imu.len()
+            + self.env.len()
+            + self.proximity.len()
+            + self.ir.len()
+            + self.sync.len()
+    }
+
+    /// Appends another log of the same unit (used to stitch days together).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit ids differ.
+    pub fn append(&mut self, mut other: BadgeLog) {
+        assert_eq!(self.badge, other.badge, "appending a different unit's log");
+        self.scans.append(&mut other.scans);
+        self.audio.append(&mut other.audio);
+        self.imu.append(&mut other.imu);
+        self.env.append(&mut other.env);
+        self.proximity.append(&mut other.proximity);
+        self.ir.append(&mut other.ir);
+        self.sync.append(&mut other.sync);
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+/// Sampling configuration of the badge firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// BLE scan period.
+    pub scan_period: SimDuration,
+    /// Audio feature frame length.
+    pub audio_frame: SimDuration,
+    /// IMU feature window length.
+    pub imu_window: SimDuration,
+    /// Environmental sampling period.
+    pub env_period: SimDuration,
+    /// 868 MHz proximity ping period.
+    pub proximity_period: SimDuration,
+    /// Infrared sampling period.
+    pub ir_period: SimDuration,
+    /// Time-sync attempt period.
+    pub sync_period: SimDuration,
+    /// Raw on-card data rate while actively sampling (B/s) — dominated by
+    /// high-rate audio features and raw IMU streams.
+    pub raw_rate_active_bps: u64,
+    /// Raw rate while docked (environmental only, B/s).
+    pub raw_rate_docked_bps: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            scan_period: SimDuration::from_secs(1),
+            audio_frame: SimDuration::from_millis(500),
+            imu_window: SimDuration::from_secs(1),
+            env_period: SimDuration::from_secs(60),
+            proximity_period: SimDuration::from_secs(5),
+            ir_period: SimDuration::from_secs(1),
+            sync_period: SimDuration::from_mins(5),
+            raw_rate_active_bps: 40_500,
+            raw_rate_docked_bps: 1_800,
+        }
+    }
+}
+
+/// A full mission recording: one log per physical unit, stitched over days.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MissionRecording {
+    /// Per-unit logs, including the reference badge.
+    pub logs: Vec<BadgeLog>,
+}
+
+impl MissionRecording {
+    /// The log of one unit, if present.
+    #[must_use]
+    pub fn log(&self, badge: BadgeId) -> Option<&BadgeLog> {
+        self.logs.iter().find(|l| l.badge == badge)
+    }
+
+    /// Total bytes written across all units.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.logs.iter().map(|l| l.bytes_written).sum()
+    }
+
+    /// Merges per-day recordings unit-wise.
+    pub fn merge(&mut self, other: MissionRecording) {
+        for log in other.logs {
+            match self.logs.iter_mut().find(|l| l.badge == log.badge) {
+                Some(mine) => mine.append(log),
+                None => self.logs.push(log),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn badge_id_classes() {
+        assert_eq!(BadgeId::primary(2), BadgeId(2));
+        assert!(BadgeId(7).is_backup());
+        assert!(!BadgeId(3).is_backup());
+        assert!(!BadgeId::REFERENCE.is_backup());
+        assert_eq!(format!("{}", BadgeId(4)), "badge04");
+    }
+
+    #[test]
+    fn log_append_and_count() {
+        let mut a = BadgeLog::new(BadgeId(1));
+        a.audio.push(AudioFrame {
+            t_local: SimTime::from_secs(1),
+            level_db: 50.0,
+            voiced: false,
+            f0_hz: None,
+        });
+        a.bytes_written = 100;
+        let mut b = BadgeLog::new(BadgeId(1));
+        b.ir.push(IrContact {
+            t_local: SimTime::from_secs(2),
+            other: BadgeId(2),
+        });
+        b.bytes_written = 50;
+        a.append(b);
+        assert_eq!(a.record_count(), 2);
+        assert_eq!(a.bytes_written, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "different unit")]
+    fn append_rejects_other_units() {
+        let mut a = BadgeLog::new(BadgeId(1));
+        a.append(BadgeLog::new(BadgeId(2)));
+    }
+
+    #[test]
+    fn recording_merges_unitwise() {
+        let mut rec = MissionRecording::default();
+        let mut day1 = MissionRecording::default();
+        day1.logs.push(BadgeLog::new(BadgeId(0)));
+        day1.logs[0].bytes_written = 10;
+        rec.merge(day1);
+        let mut day2 = MissionRecording::default();
+        day2.logs.push(BadgeLog::new(BadgeId(0)));
+        day2.logs[0].bytes_written = 5;
+        day2.logs.push(BadgeLog::new(BadgeId::REFERENCE));
+        rec.merge(day2);
+        assert_eq!(rec.logs.len(), 2);
+        assert_eq!(rec.log(BadgeId(0)).unwrap().bytes_written, 15);
+        assert_eq!(rec.total_bytes(), 15);
+    }
+}

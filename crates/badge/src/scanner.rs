@@ -1,0 +1,128 @@
+//! The BLE scanner: hearing the 27 beacons.
+//!
+//! Every scan window the badge listens for beacon advertisements; the RF
+//! channel decides which are received and at what RSSI. Because the rooms
+//! are convex, a beacon in the badge's own room never crosses a wall — the
+//! hot path skips the geometric test entirely. Beacons in other rooms are
+//! only ever heard through open doorways (the artifact the paper's 10-second
+//! dwell filter exists to suppress).
+
+use crate::records::BeaconScan;
+use crate::world::World;
+use ares_habitat::rf::Reception;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::geometry::Point2;
+use ares_simkit::time::SimTime;
+use rand::Rng;
+
+/// Performs one BLE scan at the given badge position.
+pub fn scan(
+    world: &World,
+    badge_pos: Point2,
+    t_local: SimTime,
+    rng: &mut impl Rng,
+) -> BeaconScan {
+    let badge_room = world.room_at(badge_pos);
+    let mut hits = Vec::new();
+    for beacon in candidate_beacons(world, badge_room) {
+        let d = beacon.position.distance(badge_pos);
+        let reception = if beacon.room == badge_room {
+            // Convex room: zero wall crossings by construction.
+            world.ble.transmit_known_walls(d, 0, rng)
+        } else {
+            world.ble.transmit(&world.plan, beacon.position, badge_pos, rng)
+        };
+        if let Reception::Received(rssi) = reception {
+            hits.push((beacon.id, rssi));
+        }
+    }
+    BeaconScan { t_local, hits }
+}
+
+/// The beacons that could conceivably be heard from a room: its own plus
+/// those of door-adjacent rooms (leakage through doorways).
+fn candidate_beacons(
+    world: &World,
+    room: RoomId,
+) -> impl Iterator<Item = &ares_habitat::beacons::Beacon> {
+    world.beacons.beacons().iter().filter(move |b| {
+        b.room == room || world.plan.door_between(b.room, room).is_some()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_simkit::rng::SeedTree;
+
+    #[test]
+    fn in_room_beacons_dominate_scans() {
+        let world = World::icares();
+        let mut rng = SeedTree::new(8).stream("scan");
+        let pos = world.plan.room_center(RoomId::Biolab);
+        let mut own = 0usize;
+        let mut foreign = 0usize;
+        for i in 0..200 {
+            let s = scan(&world, pos, SimTime::from_secs(i), &mut rng);
+            for (id, _) in &s.hits {
+                let b = world.beacons.get(*id).unwrap();
+                if b.room == RoomId::Biolab {
+                    own += 1;
+                } else {
+                    foreign += 1;
+                }
+            }
+        }
+        assert!(own > 400, "own-room hits {own}");
+        assert_eq!(foreign, 0, "room centre must hear no foreign beacons");
+    }
+
+    #[test]
+    fn doorway_positions_can_leak() {
+        let world = World::icares();
+        let mut rng = SeedTree::new(9).stream("scan2");
+        let door = world
+            .plan
+            .door_between(RoomId::Biolab, RoomId::Main)
+            .unwrap();
+        // Standing right in the biolab doorway, main-hall beacons can slip in.
+        let pos = Point2::new(door.center.x, 0.25);
+        let mut foreign = 0usize;
+        for i in 0..300 {
+            let s = scan(&world, pos, SimTime::from_secs(i), &mut rng);
+            foreign += s
+                .hits
+                .iter()
+                .filter(|(id, _)| world.beacons.get(*id).unwrap().room == RoomId::Main)
+                .count();
+        }
+        assert!(foreign > 0, "no doorway leakage observed");
+    }
+
+    #[test]
+    fn rssi_orders_by_distance_on_average() {
+        let world = World::icares();
+        let mut rng = SeedTree::new(10).stream("scan3");
+        let room = RoomId::Office;
+        let beacons: Vec<_> = world.beacons.in_room(room).collect();
+        let near = beacons[0].position + ares_simkit::geometry::Vec2::new(0.3, -0.3);
+        let mut near_sum = 0.0;
+        let mut near_n = 0.0;
+        let mut far_sum = 0.0;
+        let mut far_n = 0.0;
+        for i in 0..300 {
+            let s = scan(&world, near, SimTime::from_secs(i), &mut rng);
+            for (id, rssi) in &s.hits {
+                if *id == beacons[0].id {
+                    near_sum += rssi;
+                    near_n += 1.0;
+                } else if *id == beacons[1].id {
+                    far_sum += rssi;
+                    far_n += 1.0;
+                }
+            }
+        }
+        assert!(near_n > 0.0 && far_n > 0.0);
+        assert!(near_sum / near_n > far_sum / far_n + 5.0);
+    }
+}

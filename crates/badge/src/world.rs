@@ -1,0 +1,164 @@
+//! The deployment "world": habitat, channels and the badge↔wearer mapping.
+
+use crate::records::BadgeId;
+use ares_crew::behavior::CHARGING_STATION;
+use ares_crew::incidents::IncidentScript;
+use ares_crew::roster::AstronautId;
+use ares_crew::truth::{MissionTruth, WearState};
+use ares_habitat::beacons::BeaconDeployment;
+use ares_habitat::environment::Environment;
+use ares_habitat::floorplan::FloorPlan;
+use ares_habitat::rf::{Channel, ChannelParams, InfraredParams};
+use ares_habitat::rooms::RoomId;
+use ares_simkit::geometry::Point2;
+use ares_simkit::time::SimTime;
+
+/// Everything the badge firmware simulation samples against.
+#[derive(Debug)]
+pub struct World {
+    /// The floor plan.
+    pub plan: FloorPlan,
+    /// The 27-beacon deployment.
+    pub beacons: BeaconDeployment,
+    /// BLE channel (beacon → badge).
+    pub ble: Channel,
+    /// 868 MHz channel (badge ↔ badge).
+    pub sub_ghz: Channel,
+    /// Infrared cone parameters.
+    pub ir: InfraredParams,
+    /// Ambient environment.
+    pub env: Environment,
+    /// Incident script (badge identity mapping).
+    pub incidents: IncidentScript,
+    /// Position of the charging station / reference badge.
+    pub station: Point2,
+}
+
+impl World {
+    /// The canonical ICAres-1 world.
+    #[must_use]
+    pub fn icares() -> Self {
+        let plan = FloorPlan::lunares();
+        let beacons = BeaconDeployment::icares(&plan);
+        World {
+            plan,
+            beacons,
+            ble: Channel::new(ChannelParams::ble()),
+            sub_ghz: Channel::new(ChannelParams::sub_ghz()),
+            ir: InfraredParams::default(),
+            env: Environment::icares(),
+            incidents: IncidentScript::icares(),
+            station: CHARGING_STATION,
+        }
+    }
+
+    /// A variant with a thinned beacon deployment (ablation experiments).
+    #[must_use]
+    pub fn with_beacons(mut self, beacons: BeaconDeployment) -> Self {
+        self.beacons = beacons;
+        self
+    }
+
+    /// Which astronaut carries the given badge unit on `day`, if anyone.
+    ///
+    /// Inverts the incident script's wearer→unit mapping: unit `i` belongs
+    /// to astronaut `i`; on the swap day A and B carry each other's units;
+    /// from day 7 F carries C's old unit; and a badge failure moves its
+    /// wearer onto a spare unit (6–11).
+    #[must_use]
+    pub fn carrier_of(&self, badge: BadgeId, day: u32) -> Option<AstronautId> {
+        if badge == BadgeId::REFERENCE {
+            return None;
+        }
+        let midday = SimTime::from_day_hms(day.max(1), 12, 0, 0);
+        AstronautId::ALL
+            .into_iter()
+            .filter(|&wearer| self.incidents.is_aboard(wearer, midday))
+            .find(|&wearer| self.badge_of(wearer, day) == badge)
+    }
+
+    /// The badge unit carried by `astronaut` on `day`.
+    #[must_use]
+    pub fn badge_of(&self, astronaut: AstronautId, day: u32) -> BadgeId {
+        match self.incidents.worn_unit_slot(astronaut, day) {
+            ares_crew::incidents::UnitSlot::PrimaryOf(owner) => BadgeId::primary(owner.index()),
+            ares_crew::incidents::UnitSlot::Backup(i) => BadgeId(6 + i.min(5)),
+        }
+    }
+
+    /// The physical position of a badge unit at instant `t`, given ground
+    /// truth: with its carrier (subject to wear state), or at the station.
+    #[must_use]
+    pub fn badge_position(&self, badge: BadgeId, t: SimTime, truth: &MissionTruth) -> Point2 {
+        let day = t.mission_day();
+        match self.carrier_of(badge, day) {
+            Some(carrier) => truth
+                .of(carrier)
+                .badge_position(t, self.station)
+                .unwrap_or(self.station),
+            None => self.station,
+        }
+    }
+
+    /// The wear state of a badge unit at instant `t`.
+    #[must_use]
+    pub fn badge_wear(&self, badge: BadgeId, t: SimTime, truth: &MissionTruth) -> WearState {
+        match self.carrier_of(badge, t.mission_day()) {
+            Some(carrier) => truth.of(carrier).wear_state(t),
+            None => WearState::Docked,
+        }
+    }
+
+    /// The room a point lies in (station fallback: main hall).
+    #[must_use]
+    pub fn room_at(&self, p: Point2) -> RoomId {
+        self.plan.room_at(p).unwrap_or(RoomId::Main)
+    }
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World::icares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_assignment_is_identity() {
+        let w = World::icares();
+        for (i, id) in AstronautId::ALL.into_iter().enumerate() {
+            assert_eq!(w.badge_of(id, 2), BadgeId(i as u8));
+            assert_eq!(w.carrier_of(BadgeId(i as u8), 2), Some(id));
+        }
+    }
+
+    #[test]
+    fn swap_day_inverts_a_and_b() {
+        let w = World::icares();
+        assert_eq!(w.badge_of(AstronautId::A, 6), BadgeId(1));
+        assert_eq!(w.badge_of(AstronautId::B, 6), BadgeId(0));
+        assert_eq!(w.carrier_of(BadgeId(0), 6), Some(AstronautId::B));
+        assert_eq!(w.carrier_of(BadgeId(1), 6), Some(AstronautId::A));
+    }
+
+    #[test]
+    fn f_carries_cs_unit_from_day_seven() {
+        let w = World::icares();
+        assert_eq!(w.badge_of(AstronautId::F, 7), BadgeId(2));
+        assert_eq!(w.carrier_of(BadgeId(2), 7), Some(AstronautId::F));
+        // F's own unit is uncarried from then on.
+        assert_eq!(w.carrier_of(BadgeId(5), 7), None);
+        // C's unit is uncarried on days 5–6 (C dead, F not yet switched).
+        assert_eq!(w.carrier_of(BadgeId(2), 5), None);
+    }
+
+    #[test]
+    fn reference_and_backups_have_no_carrier() {
+        let w = World::icares();
+        assert_eq!(w.carrier_of(BadgeId::REFERENCE, 3), None);
+        assert_eq!(w.carrier_of(BadgeId(8), 3), None);
+    }
+}

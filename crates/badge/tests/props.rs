@@ -1,0 +1,114 @@
+//! Property tests for the badge device model.
+
+use ares_badge::clockdrift::ClockSet;
+use ares_badge::records::{BadgeId, BeaconScan, SamplingConfig};
+use ares_badge::sensors::{ImuModel, OFF_BODY_VAR_THRESHOLD, WALK_VAR_THRESHOLD};
+use ares_badge::storage::{decode_scan, encode_scan, StorageMeter};
+use ares_crew::truth::WearState;
+use ares_habitat::beacons::BeaconId;
+use ares_simkit::geometry::Point2;
+use ares_simkit::rng::SeedTree;
+use ares_simkit::time::{SimDuration, SimTime};
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scan_frames_decode_to_what_was_encoded(
+        t in i64::MIN / 4..i64::MAX / 4,
+        hits in prop::collection::vec((0u8..32, -120.0f64..0.0), 0..=32),
+    ) {
+        let scan = BeaconScan {
+            t_local: SimTime::from_micros(t),
+            hits: hits.iter().map(|&(b, r)| (BeaconId(b), r)).collect(),
+        };
+        let mut buf = BytesMut::new();
+        encode_scan(&scan, &mut buf);
+        let back = decode_scan(&mut buf.freeze()).expect("well-formed frame");
+        prop_assert_eq!(back.t_local, scan.t_local);
+        prop_assert_eq!(back.hits.len(), scan.hits.len());
+        for ((ba, ra), (bb, rb)) in scan.hits.iter().zip(&back.hits) {
+            prop_assert_eq!(ba, bb);
+            prop_assert!((ra - rb).abs() <= 0.0051);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_never_panic(
+        t in 0i64..1_000_000,
+        hits in prop::collection::vec((0u8..32, -120.0f64..0.0), 0..=32),
+        cut in 0usize..64,
+    ) {
+        let scan = BeaconScan {
+            t_local: SimTime::from_micros(t),
+            hits: hits.iter().map(|&(b, r)| (BeaconId(b), r)).collect(),
+        };
+        let mut buf = BytesMut::new();
+        encode_scan(&scan, &mut buf);
+        let full = buf.freeze();
+        let cut = cut.min(full.len());
+        let mut prefix = full.slice(..cut);
+        // Either decodes (cut == full length) or returns a structured error.
+        match decode_scan(&mut prefix) {
+            Ok(s) => prop_assert_eq!(s.hits.len(), scan.hits.len()),
+            Err(_) => prop_assert!(cut < full.len()),
+        }
+    }
+
+    #[test]
+    fn clock_sets_are_deterministic_and_bounded(seed in 0u64..100_000) {
+        let a = ClockSet::generate(&SeedTree::new(seed));
+        let b = ClockSet::generate(&SeedTree::new(seed));
+        prop_assert_eq!(a.clone(), b);
+        for i in 0..13u8 {
+            let c = a.clock(BadgeId(i));
+            prop_assert!(c.skew_ppm().abs() < 200.0, "skew {}", c.skew_ppm());
+            prop_assert!(c.offset().abs() < SimDuration::from_secs(15));
+        }
+        // The reference is always the most stable unit.
+        let worst_field = (0..6)
+            .map(|i| a.clock(BadgeId(i)).skew_ppm().abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(a.reference().skew_ppm().abs() <= worst_field.max(0.5));
+    }
+
+    #[test]
+    fn imu_feature_classes_never_bleed(energy in 0.7f64..1.4, seed in 0u64..10_000) {
+        let model = ImuModel::default();
+        let mut rng = SeedTree::new(seed).stream("prop-imu");
+        let t = SimTime::EPOCH;
+        for _ in 0..20 {
+            let walk = model.sample(t, WearState::Worn, true, energy, &mut rng);
+            prop_assert!(walk.accel_var > WALK_VAR_THRESHOLD);
+            let off = model.sample(t, WearState::LeftAt(Point2::ORIGIN), false, energy, &mut rng);
+            prop_assert!(off.accel_var < OFF_BODY_VAR_THRESHOLD);
+            let still = model.sample(t, WearState::Worn, false, energy, &mut rng);
+            prop_assert!(still.accel_var > OFF_BODY_VAR_THRESHOLD);
+            prop_assert!(still.accel_var < WALK_VAR_THRESHOLD);
+        }
+    }
+
+    #[test]
+    fn storage_meter_is_additive(
+        spans in prop::collection::vec((0i64..86_400, prop::bool::ANY), 1..20),
+    ) {
+        let cfg = SamplingConfig::default();
+        let mut one = StorageMeter::new();
+        let mut parts = 0u64;
+        for &(secs, active) in &spans {
+            let mut m = StorageMeter::new();
+            let d = SimDuration::from_secs(secs);
+            if active {
+                one.record_active(&cfg, d);
+                m.record_active(&cfg, d);
+            } else {
+                one.record_docked(&cfg, d);
+                m.record_docked(&cfg, d);
+            }
+            parts += m.bytes();
+        }
+        prop_assert_eq!(one.bytes(), parts);
+    }
+}

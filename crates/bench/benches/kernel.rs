@@ -1,0 +1,119 @@
+//! Micro-benchmarks of the simulation kernel and habitat substrate.
+
+use ares_badge::scanner;
+use ares_badge::world::World;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::event::EventLoop;
+use ares_simkit::geometry::Point2;
+use ares_simkit::rng::SeedTree;
+use ares_simkit::series::{Interval, IntervalSet};
+use ares_simkit::time::SimTime;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event-loop");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule+run 10k events", |b| {
+        b.iter(|| {
+            let mut el: EventLoop<u64> = EventLoop::new();
+            for i in 0..10_000 {
+                el.schedule(
+                    SimTime::from_micros(i * 37 % 1_000_000),
+                    Box::new(|_, n: &mut u64| *n += 1),
+                );
+            }
+            let mut n = 0;
+            el.run_to_completion(&mut n);
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+fn bench_interval_algebra(c: &mut Criterion) {
+    let mut rng = SeedTree::new(1).stream("bench-intervals");
+    use rand::Rng;
+    let mk = |rng: &mut rand::rngs::StdRng| -> IntervalSet {
+        IntervalSet::from_intervals(
+            (0..500)
+                .map(|_| {
+                    let a = rng.gen_range(0..1_000_000i64);
+                    Interval::new(
+                        SimTime::from_secs(a),
+                        SimTime::from_secs(a + rng.gen_range(1..2_000)),
+                    )
+                })
+                .collect(),
+        )
+    };
+    let a = mk(&mut rng);
+    let b = mk(&mut rng);
+    let mut g = c.benchmark_group("interval-set");
+    g.bench_function("union 500x500", |bch| {
+        bch.iter(|| black_box(a.union(&b)));
+    });
+    g.bench_function("intersection 500x500", |bch| {
+        bch.iter(|| black_box(a.intersection(&b)));
+    });
+    g.finish();
+}
+
+fn bench_rf_channel(c: &mut Criterion) {
+    let world = World::icares();
+    let mut rng = SeedTree::new(2).stream("bench-rf");
+    let office = world.plan.room_center(RoomId::Office);
+    let kitchen = world.plan.room_center(RoomId::Kitchen);
+    let mut g = c.benchmark_group("rf");
+    g.bench_function("transmit same-room", |b| {
+        let rx = office + ares_simkit::geometry::Vec2::new(1.3, 0.8);
+        b.iter(|| black_box(world.ble.transmit(&world.plan, office, rx, &mut rng)));
+    });
+    g.bench_function("transmit cross-habitat (wall count)", |b| {
+        b.iter(|| black_box(world.ble.transmit(&world.plan, office, kitchen, &mut rng)));
+    });
+    g.bench_function("walls_crossed 20m ray", |b| {
+        b.iter(|| black_box(world.plan.walls_crossed(office, kitchen)));
+    });
+    g.finish();
+}
+
+fn bench_scanner(c: &mut Criterion) {
+    let world = World::icares();
+    let mut rng = SeedTree::new(3).stream("bench-scan");
+    let pos = world.plan.room_center(RoomId::Biolab);
+    let mut g = c.benchmark_group("scanner");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("one BLE scan (27-beacon deployment)", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 1;
+            black_box(scanner::scan(&world, pos, SimTime::from_secs(t), &mut rng))
+        });
+    });
+    g.finish();
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let world = World::icares();
+    let poly = world.plan.room_polygon(RoomId::Main).clone();
+    let mut g = c.benchmark_group("geometry");
+    g.bench_function("point-in-polygon", |b| {
+        let p = Point2::new(14.2, -3.3);
+        b.iter(|| black_box(poly.contains(p)));
+    });
+    g.bench_function("room_at lookup", |b| {
+        let p = Point2::new(18.7, 2.1);
+        b.iter(|| black_box(world.plan.room_at(p)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_loop,
+    bench_interval_algebra,
+    bench_rf_channel,
+    bench_scanner,
+    bench_geometry
+);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Pipeline-stage benchmarks: what it costs to turn one day of badge
+//! recordings into the paper's analyses.
+//!
+//! Each stage is benchmarked on a realistic day-3 recording of badge 0
+//! (astronaut A's), generated once up front.
+
+use ares_icares::MissionRunner;
+use ares_sociometrics::activity::{detect_walking, ActivityParams};
+use ares_sociometrics::localization::{localize, LocalizationParams};
+use ares_sociometrics::occupancy::segment_stays;
+use ares_sociometrics::speech::{analyze, SpeechParams};
+use ares_sociometrics::sync::SyncCorrection;
+use ares_sociometrics::wear::{detect_wear, WearParams};
+use ares_simkit::time::SimDuration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let runner = MissionRunner::icares();
+    let (recording, _) = runner.run_day(3);
+    let log = recording
+        .log(ares_badge::records::BadgeId(0))
+        .expect("badge 0 recorded")
+        .clone();
+    let corr = SyncCorrection::fit(&log.sync);
+    let beacons = ares_habitat::beacons::BeaconDeployment::icares(runner.pipeline().plan());
+    let plan = runner.pipeline().plan().clone();
+
+    let mut g = c.benchmark_group("pipeline-stages");
+    g.sample_size(10);
+
+    g.throughput(Throughput::Elements(log.sync.len() as u64));
+    g.bench_function("sync fit", |b| {
+        b.iter(|| black_box(SyncCorrection::fit(&log.sync)));
+    });
+
+    g.throughput(Throughput::Elements(log.scans.len() as u64));
+    g.bench_function("localize full day", |b| {
+        b.iter(|| {
+            black_box(localize(
+                &log,
+                &corr,
+                &beacons,
+                &plan,
+                &LocalizationParams::default(),
+            ))
+        });
+    });
+
+    let track = localize(&log, &corr, &beacons, &plan, &LocalizationParams::default());
+    g.throughput(Throughput::Elements(track.fixes.len() as u64));
+    g.bench_function("segment stays", |b| {
+        b.iter(|| black_box(segment_stays(&track, SimDuration::from_secs(5))));
+    });
+
+    let wear = detect_wear(&log, &corr, &WearParams::default());
+    g.throughput(Throughput::Elements(log.imu.len() as u64));
+    g.bench_function("wear detection", |b| {
+        b.iter(|| black_box(detect_wear(&log, &corr, &WearParams::default())));
+    });
+    g.bench_function("walking detection", |b| {
+        b.iter(|| {
+            black_box(detect_walking(
+                &log,
+                &corr,
+                &wear,
+                &ActivityParams::default(),
+            ))
+        });
+    });
+
+    g.throughput(Throughput::Elements(log.audio.len() as u64));
+    g.bench_function("speech analysis full day", |b| {
+        b.iter(|| black_box(analyze(&log, &corr, &SpeechParams::default())));
+    });
+    g.finish();
+}
+
+fn bench_full_day(c: &mut Criterion) {
+    let runner = MissionRunner::icares();
+    let (recording, _) = runner.run_day(3);
+    let mut g = c.benchmark_group("pipeline-end-to-end");
+    g.sample_size(10);
+    g.bench_function("analyze one mission day (13 units)", |b| {
+        b.iter(|| black_box(runner.pipeline().analyze_day(3, &recording.logs)));
+    });
+    g.finish();
+}
+
+fn bench_recording(c: &mut Criterion) {
+    let runner = MissionRunner::icares();
+    let mut g = c.benchmark_group("recording");
+    g.sample_size(10);
+    g.bench_function("record one mission day (all sensors, 1 Hz)", |b| {
+        b.iter(|| black_box(runner.run_day(3)));
+    });
+    g.finish();
+}
+
+fn bench_hits(c: &mut Criterion) {
+    use ares_crew::roster::AstronautId;
+    use ares_sociometrics::social::CompanyMatrix;
+    let mut m = CompanyMatrix::new();
+    for (i, x) in AstronautId::ALL.into_iter().enumerate() {
+        for &y in &AstronautId::ALL[i + 1..] {
+            m.add_pair_hours(x, y, (i as f64 + 1.5) * 3.0);
+        }
+    }
+    let mut g = c.benchmark_group("social");
+    g.bench_function("HITS authority (60 iterations)", |b| {
+        b.iter(|| black_box(m.hits_authority(60)));
+    });
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    use ares_sociometrics::streaming::StreamingAnalyzer;
+    let runner = MissionRunner::icares();
+    let (recording, _) = runner.run_day(3);
+    let log = recording
+        .log(ares_badge::records::BadgeId(0))
+        .expect("badge 0 recorded")
+        .clone();
+    let mut g = c.benchmark_group("streaming");
+    g.sample_size(10);
+    let records = (log.scans.len() + log.audio.len() + log.imu.len()) as u64;
+    g.throughput(Throughput::Elements(records));
+    g.bench_function("ingest one badge-day (live events)", |b| {
+        b.iter(|| {
+            let mut sa = StreamingAnalyzer::icares();
+            for s in &log.sync {
+                sa.ingest_sync(log.badge, s);
+            }
+            let mut events = 0u64;
+            for s in &log.scans {
+                events += sa.ingest_scan(log.badge, s).len() as u64;
+            }
+            for f in &log.audio {
+                events += sa.ingest_audio(log.badge, f).len() as u64;
+            }
+            for s in &log.imu {
+                events += sa.ingest_imu(log.badge, s).len() as u64;
+            }
+            black_box(events)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_stages,
+    bench_full_day,
+    bench_recording,
+    bench_hits,
+    bench_streaming
+);
+criterion_main!(benches);

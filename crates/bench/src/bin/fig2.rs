@@ -1,0 +1,11 @@
+//! Regenerates the paper's Fig. 2: the room-passage matrix.
+fn main() {
+    let (_, mission, _) = ares_bench::run_full_mission();
+    let fig = ares_icares::figures::figure2(&mission);
+    println!("Fig. 2 — total number of passages from one room to another");
+    println!("(main hall excluded; rows = original room, columns = destination)\n");
+    println!("{}", fig.render());
+    let (f, t, n) = fig.hottest();
+    println!("hottest corridor: {f} → {t} ({n} passages)");
+    println!("\nCSV:\n{}", fig.to_csv());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 4: daily walking fractions, days 2–8.
+fn main() {
+    let (_, mission, _) = ares_bench::run_full_mission();
+    let fig = ares_icares::figures::figure4(&mission);
+    println!("Fig. 4 — fraction of recorded time spent on walking (days 2–8)\n");
+    println!("{}", fig.render());
+    println!("CSV:\n{}", fig.to_csv());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 5: the death-day location/speech timeline.
+fn main() {
+    let (_, _, death_day) = ares_bench::run_full_mission();
+    let fig = ares_icares::figures::figure5(&death_day);
+    println!("Fig. 5 — location and detected speech on the day astronaut C left\n");
+    println!("{}", fig.render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 6: daily speech fractions, days 2–14.
+fn main() {
+    let (_, mission, _) = ares_bench::run_full_mission();
+    let fig = ares_icares::figures::figure6(&mission);
+    println!("Fig. 6 — fraction of recorded 15-s intervals with detected speech\n");
+    println!("{}", fig.render());
+    println!("CSV:\n{}", fig.to_csv());
+}

@@ -1,0 +1,28 @@
+//! Regenerates the paper's prose statistics (volume, wear, sessions, pairs,
+//! identity anomalies), the environmental findings, and the sensor↔survey
+//! cross-check.
+fn main() {
+    let (runner, mission, _) = ares_bench::run_full_mission();
+    let stats = ares_icares::figures::stats_report(&mission);
+    println!("Headline statistics vs the paper\n");
+    println!("{}", stats.render());
+
+    if let Some((room, temp)) = mission.warmest_room() {
+        println!("warmest room (badge thermometers): {room} at {temp:.1} °C (paper: the kitchen)");
+    }
+    if let Some(est) = mission.day_length_estimate() {
+        println!(
+            "artificial day length from the light sensor: {} (a Martian sol is 24h39m35s)",
+            est.day_length
+        );
+    }
+
+    let surveys = ares_crew::surveys::generate(
+        runner.roster(),
+        &runner.world().incidents,
+        &ares_crew::surveys::SurveyConfig::default(),
+        &ares_simkit::rng::SeedTree::new(0x1CA7E5),
+    );
+    println!("\nsensor ↔ survey cross-check:");
+    println!("{}", ares_sociometrics::validation::cross_check(&mission, &surveys).render());
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table I.
+fn main() {
+    let (_, mission, _) = ares_bench::run_full_mission();
+    let t = ares_sociometrics::report::table_one(&mission);
+    println!("Table I — average and normalized parameters measured for the crew\n");
+    println!("{}", t.render());
+    println!("paper reference:");
+    println!("id  company  authority  talking  walking");
+    for (i, (c, au, ta, wa)) in ares_icares::calibration::TABLE1_PAPER.iter().enumerate() {
+        let f = |v: &Option<f64>| v.map_or("n/a".into(), |x| format!("{x:.2}"));
+        println!(
+            "{}   {:>7}  {:>9}  {:>7.2}  {:>7.2}",
+            ["A", "B", "C", "D", "E", "F"][i], f(c), f(au), ta, wa
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! `ares-bench` — Criterion benchmarks and paper-reproduction binaries.
+//!
+//! Binaries (each regenerates one artifact of the paper):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig2` | Fig. 2 room-passage matrix |
+//! | `fig3` | Fig. 3 positional heatmap of astronaut A |
+//! | `fig4` | Fig. 4 daily walking fractions |
+//! | `fig5` | Fig. 5 death-day location/speech timeline |
+//! | `fig6` | Fig. 6 daily speech fractions |
+//! | `table1` | Table I centrality/talking/walking |
+//! | `stats` | prose statistics (volume, wear, sessions, pairs, anomalies) |
+//! | `full_repro` | everything + the EXPERIMENTS.md claim table |
+//!
+//! Benches: `kernel` (simkit/habitat micro-benchmarks), `pipeline`
+//! (pipeline-stage throughput), `ablations` (design-choice comparisons).
+
+use ares_icares::MissionRunner;
+use ares_sociometrics::pipeline::{DayAnalysis, MissionAnalysis};
+
+/// Runs the full instrumented mission with the default seed, returning the
+/// aggregates plus the death-day analysis needed by Fig. 5.
+#[must_use]
+pub fn run_full_mission() -> (MissionRunner, MissionAnalysis, DayAnalysis) {
+    let runner = MissionRunner::icares();
+    let mut death_day = None;
+    let mission = runner.run_days(2, 14, |day| {
+        if day.day == 4 {
+            death_day = Some(day.clone());
+        }
+    });
+    let death = death_day.expect("day 4 analyzed");
+    (runner, mission, death)
+}

@@ -1,0 +1,211 @@
+//! Identity anomalies: who is actually wearing which badge?
+//!
+//! "Astronaut A accidentally swapped their badge for one day with B …
+//! astronaut F reused a badge that had belonged to deceased astronaut C
+//! whereas the algorithms assumed that each device can be assigned to one
+//! owner only." This module is the fixed algorithm: every badge-day is
+//! re-identified by matching its localized room occupancy against each
+//! astronaut's personal schedule, and mismatches against the nominal
+//! assignment are flagged.
+
+use crate::localization::PositionTrack;
+use ares_crew::roster::AstronautId;
+use ares_crew::schedule::Schedule;
+use ares_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Resolver parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdentityParams {
+    /// Minimum schedule-match score to accept an identification.
+    pub min_score: f64,
+    /// Minimum fixes in the day for the badge to be considered carried.
+    pub min_fixes: usize,
+}
+
+impl Default for IdentityParams {
+    fn default() -> Self {
+        IdentityParams {
+            min_score: 0.30,
+            min_fixes: 600, // ten minutes of 1 Hz fixes
+        }
+    }
+}
+
+/// The resolved carrier of one badge for one day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Identification {
+    /// Best-matching astronaut, if confident.
+    pub carrier: Option<AstronautId>,
+    /// Schedule-match score of the best candidate.
+    pub score: f64,
+    /// Whether the identification contradicts the nominal owner.
+    pub mismatch: bool,
+}
+
+/// Scores a badge's day track against one astronaut's schedule: the fraction
+/// of fixes that fall in the astronaut's scheduled room at that moment.
+/// Group slots (meals, briefings) match every astronaut equally, so the
+/// discriminating signal comes from individual work slots.
+#[must_use]
+pub fn schedule_match_score(
+    track: &PositionTrack,
+    day: u32,
+    astronaut: AstronautId,
+    schedule: &Schedule,
+) -> f64 {
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    for fix in track.fixes.iter() {
+        let Some((d, slot)) = Schedule::slot_at(fix.t) else {
+            continue;
+        };
+        if d != day {
+            continue;
+        }
+        total += 1;
+        if schedule.activity(day, slot, astronaut).room() == fix.value.room {
+            matched += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        matched as f64 / total as f64
+    }
+}
+
+/// Resolves the carrier of one badge for one day.
+///
+/// `nominal` is the deployment's assignment sheet (the badge's owner).
+#[must_use]
+pub fn identify_carrier(
+    track: &PositionTrack,
+    day: u32,
+    nominal: Option<AstronautId>,
+    schedule: &Schedule,
+    params: &IdentityParams,
+) -> Identification {
+    let day_fixes = track
+        .fixes
+        .range(
+            SimTime::from_day_hms(day, 0, 0, 0),
+            SimTime::from_day_hms(day + 1, 0, 0, 0),
+        )
+        .len();
+    if day_fixes < params.min_fixes {
+        return Identification {
+            carrier: None,
+            score: 0.0,
+            mismatch: false,
+        };
+    }
+    let mut best: Option<(AstronautId, f64)> = None;
+    for a in AstronautId::ALL {
+        let s = schedule_match_score(track, day, a, schedule);
+        if best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((a, s));
+        }
+    }
+    match best {
+        Some((a, s)) if s >= params.min_score => Identification {
+            carrier: Some(a),
+            score: s,
+            mismatch: nominal.is_some_and(|n| n != a),
+        },
+        Some((_, s)) => Identification {
+            carrier: nominal,
+            score: s,
+            mismatch: false,
+        },
+        None => Identification {
+            carrier: None,
+            score: 0.0,
+            mismatch: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::localization::Fix;
+    use ares_habitat::floorplan::FloorPlan;
+
+    /// A track that follows one astronaut's schedule perfectly for a day.
+    fn track_following(ast: AstronautId, day: u32) -> PositionTrack {
+        let schedule = Schedule::icares();
+        let plan = FloorPlan::lunares();
+        let mut track = PositionTrack::default();
+        let start = SimTime::from_day_hms(day, 7, 0, 0);
+        let mut t = start;
+        let end = SimTime::from_day_hms(day, 21, 0, 0);
+        while t < end {
+            if let Some((d, slot)) = Schedule::slot_at(t) {
+                let room = schedule.activity(d, slot, ast).room();
+                track.fixes.push(
+                    t,
+                    Fix {
+                        room,
+                        position: plan.room_center(room),
+                        hits: 3,
+                    },
+                );
+            }
+            t += ares_simkit::time::SimDuration::from_secs(10);
+        }
+        track
+    }
+
+    #[test]
+    fn self_identification_scores_high() {
+        let schedule = Schedule::icares();
+        let track = track_following(AstronautId::D, 3);
+        let own = schedule_match_score(&track, 3, AstronautId::D, &schedule);
+        let other = schedule_match_score(&track, 3, AstronautId::B, &schedule);
+        assert!(own > 0.95, "own score {own}");
+        assert!(own > other + 0.2, "own {own} vs other {other}");
+    }
+
+    #[test]
+    fn swap_is_detected() {
+        let schedule = Schedule::icares();
+        // Badge nominally A's, but the track follows B's schedule (day 6).
+        let track = track_following(AstronautId::B, 6);
+        let params = IdentityParams {
+            min_fixes: 100,
+            ..Default::default()
+        };
+        let id = identify_carrier(&track, 6, Some(AstronautId::A), &schedule, &params);
+        assert_eq!(id.carrier, Some(AstronautId::B));
+        assert!(id.mismatch, "swap must be flagged");
+    }
+
+    #[test]
+    fn consistent_badge_is_not_flagged() {
+        let schedule = Schedule::icares();
+        let track = track_following(AstronautId::E, 5);
+        let params = IdentityParams {
+            min_fixes: 100,
+            ..Default::default()
+        };
+        let id = identify_carrier(&track, 5, Some(AstronautId::E), &schedule, &params);
+        assert_eq!(id.carrier, Some(AstronautId::E));
+        assert!(!id.mismatch);
+    }
+
+    #[test]
+    fn idle_badge_has_no_carrier() {
+        let schedule = Schedule::icares();
+        let track = PositionTrack::default();
+        let id = identify_carrier(
+            &track,
+            5,
+            Some(AstronautId::F),
+            &schedule,
+            &IdentityParams::default(),
+        );
+        assert_eq!(id.carrier, None);
+        assert!(!id.mismatch);
+    }
+}

@@ -1,0 +1,82 @@
+//! `ares-sociometrics` — the offline sociometric analysis pipeline.
+//!
+//! This crate is the primary contribution of the reproduction: the analysis
+//! system that turned ICAres-1's 150 GiB of badge recordings into the paper's
+//! findings. It consumes [`ares_badge`] logs (drifting local clocks, lossy
+//! radio, identity mix-ups and all) and produces room occupancy, movement,
+//! speech, meeting and social-network results:
+//!
+//! * [`sync`] — clock correction against the reference badge.
+//! * [`localization`] — room classification, in-room trilateration, 28 cm
+//!   heatmaps (Fig. 3).
+//! * [`occupancy`] — stay segmentation with the 10-s dwell filter, the room
+//!   passage matrix (Fig. 2), stay-duration statistics.
+//! * [`wear`] — worn vs. active classification (the 63 % / 84 % statistics).
+//! * [`activity`] — walking detection (Fig. 4).
+//! * [`speech`] — the 15-s / 60 dB / 20 % interval rule (Fig. 6), self-speech
+//!   attribution and the screen-reader filter.
+//! * [`meetings`] — co-presence meetings and their dynamics (Fig. 5).
+//! * [`proximity`] — 868 MHz badge-to-badge co-location and meeting
+//!   cross-validation.
+//! * [`social`] — company time, pairwise hours, Kleinberg authority
+//!   (Table I).
+//! * [`anomaly`] — badge-swap detection and identity repair.
+//! * [`environment`] — room-climate recovery and the artificial-day-length
+//!   estimator (the habitat ran on Martian time).
+//! * [`pipeline`] — the day-by-day orchestration.
+//! * [`streaming`] — the bounded-memory real-time analyzer (the mission
+//!   support system's substrate; Section VI).
+//! * [`report`] — Table I and the headline statistics.
+//! * [`validation`] — cross-checking sensor findings against the classic
+//!   evening surveys.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ares_sociometrics::pipeline::{MissionAnalysis, Pipeline};
+//!
+//! let pipeline = Pipeline::icares();
+//! let mut mission = MissionAnalysis::new(pipeline.plan());
+//! // For each day: feed the badge logs recorded that day.
+//! # let day_logs: Vec<ares_badge::records::BadgeLog> = Vec::new();
+//! let day = pipeline.analyze_day(2, &day_logs);
+//! mission.absorb(&day);
+//! let table = ares_sociometrics::report::table_one(&mission);
+//! println!("{}", table.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activity;
+pub mod anomaly;
+pub mod environment;
+pub mod localization;
+pub mod meetings;
+pub mod occupancy;
+pub mod pipeline;
+pub mod proximity;
+pub mod report;
+pub mod social;
+pub mod speech;
+pub mod streaming;
+pub mod sync;
+pub mod validation;
+pub mod wear;
+
+/// Convenient glob-import of the most used pipeline types.
+pub mod prelude {
+    pub use crate::activity::{ActivityParams, ActivityTrack};
+    pub use crate::anomaly::{Identification, IdentityParams};
+    pub use crate::localization::{Fix, Heatmap, LocalizationParams, PositionTrack};
+    pub use crate::meetings::{MeetingObs, MeetingParams};
+    pub use crate::occupancy::{PassageMatrix, Stay, StayStats};
+    pub use crate::pipeline::{DayAnalysis, MissionAnalysis, Pipeline, PipelineParams};
+    pub use crate::report::{headline_stats, table_one, HeadlineStats, TableOne};
+    pub use crate::social::{CompanyMatrix, PairwiseLedger};
+    pub use crate::speech::{SpeechParams, SpeechTrack};
+    pub use crate::streaming::{IncrementalSync, LiveEvent, StreamingAnalyzer};
+    pub use crate::sync::SyncCorrection;
+    pub use crate::validation::{cross_check, CrossCheck, CrossCheckItem};
+    pub use crate::wear::{WearParams, WearTrack};
+}

@@ -1,0 +1,483 @@
+//! Indoor localization from beacon scans.
+//!
+//! Two levels, as in the paper:
+//!
+//! * **Room classification** — "the room the badge located in was detected
+//!   perfectly" because the metal walls shield foreign beacons; we classify
+//!   by the strongest (and majority) received beacon's room.
+//! * **In-room position** — RSSI ranging against the room's beacons followed
+//!   by weighted-centroid initialization and Gauss–Newton refinement, giving
+//!   the "dominant position of an astronaut within a 1 s-frame" that feeds
+//!   the 28 cm × 28 cm heatmaps of Fig. 3.
+
+use crate::sync::SyncCorrection;
+use ares_badge::records::{BadgeLog, BeaconScan};
+use ares_habitat::beacons::BeaconDeployment;
+use ares_habitat::rf::ChannelParams;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::geometry::{Grid, Point2};
+use ares_simkit::series::Series;
+use ares_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Localization parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalizationParams {
+    /// Calibrated channel model used for RSSI → distance ranging.
+    pub channel: ChannelParams,
+    /// Gauss–Newton iterations for in-room refinement.
+    pub gn_iterations: usize,
+    /// Minimum hits to attempt a position fix (room detection needs one).
+    pub min_hits_for_fix: usize,
+    /// Rolling window of same-room scans whose RSSI is averaged per beacon
+    /// before ranging — log-normal shadowing shrinks by √window.
+    pub smoothing_window: usize,
+}
+
+impl Default for LocalizationParams {
+    fn default() -> Self {
+        LocalizationParams {
+            channel: ChannelParams::ble(),
+            gn_iterations: 6,
+            min_hits_for_fix: 2,
+            smoothing_window: 5,
+        }
+    }
+}
+
+/// Averages the RSSI of several scans per beacon (the smoothing step applied
+/// before ranging). The merged scan carries the latest timestamp.
+#[must_use]
+pub fn merge_scans(scans: &[&BeaconScan]) -> BeaconScan {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<ares_habitat::beacons::BeaconId, (f64, usize)> = BTreeMap::new();
+    let mut t_local = SimTime::EPOCH;
+    for s in scans {
+        t_local = t_local.max(s.t_local);
+        for &(id, rssi) in &s.hits {
+            let e = acc.entry(id).or_insert((0.0, 0));
+            e.0 += rssi;
+            e.1 += 1;
+        }
+    }
+    BeaconScan {
+        t_local,
+        hits: acc
+            .into_iter()
+            .map(|(id, (sum, n))| (id, sum / n as f64))
+            .collect(),
+    }
+}
+
+/// One localization fix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fix {
+    /// Detected room.
+    pub room: RoomId,
+    /// Estimated in-room position (room centre when hits are too few).
+    pub position: Point2,
+    /// Number of advertisements used.
+    pub hits: usize,
+}
+
+/// The localized track of one badge: a fix per scan, on reference time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PositionTrack {
+    /// Fixes in time order.
+    pub fixes: Series<Fix>,
+}
+
+impl PositionTrack {
+    /// The fix at or before `t`.
+    #[must_use]
+    pub fn at(&self, t: SimTime) -> Option<&Fix> {
+        self.fixes.at(t).map(|s| &s.value)
+    }
+
+    /// The detected room at `t`.
+    #[must_use]
+    pub fn room_at(&self, t: SimTime) -> Option<RoomId> {
+        self.at(t).map(|f| f.room)
+    }
+}
+
+/// Classifies the room of one scan: the room owning the *strongest* received
+/// beacon, confirmed by majority vote among all hits (doorway leakage can
+/// sneak one foreign advertisement in, but never a majority *and* maximum).
+#[must_use]
+pub fn classify_room(scan: &BeaconScan, beacons: &BeaconDeployment) -> Option<RoomId> {
+    let strongest = scan
+        .hits
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite RSSI"))?;
+    let room = beacons.get(strongest.0)?.room;
+    Some(room)
+}
+
+/// Estimates the in-room position from one scan's hits.
+///
+/// Ranging inverts the calibrated path-loss model; the initial guess is the
+/// distance-weighted centroid of the room's heard beacons, refined by
+/// Gauss–Newton on the range residuals and clamped into the room polygon.
+#[must_use]
+pub fn estimate_position(
+    scan: &BeaconScan,
+    room: RoomId,
+    beacons: &BeaconDeployment,
+    plan: &ares_habitat::floorplan::FloorPlan,
+    params: &LocalizationParams,
+) -> Point2 {
+    let poly = plan.room_polygon(room);
+    let anchors: Vec<(Point2, f64)> = scan
+        .hits
+        .iter()
+        .filter_map(|&(id, rssi)| {
+            let b = beacons.get(id)?;
+            (b.room == room).then(|| (b.position, params.channel.distance_for_rssi(rssi)))
+        })
+        .collect();
+    if anchors.len() < params.min_hits_for_fix {
+        return match anchors.first() {
+            Some(&(p, _)) => poly.clamp_inside(p),
+            None => poly.centroid(),
+        };
+    }
+    // Weighted centroid: closer (smaller estimated distance) pulls harder.
+    let mut wx = 0.0;
+    let mut wy = 0.0;
+    let mut wsum = 0.0;
+    for &(p, d) in &anchors {
+        let w = 1.0 / d.max(0.3);
+        wx += p.x * w;
+        wy += p.y * w;
+        wsum += w;
+    }
+    let init = Point2::new(wx / wsum, wy / wsum);
+    let mut est = init;
+    // Regularized Gauss–Newton on f_i(p) = |p − a_i| − d_i, with a Tikhonov
+    // pull toward the centroid initialization: with only three anchors and
+    // log-normal range noise, the unregularized solution amplifies noise
+    // (measured in the `ablation_localization` bench), so we shrink toward
+    // the low-variance initial guess.
+    let lambda = 0.8;
+    for _ in 0..params.gn_iterations {
+        let mut jt_j = [[lambda, 0.0], [0.0, lambda]];
+        let mut jt_r = [lambda * (est.x - init.x), lambda * (est.y - init.y)];
+        for &(a, d) in &anchors {
+            let diff = est - a;
+            let dist = diff.norm().max(1e-6);
+            let r = dist - d;
+            let j = [diff.x / dist, diff.y / dist];
+            jt_j[0][0] += j[0] * j[0];
+            jt_j[0][1] += j[0] * j[1];
+            jt_j[1][0] += j[1] * j[0];
+            jt_j[1][1] += j[1] * j[1];
+            jt_r[0] += j[0] * r;
+            jt_r[1] += j[1] * r;
+        }
+        let det = jt_j[0][0] * jt_j[1][1] - jt_j[0][1] * jt_j[1][0];
+        if det.abs() < 1e-9 {
+            break;
+        }
+        let dx = (jt_j[1][1] * jt_r[0] - jt_j[0][1] * jt_r[1]) / det;
+        let dy = (-jt_j[1][0] * jt_r[0] + jt_j[0][0] * jt_r[1]) / det;
+        est = Point2::new(est.x - dx, est.y - dy);
+        if dx.hypot(dy) < 1e-3 {
+            break;
+        }
+    }
+    poly.clamp_inside(est)
+}
+
+/// Localizes a whole badge log onto reference time.
+#[must_use]
+pub fn localize(
+    log: &BadgeLog,
+    corr: &SyncCorrection,
+    beacons: &BeaconDeployment,
+    plan: &ares_habitat::floorplan::FloorPlan,
+    params: &LocalizationParams,
+) -> PositionTrack {
+    let mut track = PositionTrack::default();
+    let mut last_t = None;
+    let mut window: std::collections::VecDeque<(&BeaconScan, RoomId)> =
+        std::collections::VecDeque::new();
+    for scan in &log.scans {
+        let Some(room) = classify_room(scan, beacons) else {
+            continue;
+        };
+        // Maintain the smoothing window: recent scans classified to the same
+        // room (a room change flushes it).
+        if window.back().is_some_and(|&(_, r)| r != room) {
+            window.clear();
+        }
+        window.push_back((scan, room));
+        while window.len() > params.smoothing_window.max(1) {
+            window.pop_front();
+        }
+        let merged = merge_scans(&window.iter().map(|&(s, _)| s).collect::<Vec<_>>());
+        let position = estimate_position(&merged, room, beacons, plan, params);
+        let t = corr.to_reference(scan.t_local);
+        // Guard against pathological correction foldbacks.
+        if last_t.is_some_and(|lt| t < lt) {
+            continue;
+        }
+        last_t = Some(t);
+        track.fixes.push(
+            t,
+            Fix {
+                room,
+                position,
+                hits: scan.hits.len(),
+            },
+        );
+    }
+    track
+}
+
+/// A positional heatmap: seconds spent per 28 cm grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// The grid.
+    pub grid: Grid,
+    /// Dwell seconds per cell, row-major `[iy][ix]` flattened.
+    pub seconds: Vec<f64>,
+}
+
+/// The paper's heatmap cell size: 28 cm.
+pub const HEATMAP_CELL_M: f64 = 0.28;
+
+impl Heatmap {
+    /// Builds an empty heatmap covering the floor plan.
+    #[must_use]
+    pub fn covering(plan: &ares_habitat::floorplan::FloorPlan) -> Self {
+        let (min, max) = plan.bounds();
+        let grid = Grid::covering(min, max, HEATMAP_CELL_M);
+        let n = grid.len();
+        Heatmap {
+            grid,
+            seconds: vec![0.0; n],
+        }
+    }
+
+    /// Accumulates a track into the map, crediting each fix with the time to
+    /// the next fix (capped so gaps don't smear).
+    pub fn accumulate(&mut self, track: &PositionTrack) {
+        let fixes = track.fixes.samples();
+        for w in fixes.windows(2) {
+            let dt = (w[1].t - w[0].t).as_secs_f64().min(5.0);
+            self.credit(w[0].value.position, dt);
+        }
+        if let Some(last) = fixes.last() {
+            self.credit(last.value.position, 1.0);
+        }
+    }
+
+    fn credit(&mut self, p: Point2, seconds: f64) {
+        if let Some((ix, iy)) = self.grid.cell_of(p) {
+            self.seconds[iy * self.grid.nx() + ix] += seconds;
+        }
+    }
+
+    /// Dwell seconds of a cell.
+    #[must_use]
+    pub fn cell_seconds(&self, ix: usize, iy: usize) -> f64 {
+        self.seconds[iy * self.grid.nx() + ix]
+    }
+
+    /// Total accumulated seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Log-scale intensity in `[0, 1]` for rendering (the paper's histograms
+    /// use a logarithmic scale).
+    #[must_use]
+    pub fn log_intensity(&self, ix: usize, iy: usize) -> f64 {
+        let max = self.seconds.iter().cloned().fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            return 0.0;
+        }
+        let v = self.cell_seconds(ix, iy);
+        if v <= 0.0 {
+            0.0
+        } else {
+            (1.0 + v).ln() / (1.0 + max).ln()
+        }
+    }
+
+    /// Mean distance of dwell mass from the centroid of the room it falls in
+    /// (peripheral rooms only). Quantifies astronaut A's stay-in-the-middle
+    /// signature from Fig. 3: A's value is markedly smaller than everyone
+    /// else's.
+    #[must_use]
+    pub fn mean_center_distance(&self, plan: &ares_habitat::floorplan::FloorPlan) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for iy in 0..self.grid.ny() {
+            for ix in 0..self.grid.nx() {
+                let s = self.cell_seconds(ix, iy);
+                if s <= 0.0 {
+                    continue;
+                }
+                let c = self.grid.cell_center(ix, iy);
+                for room in RoomId::FIG2 {
+                    if plan.room_polygon(room).contains(c) {
+                        num += s * c.distance(plan.room_polygon(room).centroid());
+                        den += s;
+                        break;
+                    }
+                }
+            }
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean distance of dwell mass from a point (used to quantify astronaut
+    /// A's stay-in-the-middle signature).
+    #[must_use]
+    pub fn mean_distance_from(&self, p: Point2) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for iy in 0..self.grid.ny() {
+            for ix in 0..self.grid.nx() {
+                let s = self.cell_seconds(ix, iy);
+                if s > 0.0 {
+                    num += s * self.grid.cell_center(ix, iy).distance(p);
+                    den += s;
+                }
+            }
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_badge::scanner;
+    use ares_badge::world::World;
+    use ares_simkit::rng::SeedTree;
+
+    #[test]
+    fn room_classification_is_perfect_at_stations() {
+        let world = World::icares();
+        let params = LocalizationParams::default();
+        let mut rng = SeedTree::new(31).stream("loc");
+        for room in RoomId::FIG2 {
+            let pos = world.plan.room_center(room);
+            for i in 0..50 {
+                let scan = scanner::scan(&world, pos, SimTime::from_secs(i), &mut rng);
+                if scan.hits.is_empty() {
+                    continue;
+                }
+                assert_eq!(
+                    classify_room(&scan, &world.beacons),
+                    Some(room),
+                    "misclassified {room}"
+                );
+            }
+        }
+        let _ = params;
+    }
+
+    #[test]
+    fn position_error_is_sub_room() {
+        let world = World::icares();
+        let params = LocalizationParams::default();
+        let mut rng = SeedTree::new(32).stream("loc2");
+        let mut total_err = 0.0;
+        let mut n = 0;
+        for room in [RoomId::Biolab, RoomId::Kitchen, RoomId::Office] {
+            let truth_pos = world.plan.room_center(room)
+                + ares_simkit::geometry::Vec2::new(0.7, -0.6);
+            for i in 0..100 {
+                let scan = scanner::scan(&world, truth_pos, SimTime::from_secs(i), &mut rng);
+                let Some(r) = classify_room(&scan, &world.beacons) else {
+                    continue;
+                };
+                let est = estimate_position(&scan, r, &world.beacons, &world.plan, &params);
+                total_err += est.distance(truth_pos);
+                n += 1;
+            }
+        }
+        let mean_err = total_err / n as f64;
+        assert!(
+            mean_err < 1.6,
+            "mean in-room error {mean_err:.2} m too large"
+        );
+    }
+
+    #[test]
+    fn gauss_newton_beats_centroid_alone() {
+        let world = World::icares();
+        let refined = LocalizationParams::default();
+        let coarse = LocalizationParams {
+            gn_iterations: 0,
+            ..refined
+        };
+        let mut rng = SeedTree::new(33).stream("loc3");
+        // An off-centre truth position exposes centroid bias. Both variants
+        // get the same RSSI smoothing the production path applies.
+        let room = RoomId::Workshop;
+        let truth_pos = world.plan.room_center(room) + ares_simkit::geometry::Vec2::new(1.3, 1.1);
+        let (mut err_gn, mut err_c, mut n) = (0.0, 0.0, 0);
+        let mut recent: Vec<ares_badge::records::BeaconScan> = Vec::new();
+        for i in 0..400 {
+            let scan = scanner::scan(&world, truth_pos, SimTime::from_secs(i), &mut rng);
+            if classify_room(&scan, &world.beacons) != Some(room) {
+                continue;
+            }
+            recent.push(scan);
+            if recent.len() > 5 {
+                recent.remove(0);
+            }
+            if recent.len() < 5 {
+                continue;
+            }
+            let merged = merge_scans(&recent.iter().collect::<Vec<_>>());
+            err_gn += estimate_position(&merged, room, &world.beacons, &world.plan, &refined)
+                .distance(truth_pos);
+            err_c += estimate_position(&merged, room, &world.beacons, &world.plan, &coarse)
+                .distance(truth_pos);
+            n += 1;
+        }
+        assert!(n > 200);
+        assert!(
+            err_gn < err_c,
+            "refinement must help on smoothed RSSI: GN {err_gn:.1} vs centroid {err_c:.1}"
+        );
+    }
+
+    #[test]
+    fn heatmap_accumulates_dwell() {
+        let world = World::icares();
+        let mut track = PositionTrack::default();
+        let p = world.plan.room_center(RoomId::Kitchen);
+        for i in 0..60 {
+            track.fixes.push(
+                SimTime::from_secs(i),
+                Fix {
+                    room: RoomId::Kitchen,
+                    position: p,
+                    hits: 3,
+                },
+            );
+        }
+        let mut map = Heatmap::covering(&world.plan);
+        map.accumulate(&track);
+        assert!((map.total_seconds() - 60.0).abs() < 1.0);
+        let (ix, iy) = map.grid.cell_of(p).unwrap();
+        assert!(map.cell_seconds(ix, iy) > 50.0);
+        assert!(map.log_intensity(ix, iy) > 0.99);
+    }
+}

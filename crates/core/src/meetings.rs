@@ -1,0 +1,334 @@
+//! Meeting detection and dynamics.
+//!
+//! "With these two kinds of information \[location and speech\], we detect when
+//! the astronauts were in the same room and analyze the dynamics of their
+//! meetings based on speech parameters."
+//!
+//! A meeting is a maximal span in which the same group of at least two
+//! astronauts shares a room; its dynamics (speech fraction, loudness) come
+//! from the participants' audio tracks. Planned-versus-unplanned labeling
+//! compares against the mission schedule — which is how the unscheduled,
+//! hushed consolation gathering after C's death stands out of Fig. 5.
+
+use crate::occupancy::Stay;
+use crate::speech::SpeechTrack;
+use ares_crew::roster::AstronautId;
+use ares_crew::schedule::{Activity, Schedule, SLOTS_PER_DAY};
+use ares_habitat::rooms::RoomId;
+use ares_simkit::series::Interval;
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Meeting-detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeetingParams {
+    /// Minimum duration for a co-presence span to be a meeting.
+    pub min_duration: SimDuration,
+    /// Gap tolerance when merging co-presence spans of identical groups.
+    pub merge_gap: SimDuration,
+}
+
+impl Default for MeetingParams {
+    fn default() -> Self {
+        MeetingParams {
+            min_duration: SimDuration::from_secs(90),
+            merge_gap: SimDuration::from_secs(45),
+        }
+    }
+}
+
+/// A detected meeting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeetingObs {
+    /// Where.
+    pub room: RoomId,
+    /// When.
+    pub interval: Interval,
+    /// Who (sorted).
+    pub participants: Vec<AstronautId>,
+    /// Whether it coincides with a scheduled group activity in that room.
+    pub planned: bool,
+    /// Fraction of 15-s intervals with speech during the meeting (mean over
+    /// participants' badges).
+    pub speech_fraction: f64,
+    /// Mean level of qualifying speech frames (dB), 0 if silent.
+    pub mean_level_db: f64,
+}
+
+impl MeetingObs {
+    /// Meeting length.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.interval.duration()
+    }
+
+    /// Whether both astronauts attended.
+    #[must_use]
+    pub fn has_pair(&self, x: AstronautId, y: AstronautId) -> bool {
+        self.participants.contains(&x) && self.participants.contains(&y)
+    }
+}
+
+/// Detects meetings from per-astronaut stay sequences.
+///
+/// `stays[i]` are the stays of astronaut `AstronautId::ALL[i]` (empty when
+/// the astronaut has no resolved data). Speech tracks, indexed the same way,
+/// provide the dynamics.
+#[must_use]
+pub fn detect_meetings(
+    stays: &[Vec<Stay>; 6],
+    speech: &[Option<&SpeechTrack>; 6],
+    schedule: &Schedule,
+    params: &MeetingParams,
+) -> Vec<MeetingObs> {
+    // Event timeline: presence toggles per astronaut per room.
+    #[derive(Debug)]
+    struct Ev {
+        t: SimTime,
+        ast: usize,
+        room: RoomId,
+        enter: bool,
+    }
+    let mut events: Vec<Ev> = Vec::new();
+    for (i, sts) in stays.iter().enumerate() {
+        for s in sts {
+            events.push(Ev {
+                t: s.interval.start,
+                ast: i,
+                room: s.room,
+                enter: true,
+            });
+            events.push(Ev {
+                t: s.interval.end,
+                ast: i,
+                room: s.room,
+                enter: false,
+            });
+        }
+    }
+    events.sort_by_key(|e| (e.t, e.enter));
+
+    // Sweep: room → set of present astronauts; emit segments when a room's
+    // group of ≥2 changes.
+    let mut present: std::collections::BTreeMap<RoomId, Vec<usize>> = Default::default();
+    let mut open: std::collections::BTreeMap<RoomId, (SimTime, Vec<usize>)> = Default::default();
+    let mut segments: Vec<(RoomId, Interval, Vec<usize>)> = Vec::new();
+    for e in events {
+        let entry = present.entry(e.room).or_default();
+        let before = entry.clone();
+        if e.enter {
+            if !entry.contains(&e.ast) {
+                entry.push(e.ast);
+                entry.sort_unstable();
+            }
+        } else {
+            entry.retain(|&a| a != e.ast);
+        }
+        let after = entry.clone();
+        if before != after {
+            if let Some((start, group)) = open.remove(&e.room) {
+                if e.t > start {
+                    segments.push((e.room, Interval::new(start, e.t), group));
+                }
+            }
+            if after.len() >= 2 {
+                open.insert(e.room, (e.t, after));
+            }
+        }
+    }
+    for (room, (start, group)) in open {
+        segments.push((room, Interval::new(start, start + SimDuration::from_secs(1)), group));
+    }
+
+    // Merge adjacent segments with overlapping groups into meetings (people
+    // trickle in and out of a lunch; it is still one meeting).
+    segments.sort_by_key(|s| s.1.start);
+    let mut merged: Vec<(RoomId, Interval, Vec<usize>)> = Vec::new();
+    for (room, iv, group) in segments {
+        match merged.last_mut() {
+            Some((r, last_iv, last_group))
+                if *r == room
+                    && iv.start - last_iv.end <= params.merge_gap
+                    && group.iter().any(|g| last_group.contains(g)) =>
+            {
+                last_iv.end = last_iv.end.max(iv.end);
+                for g in group {
+                    if !last_group.contains(&g) {
+                        last_group.push(g);
+                    }
+                }
+                last_group.sort_unstable();
+            }
+            _ => merged.push((room, iv, group)),
+        }
+    }
+
+    merged
+        .into_iter()
+        .filter(|(_, iv, _)| iv.duration() >= params.min_duration)
+        .map(|(room, interval, group)| {
+            let participants: Vec<AstronautId> =
+                group.iter().map(|&i| AstronautId::ALL[i]).collect();
+            let (speech_fraction, mean_level_db) =
+                meeting_dynamics(&group, speech, interval);
+            let planned = is_scheduled_group(room, interval, schedule);
+            MeetingObs {
+                room,
+                interval,
+                participants,
+                planned,
+                speech_fraction,
+                mean_level_db,
+            }
+        })
+        .collect()
+}
+
+fn meeting_dynamics(
+    group: &[usize],
+    speech: &[Option<&SpeechTrack>; 6],
+    window: Interval,
+) -> (f64, f64) {
+    let mut fractions = Vec::new();
+    let mut levels = Vec::new();
+    for &i in group {
+        let Some(track) = speech[i] else { continue };
+        let mut recorded = 0usize;
+        let mut qualifying = 0usize;
+        for iv in &track.intervals {
+            if iv.start >= window.start && iv.start < window.end && iv.frames > 0 {
+                recorded += 1;
+                if iv.speech {
+                    qualifying += 1;
+                }
+                if iv.mean_voiced_db > 0.0 {
+                    levels.push(iv.mean_voiced_db);
+                }
+            }
+        }
+        if recorded > 0 {
+            fractions.push(qualifying as f64 / recorded as f64);
+        }
+    }
+    let f = if fractions.is_empty() {
+        0.0
+    } else {
+        fractions.iter().sum::<f64>() / fractions.len() as f64
+    };
+    let l = if levels.is_empty() {
+        0.0
+    } else {
+        levels.iter().sum::<f64>() / levels.len() as f64
+    };
+    (f, l)
+}
+
+/// Whether a scheduled whole-crew activity (meal or briefing) takes place in
+/// `room` overlapping `interval`.
+fn is_scheduled_group(room: RoomId, interval: Interval, _schedule: &Schedule) -> bool {
+    let day = interval.start.mission_day();
+    if day == 0 {
+        return false;
+    }
+    for slot in 0..SLOTS_PER_DAY {
+        let slot_iv = Schedule::slot_interval(day, slot);
+        if !slot_iv.overlaps(&interval) {
+            continue;
+        }
+        // Group slots are the same for everyone; probe astronaut A.
+        let act = _schedule.activity(day, slot, AstronautId::A);
+        let group_room = match act {
+            Activity::Meal => RoomId::Kitchen,
+            Activity::Briefing => RoomId::Main,
+            _ => continue,
+        };
+        if group_room == room {
+            // Require a substantial overlap, not a brief graze.
+            let ov = slot_iv.intersect(&interval).map_or(SimDuration::ZERO, |iv| iv.duration());
+            if ov >= SimDuration::from_mins(5) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stay(room: RoomId, a: (u32, u32, u32), b: (u32, u32, u32), day: u32) -> Stay {
+        Stay {
+            room,
+            interval: Interval::new(
+                SimTime::from_day_hms(day, a.0, a.1, a.2),
+                SimTime::from_day_hms(day, b.0, b.1, b.2),
+            ),
+        }
+    }
+
+    fn no_speech() -> [Option<&'static SpeechTrack>; 6] {
+        [None, None, None, None, None, None]
+    }
+
+    #[test]
+    fn detects_shared_room_as_meeting() {
+        let mut stays: [Vec<Stay>; 6] = Default::default();
+        stays[0].push(stay(RoomId::Kitchen, (12, 30, 0), (13, 0, 0), 4));
+        stays[1].push(stay(RoomId::Kitchen, (12, 32, 0), (12, 58, 0), 4));
+        let schedule = Schedule::icares();
+        let meetings = detect_meetings(&stays, &no_speech(), &schedule, &MeetingParams::default());
+        assert_eq!(meetings.len(), 1);
+        let m = &meetings[0];
+        assert_eq!(m.room, RoomId::Kitchen);
+        assert_eq!(m.participants, vec![AstronautId::A, AstronautId::B]);
+        assert!(m.planned, "12:30 kitchen gathering is the scheduled lunch");
+        assert!(m.duration() >= SimDuration::from_mins(25));
+    }
+
+    #[test]
+    fn unscheduled_gathering_is_unplanned() {
+        let mut stays: [Vec<Stay>; 6] = Default::default();
+        // 15:20 kitchen gathering — no meal scheduled there.
+        for s in stays.iter_mut().take(5) {
+            s.push(stay(RoomId::Kitchen, (15, 20, 0), (16, 0, 0), 4));
+        }
+        let schedule = Schedule::icares();
+        let meetings = detect_meetings(&stays, &no_speech(), &schedule, &MeetingParams::default());
+        assert_eq!(meetings.len(), 1);
+        assert!(!meetings[0].planned);
+        assert_eq!(meetings[0].participants.len(), 5);
+    }
+
+    #[test]
+    fn solo_presence_is_not_a_meeting() {
+        let mut stays: [Vec<Stay>; 6] = Default::default();
+        stays[0].push(stay(RoomId::Office, (9, 0, 0), (11, 0, 0), 3));
+        stays[1].push(stay(RoomId::Biolab, (9, 0, 0), (11, 0, 0), 3));
+        let schedule = Schedule::icares();
+        let meetings = detect_meetings(&stays, &no_speech(), &schedule, &MeetingParams::default());
+        assert!(meetings.is_empty());
+    }
+
+    #[test]
+    fn brief_overlap_is_filtered() {
+        let mut stays: [Vec<Stay>; 6] = Default::default();
+        stays[0].push(stay(RoomId::Storage, (9, 0, 0), (9, 0, 40), 3));
+        stays[1].push(stay(RoomId::Storage, (9, 0, 10), (9, 0, 50), 3));
+        let schedule = Schedule::icares();
+        let meetings = detect_meetings(&stays, &no_speech(), &schedule, &MeetingParams::default());
+        assert!(meetings.is_empty(), "30 s overlap is not a meeting");
+    }
+
+    #[test]
+    fn trickling_participants_merge_into_one_meeting() {
+        let mut stays: [Vec<Stay>; 6] = Default::default();
+        stays[0].push(stay(RoomId::Kitchen, (18, 30, 0), (19, 0, 0), 5));
+        stays[1].push(stay(RoomId::Kitchen, (18, 31, 0), (18, 50, 0), 5));
+        stays[2].push(stay(RoomId::Kitchen, (18, 33, 0), (19, 0, 0), 5));
+        let schedule = Schedule::icares();
+        let meetings = detect_meetings(&stays, &no_speech(), &schedule, &MeetingParams::default());
+        assert_eq!(meetings.len(), 1, "{meetings:?}");
+        assert_eq!(meetings[0].participants.len(), 3);
+    }
+}

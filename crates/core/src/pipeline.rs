@@ -1,0 +1,587 @@
+//! The end-to-end offline analysis pipeline.
+//!
+//! Mirrors the post-mission workflow of the ICAres-1 deployment: badge logs
+//! come in day by day; each day is clock-corrected against the reference
+//! badge, localized, classified for wear/walking/speech, identity-resolved
+//! (catching badge swaps), and folded into mission-level aggregates.
+//!
+//! The pipeline sees **only recorded data** plus legitimately known metadata:
+//! the floor plan, the beacon placements, the calibrated channel model, the
+//! mission schedule, and the nominal badge-assignment sheet. It never touches
+//! the simulation ground truth — the integration tests hold it accountable
+//! against that truth instead.
+
+use crate::activity::{self, ActivityParams, ActivityTrack};
+use crate::anomaly::{self, Identification, IdentityParams};
+use crate::localization::{self, Heatmap, LocalizationParams, PositionTrack};
+use crate::meetings::{self, MeetingObs, MeetingParams};
+use crate::occupancy::{self, PassageMatrix, Stay, StayStats};
+use crate::social::{CompanyMatrix, PairwiseLedger};
+use crate::speech::{self, SpeechParams, SpeechTrack};
+use crate::sync::SyncCorrection;
+use crate::wear::{self, WearParams, WearTrack};
+use ares_badge::records::{BadgeId, BadgeLog};
+use ares_crew::roster::AstronautId;
+use ares_crew::schedule::Schedule;
+use ares_habitat::beacons::BeaconDeployment;
+use ares_habitat::floorplan::FloorPlan;
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PipelineParams {
+    /// Localization parameters.
+    pub localization: LocalizationParams,
+    /// Wear-detection parameters.
+    pub wear: WearParams,
+    /// Walking-detection parameters.
+    pub activity: ActivityParams,
+    /// Speech parameters.
+    pub speech: SpeechParams,
+    /// Meeting parameters.
+    pub meetings: MeetingParams,
+    /// Identity-resolution parameters.
+    pub identity: IdentityParams,
+}
+
+/// The analysis of one badge's log for one day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BadgeDay {
+    /// The unit.
+    pub badge: BadgeId,
+    /// Fitted clock correction.
+    pub corr: SyncCorrection,
+    /// Localized track.
+    pub track: PositionTrack,
+    /// Wear classification.
+    pub wear: WearTrack,
+    /// Walking bouts.
+    pub activity: ActivityTrack,
+    /// Speech analysis.
+    pub speech: SpeechTrack,
+    /// Room stays.
+    pub stays: Vec<Stay>,
+    /// Identity resolution.
+    pub identification: Identification,
+}
+
+/// Per-astronaut aggregate numbers for one day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AstronautDaily {
+    /// Fraction of worn time spent walking (Fig. 4).
+    pub walking_fraction: f64,
+    /// Fraction of recorded 15-s intervals with speech (Fig. 6).
+    pub heard_fraction: f64,
+    /// Fraction of daytime the badge was worn.
+    pub worn_fraction: f64,
+    /// Fraction of daytime the badge was active.
+    pub active_fraction: f64,
+    /// Hours of self-attributed speech.
+    pub self_talk_h: f64,
+    /// Hours of worn time.
+    pub worn_h: f64,
+    /// Hours of walking.
+    pub walking_h: f64,
+    /// Mean worn accelerometer variance ("average daily acceleration").
+    pub mean_accel_var: f64,
+}
+
+/// Everything extracted from one day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayAnalysis {
+    /// The mission day.
+    pub day: u32,
+    /// Per-badge detail.
+    pub badges: Vec<BadgeDay>,
+    /// Resolved badge index (into `badges`) per astronaut.
+    pub carrier_of: [Option<usize>; 6],
+    /// Detected meetings.
+    pub meetings: Vec<MeetingObs>,
+    /// The day's passage counts.
+    pub passages: PassageMatrix,
+    /// Per-astronaut daily aggregates.
+    pub daily: [Option<AstronautDaily>; 6],
+    /// Swap flags raised this day: `(badge, nominal, resolved)`.
+    pub swaps: Vec<(BadgeId, AstronautId, AstronautId)>,
+    /// Infrared-confirmed private conversation hours per pair this day.
+    pub private_pairs: Vec<(AstronautId, AstronautId, f64)>,
+    /// Per-room temperature sums `(Σ°C, n)` joined from badge env samples
+    /// and localization, indexed by [`ares_habitat::rooms::RoomId::index`].
+    pub climate_sums: [(f64, u64); 10],
+    /// The reference badge's environmental samples (reference time), feeding
+    /// the mission-level day-length estimator.
+    pub reference_env: Vec<ares_badge::records::EnvSample>,
+}
+
+/// The pipeline: deployment metadata plus parameters.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    plan: FloorPlan,
+    beacons: BeaconDeployment,
+    schedule: Schedule,
+    params: PipelineParams,
+}
+
+impl Pipeline {
+    /// Creates a pipeline for a deployment.
+    #[must_use]
+    pub fn new(
+        plan: FloorPlan,
+        beacons: BeaconDeployment,
+        schedule: Schedule,
+        params: PipelineParams,
+    ) -> Self {
+        Pipeline {
+            plan,
+            beacons,
+            schedule,
+            params,
+        }
+    }
+
+    /// The canonical ICAres-1 pipeline with default parameters.
+    #[must_use]
+    pub fn icares() -> Self {
+        let plan = FloorPlan::lunares();
+        let beacons = BeaconDeployment::icares(&plan);
+        Pipeline::new(plan, beacons, Schedule::icares(), PipelineParams::default())
+    }
+
+    /// The parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &PipelineParams {
+        &self.params
+    }
+
+    /// Mutable access for ablation sweeps.
+    pub fn params_mut(&mut self) -> &mut PipelineParams {
+        &mut self.params
+    }
+
+    /// The floor plan (for heatmap construction).
+    #[must_use]
+    pub fn plan(&self) -> &FloorPlan {
+        &self.plan
+    }
+
+    /// The nominal owner of a badge unit per the assignment sheet.
+    #[must_use]
+    pub fn nominal_owner(badge: BadgeId) -> Option<AstronautId> {
+        (badge.0 < 6).then(|| AstronautId::ALL[badge.0 as usize])
+    }
+
+    /// Analyzes one day of badge logs.
+    #[must_use]
+    pub fn analyze_day(&self, day: u32, logs: &[BadgeLog]) -> DayAnalysis {
+        let day_start = SimTime::from_day_hms(day, 7, 0, 0);
+        let day_end = SimTime::from_day_hms(day, 21, 0, 0);
+
+        // Per-badge passes.
+        let mut badges: Vec<BadgeDay> = Vec::new();
+        for log in logs {
+            if log.badge == BadgeId::REFERENCE {
+                continue;
+            }
+            let corr = SyncCorrection::fit(&log.sync);
+            let track = localization::localize(
+                log,
+                &corr,
+                &self.beacons,
+                &self.plan,
+                &self.params.localization,
+            );
+            let wear_track = wear::detect_wear(log, &corr, &self.params.wear);
+            let act = activity::detect_walking(log, &corr, &wear_track, &self.params.activity);
+            let sp = speech::analyze(log, &corr, &self.params.speech);
+            let stays = occupancy::segment_stays(&track, SimDuration::from_secs(5));
+            let identification = anomaly::identify_carrier(
+                &track,
+                day,
+                Self::nominal_owner(log.badge),
+                &self.schedule,
+                &self.params.identity,
+            );
+            badges.push(BadgeDay {
+                badge: log.badge,
+                corr,
+                track,
+                wear: wear_track,
+                activity: act,
+                speech: sp,
+                stays,
+                identification,
+            });
+        }
+
+        // Identity resolution: one badge per astronaut, best score wins.
+        let mut carrier_of: [Option<usize>; 6] = [None; 6];
+        let mut order: Vec<usize> = (0..badges.len()).collect();
+        order.sort_by(|&a, &b| {
+            badges[b]
+                .identification
+                .score
+                .partial_cmp(&badges[a].identification.score)
+                .expect("finite scores")
+        });
+        let mut swaps = Vec::new();
+        for idx in order {
+            let Some(who) = badges[idx].identification.carrier else {
+                continue;
+            };
+            if carrier_of[who.index()].is_none() {
+                carrier_of[who.index()] = Some(idx);
+                if badges[idx].identification.mismatch {
+                    if let Some(nominal) = Self::nominal_owner(badges[idx].badge) {
+                        swaps.push((badges[idx].badge, nominal, who));
+                    }
+                }
+            }
+        }
+
+        // Meetings & passages from resolved identities.
+        let mut stays_by_ast: [Vec<Stay>; 6] = Default::default();
+        let mut speech_by_ast: [Option<&SpeechTrack>; 6] = [None; 6];
+        for a in AstronautId::ALL {
+            if let Some(idx) = carrier_of[a.index()] {
+                stays_by_ast[a.index()] = badges[idx]
+                    .stays
+                    .iter()
+                    .copied()
+                    .filter(|s| {
+                        s.interval.end > day_start && s.interval.start < day_end
+                    })
+                    .collect();
+                speech_by_ast[a.index()] = Some(&badges[idx].speech);
+            }
+        }
+        let detected_meetings = meetings::detect_meetings(
+            &stays_by_ast,
+            &speech_by_ast,
+            &self.schedule,
+            &self.params.meetings,
+        );
+        let mut passages = PassageMatrix::new();
+        for sts in &stays_by_ast {
+            passages.accumulate(sts);
+        }
+
+        // Daily aggregates.
+        let mut daily: [Option<AstronautDaily>; 6] = [None; 6];
+        for a in AstronautId::ALL {
+            let Some(idx) = carrier_of[a.index()] else {
+                continue;
+            };
+            let b = &badges[idx];
+            let worn = b.wear.worn.clip(day_start, day_end).total_duration();
+            let walking = b.activity.walking.clip(day_start, day_end).total_duration();
+            daily[a.index()] = Some(AstronautDaily {
+                walking_fraction: activity::walking_fraction(
+                    &b.activity,
+                    &b.wear,
+                    day_start,
+                    day_end,
+                ),
+                heard_fraction: speech::heard_fraction(&b.speech, day_start, day_end),
+                worn_fraction: wear::worn_fraction(&b.wear, day_start, day_end),
+                active_fraction: wear::active_fraction(&b.wear, day_start, day_end),
+                self_talk_h: speech::self_talk_duration(&b.speech, day_start, day_end)
+                    .as_hours_f64(),
+                worn_h: worn.as_hours_f64(),
+                walking_h: walking.as_hours_f64(),
+                mean_accel_var: b.activity.mean_accel_var,
+            });
+        }
+
+        let private_pairs = private_conversations(logs, &badges, &carrier_of, &speech_by_ast);
+
+        // Room climate: join every carried badge's env stream with its track.
+        let mut climate_sums = [(0.0f64, 0u64); 10];
+        for log in logs {
+            let Some(bd) = badges.iter().find(|b| b.badge == log.badge) else {
+                continue;
+            };
+            for s in &log.env {
+                let t = bd.corr.to_reference(s.t_local);
+                if let Some(fix) = bd.track.at(t) {
+                    let slot = &mut climate_sums[fix.room.index()];
+                    slot.0 += s.temperature_c;
+                    slot.1 += 1;
+                }
+            }
+        }
+        let reference_env = logs
+            .iter()
+            .find(|l| l.badge == BadgeId::REFERENCE)
+            .map(|l| l.env.clone())
+            .unwrap_or_default();
+
+        DayAnalysis {
+            day,
+            badges,
+            carrier_of,
+            meetings: detected_meetings,
+            passages,
+            daily,
+            swaps,
+            private_pairs,
+            climate_sums,
+            reference_env,
+        }
+    }
+}
+
+/// Private-conversation mining: "the infrared transceiver … enables assessing
+/// whether two badges are truly close and face each other, so that it is
+/// likely that their bearers may be having a conversation."
+///
+/// A minute counts as private conversation for a pair when (a) their badges
+/// exchanged IR contacts in that minute, (b) neither badge saw a third badge
+/// over IR, and (c) at least one of the pair's badges heard speech.
+fn private_conversations(
+    logs: &[BadgeLog],
+    badges: &[BadgeDay],
+    carrier_of: &[Option<usize>; 6],
+    speech_by_ast: &[Option<&SpeechTrack>; 6],
+) -> Vec<(AstronautId, AstronautId, f64)> {
+    use std::collections::{BTreeMap, BTreeSet};
+    // Badge unit → resolved astronaut.
+    let mut who: BTreeMap<BadgeId, usize> = BTreeMap::new();
+    for (ai, slot) in carrier_of.iter().enumerate() {
+        if let Some(idx) = slot {
+            who.insert(badges[*idx].badge, ai);
+        }
+    }
+    let minute = SimDuration::from_secs(60);
+    // (astronaut, minute-index) → set of IR partners.
+    let mut partners: BTreeMap<(usize, i64), BTreeSet<usize>> = BTreeMap::new();
+    for log in logs {
+        let Some(&me) = who.get(&log.badge) else {
+            continue;
+        };
+        let Some(bd) = badges.iter().find(|b| b.badge == log.badge) else {
+            continue;
+        };
+        for c in &log.ir {
+            let Some(&other) = who.get(&c.other) else {
+                continue;
+            };
+            let t = bd.corr.to_reference(c.t_local);
+            let w = t.as_micros().div_euclid(minute.as_micros());
+            partners.entry((me, w)).or_default().insert(other);
+        }
+    }
+    let mut hours: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for (&(me, w), set) in &partners {
+        if set.len() != 1 {
+            continue; // a third party was in view — not private
+        }
+        let other = *set.iter().next().expect("len checked");
+        if me >= other {
+            continue; // count each pair-minute once, from the lower index
+        }
+        // The partner must also see only `me` in this minute (if it saw
+        // anyone at all).
+        if partners
+            .get(&(other, w))
+            .is_some_and(|s| s.len() > 1 || !s.contains(&me))
+        {
+            continue;
+        }
+        // Speech evidence from either badge.
+        let mid = SimTime::from_micros(w * minute.as_micros() + minute.as_micros() / 2);
+        let talked = [me, other].iter().any(|&i| {
+            speech_by_ast[i].is_some_and(|tr| {
+                tr.heard.contains(mid)
+                    || tr.heard.contains(mid - SimDuration::from_secs(20))
+                    || tr.heard.contains(mid + SimDuration::from_secs(20))
+            })
+        });
+        if talked {
+            *hours.entry((me, other)).or_insert(0.0) += 1.0 / 60.0;
+        }
+    }
+    hours
+        .into_iter()
+        .map(|((x, y), h)| (AstronautId::ALL[x], AstronautId::ALL[y], h))
+        .collect()
+}
+
+/// Mission-level accumulator over day analyses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionAnalysis {
+    /// Total passage matrix (Fig. 2).
+    pub passages: PassageMatrix,
+    /// Company matrix (Table I a).
+    pub company: CompanyMatrix,
+    /// Pairwise private/all meeting hours.
+    pub ledger: PairwiseLedger,
+    /// Stay-duration statistics.
+    pub stay_stats: StayStats,
+    /// All detected meetings.
+    pub meetings: Vec<MeetingObs>,
+    /// Positional heatmaps per astronaut (Fig. 3 uses A's).
+    pub heatmaps: Vec<Heatmap>,
+    /// `daily[day-1][astronaut]` aggregates.
+    pub daily: Vec<[Option<AstronautDaily>; 6]>,
+    /// All swap flags: `(day, badge, nominal, resolved)`.
+    pub swaps: Vec<(u32, BadgeId, AstronautId, AstronautId)>,
+    /// Raw bytes recorded (summed from logs).
+    pub bytes_recorded: u64,
+    /// Accompanied hours per astronaut: total time spent in meetings (the
+    /// paper's "company" score before normalization).
+    pub accompanied_h: [f64; 6],
+    /// Stay lists per astronaut-day (for session statistics).
+    pub stays_per_day: Vec<Vec<crate::occupancy::Stay>>,
+    /// Accumulated per-room temperature sums `(Σ°C, n)`.
+    pub climate_sums: [(f64, u64); 10],
+    /// The reference badge's environmental stream across the mission.
+    pub reference_env: Vec<ares_badge::records::EnvSample>,
+}
+
+impl MissionAnalysis {
+    /// An empty accumulator over a floor plan.
+    #[must_use]
+    pub fn new(plan: &FloorPlan) -> Self {
+        MissionAnalysis {
+            passages: PassageMatrix::new(),
+            company: CompanyMatrix::new(),
+            ledger: PairwiseLedger::new(),
+            stay_stats: StayStats::new(),
+            meetings: Vec::new(),
+            heatmaps: (0..6).map(|_| Heatmap::covering(plan)).collect(),
+            daily: Vec::new(),
+            swaps: Vec::new(),
+            bytes_recorded: 0,
+            accompanied_h: [0.0; 6],
+            stays_per_day: Vec::new(),
+            climate_sums: [(0.0, 0); 10],
+            reference_env: Vec::new(),
+        }
+    }
+
+    /// Folds one day's analysis into the mission aggregates.
+    pub fn absorb(&mut self, day: &DayAnalysis) {
+        self.passages.merge(&day.passages);
+        for m in &day.meetings {
+            self.company.accumulate(m);
+            self.ledger.accumulate(m);
+            for p in &m.participants {
+                self.accompanied_h[p.index()] += m.duration().as_hours_f64();
+            }
+        }
+        for &(x, y, h) in &day.private_pairs {
+            self.ledger.add_private(x, y, h);
+        }
+        self.meetings.extend(day.meetings.iter().cloned());
+        for a in AstronautId::ALL {
+            if let Some(idx) = day.carrier_of[a.index()] {
+                let b = &day.badges[idx];
+                self.stay_stats.accumulate(&b.stays);
+                self.heatmaps[a.index()].accumulate(&b.track);
+                self.stays_per_day.push(b.stays.clone());
+            }
+        }
+        while self.daily.len() < day.day as usize {
+            self.daily.push([None; 6]);
+        }
+        self.daily[(day.day - 1) as usize] = day.daily;
+        for &(badge, from, to) in &day.swaps {
+            self.swaps.push((day.day, badge, from, to));
+        }
+        for (i, &(sum, n)) in day.climate_sums.iter().enumerate() {
+            self.climate_sums[i].0 += sum;
+            self.climate_sums[i].1 += n;
+        }
+        self.reference_env.extend(day.reference_env.iter().copied());
+    }
+
+    /// The warmest room by badge-measured mean temperature (≥30 samples).
+    #[must_use]
+    pub fn warmest_room(&self) -> Option<(ares_habitat::rooms::RoomId, f64)> {
+        ares_habitat::rooms::RoomId::ALL
+            .into_iter()
+            .filter_map(|r| {
+                let (sum, n) = self.climate_sums[r.index()];
+                (n >= 30).then(|| (r, sum / n as f64))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+    }
+
+    /// Estimates the artificial day length from the reference badge's light
+    /// stream (the habitat "lived on particularly adjusted Martian time").
+    #[must_use]
+    pub fn day_length_estimate(&self) -> Option<crate::environment::DayLengthEstimate> {
+        let mut log = ares_badge::records::BadgeLog::new(BadgeId::REFERENCE);
+        log.env = self.reference_env.clone();
+        let transitions = crate::environment::detect_lights_on(
+            &log,
+            &SyncCorrection::identity(),
+            50.0,
+            100.0,
+        );
+        crate::environment::estimate_day_length(&transitions)
+    }
+
+    /// Accounts raw storage volume from the day's logs.
+    pub fn account_bytes(&mut self, logs: &[BadgeLog]) {
+        self.bytes_recorded += logs.iter().map(|l| l.bytes_written).sum::<u64>();
+    }
+
+    /// Mission-mean of a daily metric for one astronaut.
+    #[must_use]
+    pub fn mean_daily(&self, a: AstronautId, f: impl Fn(&AstronautDaily) -> f64) -> f64 {
+        let vals: Vec<f64> = self
+            .daily
+            .iter()
+            .filter_map(|d| d[a.index()].as_ref().map(&f))
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Mission totals: `(worn_h, self_talk_h, walking_h)` per astronaut.
+    #[must_use]
+    pub fn totals(&self, a: AstronautId) -> (f64, f64, f64) {
+        let mut worn = 0.0;
+        let mut talk = 0.0;
+        let mut walk = 0.0;
+        for d in &self.daily {
+            if let Some(x) = &d[a.index()] {
+                worn += x.worn_h;
+                talk += x.self_talk_h;
+                walk += x.walking_h;
+            }
+        }
+        (worn, talk, walk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_owners() {
+        assert_eq!(Pipeline::nominal_owner(BadgeId(0)), Some(AstronautId::A));
+        assert_eq!(Pipeline::nominal_owner(BadgeId(5)), Some(AstronautId::F));
+        assert_eq!(Pipeline::nominal_owner(BadgeId(7)), None);
+        assert_eq!(Pipeline::nominal_owner(BadgeId::REFERENCE), None);
+    }
+
+    #[test]
+    fn empty_day_is_harmless() {
+        let pipeline = Pipeline::icares();
+        let day = pipeline.analyze_day(3, &[]);
+        assert!(day.badges.is_empty());
+        assert!(day.meetings.is_empty());
+        assert_eq!(day.passages.total(), 0);
+        let mut mission = MissionAnalysis::new(pipeline.plan());
+        mission.absorb(&day);
+        assert_eq!(mission.daily.len(), 3);
+        assert!(mission.daily[2].iter().all(Option::is_none));
+    }
+}

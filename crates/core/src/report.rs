@@ -1,0 +1,216 @@
+//! Mission reporting: the paper's Table I and the headline statistics.
+
+use crate::pipeline::MissionAnalysis;
+use crate::social::normalize_scores;
+use ares_crew::roster::AstronautId;
+use serde::{Deserialize, Serialize};
+
+/// The paper's Table I: "Average and normalized parameters measured for the
+/// crew during the mission." Company and authority are n/a for astronauts
+/// with insufficient data (C, who left on day 4, in the canonical run);
+/// talking and walking are rates per recorded time, so C is included and —
+/// as in the paper — tops both columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableOne {
+    /// Normalized accompanied time; `None` = n/a.
+    pub company: [Option<f64>; 6],
+    /// Normalized Kleinberg authority; `None` = n/a.
+    pub authority: [Option<f64>; 6],
+    /// Normalized fraction of recorded time with self speech.
+    pub talking: [Option<f64>; 6],
+    /// Normalized fraction of recorded time spent walking.
+    pub walking: [Option<f64>; 6],
+}
+
+/// Minimum recorded (worn) hours for company/authority to be reported.
+pub const MIN_HOURS_FOR_CENTRALITY: f64 = 60.0;
+
+/// Builds Table I from the mission aggregates.
+#[must_use]
+pub fn table_one(mission: &MissionAnalysis) -> TableOne {
+    // Exclude astronauts with too little mission coverage from the
+    // centrality columns (C left on day 4 → "n/a" in the paper).
+    let mut excluded: Vec<AstronautId> = Vec::new();
+    for a in AstronautId::ALL {
+        let (worn_h, _, _) = mission.totals(a);
+        if worn_h < MIN_HOURS_FOR_CENTRALITY {
+            excluded.push(a);
+        }
+    }
+    // "Centrality measured as amount of time spent accompanied": attended
+    // meeting hours, not pairwise sums.
+    let company_raw = mission.accompanied_h;
+    let auth_raw = mission.company.hits_authority(60);
+
+    // Talking / walking are rates per recorded time, so the short-lived C is
+    // comparable with the rest (and normalizes to 1.00 in the paper).
+    let mut talking_raw = [0.0f64; 6];
+    let mut walking_raw = [0.0f64; 6];
+    for a in AstronautId::ALL {
+        let (worn_h, talk_h, walk_h) = mission.totals(a);
+        if worn_h > 1.0 {
+            talking_raw[a.index()] = talk_h / worn_h;
+            walking_raw[a.index()] = walk_h / worn_h;
+        }
+    }
+
+    TableOne {
+        company: normalize_scores(&company_raw, &excluded),
+        authority: normalize_scores(&auth_raw, &excluded),
+        talking: normalize_scores(&talking_raw, &[]),
+        walking: normalize_scores(&walking_raw, &[]),
+    }
+}
+
+impl TableOne {
+    /// Renders the table in the paper's layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let fmt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.2}"),
+            None => "n/a".to_string(),
+        };
+        let mut out = String::from("id  company  authority  talking  walking\n");
+        for a in AstronautId::ALL {
+            let i = a.index();
+            out.push_str(&format!(
+                "{}   {:>7}  {:>9}  {:>7}  {:>7}\n",
+                a,
+                fmt(self.company[i]),
+                fmt(self.authority[i]),
+                fmt(self.talking[i]),
+                fmt(self.walking[i]),
+            ));
+        }
+        out
+    }
+
+    /// The astronaut with the top score in a column (ignoring n/a).
+    #[must_use]
+    pub fn top_of(column: &[Option<f64>; 6]) -> Option<AstronautId> {
+        AstronautId::ALL
+            .into_iter()
+            .filter_map(|a| column[a.index()].map(|v| (a, v)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(a, _)| a)
+    }
+}
+
+/// Headline statistics reported in the paper's prose.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineStats {
+    /// Total recorded volume (GiB) — paper: ≈150 GiB.
+    pub recorded_gib: f64,
+    /// Mean fraction of daytime badges were worn — paper: 63 %.
+    pub mean_worn_fraction: f64,
+    /// Mean fraction of daytime badges were active — paper: 84 %.
+    pub mean_active_fraction: f64,
+    /// Worn fraction over the first three instrumented days — paper: ≈80 %.
+    pub early_worn_fraction: f64,
+    /// Worn fraction over the last three days — paper: ≈50 %.
+    pub late_worn_fraction: f64,
+}
+
+/// Computes the headline statistics.
+#[must_use]
+pub fn headline_stats(mission: &MissionAnalysis) -> HeadlineStats {
+    let mut worn = Vec::new();
+    let mut active = Vec::new();
+    let mut early = Vec::new();
+    let mut late = Vec::new();
+    let n_days = mission.daily.len();
+    for (di, day) in mission.daily.iter().enumerate() {
+        for a in day.iter().flatten() {
+            worn.push(a.worn_fraction);
+            active.push(a.active_fraction);
+            if di < 4 {
+                early.push(a.worn_fraction);
+            }
+            if di + 3 >= n_days {
+                late.push(a.worn_fraction);
+            }
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    HeadlineStats {
+        recorded_gib: mission.bytes_recorded as f64 / (1u64 << 30) as f64,
+        mean_worn_fraction: mean(&worn),
+        mean_active_fraction: mean(&active),
+        early_worn_fraction: mean(&early),
+        late_worn_fraction: mean(&late),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AstronautDaily;
+    use ares_habitat::floorplan::FloorPlan;
+
+    fn daily(worn: f64, talk: f64, walk: f64) -> AstronautDaily {
+        AstronautDaily {
+            walking_fraction: walk / worn.max(1e-9),
+            heard_fraction: 0.4,
+            worn_fraction: worn / 14.0,
+            active_fraction: 0.9,
+            self_talk_h: talk,
+            worn_h: worn,
+            walking_h: walk,
+            mean_accel_var: 0.05,
+        }
+    }
+
+    fn mission_with_dailies() -> MissionAnalysis {
+        let plan = FloorPlan::lunares();
+        let mut m = MissionAnalysis::new(&plan);
+        // 13 days for everyone but C (3 days), with C's *rates* the highest.
+        for day in 0..13 {
+            let mut row = [None; 6];
+            row[AstronautId::A.index()] = Some(daily(9.0, 0.9, 0.35));
+            row[AstronautId::B.index()] = Some(daily(9.0, 0.85, 0.40));
+            if day < 3 {
+                row[AstronautId::C.index()] = Some(daily(9.0, 1.6, 0.95));
+            }
+            row[AstronautId::D.index()] = Some(daily(9.0, 0.9, 0.65));
+            row[AstronautId::E.index()] = Some(daily(9.0, 0.8, 0.45));
+            row[AstronautId::F.index()] = Some(daily(9.0, 1.1, 0.70));
+            m.daily.push(row);
+        }
+        m
+    }
+
+    #[test]
+    fn c_is_excluded_from_centrality_but_tops_rates() {
+        let m = mission_with_dailies();
+        let t = table_one(&m);
+        assert_eq!(t.company[AstronautId::C.index()], None, "C company n/a");
+        assert_eq!(t.authority[AstronautId::C.index()], None);
+        assert_eq!(t.talking[AstronautId::C.index()], Some(1.0));
+        assert_eq!(t.walking[AstronautId::C.index()], Some(1.0));
+        assert_eq!(TableOne::top_of(&t.talking), Some(AstronautId::C));
+    }
+
+    #[test]
+    fn render_has_six_rows() {
+        let m = mission_with_dailies();
+        let t = table_one(&m);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 7);
+        assert!(s.contains("n/a"));
+    }
+
+    #[test]
+    fn headline_stats_mean_fractions() {
+        let m = mission_with_dailies();
+        let h = headline_stats(&m);
+        assert!((h.mean_worn_fraction - 9.0 / 14.0).abs() < 0.01);
+        assert!((h.mean_active_fraction - 0.9).abs() < 0.01);
+        assert_eq!(h.recorded_gib, 0.0);
+    }
+}

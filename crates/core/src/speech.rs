@@ -1,0 +1,485 @@
+//! Speech analysis from microphone feature frames.
+//!
+//! Three layers:
+//!
+//! * **Heard speech** (Fig. 6): "A 15 s interval is considered as speech if
+//!   there are voice frequencies detected of at least 60 dB and for at least
+//!   20 % of the interval. The boundary values were determined experimentally
+//!   and correspond to a conversation at a distance of at most 2.5 m."
+//! * **Self speech** (Table I b): frames loud enough to be the wearer's own
+//!   voice at collar distance are attributed to the wearer.
+//! * **Synthetic-voice filtering**: astronaut A's screen reader produces
+//!   flat-pitched speech at A's badge. The original algorithm mistook it for
+//!   A talking; the fixed algorithm — implemented here — rejects runs of
+//!   utterances with near-constant fundamental frequency in the TTS band.
+
+use crate::sync::SyncCorrection;
+use ares_badge::records::{AudioFrame, BadgeLog};
+use ares_simkit::series::{Interval, IntervalSet};
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Speech-detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeechParams {
+    /// Interval length (the paper's 15 s).
+    pub interval: SimDuration,
+    /// Minimum frame level for a voiced frame to count (dB SPL).
+    pub level_threshold_db: f64,
+    /// Minimum fraction of qualifying frames for an interval to be speech.
+    pub frame_quorum: f64,
+    /// Level above which a voiced frame is the wearer's own voice (collar
+    /// distance boosts the wearer ~10 dB over anyone a metre away).
+    pub self_level_db: f64,
+    /// F0 above which a voice is classified female (Hz).
+    pub gender_split_hz: f64,
+    /// The TTS band of A's screen reader (Hz).
+    pub synthetic_band_hz: (f64, f64),
+    /// Maximum F0 spread across consecutive in-band utterances for a run to
+    /// be synthetic (Hz).
+    pub synthetic_max_spread_hz: f64,
+    /// Whether to filter synthetic voices at all (the "unfixed" algorithm of
+    /// the original deployment sets this to false — an ablation).
+    pub filter_synthetic: bool,
+}
+
+impl Default for SpeechParams {
+    fn default() -> Self {
+        SpeechParams {
+            interval: SimDuration::from_secs(15),
+            level_threshold_db: 60.0,
+            frame_quorum: 0.20,
+            self_level_db: 70.5,
+            gender_split_hz: 165.0,
+            synthetic_band_hz: (140.0, 160.0),
+            synthetic_max_spread_hz: 4.0,
+            filter_synthetic: true,
+        }
+    }
+}
+
+/// One analyzed 15-second interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeechInterval {
+    /// Interval start (reference time, grid-aligned).
+    pub start: SimTime,
+    /// Number of frames recorded in the interval.
+    pub frames: usize,
+    /// Number of voiced frames at or above the level threshold.
+    pub qualifying: usize,
+    /// Whether the interval counts as speech under the paper's rule.
+    pub speech: bool,
+    /// Mean level of qualifying frames (dB), 0 if none.
+    pub mean_level_db: f64,
+    /// Mean level of *all* voiced frames regardless of threshold (dB), 0 if
+    /// none — the uncensored loudness used for meeting dynamics (a hushed
+    /// meeting must read quieter than a loud lunch even though the threshold
+    /// censors its far frames).
+    pub mean_voiced_db: f64,
+}
+
+/// The speech analysis of one badge log.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpeechTrack {
+    /// Per-15-s interval classification, in time order.
+    pub intervals: Vec<SpeechInterval>,
+    /// Merged spans of heard speech.
+    pub heard: IntervalSet,
+    /// Spans attributed to the wearer's own voice (synthetic runs removed
+    /// when filtering is on).
+    pub self_talk: IntervalSet,
+    /// Spans rejected as synthetic (screen-reader) voice.
+    pub synthetic: IntervalSet,
+    /// Median F0 of self-attributed frames (Hz), 0 if none.
+    pub self_f0_hz: f64,
+}
+
+/// A self-voiced utterance assembled from consecutive frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Utterance {
+    interval: Interval,
+    f0_hz: f64,
+}
+
+/// Analyzes a badge's audio stream.
+#[must_use]
+pub fn analyze(log: &BadgeLog, corr: &SyncCorrection, params: &SpeechParams) -> SpeechTrack {
+    let frames: Vec<(SimTime, &AudioFrame)> = log
+        .audio
+        .iter()
+        .map(|f| (corr.to_reference(f.t_local), f))
+        .collect();
+    let intervals = classify_intervals(&frames, params);
+    let heard = IntervalSet::from_intervals(
+        intervals
+            .iter()
+            .filter(|iv| iv.speech)
+            .map(|iv| Interval::new(iv.start, iv.start + params.interval))
+            .collect(),
+    );
+
+    // Self-speech utterances.
+    let utterances = assemble_utterances(&frames, params);
+    let synthetic_flags = mark_synthetic_runs(&utterances, params);
+    let mut self_spans = Vec::new();
+    let mut synthetic_spans = Vec::new();
+    let mut f0s = Vec::new();
+    for (u, &synthetic) in utterances.iter().zip(&synthetic_flags) {
+        if synthetic && params.filter_synthetic {
+            synthetic_spans.push(u.interval);
+        } else {
+            self_spans.push(u.interval);
+            f0s.push(u.f0_hz);
+        }
+    }
+    SpeechTrack {
+        intervals,
+        heard,
+        self_talk: IntervalSet::from_intervals(self_spans),
+        synthetic: IntervalSet::from_intervals(synthetic_spans),
+        self_f0_hz: ares_simkit::stats::median(&f0s),
+    }
+}
+
+fn classify_intervals(
+    frames: &[(SimTime, &AudioFrame)],
+    params: &SpeechParams,
+) -> Vec<SpeechInterval> {
+    let mut out: Vec<SpeechInterval> = Vec::new();
+    let mut cur: Option<(SimTime, usize, usize, f64, usize, f64)> = None;
+    for &(t, f) in frames {
+        let bucket = t.floor_to(params.interval);
+        if cur.map(|c| c.0) != Some(bucket) {
+            if let Some(c) = cur {
+                out.push(finish_interval(c, params));
+            }
+            cur = Some((bucket, 0, 0, 0.0, 0, 0.0));
+        }
+        let c = cur.as_mut().expect("just set");
+        c.1 += 1;
+        if f.voiced {
+            c.4 += 1;
+            c.5 += f.level_db;
+            if f.level_db >= params.level_threshold_db {
+                c.2 += 1;
+                c.3 += f.level_db;
+            }
+        }
+    }
+    if let Some(c) = cur {
+        out.push(finish_interval(c, params));
+    }
+    out
+}
+
+fn finish_interval(
+    (start, frames, qualifying, level_sum, voiced, voiced_sum): (
+        SimTime,
+        usize,
+        usize,
+        f64,
+        usize,
+        f64,
+    ),
+    params: &SpeechParams,
+) -> SpeechInterval {
+    let speech = frames > 0 && qualifying as f64 / frames as f64 >= params.frame_quorum;
+    SpeechInterval {
+        start,
+        frames,
+        qualifying,
+        speech,
+        mean_level_db: if qualifying > 0 {
+            level_sum / qualifying as f64
+        } else {
+            0.0
+        },
+        mean_voiced_db: if voiced > 0 { voiced_sum / voiced as f64 } else { 0.0 },
+    }
+}
+
+fn assemble_utterances(
+    frames: &[(SimTime, &AudioFrame)],
+    params: &SpeechParams,
+) -> Vec<Utterance> {
+    let mut out = Vec::new();
+    let mut run: Vec<(SimTime, f64)> = Vec::new();
+    let gap = SimDuration::from_millis(1200);
+    let frame_len = SimDuration::from_millis(500);
+    let mut flush = |run: &mut Vec<(SimTime, f64)>| {
+        if run.len() >= 2 {
+            let f0s: Vec<f64> = run.iter().map(|&(_, f)| f).collect();
+            out.push(Utterance {
+                interval: Interval::new(run[0].0, run[run.len() - 1].0 + frame_len),
+                f0_hz: ares_simkit::stats::median(&f0s),
+            });
+        }
+        run.clear();
+    };
+    for &(t, f) in frames {
+        let is_self = f.voiced
+            && f.level_db >= params.self_level_db
+            && f.f0_hz.is_some();
+        if is_self {
+            if run.last().is_some_and(|&(lt, _)| t - lt > gap) {
+                flush(&mut run);
+            }
+            run.push((t, f.f0_hz.expect("checked")));
+        } else if run.last().is_some_and(|&(lt, _)| t - lt > gap) {
+            flush(&mut run);
+        }
+    }
+    flush(&mut run);
+    out
+}
+
+/// Marks utterances that belong to a synthetic (screen-reader) run: at least
+/// three consecutive utterances within 90 s, all inside the TTS band, with a
+/// tiny F0 spread. A single human utterance that happens to land in the band
+/// survives (humans vary pitch between utterances; TTS does not).
+fn mark_synthetic_runs(utterances: &[Utterance], params: &SpeechParams) -> Vec<bool> {
+    let mut flags = vec![false; utterances.len()];
+    let (lo, hi) = params.synthetic_band_hz;
+    let window = SimDuration::from_secs(90);
+    let mut i = 0;
+    while i < utterances.len() {
+        if utterances[i].f0_hz < lo || utterances[i].f0_hz > hi {
+            i += 1;
+            continue;
+        }
+        // Extend a run of in-band utterances with small spacing.
+        let mut j = i;
+        while j + 1 < utterances.len()
+            && utterances[j + 1].f0_hz >= lo
+            && utterances[j + 1].f0_hz <= hi
+            && utterances[j + 1].interval.start - utterances[j].interval.end < window
+        {
+            j += 1;
+        }
+        let run = &utterances[i..=j];
+        if run.len() >= 3 {
+            let f0s: Vec<f64> = run.iter().map(|u| u.f0_hz).collect();
+            let spread = f0s.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - f0s.iter().cloned().fold(f64::INFINITY, f64::min);
+            if spread <= params.synthetic_max_spread_hz {
+                for flag in &mut flags[i..=j] {
+                    *flag = true;
+                }
+            }
+        }
+        i = j + 1;
+    }
+    flags
+}
+
+/// Fraction of recorded 15-s intervals classified as speech within a window
+/// — one point of Fig. 6.
+#[must_use]
+pub fn heard_fraction(track: &SpeechTrack, from: SimTime, to: SimTime) -> f64 {
+    let mut recorded = 0usize;
+    let mut speech = 0usize;
+    for iv in &track.intervals {
+        if iv.start >= from && iv.start < to && iv.frames > 0 {
+            recorded += 1;
+            if iv.speech {
+                speech += 1;
+            }
+        }
+    }
+    if recorded == 0 {
+        0.0
+    } else {
+        speech as f64 / recorded as f64
+    }
+}
+
+/// Total self-talk duration within a window.
+#[must_use]
+pub fn self_talk_duration(track: &SpeechTrack, from: SimTime, to: SimTime) -> SimDuration {
+    track.self_talk.clip(from, to).total_duration()
+}
+
+/// Gender classification from the track's self-speech F0.
+#[must_use]
+pub fn classify_register(track: &SpeechTrack, params: &SpeechParams) -> Option<&'static str> {
+    if track.self_f0_hz <= 0.0 {
+        return None;
+    }
+    Some(if track.self_f0_hz >= params.gender_split_hz {
+        "female"
+    } else {
+        "male"
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_badge::records::BadgeId;
+
+    fn frame(t_ms: i64, level: f64, voiced: bool, f0: Option<f64>) -> AudioFrame {
+        AudioFrame {
+            t_local: SimTime::from_micros(t_ms * 1000),
+            level_db: level,
+            voiced,
+            f0_hz: f0,
+        }
+    }
+
+    fn log_of(frames: Vec<AudioFrame>) -> BadgeLog {
+        let mut log = BadgeLog::new(BadgeId(0));
+        log.audio = frames;
+        log
+    }
+
+    #[test]
+    fn interval_rule_matches_paper_thresholds() {
+        // 30 frames per 15 s window; 6 qualifying = exactly 20 %.
+        let mut frames = Vec::new();
+        for i in 0..30 {
+            let voiced = i < 6;
+            frames.push(frame(i * 500, if voiced { 62.0 } else { 45.0 }, voiced, voiced.then_some(200.0)));
+        }
+        // Second window: only 5 qualify (16.7 %).
+        for i in 30..60 {
+            let voiced = i < 35;
+            frames.push(frame(i * 500, if voiced { 62.0 } else { 45.0 }, voiced, voiced.then_some(200.0)));
+        }
+        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        assert_eq!(track.intervals.len(), 2);
+        assert!(track.intervals[0].speech, "20 % exactly qualifies");
+        assert!(!track.intervals[1].speech);
+    }
+
+    #[test]
+    fn loud_but_unvoiced_frames_do_not_count() {
+        let frames: Vec<AudioFrame> = (0..30).map(|i| frame(i * 500, 70.0, false, None)).collect();
+        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        assert!(!track.intervals[0].speech);
+    }
+
+    #[test]
+    fn self_speech_attribution_by_level() {
+        let mut frames = Vec::new();
+        // Own voice: 76 dB. Partner: 67 dB.
+        for i in 0..10 {
+            frames.push(frame(i * 500, 76.0, true, Some(204.0)));
+        }
+        for i in 10..20 {
+            frames.push(frame(i * 500, 67.0, true, Some(120.0)));
+        }
+        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        let d = track.self_talk.total_duration().as_secs_f64();
+        assert!((d - 5.0).abs() < 1.0, "self talk {d}");
+        assert_eq!(classify_register(&track, &SpeechParams::default()), Some("female"));
+    }
+
+    #[test]
+    fn screen_reader_runs_are_filtered() {
+        let mut frames = Vec::new();
+        // Three flat 150 Hz utterances separated by 2 s silences.
+        let mut t = 0;
+        for _ in 0..3 {
+            for _ in 0..12 {
+                frames.push(frame(t, 73.0, true, Some(150.3)));
+                t += 500;
+            }
+            for _ in 0..4 {
+                frames.push(frame(t, 42.0, false, None));
+                t += 500;
+            }
+        }
+        // Then a genuine human utterance at 205 Hz.
+        for _ in 0..8 {
+            frames.push(frame(t, 76.0, true, Some(205.0)));
+            t += 500;
+        }
+        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        assert!(
+            track.synthetic.total_duration() > SimDuration::from_secs(14),
+            "synthetic spans {:?}",
+            track.synthetic
+        );
+        let self_d = track.self_talk.total_duration().as_secs_f64();
+        assert!((self_d - 4.0).abs() < 1.5, "human self talk {self_d}");
+        // Without the fix, the reader would be attributed to the wearer.
+        let unfixed = SpeechParams {
+            filter_synthetic: false,
+            ..Default::default()
+        };
+        let naive = analyze(&log_of_frames_clone(), &SyncCorrection::identity(), &unfixed);
+        assert!(naive.self_talk.total_duration().as_secs_f64() > 18.0);
+
+        fn log_of_frames_clone() -> BadgeLog {
+            let mut frames = Vec::new();
+            let mut t = 0;
+            for _ in 0..3 {
+                for _ in 0..12 {
+                    frames.push(AudioFrame {
+                        t_local: SimTime::from_micros(t * 1000),
+                        level_db: 73.0,
+                        voiced: true,
+                        f0_hz: Some(150.3),
+                    });
+                    t += 500;
+                }
+                for _ in 0..4 {
+                    frames.push(AudioFrame {
+                        t_local: SimTime::from_micros(t * 1000),
+                        level_db: 42.0,
+                        voiced: false,
+                        f0_hz: None,
+                    });
+                    t += 500;
+                }
+            }
+            for _ in 0..8 {
+                frames.push(AudioFrame {
+                    t_local: SimTime::from_micros(t * 1000),
+                    level_db: 76.0,
+                    voiced: true,
+                    f0_hz: Some(205.0),
+                });
+                t += 500;
+            }
+            let mut log = BadgeLog::new(BadgeId(0));
+            log.audio = frames;
+            log
+        }
+    }
+
+    #[test]
+    fn varying_pitch_in_band_is_not_synthetic() {
+        // Three utterances whose medians span 20 Hz — a human male, not TTS.
+        let mut frames = Vec::new();
+        let mut t = 0;
+        for f0 in [142.0, 151.0, 159.0] {
+            for _ in 0..10 {
+                frames.push(frame(t, 74.0, true, Some(f0)));
+                t += 500;
+            }
+            for _ in 0..4 {
+                frames.push(frame(t, 42.0, false, None));
+                t += 500;
+            }
+        }
+        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        assert!(track.synthetic.is_empty());
+        assert!(track.self_talk.total_duration() > SimDuration::from_secs(12));
+    }
+
+    #[test]
+    fn heard_fraction_counts_recorded_intervals_only() {
+        let mut frames = Vec::new();
+        // One speech window, one silent window; a third window unrecorded.
+        for i in 0..30 {
+            frames.push(frame(i * 500, 63.0, true, Some(190.0)));
+        }
+        for i in 30..60 {
+            frames.push(frame(i * 500, 41.0, false, None));
+        }
+        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        let f = heard_fraction(&track, SimTime::from_secs(0), SimTime::from_secs(45));
+        assert!((f - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,543 @@
+//! The real-time (streaming) analyzer — the paper's future-work pitch made
+//! concrete.
+//!
+//! "What we learned would be even more desirable is real-time feedback to
+//! the astronauts on the results of the analyses. … the estimated amount of
+//! information collected by a sensor network similar to the one deployed in
+//! ICAres-1 might be prohibitively large to transfer in time. Thus, support
+//! technology … should rather function autonomously."
+//!
+//! Where [`crate::pipeline`] batches a whole day, [`StreamingAnalyzer`]
+//! ingests records one at a time with **bounded memory** and emits live
+//! events (room changes, speech onsets, meeting starts/ends, wear changes)
+//! the moment the evidence is in. Clock correction is fitted *incrementally*
+//! — running regression sums, one update per sync exchange — so the analyzer
+//! never needs to revisit old data.
+
+use crate::localization::{classify_room, estimate_position, merge_scans, LocalizationParams};
+use ares_badge::records::{AudioFrame, BadgeId, BeaconScan, ImuSample, SyncSample};
+use ares_badge::sensors::OFF_BODY_VAR_THRESHOLD;
+use ares_habitat::beacons::BeaconDeployment;
+use ares_habitat::floorplan::FloorPlan;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// An event emitted by the streaming analyzer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LiveEvent {
+    /// A badge moved to a different room.
+    RoomChanged {
+        /// The badge.
+        badge: BadgeId,
+        /// New room.
+        room: RoomId,
+        /// When (reference time).
+        at: SimTime,
+    },
+    /// A 15-second interval completed as speech (the paper's rule, applied
+    /// on the fly).
+    SpeechDetected {
+        /// The badge that heard it.
+        badge: BadgeId,
+        /// Interval start.
+        at: SimTime,
+        /// Mean level of qualifying frames (dB).
+        level_db: f64,
+    },
+    /// At least two badges are now sharing a room.
+    MeetingStarted {
+        /// Where.
+        room: RoomId,
+        /// Who (badge units).
+        badges: Vec<BadgeId>,
+        /// When.
+        at: SimTime,
+    },
+    /// A room dropped back below two occupants.
+    MeetingEnded {
+        /// Where.
+        room: RoomId,
+        /// When.
+        at: SimTime,
+        /// How long the gathering lasted.
+        duration: SimDuration,
+    },
+    /// A badge transitioned between worn and off-body.
+    WearChanged {
+        /// The badge.
+        badge: BadgeId,
+        /// Now worn?
+        worn: bool,
+        /// When.
+        at: SimTime,
+    },
+}
+
+/// Incremental least-squares fit of `local − ref = offset + skew·ref`:
+/// running sums only, O(1) memory and per-sample cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IncrementalSync {
+    n: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+}
+
+impl IncrementalSync {
+    /// Folds in one sync exchange.
+    pub fn update(&mut self, s: &SyncSample) {
+        let x = s.t_reference.as_secs_f64();
+        let y = (s.t_local - s.t_reference).as_secs_f64();
+        self.n += 1.0;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.sxy += x * y;
+    }
+
+    /// Samples folded so far.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Current `(offset_s, skew_ppm)` estimate; identity until two samples.
+    #[must_use]
+    pub fn estimate(&self) -> (f64, f64) {
+        if self.n < 2.0 {
+            return (if self.n > 0.0 { self.sy / self.n } else { 0.0 }, 0.0);
+        }
+        let det = self.n * self.sxx - self.sx * self.sx;
+        if det.abs() < 1e-9 {
+            return (self.sy / self.n, 0.0);
+        }
+        let slope = (self.n * self.sxy - self.sx * self.sy) / det;
+        let offset = (self.sy - slope * self.sx) / self.n;
+        (offset, slope * 1e6)
+    }
+
+    /// Maps a local timestamp to reference time with the current estimate.
+    #[must_use]
+    pub fn to_reference(&self, t_local: SimTime) -> SimTime {
+        let (offset, skew_ppm) = self.estimate();
+        let k = 1.0 + skew_ppm * 1e-6;
+        SimTime::from_secs_f64((t_local.as_secs_f64() - offset) / k)
+    }
+}
+
+#[derive(Debug, Default)]
+struct BadgeState {
+    sync: IncrementalSync,
+    window: VecDeque<BeaconScan>,
+    room: Option<RoomId>,
+    // Speech interval under construction: (bucket, frames, qualifying, Σlevel).
+    speech_bucket: Option<(SimTime, usize, usize, f64)>,
+    // Wear block under construction: (bucket, on_body, total).
+    wear_bucket: Option<(SimTime, usize, usize)>,
+    worn: bool,
+}
+
+/// The bounded-memory streaming analyzer.
+#[derive(Debug)]
+pub struct StreamingAnalyzer {
+    plan: FloorPlan,
+    beacons: BeaconDeployment,
+    params: LocalizationParams,
+    speech_interval: SimDuration,
+    speech_level_db: f64,
+    speech_quorum: f64,
+    wear_block: SimDuration,
+    badges: BTreeMap<BadgeId, BadgeState>,
+    occupancy: BTreeMap<RoomId, Vec<BadgeId>>,
+    meeting_since: BTreeMap<RoomId, SimTime>,
+    events_emitted: u64,
+    records_ingested: u64,
+}
+
+impl StreamingAnalyzer {
+    /// Creates an analyzer for the canonical deployment.
+    #[must_use]
+    pub fn icares() -> Self {
+        let plan = FloorPlan::lunares();
+        let beacons = BeaconDeployment::icares(&plan);
+        StreamingAnalyzer {
+            plan,
+            beacons,
+            params: LocalizationParams::default(),
+            speech_interval: SimDuration::from_secs(15),
+            speech_level_db: 60.0,
+            speech_quorum: 0.20,
+            wear_block: SimDuration::from_secs(60),
+            badges: BTreeMap::new(),
+            occupancy: BTreeMap::new(),
+            meeting_since: BTreeMap::new(),
+            events_emitted: 0,
+            records_ingested: 0,
+        }
+    }
+
+    /// Records ingested so far (all streams).
+    #[must_use]
+    pub fn records_ingested(&self) -> u64 {
+        self.records_ingested
+    }
+
+    /// Events emitted so far.
+    #[must_use]
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Upper bound on retained state, in records: the per-badge smoothing
+    /// window plus the open buckets — *independent of stream length*.
+    #[must_use]
+    pub fn retained_records(&self) -> usize {
+        self.badges
+            .values()
+            .map(|b| b.window.len() + 2)
+            .sum::<usize>()
+    }
+
+    /// Folds in a sync exchange (improves this badge's clock mapping).
+    pub fn ingest_sync(&mut self, badge: BadgeId, s: &SyncSample) {
+        self.records_ingested += 1;
+        self.badges.entry(badge).or_default().sync.update(s);
+    }
+
+    /// Ingests one BLE scan; may emit room-change and meeting events.
+    pub fn ingest_scan(&mut self, badge: BadgeId, scan: &BeaconScan) -> Vec<LiveEvent> {
+        self.records_ingested += 1;
+        let mut events = Vec::new();
+        let Some(room) = classify_room(scan, &self.beacons) else {
+            return events;
+        };
+        let state = self.badges.entry(badge).or_default();
+        let at = state.sync.to_reference(scan.t_local);
+        if state.room != Some(room) {
+            state.window.clear();
+        }
+        state.window.push_back(scan.clone());
+        while state.window.len() > self.params.smoothing_window.max(1) {
+            state.window.pop_front();
+        }
+        // Position is available on demand; the event stream carries rooms.
+        let _ = estimate_position(
+            &merge_scans(&state.window.iter().collect::<Vec<_>>()),
+            room,
+            &self.beacons,
+            &self.plan,
+            &self.params,
+        );
+        let previous = state.room.replace(room);
+        if previous != Some(room) {
+            events.push(LiveEvent::RoomChanged { badge, room, at });
+            self.move_badge(badge, previous, room, at, &mut events);
+        }
+        self.events_emitted += events.len() as u64;
+        events
+    }
+
+    fn move_badge(
+        &mut self,
+        badge: BadgeId,
+        from: Option<RoomId>,
+        to: RoomId,
+        at: SimTime,
+        events: &mut Vec<LiveEvent>,
+    ) {
+        if let Some(old) = from {
+            if let Some(list) = self.occupancy.get_mut(&old) {
+                list.retain(|&b| b != badge);
+                if list.len() < 2 {
+                    if let Some(since) = self.meeting_since.remove(&old) {
+                        events.push(LiveEvent::MeetingEnded {
+                            room: old,
+                            at,
+                            duration: at - since,
+                        });
+                    }
+                }
+            }
+        }
+        let list = self.occupancy.entry(to).or_default();
+        if !list.contains(&badge) {
+            list.push(badge);
+        }
+        if list.len() >= 2 && !self.meeting_since.contains_key(&to) {
+            self.meeting_since.insert(to, at);
+            events.push(LiveEvent::MeetingStarted {
+                room: to,
+                badges: list.clone(),
+                at,
+            });
+        }
+    }
+
+    /// Ingests one audio frame; may emit a speech-interval event when the
+    /// 15-second bucket closes.
+    pub fn ingest_audio(&mut self, badge: BadgeId, frame: &AudioFrame) -> Vec<LiveEvent> {
+        self.records_ingested += 1;
+        let interval = self.speech_interval;
+        let level_thr = self.speech_level_db;
+        let quorum = self.speech_quorum;
+        let state = self.badges.entry(badge).or_default();
+        let at = state.sync.to_reference(frame.t_local);
+        let bucket = at.floor_to(interval);
+        let mut events = Vec::new();
+        match &mut state.speech_bucket {
+            Some((b, frames, qualifying, level_sum)) if *b == bucket => {
+                *frames += 1;
+                if frame.voiced && frame.level_db >= level_thr {
+                    *qualifying += 1;
+                    *level_sum += frame.level_db;
+                }
+            }
+            open => {
+                // Close the previous bucket, if it qualified.
+                if let Some((b, frames, qualifying, level_sum)) = open.take() {
+                    if frames > 0 && qualifying as f64 / frames as f64 >= quorum {
+                        events.push(LiveEvent::SpeechDetected {
+                            badge,
+                            at: b,
+                            level_db: level_sum / qualifying.max(1) as f64,
+                        });
+                    }
+                }
+                let q = usize::from(frame.voiced && frame.level_db >= level_thr);
+                *open = Some((
+                    bucket,
+                    1,
+                    q,
+                    if q > 0 { frame.level_db } else { 0.0 },
+                ));
+            }
+        }
+        self.events_emitted += events.len() as u64;
+        events
+    }
+
+    /// Ingests one IMU window; may emit wear transitions when the 60-second
+    /// block closes.
+    pub fn ingest_imu(&mut self, badge: BadgeId, sample: &ImuSample) -> Vec<LiveEvent> {
+        self.records_ingested += 1;
+        let block = self.wear_block;
+        let state = self.badges.entry(badge).or_default();
+        let at = state.sync.to_reference(sample.t_local);
+        let bucket = at.floor_to(block);
+        let mut events = Vec::new();
+        match &mut state.wear_bucket {
+            Some((b, on_body, total)) if *b == bucket => {
+                *total += 1;
+                if sample.accel_var > OFF_BODY_VAR_THRESHOLD {
+                    *on_body += 1;
+                }
+            }
+            open => {
+                if let Some((b, on_body, total)) = open.take() {
+                    let worn = total > 0 && on_body * 2 >= total;
+                    if worn != state.worn {
+                        state.worn = worn;
+                        events.push(LiveEvent::WearChanged { badge, worn, at: b });
+                    }
+                }
+                let ob = usize::from(sample.accel_var > OFF_BODY_VAR_THRESHOLD);
+                *open = Some((bucket, ob, 1));
+            }
+        }
+        self.events_emitted += events.len() as u64;
+        events
+    }
+
+    /// The current room of a badge, if localized.
+    #[must_use]
+    pub fn room_of(&self, badge: BadgeId) -> Option<RoomId> {
+        self.badges.get(&badge).and_then(|s| s.room)
+    }
+
+    /// The rooms currently hosting gatherings of two or more badges.
+    #[must_use]
+    pub fn active_meetings(&self) -> Vec<(RoomId, usize)> {
+        self.meeting_since
+            .keys()
+            .map(|&r| (r, self.occupancy.get(&r).map_or(0, Vec::len)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_simkit::clock::DriftingClock;
+
+    #[test]
+    fn incremental_sync_matches_batch_fit() {
+        use crate::sync::SyncCorrection;
+        let clock = DriftingClock::new(SimDuration::from_secs_f64(2.1), -35.0);
+        let samples: Vec<SyncSample> = (0..40)
+            .map(|i| {
+                let t = SimTime::from_hours_true(f64::from(i) * 7.0);
+                SyncSample {
+                    t_local: clock.local_time(t),
+                    t_reference: t,
+                }
+            })
+            .collect();
+        let batch = SyncCorrection::fit(&samples);
+        let mut inc = IncrementalSync::default();
+        for s in &samples {
+            inc.update(s);
+        }
+        let (offset, skew) = inc.estimate();
+        assert!((offset - batch.offset_s).abs() < 1e-6);
+        assert!((skew - batch.skew_ppm).abs() < 1e-3);
+    }
+
+    fn scan_at(t: SimTime, room: RoomId, dep: &BeaconDeployment) -> BeaconScan {
+        BeaconScan {
+            t_local: t,
+            hits: dep.in_room(room).map(|b| (b.id, -55.0)).collect(),
+        }
+    }
+
+    #[test]
+    fn room_changes_and_meetings_stream_out() {
+        let mut sa = StreamingAnalyzer::icares();
+        let dep = BeaconDeployment::icares(&FloorPlan::lunares());
+        let t0 = SimTime::from_day_hms(3, 9, 0, 0);
+        // Badge 0 enters the office.
+        let ev = sa.ingest_scan(BadgeId(0), &scan_at(t0, RoomId::Office, &dep));
+        assert!(matches!(ev[0], LiveEvent::RoomChanged { room: RoomId::Office, .. }));
+        assert_eq!(sa.room_of(BadgeId(0)), Some(RoomId::Office));
+        // Badge 1 joins: a meeting starts.
+        let ev = sa.ingest_scan(
+            BadgeId(1),
+            &scan_at(t0 + SimDuration::from_secs(30), RoomId::Office, &dep),
+        );
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, LiveEvent::MeetingStarted { room: RoomId::Office, .. })));
+        assert_eq!(sa.active_meetings(), vec![(RoomId::Office, 2)]);
+        // Badge 1 leaves for the kitchen: the meeting ends.
+        let ev = sa.ingest_scan(
+            BadgeId(1),
+            &scan_at(t0 + SimDuration::from_mins(10), RoomId::Kitchen, &dep),
+        );
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            LiveEvent::MeetingEnded { room: RoomId::Office, duration, .. }
+                if *duration >= SimDuration::from_mins(9)
+        )));
+        assert!(sa.active_meetings().is_empty());
+    }
+
+    #[test]
+    fn speech_buckets_close_on_the_grid() {
+        let mut sa = StreamingAnalyzer::icares();
+        let t0 = SimTime::from_day_hms(3, 12, 30, 0);
+        // 30 frames of loud voiced audio = one full 15-s interval.
+        for i in 0..30 {
+            let ev = sa.ingest_audio(
+                BadgeId(2),
+                &AudioFrame {
+                    t_local: t0 + SimDuration::from_millis(i * 500),
+                    level_db: 66.0,
+                    voiced: true,
+                    f0_hz: Some(130.0),
+                },
+            );
+            assert!(ev.is_empty(), "bucket must not close early");
+        }
+        // First frame of the next interval closes the previous one.
+        let ev = sa.ingest_audio(
+            BadgeId(2),
+            &AudioFrame {
+                t_local: t0 + SimDuration::from_secs(15),
+                level_db: 40.0,
+                voiced: false,
+                f0_hz: None,
+            },
+        );
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(ev[0], LiveEvent::SpeechDetected { level_db, .. } if level_db > 60.0));
+    }
+
+    #[test]
+    fn wear_transitions_stream_out() {
+        let mut sa = StreamingAnalyzer::icares();
+        let t0 = SimTime::from_day_hms(4, 8, 0, 0);
+        let mut events = Vec::new();
+        // Two minutes worn, two minutes on the desk.
+        for i in 0..240 {
+            let var = if i < 120 { 0.05 } else { 0.0004 };
+            events.extend(sa.ingest_imu(
+                BadgeId(3),
+                &ImuSample {
+                    t_local: t0 + SimDuration::from_secs(i),
+                    accel_var: var,
+                    accel_mean: 9.81,
+                    step_hz: None,
+                },
+            ));
+        }
+        let transitions: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e {
+                LiveEvent::WearChanged { worn, .. } => Some(*worn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(transitions, vec![true, false], "{events:?}");
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut sa = StreamingAnalyzer::icares();
+        let dep = BeaconDeployment::icares(&FloorPlan::lunares());
+        let t0 = SimTime::from_day_hms(2, 7, 0, 0);
+        for i in 0..5_000i64 {
+            let t = t0 + SimDuration::from_secs(i);
+            sa.ingest_scan(BadgeId(0), &scan_at(t, RoomId::Biolab, &dep));
+            sa.ingest_audio(
+                BadgeId(0),
+                &AudioFrame { t_local: t, level_db: 45.0, voiced: false, f0_hz: None },
+            );
+        }
+        assert_eq!(sa.records_ingested(), 10_000);
+        assert!(
+            sa.retained_records() < 32,
+            "retained {} records after a 10k-record stream",
+            sa.retained_records()
+        );
+    }
+
+    #[test]
+    fn drifted_timestamps_are_mapped_back() {
+        let mut sa = StreamingAnalyzer::icares();
+        let clock = DriftingClock::new(SimDuration::from_secs(4), 50.0);
+        // Feed sync samples first.
+        for i in 0..20 {
+            let t = SimTime::from_hours_true(f64::from(i) * 10.0);
+            sa.ingest_sync(
+                BadgeId(0),
+                &SyncSample { t_local: clock.local_time(t), t_reference: t },
+            );
+        }
+        let dep = BeaconDeployment::icares(&FloorPlan::lunares());
+        let true_t = SimTime::from_day_hms(8, 12, 0, 0);
+        let ev = sa.ingest_scan(BadgeId(0), &scan_at(clock.local_time(true_t), RoomId::Kitchen, &dep));
+        match &ev[0] {
+            LiveEvent::RoomChanged { at, .. } => {
+                assert!(
+                    (*at - true_t).abs() < SimDuration::from_millis(100),
+                    "event time {} vs true {}",
+                    at,
+                    true_t
+                );
+            }
+            other => panic!("expected a room change, got {other:?}"),
+        }
+    }
+}

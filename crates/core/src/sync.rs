@@ -1,0 +1,173 @@
+//! Offline clock correction against the reference badge.
+//!
+//! "At the station, we also deployed an additional reference badge, which …
+//! served for the other badges as a time source, with which they communicated
+//! opportunistically. In effect, we were able to compute clock shifts between
+//! distinct devices."
+//!
+//! Each [`SyncSample`] pairs a badge-local timestamp with the reference
+//! badge's local timestamp at the same true instant. Fitting
+//! `t_local − t_ref = offset + skew·t_ref` by least squares yields a linear
+//! correction mapping any badge-local timestamp onto the reference timeline.
+//! All cross-badge analyses run on reference time.
+
+use ares_badge::records::SyncSample;
+use ares_simkit::stats::linear_fit;
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A fitted correction from one badge's local time to reference time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncCorrection {
+    /// Offset at the reference epoch (s): `local − ref` extrapolated to t=0.
+    pub offset_s: f64,
+    /// Relative skew (ppm) of the badge clock against the reference.
+    pub skew_ppm: f64,
+    /// Number of samples the fit used.
+    pub samples: usize,
+    /// RMS residual of the fit (s).
+    pub rms_residual_s: f64,
+}
+
+impl SyncCorrection {
+    /// The identity correction (used when no sync data exists).
+    #[must_use]
+    pub fn identity() -> Self {
+        SyncCorrection {
+            offset_s: 0.0,
+            skew_ppm: 0.0,
+            samples: 0,
+            rms_residual_s: f64::INFINITY,
+        }
+    }
+
+    /// Fits a correction from sync exchanges.
+    ///
+    /// Returns the identity correction when fewer than two samples exist.
+    #[must_use]
+    pub fn fit(samples: &[SyncSample]) -> Self {
+        if samples.len() < 2 {
+            return SyncCorrection::identity();
+        }
+        let xs: Vec<f64> = samples.iter().map(|s| s.t_reference.as_secs_f64()).collect();
+        let ys: Vec<f64> = samples
+            .iter()
+            .map(|s| (s.t_local - s.t_reference).as_secs_f64())
+            .collect();
+        let (offset, slope) = linear_fit(&xs, &ys);
+        let mut sq = 0.0;
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let r = y - (offset + slope * x);
+            sq += r * r;
+        }
+        SyncCorrection {
+            offset_s: offset,
+            skew_ppm: slope * 1e6,
+            samples: samples.len(),
+            rms_residual_s: (sq / xs.len() as f64).sqrt(),
+        }
+    }
+
+    /// Maps a badge-local timestamp onto the reference timeline.
+    ///
+    /// Inverts `local = ref + offset + slope·ref`, i.e.
+    /// `ref = (local − offset) / (1 + slope)`.
+    #[must_use]
+    pub fn to_reference(&self, t_local: SimTime) -> SimTime {
+        let k = 1.0 + self.skew_ppm * 1e-6;
+        SimTime::from_secs_f64((t_local.as_secs_f64() - self.offset_s) / k)
+    }
+
+    /// The correction's estimate of `local − ref` at a reference instant.
+    #[must_use]
+    pub fn shift_at(&self, t_ref: SimTime) -> SimDuration {
+        SimDuration::from_secs_f64(self.offset_s + self.skew_ppm * 1e-6 * t_ref.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_simkit::clock::DriftingClock;
+
+    fn samples_from_clocks(
+        badge: &DriftingClock,
+        reference: &DriftingClock,
+        hours: &[f64],
+    ) -> Vec<SyncSample> {
+        hours
+            .iter()
+            .map(|&h| {
+                let t = SimTime::from_hours_true(h);
+                SyncSample {
+                    t_local: badge.local_time(t),
+                    t_reference: reference.local_time(t),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_offset_and_skew() {
+        let badge = DriftingClock::new(SimDuration::from_secs_f64(3.2), 55.0);
+        let reference = DriftingClock::new(SimDuration::ZERO, 0.0);
+        let hours: Vec<f64> = (0..40).map(|i| i as f64 * 8.0).collect();
+        let s = samples_from_clocks(&badge, &reference, &hours);
+        let corr = SyncCorrection::fit(&s);
+        assert!((corr.offset_s - 3.2).abs() < 0.01, "offset {}", corr.offset_s);
+        assert!((corr.skew_ppm - 55.0).abs() < 0.5, "skew {}", corr.skew_ppm);
+        assert!(corr.rms_residual_s < 1e-6);
+    }
+
+    #[test]
+    fn correction_aligns_to_reference_timeline() {
+        let badge = DriftingClock::new(SimDuration::from_secs_f64(-2.0), -40.0);
+        let reference = DriftingClock::new(SimDuration::from_millis(50), 0.3);
+        let hours: Vec<f64> = (0..60).map(|i| i as f64 * 5.0).collect();
+        let corr = SyncCorrection::fit(&samples_from_clocks(&badge, &reference, &hours));
+        // Mapping a local stamp through the correction should land on the
+        // reference badge's local time for the same true instant.
+        for h in [10.0, 150.0, 300.0] {
+            let t = SimTime::from_hours_true(h);
+            let est_ref = corr.to_reference(badge.local_time(t));
+            let true_ref = reference.local_time(t);
+            assert!(
+                (est_ref - true_ref).abs() < SimDuration::from_millis(20),
+                "at {h} h: {} vs {}",
+                est_ref,
+                true_ref
+            );
+        }
+    }
+
+    #[test]
+    fn too_few_samples_gives_identity() {
+        let corr = SyncCorrection::fit(&[]);
+        assert_eq!(corr.samples, 0);
+        let t = SimTime::from_secs(1234);
+        assert_eq!(corr.to_reference(t), t);
+    }
+
+    #[test]
+    fn noisy_samples_still_fit_well() {
+        use rand::Rng;
+        let mut rng = ares_simkit::rng::SeedTree::new(3).stream("sync-noise");
+        let badge = DriftingClock::new(SimDuration::from_secs_f64(1.0), 20.0);
+        let reference = DriftingClock::ideal();
+        let samples: Vec<SyncSample> = (0..200)
+            .map(|i| {
+                let t = SimTime::from_hours_true(i as f64 * 1.5);
+                // ±5 ms exchange jitter.
+                let jitter = SimDuration::from_micros(rng.gen_range(-5000..5000));
+                SyncSample {
+                    t_local: badge.local_time(t) + jitter,
+                    t_reference: reference.local_time(t),
+                }
+            })
+            .collect();
+        let corr = SyncCorrection::fit(&samples);
+        assert!((corr.offset_s - 1.0).abs() < 0.01);
+        assert!((corr.skew_ppm - 20.0).abs() < 0.5);
+        assert!(corr.rms_residual_s < 0.01);
+    }
+}

@@ -1,0 +1,237 @@
+//! Cross-checking sensor findings against the classic evening surveys.
+//!
+//! "We strove to verify every single result we obtained with our sociometric
+//! technologies, which was a laborious process." This module automates that
+//! process: it correlates the pipeline's daily sensor aggregates with the
+//! crew's self-reports and flags agreements and disagreements.
+
+use crate::pipeline::MissionAnalysis;
+use ares_crew::roster::AstronautId;
+use ares_crew::surveys::{daily_mean, SurveyResponse};
+use ares_simkit::stats::pearson;
+use serde::{Deserialize, Serialize};
+
+/// The result of one sensor↔survey comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossCheckItem {
+    /// What was compared.
+    pub name: String,
+    /// Pearson correlation across days.
+    pub correlation: f64,
+    /// Number of day pairs used.
+    pub days: usize,
+    /// Whether the sensors and the surveys tell the same story.
+    pub agrees: bool,
+}
+
+/// The full cross-check report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossCheck {
+    /// Individual comparisons.
+    pub items: Vec<CrossCheckItem>,
+}
+
+impl CrossCheck {
+    /// Whether every comparison agrees.
+    #[must_use]
+    pub fn all_agree(&self) -> bool {
+        self.items.iter().all(|i| i.agrees)
+    }
+
+    /// Renders a short report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for i in &self.items {
+            out.push_str(&format!(
+                "{:<38} r = {:+.2} over {} days  {}\n",
+                i.name,
+                i.correlation,
+                i.days,
+                if i.agrees { "agrees" } else { "DISAGREES" }
+            ));
+        }
+        out
+    }
+}
+
+/// Builds paired day series: crew-mean sensor metric vs crew-mean survey
+/// dimension, over days where both exist.
+fn day_series(
+    mission: &MissionAnalysis,
+    surveys: &[SurveyResponse],
+    sensor: impl Fn(&crate::pipeline::AstronautDaily) -> f64,
+    survey: impl Fn(&SurveyResponse) -> f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (di, row) in mission.daily.iter().enumerate() {
+        let day = di as u32 + 1;
+        let sensed: Vec<f64> = AstronautId::ALL
+            .iter()
+            .filter_map(|a| row[a.index()].as_ref().map(&sensor))
+            .collect();
+        if sensed.is_empty() {
+            continue;
+        }
+        let Some(reported) = daily_mean(surveys, day, &survey) else {
+            continue;
+        };
+        xs.push(sensed.iter().sum::<f64>() / sensed.len() as f64);
+        ys.push(reported);
+    }
+    (xs, ys)
+}
+
+/// Runs the standard cross-checks the deployment relied on.
+#[must_use]
+pub fn cross_check(mission: &MissionAnalysis, surveys: &[SurveyResponse]) -> CrossCheck {
+    let mut items = Vec::new();
+
+    // 1. Days the sensors heard more conversation should be days the crew
+    //    reported higher satisfaction (the day-11/12 collapse shows in both).
+    let (speech, satisfaction) = day_series(
+        mission,
+        surveys,
+        |d| d.heard_fraction,
+        |s| s.satisfaction,
+    );
+    let r1 = pearson(&speech, &satisfaction);
+    items.push(CrossCheckItem {
+        name: "heard speech vs satisfaction".into(),
+        correlation: r1,
+        days: speech.len(),
+        agrees: r1 > 0.4,
+    });
+
+    // 2. The badge-wear decline should track the reported comfort decline
+    //    (the badges were the discomfort).
+    let (worn, comfort) = day_series(mission, surveys, |d| d.worn_fraction, |s| s.comfort);
+    let r2 = pearson(&worn, &comfort);
+    items.push(CrossCheckItem {
+        name: "badge wear vs comfort".into(),
+        correlation: r2,
+        days: worn.len(),
+        agrees: r2 > 0.3,
+    });
+
+    // 3. Sensor-measured conversation should anti-correlate with reported
+    //    distraction spikes (stress days).
+    let (speech2, distraction) = day_series(
+        mission,
+        surveys,
+        |d| d.heard_fraction,
+        |s| s.distraction,
+    );
+    let r3 = pearson(&speech2, &distraction);
+    items.push(CrossCheckItem {
+        name: "heard speech vs distraction".into(),
+        correlation: r3,
+        days: speech2.len(),
+        agrees: r3 < -0.3,
+    });
+
+    CrossCheck { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AstronautDaily;
+    use ares_crew::incidents::IncidentScript;
+    use ares_crew::roster::Roster;
+    use ares_crew::surveys::{self, SurveyConfig};
+    use ares_habitat::floorplan::FloorPlan;
+    use ares_simkit::rng::SeedTree;
+
+    /// A synthetic mission whose sensor series mirrors the incident script.
+    fn mission_like_sensors() -> MissionAnalysis {
+        let mut m = MissionAnalysis::new(&FloorPlan::lunares());
+        let incidents = IncidentScript::icares();
+        for day in 1..=14u32 {
+            let mut row = [None; 6];
+            if day >= 2 {
+                let mood = incidents.talk_mood(day);
+                let decay = (1.0 - 0.04 * f64::from(day - 2)).max(0.4);
+                for a in AstronautId::ALL {
+                    if day > 4 && a == AstronautId::C {
+                        continue;
+                    }
+                    row[a.index()] = Some(AstronautDaily {
+                        walking_fraction: 0.02,
+                        heard_fraction: 0.4 * mood * decay,
+                        worn_fraction: (0.85 - 0.03 * f64::from(day - 2)).max(0.3),
+                        active_fraction: 0.9,
+                        self_talk_h: 1.0,
+                        worn_h: 9.0,
+                        walking_h: 0.2,
+                        mean_accel_var: 0.05,
+                    });
+                }
+            }
+            m.daily.push(row);
+        }
+        m
+    }
+
+    #[test]
+    fn sensors_and_surveys_agree_on_the_canonical_mission() {
+        let mission = mission_like_sensors();
+        let surveys = surveys::generate(
+            &Roster::icares(),
+            &IncidentScript::icares(),
+            &SurveyConfig::default(),
+            &SeedTree::new(42),
+        );
+        let check = cross_check(&mission, &surveys);
+        assert_eq!(check.items.len(), 3);
+        assert!(
+            check.all_agree(),
+            "cross-check failed:\n{}",
+            check.render()
+        );
+    }
+
+    #[test]
+    fn flat_sensors_do_not_fake_agreement() {
+        // Sensors that never vary cannot correlate with anything.
+        let mut m = MissionAnalysis::new(&FloorPlan::lunares());
+        for _ in 0..14 {
+            let mut row = [None; 6];
+            for a in AstronautId::ALL {
+                row[a.index()] = Some(AstronautDaily {
+                    walking_fraction: 0.02,
+                    heard_fraction: 0.3,
+                    worn_fraction: 0.6,
+                    active_fraction: 0.9,
+                    self_talk_h: 1.0,
+                    worn_h: 9.0,
+                    walking_h: 0.2,
+                    mean_accel_var: 0.05,
+                });
+            }
+            m.daily.push(row);
+        }
+        let surveys = surveys::generate(
+            &Roster::icares(),
+            &IncidentScript::icares(),
+            &SurveyConfig::default(),
+            &SeedTree::new(42),
+        );
+        let check = cross_check(&m, &surveys);
+        assert!(!check.all_agree(), "constant sensors must not agree");
+    }
+
+    #[test]
+    fn render_lists_every_item() {
+        let mission = mission_like_sensors();
+        let surveys = surveys::generate(
+            &Roster::icares(),
+            &IncidentScript::icares(),
+            &SurveyConfig::default(),
+            &SeedTree::new(1),
+        );
+        let check = cross_check(&mission, &surveys);
+        assert_eq!(check.render().lines().count(), 3);
+    }
+}

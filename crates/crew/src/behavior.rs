@@ -1,0 +1,1168 @@
+//! The agent-based behaviour simulator.
+//!
+//! Given the roster, schedule, incident script and floor plan, this module
+//! constructs the full mission ground truth: per-astronaut trajectories
+//! (waypoint paths through the habitat), badge wear states, walking
+//! intervals, all speech, and the meeting ledger.
+//!
+//! The generator is slot-structured: for every 30-minute slot it plans group
+//! meetings (meals, briefings), errands (the hydration dashes to the kitchen
+//! that dominate the paper's Fig. 2), pairwise chats (driven by the affinity
+//! matrix, so A–F accumulate hours more private conversation than D–E), and
+//! fills the rest with workstation movement. Scripted incidents modulate it:
+//! C's trace ends at the day-4 death, followed by the quiet consolation
+//! meeting; conversation collapses on the day-11 food shortage and day-12
+//! reprimand; and talk decays gently across the mission (the paper's Fig. 6
+//! trend).
+
+use crate::conversation::{self, ConversationSpec, Participant};
+use crate::incidents::IncidentScript;
+use crate::roster::{AstronautId, Roster};
+use crate::schedule::{Activity, Schedule, MISSION_DAYS, SLOTS_PER_DAY};
+use crate::truth::{
+    AstronautTruth, MissionTruth, PathPoint, SpeechSegment, TruthMeeting, WearState,
+};
+use ares_habitat::floorplan::FloorPlan;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::geometry::{Point2, Vec2};
+use ares_simkit::rng::SeedTree;
+use ares_simkit::series::{Interval, IntervalSet, Series};
+use ares_simkit::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// Where the badge charging station (and the reference badge) stands: the
+/// east end of the main hall.
+pub const CHARGING_STATION: Point2 = Point2::new(30.0, -5.2);
+
+/// Tunable parameters of the behaviour simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorConfig {
+    /// Master random seed.
+    pub seed: u64,
+    /// Nominal walking speed (m/s).
+    pub walk_speed_mps: f64,
+    /// Walking speed of the impaired astronaut (m/s).
+    pub impaired_walk_speed_mps: f64,
+    /// Base mean workstation dwell (s); divided by mobility.
+    pub station_dwell_base_s: f64,
+    /// Probability per work slot of a kitchen/storage errand when working in
+    /// the office or workshop (the "forgot about breaks, rushed to hydrate"
+    /// pattern).
+    pub errand_prob_focus: f64,
+    /// Errand probability from other rooms.
+    pub errand_prob_other: f64,
+    /// Probability per slot of a restroom visit.
+    pub restroom_prob: f64,
+    /// Mean pairwise chat episodes per shared work slot at affinity 1.
+    pub chat_rate: f64,
+    /// Per-day decay of conversational activity after day 2.
+    pub talk_decay_per_day: f64,
+    /// Voluntary badge-non-wear probability on day 2 (grows linearly).
+    pub nowear_base: f64,
+    /// Daily growth of the non-wear probability (the 80 % → 50 % decline).
+    pub nowear_slope: f64,
+    /// Probability of forgetting the badge on the charger for the first hour.
+    pub forgot_dock_prob: f64,
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> Self {
+        BehaviorConfig {
+            seed: 0xA2E5,
+            walk_speed_mps: 1.2,
+            impaired_walk_speed_mps: 1.05,
+            station_dwell_base_s: 240.0,
+            errand_prob_focus: 0.40,
+            errand_prob_other: 0.16,
+            restroom_prob: 0.09,
+            chat_rate: 1.5,
+            talk_decay_per_day: 0.045,
+            nowear_base: 0.12,
+            nowear_slope: 0.045,
+            forgot_dock_prob: 0.10,
+        }
+    }
+}
+
+impl BehaviorConfig {
+    /// Conversation multiplier for a day: mission-long decay times the
+    /// incident mood.
+    #[must_use]
+    pub fn talk_factor(&self, day: u32, incidents: &IncidentScript) -> f64 {
+        let decay = (1.0 - self.talk_decay_per_day * (day.saturating_sub(2)) as f64).max(0.35);
+        decay * incidents.talk_mood(day)
+    }
+
+    /// Mobility multiplier per day: calm day 3, hectic days 5–7 (covering the
+    /// deceased C's tasks).
+    #[must_use]
+    pub fn mobility_factor(&self, day: u32) -> f64 {
+        match day {
+            3 => 0.78,
+            5..=7 => 1.15,
+            _ => 1.0,
+        }
+    }
+
+    /// Voluntary non-wear probability for a day.
+    #[must_use]
+    pub fn nowear_prob(&self, day: u32) -> f64 {
+        (self.nowear_base + self.nowear_slope * (day.saturating_sub(2)) as f64).min(0.6)
+    }
+}
+
+/// Builds one astronaut's traces incrementally.
+#[derive(Debug)]
+struct TraceBuilder {
+    path: Vec<(SimTime, PathPoint)>,
+    wear: Vec<(SimTime, WearState)>,
+    walking: Vec<Interval>,
+    on_duty: Vec<Interval>,
+    t: SimTime,
+    pos: Point2,
+    facing: f64,
+    speed: f64,
+}
+
+impl TraceBuilder {
+    fn new(start: SimTime, pos: Point2, speed: f64) -> Self {
+        TraceBuilder {
+            path: vec![(start, PathPoint { pos, facing: 0.0 })],
+            wear: vec![(start, WearState::Docked)],
+            walking: Vec::new(),
+            on_duty: Vec::new(),
+            t: start,
+            pos,
+            facing: 0.0,
+            speed,
+        }
+    }
+
+    fn set_wear(&mut self, state: WearState) {
+        if self.wear.last().map(|w| w.1) != Some(state) {
+            self.wear.push((self.t, state));
+        }
+    }
+
+    fn dwell_until(&mut self, until: SimTime, facing: f64) {
+        if until > self.t {
+            self.facing = facing;
+            self.path.push((self.t, PathPoint { pos: self.pos, facing }));
+            self.t = until;
+        }
+    }
+
+    /// Walks through the waypoints at this builder's speed; returns arrival.
+    fn walk(&mut self, waypoints: &[Point2]) -> SimTime {
+        let start = self.t;
+        let mut prev = self.pos;
+        for &w in waypoints {
+            let d = prev.distance(w);
+            if d < 0.05 {
+                continue;
+            }
+            let facing = (w - prev).angle();
+            self.path.push((self.t, PathPoint { pos: prev, facing }));
+            self.t += SimDuration::from_secs_f64(d / self.speed);
+            self.path.push((self.t, PathPoint { pos: w, facing }));
+            prev = w;
+            self.facing = facing;
+        }
+        self.pos = prev;
+        if self.t > start {
+            self.walking.push(Interval::new(start, self.t));
+        }
+        self.t
+    }
+
+    fn finish(self) -> AstronautTruth {
+        let mut path = Series::new();
+        for (t, p) in self.path {
+            path.push(t, p);
+        }
+        let mut wear = Series::new();
+        for (t, w) in self.wear {
+            wear.push(t, w);
+        }
+        AstronautTruth {
+            path,
+            wear,
+            walking: IntervalSet::from_intervals(self.walking),
+            on_duty: IntervalSet::from_intervals(self.on_duty),
+        }
+    }
+}
+
+/// A planned gathering within a slot.
+#[derive(Debug)]
+struct MeetingPlan {
+    room: RoomId,
+    window: Interval,
+    seats: Vec<(AstronautId, Point2, f64)>,
+    active_fraction: f64,
+    level_adj: f64,
+    planned: bool,
+    arrivals: Vec<SimTime>,
+}
+
+/// An exclusive engagement of one astronaut within a slot.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Meeting(usize),
+    Errand(Point2),
+    Listen,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Engagement {
+    window: Interval,
+    action: Action,
+}
+
+/// The behaviour simulator.
+#[derive(Debug)]
+pub struct BehaviorSim<'a> {
+    roster: &'a Roster,
+    schedule: &'a Schedule,
+    incidents: &'a IncidentScript,
+    plan: &'a FloorPlan,
+    config: BehaviorConfig,
+}
+
+impl<'a> BehaviorSim<'a> {
+    /// Creates a simulator over the given mission configuration.
+    #[must_use]
+    pub fn new(
+        roster: &'a Roster,
+        schedule: &'a Schedule,
+        incidents: &'a IncidentScript,
+        plan: &'a FloorPlan,
+        config: BehaviorConfig,
+    ) -> Self {
+        BehaviorSim {
+            roster,
+            schedule,
+            incidents,
+            plan,
+            config,
+        }
+    }
+
+    /// Runs the full mission and returns the ground truth.
+    #[must_use]
+    pub fn generate(&self) -> MissionTruth {
+        let mut rng = SeedTree::new(self.config.seed).child("crew").stream("behavior");
+        let mut builders: Vec<TraceBuilder> = AstronautId::ALL
+            .iter()
+            .map(|&id| {
+                let speed = if self.roster.member(id).profile.impaired {
+                    self.config.impaired_walk_speed_mps
+                } else {
+                    self.config.walk_speed_mps
+                };
+                TraceBuilder::new(
+                    SimTime::from_day_hms(1, 6, 55, 0),
+                    self.bed_of(id),
+                    speed,
+                )
+            })
+            .collect();
+        let mut speech: Vec<SpeechSegment> = Vec::new();
+        let mut meetings: Vec<TruthMeeting> = Vec::new();
+
+        for day in 1..=MISSION_DAYS {
+            self.simulate_day(day, &mut builders, &mut speech, &mut meetings, &mut rng);
+        }
+
+        speech.sort_by_key(|s| s.interval.start);
+        meetings.sort_by_key(|m| m.interval.start);
+        MissionTruth {
+            astronauts: builders.into_iter().map(TraceBuilder::finish).collect(),
+            speech,
+            meetings,
+        }
+    }
+
+    /// Per-astronaut-day badge failures: `(forgot on charger until lunch,
+    /// battery dead from dinner)`. Deterministic per seed.
+    fn wear_failures(&self, day: u32, id: AstronautId) -> (bool, bool) {
+        let mut r = SeedTree::new(self.config.seed)
+            .child("crew")
+            .stream_indexed("wearfail", u64::from(day) * 8 + id.index() as u64);
+        (r.gen::<f64>() < 0.10, r.gen::<f64>() < 0.12)
+    }
+
+    fn bed_of(&self, id: AstronautId) -> Point2 {
+        let (min, _) = self.plan.room_polygon(RoomId::Bedroom).bounds();
+        Point2::new(min.x + 0.7 + 0.45 * id.index() as f64, min.y + 3.4)
+    }
+
+    fn aboard_at(&self, t: SimTime) -> Vec<AstronautId> {
+        AstronautId::ALL
+            .iter()
+            .copied()
+            .filter(|&a| self.incidents.is_aboard(a, t))
+            .collect()
+    }
+
+    fn simulate_day(
+        &self,
+        day: u32,
+        builders: &mut [TraceBuilder],
+        speech: &mut Vec<SpeechSegment>,
+        meetings: &mut Vec<TruthMeeting>,
+        rng: &mut StdRng,
+    ) {
+        let day_start = SimTime::from_day_hms(day, 7, 0, 0);
+        let day_end = SimTime::from_day_hms(day, 21, 0, 0);
+        let death = AstronautId::ALL
+            .iter()
+            .copied()
+            .find_map(|a| self.incidents.death_of(a).map(|t| (a, t)))
+            .filter(|(_, t)| t.mission_day() == day);
+
+        // Morning: wake, dress, pick up badges.
+        for &id in &self.aboard_at(day_start) {
+            let b = &mut builders[id.index()];
+            b.dwell_until(day_start, 0.0);
+            b.on_duty.push(Interval::new(
+                day_start,
+                death
+                    .filter(|(who, _)| *who == id)
+                    .map_or(day_end, |(_, t)| t + SimDuration::from_mins(5)),
+            ));
+            if day >= 2 {
+                if rng.gen::<f64>() < self.config.forgot_dock_prob {
+                    // Forgets the badge on the charger until after briefing.
+                    // (It becomes Worn lazily at slot 3.)
+                } else {
+                    b.set_wear(WearState::Worn);
+                }
+            }
+        }
+
+        let mut slot = 0usize;
+        while slot < SLOTS_PER_DAY {
+            if let Some((who, at)) = death {
+                let death_slot = ((at - day_start).as_micros()
+                    / crate::schedule::SLOT.as_micros()) as usize;
+                if slot == death_slot {
+                    self.simulate_death_block(day, slot, who, at, builders, speech, meetings, rng);
+                    slot = death_slot + 2;
+                    continue;
+                }
+            }
+            self.simulate_slot(day, slot, builders, speech, meetings, rng);
+            slot += 1;
+        }
+
+        // Evening: dock badges, go to bed.
+        for &id in &self.aboard_at(day_end) {
+            let b = &mut builders[id.index()];
+            b.dwell_until(day_end, b.facing);
+            b.set_wear(WearState::Docked);
+            let bed = self.bed_of(id);
+            let wp = self.route_points(b.pos, bed);
+            b.walk(&wp);
+            b.dwell_until(SimTime::from_day_hms(day + 1, 6, 55, 0), 0.0);
+        }
+        // The deceased stay off-path; their builder simply stops advancing.
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_death_block(
+        &self,
+        day: u32,
+        slot: usize,
+        who: AstronautId,
+        at: SimTime,
+        builders: &mut [TraceBuilder],
+        speech: &mut Vec<SpeechSegment>,
+        meetings: &mut Vec<TruthMeeting>,
+        rng: &mut StdRng,
+    ) {
+        let window = Interval::new(
+            Schedule::slot_interval(day, slot).start,
+            Schedule::slot_interval(day, slot + 1).end,
+        );
+        // The dying astronaut walks to the airlock and leaves.
+        {
+            let b = &mut builders[who.index()];
+            b.dwell_until(at, b.facing);
+            b.set_wear(WearState::Docked); // the crew dock C's badge
+            let airlock = self.plan.room_center(RoomId::Airlock);
+            let wp = self.route_points(b.pos, airlock);
+            b.walk(&wp);
+            b.dwell_until(at + SimDuration::from_mins(5), 0.0);
+        }
+        // The rest work in shock until 15:15, then gather in the kitchen for
+        // the unplanned, hushed consolation meeting 15:20–16:00.
+        let gather = at + SimDuration::from_mins(20);
+        let survivors: Vec<AstronautId> = self
+            .aboard_at(gather)
+            .into_iter()
+            .filter(|&a| a != who)
+            .collect();
+        let mut meeting = self.make_meeting(
+            RoomId::Kitchen,
+            Interval::new(gather, window.end),
+            &survivors,
+            0.30,
+            -5.0,
+            false,
+            rng,
+        );
+        for &id in &survivors {
+            let b = &mut builders[id.index()];
+            let room = self.effective_activity(day, slot, id, rng).room();
+            self.filler(b, room, at + SimDuration::from_mins(15), rng, id);
+            let seat = meeting
+                .seats
+                .iter()
+                .find(|(a, _, _)| *a == id)
+                .map(|&(_, p, f)| (p, f))
+                .expect("seat assigned");
+            let wp = self.route_points(b.pos, seat.0);
+            let arrival = b.walk(&wp);
+            meeting.arrivals.push(arrival);
+            b.dwell_until(window.end, seat.1);
+        }
+        self.emit_meeting(meeting, speech, meetings, rng);
+    }
+
+    /// The activity actually performed, which may override the schedule:
+    /// focused office/workshop workers often skip their breaks (the paper's
+    /// "absorbed in work, forgot about breaks" finding).
+    fn effective_activity(
+        &self,
+        day: u32,
+        slot: usize,
+        id: AstronautId,
+        rng: &mut StdRng,
+    ) -> Activity {
+        let scheduled = self.schedule.activity(day, slot, id);
+        if scheduled == Activity::Break && slot > 0 && slot + 1 < SLOTS_PER_DAY {
+            let before = self.schedule.activity(day, slot - 1, id);
+            let focus = matches!(
+                before,
+                Activity::Work(RoomId::Office) | Activity::Work(RoomId::Workshop)
+            );
+            if focus && rng.gen::<f64>() < 0.55 {
+                return before; // keeps working through the break
+            }
+        }
+        scheduled
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_slot(
+        &self,
+        day: u32,
+        slot: usize,
+        builders: &mut [TraceBuilder],
+        speech: &mut Vec<SpeechSegment>,
+        meetings: &mut Vec<TruthMeeting>,
+        rng: &mut StdRng,
+    ) {
+        let window = Schedule::slot_interval(day, slot);
+        let aboard = self.aboard_at(window.start);
+        let talk = self.config.talk_factor(day, self.incidents);
+        let mobility_day = self.config.mobility_factor(day);
+
+        let activities: Vec<(AstronautId, Activity)> = aboard
+            .iter()
+            .map(|&a| (a, self.effective_activity(day, slot, a, rng)))
+            .collect();
+
+        let mut plans: Vec<MeetingPlan> = Vec::new();
+        let mut engagements: Vec<Vec<Engagement>> = vec![Vec::new(); 6];
+        let mut busy: Vec<Vec<Interval>> = vec![Vec::new(); 6];
+
+        // 1. Group meetings: meals in the kitchen, briefings in the hall.
+        for (group_act, room) in [
+            (Activity::Meal, RoomId::Kitchen),
+            (Activity::Briefing, RoomId::Main),
+        ] {
+            let attendees: Vec<AstronautId> = activities
+                .iter()
+                .filter(|&&(_, act)| act == group_act)
+                .map(|&(a, _)| a)
+                .collect();
+            if attendees.len() < 2 {
+                continue;
+            }
+            let active = (0.65 * talk).clamp(0.04, 0.85);
+            let plan = self.make_meeting(room, window, &attendees, active, 0.0, true, rng);
+            let idx = plans.len();
+            for &a in &attendees {
+                engagements[a.index()].push(Engagement {
+                    window,
+                    action: Action::Meeting(idx),
+                });
+                busy[a.index()].push(window);
+            }
+            plans.push(plan);
+        }
+
+        // Break gatherings: sociable astronauts drift to the kitchen.
+        {
+            let breakers: Vec<AstronautId> = activities
+                .iter()
+                .filter(|&&(a, act)| {
+                    act == Activity::Break
+                        && rng.gen::<f64>()
+                            < 0.35 + 0.5 * self.roster.member(a).profile.sociability
+                })
+                .map(|&(a, _)| a)
+                .collect();
+            if breakers.len() >= 2 {
+                let active = (0.58 * talk).clamp(0.04, 0.85);
+                let plan =
+                    self.make_meeting(RoomId::Kitchen, window, &breakers, active, 0.0, false, rng);
+                let idx = plans.len();
+                for &a in &breakers {
+                    engagements[a.index()].push(Engagement {
+                        window,
+                        action: Action::Meeting(idx),
+                    });
+                    busy[a.index()].push(window);
+                }
+                plans.push(plan);
+            }
+        }
+
+        // 2. Errands and restroom trips for everyone not in a meeting.
+        for &(id, act) in &activities {
+            if !busy[id.index()].is_empty() {
+                continue;
+            }
+            let profile = &self.roster.member(id).profile;
+            let room = act.room();
+            if matches!(act, Activity::Work(_)) {
+                let p_err = if matches!(room, RoomId::Office | RoomId::Workshop) {
+                    self.config.errand_prob_focus
+                } else {
+                    self.config.errand_prob_other
+                } * (0.2 + 1.5 * profile.mobility)
+                    * mobility_day;
+                if rng.gen::<f64>() < p_err {
+                    let target_room = if rng.gen::<f64>() < 0.78 {
+                        RoomId::Kitchen
+                    } else {
+                        RoomId::Storage
+                    };
+                    let dur = SimDuration::from_secs(rng.gen_range(25..75));
+                    if let Some(iv) = reserve(&mut busy[id.index()], window, dur, rng) {
+                        engagements[id.index()].push(Engagement {
+                            window: iv,
+                            action: Action::Errand(
+                                self.sample_station(target_room, profile.impaired, rng),
+                            ),
+                        });
+                    }
+                }
+            }
+            // The commander's supervision rounds: brief visits to wherever
+            // the others are working — what makes B "the person who was the
+            // most central and available to the others".
+            if self.roster.member(id).role == crate::roster::Role::Commander
+                && matches!(act, Activity::Work(_))
+                && rng.gen::<f64>() < 0.22
+            {
+                let other_rooms: Vec<RoomId> = activities
+                    .iter()
+                    .filter(|&&(o, a2)| o != id && matches!(a2, Activity::Work(_)))
+                    .map(|&(_, a2)| a2.room())
+                    .collect();
+                if !other_rooms.is_empty() {
+                    let room2 = other_rooms[rng.gen_range(0..other_rooms.len())];
+                    let dur = SimDuration::from_secs(rng.gen_range(200..420));
+                    if let Some(iv) = reserve(&mut busy[id.index()], window, dur, rng) {
+                        engagements[id.index()].push(Engagement {
+                            window: iv,
+                            action: Action::Errand(self.sample_station(room2, false, rng)),
+                        });
+                    }
+                }
+            }
+            if act.badge_worn() && rng.gen::<f64>() < self.config.restroom_prob {
+                let dur = SimDuration::from_secs(rng.gen_range(150..420));
+                if let Some(iv) = reserve(&mut busy[id.index()], window, dur, rng) {
+                    engagements[id.index()].push(Engagement {
+                        window: iv,
+                        action: Action::Errand(
+                            self.sample_station(RoomId::Restroom, false, rng),
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 3. Pairwise chats among co-located workers.
+        let mut by_room: std::collections::BTreeMap<RoomId, Vec<AstronautId>> = Default::default();
+        for &(id, act) in &activities {
+            if matches!(act, Activity::Work(_)) {
+                by_room.entry(act.room()).or_default().push(id);
+            }
+        }
+        for (room, group) in &by_room {
+            if *room == RoomId::Hangar {
+                continue;
+            }
+            for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    let (x, y) = (group[i], group[j]);
+                    let rate = self.config.chat_rate * self.roster.affinity(x, y) * talk;
+                    let n = sample_poisson(rate, rng);
+                    for _ in 0..n {
+                        let dur = SimDuration::from_secs(rng.gen_range(60..300));
+                        let Some(iv) = reserve_pair(
+                            &mut busy,
+                            x.index(),
+                            y.index(),
+                            window,
+                            dur,
+                            rng,
+                        ) else {
+                            continue;
+                        };
+                        let active = (0.68 * talk.max(0.25)).clamp(0.04, 0.85);
+                        let plan = self.make_meeting(*room, iv, &[x, y], active, 0.0, false, rng);
+                        let idx = plans.len();
+                        for a in [x, y] {
+                            engagements[a.index()].push(Engagement {
+                                window: iv,
+                                action: Action::Meeting(idx),
+                            });
+                        }
+                        plans.push(plan);
+                    }
+                }
+            }
+        }
+
+        // 4. A's screen reader during desk work.
+        for &(id, act) in &activities {
+            let profile = &self.roster.member(id).profile;
+            if profile.uses_screen_reader && matches!(act, Activity::Work(_)) {
+                let n = sample_poisson(1.1, rng);
+                for _ in 0..n {
+                    let dur = SimDuration::from_secs(rng.gen_range(30..120));
+                    if let Some(iv) = reserve(&mut busy[id.index()], window, dur, rng) {
+                        engagements[id.index()].push(Engagement {
+                            window: iv,
+                            action: Action::Listen,
+                        });
+                        conversation::generate_screen_reader(id, iv, rng, speech);
+                    }
+                }
+            }
+        }
+
+        // 5. Execute every astronaut's slot.
+        for &(id, act) in &activities {
+            let room = act.room();
+            let b = &mut builders[id.index()];
+            // Wear state for the slot.
+            if day >= 2 {
+                // Occasional whole-morning charger-forgetting and early
+                // battery deaths keep badges "active" for only ~84 % of
+                // daytime, as in the deployment.
+                let (morning_dock, evening_dead) = self.wear_failures(day, id);
+                if !act.badge_worn()
+                    || (morning_dock && slot < 11)
+                    || (evening_dead && slot >= 23)
+                {
+                    b.set_wear(WearState::Docked);
+                } else if rng.gen::<f64>() < self.config.nowear_prob(day)
+                    && matches!(act, Activity::Work(_))
+                {
+                    // Takes the badge off at the bench on arrival.
+                    let bench = self.sample_station(room, false, rng);
+                    b.set_wear(WearState::LeftAt(bench));
+                } else {
+                    b.set_wear(WearState::Worn);
+                }
+            }
+            let mut engs = std::mem::take(&mut engagements[id.index()]);
+            engs.sort_by_key(|e| e.window.start);
+            for eng in &engs {
+                self.filler(b, room, eng.window.start, rng, id);
+                match eng.action {
+                    Action::Meeting(idx) => {
+                        let seat = plans[idx]
+                            .seats
+                            .iter()
+                            .find(|(a, _, _)| *a == id)
+                            .map(|&(_, p, f)| (p, f))
+                            .expect("seat assigned");
+                        let wp = self.route_points(b.pos, seat.0);
+                        let arrival = b.walk(&wp);
+                        plans[idx].arrivals.push(arrival);
+                        b.dwell_until(eng.window.end.max(b.t), seat.1);
+                    }
+                    Action::Errand(target) => {
+                        let wp = self.route_points(b.pos, target);
+                        b.walk(&wp);
+                        b.dwell_until(eng.window.end.max(b.t), b.facing);
+                    }
+                    Action::Listen => {
+                        b.dwell_until(eng.window.end.max(b.t), b.facing);
+                    }
+                }
+            }
+            self.filler(b, room, window.end, rng, id);
+        }
+
+        // 6. Emit meeting conversations and ledger entries.
+        for plan in plans {
+            self.emit_meeting(plan, speech, meetings, rng);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_meeting(
+        &self,
+        room: RoomId,
+        window: Interval,
+        attendees: &[AstronautId],
+        active_fraction: f64,
+        level_adj: f64,
+        planned: bool,
+        rng: &mut StdRng,
+    ) -> MeetingPlan {
+        let center = if room == RoomId::Kitchen {
+            // The kitchen table.
+            let c = self.plan.room_center(room);
+            Point2::new(c.x, c.y - 0.4)
+        } else {
+            self.plan.room_center(room)
+        };
+        let n = attendees.len().max(1);
+        let radius = if n <= 2 { 0.55 } else { 1.2 };
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let seats = attendees
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let theta = phase + std::f64::consts::TAU * i as f64 / n as f64;
+                let seat = center + Vec2::from_angle(theta) * radius;
+                let seat = self.plan.room_polygon(room).clamp_inside(seat);
+                let facing = (center - seat).angle();
+                (a, seat, facing)
+            })
+            .collect();
+        MeetingPlan {
+            room,
+            window,
+            seats,
+            active_fraction,
+            level_adj,
+            planned,
+            arrivals: Vec::new(),
+        }
+    }
+
+    fn emit_meeting(
+        &self,
+        plan: MeetingPlan,
+        speech: &mut Vec<SpeechSegment>,
+        meetings: &mut Vec<TruthMeeting>,
+        rng: &mut StdRng,
+    ) {
+        let settled = plan
+            .arrivals
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(plan.window.start)
+            + SimDuration::from_secs(15);
+        let conv_end = plan.window.end - SimDuration::from_secs(10);
+        let participants: Vec<AstronautId> = plan.seats.iter().map(|&(a, _, _)| a).collect();
+        let mut mean_level = 0.0;
+        if settled < conv_end && participants.len() >= 2 {
+            let spec = ConversationSpec {
+                participants: participants
+                    .iter()
+                    .map(|&a| Participant::from_member(self.roster.member(a)))
+                    .collect(),
+                window: Interval::new(settled, conv_end),
+                active_fraction: plan.active_fraction,
+                level_adjust_db: plan.level_adj,
+            };
+            conversation::generate(&spec, rng, speech);
+            mean_level = spec
+                .participants
+                .iter()
+                .map(|p| p.level_db + plan.level_adj)
+                .sum::<f64>()
+                / spec.participants.len() as f64;
+        }
+        meetings.push(TruthMeeting {
+            room: plan.room,
+            interval: plan.window,
+            participants,
+            planned: plan.planned,
+            level_db: mean_level,
+        });
+    }
+
+    /// Fills the time until `until` with workstation movement in `room`.
+    fn filler(
+        &self,
+        b: &mut TraceBuilder,
+        room: RoomId,
+        until: SimTime,
+        rng: &mut StdRng,
+        id: AstronautId,
+    ) {
+        let profile = &self.roster.member(id).profile;
+        let mean_dwell = self.config.station_dwell_base_s / (0.15 + 3.2 * profile.mobility);
+        loop {
+            let remaining = until - b.t;
+            if remaining < SimDuration::from_secs(12) {
+                b.dwell_until(until.max(b.t), b.facing);
+                return;
+            }
+            // Move into (or within) the room to a workstation; restless
+            // astronauts change stations far more often.
+            let in_room = self.plan.room_at(b.pos) == Some(room);
+            if !in_room || rng.gen::<f64>() < 0.10 + 0.95 * profile.mobility {
+                // Restless astronauts roam the whole room; cautious ones pick
+                // the nearest of two candidate stations.
+                let c1 = self.sample_station(room, profile.impaired, rng);
+                let c2 = self.sample_station(room, profile.impaired, rng);
+                let (near, far) = if b.pos.distance(c1) <= b.pos.distance(c2) {
+                    (c1, c2)
+                } else {
+                    (c2, c1)
+                };
+                let station = if rng.gen::<f64>() < profile.mobility { far } else { near };
+                // The most restless astronauts pace via a detour point.
+                if rng.gen::<f64>() < (profile.mobility - 0.55).max(0.0) {
+                    let detour = self.sample_station(room, profile.impaired, rng);
+                    let wp = self.route_points(b.pos, detour);
+                    b.walk(&wp);
+                }
+                let wp = self.route_points(b.pos, station);
+                b.walk(&wp);
+            }
+            if b.t >= until {
+                return;
+            }
+            let dwell = SimDuration::from_secs_f64(
+                (mean_dwell * (0.35 + 1.3 * rng.gen::<f64>())).clamp(20.0, 1500.0),
+            )
+            .min(until - b.t);
+            b.dwell_until(b.t + dwell, rng.gen_range(0.0..std::f64::consts::TAU));
+        }
+    }
+
+    /// A workstation point inside a room. The impaired astronaut keeps to the
+    /// middle, away from corners — the Fig. 3 heatmap signature.
+    fn sample_station(&self, room: RoomId, impaired: bool, rng: &mut StdRng) -> Point2 {
+        let poly = self.plan.room_polygon(room);
+        let (min, max) = poly.bounds();
+        let margin = 0.45;
+        let p = Point2::new(
+            rng.gen_range(min.x + margin..max.x - margin),
+            rng.gen_range(min.y + margin..max.y - margin),
+        );
+        let p = if impaired {
+            let c = poly.centroid();
+            c + (p - c) * 0.42
+        } else {
+            p
+        };
+        poly.clamp_inside(p)
+    }
+
+    /// Door-aware waypoints from a position to a target.
+    fn route_points(&self, from: Point2, to: Point2) -> Vec<Point2> {
+        let (Some(fr), Some(tr)) = (self.plan.room_at(from), self.plan.room_at(to)) else {
+            return vec![to];
+        };
+        let Some(route) = self.plan.route(fr, tr) else {
+            return vec![to];
+        };
+        let mut pts = Vec::new();
+        for pair in route.windows(2) {
+            let door = self
+                .plan
+                .door_between(pair[0], pair[1])
+                .expect("adjacent rooms share a door");
+            for room in [pair[0], pair[1]] {
+                let c = self.plan.room_center(room);
+                let dir = (c - door.center).normalized();
+                pts.push(door.center + dir * 0.35);
+            }
+        }
+        pts.push(to);
+        pts
+    }
+}
+
+fn sample_poisson(rate: f64, rng: &mut StdRng) -> u64 {
+    if rate <= 0.0 {
+        return 0;
+    }
+    Poisson::new(rate).map_or(0, |d| d.sample(rng) as u64)
+}
+
+fn overlaps_any(busy: &[Interval], iv: Interval) -> bool {
+    busy.iter().any(|b| b.overlaps(&iv))
+}
+
+/// Reserves a window of `dur` within `window` avoiding existing busy
+/// intervals, with a buffer margin at both slot ends.
+fn reserve(
+    busy: &mut Vec<Interval>,
+    window: Interval,
+    dur: SimDuration,
+    rng: &mut StdRng,
+) -> Option<Interval> {
+    let margin = SimDuration::from_secs(90);
+    let lo = window.start + margin;
+    let hi = window.end - margin - dur;
+    if hi <= lo {
+        return None;
+    }
+    for _ in 0..8 {
+        let span = (hi - lo).as_micros();
+        let start = lo + SimDuration::from_micros(rng.gen_range(0..span.max(1)));
+        let iv = Interval::new(start, start + dur);
+        if !overlaps_any(busy, iv) {
+            busy.push(iv);
+            return Some(iv);
+        }
+    }
+    None
+}
+
+/// Reserves a joint window for two astronauts.
+fn reserve_pair(
+    busy: &mut [Vec<Interval>],
+    a: usize,
+    b: usize,
+    window: Interval,
+    dur: SimDuration,
+    rng: &mut StdRng,
+) -> Option<Interval> {
+    let margin = SimDuration::from_secs(90);
+    let lo = window.start + margin;
+    let hi = window.end - margin - dur;
+    if hi <= lo {
+        return None;
+    }
+    for _ in 0..8 {
+        let span = (hi - lo).as_micros();
+        let start = lo + SimDuration::from_micros(rng.gen_range(0..span.max(1)));
+        let iv = Interval::new(start, start + dur);
+        if !overlaps_any(&busy[a], iv) && !overlaps_any(&busy[b], iv) {
+            busy[a].push(iv);
+            busy[b].push(iv);
+            return Some(iv);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_truth() -> MissionTruth {
+        // Full mission is exercised in integration tests; here a fast config.
+        let roster = Roster::icares();
+        let schedule = Schedule::icares();
+        let incidents = IncidentScript::icares();
+        let plan = FloorPlan::lunares();
+        let sim = BehaviorSim::new(
+            &roster,
+            &schedule,
+            &incidents,
+            &plan,
+            BehaviorConfig::default(),
+        );
+        sim.generate()
+    }
+
+    #[test]
+    fn generates_consistent_mission() {
+        let truth = small_truth();
+        assert_eq!(truth.astronauts.len(), 6);
+        for id in AstronautId::ALL {
+            let a = truth.of(id);
+            assert!(!a.path.is_empty(), "{id} has a path");
+            assert!(!a.on_duty.is_empty());
+        }
+        assert!(!truth.speech.is_empty());
+        assert!(!truth.meetings.is_empty());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_truth() {
+        let a = small_truth();
+        let b = small_truth();
+        assert_eq!(a.speech.len(), b.speech.len());
+        assert_eq!(a.meetings.len(), b.meetings.len());
+        assert_eq!(
+            a.of(AstronautId::D).path.len(),
+            b.of(AstronautId::D).path.len()
+        );
+    }
+
+    #[test]
+    fn c_disappears_after_death() {
+        let truth = small_truth();
+        let c = truth.of(AstronautId::C);
+        let death = SimTime::from_day_hms(4, 15, 0, 0);
+        // On duty ends shortly after death.
+        assert!(c.on_duty.contains(death - SimDuration::from_hours(1)));
+        assert!(!c.on_duty.contains(death + SimDuration::from_hours(1)));
+        // No speech from C after the death.
+        for s in &truth.speech {
+            if s.source == crate::truth::VoiceSource::Astronaut(AstronautId::C) {
+                assert!(s.interval.start < death + SimDuration::from_mins(6));
+            }
+        }
+    }
+
+    #[test]
+    fn consolation_meeting_exists_and_is_quiet() {
+        let truth = small_truth();
+        let death = SimTime::from_day_hms(4, 15, 0, 0);
+        let consolation = truth
+            .meetings
+            .iter()
+            .find(|m| {
+                !m.planned
+                    && m.room == RoomId::Kitchen
+                    && m.participants.len() == 5
+                    && m.interval.start > death
+                    && m.interval.start < death + SimDuration::from_mins(30)
+            })
+            .expect("consolation meeting recorded");
+        // Quieter than a lunch meeting.
+        let lunch = truth
+            .meetings
+            .iter()
+            .find(|m| {
+                m.planned
+                    && m.room == RoomId::Kitchen
+                    && m.interval.start == SimTime::from_day_hms(4, 12, 30, 0)
+            })
+            .expect("day-4 lunch recorded");
+        assert!(lunch.level_db - consolation.level_db > 5.0);
+    }
+
+    #[test]
+    fn positions_stay_on_the_floor_plan() {
+        let truth = small_truth();
+        let plan = FloorPlan::lunares();
+        for id in AstronautId::ALL {
+            for s in truth.of(id).path.iter().step_by(97) {
+                assert!(
+                    plan.room_at(s.value.pos).is_some(),
+                    "{id} off-plan at {} ({})",
+                    s.t,
+                    s.value.pos
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn badges_worn_less_late_in_the_mission() {
+        let truth = small_truth();
+        let worn_frac = |day: u32| {
+            let lo = SimTime::from_day_hms(day, 7, 0, 0);
+            let hi = SimTime::from_day_hms(day, 21, 0, 0);
+            let mut worn = 0.0;
+            let mut total = 0.0;
+            for id in [AstronautId::A, AstronautId::B, AstronautId::D] {
+                let a = truth.of(id);
+                let mut t = lo;
+                while t < hi {
+                    total += 1.0;
+                    if a.wear_state(t).is_worn() {
+                        worn += 1.0;
+                    }
+                    t += SimDuration::from_mins(5);
+                }
+            }
+            worn / total
+        };
+        let early = worn_frac(2);
+        let late = worn_frac(14);
+        assert!(early > late + 0.12, "wear must decline: {early} vs {late}");
+        assert!(early > 0.6, "early wear {early}");
+    }
+
+    #[test]
+    fn af_chat_exceeds_de_chat() {
+        use crate::truth::VoiceSource;
+        let truth = small_truth();
+        // Sum the durations of two-person unplanned meetings per pair.
+        let pair_time = |x: AstronautId, y: AstronautId| -> f64 {
+            truth
+                .meetings
+                .iter()
+                .filter(|m| {
+                    !m.planned
+                        && m.participants.len() == 2
+                        && m.participants.contains(&x)
+                        && m.participants.contains(&y)
+                })
+                .map(|m| m.interval.duration().as_hours_f64())
+                .sum()
+        };
+        let af = pair_time(AstronautId::A, AstronautId::F);
+        let de = pair_time(AstronautId::D, AstronautId::E);
+        assert!(
+            af > de + 2.0,
+            "A–F ({af:.1} h) must far exceed D–E ({de:.1} h)"
+        );
+        let _ = VoiceSource::Astronaut(AstronautId::A);
+    }
+
+    #[test]
+    fn talk_collapses_on_shortage_day() {
+        let truth = small_truth();
+        let day_speech = |day: u32| -> f64 {
+            let lo = SimTime::from_day_hms(day, 7, 0, 0);
+            let hi = SimTime::from_day_hms(day, 21, 0, 0);
+            truth
+                .speech_in(lo, hi)
+                .map(|s| s.interval.duration().as_hours_f64())
+                .sum()
+        };
+        assert!(
+            day_speech(11) < 0.45 * day_speech(3),
+            "day-11 speech {} vs day-3 {}",
+            day_speech(11),
+            day_speech(3)
+        );
+    }
+
+    #[test]
+    fn c_walks_most_among_crew_early() {
+        let truth = small_truth();
+        let frac = |id: AstronautId| {
+            let lo = SimTime::from_day_hms(2, 7, 0, 0);
+            let hi = SimTime::from_day_hms(4, 14, 0, 0);
+            truth
+                .of(id)
+                .walking
+                .clip(lo, hi)
+                .total_duration()
+                .as_secs_f64()
+        };
+        let c = frac(AstronautId::C);
+        let a = frac(AstronautId::A);
+        assert!(c > 1.5 * a, "C ({c}) should out-walk A ({a})");
+    }
+}

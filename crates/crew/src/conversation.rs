@@ -1,0 +1,280 @@
+//! Conversation synthesis: turn-taking speech segments for meetings and
+//! chats.
+//!
+//! A conversation is modeled as an alternating renewal process: utterances of
+//! a few seconds, drawn from the participants in proportion to their
+//! talkativeness, separated by gaps sized so that the voiced fraction of the
+//! conversation window matches a target `active_fraction`. Each utterance
+//! carries a per-utterance fundamental frequency (sampled around the
+//! speaker's mean F0) and a sound level at 1 m — exactly the features the
+//! badge microphone model extracts.
+
+use crate::roster::CrewMember;
+use crate::truth::{SpeechSegment, VoiceSource};
+use ares_simkit::series::Interval;
+use ares_simkit::time::SimDuration;
+use rand::Rng;
+use rand_distr::{Distribution, Exp, Normal};
+
+/// One speaking participant of a conversation.
+#[derive(Debug, Clone, Copy)]
+pub struct Participant {
+    /// The voice identity.
+    pub source: VoiceSource,
+    /// Relative propensity to take the floor.
+    pub talk_weight: f64,
+    /// Mean fundamental frequency (Hz).
+    pub f0_hz: f64,
+    /// Per-utterance F0 standard deviation (Hz).
+    pub f0_sd_hz: f64,
+    /// Conversational level at 1 m (dB SPL).
+    pub level_db: f64,
+}
+
+impl Participant {
+    /// Builds a participant from a crew member's profile.
+    #[must_use]
+    pub fn from_member(m: &CrewMember) -> Self {
+        Participant {
+            source: VoiceSource::Astronaut(m.id),
+            talk_weight: m.profile.talkativeness,
+            f0_hz: m.profile.voice_f0_hz,
+            f0_sd_hz: m.profile.voice_f0_sd_hz,
+            level_db: m.profile.voice_level_db,
+        }
+    }
+
+    /// The screen-reader voice co-located with an astronaut: flat F0, steady
+    /// level.
+    #[must_use]
+    pub fn screen_reader(owner: crate::roster::AstronautId) -> Self {
+        Participant {
+            source: VoiceSource::ScreenReader(owner),
+            talk_weight: 1.0,
+            f0_hz: 150.0,
+            f0_sd_hz: 0.8, // synthetic voices barely modulate
+            level_db: 62.0,
+        }
+    }
+}
+
+/// Specification of one conversation window.
+#[derive(Debug, Clone)]
+pub struct ConversationSpec {
+    /// Who takes part.
+    pub participants: Vec<Participant>,
+    /// The conversation window.
+    pub window: Interval,
+    /// Target voiced fraction of the window, in `(0, 1)`.
+    pub active_fraction: f64,
+    /// Adjustment to everyone's level (negative for hushed meetings such as
+    /// the day-4 consolation gathering).
+    pub level_adjust_db: f64,
+}
+
+/// Mean utterance length used by the synthesis.
+pub const MEAN_UTTERANCE: SimDuration = SimDuration::from_millis(3_800);
+
+/// Generates the speech segments of a conversation, appending to `out`.
+///
+/// Returns the total voiced duration produced.
+///
+/// # Panics
+///
+/// Panics if there are no participants or `active_fraction` is outside
+/// `(0, 1)`.
+pub fn generate(
+    spec: &ConversationSpec,
+    rng: &mut impl Rng,
+    out: &mut Vec<SpeechSegment>,
+) -> SimDuration {
+    assert!(!spec.participants.is_empty(), "conversation needs speakers");
+    assert!(
+        spec.active_fraction > 0.0 && spec.active_fraction < 1.0,
+        "active fraction must be in (0,1)"
+    );
+    let total_weight: f64 = spec.participants.iter().map(|p| p.talk_weight).sum();
+    let mean_utt = MEAN_UTTERANCE.as_secs_f64();
+    let mean_gap = mean_utt * (1.0 - spec.active_fraction) / spec.active_fraction;
+    let gap_dist = Exp::new(1.0 / mean_gap.max(1e-3)).expect("positive rate");
+    let utt_dist = Normal::new(mean_utt, mean_utt * 0.45).expect("positive sd");
+
+    let mut voiced = SimDuration::ZERO;
+    let mut t = spec.window.start;
+    // Lead-in gap so conversations do not all start on the slot boundary.
+    t += SimDuration::from_secs_f64(gap_dist.sample(rng) * 0.5);
+    while t < spec.window.end {
+        // Pick the speaker by weight.
+        let mut pick = rng.gen::<f64>() * total_weight;
+        let mut speaker = &spec.participants[0];
+        for p in &spec.participants {
+            pick -= p.talk_weight;
+            if pick <= 0.0 {
+                speaker = p;
+                break;
+            }
+        }
+        let dur = SimDuration::from_secs_f64(utt_dist.sample(rng).clamp(0.8, 12.0));
+        let end = (t + dur).min(spec.window.end);
+        if end <= t {
+            break;
+        }
+        let f0 = Normal::new(speaker.f0_hz, speaker.f0_sd_hz)
+            .expect("positive sd")
+            .sample(rng)
+            .max(60.0);
+        let level = speaker.level_db + spec.level_adjust_db + rng.gen_range(-1.5..1.5);
+        out.push(SpeechSegment {
+            source: speaker.source,
+            interval: Interval::new(t, end),
+            level_db: level,
+            f0_hz: f0,
+        });
+        voiced += end - t;
+        t = end + SimDuration::from_secs_f64(gap_dist.sample(rng));
+    }
+    voiced
+}
+
+/// Generates a solo screen-reader session: long synthetic utterances with
+/// brief pauses, at a flat F0.
+pub fn generate_screen_reader(
+    owner: crate::roster::AstronautId,
+    window: Interval,
+    rng: &mut impl Rng,
+    out: &mut Vec<SpeechSegment>,
+) -> SimDuration {
+    let spec = ConversationSpec {
+        participants: vec![Participant::screen_reader(owner)],
+        window,
+        active_fraction: 0.6,
+        level_adjust_db: 0.0,
+    };
+    generate(&spec, rng, out)
+}
+
+/// Convenience: the voiced fraction of a window achieved by a set of
+/// segments restricted to that window.
+#[must_use]
+pub fn voiced_fraction(segments: &[SpeechSegment], window: Interval) -> f64 {
+    let mut voiced = SimDuration::ZERO;
+    for s in segments {
+        if let Some(iv) = s.interval.intersect(&window) {
+            voiced += iv.duration();
+        }
+    }
+    voiced / window.duration()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roster::{AstronautId, Roster};
+    use ares_simkit::rng::SeedTree;
+    use ares_simkit::time::SimTime;
+
+    fn window(mins: i64) -> Interval {
+        Interval::new(SimTime::EPOCH, SimTime::EPOCH + SimDuration::from_mins(mins))
+    }
+
+    fn crew_spec(active: f64) -> ConversationSpec {
+        let roster = Roster::icares();
+        ConversationSpec {
+            participants: roster.members().iter().map(Participant::from_member).collect(),
+            window: window(30),
+            active_fraction: active,
+            level_adjust_db: 0.0,
+        }
+    }
+
+    #[test]
+    fn voiced_fraction_tracks_target() {
+        let mut rng = SeedTree::new(11).stream("conv");
+        for target in [0.25, 0.5, 0.7] {
+            let spec = crew_spec(target);
+            let mut out = Vec::new();
+            generate(&spec, &mut rng, &mut out);
+            let f = voiced_fraction(&out, spec.window);
+            assert!(
+                (f - target).abs() < 0.12,
+                "target {target}, got {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn talkative_speakers_dominate() {
+        let mut rng = SeedTree::new(5).stream("conv2");
+        let spec = crew_spec(0.6);
+        let mut out = Vec::new();
+        generate(&spec, &mut rng, &mut out);
+        let talk_time = |id: AstronautId| -> f64 {
+            out.iter()
+                .filter(|s| s.source == VoiceSource::Astronaut(id))
+                .map(|s| s.interval.duration().as_secs_f64())
+                .sum()
+        };
+        // C (weight 1.0) must out-talk E (weight 0.52) clearly.
+        assert!(talk_time(AstronautId::C) > 1.4 * talk_time(AstronautId::E));
+    }
+
+    #[test]
+    fn segments_stay_inside_window_and_ordered() {
+        let mut rng = SeedTree::new(7).stream("conv3");
+        let spec = crew_spec(0.5);
+        let mut out = Vec::new();
+        generate(&spec, &mut rng, &mut out);
+        assert!(!out.is_empty());
+        let mut prev_end = spec.window.start;
+        for s in &out {
+            assert!(s.interval.start >= prev_end, "overlapping utterances");
+            assert!(s.interval.end <= spec.window.end);
+            prev_end = s.interval.start; // only starts must be ordered
+        }
+    }
+
+    #[test]
+    fn f0_reflects_register() {
+        let mut rng = SeedTree::new(9).stream("conv4");
+        let spec = crew_spec(0.6);
+        let mut out = Vec::new();
+        generate(&spec, &mut rng, &mut out);
+        for s in &out {
+            if s.source == VoiceSource::Astronaut(AstronautId::B) {
+                assert!(s.f0_hz > 165.0, "B is female register, got {}", s.f0_hz);
+            }
+            if s.source == VoiceSource::Astronaut(AstronautId::E) {
+                assert!(s.f0_hz < 165.0, "E is male register, got {}", s.f0_hz);
+            }
+        }
+    }
+
+    #[test]
+    fn level_adjust_hushes_the_room() {
+        let mut rng = SeedTree::new(13).stream("conv5");
+        let mut quiet = crew_spec(0.4);
+        quiet.level_adjust_db = -9.0;
+        let mut out_q = Vec::new();
+        generate(&quiet, &mut rng, &mut out_q);
+        let loud = crew_spec(0.4);
+        let mut out_l = Vec::new();
+        generate(&loud, &mut rng, &mut out_l);
+        let mean = |v: &[SpeechSegment]| {
+            v.iter().map(|s| s.level_db).sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(&out_l) - mean(&out_q) > 6.0);
+    }
+
+    #[test]
+    fn screen_reader_is_flat_pitched() {
+        let mut rng = SeedTree::new(17).stream("sr");
+        let mut out = Vec::new();
+        generate_screen_reader(AstronautId::A, window(10), &mut rng, &mut out);
+        assert!(!out.is_empty());
+        let f0s: Vec<f64> = out.iter().map(|s| s.f0_hz).collect();
+        let mean = f0s.iter().sum::<f64>() / f0s.len() as f64;
+        let sd = (f0s.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / f0s.len() as f64).sqrt();
+        assert!(sd < 3.0, "synthetic voice must be flat, sd {sd}");
+        assert!(out.iter().all(|s| s.source.is_synthetic()));
+    }
+}

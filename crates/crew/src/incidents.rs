@@ -1,0 +1,272 @@
+//! The scripted incidents of ICAres-1.
+//!
+//! "First, one of the astronauts … was visually impaired … Another astronaut,
+//! astronaut C, left the habitat on the fourth day of the mission as
+//! virtually dead. … Finally, on the eleventh day of the experiment, an
+//! extreme shortage of resources was announced … On the twelfth day … delayed
+//! instructions from the mission control contradicted the course of action
+//! already taken by the crew."
+//!
+//! Two further events matter to the *sensing system* rather than the mission:
+//! astronaut A accidentally swapped badges with B for one day (the badges
+//! were identified only by e-ink numbers A could not read), and F re-used the
+//! badge that had belonged to the deceased C.
+
+use crate::roster::AstronautId;
+use ares_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A scripted mission incident.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Incident {
+    /// Astronaut "dies" and leaves the mission at the given instant; the crew
+    /// holds an unplanned, quiet consolation meeting shortly after.
+    Death {
+        /// Who leaves.
+        who: AstronautId,
+        /// Instant of the emulated death.
+        at: SimTime,
+    },
+    /// Extreme resource shortage announced for the whole day: meagre rations
+    /// ("under 500 kcal per day"), depressed conversation.
+    FoodShortage {
+        /// Affected mission day.
+        day: u32,
+    },
+    /// Mission control reprimands the crew (the day-12 delayed-command
+    /// conflict); conversation stays depressed, stress surges.
+    Reprimand {
+        /// Affected mission day.
+        day: u32,
+    },
+    /// Two astronauts wear each other's badges for one whole day.
+    BadgeSwap {
+        /// Affected mission day.
+        day: u32,
+        /// The two who swapped.
+        pair: [AstronautId; 2],
+    },
+    /// From this day on, `wearer` uses the badge previously assigned to
+    /// `previous_owner`.
+    BadgeReuse {
+        /// First day of re-use.
+        from_day: u32,
+        /// Who wears the badge now.
+        wearer: AstronautId,
+        /// Whose badge it originally was.
+        previous_owner: AstronautId,
+    },
+    /// A badge fails outright; the wearer switches to one of the six spare
+    /// units ("we also provided them with 6 redundant backup badges, in case
+    /// their assigned ones failed").
+    BadgeFailure {
+        /// First day on the backup.
+        from_day: u32,
+        /// Whose badge failed.
+        wearer: AstronautId,
+        /// Index of the backup unit taken (0–5, mapping to physical units
+        /// 6–11).
+        backup_index: u8,
+    },
+}
+
+/// Which physical unit class an astronaut carries on a day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnitSlot {
+    /// The primary unit originally assigned to the given astronaut.
+    PrimaryOf(AstronautId),
+    /// A backup unit by index (0–5).
+    Backup(u8),
+}
+
+/// The ICAres-1 incident script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentScript {
+    incidents: Vec<Incident>,
+}
+
+impl IncidentScript {
+    /// The canonical script.
+    #[must_use]
+    pub fn icares() -> Self {
+        IncidentScript {
+            incidents: vec![
+                Incident::Death {
+                    who: AstronautId::C,
+                    at: SimTime::from_day_hms(4, 15, 0, 0),
+                },
+                Incident::FoodShortage { day: 11 },
+                Incident::Reprimand { day: 12 },
+                Incident::BadgeSwap {
+                    day: 6,
+                    pair: [AstronautId::A, AstronautId::B],
+                },
+                Incident::BadgeReuse {
+                    from_day: 7,
+                    wearer: AstronautId::F,
+                    previous_owner: AstronautId::C,
+                },
+            ],
+        }
+    }
+
+    /// An empty script (for baseline simulations without incidents).
+    #[must_use]
+    pub fn none() -> Self {
+        IncidentScript {
+            incidents: Vec::new(),
+        }
+    }
+
+    /// All incidents.
+    #[must_use]
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Adds an incident (builder-style).
+    #[must_use]
+    pub fn with(mut self, incident: Incident) -> Self {
+        self.incidents.push(incident);
+        self
+    }
+
+    /// The instant `who` leaves the mission, if scripted.
+    #[must_use]
+    pub fn death_of(&self, who: AstronautId) -> Option<SimTime> {
+        self.incidents.iter().find_map(|i| match i {
+            Incident::Death { who: w, at } if *w == who => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Whether `who` is still aboard at instant `t`.
+    #[must_use]
+    pub fn is_aboard(&self, who: AstronautId, t: SimTime) -> bool {
+        self.death_of(who).is_none_or(|d| t < d)
+    }
+
+    /// Mood multiplier applied to conversational activity on a day:
+    /// 1.0 normally, strongly depressed on shortage/reprimand days.
+    #[must_use]
+    pub fn talk_mood(&self, day: u32) -> f64 {
+        let mut m = 1.0f64;
+        for i in &self.incidents {
+            match i {
+                Incident::FoodShortage { day: d } if *d == day => m = m.min(0.22),
+                Incident::Reprimand { day: d } if *d == day => m = m.min(0.30),
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// The physical unit slot `who` carries on `day`: a backup when their
+    /// badge failed, otherwise the primary given by
+    /// [`worn_badge_owner`](Self::worn_badge_owner).
+    #[must_use]
+    pub fn worn_unit_slot(&self, who: AstronautId, day: u32) -> UnitSlot {
+        for i in &self.incidents {
+            if let Incident::BadgeFailure {
+                from_day,
+                wearer,
+                backup_index,
+            } = *i
+            {
+                if wearer == who && day >= from_day {
+                    return UnitSlot::Backup(backup_index);
+                }
+            }
+        }
+        UnitSlot::PrimaryOf(self.worn_badge_owner(who, day))
+    }
+
+    /// The badge-identity mapping for a day: which astronaut's *assigned*
+    /// badge `who` is actually wearing. Identity mix-ups are what the
+    /// pipeline's anomaly stage must detect and repair.
+    #[must_use]
+    pub fn worn_badge_owner(&self, who: AstronautId, day: u32) -> AstronautId {
+        for i in &self.incidents {
+            match *i {
+                Incident::BadgeSwap { day: d, pair } if d == day => {
+                    if pair[0] == who {
+                        return pair[1];
+                    }
+                    if pair[1] == who {
+                        return pair[0];
+                    }
+                }
+                Incident::BadgeReuse {
+                    from_day,
+                    wearer,
+                    previous_owner,
+                } if wearer == who && day >= from_day => {
+                    return previous_owner;
+                }
+                _ => {}
+            }
+        }
+        who
+    }
+}
+
+impl Default for IncidentScript {
+    fn default() -> Self {
+        IncidentScript::icares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_dies_on_day_four() {
+        let s = IncidentScript::icares();
+        let d = s.death_of(AstronautId::C).unwrap();
+        assert_eq!(d.mission_day(), 4);
+        assert!(s.is_aboard(AstronautId::C, SimTime::from_day_hms(4, 12, 0, 0)));
+        assert!(!s.is_aboard(AstronautId::C, SimTime::from_day_hms(4, 15, 30, 0)));
+        assert!(s.is_aboard(AstronautId::A, SimTime::from_day_hms(14, 20, 0, 0)));
+    }
+
+    #[test]
+    fn mood_depressed_on_days_11_and_12() {
+        let s = IncidentScript::icares();
+        assert_eq!(s.talk_mood(5), 1.0);
+        assert!(s.talk_mood(11) < 0.3);
+        assert!(s.talk_mood(12) < 0.4);
+    }
+
+    #[test]
+    fn badge_swap_day_six_only() {
+        let s = IncidentScript::icares();
+        assert_eq!(s.worn_badge_owner(AstronautId::A, 6), AstronautId::B);
+        assert_eq!(s.worn_badge_owner(AstronautId::B, 6), AstronautId::A);
+        assert_eq!(s.worn_badge_owner(AstronautId::A, 5), AstronautId::A);
+        assert_eq!(s.worn_badge_owner(AstronautId::A, 7), AstronautId::A);
+    }
+
+    #[test]
+    fn f_reuses_cs_badge_from_day_seven() {
+        let s = IncidentScript::icares();
+        assert_eq!(s.worn_badge_owner(AstronautId::F, 6), AstronautId::F);
+        for day in 7..=14 {
+            assert_eq!(s.worn_badge_owner(AstronautId::F, day), AstronautId::C);
+        }
+    }
+
+    #[test]
+    fn empty_script_is_neutral() {
+        let s = IncidentScript::none();
+        assert!(s.death_of(AstronautId::C).is_none());
+        assert_eq!(s.talk_mood(11), 1.0);
+        assert_eq!(s.worn_badge_owner(AstronautId::F, 10), AstronautId::F);
+    }
+
+    #[test]
+    fn builder_adds_incidents() {
+        let s = IncidentScript::none().with(Incident::FoodShortage { day: 3 });
+        assert!(s.talk_mood(3) < 0.5);
+    }
+}

@@ -1,0 +1,55 @@
+//! `ares-crew` — the ICAres-1 crew behaviour simulator.
+//!
+//! The paper's study population cannot be re-run, so this crate provides the
+//! substitute: an agent-based model of the six analog astronauts that
+//! produces mission-long *ground truth* — trajectories, speech, badge wear,
+//! meetings — with the statistical structure the paper reports. The badge
+//! device model (`ares-badge`) samples its sensors from this truth, and the
+//! sociometric pipeline (`ares-sociometrics`) is validated against it.
+//!
+//! * [`roster`] — identities A–F, roles, behavioural profiles, affinities.
+//! * [`schedule`] — the strict 14-day × 30-minute-slot plan.
+//! * [`incidents`] — scripted events: C's day-4 death, the day-11 food
+//!   shortage, the day-12 reprimand, badge swaps and re-use.
+//! * [`conversation`] — turn-taking speech synthesis.
+//! * [`behavior`] — the slot-structured generator.
+//! * [`truth`] — the ground-truth data model and queries.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ares_crew::prelude::*;
+//! use ares_habitat::floorplan::FloorPlan;
+//!
+//! let roster = Roster::icares();
+//! let schedule = Schedule::icares();
+//! let incidents = IncidentScript::icares();
+//! let plan = FloorPlan::lunares();
+//! let sim = BehaviorSim::new(&roster, &schedule, &incidents, &plan, BehaviorConfig::default());
+//! let truth = sim.generate();
+//! assert_eq!(truth.astronauts.len(), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod behavior;
+pub mod conversation;
+pub mod incidents;
+pub mod roster;
+pub mod schedule;
+pub mod surveys;
+pub mod truth;
+
+/// Convenient glob-import of the most used crew types.
+pub mod prelude {
+    pub use crate::behavior::{BehaviorConfig, BehaviorSim, CHARGING_STATION};
+    pub use crate::incidents::{Incident, IncidentScript};
+    pub use crate::roster::{AstronautId, CrewMember, PersonalityProfile, Role, Roster, VoiceRegister};
+    pub use crate::schedule::{Activity, Schedule, MISSION_DAYS, SLOTS_PER_DAY};
+    pub use crate::surveys::{SurveyConfig, SurveyResponse};
+    pub use crate::truth::{
+        AstronautTruth, MissionTruth, PathPoint, SpeechSegment, TruthMeeting, VoiceSource,
+        WearState,
+    };
+}

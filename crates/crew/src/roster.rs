@@ -1,0 +1,311 @@
+//! The ICAres-1 crew: identities, roles and behavioural profiles.
+//!
+//! The mission had an international crew of six — three women and three men —
+//! identified in the paper only as astronauts A through F. The paper's
+//! qualitative descriptions pin down each profile:
+//!
+//! * **A** — visually impaired, no left hand; tended to stay in the middle of
+//!   rooms, walked least, close to F; used a screen reader that read texts
+//!   aloud (which confused the original conversation analysis).
+//! * **B** — Mission Commander; most central and available to the others;
+//!   much paperwork in the office; walked little.
+//! * **C** — "an energetic conversationalist"; highest talking and walking
+//!   fractions; left the habitat "virtually dead" on day 4.
+//! * **D** — energetic, walked a lot; the most passive *speaker* during group
+//!   meetings.
+//! * **E** — reserved; lowest speech and company scores.
+//! * **F** — energetic, talkative; especially close to A; re-used C's badge
+//!   after the death incident.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An astronaut of the ICAres-1 crew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AstronautId {
+    /// The physically impaired astronaut.
+    A,
+    /// Mission Commander.
+    B,
+    /// The astronaut who "dies" on day 4.
+    C,
+    /// Energetic walker, passive speaker.
+    D,
+    /// The reserved astronaut.
+    E,
+    /// Energetic and talkative, close to A.
+    F,
+}
+
+impl AstronautId {
+    /// All six crew members.
+    pub const ALL: [AstronautId; 6] = [
+        AstronautId::A,
+        AstronautId::B,
+        AstronautId::C,
+        AstronautId::D,
+        AstronautId::E,
+        AstronautId::F,
+    ];
+
+    /// Dense index 0..6.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The single-letter label used in the paper.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AstronautId::A => "A",
+            AstronautId::B => "B",
+            AstronautId::C => "C",
+            AstronautId::D => "D",
+            AstronautId::E => "E",
+            AstronautId::F => "F",
+        }
+    }
+}
+
+impl fmt::Display for AstronautId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Mission role, from the paper's crew description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Leads the mission; paperwork-heavy.
+    Commander,
+    /// Medical doctor of the crew.
+    ChiefMedicalOfficer,
+    /// Materials engineering.
+    StructuralMaterialScientist,
+    /// Runs the biolab experiments.
+    Biologist,
+    /// Keeps the habitat systems running.
+    Engineer,
+    /// Runs analytical-lab and rover work.
+    Scientist,
+}
+
+/// Vocal register, used by the microphone model and the speech pipeline's
+/// male/female classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VoiceRegister {
+    /// Typical female fundamental frequency (~165–255 Hz).
+    Female,
+    /// Typical male fundamental frequency (~85–155 Hz).
+    Male,
+}
+
+/// Behavioural profile driving the agent simulation.
+///
+/// All rates are relative propensities calibrated so the *pipeline-measured*
+/// statistics reproduce the orderings of the paper's Table I and Figs. 4 & 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersonalityProfile {
+    /// Relative rate of discretionary walking (errands, workstation changes).
+    pub mobility: f64,
+    /// Relative share of speaking time taken in conversations.
+    pub talkativeness: f64,
+    /// Propensity to seek/keep company (joins optional gatherings).
+    pub sociability: f64,
+    /// Mean fundamental voice frequency (Hz).
+    pub voice_f0_hz: f64,
+    /// Standard deviation of F0 across utterances (Hz); near zero only for
+    /// synthetic voices.
+    pub voice_f0_sd_hz: f64,
+    /// Typical conversational loudness at 1 m (dB SPL).
+    pub voice_level_db: f64,
+    /// Physically impaired: stays central in rooms, avoids corners, moves
+    /// cautiously.
+    pub impaired: bool,
+    /// Uses a text-to-speech screen reader during solo desk work.
+    pub uses_screen_reader: bool,
+}
+
+/// One crew member: identity, role and profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrewMember {
+    /// The astronaut.
+    pub id: AstronautId,
+    /// Mission role.
+    pub role: Role,
+    /// Vocal register (3 female / 3 male in ICAres-1).
+    pub register: VoiceRegister,
+    /// Behavioural profile.
+    pub profile: PersonalityProfile,
+}
+
+/// The full crew roster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roster {
+    members: Vec<CrewMember>,
+}
+
+impl Roster {
+    /// The canonical ICAres-1 roster.
+    #[must_use]
+    pub fn icares() -> Self {
+        use AstronautId as Id;
+        let member = |id: Id, role, register, mobility, talk, soc, f0: f64, level: f64| CrewMember {
+            id,
+            role,
+            register,
+            profile: PersonalityProfile {
+                mobility,
+                talkativeness: talk,
+                sociability: soc,
+                voice_f0_hz: f0,
+                voice_f0_sd_hz: f0 * 0.12,
+                voice_level_db: level,
+                impaired: id == Id::A,
+                uses_screen_reader: id == Id::A,
+            },
+        };
+        Roster {
+            members: vec![
+                // Orderings target Table I: walking C>F>D>E>B>A,
+                // talking C>F>A≈D>B>E, company B>D>F>A>E.
+                member(Id::A, Role::Biologist, VoiceRegister::Female, 0.33, 0.62, 0.78, 205.0, 66.0),
+                member(Id::B, Role::Commander, VoiceRegister::Female, 0.35, 0.58, 1.00, 215.0, 68.0),
+                member(Id::C, Role::Scientist, VoiceRegister::Male, 1.00, 0.82, 0.88, 125.0, 70.0),
+                member(Id::D, Role::Engineer, VoiceRegister::Female, 0.66, 0.70, 0.93, 200.0, 67.0),
+                member(Id::E, Role::StructuralMaterialScientist, VoiceRegister::Male, 0.52, 0.55, 0.70, 115.0, 65.5),
+                member(Id::F, Role::ChiefMedicalOfficer, VoiceRegister::Male, 0.80, 0.74, 0.86, 130.0, 69.0),
+            ],
+        }
+    }
+
+    /// All members in [`AstronautId::ALL`] order.
+    #[must_use]
+    pub fn members(&self) -> &[CrewMember] {
+        &self.members
+    }
+
+    /// Looks up one member.
+    #[must_use]
+    pub fn member(&self, id: AstronautId) -> &CrewMember {
+        &self.members[id.index()]
+    }
+
+    /// Number of crew members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the roster is empty (never, for the canonical roster).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Pairwise affinity (relative propensity, A–F's bond exceeding 1) of two astronauts to
+    /// seek each other's company and chat privately.
+    ///
+    /// Calibrated to the paper's findings: "A and F talked privately with
+    /// each other for about 5 h more than D and E during the mission."
+    #[must_use]
+    pub fn affinity(&self, x: AstronautId, y: AstronautId) -> f64 {
+        use AstronautId as Id;
+        if x == y {
+            return 0.0;
+        }
+        let pair = |a, b| (x == a && y == b) || (x == b && y == a);
+        if pair(Id::A, Id::F) {
+            1.30
+        } else if pair(Id::D, Id::E) {
+            0.35
+        } else if x == Id::C || y == Id::C {
+            0.72 // C, "an energetic conversationalist", chats with everyone
+        } else if x == Id::B || y == Id::B {
+            0.66 // the commander keeps company with everyone
+        } else {
+            0.55
+        }
+    }
+}
+
+impl Default for Roster {
+    fn default() -> Self {
+        Roster::icares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_six_with_dense_indices() {
+        let r = Roster::icares();
+        assert_eq!(r.len(), 6);
+        for (i, m) in r.members().iter().enumerate() {
+            assert_eq!(m.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn gender_balance_is_three_three() {
+        let r = Roster::icares();
+        let f = r
+            .members()
+            .iter()
+            .filter(|m| m.register == VoiceRegister::Female)
+            .count();
+        assert_eq!(f, 3);
+    }
+
+    #[test]
+    fn registers_are_separable_by_f0() {
+        let r = Roster::icares();
+        for m in r.members() {
+            match m.register {
+                VoiceRegister::Female => assert!(m.profile.voice_f0_hz > 165.0),
+                VoiceRegister::Male => assert!(m.profile.voice_f0_hz < 155.0),
+            }
+        }
+    }
+
+    #[test]
+    fn paper_orderings_encoded() {
+        use AstronautId as Id;
+        let r = Roster::icares();
+        let mob = |id: Id| r.member(id).profile.mobility;
+        assert!(mob(Id::C) > mob(Id::F) && mob(Id::F) > mob(Id::D));
+        assert!(mob(Id::D) > mob(Id::E));
+        // A's lowest *measured* walking comes from the impairment behaviour
+        // (central stations, short hops), not from raw mobility alone.
+        assert!(r.member(Id::A).profile.impaired);
+        let talk = |id: Id| r.member(id).profile.talkativeness;
+        assert!(talk(Id::C) > talk(Id::F) && talk(Id::F) > talk(Id::A));
+        assert!(talk(Id::B) > talk(Id::E));
+        let soc = |id: Id| r.member(id).profile.sociability;
+        assert!(soc(Id::B) >= soc(Id::D) && soc(Id::D) >= soc(Id::F));
+    }
+
+    #[test]
+    fn affinity_is_symmetric_and_af_strongest() {
+        use AstronautId as Id;
+        let r = Roster::icares();
+        for x in Id::ALL {
+            for y in Id::ALL {
+                assert_eq!(r.affinity(x, y), r.affinity(y, x));
+            }
+            assert_eq!(r.affinity(x, x), 0.0);
+        }
+        assert!(r.affinity(Id::A, Id::F) > r.affinity(Id::D, Id::E) + 0.5);
+    }
+
+    #[test]
+    fn a_is_impaired_with_screen_reader() {
+        let r = Roster::icares();
+        assert!(r.member(AstronautId::A).profile.impaired);
+        assert!(r.member(AstronautId::A).profile.uses_screen_reader);
+        assert!(!r.member(AstronautId::B).profile.impaired);
+    }
+}

@@ -1,0 +1,317 @@
+//! The mission schedule: 14 days × 30-minute slots.
+//!
+//! "All of the activities had been determined a priori and organized into a
+//! strict and precise plan, divided into 30 min slots. Each crew member was
+//! expected to follow their own schedule for a given day, which regulated
+//! 14 h of daytime and included only two 30 min-long breaks. While 1.5 h in
+//! total was spent on eating meals, for the remaining 11.5 h the astronauts
+//! were supposed to work on their tasks."
+
+use crate::roster::AstronautId;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::series::Interval;
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Number of mission days (two terrestrial weeks).
+pub const MISSION_DAYS: u32 = 14;
+/// Daytime start (astronauts wake and badge-wearing begins).
+pub const DAY_START_H: u32 = 7;
+/// Daytime end (badges go to the charging station overnight).
+pub const DAY_END_H: u32 = 21;
+/// One schedule slot.
+pub const SLOT: SimDuration = SimDuration::from_mins(30);
+/// Slots per 14-hour day.
+pub const SLOTS_PER_DAY: usize = 28;
+
+/// What an astronaut is scheduled to do in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Individual or paired scientific/engineering work in a given room.
+    Work(RoomId),
+    /// Shared meal in the kitchen.
+    Meal,
+    /// Morning briefing or evening debriefing in the main hall.
+    Briefing,
+    /// Free break (astronauts gravitate to the kitchen or main hall).
+    Break,
+    /// Extravehicular-activity preparation (storage/airlock, ~30 min).
+    EvaPrep,
+    /// EVA proper, on the hangar's emulated Martian surface — badges are
+    /// *not* worn.
+    Eva,
+    /// Post-EVA procedures (~30 min).
+    EvaPost,
+    /// Physical exercise — badges are not worn.
+    Exercise,
+    /// Asleep / off-duty (badge charging).
+    Sleep,
+}
+
+impl Activity {
+    /// The room where this activity takes place.
+    #[must_use]
+    pub fn room(self) -> RoomId {
+        match self {
+            Activity::Work(r) => r,
+            Activity::Meal | Activity::Break => RoomId::Kitchen,
+            Activity::Briefing => RoomId::Main,
+            Activity::EvaPrep | Activity::EvaPost => RoomId::Airlock,
+            Activity::Eva => RoomId::Hangar,
+            Activity::Exercise => RoomId::Storage, // the gym corner of storage
+            Activity::Sleep => RoomId::Bedroom,
+        }
+    }
+
+    /// Whether a badge is worn during this activity. EVAs (outdoor suit),
+    /// exercise and sleep are the paper's systematic no-wear periods.
+    #[must_use]
+    pub fn badge_worn(self) -> bool {
+        !matches!(self, Activity::Eva | Activity::Exercise | Activity::Sleep)
+    }
+
+    /// Whether the slot is a group activity involving the whole crew.
+    #[must_use]
+    pub fn is_group(self) -> bool {
+        matches!(self, Activity::Meal | Activity::Briefing)
+    }
+}
+
+/// A slot in one astronaut's day plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Slot index within the day, `0..SLOTS_PER_DAY`.
+    pub index: usize,
+    /// Scheduled activity.
+    pub activity: Activity,
+}
+
+/// The full mission schedule: for each day and astronaut, 28 slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `plans[day-1][astronaut][slot]`.
+    plans: Vec<[[Activity; SLOTS_PER_DAY]; 6]>,
+}
+
+impl Schedule {
+    /// Builds the canonical ICAres-1 schedule.
+    ///
+    /// The structure of every day: briefing 08:00, meals at 07:00, 12:30 and
+    /// 18:30 (1.5 h total), breaks at 10:30 and 16:00, a debriefing at 20:30,
+    /// and the remaining slots filled with role-specific work. EVAs (prep +
+    /// EVA + post) are scheduled for rotating pairs on days 3, 5, 6, 8, 9,
+    /// 10 and 13.
+    #[must_use]
+    pub fn icares() -> Self {
+        let mut plans = Vec::with_capacity(MISSION_DAYS as usize);
+        for day in 1..=MISSION_DAYS {
+            let mut day_plan = [[Activity::Break; SLOTS_PER_DAY]; 6];
+            for ast in AstronautId::ALL {
+                let plan = &mut day_plan[ast.index()];
+                for (slot, entry) in plan.iter_mut().enumerate() {
+                    *entry = Self::base_activity(day, slot, ast);
+                }
+            }
+            // EVA pairs: (day, [two astronauts]) — slots 14..17 (14:00-16:00:
+            // prep, EVA, EVA, post). They replace whatever work was there.
+            if let Some(pair) = Self::eva_pair(day) {
+                for ast in pair {
+                    let plan = &mut day_plan[ast.index()];
+                    plan[14] = Activity::EvaPrep;
+                    plan[15] = Activity::Eva;
+                    plan[16] = Activity::Eva;
+                    plan[17] = Activity::EvaPost;
+                }
+            }
+            plans.push(day_plan);
+        }
+        Schedule { plans }
+    }
+
+    /// The EVA pair for a day, if any.
+    #[must_use]
+    pub fn eva_pair(day: u32) -> Option<[AstronautId; 2]> {
+        use AstronautId as Id;
+        match day {
+            3 => Some([Id::C, Id::D]),
+            5 => Some([Id::D, Id::F]),
+            6 => Some([Id::B, Id::E]),
+            8 => Some([Id::A, Id::F]),
+            9 => Some([Id::D, Id::E]),
+            10 => Some([Id::B, Id::F]),
+            13 => Some([Id::A, Id::D]),
+            _ => None,
+        }
+    }
+
+    fn base_activity(day: u32, slot: usize, ast: AstronautId) -> Activity {
+        use AstronautId as Id;
+        // Common frame of the day (slot 0 = 07:00).
+        match slot {
+            0 => return Activity::Meal,     // breakfast 07:00
+            2 => return Activity::Briefing, // 08:00
+            7 => return Activity::Break,    // 10:30
+            11 => return Activity::Meal,    // lunch 12:30
+            18 => return Activity::Break,   // 16:00
+            23 => return Activity::Meal,    // dinner 18:30
+            27 => return Activity::Briefing, // debrief 20:30
+            _ => {}
+        }
+        // Exercise: one slot, staggered across crew, three times a week.
+        if day % 2 == ast.index() as u32 % 2 && slot == 20 {
+            return Activity::Exercise;
+        }
+        // Role-specific work rooms, rotated by slot block so everyone moves
+        // around during the day.
+        let block = slot / 4 + day as usize; // slow rotation across days
+        // Chosen so A and F share most work blocks (their bond shows in the
+        // pairwise meeting hours) while D and E overlap only occasionally.
+        let rooms: [RoomId; 3] = match ast {
+            Id::A => [RoomId::Biolab, RoomId::Office, RoomId::Office],
+            Id::B => [RoomId::Office, RoomId::Office, RoomId::Workshop],
+            Id::C => [RoomId::Biolab, RoomId::Office, RoomId::Storage],
+            Id::D => [RoomId::Office, RoomId::Workshop, RoomId::Workshop],
+            Id::E => [RoomId::Biolab, RoomId::Workshop, RoomId::Storage],
+            Id::F => [RoomId::Biolab, RoomId::Office, RoomId::Workshop],
+        };
+        Activity::Work(rooms[block % 3])
+    }
+
+    /// The scheduled activity for `ast` on `day` (1-based) in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day` or `slot` is out of range.
+    #[must_use]
+    pub fn activity(&self, day: u32, slot: usize, ast: AstronautId) -> Activity {
+        self.plans[(day - 1) as usize][ast.index()][slot]
+    }
+
+    /// The wall-clock interval of `slot` on `day`.
+    #[must_use]
+    pub fn slot_interval(day: u32, slot: usize) -> Interval {
+        let start = SimTime::from_day_hms(day, DAY_START_H, 0, 0) + SLOT * slot as i64;
+        Interval::new(start, start + SLOT)
+    }
+
+    /// The slot index containing instant `t`, if `t` falls within daytime.
+    #[must_use]
+    pub fn slot_at(t: SimTime) -> Option<(u32, usize)> {
+        let day = t.mission_day();
+        if day == 0 || day > MISSION_DAYS {
+            return None;
+        }
+        let day_start = SimTime::from_day_hms(day, DAY_START_H, 0, 0);
+        let day_end = SimTime::from_day_hms(day, DAY_END_H, 0, 0);
+        if t < day_start || t >= day_end {
+            return None;
+        }
+        let slot = ((t - day_start).as_micros() / SLOT.as_micros()) as usize;
+        Some((day, slot))
+    }
+
+    /// Daytime interval (07:00–21:00) of a day.
+    #[must_use]
+    pub fn daytime(day: u32) -> Interval {
+        Interval::new(
+            SimTime::from_day_hms(day, DAY_START_H, 0, 0),
+            SimTime::from_day_hms(day, DAY_END_H, 0, 0),
+        )
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::icares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_structure_meals_and_breaks() {
+        let s = Schedule::icares();
+        for ast in AstronautId::ALL {
+            let meals = (0..SLOTS_PER_DAY)
+                .filter(|&i| s.activity(2, i, ast) == Activity::Meal)
+                .count();
+            assert_eq!(meals, 3, "1.5 h of meals for {ast}");
+            let breaks = (0..SLOTS_PER_DAY)
+                .filter(|&i| s.activity(2, i, ast) == Activity::Break)
+                .count();
+            assert_eq!(breaks, 2, "two 30-min breaks for {ast}");
+        }
+    }
+
+    #[test]
+    fn lunch_is_at_12_30() {
+        let iv = Schedule::slot_interval(4, 11);
+        assert_eq!(iv.start, SimTime::from_day_hms(4, 12, 30, 0));
+        assert_eq!(iv.duration(), SLOT);
+    }
+
+    #[test]
+    fn slot_at_round_trips() {
+        for slot in 0..SLOTS_PER_DAY {
+            let iv = Schedule::slot_interval(6, slot);
+            let mid = iv.start + SLOT / 2;
+            assert_eq!(Schedule::slot_at(mid), Some((6, slot)));
+        }
+        assert_eq!(Schedule::slot_at(SimTime::from_day_hms(6, 22, 0, 0)), None);
+        assert_eq!(Schedule::slot_at(SimTime::from_day_hms(6, 6, 59, 0)), None);
+        assert_eq!(Schedule::slot_at(SimTime::from_day_hms(15, 12, 0, 0)), None);
+    }
+
+    #[test]
+    fn eva_days_have_full_sequences() {
+        let s = Schedule::icares();
+        for day in 1..=MISSION_DAYS {
+            if let Some(pair) = Schedule::eva_pair(day) {
+                for ast in pair {
+                    assert_eq!(s.activity(day, 14, ast), Activity::EvaPrep);
+                    assert_eq!(s.activity(day, 15, ast), Activity::Eva);
+                    assert_eq!(s.activity(day, 17, ast), Activity::EvaPost);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn badges_not_worn_during_eva_and_exercise() {
+        assert!(!Activity::Eva.badge_worn());
+        assert!(!Activity::Exercise.badge_worn());
+        assert!(!Activity::Sleep.badge_worn());
+        assert!(Activity::Meal.badge_worn());
+        assert!(Activity::Work(RoomId::Biolab).badge_worn());
+    }
+
+    #[test]
+    fn work_rooms_match_roles() {
+        let s = Schedule::icares();
+        // B (commander) does the most office slots across a sample week.
+        let office_slots = |ast: AstronautId| {
+            (1..=7u32)
+                .flat_map(|d| (0..SLOTS_PER_DAY).map(move |i| (d, i)))
+                .filter(|&(d, i)| s.activity(d, i, ast) == Activity::Work(RoomId::Office))
+                .count()
+        };
+        let b = office_slots(AstronautId::B);
+        for ast in [AstronautId::C, AstronautId::D, AstronautId::E] {
+            assert!(b > office_slots(ast), "commander outranks {ast} in office time");
+        }
+    }
+
+    #[test]
+    fn every_slot_has_a_room() {
+        let s = Schedule::icares();
+        for day in 1..=MISSION_DAYS {
+            for ast in AstronautId::ALL {
+                for slot in 0..SLOTS_PER_DAY {
+                    let _ = s.activity(day, slot, ast).room(); // must not panic
+                }
+            }
+        }
+    }
+}

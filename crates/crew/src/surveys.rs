@@ -1,0 +1,203 @@
+//! The classic evening surveys.
+//!
+//! "To complement our technical solutions, we also made use of classic
+//! surveys … filled in by each astronaut every evening \[which\] questioned
+//! their levels of satisfaction, well-being, comfort, productivity, and
+//! distraction. Among others, the answers allowed us to interpret and verify
+//! the findings obtained through multi-modal sensing."
+//!
+//! The generator derives each astronaut's Likert responses from the same
+//! latent state that drives behaviour — mission-phase fatigue, the incident
+//! script's mood, badge discomfort — plus reporting noise and a per-person
+//! response bias (the very bias the paper cites as the weakness of
+//! self-reports). The pipeline's validation stage then cross-checks sensor
+//! findings against these series, as the deployment did.
+
+use crate::incidents::IncidentScript;
+use crate::roster::{AstronautId, Roster};
+use crate::schedule::MISSION_DAYS;
+use ares_simkit::rng::SeedTree;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// One astronaut's evening questionnaire for one day, on 1–7 Likert scales.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurveyResponse {
+    /// Mission day (2–14; day 1 had no surveys, like no badges).
+    pub day: u32,
+    /// Who answered.
+    pub astronaut: AstronautId,
+    /// Overall satisfaction with the day.
+    pub satisfaction: f64,
+    /// Physical/mental well-being.
+    pub well_being: f64,
+    /// Comfort (habitat and equipment, including the badge on the neck).
+    pub comfort: f64,
+    /// Self-assessed productivity.
+    pub productivity: f64,
+    /// Self-assessed distraction.
+    pub distraction: f64,
+}
+
+/// Survey-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurveyConfig {
+    /// Reporting noise (Likert points, 1σ).
+    pub noise_sd: f64,
+    /// Daily morale decay after day 2 (the isolation wearing on the crew).
+    pub morale_decay_per_day: f64,
+    /// Comfort penalty growth from badge annoyance ("the participants
+    /// complained about the badge hanging on their neck").
+    pub badge_annoyance_per_day: f64,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> Self {
+        SurveyConfig {
+            noise_sd: 0.55,
+            morale_decay_per_day: 0.09,
+            badge_annoyance_per_day: 0.12,
+        }
+    }
+}
+
+fn clamp_likert(x: f64) -> f64 {
+    x.clamp(1.0, 7.0)
+}
+
+/// Generates the full mission's survey responses.
+#[must_use]
+pub fn generate(
+    roster: &Roster,
+    incidents: &IncidentScript,
+    config: &SurveyConfig,
+    seed: &SeedTree,
+) -> Vec<SurveyResponse> {
+    let mut rng = seed.child("crew").stream("surveys");
+    let noise = Normal::new(0.0, config.noise_sd).expect("sd > 0");
+    let mut out = Vec::new();
+    for day in 2..=MISSION_DAYS {
+        let mood = incidents.talk_mood(day); // 1.0 normal, ≈0.22 on day 11
+        let decay = config.morale_decay_per_day * f64::from(day - 2);
+        for member in roster.members() {
+            let id = member.id;
+            if !incidents.is_aboard(id, ares_simkit::time::SimTime::from_day_hms(day, 20, 0, 0)) {
+                continue;
+            }
+            // Per-person stable response bias (acquiescence/optimism).
+            let bias = 0.45 * (f64::from(id.index() as u32) - 2.5) / 2.5;
+            // The death of a crewmate weighs on everyone for a few days.
+            let grief = match incidents.death_of(AstronautId::C) {
+                Some(t) if day >= t.mission_day() && day <= t.mission_day() + 2 => 1.0,
+                _ => 0.0,
+            };
+            let base = 5.4 - decay + bias;
+            let satisfaction =
+                clamp_likert(base - 2.6 * (1.0 - mood) - 0.9 * grief + noise.sample(&mut rng));
+            let well_being =
+                clamp_likert(base - 1.8 * (1.0 - mood) - 1.2 * grief + noise.sample(&mut rng));
+            let comfort = clamp_likert(
+                5.6 + bias - config.badge_annoyance_per_day * f64::from(day - 2)
+                    + noise.sample(&mut rng),
+            );
+            let productivity = clamp_likert(
+                base + 0.6 * member.profile.mobility - 1.4 * (1.0 - mood)
+                    + noise.sample(&mut rng),
+            );
+            let distraction = clamp_likert(
+                2.4 + 1.8 * (1.0 - mood) + 0.9 * grief - bias + noise.sample(&mut rng),
+            );
+            out.push(SurveyResponse {
+                day,
+                astronaut: id,
+                satisfaction,
+                well_being,
+                comfort,
+                productivity,
+                distraction,
+            });
+        }
+    }
+    out
+}
+
+/// Crew-mean of one survey dimension on a day.
+#[must_use]
+pub fn daily_mean(
+    surveys: &[SurveyResponse],
+    day: u32,
+    f: impl Fn(&SurveyResponse) -> f64,
+) -> Option<f64> {
+    let vals: Vec<f64> = surveys.iter().filter(|s| s.day == day).map(f).collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn surveys() -> Vec<SurveyResponse> {
+        generate(
+            &Roster::icares(),
+            &IncidentScript::icares(),
+            &SurveyConfig::default(),
+            &SeedTree::new(7),
+        )
+    }
+
+    #[test]
+    fn everyone_answers_until_they_leave() {
+        let s = surveys();
+        // Days 2–3: 6 respondents; from day 4 (C leaves at 15:00, before
+        // the evening questionnaire): 5.
+        for day in 2..=14u32 {
+            let n = s.iter().filter(|r| r.day == day).count();
+            let expected = if day <= 3 { 6 } else { 5 };
+            assert_eq!(n, expected, "day {day}");
+        }
+    }
+
+    #[test]
+    fn all_values_are_likert() {
+        for r in surveys() {
+            for v in [r.satisfaction, r.well_being, r.comfort, r.productivity, r.distraction] {
+                assert!((1.0..=7.0).contains(&v), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn shortage_day_craters_satisfaction_and_spikes_distraction() {
+        let s = surveys();
+        let sat = |d| daily_mean(&s, d, |r| r.satisfaction).unwrap();
+        let dis = |d| daily_mean(&s, d, |r| r.distraction).unwrap();
+        assert!(sat(11) < sat(9) - 1.0, "day 11 {} vs day 9 {}", sat(11), sat(9));
+        assert!(dis(11) > dis(9) + 0.8);
+    }
+
+    #[test]
+    fn comfort_declines_with_badge_annoyance() {
+        let s = surveys();
+        let early = daily_mean(&s, 3, |r| r.comfort).unwrap();
+        let late = daily_mean(&s, 14, |r| r.comfort).unwrap();
+        assert!(early > late + 0.7, "comfort {early} → {late}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = surveys();
+        let b = surveys();
+        assert_eq!(a, b);
+        let c = generate(
+            &Roster::icares(),
+            &IncidentScript::icares(),
+            &SurveyConfig::default(),
+            &SeedTree::new(8),
+        );
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,282 @@
+//! Ground-truth traces produced by the behaviour simulator.
+//!
+//! These are the *oracle* of the reproduction: the badge device model samples
+//! its sensors from them, and the integration tests validate the sociometric
+//! pipeline against them (something the real deployment could never do).
+
+use crate::roster::AstronautId;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::geometry::{Point2, Vec2};
+use ares_simkit::series::{Interval, IntervalSet, Series};
+use ares_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A waypoint of an astronaut's trajectory; position between waypoints is
+/// linearly interpolated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathPoint {
+    /// Position on the floor plan.
+    pub pos: Point2,
+    /// Facing direction (radians CCW from east).
+    pub facing: f64,
+}
+
+/// Who (or what) is producing a voice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VoiceSource {
+    /// A human astronaut speaking.
+    Astronaut(AstronautId),
+    /// The text-to-speech screen reader used by the given astronaut — a
+    /// synthetic voice with near-constant F0 that confused the original
+    /// conversation analysis until the algorithm was fixed.
+    ScreenReader(AstronautId),
+}
+
+impl VoiceSource {
+    /// The astronaut the voice is physically co-located with.
+    #[must_use]
+    pub fn located_with(self) -> AstronautId {
+        match self {
+            VoiceSource::Astronaut(a) | VoiceSource::ScreenReader(a) => a,
+        }
+    }
+
+    /// Whether this is a synthetic voice.
+    #[must_use]
+    pub fn is_synthetic(self) -> bool {
+        matches!(self, VoiceSource::ScreenReader(_))
+    }
+}
+
+/// One continuous utterance/segment of voiced audio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeechSegment {
+    /// Voice source.
+    pub source: VoiceSource,
+    /// When the voice is active.
+    pub interval: Interval,
+    /// Sound pressure level at 1 m (dB SPL).
+    pub level_db: f64,
+    /// Fundamental frequency of this utterance (Hz).
+    pub f0_hz: f64,
+}
+
+/// Where an astronaut's badge physically is during an episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WearState {
+    /// On the neck — follows the astronaut.
+    Worn,
+    /// Taken off and left at a fixed spot (lab bench, outside the airlock…);
+    /// the badge is still recording ("active but not necessarily worn").
+    LeftAt(Point2),
+    /// Docked at the charging station overnight.
+    Docked,
+}
+
+impl WearState {
+    /// Whether the badge is on-body.
+    #[must_use]
+    pub fn is_worn(self) -> bool {
+        matches!(self, WearState::Worn)
+    }
+}
+
+/// A meeting recorded by the behaviour simulator (the test oracle for the
+/// pipeline's meeting detection).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruthMeeting {
+    /// Where it happened.
+    pub room: RoomId,
+    /// When.
+    pub interval: Interval,
+    /// Who attended.
+    pub participants: Vec<AstronautId>,
+    /// Whether it was on the schedule (meals, briefings) or emergent (the
+    /// day-4 consolation gathering, spontaneous chats).
+    pub planned: bool,
+    /// Mean conversational level at 1 m during the meeting (dB SPL).
+    pub level_db: f64,
+}
+
+/// Full ground truth for one astronaut.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AstronautTruth {
+    /// Trajectory waypoints (whole mission).
+    pub path: Series<PathPoint>,
+    /// Badge wear state as a step function over time.
+    pub wear: Series<WearState>,
+    /// Intervals the astronaut spent walking (speed above ~0.5 m/s).
+    pub walking: IntervalSet,
+    /// Intervals the astronaut was awake, aboard and on duty.
+    pub on_duty: IntervalSet,
+}
+
+impl AstronautTruth {
+    /// The astronaut's position at `t` (linear interpolation between
+    /// waypoints; clamped to the first/last waypoint outside the range).
+    #[must_use]
+    pub fn position(&self, t: SimTime) -> Option<Point2> {
+        let samples = self.path.samples();
+        if samples.is_empty() {
+            return None;
+        }
+        let idx = samples.partition_point(|s| s.t <= t);
+        if idx == 0 {
+            return Some(samples[0].value.pos);
+        }
+        if idx == samples.len() {
+            return Some(samples[samples.len() - 1].value.pos);
+        }
+        let (a, b) = (&samples[idx - 1], &samples[idx]);
+        let span = (b.t - a.t).as_secs_f64();
+        if span <= 0.0 {
+            return Some(b.value.pos);
+        }
+        let f = (t - a.t).as_secs_f64() / span;
+        Some(a.value.pos.lerp(b.value.pos, f))
+    }
+
+    /// The astronaut's facing direction at `t` (of the most recent waypoint;
+    /// while moving the simulator writes motion-aligned facings).
+    #[must_use]
+    pub fn facing(&self, t: SimTime) -> Option<Vec2> {
+        self.path.at(t).map(|s| Vec2::from_angle(s.value.facing))
+    }
+
+    /// The badge's wear state at `t` (defaults to docked before the first
+    /// episode).
+    #[must_use]
+    pub fn wear_state(&self, t: SimTime) -> WearState {
+        self.wear.at(t).map_or(WearState::Docked, |s| s.value)
+    }
+
+    /// The *badge's* position at `t`, which differs from the astronaut's when
+    /// the badge is left somewhere or docked.
+    #[must_use]
+    pub fn badge_position(&self, t: SimTime, station: Point2) -> Option<Point2> {
+        match self.wear_state(t) {
+            WearState::Worn => self.position(t),
+            WearState::LeftAt(p) => Some(p),
+            WearState::Docked => Some(station),
+        }
+    }
+
+    /// Whether the astronaut is walking at `t`.
+    #[must_use]
+    pub fn is_walking(&self, t: SimTime) -> bool {
+        self.walking.contains(t)
+    }
+}
+
+/// Ground truth for the whole mission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MissionTruth {
+    /// Per-astronaut traces, indexed by [`AstronautId::index`].
+    pub astronauts: Vec<AstronautTruth>,
+    /// All speech segments, sorted by start time.
+    pub speech: Vec<SpeechSegment>,
+    /// Meeting ledger, sorted by start time.
+    pub meetings: Vec<TruthMeeting>,
+}
+
+impl MissionTruth {
+    /// Truth for one astronaut.
+    #[must_use]
+    pub fn of(&self, id: AstronautId) -> &AstronautTruth {
+        &self.astronauts[id.index()]
+    }
+
+    /// Speech segments overlapping `[from, to)`.
+    pub fn speech_in(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &SpeechSegment> {
+        let window = Interval::new(from, to);
+        // speech is sorted by start; find the window conservatively.
+        self.speech
+            .iter()
+            .take_while(move |s| s.interval.start < to)
+            .filter(move |s| s.interval.overlaps(&window))
+    }
+
+    /// Total speaking time of a source over the mission.
+    #[must_use]
+    pub fn speaking_time(&self, source: VoiceSource) -> ares_simkit::time::SimDuration {
+        self.speech
+            .iter()
+            .filter(|s| s.source == source)
+            .fold(ares_simkit::time::SimDuration::ZERO, |acc, s| {
+                acc + s.interval.duration()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_simkit::time::SimDuration;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn position_interpolates_linearly() {
+        let mut truth = AstronautTruth::default();
+        truth.path.push(t(0), PathPoint { pos: Point2::new(0.0, 0.0), facing: 0.0 });
+        truth.path.push(t(10), PathPoint { pos: Point2::new(10.0, 0.0), facing: 0.0 });
+        let p = truth.position(t(4)).unwrap();
+        assert!((p.x - 4.0).abs() < 1e-9);
+        // clamped outside range
+        assert_eq!(truth.position(t(-5)).unwrap().x, 0.0);
+        assert_eq!(truth.position(t(50)).unwrap().x, 10.0);
+    }
+
+    #[test]
+    fn empty_path_has_no_position() {
+        let truth = AstronautTruth::default();
+        assert!(truth.position(t(0)).is_none());
+    }
+
+    #[test]
+    fn badge_position_follows_wear_state() {
+        let mut truth = AstronautTruth::default();
+        truth.path.push(t(0), PathPoint { pos: Point2::new(5.0, 5.0), facing: 0.0 });
+        truth.wear.push(t(0), WearState::Worn);
+        truth.wear.push(t(100), WearState::LeftAt(Point2::new(1.0, 1.0)));
+        truth.wear.push(t(200), WearState::Docked);
+        let station = Point2::new(9.0, 9.0);
+        assert_eq!(truth.badge_position(t(50), station).unwrap(), Point2::new(5.0, 5.0));
+        assert_eq!(truth.badge_position(t(150), station).unwrap(), Point2::new(1.0, 1.0));
+        assert_eq!(truth.badge_position(t(250), station).unwrap(), station);
+        // Before any wear record: docked.
+        assert_eq!(truth.badge_position(t(-10), station).unwrap(), station);
+    }
+
+    #[test]
+    fn voice_source_classification() {
+        let v = VoiceSource::Astronaut(AstronautId::C);
+        let s = VoiceSource::ScreenReader(AstronautId::A);
+        assert!(!v.is_synthetic());
+        assert!(s.is_synthetic());
+        assert_eq!(s.located_with(), AstronautId::A);
+    }
+
+    #[test]
+    fn speech_window_query() {
+        let seg = |a: i64, b: i64| SpeechSegment {
+            source: VoiceSource::Astronaut(AstronautId::B),
+            interval: Interval::new(t(a), t(b)),
+            level_db: 60.0,
+            f0_hz: 200.0,
+        };
+        let truth = MissionTruth {
+            astronauts: Vec::new(),
+            speech: vec![seg(0, 5), seg(10, 20), seg(30, 40)],
+            meetings: Vec::new(),
+        };
+        let hits: Vec<_> = truth.speech_in(t(4), t(15)).collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(
+            truth.speaking_time(VoiceSource::Astronaut(AstronautId::B)),
+            SimDuration::from_secs(25)
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the crew substrate.
+
+use ares_crew::conversation::{self, ConversationSpec, Participant};
+use ares_crew::incidents::IncidentScript;
+use ares_crew::roster::{AstronautId, Roster};
+use ares_crew::schedule::{Activity, Schedule, MISSION_DAYS, SLOTS_PER_DAY};
+use ares_crew::truth::VoiceSource;
+use ares_simkit::rng::SeedTree;
+use ares_simkit::series::Interval;
+use ares_simkit::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_slots_partition_every_day(day in 1u32..=14) {
+        // Slot intervals tile the 14-hour day exactly, in order.
+        let mut cursor = SimTime::from_day_hms(day, 7, 0, 0);
+        for slot in 0..SLOTS_PER_DAY {
+            let iv = Schedule::slot_interval(day, slot);
+            prop_assert_eq!(iv.start, cursor);
+            cursor = iv.end;
+        }
+        prop_assert_eq!(cursor, SimTime::from_day_hms(day, 21, 0, 0));
+    }
+
+    #[test]
+    fn slot_lookup_agrees_with_intervals(day in 1u32..=14, secs in 0i64..(14 * 3600)) {
+        let t = SimTime::from_day_hms(day, 7, 0, 0) + SimDuration::from_secs(secs);
+        let (d, slot) = Schedule::slot_at(t).expect("inside daytime");
+        prop_assert_eq!(d, day);
+        prop_assert!(Schedule::slot_interval(day, slot).contains(t));
+    }
+
+    #[test]
+    fn group_slots_are_common_to_the_whole_crew(day in 1u32..=14, slot in 0usize..SLOTS_PER_DAY) {
+        let s = Schedule::icares();
+        let acts: Vec<Activity> = AstronautId::ALL
+            .iter()
+            .map(|&a| s.activity(day, slot, a))
+            .collect();
+        // If anyone has a meal/briefing, the slot is a meal/briefing slot:
+        // either everyone shares it or the exception is an EVA member.
+        if acts.iter().any(|a| a.is_group()) {
+            for (&a, act) in AstronautId::ALL.iter().zip(&acts) {
+                let eva = Schedule::eva_pair(day).is_some_and(|p| p.contains(&a));
+                prop_assert!(
+                    act.is_group() || eva,
+                    "day {day} slot {slot}: {a} has {act:?} during a group slot"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_matrix_is_a_valid_kernel(x in 0usize..6, y in 0usize..6) {
+        let r = Roster::icares();
+        let (a, b) = (AstronautId::ALL[x], AstronautId::ALL[y]);
+        let v = r.affinity(a, b);
+        prop_assert!((0.0..=1.5).contains(&v));
+        prop_assert_eq!(v, r.affinity(b, a));
+        if a == b {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn conversations_respect_window_and_speakers(
+        mins in 2i64..40,
+        active in 0.05f64..0.9,
+        n_speakers in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let roster = Roster::icares();
+        let spec = ConversationSpec {
+            participants: roster.members()[..n_speakers]
+                .iter()
+                .map(Participant::from_member)
+                .collect(),
+            window: Interval::new(SimTime::EPOCH, SimTime::EPOCH + SimDuration::from_mins(mins)),
+            active_fraction: active,
+            level_adjust_db: 0.0,
+        };
+        let mut rng = SeedTree::new(seed).stream("prop-conv");
+        let mut out = Vec::new();
+        let voiced = conversation::generate(&spec, &mut rng, &mut out);
+        prop_assert!(voiced <= spec.window.duration());
+        let allowed: Vec<VoiceSource> = spec.participants.iter().map(|p| p.source).collect();
+        for s in &out {
+            prop_assert!(s.interval.start >= spec.window.start);
+            prop_assert!(s.interval.end <= spec.window.end);
+            prop_assert!(allowed.contains(&s.source));
+            prop_assert!(s.f0_hz >= 60.0);
+        }
+        // Utterances never overlap (single conversational floor).
+        for w in out.windows(2) {
+            prop_assert!(w[1].interval.start >= w[0].interval.end);
+        }
+    }
+
+    #[test]
+    fn incident_mapping_is_a_permutation_each_day(day in 1u32..=MISSION_DAYS) {
+        let script = IncidentScript::icares();
+        let owners: Vec<AstronautId> = AstronautId::ALL
+            .iter()
+            .map(|&w| script.worn_badge_owner(w, day))
+            .collect();
+        // No two wearers claim the same badge.
+        let mut sorted = owners.clone();
+        sorted.sort();
+        sorted.dedup();
+        // F wears C's badge from day 7, so C's own mapping collides — but C
+        // is dead then, making the *live* mapping injective.
+        let live: Vec<AstronautId> = AstronautId::ALL
+            .iter()
+            .filter(|&&w| script.is_aboard(w, SimTime::from_day_hms(day, 12, 0, 0)))
+            .map(|&w| script.worn_badge_owner(w, day))
+            .collect();
+        let mut live_sorted = live.clone();
+        live_sorted.sort();
+        live_sorted.dedup();
+        prop_assert_eq!(live_sorted.len(), live.len(), "badge conflict on day {}", day);
+    }
+
+    #[test]
+    fn talk_mood_is_bounded_and_only_dips(day in 1u32..=MISSION_DAYS) {
+        let script = IncidentScript::icares();
+        let m = script.talk_mood(day);
+        prop_assert!((0.0..=1.0).contains(&m));
+        if day != 11 && day != 12 {
+            prop_assert_eq!(m, 1.0);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The 27 BLE beacons deployed in the habitat.
+//!
+//! "Apart from the badges, we were also allowed to deploy in the habitat 27
+//! BLE beacons, each of which broadcast a message announcing its presence
+//! approximately three times per second." Placement was carefully selected so
+//! that, combined with the metal-wall shielding, room-level localization was
+//! perfect and in-room triangulation accurate.
+
+use crate::floorplan::{FloorPlan, PERIPHERAL_ORDER};
+use crate::rooms::RoomId;
+use ares_simkit::geometry::Point2;
+use ares_simkit::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a deployed beacon (0-based, stable across the mission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BeaconId(pub u8);
+
+impl std::fmt::Display for BeaconId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{:02}", self.0)
+    }
+}
+
+/// A deployed BLE beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Beacon {
+    /// Stable identifier broadcast in every advertisement.
+    pub id: BeaconId,
+    /// Mounting position (badge-height plane).
+    pub position: Point2,
+    /// Room the beacon is mounted in.
+    pub room: RoomId,
+}
+
+/// The beacon deployment: positions, rooms, and the advertising cadence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeaconDeployment {
+    beacons: Vec<Beacon>,
+    advertise_period: SimDuration,
+}
+
+impl BeaconDeployment {
+    /// The paper's advertising rate: "approximately three times per second".
+    pub const ADVERTISE_PERIOD: SimDuration = SimDuration::from_micros(333_333);
+
+    /// The canonical ICAres-1 deployment: 3 beacons in each of the eight
+    /// peripheral modules (corner-ish spread for triangulation) plus 3 along
+    /// the main hall — 27 in total.
+    #[must_use]
+    pub fn icares(plan: &FloorPlan) -> Self {
+        let mut beacons = Vec::with_capacity(27);
+        let mut next = 0u8;
+        let mut push = |p: Point2, room: RoomId, beacons: &mut Vec<Beacon>| {
+            beacons.push(Beacon {
+                id: BeaconId(next),
+                position: p,
+                room,
+            });
+            next += 1;
+        };
+        for &room in &PERIPHERAL_ORDER {
+            let (min, max) = plan.room_polygon(room).bounds();
+            let (w, h) = (max.x - min.x, max.y - min.y);
+            // Spread into three non-collinear mounts: NW, NE, S-center.
+            push(Point2::new(min.x + 0.15 * w, min.y + 0.85 * h), room, &mut beacons);
+            push(Point2::new(min.x + 0.85 * w, min.y + 0.85 * h), room, &mut beacons);
+            push(Point2::new(min.x + 0.50 * w, min.y + 0.15 * h), room, &mut beacons);
+        }
+        // Main hall: west, center, east.
+        let (min, max) = plan.room_polygon(RoomId::Main).bounds();
+        let (w, h) = (max.x - min.x, max.y - min.y);
+        for fx in [0.15, 0.5, 0.85] {
+            push(
+                Point2::new(min.x + fx * w, min.y + 0.5 * h),
+                RoomId::Main,
+                &mut beacons,
+            );
+        }
+        BeaconDeployment {
+            beacons,
+            advertise_period: Self::ADVERTISE_PERIOD,
+        }
+    }
+
+    /// All beacons.
+    #[must_use]
+    pub fn beacons(&self) -> &[Beacon] {
+        &self.beacons
+    }
+
+    /// Number of deployed beacons.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.beacons.len()
+    }
+
+    /// Whether no beacons are deployed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.beacons.is_empty()
+    }
+
+    /// The advertising period.
+    #[must_use]
+    pub fn advertise_period(&self) -> SimDuration {
+        self.advertise_period
+    }
+
+    /// Looks up a beacon by id.
+    #[must_use]
+    pub fn get(&self, id: BeaconId) -> Option<&Beacon> {
+        self.beacons.iter().find(|b| b.id == id)
+    }
+
+    /// Beacons mounted in a given room.
+    pub fn in_room(&self, room: RoomId) -> impl Iterator<Item = &Beacon> {
+        self.beacons.iter().filter(move |b| b.room == room)
+    }
+
+    /// A reduced deployment keeping only the first `per_room` beacons of each
+    /// room — used by the beacon-density ablation experiment.
+    #[must_use]
+    pub fn thinned(&self, per_room: usize) -> BeaconDeployment {
+        let mut kept = Vec::new();
+        for room in RoomId::ALL {
+            kept.extend(self.in_room(room).take(per_room).copied());
+        }
+        kept.sort_by_key(|b| b.id);
+        BeaconDeployment {
+            beacons: kept,
+            advertise_period: self.advertise_period,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icares_has_27_beacons() {
+        let plan = FloorPlan::lunares();
+        let dep = BeaconDeployment::icares(&plan);
+        assert_eq!(dep.len(), 27);
+    }
+
+    #[test]
+    fn beacons_sit_inside_their_rooms() {
+        let plan = FloorPlan::lunares();
+        let dep = BeaconDeployment::icares(&plan);
+        for b in dep.beacons() {
+            assert_eq!(plan.room_at(b.position), Some(b.room), "beacon {}", b.id);
+        }
+    }
+
+    #[test]
+    fn three_per_peripheral_room() {
+        let plan = FloorPlan::lunares();
+        let dep = BeaconDeployment::icares(&plan);
+        for &room in &PERIPHERAL_ORDER {
+            assert_eq!(dep.in_room(room).count(), 3, "{room}");
+        }
+        assert_eq!(dep.in_room(RoomId::Main).count(), 3);
+        assert_eq!(dep.in_room(RoomId::Hangar).count(), 0);
+    }
+
+    #[test]
+    fn in_room_beacons_are_non_collinear() {
+        // Triangulation needs a 2-D spread.
+        let plan = FloorPlan::lunares();
+        let dep = BeaconDeployment::icares(&plan);
+        for &room in &PERIPHERAL_ORDER {
+            let pos: Vec<Point2> = dep.in_room(room).map(|b| b.position).collect();
+            let cross = (pos[1] - pos[0]).cross(pos[2] - pos[0]);
+            assert!(cross.abs() > 0.5, "{room} beacons nearly collinear");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let plan = FloorPlan::lunares();
+        let dep = BeaconDeployment::icares(&plan);
+        let mut seen = std::collections::HashSet::new();
+        for b in dep.beacons() {
+            assert!(seen.insert(b.id));
+            assert_eq!(dep.get(b.id).unwrap().position, b.position);
+        }
+        assert!(dep.get(BeaconId(200)).is_none());
+    }
+
+    #[test]
+    fn thinning_reduces_density() {
+        let plan = FloorPlan::lunares();
+        let dep = BeaconDeployment::icares(&plan);
+        let thin = dep.thinned(1);
+        assert_eq!(thin.len(), 9); // 8 peripheral + 1 main
+        for room in RoomId::ALL {
+            assert!(thin.in_room(room).count() <= 1);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Ambient environment fields: temperature, light and pressure per room.
+//!
+//! The habitat has "no light other than the artificial lighting that
+//! corresponded to Martian time of day", and the kitchen was "favored by the
+//! crew as the cosiest room with the highest temperatures". Badge
+//! thermometer/barometer/light-sensor samples are drawn from these fields
+//! plus sensor noise.
+
+use crate::rooms::{RoomId, RoomTable};
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Length of a Martian sol: 24 h 39 m 35 s.
+pub const SOL: SimDuration = SimDuration::from_micros(88_775_000_000);
+
+/// The environment model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    day_length: SimDuration,
+    base_temp_c: RoomTable<f64>,
+    pressure_hpa: f64,
+}
+
+impl Environment {
+    /// The canonical ICAres-1 environment: Martian day cycle, kitchen warmest,
+    /// hangar coldest, sea-level-ish habitat pressure.
+    #[must_use]
+    pub fn icares() -> Self {
+        let mut base_temp_c = RoomTable::from_fn(|_| 21.0);
+        base_temp_c[RoomId::Kitchen] = 24.5; // cosiest room, highest temperature
+        base_temp_c[RoomId::Main] = 22.0;
+        base_temp_c[RoomId::Bedroom] = 20.0;
+        base_temp_c[RoomId::Storage] = 18.5;
+        base_temp_c[RoomId::Airlock] = 17.0;
+        base_temp_c[RoomId::Hangar] = 12.0;
+        base_temp_c[RoomId::Biolab] = 21.5;
+        base_temp_c[RoomId::Workshop] = 21.0;
+        base_temp_c[RoomId::Office] = 21.0;
+        base_temp_c[RoomId::Restroom] = 22.5;
+        Environment {
+            day_length: SOL,
+            base_temp_c,
+            pressure_hpa: 1003.0,
+        }
+    }
+
+    /// The configured artificial day length (a Martian sol by default —
+    /// the mission "lived on particularly adjusted Martian time").
+    #[must_use]
+    pub fn day_length(&self) -> SimDuration {
+        self.day_length
+    }
+
+    /// Overrides the day length (e.g. to study clock-shift perception).
+    #[must_use]
+    pub fn with_day_length(mut self, day_length: SimDuration) -> Self {
+        assert!(!day_length.is_zero(), "day length must be positive");
+        self.day_length = day_length;
+        self
+    }
+
+    /// Fraction of the artificial day elapsed at `t`, in `[0, 1)`.
+    #[must_use]
+    pub fn day_phase(&self, t: SimTime) -> f64 {
+        let elapsed = t - SimTime::EPOCH;
+        (elapsed % self.day_length) / self.day_length
+    }
+
+    /// Artificial illuminance in lux at time `t` in `room`.
+    ///
+    /// Lights ramp with the Martian day: dark "night" (0.23–0.77 of the cycle
+    /// maps to day), off in the hangar airlock side, dimmer in the bedroom.
+    #[must_use]
+    pub fn light_lux(&self, room: RoomId, t: SimTime) -> f64 {
+        let phase = self.day_phase(t);
+        // Daylight window roughly 07:00–21:00 of the artificial day.
+        let day = (0.29..0.875).contains(&phase);
+        let base: f64 = match room {
+            RoomId::Hangar => 40.0, // dim work lights only
+            RoomId::Bedroom => {
+                if day {
+                    180.0
+                } else {
+                    2.0
+                }
+            }
+            _ => {
+                if day {
+                    420.0
+                } else {
+                    8.0
+                }
+            }
+        };
+        // Smooth ramp near the boundaries.
+        let ramp = {
+            let edges = [(0.29, 1.0), (0.875, -1.0)];
+            let mut k: f64 = 1.0;
+            for (e, _sign) in edges {
+                let d = (phase - e).abs();
+                if d < 0.02 {
+                    k = k.min(d / 0.02);
+                }
+            }
+            k.clamp(0.05, 1.0)
+        };
+        base * ramp
+    }
+
+    /// Ambient temperature in °C at time `t` in `room`, with a mild diurnal
+    /// swing.
+    #[must_use]
+    pub fn temperature_c(&self, room: RoomId, t: SimTime) -> f64 {
+        let phase = self.day_phase(t);
+        let swing = 1.2 * (std::f64::consts::TAU * (phase - 0.55)).cos();
+        *self.base_temp_c.get(room) + swing
+    }
+
+    /// Barometric pressure in hPa (uniform across the sealed habitat, slight
+    /// slow oscillation from the life-support cycle).
+    #[must_use]
+    pub fn pressure_hpa(&self, t: SimTime) -> f64 {
+        let phase = self.day_phase(t);
+        self.pressure_hpa + 1.5 * (std::f64::consts::TAU * phase).sin()
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment::icares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kitchen_is_warmest_indoor_room() {
+        let env = Environment::icares();
+        let t = SimTime::from_day_hms(3, 13, 0, 0);
+        let kitchen = env.temperature_c(RoomId::Kitchen, t);
+        for r in RoomId::ALL {
+            if r != RoomId::Kitchen {
+                assert!(
+                    kitchen > env.temperature_c(r, t),
+                    "kitchen must beat {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lights_follow_martian_day() {
+        let env = Environment::icares();
+        // Mid-cycle (phase 0.5) is daytime; phase 0.05 is night.
+        let day_t = SimTime::EPOCH + SOL.mul_f64(0.5);
+        let night_t = SimTime::EPOCH + SOL.mul_f64(0.05);
+        assert!(env.light_lux(RoomId::Office, day_t) > 300.0);
+        assert!(env.light_lux(RoomId::Office, night_t) < 20.0);
+    }
+
+    #[test]
+    fn martian_day_drifts_against_terrestrial_clock() {
+        let env = Environment::icares();
+        // After one terrestrial day the phase is just short of a full cycle:
+        // the 39.5-minute daily shift experienced by the crew.
+        let phase = env.day_phase(SimTime::from_day_hms(2, 0, 0, 0));
+        assert!(phase > 0.95 && phase < 1.0, "phase {phase}");
+    }
+
+    #[test]
+    fn pressure_stays_in_band() {
+        let env = Environment::icares();
+        for h in 0..48 {
+            let p = env.pressure_hpa(SimTime::from_secs(h * 3600));
+            assert!((1000.0..1006.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn day_phase_wraps() {
+        let env = Environment::icares();
+        let p0 = env.day_phase(SimTime::EPOCH);
+        let p1 = env.day_phase(SimTime::EPOCH + SOL);
+        assert!((p0 - p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_day_length() {
+        let env = Environment::icares().with_day_length(SimDuration::from_hours(24));
+        assert_eq!(env.day_length(), SimDuration::from_hours(24));
+        assert!((env.day_phase(SimTime::from_day_hms(1, 12, 0, 0)) - 0.5).abs() < 1e-9);
+    }
+}

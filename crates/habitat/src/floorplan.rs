@@ -1,0 +1,394 @@
+//! The habitat floor plan: room polygons, doors, walls and the adjacency
+//! graph.
+//!
+//! The peripheral modules sit in a row ("semicircle" unrolled — only topology
+//! and metal-wall shielding matter to the analyses) on the north side of the
+//! central main hall, each connected to the hall by a single door. The hangar
+//! attaches to the airlock. This reproduces the two properties the paper's
+//! localization relies on:
+//!
+//! 1. every inter-room movement transits the main hall, and
+//! 2. the metal walls of any room perfectly shield beacon signals from other
+//!    rooms, except for occasional leakage through open doors.
+
+use crate::rooms::{RoomId, RoomTable};
+use ares_simkit::geometry::{Point2, Polygon, Segment};
+use serde::{Deserialize, Serialize};
+
+/// Width of every peripheral module (m).
+pub const MODULE_W: f64 = 4.0;
+/// Depth of every peripheral module (m).
+pub const MODULE_D: f64 = 4.0;
+/// Depth of the main hall (m).
+pub const MAIN_D: f64 = 6.0;
+/// Width of a doorway (m).
+pub const DOOR_W: f64 = 1.0;
+
+/// A doorway between two rooms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Door {
+    /// One side of the door.
+    pub a: RoomId,
+    /// The other side.
+    pub b: RoomId,
+    /// Center of the doorway opening.
+    pub center: Point2,
+    /// The doorway as a segment (the gap in the wall).
+    pub gap: Segment,
+}
+
+impl Door {
+    /// Whether this door connects `x` and `y` (in either order).
+    #[must_use]
+    pub fn connects(&self, x: RoomId, y: RoomId) -> bool {
+        (self.a == x && self.b == y) || (self.a == y && self.b == x)
+    }
+}
+
+/// The full floor plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloorPlan {
+    rooms: RoomTable<Polygon>,
+    doors: Vec<Door>,
+    walls: Vec<Segment>,
+}
+
+/// Order of the eight peripheral modules from west to east.
+///
+/// The kitchen sits at the far end from the office and workshop — the very
+/// arrangement the paper's Fig. 2 analysis concludes was suboptimal.
+pub const PERIPHERAL_ORDER: [RoomId; 8] = [
+    RoomId::Airlock,
+    RoomId::Workshop,
+    RoomId::Office,
+    RoomId::Storage,
+    RoomId::Biolab,
+    RoomId::Bedroom,
+    RoomId::Restroom,
+    RoomId::Kitchen,
+];
+
+impl FloorPlan {
+    /// Builds the canonical ICAres-1 floor plan.
+    #[must_use]
+    pub fn lunares() -> Self {
+        let total_w = MODULE_W * PERIPHERAL_ORDER.len() as f64;
+        let mut rooms: RoomTable<Polygon> =
+            RoomTable::from_fn(|_| Polygon::rect(0.0, 0.0, 1.0, 1.0));
+        // Main hall along the south.
+        rooms[RoomId::Main] = Polygon::rect(0.0, -MAIN_D, total_w, MAIN_D);
+        // Peripheral modules in a row on the north side.
+        for (i, &room) in PERIPHERAL_ORDER.iter().enumerate() {
+            let x = i as f64 * MODULE_W;
+            rooms[room] = Polygon::rect(x, 0.0, MODULE_W, MODULE_D);
+        }
+        // Hangar north of the airlock.
+        rooms[RoomId::Hangar] = Polygon::rect(-2.0, MODULE_D, 8.0, 8.0);
+
+        let mut doors = Vec::new();
+        for (i, &room) in PERIPHERAL_ORDER.iter().enumerate() {
+            let cx = i as f64 * MODULE_W + MODULE_W / 2.0;
+            let center = Point2::new(cx, 0.0);
+            doors.push(Door {
+                a: room,
+                b: RoomId::Main,
+                center,
+                gap: Segment::new(
+                    Point2::new(cx - DOOR_W / 2.0, 0.0),
+                    Point2::new(cx + DOOR_W / 2.0, 0.0),
+                ),
+            });
+        }
+        // Airlock → hangar door in the airlock's north wall.
+        let hx = MODULE_W / 2.0;
+        doors.push(Door {
+            a: RoomId::Airlock,
+            b: RoomId::Hangar,
+            center: Point2::new(hx, MODULE_D),
+            gap: Segment::new(
+                Point2::new(hx - DOOR_W / 2.0, MODULE_D),
+                Point2::new(hx + DOOR_W / 2.0, MODULE_D),
+            ),
+        });
+
+        let mut plan = FloorPlan {
+            rooms,
+            doors,
+            walls: Vec::new(),
+        };
+        plan.walls = plan.build_walls();
+        plan
+    }
+
+    /// The polygon of a room.
+    #[must_use]
+    pub fn room_polygon(&self, room: RoomId) -> &Polygon {
+        &self.rooms[room]
+    }
+
+    /// All doors.
+    #[must_use]
+    pub fn doors(&self) -> &[Door] {
+        &self.doors
+    }
+
+    /// All wall segments (room boundaries with doorway gaps removed).
+    #[must_use]
+    pub fn walls(&self) -> &[Segment] {
+        &self.walls
+    }
+
+    /// The room containing point `p`, preferring peripheral rooms over the
+    /// hangar and main hall when a point sits exactly on a shared boundary.
+    #[must_use]
+    pub fn room_at(&self, p: Point2) -> Option<RoomId> {
+        // Peripheral rooms first so boundary points resolve deterministically.
+        for &room in &PERIPHERAL_ORDER {
+            if self.rooms[room].contains(p) {
+                return Some(room);
+            }
+        }
+        if self.rooms[RoomId::Main].contains(p) {
+            return Some(RoomId::Main);
+        }
+        if self.rooms[RoomId::Hangar].contains(p) {
+            return Some(RoomId::Hangar);
+        }
+        None
+    }
+
+    /// Rooms adjacent to `room` through a door.
+    #[must_use]
+    pub fn neighbors(&self, room: RoomId) -> Vec<RoomId> {
+        let mut out = Vec::new();
+        for d in &self.doors {
+            if d.a == room {
+                out.push(d.b);
+            } else if d.b == room {
+                out.push(d.a);
+            }
+        }
+        out
+    }
+
+    /// The door between two rooms, if directly connected.
+    #[must_use]
+    pub fn door_between(&self, a: RoomId, b: RoomId) -> Option<&Door> {
+        self.doors.iter().find(|d| d.connects(a, b))
+    }
+
+    /// Shortest door-to-door route between rooms as a list of rooms
+    /// (inclusive of both endpoints), by breadth-first search.
+    ///
+    /// Returns `None` only if the rooms are disconnected (never happens in the
+    /// canonical plan).
+    #[must_use]
+    pub fn route(&self, from: RoomId, to: RoomId) -> Option<Vec<RoomId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: RoomTable<Option<RoomId>> = RoomTable::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut visited: RoomTable<bool> = RoomTable::new();
+        visited[from] = true;
+        while let Some(cur) = queue.pop_front() {
+            for next in self.neighbors(cur) {
+                if !visited[next] {
+                    visited[next] = true;
+                    prev[next] = Some(cur);
+                    if next == to {
+                        let mut path = vec![to];
+                        let mut node = to;
+                        while let Some(p) = prev[node] {
+                            path.push(p);
+                            node = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Counts wall segments crossed by the straight line `a → b`.
+    ///
+    /// Doorway gaps are not walls, so a line passing through an open door
+    /// crosses fewer walls — this is what lets occasional beacon packets leak
+    /// between rooms in the RF model.
+    #[must_use]
+    pub fn walls_crossed(&self, a: Point2, b: Point2) -> usize {
+        let ray = Segment::new(a, b);
+        self.walls.iter().filter(|w| w.intersects(&ray)).count()
+    }
+
+    /// A representative interior point of a room (its centroid).
+    #[must_use]
+    pub fn room_center(&self, room: RoomId) -> Point2 {
+        self.rooms[room].centroid()
+    }
+
+    /// Overall bounding box of the plan.
+    #[must_use]
+    pub fn bounds(&self) -> (Point2, Point2) {
+        let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for (_, poly) in self.rooms.iter() {
+            let (lo, hi) = poly.bounds();
+            min.x = min.x.min(lo.x);
+            min.y = min.y.min(lo.y);
+            max.x = max.x.max(hi.x);
+            max.y = max.y.max(hi.y);
+        }
+        (min, max)
+    }
+
+    /// Splits each room's boundary into wall segments, cutting out doorway
+    /// gaps. Shared walls are emitted once per room (so a beacon-to-badge ray
+    /// between adjacent rooms crosses the shared boundary twice); the RF model
+    /// compensates with a per-crossing attenuation calibrated to that
+    /// convention.
+    fn build_walls(&self) -> Vec<Segment> {
+        let mut walls = Vec::new();
+        for (room, poly) in self.rooms.iter() {
+            for edge in poly.edges() {
+                let mut cuts: Vec<(f64, f64)> = Vec::new();
+                for d in &self.doors {
+                    if d.a != room && d.b != room {
+                        continue;
+                    }
+                    // Project the door gap onto this edge if collinear-ish.
+                    if edge.distance_to_point(d.gap.a) < 1e-6
+                        && edge.distance_to_point(d.gap.b) < 1e-6
+                    {
+                        let dir = edge.b - edge.a;
+                        let len = dir.norm();
+                        let t0 = (d.gap.a - edge.a).dot(dir) / (len * len);
+                        let t1 = (d.gap.b - edge.a).dot(dir) / (len * len);
+                        cuts.push((t0.min(t1).clamp(0.0, 1.0), t0.max(t1).clamp(0.0, 1.0)));
+                    }
+                }
+                cuts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite cut"));
+                let mut t = 0.0;
+                for (c0, c1) in cuts {
+                    if c0 > t + 1e-9 {
+                        walls.push(Segment::new(
+                            edge.a + (edge.b - edge.a) * t,
+                            edge.a + (edge.b - edge.a) * c0,
+                        ));
+                    }
+                    t = t.max(c1);
+                }
+                if t < 1.0 - 1e-9 {
+                    walls.push(Segment::new(
+                        edge.a + (edge.b - edge.a) * t,
+                        edge.b,
+                    ));
+                }
+            }
+        }
+        walls
+    }
+}
+
+impl Default for FloorPlan {
+    fn default() -> Self {
+        FloorPlan::lunares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_room_has_positive_area_and_disjoint_interiors() {
+        let plan = FloorPlan::lunares();
+        for r in RoomId::ALL {
+            assert!(plan.room_polygon(r).area() > 1.0, "{r} too small");
+        }
+        // Interiors of distinct peripheral rooms don't overlap.
+        for &a in &PERIPHERAL_ORDER {
+            for &b in &PERIPHERAL_ORDER {
+                if a != b {
+                    let ca = plan.room_center(a);
+                    assert!(!plan.room_polygon(b).contains(ca));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn room_at_resolves_centers() {
+        let plan = FloorPlan::lunares();
+        for r in RoomId::ALL {
+            assert_eq!(plan.room_at(plan.room_center(r)), Some(r), "center of {r}");
+        }
+        assert_eq!(plan.room_at(Point2::new(-100.0, 0.0)), None);
+    }
+
+    #[test]
+    fn main_is_adjacent_to_all_peripherals() {
+        let plan = FloorPlan::lunares();
+        let n = plan.neighbors(RoomId::Main);
+        for &r in &PERIPHERAL_ORDER {
+            assert!(n.contains(&r), "main not adjacent to {r}");
+        }
+        assert!(!n.contains(&RoomId::Hangar));
+    }
+
+    #[test]
+    fn hangar_only_via_airlock() {
+        let plan = FloorPlan::lunares();
+        assert_eq!(plan.neighbors(RoomId::Hangar), vec![RoomId::Airlock]);
+        let route = plan.route(RoomId::Kitchen, RoomId::Hangar).unwrap();
+        assert_eq!(
+            route,
+            vec![RoomId::Kitchen, RoomId::Main, RoomId::Airlock, RoomId::Hangar]
+        );
+    }
+
+    #[test]
+    fn peripheral_to_peripheral_routes_via_main() {
+        let plan = FloorPlan::lunares();
+        let route = plan.route(RoomId::Office, RoomId::Kitchen).unwrap();
+        assert_eq!(route, vec![RoomId::Office, RoomId::Main, RoomId::Kitchen]);
+    }
+
+    #[test]
+    fn walls_block_but_doors_leak() {
+        let plan = FloorPlan::lunares();
+        let office = plan.room_center(RoomId::Office);
+        let kitchen = plan.room_center(RoomId::Kitchen);
+        // Far rooms: the direct ray crosses several wall segments.
+        assert!(plan.walls_crossed(office, kitchen) >= 2);
+        // Same room: no walls.
+        let p = office + (ares_simkit::geometry::Vec2::new(1.0, 0.5));
+        assert_eq!(plan.walls_crossed(office, p), 0);
+        // Through an open door into main: the segment through the doorway
+        // center crosses fewer walls than one through the solid wall.
+        let door = plan.door_between(RoomId::Office, RoomId::Main).unwrap();
+        let just_inside = Point2::new(door.center.x, 0.5);
+        let just_outside = Point2::new(door.center.x, -0.5);
+        assert_eq!(plan.walls_crossed(just_inside, just_outside), 0);
+        let through_wall_in = Point2::new(door.center.x + 1.5, 0.5);
+        let through_wall_out = Point2::new(door.center.x + 1.5, -0.5);
+        assert!(plan.walls_crossed(through_wall_in, through_wall_out) >= 1);
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let plan = FloorPlan::lunares();
+        assert_eq!(plan.route(RoomId::Biolab, RoomId::Biolab).unwrap(), vec![RoomId::Biolab]);
+    }
+
+    #[test]
+    fn bounds_cover_all_rooms() {
+        let plan = FloorPlan::lunares();
+        let (min, max) = plan.bounds();
+        assert!(min.x <= -2.0 && max.x >= 32.0);
+        assert!(min.y <= -6.0 && max.y >= 12.0);
+    }
+}

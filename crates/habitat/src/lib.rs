@@ -1,0 +1,42 @@
+//! `ares-habitat` — model of the Lunares-class analog Mars habitat.
+//!
+//! This crate provides the physical substrate of the ICAres-1 reproduction:
+//!
+//! * [`rooms`] — the canonical room set and dense per-room tables.
+//! * [`floorplan`] — room polygons, doors, metal walls, adjacency and routing.
+//! * [`beacons`] — the 27-beacon BLE deployment broadcasting at ~3 Hz.
+//! * [`rf`] — indoor path-loss channels (BLE, 868 MHz) with per-wall
+//!   attenuation and shadowing, plus the infrared face-to-face cone model.
+//! * [`environment`] — per-room temperature/light/pressure fields on a
+//!   Martian-sol cycle.
+//!
+//! # Examples
+//!
+//! ```
+//! use ares_habitat::prelude::*;
+//!
+//! let plan = FloorPlan::lunares();
+//! let beacons = BeaconDeployment::icares(&plan);
+//! assert_eq!(beacons.len(), 27);
+//! // Every inter-module route passes through the main hall:
+//! let route = plan.route(RoomId::Biolab, RoomId::Kitchen).unwrap();
+//! assert_eq!(route[1], RoomId::Main);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod beacons;
+pub mod environment;
+pub mod floorplan;
+pub mod rf;
+pub mod rooms;
+
+/// Convenient glob-import of the most used habitat types.
+pub mod prelude {
+    pub use crate::beacons::{Beacon, BeaconDeployment, BeaconId};
+    pub use crate::environment::Environment;
+    pub use crate::floorplan::{Door, FloorPlan};
+    pub use crate::rf::{Channel, ChannelParams, InfraredParams, Reception, Rssi};
+    pub use crate::rooms::{RoomId, RoomTable};
+}

@@ -1,0 +1,220 @@
+//! Room identities of the Lunares-class habitat.
+//!
+//! The ICAres-1 habitat consists of separate modules "of distinct kinds and
+//! purposes: a bedroom, kitchen, office, biological and analytical
+//! laboratories, an equipment storage, gym, and bathroom, which are all
+//! arranged in a semicircle with a place to rest in the middle", plus an
+//! airlock leading to an isolated hangar with emulated Martian regolith.
+//!
+//! The paper's Fig. 2 aggregates these into eight peripheral rooms (airlock,
+//! bedroom, biolab, kitchen, office, restroom, storage, workshop) and excludes
+//! the central main room that is adjacent to all others; we use the same
+//! canonical room set.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A room of the habitat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RoomId {
+    /// The central hub ("a place to rest in the middle"), adjacent to every
+    /// other room; excluded from the Fig. 2 passage matrix.
+    Main,
+    /// Airlock leading to the hangar; EVA transit point.
+    Airlock,
+    /// Shared bedroom module.
+    Bedroom,
+    /// Biological laboratory.
+    Biolab,
+    /// Kitchen / mess module — the paper found it the "cosiest" room.
+    Kitchen,
+    /// Office / paperwork module.
+    Office,
+    /// Bathroom / restroom (badges were not worn here).
+    Restroom,
+    /// Equipment storage.
+    Storage,
+    /// Workshop with 3-D printers and analytical bench.
+    Workshop,
+    /// The isolated hangar with emulated Martian surface, reachable only via
+    /// the airlock; badges are taken off for EVAs.
+    Hangar,
+}
+
+impl RoomId {
+    /// All rooms, including [`RoomId::Main`] and [`RoomId::Hangar`].
+    pub const ALL: [RoomId; 10] = [
+        RoomId::Main,
+        RoomId::Airlock,
+        RoomId::Bedroom,
+        RoomId::Biolab,
+        RoomId::Kitchen,
+        RoomId::Office,
+        RoomId::Restroom,
+        RoomId::Storage,
+        RoomId::Workshop,
+        RoomId::Hangar,
+    ];
+
+    /// The eight peripheral rooms reported in the paper's Fig. 2 (alphabetical
+    /// order, matching the figure's axes).
+    pub const FIG2: [RoomId; 8] = [
+        RoomId::Airlock,
+        RoomId::Bedroom,
+        RoomId::Biolab,
+        RoomId::Kitchen,
+        RoomId::Office,
+        RoomId::Restroom,
+        RoomId::Storage,
+        RoomId::Workshop,
+    ];
+
+    /// Short lowercase label as used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RoomId::Main => "main",
+            RoomId::Airlock => "airlock",
+            RoomId::Bedroom => "bedroom",
+            RoomId::Biolab => "biolab",
+            RoomId::Kitchen => "kitchen",
+            RoomId::Office => "office",
+            RoomId::Restroom => "restroom",
+            RoomId::Storage => "storage",
+            RoomId::Workshop => "workshop",
+            RoomId::Hangar => "hangar",
+        }
+    }
+
+    /// Dense index into [`RoomId::ALL`], for array-backed per-room tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        RoomId::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("room present in ALL")
+    }
+
+    /// Whether this room appears in the Fig. 2 passage matrix.
+    #[must_use]
+    pub fn in_fig2(self) -> bool {
+        RoomId::FIG2.contains(&self)
+    }
+
+    /// Whether badges are systematically *not* worn here (restroom privacy
+    /// rule; hangar because badges are prohibited during EVAs).
+    #[must_use]
+    pub fn is_no_wear_zone(self) -> bool {
+        matches!(self, RoomId::Restroom | RoomId::Hangar)
+    }
+}
+
+impl fmt::Display for RoomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A dense per-room table of values, indexed by [`RoomId`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoomTable<T> {
+    values: Vec<T>,
+}
+
+impl<T: Default + Clone> Default for RoomTable<T> {
+    fn default() -> Self {
+        RoomTable {
+            values: vec![T::default(); RoomId::ALL.len()],
+        }
+    }
+}
+
+impl<T: Default + Clone> RoomTable<T> {
+    /// Creates a table with default values for every room.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<T> RoomTable<T> {
+    /// Builds a table by evaluating `f` for every room.
+    pub fn from_fn(mut f: impl FnMut(RoomId) -> T) -> Self {
+        RoomTable {
+            values: RoomId::ALL.iter().map(|&r| f(r)).collect(),
+        }
+    }
+
+    /// Shared access to a room's value.
+    #[must_use]
+    pub fn get(&self, room: RoomId) -> &T {
+        &self.values[room.index()]
+    }
+
+    /// Mutable access to a room's value.
+    pub fn get_mut(&mut self, room: RoomId) -> &mut T {
+        &mut self.values[room.index()]
+    }
+
+    /// Iterates `(room, value)` pairs in [`RoomId::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (RoomId, &T)> {
+        RoomId::ALL.iter().copied().zip(self.values.iter())
+    }
+}
+
+impl<T> std::ops::Index<RoomId> for RoomTable<T> {
+    type Output = T;
+    fn index(&self, room: RoomId) -> &T {
+        self.get(room)
+    }
+}
+
+impl<T> std::ops::IndexMut<RoomId> for RoomTable<T> {
+    fn index_mut(&mut self, room: RoomId) -> &mut T {
+        self.get_mut(room)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for r in RoomId::ALL {
+            assert!(seen.insert(r.index()));
+            assert!(r.index() < RoomId::ALL.len());
+        }
+    }
+
+    #[test]
+    fn fig2_set_matches_paper_axes() {
+        let labels: Vec<&str> = RoomId::FIG2.iter().map(|r| r.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["airlock", "bedroom", "biolab", "kitchen", "office", "restroom", "storage", "workshop"]
+        );
+        assert!(!RoomId::Main.in_fig2());
+        assert!(!RoomId::Hangar.in_fig2());
+    }
+
+    #[test]
+    fn no_wear_zones() {
+        assert!(RoomId::Restroom.is_no_wear_zone());
+        assert!(RoomId::Hangar.is_no_wear_zone());
+        assert!(!RoomId::Kitchen.is_no_wear_zone());
+    }
+
+    #[test]
+    fn room_table_round_trip() {
+        let mut t: RoomTable<u32> = RoomTable::new();
+        t[RoomId::Kitchen] = 7;
+        assert_eq!(t[RoomId::Kitchen], 7);
+        assert_eq!(t[RoomId::Office], 0);
+        let built = RoomTable::from_fn(|r| r.index() as u32);
+        for (room, v) in built.iter() {
+            assert_eq!(*v, room.index() as u32);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the habitat substrate.
+
+use ares_habitat::beacons::BeaconDeployment;
+use ares_habitat::environment::Environment;
+use ares_habitat::floorplan::FloorPlan;
+use ares_habitat::rf::{Channel, ChannelParams};
+use ares_habitat::rooms::RoomId;
+use ares_simkit::geometry::Point2;
+use ares_simkit::rng::SeedTree;
+use ares_simkit::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_interior_point_belongs_to_exactly_one_room(
+        fx in 0.02f64..0.98, fy in 0.02f64..0.98, room_idx in 0usize..10,
+    ) {
+        let plan = FloorPlan::lunares();
+        let room = RoomId::ALL[room_idx];
+        let (min, max) = plan.room_polygon(room).bounds();
+        // Strictly interior point of the chosen room.
+        let p = Point2::new(
+            min.x + 0.05 + fx * (max.x - min.x - 0.1),
+            min.y + 0.05 + fy * (max.y - min.y - 0.1),
+        );
+        prop_assert_eq!(plan.room_at(p), Some(room));
+    }
+
+    #[test]
+    fn routes_are_symmetric_and_door_connected(a in 0usize..10, b in 0usize..10) {
+        let plan = FloorPlan::lunares();
+        let (x, y) = (RoomId::ALL[a], RoomId::ALL[b]);
+        let fwd = plan.route(x, y).expect("habitat is connected");
+        let back = plan.route(y, x).expect("habitat is connected");
+        prop_assert_eq!(fwd.len(), back.len(), "asymmetric route lengths");
+        prop_assert_eq!(*fwd.first().unwrap(), x);
+        prop_assert_eq!(*fwd.last().unwrap(), y);
+        for pair in fwd.windows(2) {
+            prop_assert!(
+                plan.door_between(pair[0], pair[1]).is_some(),
+                "route hop {}→{} has no door", pair[0], pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn ranging_inverts_path_loss_everywhere(d in 0.3f64..30.0, walls in 0usize..3) {
+        let p = ChannelParams::ble();
+        let rssi = p.mean_rssi(d, walls);
+        if walls == 0 {
+            let back = p.distance_for_rssi(rssi);
+            prop_assert!((back - d).abs() < 1e-6, "{back} vs {d}");
+        } else {
+            // Walls only ever reduce RSSI.
+            prop_assert!(rssi < p.mean_rssi(d, 0));
+        }
+    }
+
+    #[test]
+    fn rssi_is_monotone_in_distance(d1 in 0.3f64..30.0, d2 in 0.3f64..30.0) {
+        let p = ChannelParams::sub_ghz();
+        if d1 < d2 {
+            prop_assert!(p.mean_rssi(d1, 0) > p.mean_rssi(d2, 0));
+        }
+    }
+
+    #[test]
+    fn reception_probability_decays_with_walls(seed in 0u64..500) {
+        let plan = FloorPlan::lunares();
+        let ch = Channel::new(ChannelParams::ble());
+        let mut rng = SeedTree::new(seed).stream("prop-rf");
+        let tx = plan.room_center(RoomId::Office);
+        let near = tx + ares_simkit::geometry::Vec2::new(1.0, 0.5);
+        let far = plan.room_center(RoomId::Bedroom);
+        let mut near_ok = 0;
+        let mut far_ok = 0;
+        for _ in 0..60 {
+            if ch.transmit(&plan, tx, near, &mut rng).rssi().is_some() {
+                near_ok += 1;
+            }
+            if ch.transmit(&plan, tx, far, &mut rng).rssi().is_some() {
+                far_ok += 1;
+            }
+        }
+        prop_assert!(near_ok > 40, "same-room link unreliable: {near_ok}/60");
+        prop_assert_eq!(far_ok, 0, "cross-habitat link must be shielded");
+    }
+
+    #[test]
+    fn thinned_deployments_are_subsets(per_room in 0usize..4) {
+        let plan = FloorPlan::lunares();
+        let full = BeaconDeployment::icares(&plan);
+        let thin = full.thinned(per_room);
+        prop_assert!(thin.len() <= full.len());
+        for b in thin.beacons() {
+            let original = full.get(b.id).expect("thin beacon exists in full");
+            prop_assert_eq!(original.position, b.position);
+        }
+        for room in RoomId::ALL {
+            prop_assert!(thin.in_room(room).count() <= per_room);
+        }
+    }
+
+    #[test]
+    fn environment_fields_stay_physical(day in 1u32..15, h in 0u32..24, m in 0u32..60, room_idx in 0usize..10) {
+        let env = Environment::icares();
+        let t = SimTime::from_day_hms(day, h, m, 0);
+        let room = RoomId::ALL[room_idx];
+        let temp = env.temperature_c(room, t);
+        prop_assert!((5.0..=30.0).contains(&temp), "temp {temp}");
+        let lux = env.light_lux(room, t);
+        prop_assert!((0.0..=1000.0).contains(&lux), "lux {lux}");
+        let hpa = env.pressure_hpa(t);
+        prop_assert!((995.0..=1010.0).contains(&hpa), "pressure {hpa}");
+        let phase = env.day_phase(t);
+        prop_assert!((0.0..1.0).contains(&phase));
+    }
+}

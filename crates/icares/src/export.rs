@@ -1,0 +1,127 @@
+//! Artifact export: write every regenerated figure/table to disk as
+//! CSV/JSON/text, so downstream analyses (or a plotting notebook) can pick
+//! them up without re-running the simulation.
+
+use crate::calibration::ClaimCheck;
+use crate::figures::{DailySeries, Figure2, Figure3, Figure5, StatsReport};
+use ares_sociometrics::report::TableOne;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything `export_all` writes.
+#[derive(Debug)]
+pub struct ExportBundle<'a> {
+    /// Fig. 2.
+    pub fig2: &'a Figure2,
+    /// Fig. 3.
+    pub fig3: &'a Figure3,
+    /// Fig. 4.
+    pub fig4: &'a DailySeries,
+    /// Fig. 5.
+    pub fig5: &'a Figure5,
+    /// Fig. 6.
+    pub fig6: &'a DailySeries,
+    /// Table I.
+    pub table1: &'a TableOne,
+    /// Prose statistics.
+    pub stats: &'a StatsReport,
+    /// Claim checks.
+    pub claims: &'a [ClaimCheck],
+}
+
+/// Writes all artifacts into `dir` (created if missing); returns the paths
+/// written.
+///
+/// # Errors
+///
+/// Propagates any I/O error from directory creation or file writes.
+pub fn export_all(dir: &Path, bundle: &ExportBundle<'_>) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut write = |name: &str, contents: String| -> io::Result<()> {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)?;
+        written.push(path);
+        Ok(())
+    };
+    write("fig2_passages.csv", bundle.fig2.to_csv())?;
+    write("fig2_passages.txt", bundle.fig2.render())?;
+    write("fig3_heatmap_A.txt", bundle.fig3.ascii.clone())?;
+    write(
+        "fig3_center_distances.json",
+        serde_json::to_string_pretty(&bundle.fig3.center_distance_m)
+            .expect("serializable array"),
+    )?;
+    write("fig4_walking.csv", bundle.fig4.to_csv())?;
+    write("fig5_timeline.txt", bundle.fig5.render())?;
+    write("fig6_speech.csv", bundle.fig6.to_csv())?;
+    write(
+        "table1.json",
+        serde_json::to_string_pretty(bundle.table1).expect("serializable table"),
+    )?;
+    write("table1.txt", bundle.table1.render())?;
+    write(
+        "stats.json",
+        serde_json::to_string_pretty(bundle.stats).expect("serializable stats"),
+    )?;
+    write(
+        "claims.md",
+        crate::calibration::render_claims_markdown(bundle.claims),
+    )?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration;
+    use crate::figures;
+    use ares_crew::roster::AstronautId;
+    use ares_habitat::beacons::BeaconDeployment;
+    use ares_habitat::floorplan::FloorPlan;
+    use ares_sociometrics::pipeline::MissionAnalysis;
+
+    #[test]
+    fn exports_every_artifact() {
+        let plan = FloorPlan::lunares();
+        let mission = MissionAnalysis::new(&plan);
+        let beacons = BeaconDeployment::icares(&plan);
+        let fig2 = figures::figure2(&mission);
+        let fig3 = figures::figure3(&mission, &plan, &beacons, AstronautId::A);
+        let fig4 = figures::figure4(&mission);
+        let fig6 = figures::figure6(&mission);
+        let table1 = ares_sociometrics::report::table_one(&mission);
+        let stats = figures::stats_report(&mission);
+        let fig5 = figures::Figure5 {
+            bins: Vec::new(),
+            rooms: Default::default(),
+            speech: Default::default(),
+            gatherings: Vec::new(),
+            lunch_level_db: None,
+        };
+        let claims = vec![calibration::ClaimCheck {
+            id: "X".into(),
+            paper: "p".into(),
+            measured: "m".into(),
+            pass: true,
+        }];
+        let dir = std::env::temp_dir().join(format!("ares-export-{}", std::process::id()));
+        let bundle = ExportBundle {
+            fig2: &fig2,
+            fig3: &fig3,
+            fig4: &fig4,
+            fig5: &fig5,
+            fig6: &fig6,
+            table1: &table1,
+            stats: &stats,
+            claims: &claims,
+        };
+        let written = export_all(&dir, &bundle).expect("export succeeds");
+        assert_eq!(written.len(), 11);
+        for p in &written {
+            assert!(p.exists(), "{p:?} missing");
+            assert!(std::fs::metadata(p).unwrap().len() > 0, "{p:?} empty");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

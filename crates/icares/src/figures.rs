@@ -1,0 +1,696 @@
+//! Generators for every figure and table of the paper's evaluation.
+//!
+//! Each generator consumes pipeline output (never ground truth) and produces
+//! a structured, serializable artifact with an ASCII rendering and a CSV
+//! export — the same rows/series the paper reports.
+
+use ares_crew::roster::AstronautId;
+use ares_habitat::beacons::BeaconDeployment;
+use ares_habitat::floorplan::FloorPlan;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::time::{SimDuration, SimTime};
+use ares_sociometrics::pipeline::{DayAnalysis, MissionAnalysis};
+use serde::{Deserialize, Serialize};
+
+/// Fig. 2: "Total number of passages from one room to another (the main room
+/// adjacent to all other rooms is not considered)."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2 {
+    /// `counts[from][to]` over [`RoomId::FIG2`].
+    pub counts: [[u32; 8]; 8],
+}
+
+/// Builds Fig. 2 from the mission passage matrix.
+#[must_use]
+pub fn figure2(mission: &MissionAnalysis) -> Figure2 {
+    let mut counts = [[0u32; 8]; 8];
+    for (i, &from) in RoomId::FIG2.iter().enumerate() {
+        for (j, &to) in RoomId::FIG2.iter().enumerate() {
+            counts[i][j] = mission.passages.count(from, to);
+        }
+    }
+    Figure2 { counts }
+}
+
+impl Figure2 {
+    /// ASCII rendering in the paper's layout (original room rows,
+    /// destination room columns).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("original \\ destination");
+        for r in RoomId::FIG2 {
+            out.push_str(&format!("{:>10}", r.label()));
+        }
+        out.push('\n');
+        for (i, from) in RoomId::FIG2.iter().enumerate() {
+            out.push_str(&format!("{:<21}", from.label()));
+            for j in 0..8 {
+                if i == j {
+                    out.push_str(&format!("{:>10}", "·"));
+                } else {
+                    out.push_str(&format!("{:>10}", self.counts[i][j]));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV export (`from,to,count`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("from,to,count\n");
+        for (i, from) in RoomId::FIG2.iter().enumerate() {
+            for (j, to) in RoomId::FIG2.iter().enumerate() {
+                out.push_str(&format!("{},{},{}\n", from.label(), to.label(), self.counts[i][j]));
+            }
+        }
+        out
+    }
+
+    /// The most trafficked ordered pair.
+    #[must_use]
+    pub fn hottest(&self) -> (RoomId, RoomId, u32) {
+        let mut best = (RoomId::FIG2[0], RoomId::FIG2[1], 0);
+        for (i, &from) in RoomId::FIG2.iter().enumerate() {
+            for (j, &to) in RoomId::FIG2.iter().enumerate() {
+                if self.counts[i][j] > best.2 {
+                    best = (from, to, self.counts[i][j]);
+                }
+            }
+        }
+        best
+    }
+
+    /// Combined (both directions) traffic between a pair.
+    #[must_use]
+    pub fn round_trips(&self, a: RoomId, b: RoomId) -> u32 {
+        let idx = |r: RoomId| RoomId::FIG2.iter().position(|&x| x == r);
+        match (idx(a), idx(b)) {
+            (Some(i), Some(j)) => self.counts[i][j] + self.counts[j][i],
+            _ => 0,
+        }
+    }
+}
+
+/// Fig. 3: positional heatmap of one astronaut over the whole mission,
+/// 28 cm × 28 cm cells, log scale, with beacon positions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3 {
+    /// Whose heatmap.
+    pub astronaut: AstronautId,
+    /// Character rows of the rendered map.
+    pub ascii: String,
+    /// Mean distance of dwell mass from the centre of its room, per
+    /// astronaut — A's signature value is the smallest.
+    pub center_distance_m: [f64; 6],
+    /// Total mapped seconds of the selected astronaut.
+    pub total_seconds: f64,
+}
+
+/// Builds Fig. 3 for `astronaut` (the paper shows A).
+#[must_use]
+pub fn figure3(
+    mission: &MissionAnalysis,
+    plan: &FloorPlan,
+    beacons: &BeaconDeployment,
+    astronaut: AstronautId,
+) -> Figure3 {
+    let hm = &mission.heatmaps[astronaut.index()];
+    let shades: &[u8] = b" .:-=+*#%@";
+    let grid = &hm.grid;
+    // Downsample 3×3 cells per character for a terminal-sized map.
+    let step = 3;
+    let mut ascii = String::new();
+    let mut iy = grid.ny();
+    while iy >= step {
+        iy -= step;
+        for ix in (0..grid.nx().saturating_sub(step - 1)).step_by(step) {
+            let mut beacon_here = false;
+            let mut best = 0.0f64;
+            for dy in 0..step {
+                for dx in 0..step {
+                    let c = grid.cell_center(ix + dx, iy + dy);
+                    best = best.max(hm.log_intensity(ix + dx, iy + dy));
+                    if beacons
+                        .beacons()
+                        .iter()
+                        .any(|b| b.position.distance(c) < 0.25)
+                    {
+                        beacon_here = true;
+                    }
+                }
+            }
+            if beacon_here {
+                ascii.push('O');
+            } else {
+                let idx = (best * (shades.len() - 1) as f64).round() as usize;
+                ascii.push(shades[idx.min(shades.len() - 1)] as char);
+            }
+        }
+        ascii.push('\n');
+    }
+    let mut center_distance_m = [0.0; 6];
+    for a in AstronautId::ALL {
+        center_distance_m[a.index()] = mission.heatmaps[a.index()].mean_center_distance(plan);
+    }
+    Figure3 {
+        astronaut,
+        ascii,
+        center_distance_m,
+        total_seconds: hm.total_seconds(),
+    }
+}
+
+/// A per-day, per-astronaut series (Figs. 4 and 6 share this shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailySeries {
+    /// Mission days covered.
+    pub days: Vec<u32>,
+    /// `values[astronaut][day_index]`, `None` where no data was recorded.
+    pub values: [Vec<Option<f64>>; 6],
+    /// Series label.
+    pub label: String,
+}
+
+impl DailySeries {
+    /// ASCII rendering: one row per day.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("day   {}\n", AstronautId::ALL.map(|a| format!("{a:>6}")).join(""));
+        for (di, day) in self.days.iter().enumerate() {
+            out.push_str(&format!("{day:>3}   "));
+            for a in AstronautId::ALL {
+                match self.values[a.index()][di] {
+                    Some(v) => out.push_str(&format!("{v:>6.3}")),
+                    None => out.push_str(&format!("{:>6}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV export.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("day,A,B,C,D,E,F\n");
+        for (di, day) in self.days.iter().enumerate() {
+            out.push_str(&day.to_string());
+            for a in AstronautId::ALL {
+                match self.values[a.index()][di] {
+                    Some(v) => out.push_str(&format!(",{v:.4}")),
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mission-mean for one astronaut over the covered days.
+    #[must_use]
+    pub fn mean_of(&self, a: AstronautId) -> f64 {
+        let v: Vec<f64> = self.values[a.index()].iter().flatten().copied().collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+
+    /// Least-squares slope across days (for trend assertions: Fig. 6 talk
+    /// decline is negative).
+    #[must_use]
+    pub fn trend_of(&self, a: AstronautId) -> f64 {
+        let pts: Vec<(f64, f64)> = self
+            .days
+            .iter()
+            .zip(&self.values[a.index()])
+            .filter_map(|(&d, v)| v.map(|x| (f64::from(d), x)))
+            .collect();
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        ares_simkit::stats::linear_fit(&xs, &ys).1
+    }
+}
+
+/// Fig. 4: fraction of recorded time spent walking, days 2–8.
+#[must_use]
+pub fn figure4(mission: &MissionAnalysis) -> DailySeries {
+    daily_series(mission, 2, 8, "fraction of walking", |d| d.walking_fraction)
+}
+
+/// Fig. 6: fraction of recorded 15-s intervals with detected speech,
+/// days 2–14.
+#[must_use]
+pub fn figure6(mission: &MissionAnalysis) -> DailySeries {
+    daily_series(mission, 2, 14, "fraction of speech", |d| d.heard_fraction)
+}
+
+fn daily_series(
+    mission: &MissionAnalysis,
+    from: u32,
+    to: u32,
+    label: &str,
+    f: impl Fn(&ares_sociometrics::pipeline::AstronautDaily) -> f64,
+) -> DailySeries {
+    let days: Vec<u32> = (from..=to).collect();
+    let mut values: [Vec<Option<f64>>; 6] = Default::default();
+    for &day in &days {
+        let row = mission.daily.get((day - 1) as usize);
+        for a in AstronautId::ALL {
+            values[a.index()].push(row.and_then(|r| r[a.index()].as_ref().map(&f)));
+        }
+    }
+    DailySeries {
+        days,
+        values,
+        label: label.to_string(),
+    }
+}
+
+/// Fig. 5: the day of C's death — per-astronaut location + speech timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure5 {
+    /// Bin start times (reference time).
+    pub bins: Vec<SimTime>,
+    /// Detected room per astronaut per bin (`None` = no fix / off duty).
+    pub rooms: [Vec<Option<RoomId>>; 6],
+    /// Speech fraction per astronaut per bin.
+    pub speech: [Vec<f64>; 6],
+    /// Detected unplanned gatherings of ≥4 astronauts on the day, with their
+    /// mean speech level: `(room, start, end, participants, level_db)`.
+    pub gatherings: Vec<(RoomId, SimTime, SimTime, usize, f64)>,
+    /// The lunch meeting's mean level for comparison, if detected.
+    pub lunch_level_db: Option<f64>,
+}
+
+/// Timeline bin width for Fig. 5.
+pub const FIG5_BIN: SimDuration = SimDuration::from_mins(10);
+
+/// Builds Fig. 5 from the death day's analysis.
+#[must_use]
+pub fn figure5(day: &DayAnalysis) -> Figure5 {
+    let start = SimTime::from_day_hms(day.day, 7, 0, 0);
+    let end = SimTime::from_day_hms(day.day, 21, 0, 0);
+    let mut bins = Vec::new();
+    let mut t = start;
+    while t < end {
+        bins.push(t);
+        t += FIG5_BIN;
+    }
+    let mut rooms: [Vec<Option<RoomId>>; 6] = Default::default();
+    let mut speech: [Vec<f64>; 6] = Default::default();
+    for a in AstronautId::ALL {
+        let badge = day.carrier_of[a.index()].map(|i| &day.badges[i]);
+        for &bin in &bins {
+            match badge {
+                Some(b) => {
+                    // Majority room over the bin.
+                    let fixes = b.track.fixes.range(bin, bin + FIG5_BIN);
+                    let mut tally: std::collections::BTreeMap<RoomId, usize> = Default::default();
+                    for f in fixes {
+                        *tally.entry(f.value.room).or_default() += 1;
+                    }
+                    let room = tally.into_iter().max_by_key(|&(_, n)| n).map(|(r, _)| r);
+                    rooms[a.index()].push(room);
+                    speech[a.index()].push(ares_sociometrics::speech::heard_fraction(
+                        &b.speech,
+                        bin,
+                        bin + FIG5_BIN,
+                    ));
+                }
+                None => {
+                    rooms[a.index()].push(None);
+                    speech[a.index()].push(0.0);
+                }
+            }
+        }
+    }
+    let mut gatherings = Vec::new();
+    let mut lunch_level_db = None;
+    for m in &day.meetings {
+        if m.planned
+            && m.room == RoomId::Kitchen
+            && m.interval.contains(SimTime::from_day_hms(day.day, 12, 45, 0))
+        {
+            lunch_level_db = Some(m.mean_level_db);
+        }
+        if !m.planned && m.participants.len() >= 4 {
+            gatherings.push((
+                m.room,
+                m.interval.start,
+                m.interval.end,
+                m.participants.len(),
+                m.mean_level_db,
+            ));
+        }
+    }
+    Figure5 {
+        bins,
+        rooms,
+        speech,
+        gatherings,
+        lunch_level_db,
+    }
+}
+
+impl Figure5 {
+    /// ASCII rendering: a row per astronaut, a column per 10-minute bin;
+    /// letters encode rooms, uppercase when speech was detected in the bin.
+    #[must_use]
+    pub fn render(&self) -> String {
+        fn code(room: RoomId) -> char {
+            match room {
+                RoomId::Main => 'm',
+                RoomId::Airlock => 'a',
+                RoomId::Bedroom => 'd',
+                RoomId::Biolab => 'b',
+                RoomId::Kitchen => 'k',
+                RoomId::Office => 'o',
+                RoomId::Restroom => 'r',
+                RoomId::Storage => 's',
+                RoomId::Workshop => 'w',
+                RoomId::Hangar => 'h',
+            }
+        }
+        let mut out = String::from(
+            "rooms: k=kitchen o=office w=workshop b=biolab s=storage m=main hall\n       a=airlock r=restroom d=bedroom; UPPERCASE = speech detected\n\n",
+        );
+        out.push_str("      07:00     09:00     11:00     13:00     15:00     17:00     19:00\n");
+        for a in AstronautId::ALL {
+            out.push_str(&format!("  {a}   "));
+            for (i, room) in self.rooms[a.index()].iter().enumerate() {
+                let ch = match room {
+                    Some(r) => {
+                        let c = code(*r);
+                        if self.speech[a.index()][i] > 0.25 {
+                            c.to_ascii_uppercase()
+                        } else {
+                            c
+                        }
+                    }
+                    None => '·',
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        for &(room, s, e, n, level) in &self.gatherings {
+            out.push_str(&format!(
+                "\nunplanned gathering: {n} astronauts in the {room} {s}–{e}, mean level {level:.1} dB"
+            ));
+            if let Some(lunch) = self.lunch_level_db {
+                out.push_str(&format!(" (lunch was {lunch:.1} dB)"));
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// The consolation gathering, if detected: `(start, level_db)`.
+    #[must_use]
+    pub fn consolation(&self) -> Option<(SimTime, f64)> {
+        self.gatherings
+            .iter()
+            .find(|&&(room, s, _, _, _)| {
+                room == RoomId::Kitchen && s.hour_of_day() >= 14 && s.hour_of_day() <= 16
+            })
+            .map(|&(_, s, _, _, level)| (s, level))
+    }
+}
+
+/// Prose statistics block ("150 GiB", wear fractions, stay medians, pairwise
+/// hours, identity anomalies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Recorded volume in GiB.
+    pub recorded_gib: f64,
+    /// Mean worn fraction of daytime.
+    pub mean_worn: f64,
+    /// Mean active fraction of daytime.
+    pub mean_active: f64,
+    /// Early-mission worn fraction.
+    pub early_worn: f64,
+    /// Late-mission worn fraction.
+    pub late_worn: f64,
+    /// Median daily biolab sojourn (h).
+    pub biolab_session_h: f64,
+    /// Median daily office sojourn (h).
+    pub office_session_h: f64,
+    /// Median daily workshop sojourn (h).
+    pub workshop_session_h: f64,
+    /// A–F private conversation hours.
+    pub af_private_h: f64,
+    /// D–E private conversation hours.
+    pub de_private_h: f64,
+    /// A–F all-meeting hours.
+    pub af_all_h: f64,
+    /// D–E all-meeting hours.
+    pub de_all_h: f64,
+    /// Identity anomalies: `(day, nominal, resolved)`.
+    pub swaps: Vec<(u32, String, String)>,
+}
+
+/// Builds the stats report.
+#[must_use]
+pub fn stats_report(mission: &MissionAnalysis) -> StatsReport {
+    use AstronautId as Id;
+    let h = ares_sociometrics::report::headline_stats(mission);
+    let med = |room| {
+        ares_sociometrics::occupancy::median_daily_room_hours(&mission.stays_per_day, room, 0.5)
+    };
+    StatsReport {
+        recorded_gib: h.recorded_gib,
+        mean_worn: h.mean_worn_fraction,
+        mean_active: h.mean_active_fraction,
+        early_worn: h.early_worn_fraction,
+        late_worn: h.late_worn_fraction,
+        biolab_session_h: med(RoomId::Biolab),
+        office_session_h: med(RoomId::Office),
+        workshop_session_h: med(RoomId::Workshop),
+        af_private_h: mission.ledger.private_hours(Id::A, Id::F),
+        de_private_h: mission.ledger.private_hours(Id::D, Id::E),
+        af_all_h: mission.ledger.all_hours(Id::A, Id::F),
+        de_all_h: mission.ledger.all_hours(Id::D, Id::E),
+        swaps: mission
+            .swaps
+            .iter()
+            .map(|&(day, _, nominal, resolved)| (day, nominal.to_string(), resolved.to_string()))
+            .collect(),
+    }
+}
+
+impl StatsReport {
+    /// ASCII rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "recorded volume           {:.1} GiB (paper: ~150 GiB)\n",
+            self.recorded_gib
+        ));
+        out.push_str(&format!(
+            "badge worn                {:.0} % of daytime (paper: 63 %)\n",
+            self.mean_worn * 100.0
+        ));
+        out.push_str(&format!(
+            "badge active              {:.0} % of daytime (paper: 84 %)\n",
+            self.mean_active * 100.0
+        ));
+        out.push_str(&format!(
+            "wear decline              {:.0} % -> {:.0} % (paper: ~80 % -> ~50 %)\n",
+            self.early_worn * 100.0,
+            self.late_worn * 100.0
+        ));
+        out.push_str(&format!(
+            "median daily sojourn      biolab {:.1} h, office {:.1} h, workshop {:.1} h\n",
+            self.biolab_session_h, self.office_session_h, self.workshop_session_h
+        ));
+        out.push_str(&format!(
+            "private conversation      A-F {:.1} h vs D-E {:.1} h (paper: A-F ≈ D-E + 5 h)\n",
+            self.af_private_h, self.de_private_h
+        ));
+        out.push_str(&format!(
+            "all shared meetings       A-F {:.1} h vs D-E {:.1} h (paper: A-F ≈ D-E + 10 h)\n",
+            self.af_all_h, self.de_all_h
+        ));
+        out.push_str("identity anomalies        ");
+        if self.swaps.is_empty() {
+            out.push_str("none\n");
+        } else {
+            let items: Vec<String> = self
+                .swaps
+                .iter()
+                .map(|(d, n, r)| format!("day {d}: badge of {n} worn by {r}"))
+                .collect();
+            out.push_str(&items.join("; "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_sociometrics::pipeline::MissionAnalysis;
+
+    fn empty_mission() -> MissionAnalysis {
+        MissionAnalysis::new(&FloorPlan::lunares())
+    }
+
+    #[test]
+    fn figure2_renders_eight_rows() {
+        let fig = figure2(&empty_mission());
+        let r = fig.render();
+        assert_eq!(r.lines().count(), 9);
+        assert!(r.contains("kitchen"));
+        assert_eq!(fig.round_trips(RoomId::Office, RoomId::Kitchen), 0);
+    }
+
+    #[test]
+    fn figure3_ascii_has_beacons() {
+        let plan = FloorPlan::lunares();
+        let beacons = BeaconDeployment::icares(&plan);
+        let fig = figure3(&empty_mission(), &plan, &beacons, AstronautId::A);
+        assert!(fig.ascii.contains('O'), "beacon markers expected");
+        assert_eq!(fig.total_seconds, 0.0);
+    }
+
+    #[test]
+    fn daily_series_handles_missing_days() {
+        let fig = figure4(&empty_mission());
+        assert_eq!(fig.days, vec![2, 3, 4, 5, 6, 7, 8]);
+        assert!(fig.values[0].iter().all(Option::is_none));
+        assert_eq!(fig.mean_of(AstronautId::A), 0.0);
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("day,A,B,C,D,E,F"));
+        assert_eq!(csv.lines().count(), 8);
+    }
+
+    #[test]
+    fn figure6_covers_whole_mission() {
+        let fig = figure6(&empty_mission());
+        assert_eq!(fig.days.first(), Some(&2));
+        assert_eq!(fig.days.last(), Some(&14));
+    }
+}
+
+#[cfg(test)]
+mod fig5_tests {
+    use super::*;
+    use ares_sociometrics::meetings::MeetingObs;
+    use ares_sociometrics::occupancy::PassageMatrix;
+    use ares_sociometrics::pipeline::DayAnalysis;
+    use ares_simkit::series::Interval;
+
+    fn synthetic_death_day() -> DayAnalysis {
+        let mk_meeting = |room, h0: u32, m0: u32, h1: u32, m1: u32, n: usize, planned, level| {
+            MeetingObs {
+                room,
+                interval: Interval::new(
+                    SimTime::from_day_hms(4, h0, m0, 0),
+                    SimTime::from_day_hms(4, h1, m1, 0),
+                ),
+                participants: AstronautId::ALL[..n].to_vec(),
+                planned,
+                speech_fraction: 0.5,
+                mean_level_db: level,
+            }
+        };
+        DayAnalysis {
+            day: 4,
+            badges: Vec::new(),
+            carrier_of: [None; 6],
+            meetings: vec![
+                mk_meeting(RoomId::Kitchen, 12, 30, 13, 0, 6, true, 66.0),
+                mk_meeting(RoomId::Kitchen, 15, 20, 16, 0, 5, false, 60.5),
+                mk_meeting(RoomId::Office, 9, 0, 10, 0, 2, false, 64.0),
+            ],
+            passages: PassageMatrix::new(),
+            daily: [None; 6],
+            swaps: Vec::new(),
+            private_pairs: Vec::new(),
+            climate_sums: [(0.0, 0); 10],
+            reference_env: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn figure5_extracts_lunch_and_consolation() {
+        let fig = figure5(&synthetic_death_day());
+        assert_eq!(fig.lunch_level_db, Some(66.0));
+        let (start, level) = fig.consolation().expect("consolation found");
+        assert_eq!(start, SimTime::from_day_hms(4, 15, 20, 0));
+        assert!((level - 60.5).abs() < 1e-9);
+        // The 2-person office chat is not a "gathering".
+        assert_eq!(fig.gatherings.len(), 1);
+    }
+
+    #[test]
+    fn figure5_renders_a_row_per_astronaut() {
+        let fig = figure5(&synthetic_death_day());
+        let rendered = fig.render();
+        for a in AstronautId::ALL {
+            assert!(rendered.contains(&format!("  {a}   ")), "row for {a}");
+        }
+        assert!(rendered.contains("unplanned gathering"));
+        assert!(rendered.contains("lunch was 66.0 dB"));
+    }
+
+    #[test]
+    fn figure5_bins_cover_the_duty_day() {
+        let fig = figure5(&synthetic_death_day());
+        assert_eq!(fig.bins.len(), 14 * 6); // 14 h of 10-minute bins
+        assert_eq!(fig.bins[0], SimTime::from_day_hms(4, 7, 0, 0));
+    }
+}
+
+#[cfg(test)]
+mod claim_tests {
+    use crate::calibration::{check_claims, Artifacts};
+    use super::*;
+    use ares_habitat::beacons::BeaconDeployment;
+    use ares_sociometrics::pipeline::MissionAnalysis;
+    use ares_sociometrics::report::TableOne;
+
+    #[test]
+    fn empty_mission_fails_all_claims_cleanly() {
+        // The checker must fail claims on an empty mission without panicking —
+        // the regression gate's behaviour on a broken run.
+        let plan = FloorPlan::lunares();
+        let mission = MissionAnalysis::new(&plan);
+        let beacons = BeaconDeployment::icares(&plan);
+        let fig2 = figure2(&mission);
+        let fig3 = figure3(&mission, &plan, &beacons, AstronautId::A);
+        let fig4 = figure4(&mission);
+        let fig6 = figure6(&mission);
+        let table1 = TableOne {
+            company: [None; 6],
+            authority: [None; 6],
+            talking: [None; 6],
+            walking: [None; 6],
+        };
+        let stats = stats_report(&mission);
+        let fig5 = Figure5 {
+            bins: Vec::new(),
+            rooms: Default::default(),
+            speech: Default::default(),
+            gatherings: Vec::new(),
+            lunch_level_db: None,
+        };
+        let claims = check_claims(&Artifacts {
+            fig2: &fig2,
+            center_distance_m: &fig3.center_distance_m,
+            fig4: &fig4,
+            fig5: &fig5,
+            fig6: &fig6,
+            table1: &table1,
+            stats: &stats,
+        });
+        assert_eq!(claims.len(), 13);
+        assert!(claims.iter().all(|c| !c.pass), "no data, no passing claims");
+    }
+}

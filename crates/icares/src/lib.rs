@@ -1,0 +1,31 @@
+//! `ares-icares` — the end-to-end ICAres-1 reproduction scenario.
+//!
+//! Assembles the whole vertical slice of the reproduction:
+//!
+//! * [`scenario`] — ground truth → day-by-day badge recordings → offline
+//!   pipeline, via [`MissionRunner`].
+//! * [`figures`] — generators for Fig. 2–6, Table I and the prose statistics,
+//!   with ASCII renderings and CSV exports.
+//! * [`calibration`] — the paper's reported values and the automated shape
+//!   checks recorded in `EXPERIMENTS.md`.
+//! * [`export`] — writes every regenerated artifact to disk (CSV/JSON/text).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ares_icares::{figures, MissionRunner};
+//!
+//! let runner = MissionRunner::icares();
+//! let mission = runner.run_mission();
+//! println!("{}", figures::figure2(&mission).render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibration;
+pub mod export;
+pub mod figures;
+pub mod scenario;
+
+pub use scenario::{MissionRunner, ScenarioConfig, FIRST_INSTRUMENTED_DAY};

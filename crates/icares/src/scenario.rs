@@ -1,0 +1,216 @@
+//! The end-to-end ICAres-1 scenario: ground truth → badge recordings →
+//! offline pipeline.
+//!
+//! [`MissionRunner`] owns the whole vertical slice and processes the mission
+//! the way the deployment did: day by day, keeping memory bounded (a full
+//! day of 1 Hz multi-badge recordings is generated, analyzed, folded into
+//! the mission aggregates and dropped).
+
+use ares_badge::recorder::Recorder;
+use ares_badge::records::{MissionRecording, SamplingConfig};
+use ares_badge::world::World;
+use ares_crew::behavior::{BehaviorConfig, BehaviorSim};
+use ares_crew::roster::Roster;
+use ares_crew::schedule::{Schedule, MISSION_DAYS};
+use ares_crew::truth::MissionTruth;
+use ares_simkit::rng::SeedTree;
+use ares_sociometrics::pipeline::{DayAnalysis, MissionAnalysis, Pipeline, PipelineParams};
+
+/// First instrumented mission day (badges were first worn on day 2).
+pub const FIRST_INSTRUMENTED_DAY: u32 = 2;
+
+/// Configuration of a scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed for behaviour, clocks and channel noise.
+    pub seed: u64,
+    /// Behaviour-simulation parameters.
+    pub behavior: BehaviorConfig,
+    /// Badge sampling configuration.
+    pub sampling: SamplingConfig,
+    /// Pipeline parameters.
+    pub pipeline: PipelineParams,
+    /// The incident script (the canonical ICAres-1 one by default; tests
+    /// inject extra failures here).
+    pub incidents: ares_crew::incidents::IncidentScript,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0x1CA7E5,
+            behavior: BehaviorConfig::default(),
+            sampling: SamplingConfig::default(),
+            pipeline: PipelineParams::default(),
+            incidents: ares_crew::incidents::IncidentScript::icares(),
+        }
+    }
+}
+
+/// The assembled scenario: world, crew, ground truth and pipeline.
+#[derive(Debug)]
+pub struct MissionRunner {
+    world: World,
+    roster: Roster,
+    schedule: Schedule,
+    truth: MissionTruth,
+    config: ScenarioConfig,
+    pipeline: Pipeline,
+}
+
+impl MissionRunner {
+    /// Builds the canonical ICAres-1 scenario and simulates its ground truth.
+    #[must_use]
+    pub fn new(config: ScenarioConfig) -> Self {
+        let mut world = World::icares();
+        world.incidents = config.incidents.clone();
+        let roster = Roster::icares();
+        let schedule = Schedule::icares();
+        let behavior = BehaviorConfig {
+            seed: config.seed,
+            ..config.behavior.clone()
+        };
+        let truth = BehaviorSim::new(
+            &roster,
+            &schedule,
+            &world.incidents,
+            &world.plan,
+            behavior,
+        )
+        .generate();
+        let mut pipeline = Pipeline::icares();
+        *pipeline.params_mut() = config.pipeline;
+        MissionRunner {
+            world,
+            roster,
+            schedule,
+            truth,
+            config,
+            pipeline,
+        }
+    }
+
+    /// The canonical scenario with the default seed.
+    #[must_use]
+    pub fn icares() -> Self {
+        MissionRunner::new(ScenarioConfig::default())
+    }
+
+    /// The simulated ground truth (for validation against pipeline output).
+    #[must_use]
+    pub fn truth(&self) -> &MissionTruth {
+        &self.truth
+    }
+
+    /// The deployment world.
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The crew roster.
+    #[must_use]
+    pub fn roster(&self) -> &Roster {
+        &self.roster
+    }
+
+    /// The mission schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The analysis pipeline.
+    #[must_use]
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    fn recorder(&self) -> Recorder<'_> {
+        Recorder::new(
+            &self.world,
+            &self.roster,
+            &self.truth,
+            self.config.sampling,
+            SeedTree::new(self.config.seed),
+        )
+    }
+
+    /// Records and analyzes a single day; returns both the raw recording and
+    /// the day analysis (used by Fig. 5 and by tests).
+    #[must_use]
+    pub fn run_day(&self, day: u32) -> (MissionRecording, DayAnalysis) {
+        let recording = self.recorder().record_day(day);
+        let analysis = self.pipeline.analyze_day(day, &recording.logs);
+        (recording, analysis)
+    }
+
+    /// Runs the instrumented days `from..=to`, folding each into the mission
+    /// aggregates. `observer` is invoked with each day's analysis before it
+    /// is dropped.
+    #[must_use]
+    pub fn run_days(
+        &self,
+        from: u32,
+        to: u32,
+        mut observer: impl FnMut(&DayAnalysis),
+    ) -> MissionAnalysis {
+        let mut mission = MissionAnalysis::new(self.pipeline.plan());
+        for day in from..=to.min(MISSION_DAYS) {
+            let (recording, analysis) = self.run_day(day);
+            mission.account_bytes(&recording.logs);
+            observer(&analysis);
+            mission.absorb(&analysis);
+        }
+        mission
+    }
+
+    /// Runs the full instrumented mission (days 2–14).
+    #[must_use]
+    pub fn run_mission(&self) -> MissionAnalysis {
+        self.run_days(FIRST_INSTRUMENTED_DAY, MISSION_DAYS, |_| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_crew::roster::AstronautId;
+
+    #[test]
+    fn one_day_end_to_end() {
+        let runner = MissionRunner::icares();
+        let (recording, analysis) = runner.run_day(3);
+        assert!(recording.total_bytes() > 5_000_000_000);
+        // All six astronauts resolved to a badge on a normal day.
+        for a in AstronautId::ALL {
+            assert!(
+                analysis.carrier_of[a.index()].is_some(),
+                "{a} unresolved on day 3"
+            );
+        }
+        assert!(!analysis.meetings.is_empty(), "meals must be detected");
+        assert!(analysis.passages.total() > 5, "some passages expected");
+        assert!(analysis.swaps.is_empty(), "no swap on day 3");
+    }
+
+    #[test]
+    fn swap_day_is_flagged() {
+        let runner = MissionRunner::icares();
+        let (_, analysis) = runner.run_day(6);
+        assert!(
+            !analysis.swaps.is_empty(),
+            "the A↔B badge swap on day 6 must be flagged"
+        );
+        let swapped: Vec<_> = analysis
+            .swaps
+            .iter()
+            .map(|&(_, nominal, resolved)| (nominal, resolved))
+            .collect();
+        assert!(
+            swapped.contains(&(AstronautId::A, AstronautId::B))
+                || swapped.contains(&(AstronautId::B, AstronautId::A)),
+            "swap pair wrong: {swapped:?}"
+        );
+    }
+}

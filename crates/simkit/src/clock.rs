@@ -1,0 +1,192 @@
+//! Drifting device clocks.
+//!
+//! Each badge carries a crystal oscillator whose frequency deviates from
+//! nominal by a fixed *skew* (parts-per-million) plus a startup *offset*. The
+//! ICAres-1 deployment corrected these offsets offline by comparing badge
+//! timestamps against the permanently charged reference badge; the
+//! [`DriftingClock`] model here produces exactly the kind of local timestamps
+//! that correction (implemented in `ares-sociometrics::sync`) must undo.
+//!
+//! # Examples
+//!
+//! ```
+//! use ares_simkit::clock::DriftingClock;
+//! use ares_simkit::time::{SimTime, SimDuration};
+//!
+//! // 40 ppm fast, started 2.5 s ahead.
+//! let clock = DriftingClock::new(SimDuration::from_secs_f64(2.5), 40.0);
+//! let t = SimTime::from_hours_true(10.0);
+//! let local = clock.local_time(t);
+//! let err = (local - t).as_secs_f64();
+//! assert!((err - (2.5 + 36.0 * 0.04)).abs() < 1e-3); // 40 ppm over 10 h ≈ 1.44 s
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+impl SimTime {
+    /// Convenience constructor used in clock examples: hours since epoch.
+    #[must_use]
+    pub fn from_hours_true(h: f64) -> SimTime {
+        SimTime::from_secs_f64(h * 3600.0)
+    }
+}
+
+/// A local clock with constant offset and frequency skew.
+///
+/// `local = true + offset + skew_ppm * 1e-6 * (true - epoch)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftingClock {
+    offset: SimDuration,
+    skew_ppm: f64,
+}
+
+impl DriftingClock {
+    /// Creates a clock with the given startup offset and skew in
+    /// parts-per-million (positive = runs fast).
+    #[must_use]
+    pub fn new(offset: SimDuration, skew_ppm: f64) -> Self {
+        DriftingClock { offset, skew_ppm }
+    }
+
+    /// An ideal clock: zero offset, zero skew.
+    #[must_use]
+    pub fn ideal() -> Self {
+        DriftingClock::new(SimDuration::ZERO, 0.0)
+    }
+
+    /// The startup offset.
+    #[must_use]
+    pub fn offset(&self) -> SimDuration {
+        self.offset
+    }
+
+    /// The frequency skew in ppm.
+    #[must_use]
+    pub fn skew_ppm(&self) -> f64 {
+        self.skew_ppm
+    }
+
+    /// Maps a true instant to the timestamp this clock would record.
+    #[must_use]
+    pub fn local_time(&self, true_time: SimTime) -> SimTime {
+        let elapsed = true_time - SimTime::EPOCH;
+        let drift = elapsed.mul_f64(self.skew_ppm * 1e-6);
+        true_time + self.offset + drift
+    }
+
+    /// Inverse of [`local_time`](Self::local_time): recovers the true instant
+    /// from a local timestamp (exact model inversion).
+    #[must_use]
+    pub fn true_time(&self, local: SimTime) -> SimTime {
+        let k = 1.0 + self.skew_ppm * 1e-6;
+        let local_elapsed = (local - SimTime::EPOCH) - self.offset;
+        SimTime::EPOCH + local_elapsed.mul_f64(1.0 / k)
+    }
+
+    /// The instantaneous error `local - true` at a given true instant.
+    #[must_use]
+    pub fn error_at(&self, true_time: SimTime) -> SimDuration {
+        self.local_time(true_time) - true_time
+    }
+}
+
+/// A linear clock-correction model fitted offline: maps local timestamps back
+/// to estimated true time. This is the *output* of the sync pipeline; it lives
+/// here so both the device model and the analysis crate can share it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockCorrection {
+    /// Estimated offset at the epoch (seconds, local minus true).
+    pub offset_s: f64,
+    /// Estimated skew (ppm).
+    pub skew_ppm: f64,
+}
+
+impl ClockCorrection {
+    /// The identity correction.
+    #[must_use]
+    pub fn identity() -> Self {
+        ClockCorrection {
+            offset_s: 0.0,
+            skew_ppm: 0.0,
+        }
+    }
+
+    /// Builds the correction that exactly inverts a [`DriftingClock`].
+    #[must_use]
+    pub fn for_clock(clock: &DriftingClock) -> Self {
+        ClockCorrection {
+            offset_s: clock.offset().as_secs_f64(),
+            skew_ppm: clock.skew_ppm(),
+        }
+    }
+
+    /// Applies the correction: local timestamp → estimated true time.
+    #[must_use]
+    pub fn apply(&self, local: SimTime) -> SimTime {
+        let k = 1.0 + self.skew_ppm * 1e-6;
+        let local_elapsed = local.as_secs_f64() - self.offset_s;
+        SimTime::from_secs_f64(local_elapsed / k)
+    }
+
+    /// Residual error of this correction against the real clock at a true
+    /// instant, in seconds.
+    #[must_use]
+    pub fn residual_s(&self, clock: &DriftingClock, true_time: SimTime) -> f64 {
+        let local = clock.local_time(true_time);
+        (self.apply(local) - true_time).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_is_identity() {
+        let c = DriftingClock::ideal();
+        let t = SimTime::from_day_hms(5, 13, 0, 0);
+        assert_eq!(c.local_time(t), t);
+        assert_eq!(c.true_time(t), t);
+    }
+
+    #[test]
+    fn skew_accumulates_linearly() {
+        let c = DriftingClock::new(SimDuration::ZERO, 100.0); // 100 ppm fast
+        let t = SimTime::from_secs(10_000);
+        let err = c.error_at(t).as_secs_f64();
+        assert!((err - 1.0).abs() < 1e-6, "100 ppm over 10^4 s = 1 s, got {err}");
+    }
+
+    #[test]
+    fn local_true_round_trip() {
+        let c = DriftingClock::new(SimDuration::from_millis(-730), -55.0);
+        for h in [0.0, 1.5, 26.0, 24.0 * 14.0] {
+            let t = SimTime::from_hours_true(h);
+            let back = c.true_time(c.local_time(t));
+            assert!(
+                (back - t).abs() < SimDuration::from_micros(5),
+                "round trip at {h} h drifted by {}",
+                (back - t)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_correction_has_tiny_residual() {
+        let c = DriftingClock::new(SimDuration::from_secs(3), 72.0);
+        let corr = ClockCorrection::for_clock(&c);
+        for day in 1..=14u32 {
+            let t = SimTime::from_day_hms(day, 12, 0, 0);
+            assert!(corr.residual_s(&c, t).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn negative_offset_clock() {
+        let c = DriftingClock::new(SimDuration::from_secs(-10), 0.0);
+        let t = SimTime::from_secs(100);
+        assert_eq!(c.local_time(t), SimTime::from_secs(90));
+        assert_eq!(c.true_time(SimTime::from_secs(90)), t);
+    }
+}

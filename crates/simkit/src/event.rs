@@ -1,0 +1,380 @@
+//! Discrete-event scheduler.
+//!
+//! A deterministic event loop: events are executed in timestamp order, with a
+//! monotonically increasing sequence number breaking ties (FIFO among events
+//! scheduled for the same instant). Handlers receive a [`Scheduler`] context
+//! through which they can schedule further events, so arbitrary processes can
+//! be expressed.
+//!
+//! # Examples
+//!
+//! ```
+//! use ares_simkit::event::EventLoop;
+//! use ares_simkit::time::{SimTime, SimDuration};
+//!
+//! let mut hits = 0u32;
+//! let mut el: EventLoop<u32> = EventLoop::new();
+//! // A periodic process: re-schedules itself every second, three times.
+//! el.schedule(SimTime::EPOCH, Box::new(|sched, count: &mut u32| {
+//!     *count += 1;
+//!     if *count < 3 {
+//!         let next = sched.now() + SimDuration::from_secs(1);
+//!         sched.schedule(next, Box::new(|s, c: &mut u32| { *c += 1; let _ = s; }));
+//!     }
+//! }));
+//! el.run_until(SimTime::from_secs(10), &mut hits);
+//! assert_eq!(hits, 2);
+//! ```
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled callback. Receives the scheduler context and the shared
+/// simulation state `S`.
+pub type EventFn<S> = Box<dyn FnOnce(&mut Scheduler<S>, &mut S)>;
+
+struct Entry<S> {
+    time: SimTime,
+    seq: u64,
+    id: u64,
+    f: EventFn<S>,
+}
+
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Entry<S> {}
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// The scheduling context passed to event handlers.
+///
+/// Wraps the pending-event queue plus the current simulation time.
+pub struct Scheduler<S> {
+    heap: BinaryHeap<Entry<S>>,
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+    seq: u64,
+    next_id: u64,
+    executed: u64,
+}
+
+impl<S> std::fmt::Debug for Scheduler<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<S> Scheduler<S> {
+    fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::EPOCH,
+            seq: 0,
+            next_id: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the event being executed.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// reaped).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `f` to run at `time`.
+    ///
+    /// Events scheduled in the past of the currently executing event are
+    /// clamped to "now" (they run next, still in deterministic order).
+    pub fn schedule(&mut self, time: SimTime, f: EventFn<S>) -> EventId {
+        let time = time.max(self.now);
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, id, f });
+        EventId(id)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that already
+    /// ran (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+}
+
+/// A deterministic discrete-event loop over shared state `S`.
+pub struct EventLoop<S> {
+    sched: Scheduler<S>,
+}
+
+impl<S> Default for EventLoop<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> std::fmt::Debug for EventLoop<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop").field("sched", &self.sched).finish()
+    }
+}
+
+impl<S> EventLoop<S> {
+    /// Creates an empty event loop positioned at the mission epoch.
+    #[must_use]
+    pub fn new() -> Self {
+        EventLoop {
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Schedules an initial event. See [`Scheduler::schedule`].
+    pub fn schedule(&mut self, time: SimTime, f: EventFn<S>) -> EventId {
+        self.sched.schedule(time, f)
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Number of executed events.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.sched.executed()
+    }
+
+    /// Runs events until the queue empties or the next event is at or beyond
+    /// `horizon` (exclusive). Returns the number of events executed.
+    pub fn run_until(&mut self, horizon: SimTime, state: &mut S) -> u64 {
+        let start = self.sched.executed;
+        #[allow(clippy::while_let_loop)] // the peek/pop pair reads clearer
+        loop {
+            let Some(top) = self.sched.heap.peek() else {
+                break;
+            };
+            if top.time >= horizon {
+                break;
+            }
+            let entry = self.sched.heap.pop().expect("peeked entry exists");
+            if self.sched.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.sched.now, "time ran backwards");
+            self.sched.now = entry.time;
+            self.sched.executed += 1;
+            (entry.f)(&mut self.sched, state);
+        }
+        // Advance the clock to the horizon even if the queue drained early so
+        // subsequent schedules are not placed in the past.
+        if self.sched.now < horizon && horizon < SimTime::MAX {
+            self.sched.now = horizon;
+        }
+        self.sched.executed - start
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run_to_completion(&mut self, state: &mut S) -> u64 {
+        self.run_until(SimTime::MAX, state)
+    }
+}
+
+/// Schedules a periodic process: `f` runs first at `start`, then every
+/// `period` until it returns `false` or `end` is reached.
+pub fn schedule_periodic<S: 'static>(
+    el: &mut EventLoop<S>,
+    start: SimTime,
+    period: crate::time::SimDuration,
+    end: SimTime,
+    f: impl FnMut(&mut Scheduler<S>, &mut S) -> bool + 'static,
+) {
+    fn step<S: 'static>(
+        sched: &mut Scheduler<S>,
+        state: &mut S,
+        mut f: impl FnMut(&mut Scheduler<S>, &mut S) -> bool + 'static,
+        period: crate::time::SimDuration,
+        end: SimTime,
+    ) {
+        if !f(sched, state) {
+            return;
+        }
+        let next = sched.now() + period;
+        if next < end {
+            sched.schedule(next, Box::new(move |s, st| step(s, st, f, period, end)));
+        }
+    }
+    if start < end {
+        el.schedule(start, Box::new(move |s, st| step(s, st, f, period, end)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn executes_in_time_order() {
+        let mut el: EventLoop<Vec<i32>> = EventLoop::new();
+        for (t, v) in [(5, 2), (1, 0), (3, 1), (9, 3)] {
+            el.schedule(
+                SimTime::from_secs(t),
+                Box::new(move |_, log: &mut Vec<i32>| log.push(v)),
+            );
+        }
+        let mut log = Vec::new();
+        el.run_to_completion(&mut log);
+        assert_eq!(log, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut el: EventLoop<Vec<i32>> = EventLoop::new();
+        for v in 0..5 {
+            el.schedule(
+                SimTime::from_secs(1),
+                Box::new(move |_, log: &mut Vec<i32>| log.push(v)),
+            );
+        }
+        let mut log = Vec::new();
+        el.run_to_completion(&mut log);
+        assert_eq!(log, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn horizon_is_exclusive_and_clock_advances() {
+        let mut el: EventLoop<u32> = EventLoop::new();
+        el.schedule(SimTime::from_secs(10), Box::new(|_, n: &mut u32| *n += 1));
+        let mut n = 0;
+        let ran = el.run_until(SimTime::from_secs(10), &mut n);
+        assert_eq!(ran, 0);
+        assert_eq!(n, 0);
+        assert_eq!(el.now(), SimTime::from_secs(10));
+        el.run_until(SimTime::from_secs(11), &mut n);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut el: EventLoop<u32> = EventLoop::new();
+        let id = el.schedule(SimTime::from_secs(1), Box::new(|_, n: &mut u32| *n += 1));
+        el.schedule(SimTime::from_secs(2), Box::new(|_, n: &mut u32| *n += 10));
+        el.sched.cancel(id);
+        let mut n = 0;
+        el.run_to_completion(&mut n);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn handlers_can_chain() {
+        let mut el: EventLoop<Vec<String>> = EventLoop::new();
+        el.schedule(
+            SimTime::from_secs(1),
+            Box::new(|sched, log: &mut Vec<String>| {
+                log.push(format!("first@{}", sched.now()));
+                let t = sched.now() + SimDuration::from_secs(2);
+                sched.schedule(
+                    t,
+                    Box::new(|s, log: &mut Vec<String>| log.push(format!("second@{}", s.now()))),
+                );
+            }),
+        );
+        let mut log = Vec::new();
+        el.run_to_completion(&mut log);
+        assert_eq!(log, vec!["first@d01 00:00:01", "second@d01 00:00:03"]);
+    }
+
+    #[test]
+    fn past_schedule_clamped_to_now() {
+        let mut el: EventLoop<Vec<SimTime>> = EventLoop::new();
+        el.schedule(
+            SimTime::from_secs(5),
+            Box::new(|sched, log: &mut Vec<SimTime>| {
+                // Attempt to schedule in the past: must run at now, not before.
+                sched.schedule(
+                    SimTime::from_secs(1),
+                    Box::new(|s, log: &mut Vec<SimTime>| log.push(s.now())),
+                );
+                log.push(sched.now());
+            }),
+        );
+        let mut log = Vec::new();
+        el.run_to_completion(&mut log);
+        assert_eq!(log, vec![SimTime::from_secs(5), SimTime::from_secs(5)]);
+    }
+
+    #[test]
+    fn periodic_process_runs_expected_times() {
+        let mut el: EventLoop<u32> = EventLoop::new();
+        schedule_periodic(
+            &mut el,
+            SimTime::EPOCH,
+            SimDuration::from_secs(10),
+            SimTime::from_secs(60),
+            |_, n| {
+                *n += 1;
+                true
+            },
+        );
+        let mut n = 0;
+        el.run_to_completion(&mut n);
+        assert_eq!(n, 6); // t = 0,10,20,30,40,50
+    }
+
+    #[test]
+    fn periodic_process_can_stop_itself() {
+        let mut el: EventLoop<u32> = EventLoop::new();
+        schedule_periodic(
+            &mut el,
+            SimTime::EPOCH,
+            SimDuration::from_secs(1),
+            SimTime::MAX,
+            |_, n| {
+                *n += 1;
+                *n < 4
+            },
+        );
+        let mut n = 0;
+        el.run_to_completion(&mut n);
+        assert_eq!(n, 4);
+    }
+}

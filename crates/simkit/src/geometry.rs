@@ -1,0 +1,552 @@
+//! Planar geometry: points, vectors, polygons, segment intersection, grids.
+//!
+//! The habitat is modeled as a 2-D floor plan (badge height differences are
+//! irrelevant to the paper's analyses). Distances are in **meters**.
+//!
+//! # Examples
+//!
+//! ```
+//! use ares_simkit::geometry::{Point2, Polygon};
+//!
+//! let room = Polygon::rect(0.0, 0.0, 4.0, 3.0);
+//! assert!(room.contains(Point2::new(2.0, 1.5)));
+//! assert!(!room.contains(Point2::new(5.0, 1.0)));
+//! assert!((room.area() - 12.0).abs() < 1e-9);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point in the floor plan, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// East coordinate (m).
+    pub x: f64,
+    /// North coordinate (m).
+    pub y: f64,
+}
+
+/// A displacement vector, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East component (m).
+    pub x: f64,
+    /// North component (m).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance (no sqrt).
+    #[must_use]
+    pub fn distance_sq(self, other: Point2) -> f64 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    #[must_use]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        self + (other - self) * t
+    }
+
+    /// Component-wise midpoint.
+    #[must_use]
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        self.lerp(other, 0.5)
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector from components.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component).
+    #[must_use]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction; zero vector stays zero.
+    #[must_use]
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n < 1e-12 {
+            Vec2::default()
+        } else {
+            self / n
+        }
+    }
+
+    /// Unit vector at the given angle (radians, counter-clockwise from east).
+    #[must_use]
+    pub fn from_angle(theta: f64) -> Vec2 {
+        Vec2::new(theta.cos(), theta.sin())
+    }
+
+    /// The angle of this vector (radians, counter-clockwise from east).
+    #[must_use]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    fn add(self, v: Vec2) -> Point2 {
+        Point2::new(self.x + v.x, self.y + v.y)
+    }
+}
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    fn sub(self, v: Vec2) -> Point2 {
+        Point2::new(self.x - v.x, self.y - v.y)
+    }
+}
+impl Sub for Point2 {
+    type Output = Vec2;
+    fn sub(self, p: Point2) -> Vec2 {
+        Vec2::new(self.x - p.x, self.y - p.y)
+    }
+}
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, v: Vec2) -> Vec2 {
+        Vec2::new(self.x + v.x, self.y + v.y)
+    }
+}
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, v: Vec2) -> Vec2 {
+        Vec2::new(self.x - v.x, self.y - v.y)
+    }
+}
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, k: f64) -> Vec2 {
+        Vec2::new(self.x / k, self.y / k)
+    }
+}
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A line segment between two points (used for walls and rays).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point2,
+    /// End point.
+    pub b: Point2,
+}
+
+impl Segment {
+    /// Creates a segment.
+    #[must_use]
+    pub const fn new(a: Point2, b: Point2) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length in meters.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Proper-intersection test between two segments (shared endpoints and
+    /// collinear overlap count as intersecting).
+    #[must_use]
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let d1 = direction(other.a, other.b, self.a);
+        let d2 = direction(other.a, other.b, self.b);
+        let d3 = direction(self.a, self.b, other.a);
+        let d4 = direction(self.a, self.b, other.b);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1.abs() < 1e-12 && on_segment(other.a, other.b, self.a))
+            || (d2.abs() < 1e-12 && on_segment(other.a, other.b, self.b))
+            || (d3.abs() < 1e-12 && on_segment(self.a, self.b, other.a))
+            || (d4.abs() < 1e-12 && on_segment(self.a, self.b, other.b))
+    }
+
+    /// Distance from a point to this segment.
+    #[must_use]
+    pub fn distance_to_point(&self, p: Point2) -> f64 {
+        let ab = self.b - self.a;
+        let len_sq = ab.dot(ab);
+        if len_sq < 1e-18 {
+            return self.a.distance(p);
+        }
+        let t = ((p - self.a).dot(ab) / len_sq).clamp(0.0, 1.0);
+        (self.a + ab * t).distance(p)
+    }
+}
+
+fn direction(a: Point2, b: Point2, c: Point2) -> f64 {
+    (b - a).cross(c - a)
+}
+
+fn on_segment(a: Point2, b: Point2, p: Point2) -> bool {
+    p.x >= a.x.min(b.x) - 1e-12
+        && p.x <= a.x.max(b.x) + 1e-12
+        && p.y >= a.y.min(b.y) - 1e-12
+        && p.y <= a.y.max(b.y) + 1e-12
+}
+
+/// A simple polygon given by its vertices in order (either winding).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point2>,
+}
+
+impl Polygon {
+    /// Creates a polygon from vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 vertices are given.
+    #[must_use]
+    pub fn new(vertices: Vec<Point2>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        Polygon { vertices }
+    }
+
+    /// Axis-aligned rectangle with one corner at `(x, y)`.
+    #[must_use]
+    pub fn rect(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Polygon::new(vec![
+            Point2::new(x, y),
+            Point2::new(x + w, y),
+            Point2::new(x + w, y + h),
+            Point2::new(x, y + h),
+        ])
+    }
+
+    /// The vertices in order.
+    #[must_use]
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Iterator over the boundary edges.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Even-odd point containment test; boundary points count as inside.
+    #[must_use]
+    pub fn contains(&self, p: Point2) -> bool {
+        // Boundary check first for robustness.
+        for e in self.edges() {
+            if e.distance_to_point(p) < 1e-9 {
+                return true;
+            }
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (vi, vj) = (self.vertices[i], self.vertices[j]);
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Polygon area (shoelace, always non-negative).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut s = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            s += a.x * b.y - b.x * a.y;
+        }
+        (s / 2.0).abs()
+    }
+
+    /// Vertex centroid (arithmetic mean of vertices).
+    #[must_use]
+    pub fn centroid(&self) -> Point2 {
+        let n = self.vertices.len() as f64;
+        let (sx, sy) = self
+            .vertices
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), v| (sx + v.x, sy + v.y));
+        Point2::new(sx / n, sy / n)
+    }
+
+    /// Axis-aligned bounding box `(min, max)`.
+    #[must_use]
+    pub fn bounds(&self) -> (Point2, Point2) {
+        let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.vertices {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        (min, max)
+    }
+
+    /// Clamps a point into the polygon: returns `p` if inside, otherwise the
+    /// nearest boundary point.
+    #[must_use]
+    pub fn clamp_inside(&self, p: Point2) -> Point2 {
+        if self.contains(p) {
+            return p;
+        }
+        let mut best = self.vertices[0];
+        let mut best_d = f64::INFINITY;
+        for e in self.edges() {
+            let ab = e.b - e.a;
+            let len_sq = ab.dot(ab).max(1e-18);
+            let t = ((p - e.a).dot(ab) / len_sq).clamp(0.0, 1.0);
+            let q = e.a + ab * t;
+            let d = q.distance(p);
+            if d < best_d {
+                best_d = d;
+                best = q;
+            }
+        }
+        best
+    }
+
+    /// How many polygon edges the segment `a → b` crosses.
+    ///
+    /// Used by the RF model to count wall crossings between a transmitter and
+    /// a receiver.
+    #[must_use]
+    pub fn crossings(&self, a: Point2, b: Point2) -> usize {
+        let ray = Segment::new(a, b);
+        self.edges().filter(|e| e.intersects(&ray)).count()
+    }
+}
+
+/// A uniform square grid over a bounding box, used for positional heatmaps
+/// (the paper uses 28 cm × 28 cm cells).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    origin: Point2,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+}
+
+impl Grid {
+    /// Creates a grid with square cells of side `cell` (meters) covering the
+    /// box from `origin` extending `nx` × `ny` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive or either dimension is zero.
+    #[must_use]
+    pub fn new(origin: Point2, cell: f64, nx: usize, ny: usize) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        Grid { origin, cell, nx, ny }
+    }
+
+    /// Builds the smallest grid with cells of side `cell` covering `(min, max)`.
+    #[must_use]
+    pub fn covering(min: Point2, max: Point2, cell: f64) -> Self {
+        let nx = (((max.x - min.x) / cell).ceil() as usize).max(1);
+        let ny = (((max.y - min.y) / cell).ceil() as usize).max(1);
+        Grid::new(min, cell, nx, ny)
+    }
+
+    /// Grid width in cells.
+    #[must_use]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in cells.
+    #[must_use]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Cell side in meters.
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// The cell index containing `p`, or `None` if outside the grid.
+    #[must_use]
+    pub fn cell_of(&self, p: Point2) -> Option<(usize, usize)> {
+        let fx = (p.x - self.origin.x) / self.cell;
+        let fy = (p.y - self.origin.y) / self.cell;
+        if fx < 0.0 || fy < 0.0 {
+            return None;
+        }
+        let (ix, iy) = (fx as usize, fy as usize);
+        (ix < self.nx && iy < self.ny).then_some((ix, iy))
+    }
+
+    /// Center point of the cell `(ix, iy)`.
+    #[must_use]
+    pub fn cell_center(&self, ix: usize, iy: usize) -> Point2 {
+        Point2::new(
+            self.origin.x + (ix as f64 + 0.5) * self.cell,
+            self.origin.y + (iy as f64 + 0.5) * self.cell,
+        )
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Whether the grid has zero cells (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_vector_algebra() {
+        let p = Point2::new(1.0, 2.0);
+        let q = Point2::new(4.0, 6.0);
+        assert!((p.distance(q) - 5.0).abs() < 1e-12);
+        assert_eq!(q - p, Vec2::new(3.0, 4.0));
+        assert_eq!(p + Vec2::new(3.0, 4.0), q);
+        assert_eq!(p.midpoint(q), Point2::new(2.5, 4.0));
+    }
+
+    #[test]
+    fn vec_normalize_and_angle() {
+        let v = Vec2::new(0.0, 3.0);
+        assert_eq!(v.normalized(), Vec2::new(0.0, 1.0));
+        assert!((v.angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(Vec2::default().normalized(), Vec2::default());
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let s1 = Segment::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
+        let s2 = Segment::new(Point2::new(0.0, 2.0), Point2::new(2.0, 0.0));
+        let s3 = Segment::new(Point2::new(3.0, 3.0), Point2::new(4.0, 4.0));
+        assert!(s1.intersects(&s2));
+        assert!(!s1.intersects(&s3));
+        // Shared endpoint counts as intersecting.
+        let s4 = Segment::new(Point2::new(2.0, 2.0), Point2::new(3.0, 0.0));
+        assert!(s1.intersects(&s4));
+    }
+
+    #[test]
+    fn polygon_contains_and_area() {
+        let poly = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 3.0),
+            Point2::new(2.0, 5.0),
+            Point2::new(0.0, 3.0),
+        ]);
+        assert!(poly.contains(Point2::new(2.0, 2.0)));
+        assert!(poly.contains(Point2::new(0.0, 0.0))); // vertex counts
+        assert!(!poly.contains(Point2::new(5.0, 5.0)));
+        assert!((poly.area() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_inside_projects_to_boundary() {
+        let room = Polygon::rect(0.0, 0.0, 2.0, 2.0);
+        let p = Point2::new(3.0, 1.0);
+        let c = room.clamp_inside(p);
+        assert!((c.x - 2.0).abs() < 1e-9 && (c.y - 1.0).abs() < 1e-9);
+        let inside = Point2::new(1.0, 1.0);
+        assert_eq!(room.clamp_inside(inside), inside);
+    }
+
+    #[test]
+    fn wall_crossings() {
+        let room = Polygon::rect(0.0, 0.0, 2.0, 2.0);
+        // From inside to outside: 1 crossing.
+        assert_eq!(room.crossings(Point2::new(1.0, 1.0), Point2::new(5.0, 1.0)), 1);
+        // Passing fully through: 2 crossings.
+        assert_eq!(room.crossings(Point2::new(-1.0, 1.0), Point2::new(5.0, 1.0)), 2);
+        // Entirely inside: 0.
+        assert_eq!(room.crossings(Point2::new(0.5, 0.5), Point2::new(1.5, 1.5)), 0);
+    }
+
+    #[test]
+    fn grid_indexing() {
+        let g = Grid::new(Point2::ORIGIN, 0.28, 10, 5);
+        assert_eq!(g.cell_of(Point2::new(0.0, 0.0)), Some((0, 0)));
+        assert_eq!(g.cell_of(Point2::new(0.29, 0.0)), Some((1, 0)));
+        assert_eq!(g.cell_of(Point2::new(-0.01, 0.0)), None);
+        assert_eq!(g.cell_of(Point2::new(2.81, 1.41)), None); // past 10*0.28=2.8
+        let c = g.cell_center(1, 1);
+        assert!((c.x - 0.42).abs() < 1e-12 && (c.y - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_covering_spans_box() {
+        let g = Grid::covering(Point2::new(-1.0, -1.0), Point2::new(1.0, 1.0), 0.28);
+        assert!(g.nx() as f64 * g.cell_size() >= 2.0);
+        assert!(g.cell_of(Point2::new(0.99, 0.99)).is_some());
+    }
+}

@@ -1,0 +1,516 @@
+//! Simulation time: instants and durations with microsecond resolution.
+//!
+//! All simulation components — badge firmware, RF channel, crew behaviour,
+//! the support runtime — share a single *true* timeline measured in
+//! microseconds since the *mission epoch* (midnight before mission day 1,
+//! habitat local time). Badge-local, drifting clocks are modeled separately in
+//! [`crate::clock`]; they map true time to (possibly wrong) local timestamps.
+//!
+//! # Examples
+//!
+//! ```
+//! use ares_simkit::time::{SimTime, SimDuration};
+//!
+//! let lunch = SimTime::from_day_hms(4, 12, 30, 0);
+//! let later = lunch + SimDuration::from_mins(45);
+//! assert_eq!(later.hour_of_day(), 13);
+//! assert_eq!(later - lunch, SimDuration::from_mins(45));
+//! ```
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: i64 = 1_000_000;
+/// Number of microseconds in one minute.
+pub const MICROS_PER_MIN: i64 = 60 * MICROS_PER_SEC;
+/// Number of microseconds in one hour.
+pub const MICROS_PER_HOUR: i64 = 60 * MICROS_PER_MIN;
+/// Number of microseconds in one (terrestrial) day.
+pub const MICROS_PER_DAY: i64 = 24 * MICROS_PER_HOUR;
+
+/// An instant on the true simulation timeline.
+///
+/// Internally a count of microseconds since the mission epoch. Instants can be
+/// negative (before the epoch), which is occasionally useful for warm-up
+/// periods.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(i64);
+
+/// A span of simulation time. May be negative (the result of subtracting a
+/// later instant from an earlier one).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(i64);
+
+impl SimTime {
+    /// The mission epoch: midnight (habitat local time) before day 1.
+    pub const EPOCH: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(i64::MAX);
+
+    /// Creates an instant from raw microseconds since the epoch.
+    #[must_use]
+    pub const fn from_micros(us: i64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from whole seconds since the epoch.
+    #[must_use]
+    pub const fn from_secs(s: i64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Creates an instant from seconds expressed as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `s` is not finite.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s.is_finite(), "non-finite seconds");
+        SimTime((s * MICROS_PER_SEC as f64) as i64)
+    }
+
+    /// Creates an instant from a 1-based mission day plus an hour/minute/second
+    /// of that day's local clock.
+    ///
+    /// Day 1 starts at the epoch, so `from_day_hms(1, 0, 0, 0) == EPOCH`.
+    #[must_use]
+    pub const fn from_day_hms(day: u32, hour: u32, min: u32, sec: u32) -> Self {
+        let days = (day as i64) - 1;
+        SimTime(
+            days * MICROS_PER_DAY
+                + (hour as i64) * MICROS_PER_HOUR
+                + (min as i64) * MICROS_PER_MIN
+                + (sec as i64) * MICROS_PER_SEC,
+        )
+    }
+
+    /// Microseconds since the epoch.
+    #[must_use]
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The 1-based mission day this instant falls on.
+    ///
+    /// Instants before the epoch report day 0 or lower is clamped to 0.
+    #[must_use]
+    pub const fn mission_day(self) -> u32 {
+        if self.0 < 0 {
+            return 0;
+        }
+        (self.0 / MICROS_PER_DAY) as u32 + 1
+    }
+
+    /// Hour of the local day, `0..24`.
+    #[must_use]
+    pub const fn hour_of_day(self) -> u32 {
+        (self.0.rem_euclid(MICROS_PER_DAY) / MICROS_PER_HOUR) as u32
+    }
+
+    /// Minute within the hour, `0..60`.
+    #[must_use]
+    pub const fn minute_of_hour(self) -> u32 {
+        (self.0.rem_euclid(MICROS_PER_HOUR) / MICROS_PER_MIN) as u32
+    }
+
+    /// Duration elapsed since the start of the local day.
+    #[must_use]
+    pub const fn time_of_day(self) -> SimDuration {
+        SimDuration(self.0.rem_euclid(MICROS_PER_DAY))
+    }
+
+    /// Midnight at the start of this instant's day.
+    #[must_use]
+    pub const fn start_of_day(self) -> SimTime {
+        SimTime(self.0 - self.0.rem_euclid(MICROS_PER_DAY))
+    }
+
+    /// Saturating addition: clamps at [`SimTime::MAX`].
+    #[must_use]
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Rounds down to a multiple of `step` since the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    #[must_use]
+    pub fn floor_to(self, step: SimDuration) -> SimTime {
+        assert!(step.0 > 0, "step must be positive");
+        SimTime(self.0.div_euclid(step.0) * step.0)
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(i64::MAX);
+
+    /// Creates a duration from raw microseconds.
+    #[must_use]
+    pub const fn from_micros(us: i64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: i64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: i64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from whole minutes.
+    #[must_use]
+    pub const fn from_mins(m: i64) -> Self {
+        SimDuration(m * MICROS_PER_MIN)
+    }
+
+    /// Creates a duration from whole hours.
+    #[must_use]
+    pub const fn from_hours(h: i64) -> Self {
+        SimDuration(h * MICROS_PER_HOUR)
+    }
+
+    /// Creates a duration from whole days.
+    #[must_use]
+    pub const fn from_days(d: i64) -> Self {
+        SimDuration(d * MICROS_PER_DAY)
+    }
+
+    /// Creates a duration from seconds expressed as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `s` is not finite.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s.is_finite(), "non-finite seconds");
+        SimDuration((s * MICROS_PER_SEC as f64) as i64)
+    }
+
+    /// Raw microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Hours as a float.
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_HOUR as f64
+    }
+
+    /// `true` if this duration is negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// `true` if this duration is exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub const fn abs(self) -> SimDuration {
+        SimDuration(self.0.abs())
+    }
+
+    /// Clamps a negative duration to zero.
+    #[must_use]
+    pub const fn max_zero(self) -> SimDuration {
+        if self.0 < 0 {
+            SimDuration(0)
+        } else {
+            self
+        }
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplies by a float factor, rounding to the nearest microsecond.
+    #[must_use]
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration((self.0 as f64 * k).round() as i64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<SimDuration> for SimTime {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for SimDuration {
+    type Output = SimDuration;
+    fn neg(self) -> SimDuration {
+        SimDuration(-self.0)
+    }
+}
+
+impl Mul<i64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: i64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: i64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    /// Ratio of two durations.
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Rem for SimDuration {
+    type Output = SimDuration;
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.rem_euclid(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tod = self.time_of_day().as_micros();
+        write!(
+            f,
+            "d{:02} {:02}:{:02}:{:02}",
+            self.mission_day(),
+            tod / MICROS_PER_HOUR,
+            (tod % MICROS_PER_HOUR) / MICROS_PER_MIN,
+            (tod % MICROS_PER_MIN) / MICROS_PER_SEC,
+        )
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let neg = self.0 < 0;
+        let us = self.0.unsigned_abs();
+        let h = us / MICROS_PER_HOUR as u64;
+        let m = (us % MICROS_PER_HOUR as u64) / MICROS_PER_MIN as u64;
+        let s = (us % MICROS_PER_MIN as u64) as f64 / MICROS_PER_SEC as f64;
+        if neg {
+            write!(f, "-")?;
+        }
+        if h > 0 {
+            write!(f, "{h}h{m:02}m{s:04.1}s")
+        } else if m > 0 {
+            write!(f, "{m}m{s:04.1}s")
+        } else {
+            write!(f, "{s:.3}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_hms_round_trip() {
+        let t = SimTime::from_day_hms(3, 14, 25, 36);
+        assert_eq!(t.mission_day(), 3);
+        assert_eq!(t.hour_of_day(), 14);
+        assert_eq!(t.minute_of_hour(), 25);
+        assert_eq!(
+            t.time_of_day(),
+            SimDuration::from_hours(14) + SimDuration::from_mins(25) + SimDuration::from_secs(36)
+        );
+    }
+
+    #[test]
+    fn epoch_is_day_one_midnight() {
+        assert_eq!(SimTime::EPOCH, SimTime::from_day_hms(1, 0, 0, 0));
+        assert_eq!(SimTime::EPOCH.mission_day(), 1);
+        assert_eq!(SimTime::EPOCH.hour_of_day(), 0);
+    }
+
+    #[test]
+    fn arithmetic_is_consistent() {
+        let a = SimTime::from_secs(100);
+        let b = SimTime::from_secs(250);
+        assert_eq!(b - a, SimDuration::from_secs(150));
+        assert_eq!(a + SimDuration::from_secs(150), b);
+        assert_eq!(b - SimDuration::from_secs(150), a);
+    }
+
+    #[test]
+    fn negative_duration_display_and_abs() {
+        let d = SimDuration::from_secs(-90);
+        assert!(d.is_negative());
+        assert_eq!(d.abs(), SimDuration::from_secs(90));
+        assert_eq!(d.max_zero(), SimDuration::ZERO);
+        assert_eq!(format!("{d}"), "-1m30.0s");
+    }
+
+    #[test]
+    fn floor_to_aligns_to_grid() {
+        let t = SimTime::from_day_hms(2, 7, 22, 47);
+        let f = t.floor_to(SimDuration::from_secs(15));
+        assert!(f <= t);
+        assert_eq!(f.as_micros() % (15 * MICROS_PER_SEC), 0);
+        assert!((t - f) < SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn duration_ratio_and_scaling() {
+        let d = SimDuration::from_mins(30);
+        assert!((d / SimDuration::from_hours(1) - 0.5).abs() < 1e-12);
+        assert_eq!(d * 2, SimDuration::from_hours(1));
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_mins(15));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_day_hms(11, 9, 5, 3);
+        assert_eq!(format!("{t}"), "d11 09:05:03");
+        assert_eq!(format!("{}", SimDuration::from_secs(3)), "3.000s");
+        assert_eq!(
+            format!("{}", SimDuration::from_hours(2) + SimDuration::from_mins(5)),
+            "2h05m00.0s"
+        );
+    }
+
+    #[test]
+    fn before_epoch_clamps_day() {
+        let t = SimTime::EPOCH - SimDuration::from_hours(5);
+        assert_eq!(t.mission_day(), 0);
+        // time-of-day still wraps into the previous local day
+        assert_eq!(t.hour_of_day(), 19);
+    }
+
+    #[test]
+    fn start_of_day() {
+        let t = SimTime::from_day_hms(6, 18, 33, 9);
+        assert_eq!(t.start_of_day(), SimTime::from_day_hms(6, 0, 0, 0));
+    }
+}

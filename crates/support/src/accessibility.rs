@@ -1,0 +1,245 @@
+//! Ability-based design of the habitat's interfaces.
+//!
+//! "One of those important though relatively neglected aspects is adjusting
+//! the deployed technology to abilities of the crew, in general known as
+//! ability-based design. … since the badges were identified with numbers
+//! displayed on their e-ink screens, astronaut A accidentally swapped their
+//! badge for one day with B. … we recommend that the whole habitat technology
+//! provides accessibility support aimed at diverse human senses, with
+//! informative light signals complemented by sounds, buttons corresponding to
+//! voice commands and other solutions of this kind … embedded into wearable
+//! elements of the system as detachable modules, optimizing energy use and
+//! weight of devices."
+
+use ares_crew::roster::{AstronautId, Roster};
+use serde::{Deserialize, Serialize};
+
+/// A sensory/motor capability level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Capability {
+    /// Unusable for this person (or currently impeded, e.g. during an EVA).
+    None,
+    /// Usable with effort.
+    Limited,
+    /// Fully usable.
+    Full,
+}
+
+/// A crew member's interface-relevant abilities. Abilities may be *situational*
+/// ("during EVAs, the ability to see or speak is sometimes impeded"), so the
+/// profile is a value type that scenarios can override per context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbilityProfile {
+    /// Reading small displays (the e-ink badge number).
+    pub vision: Capability,
+    /// Hearing tones and voice prompts.
+    pub hearing: Capability,
+    /// Operating small buttons with fingers.
+    pub dexterity: Capability,
+}
+
+impl AbilityProfile {
+    /// Full abilities.
+    #[must_use]
+    pub fn full() -> Self {
+        AbilityProfile {
+            vision: Capability::Full,
+            hearing: Capability::Full,
+            dexterity: Capability::Full,
+        }
+    }
+
+    /// The profile of a crew member per the roster (astronaut A is visually
+    /// impaired with limited dexterity).
+    #[must_use]
+    pub fn of(roster: &Roster, id: AstronautId) -> Self {
+        if roster.member(id).profile.impaired {
+            AbilityProfile {
+                vision: Capability::None,
+                hearing: Capability::Full,
+                dexterity: Capability::Limited,
+            }
+        } else {
+            AbilityProfile::full()
+        }
+    }
+
+    /// The EVA situational override: vision and speech channels degraded by
+    /// the suit ("difficult conditions (e.g., no light source)").
+    #[must_use]
+    pub fn during_eva(self) -> Self {
+        AbilityProfile {
+            vision: self.vision.min(Capability::Limited),
+            hearing: self.hearing,
+            dexterity: self.dexterity.min(Capability::Limited),
+        }
+    }
+}
+
+/// An output/input modality a wearable module can provide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modality {
+    /// The e-ink display (badge id, status).
+    EInkDisplay,
+    /// Informative light signals.
+    Led,
+    /// Sounds / buzzer.
+    Buzzer,
+    /// Spoken prompts ("voice announcement on docking").
+    VoicePrompt,
+    /// Physical buttons.
+    Button,
+    /// Voice commands (microphone input).
+    VoiceCommand,
+    /// Vibration.
+    Haptic,
+}
+
+impl Modality {
+    /// Power draw of the detachable module providing this modality (mW,
+    /// amortized) — the optimization axis the paper calls out.
+    #[must_use]
+    pub fn power_mw(self) -> f64 {
+        match self {
+            Modality::EInkDisplay => 1.0, // only draws on refresh
+            Modality::Led => 4.0,
+            Modality::Buzzer => 6.0,
+            Modality::VoicePrompt => 22.0,
+            Modality::Button => 0.5,
+            Modality::VoiceCommand => 18.0,
+            Modality::Haptic => 9.0,
+        }
+    }
+
+    /// Whether a person with `profile` can use this modality.
+    #[must_use]
+    pub fn usable_by(self, profile: &AbilityProfile) -> bool {
+        match self {
+            Modality::EInkDisplay => profile.vision == Capability::Full,
+            Modality::Led => profile.vision >= Capability::Limited,
+            Modality::Buzzer | Modality::VoicePrompt | Modality::VoiceCommand => {
+                profile.hearing >= Capability::Limited
+            }
+            Modality::Button => profile.dexterity >= Capability::Limited,
+            Modality::Haptic => true,
+        }
+    }
+}
+
+/// Selects the cheapest set of modalities that covers output *and* input for
+/// a given ability profile.
+///
+/// Output coverage requires at least one usable output channel (display,
+/// LED, buzzer, voice prompt or haptic); input coverage at least one of
+/// button or voice command. Returns `None` only for a profile nothing can
+/// serve (does not occur for human profiles).
+#[must_use]
+pub fn select_modalities(profile: &AbilityProfile) -> Option<Vec<Modality>> {
+    const OUTPUTS: [Modality; 5] = [
+        Modality::EInkDisplay,
+        Modality::Led,
+        Modality::Buzzer,
+        Modality::VoicePrompt,
+        Modality::Haptic,
+    ];
+    const INPUTS: [Modality; 2] = [Modality::Button, Modality::VoiceCommand];
+    let cheapest = |options: &[Modality]| -> Option<Modality> {
+        options
+            .iter()
+            .copied()
+            .filter(|m| m.usable_by(profile))
+            .min_by(|a, b| a.power_mw().partial_cmp(&b.power_mw()).expect("finite"))
+    };
+    let out = cheapest(&OUTPUTS)?;
+    let input = cheapest(&INPUTS)?;
+    let mut set = vec![out, input];
+    // Identification needs an *identity-bearing* channel — the e-ink number,
+    // a spoken announcement, or a coded vibration pattern. This is the fix
+    // for the A↔B badge swap: A could not read the number, so A's badge must
+    // announce itself another way.
+    const IDENTITY: [Modality; 3] = [
+        Modality::EInkDisplay,
+        Modality::VoicePrompt,
+        Modality::Haptic,
+    ];
+    if !set.iter().any(|m| IDENTITY.contains(m)) {
+        // Identity is safety-critical: prefer fidelity (display > voice >
+        // coded vibration) over power.
+        let id_channel = IDENTITY.iter().copied().find(|m| m.usable_by(profile))?;
+        set.push(id_channel);
+    }
+    set.dedup();
+    Some(set)
+}
+
+/// Total module power of a modality set (mW).
+#[must_use]
+pub fn set_power_mw(set: &[Modality]) -> f64 {
+    set.iter().map(|m| m.power_mw()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astronaut_a_gets_voice_identification() {
+        let roster = Roster::icares();
+        let a = AbilityProfile::of(&roster, AstronautId::A);
+        let set = select_modalities(&a).expect("servable");
+        assert!(
+            set.contains(&Modality::VoicePrompt),
+            "A cannot read the e-ink number; identity must be spoken: {set:?}"
+        );
+        assert!(!set.contains(&Modality::EInkDisplay));
+        // Input is still possible (limited dexterity allows buttons).
+        assert!(set.contains(&Modality::Button) || set.contains(&Modality::VoiceCommand));
+    }
+
+    #[test]
+    fn sighted_crew_get_the_cheap_display_path() {
+        let roster = Roster::icares();
+        let b = AbilityProfile::of(&roster, AstronautId::B);
+        let set = select_modalities(&b).expect("servable");
+        assert!(set.contains(&Modality::EInkDisplay));
+        // The sighted set must be cheaper than A's voice-based set.
+        let a_set = select_modalities(&AbilityProfile::of(&roster, AstronautId::A)).unwrap();
+        assert!(set_power_mw(&set) < set_power_mw(&a_set));
+    }
+
+    #[test]
+    fn eva_override_degrades_vision_dependent_channels() {
+        let full = AbilityProfile::full();
+        let eva = full.during_eva();
+        assert_eq!(eva.vision, Capability::Limited);
+        assert!(!Modality::EInkDisplay.usable_by(&eva));
+        assert!(Modality::Led.usable_by(&eva));
+        // A servable set still exists during EVAs.
+        assert!(select_modalities(&eva).is_some());
+    }
+
+    #[test]
+    fn every_crew_profile_is_servable() {
+        let roster = Roster::icares();
+        for id in AstronautId::ALL {
+            let p = AbilityProfile::of(&roster, id);
+            let set = select_modalities(&p).expect("servable profile");
+            assert!(set.iter().all(|m| m.usable_by(&p)), "{id}: {set:?}");
+            // And it stays servable during an EVA.
+            assert!(select_modalities(&p.during_eva()).is_some(), "{id} EVA");
+        }
+    }
+
+    #[test]
+    fn deaf_profile_falls_back_to_haptics() {
+        let p = AbilityProfile {
+            vision: Capability::None,
+            hearing: Capability::None,
+            dexterity: Capability::Full,
+        };
+        let set = select_modalities(&p).expect("haptics + buttons suffice");
+        assert!(set.contains(&Modality::Haptic));
+        assert!(set.contains(&Modality::Button));
+        assert!(!set.contains(&Modality::VoicePrompt));
+    }
+}

@@ -1,0 +1,261 @@
+//! The change-approval protocol.
+//!
+//! "To protect the system from harmful changes introduced by disobedient
+//! individuals, it might be worthwhile to require approvals from all the
+//! teammates and the mission control before any significant change to the
+//! system is applied." The protocol below implements that balance of power:
+//! a proposed change needs a crew quorum **and** mission control's consent —
+//! but because of the 20-minute latency, control's vote may take ≥ 40 min,
+//! so an emergency path lets a unanimous crew override a silent Earth after
+//! a timeout (never a *denied* Earth).
+
+use crate::earthlink::ONE_WAY_DELAY;
+use ares_crew::roster::AstronautId;
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A vote on a proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vote {
+    /// In favour.
+    Approve,
+    /// Against.
+    Reject,
+}
+
+/// The proposal's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Collecting votes.
+    Pending,
+    /// Applied: quorum plus control consent (or emergency override).
+    Applied {
+        /// Whether the emergency timeout path was used.
+        emergency: bool,
+    },
+    /// Rejected (by crew or control) or expired.
+    Rejected,
+}
+
+/// A proposed system change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Proposal {
+    /// What would change.
+    pub description: String,
+    /// When it was proposed.
+    pub proposed_at: SimTime,
+    /// Crew votes so far.
+    votes: Vec<(AstronautId, Vote)>,
+    /// Mission control's vote, when it arrives (≥ 2 × one-way delay after
+    /// proposing).
+    control_vote: Option<Vote>,
+    status: Status,
+}
+
+/// Protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApprovalRules {
+    /// Minimum crew approvals.
+    pub crew_quorum: usize,
+    /// After this silence from Earth, a *unanimous* aboard crew may apply
+    /// anyway (time-critical cases where "terrestrial assistance is not
+    /// sufficient").
+    pub emergency_timeout: SimDuration,
+    /// Number of astronauts currently aboard (unanimity denominator).
+    pub aboard: usize,
+}
+
+impl Default for ApprovalRules {
+    fn default() -> Self {
+        ApprovalRules {
+            crew_quorum: 4,
+            emergency_timeout: ONE_WAY_DELAY * 4, // two full round trips
+            aboard: 6,
+        }
+    }
+}
+
+impl Proposal {
+    /// Creates a pending proposal.
+    #[must_use]
+    pub fn new(description: impl Into<String>, proposed_at: SimTime) -> Self {
+        Proposal {
+            description: description.into(),
+            proposed_at,
+            votes: Vec::new(),
+            control_vote: None,
+            status: Status::Pending,
+        }
+    }
+
+    /// Current status.
+    #[must_use]
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Records a crew vote (latest vote per astronaut wins).
+    pub fn crew_vote(&mut self, who: AstronautId, vote: Vote) {
+        self.votes.retain(|&(a, _)| a != who);
+        self.votes.push((who, vote));
+    }
+
+    /// Records mission control's vote (arrives over the Earth link).
+    pub fn control_vote(&mut self, vote: Vote) {
+        self.control_vote = Some(vote);
+    }
+
+    /// Number of crew approvals.
+    #[must_use]
+    pub fn approvals(&self) -> usize {
+        self.votes.iter().filter(|&&(_, v)| v == Vote::Approve).count()
+    }
+
+    /// Number of crew rejections.
+    #[must_use]
+    pub fn rejections(&self) -> usize {
+        self.votes.iter().filter(|&&(_, v)| v == Vote::Reject).count()
+    }
+
+    /// Advances the protocol at `now`; returns the (possibly new) status.
+    ///
+    /// Safety invariants (property-tested):
+    /// * never `Applied` without crew quorum;
+    /// * never `Applied` when mission control voted `Reject`;
+    /// * the emergency path fires only after the timeout, with a unanimous
+    ///   aboard crew and a *silent* Earth.
+    pub fn evaluate(&mut self, now: SimTime, rules: &ApprovalRules) -> Status {
+        if self.status != Status::Pending {
+            return self.status;
+        }
+        // Any explicit rejection by control kills the proposal.
+        if self.control_vote == Some(Vote::Reject) {
+            self.status = Status::Rejected;
+            return self.status;
+        }
+        // A crew majority against also kills it.
+        if self.rejections() > rules.aboard.saturating_sub(rules.crew_quorum) {
+            self.status = Status::Rejected;
+            return self.status;
+        }
+        let quorum = self.approvals() >= rules.crew_quorum;
+        match self.control_vote {
+            Some(Vote::Approve) if quorum => {
+                self.status = Status::Applied { emergency: false };
+            }
+            None if quorum
+                && self.approvals() == rules.aboard
+                && now - self.proposed_at >= rules.emergency_timeout =>
+            {
+                self.status = Status::Applied { emergency: true };
+            }
+            _ => {}
+        }
+        self.status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AstronautId as Id;
+
+    fn t(min: i64) -> SimTime {
+        SimTime::from_secs(min * 60)
+    }
+
+    fn approve_all(p: &mut Proposal, ids: &[Id]) {
+        for &id in ids {
+            p.crew_vote(id, Vote::Approve);
+        }
+    }
+
+    #[test]
+    fn normal_path_needs_quorum_and_control() {
+        let rules = ApprovalRules::default();
+        let mut p = Proposal::new("raise mic sampling", t(0));
+        approve_all(&mut p, &[Id::A, Id::B, Id::C]);
+        assert_eq!(p.evaluate(t(10), &rules), Status::Pending, "3 < quorum 4");
+        p.crew_vote(Id::D, Vote::Approve);
+        assert_eq!(p.evaluate(t(10), &rules), Status::Pending, "control missing");
+        p.control_vote(Vote::Approve);
+        assert_eq!(
+            p.evaluate(t(45), &rules),
+            Status::Applied { emergency: false }
+        );
+    }
+
+    #[test]
+    fn control_rejection_is_final() {
+        let rules = ApprovalRules::default();
+        let mut p = Proposal::new("disable privacy zone", t(0));
+        approve_all(&mut p, &[Id::A, Id::B, Id::C, Id::D, Id::E, Id::F]);
+        p.control_vote(Vote::Reject);
+        assert_eq!(p.evaluate(t(500), &rules), Status::Rejected);
+        // Even long after the emergency timeout.
+        assert_eq!(p.evaluate(t(5000), &rules), Status::Rejected);
+    }
+
+    #[test]
+    fn emergency_override_requires_unanimity_and_timeout() {
+        let rules = ApprovalRules::default(); // timeout 80 min
+        let mut p = Proposal::new("vent module 2", t(0));
+        approve_all(&mut p, &[Id::A, Id::B, Id::C, Id::D, Id::E]);
+        // 5 of 6: quorum met but not unanimous → never emergency-applies.
+        assert_eq!(p.evaluate(t(200), &rules), Status::Pending);
+        p.crew_vote(Id::F, Vote::Approve);
+        // Unanimous but before the timeout → still pending.
+        assert_eq!(p.evaluate(t(79), &rules), Status::Pending);
+        assert_eq!(
+            p.evaluate(t(81), &rules),
+            Status::Applied { emergency: true }
+        );
+    }
+
+    #[test]
+    fn crew_majority_against_rejects() {
+        let rules = ApprovalRules::default();
+        let mut p = Proposal::new("reduce sensor duty cycle", t(0));
+        for id in [Id::A, Id::B, Id::C] {
+            p.crew_vote(id, Vote::Reject);
+        }
+        assert_eq!(p.evaluate(t(5), &rules), Status::Rejected);
+    }
+
+    #[test]
+    fn revoting_replaces_previous_vote() {
+        let rules = ApprovalRules {
+            crew_quorum: 2,
+            aboard: 3,
+            ..Default::default()
+        };
+        let mut p = Proposal::new("x", t(0));
+        p.crew_vote(Id::A, Vote::Reject);
+        p.crew_vote(Id::A, Vote::Approve);
+        p.crew_vote(Id::B, Vote::Approve);
+        p.control_vote(Vote::Approve);
+        assert_eq!(p.approvals(), 2);
+        assert_eq!(p.rejections(), 0);
+        assert_eq!(
+            p.evaluate(t(50), &rules),
+            Status::Applied { emergency: false }
+        );
+    }
+
+    #[test]
+    fn applied_status_is_sticky() {
+        let rules = ApprovalRules {
+            crew_quorum: 1,
+            aboard: 1,
+            ..Default::default()
+        };
+        let mut p = Proposal::new("y", t(0));
+        p.crew_vote(Id::A, Vote::Approve);
+        p.control_vote(Vote::Approve);
+        let s = p.evaluate(t(1), &rules);
+        assert!(matches!(s, Status::Applied { .. }));
+        // A late control rejection cannot un-apply.
+        p.control_vote(Vote::Reject);
+        assert_eq!(p.evaluate(t(2), &rules), s);
+    }
+}

@@ -1,0 +1,226 @@
+//! The habitat message bus.
+//!
+//! "A habitat itself consists of many modules and pieces of equipment, which
+//! are independent but have to be orchestrated to deliver certain
+//! functionality." The bus is the orchestration fabric: topic-based
+//! publish/subscribe between system units (sensor aggregators, analysis
+//! units, alert sinks, the Earth-link gateway), built on crossbeam channels
+//! so units can run on their own threads while tests drive them
+//! synchronously.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A bus topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topic {
+    /// Raw sensor observations.
+    Sensors,
+    /// Analysis results (occupancy, speech, meetings).
+    Analysis,
+    /// Alerts raised for the crew.
+    Alerts,
+    /// Traffic to/from mission control.
+    EarthLink,
+    /// System-management messages (heartbeats, takeovers, approvals).
+    Control,
+}
+
+impl Topic {
+    /// All topics.
+    pub const ALL: [Topic; 5] = [
+        Topic::Sensors,
+        Topic::Analysis,
+        Topic::Alerts,
+        Topic::EarthLink,
+        Topic::Control,
+    ];
+}
+
+/// A bus message: topic plus an opaque payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Publisher identity.
+    pub from: String,
+    /// Payload (JSON-encoded by convention; the bus does not interpret it).
+    pub payload: String,
+}
+
+/// A handle for receiving messages of one subscription.
+#[derive(Debug)]
+pub struct Subscription {
+    rx: Receiver<Message>,
+}
+
+impl Subscription {
+    /// Non-blocking receive.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<Message> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains everything currently queued.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Some(m) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Number of queued messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    subscribers: HashMap<Topic, Vec<Sender<Message>>>,
+    published: HashMap<Topic, u64>,
+}
+
+/// The shared bus. Cheap to clone (an `Arc` inside).
+#[derive(Debug, Clone, Default)]
+pub struct Bus {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes to a topic.
+    #[must_use]
+    pub fn subscribe(&self, topic: Topic) -> Subscription {
+        let (tx, rx) = unbounded();
+        self.inner
+            .write()
+            .subscribers
+            .entry(topic)
+            .or_default()
+            .push(tx);
+        Subscription { rx }
+    }
+
+    /// Publishes to a topic; returns the number of subscribers reached.
+    /// Dead subscriptions are pruned lazily.
+    pub fn publish(&self, topic: Topic, message: Message) -> usize {
+        let mut inner = self.inner.write();
+        *inner.published.entry(topic).or_default() += 1;
+        let subs = inner.subscribers.entry(topic).or_default();
+        let mut delivered = 0;
+        subs.retain(|tx| match tx.try_send(message.clone()) {
+            Ok(()) => {
+                delivered += 1;
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+            Err(TrySendError::Full(_)) => true,
+        });
+        delivered
+    }
+
+    /// Total messages ever published to a topic.
+    #[must_use]
+    pub fn published_count(&self, topic: Topic) -> u64 {
+        *self.inner.read().published.get(&topic).unwrap_or(&0)
+    }
+
+    /// Current subscriber count on a topic.
+    #[must_use]
+    pub fn subscriber_count(&self, topic: Topic) -> usize {
+        self.inner
+            .read()
+            .subscribers
+            .get(&topic)
+            .map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(from: &str, payload: &str) -> Message {
+        Message {
+            from: from.to_string(),
+            payload: payload.to_string(),
+        }
+    }
+
+    #[test]
+    fn fan_out_to_all_subscribers() {
+        let bus = Bus::new();
+        let a = bus.subscribe(Topic::Alerts);
+        let b = bus.subscribe(Topic::Alerts);
+        let delivered = bus.publish(Topic::Alerts, msg("engine", "dehydration:D"));
+        assert_eq!(delivered, 2);
+        assert_eq!(a.try_recv().unwrap().payload, "dehydration:D");
+        assert_eq!(b.try_recv().unwrap().payload, "dehydration:D");
+        assert!(a.try_recv().is_none());
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let bus = Bus::new();
+        let alerts = bus.subscribe(Topic::Alerts);
+        bus.publish(Topic::Sensors, msg("badge", "scan"));
+        assert!(alerts.is_empty());
+        assert_eq!(bus.published_count(Topic::Sensors), 1);
+        assert_eq!(bus.published_count(Topic::Alerts), 0);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let bus = Bus::new();
+        {
+            let _tmp = bus.subscribe(Topic::Control);
+            assert_eq!(bus.subscriber_count(Topic::Control), 1);
+        }
+        // Subscription dropped: next publish prunes it.
+        let delivered = bus.publish(Topic::Control, msg("x", "y"));
+        assert_eq!(delivered, 0);
+        assert_eq!(bus.subscriber_count(Topic::Control), 0);
+    }
+
+    #[test]
+    fn drain_collects_backlog() {
+        let bus = Bus::new();
+        let sub = bus.subscribe(Topic::Analysis);
+        for i in 0..5 {
+            bus.publish(Topic::Analysis, msg("pipeline", &format!("r{i}")));
+        }
+        let all = sub.drain();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[4].payload, "r4");
+    }
+
+    #[test]
+    fn bus_works_across_threads() {
+        let bus = Bus::new();
+        let sub = bus.subscribe(Topic::Sensors);
+        let bus2 = bus.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                bus2.publish(Topic::Sensors, msg("t", &i.to_string()));
+            }
+        });
+        handle.join().unwrap();
+        assert_eq!(sub.drain().len(), 100);
+    }
+}

@@ -1,0 +1,315 @@
+//! The Mars–Earth link: 20-minute one-way delay, blackouts, and the
+//! delayed-command conflict of mission day 12.
+//!
+//! "Communication was delayed by 20 min, reflecting possible Earth–Mars
+//! latencies. … events on the twelfth day of ICAres-1, when delayed
+//! instructions from the mission control contradicted the course of action
+//! already taken by the crew", showed why "terrestrial assistance is not
+//! sufficient in time-critical cases". The gateway therefore tracks, for
+//! every inbound command, the *habitat state version* it was based on; a
+//! command arriving after the habitat has already diverged is flagged as a
+//! conflict and resolved by an explicit policy instead of being applied
+//! blindly.
+
+use ares_simkit::series::{Interval, IntervalSet};
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One-way Earth↔Mars latency used in ICAres-1.
+pub const ONE_WAY_DELAY: SimDuration = SimDuration::from_mins(20);
+
+/// A command from mission control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// Monotone id assigned by mission control.
+    pub id: u64,
+    /// What to do (opaque to the gateway).
+    pub directive: String,
+    /// The habitat state version mission control had seen when issuing.
+    pub based_on_version: u64,
+}
+
+/// Outcome of delivering a command to the habitat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Delivery {
+    /// Applied cleanly — the habitat had not diverged.
+    Applied(Command),
+    /// The habitat acted locally after the command's basis: a conflict.
+    Conflict {
+        /// The late command.
+        command: Command,
+        /// The habitat's version at arrival.
+        local_version: u64,
+    },
+}
+
+/// How conflicts are resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConflictPolicy {
+    /// The crew's local decision stands; the command is dropped and a report
+    /// is queued to Earth (the post-incident recommendation).
+    CrewWins,
+    /// The command overrides local action (the day-12 behaviour that caused
+    /// "surging stress levels").
+    ControlWins,
+}
+
+/// A message in flight, due at `arrives_at`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct InFlight<T> {
+    arrives_at: SimTime,
+    item: T,
+}
+
+/// The habitat-side gateway of the Earth link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EarthLink {
+    delay: SimDuration,
+    blackouts: IntervalSet,
+    policy: ConflictPolicy,
+    inbound: VecDeque<InFlight<Command>>,
+    outbound: VecDeque<InFlight<String>>,
+    /// Habitat state version: bumped on every local (crew/system) action.
+    local_version: u64,
+    /// Deliveries performed, in order.
+    deliveries: Vec<(SimTime, Delivery)>,
+    /// Telemetry actually handed to Earth: `(sent_at_mars, received_at_earth,
+    /// payload)`.
+    received_on_earth: Vec<(SimTime, SimTime, String)>,
+}
+
+impl EarthLink {
+    /// Creates a link with the canonical 20-minute delay.
+    #[must_use]
+    pub fn new(policy: ConflictPolicy) -> Self {
+        EarthLink {
+            delay: ONE_WAY_DELAY,
+            blackouts: IntervalSet::new(),
+            policy,
+            inbound: VecDeque::new(),
+            outbound: VecDeque::new(),
+            local_version: 0,
+            deliveries: Vec::new(),
+            received_on_earth: Vec::new(),
+        }
+    }
+
+    /// Adds a communication blackout window (e.g. a solar conjunction or a
+    /// ground-station gap); messages due inside it are held until it ends.
+    pub fn add_blackout(&mut self, window: Interval) {
+        self.blackouts.insert(window);
+    }
+
+    /// The habitat's current state version.
+    #[must_use]
+    pub fn local_version(&self) -> u64 {
+        self.local_version
+    }
+
+    /// The crew (or the autonomous system) takes a local action: the state
+    /// version advances, invalidating in-flight commands based on older
+    /// state.
+    pub fn local_action(&mut self, _now: SimTime, _description: &str) -> u64 {
+        self.local_version += 1;
+        self.local_version
+    }
+
+    /// Mission control sends a command at (Earth) time `now`.
+    pub fn uplink(&mut self, now: SimTime, command: Command) {
+        self.inbound.push_back(InFlight {
+            arrives_at: self.deliverable_at(now + self.delay),
+            item: command,
+        });
+    }
+
+    /// The habitat sends telemetry/reports at (Mars) time `now`.
+    pub fn downlink(&mut self, now: SimTime, payload: impl Into<String>) {
+        self.outbound.push_back(InFlight {
+            arrives_at: self.deliverable_at(now + self.delay),
+            item: payload.into(),
+        });
+    }
+
+    fn deliverable_at(&self, due: SimTime) -> SimTime {
+        // Push past any blackout covering the due instant.
+        let mut t = due;
+        for iv in self.blackouts.intervals() {
+            if iv.contains(t) {
+                t = iv.end;
+            }
+        }
+        t
+    }
+
+    /// Advances the link to `now`, delivering everything due. Returns the
+    /// new deliveries on the habitat side.
+    pub fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        // Mails may be queued out of order due to blackout displacement.
+        let mut still_waiting = VecDeque::new();
+        while let Some(f) = self.inbound.pop_front() {
+            if f.arrives_at <= now {
+                let delivery = if f.item.based_on_version < self.local_version {
+                    Delivery::Conflict {
+                        command: f.item,
+                        local_version: self.local_version,
+                    }
+                } else {
+                    self.local_version += 1;
+                    Delivery::Applied(f.item)
+                };
+                if let Delivery::Conflict { command, .. } = &delivery {
+                    match self.policy {
+                        ConflictPolicy::CrewWins => {
+                            self.downlink(
+                                now,
+                                format!(
+                                    "CONFLICT-REPORT cmd {} dropped (stale basis v{})",
+                                    command.id, command.based_on_version
+                                ),
+                            );
+                        }
+                        ConflictPolicy::ControlWins => {
+                            // Forced through: the habitat resets to the
+                            // command's world — the stressful day-12 path.
+                            self.local_version += 1;
+                        }
+                    }
+                }
+                self.deliveries.push((now, delivery.clone()));
+                out.push(delivery);
+            } else {
+                still_waiting.push_back(f);
+            }
+        }
+        self.inbound = still_waiting;
+        // Deliver telemetry to Earth.
+        let mut waiting_out = VecDeque::new();
+        while let Some(f) = self.outbound.pop_front() {
+            if f.arrives_at <= now {
+                self.received_on_earth
+                    .push((f.arrives_at - self.delay, f.arrives_at, f.item));
+            } else {
+                waiting_out.push_back(f);
+            }
+        }
+        self.outbound = waiting_out;
+        out
+    }
+
+    /// All deliveries so far.
+    #[must_use]
+    pub fn deliveries(&self) -> &[(SimTime, Delivery)] {
+        &self.deliveries
+    }
+
+    /// Telemetry received on Earth.
+    #[must_use]
+    pub fn received_on_earth(&self) -> &[(SimTime, SimTime, String)] {
+        &self.received_on_earth
+    }
+
+    /// Conflicts seen so far.
+    #[must_use]
+    pub fn conflict_count(&self) -> usize {
+        self.deliveries
+            .iter()
+            .filter(|(_, d)| matches!(d, Delivery::Conflict { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(day: u32, h: u32, m: u32) -> SimTime {
+        SimTime::from_day_hms(day, h, m, 0)
+    }
+
+    fn cmd(id: u64, basis: u64) -> Command {
+        Command {
+            id,
+            directive: format!("directive-{id}"),
+            based_on_version: basis,
+        }
+    }
+
+    #[test]
+    fn commands_take_twenty_minutes() {
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        link.uplink(t(12, 10, 0), cmd(1, 0));
+        assert!(link.advance(t(12, 10, 19)).is_empty());
+        let arrived = link.advance(t(12, 10, 20));
+        assert_eq!(arrived, vec![Delivery::Applied(cmd(1, 0))]);
+    }
+
+    #[test]
+    fn day12_conflict_is_detected() {
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        // Mission control issues a command based on the state it last saw.
+        link.uplink(t(12, 10, 0), cmd(7, 0));
+        // Meanwhile the crew already took a different course of action.
+        link.local_action(t(12, 10, 5), "crew reconfigured the experiment");
+        let deliveries = link.advance(t(12, 10, 30));
+        assert_eq!(link.conflict_count(), 1);
+        match &deliveries[0] {
+            Delivery::Conflict { command, local_version } => {
+                assert_eq!(command.id, 7);
+                assert_eq!(*local_version, 1);
+            }
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        // Crew-wins policy reports the drop back to Earth.
+        link.advance(t(12, 11, 0));
+        assert!(link
+            .received_on_earth()
+            .iter()
+            .any(|(_, _, p)| p.contains("CONFLICT-REPORT cmd 7")));
+    }
+
+    #[test]
+    fn control_wins_policy_forces_the_command() {
+        let mut link = EarthLink::new(ConflictPolicy::ControlWins);
+        link.uplink(t(12, 10, 0), cmd(9, 0));
+        link.local_action(t(12, 10, 5), "local action");
+        let v_before = link.local_version();
+        link.advance(t(12, 10, 30));
+        assert_eq!(link.conflict_count(), 1);
+        assert!(link.local_version() > v_before, "override bumps state");
+    }
+
+    #[test]
+    fn blackouts_postpone_delivery() {
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        link.add_blackout(Interval::new(t(5, 10, 0), t(5, 12, 0)));
+        link.uplink(t(5, 9, 50), cmd(2, 0)); // due 10:10, inside blackout
+        assert!(link.advance(t(5, 11, 0)).is_empty());
+        let arrived = link.advance(t(5, 12, 0));
+        assert_eq!(arrived.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_round_trip_takes_forty_minutes() {
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        link.downlink(t(3, 8, 0), "status nominal");
+        link.advance(t(3, 8, 25));
+        assert_eq!(link.received_on_earth().len(), 1);
+        let (_, received_at, payload) = &link.received_on_earth()[0];
+        assert_eq!(*received_at, t(3, 8, 20));
+        assert_eq!(payload, "status nominal");
+    }
+
+    #[test]
+    fn fresh_command_applies_cleanly_after_local_actions_are_seen() {
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        let v = link.local_action(t(2, 9, 0), "setup");
+        // Control issues a command already aware of version v.
+        link.uplink(t(2, 9, 30), cmd(3, v));
+        let arrived = link.advance(t(2, 10, 0));
+        assert_eq!(arrived.len(), 1);
+        assert!(matches!(arrived[0], Delivery::Applied(_)));
+        assert_eq!(link.conflict_count(), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Replicated analysis units with heartbeat failover.
+//!
+//! "Components of the habitat, and hence the system, may fail and thus have
+//! to be replicated so that a partial failure or unavailability of some
+//! functionality does not hinder the success of the entire mission."
+//!
+//! The model: a service (say, the localization unit) runs as a *primary*
+//! with one or more *backups* in a fixed priority order. Every unit emits
+//! heartbeats; a deterministic failure detector promotes the highest-priority
+//! live unit when the primary misses its deadline. Promotion is sticky
+//! (no flapping): a recovered unit rejoins as a backup.
+
+use ares_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a replica of a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId(pub u8);
+
+/// The role a replica currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Serving requests.
+    Primary,
+    /// Standing by, in priority order.
+    Backup,
+    /// Declared failed by the detector.
+    Down,
+}
+
+/// A failover event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FailoverEvent {
+    /// A replica was declared failed.
+    Failed(ReplicaId),
+    /// A replica was promoted to primary.
+    Promoted(ReplicaId),
+    /// A previously failed replica rejoined as backup.
+    Rejoined(ReplicaId),
+    /// No live replica remains — total service outage.
+    ServiceDown,
+}
+
+/// The failure detector + role manager of one replicated service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedService {
+    name: String,
+    heartbeat_deadline: SimDuration,
+    replicas: Vec<(ReplicaId, Role, SimTime)>, // priority order; last heartbeat
+    log: Vec<(SimTime, FailoverEvent)>,
+}
+
+impl ReplicatedService {
+    /// Creates a service with replicas in priority order; the first starts
+    /// as primary. `heartbeat_deadline` is the silence span after which a
+    /// replica is declared failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no replicas are given.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        replicas: &[ReplicaId],
+        heartbeat_deadline: SimDuration,
+        now: SimTime,
+    ) -> Self {
+        assert!(!replicas.is_empty(), "service needs at least one replica");
+        let replicas = replicas
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                (
+                    r,
+                    if i == 0 { Role::Primary } else { Role::Backup },
+                    now,
+                )
+            })
+            .collect();
+        ReplicatedService {
+            name: name.into(),
+            heartbeat_deadline,
+            replicas,
+            log: Vec::new(),
+        }
+    }
+
+    /// The service name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current primary, if any replica is alive.
+    #[must_use]
+    pub fn primary(&self) -> Option<ReplicaId> {
+        self.replicas
+            .iter()
+            .find(|(_, role, _)| *role == Role::Primary)
+            .map(|&(id, _, _)| id)
+    }
+
+    /// A replica's current role.
+    #[must_use]
+    pub fn role_of(&self, id: ReplicaId) -> Option<Role> {
+        self.replicas
+            .iter()
+            .find(|&&(r, _, _)| r == id)
+            .map(|&(_, role, _)| role)
+    }
+
+    /// The failover event log.
+    #[must_use]
+    pub fn log(&self) -> &[(SimTime, FailoverEvent)] {
+        &self.log
+    }
+
+    /// Records a heartbeat from a replica. A heartbeat from a `Down` replica
+    /// re-admits it as a backup (lowest effective priority is preserved by
+    /// its position).
+    pub fn heartbeat(&mut self, id: ReplicaId, now: SimTime) {
+        let mut rejoined = false;
+        for (r, role, last) in &mut self.replicas {
+            if *r == id {
+                *last = now;
+                if *role == Role::Down {
+                    *role = Role::Backup;
+                    rejoined = true;
+                }
+            }
+        }
+        if rejoined {
+            self.log.push((now, FailoverEvent::Rejoined(id)));
+            // A rejoin never demotes the current primary.
+        }
+    }
+
+    /// Runs the failure detector at `now`; returns the events raised.
+    pub fn tick(&mut self, now: SimTime) -> Vec<FailoverEvent> {
+        let mut events = Vec::new();
+        // Declare overdue replicas failed.
+        for (id, role, last) in &mut self.replicas {
+            if *role != Role::Down && now - *last > self.heartbeat_deadline {
+                *role = Role::Down;
+                events.push(FailoverEvent::Failed(*id));
+            }
+        }
+        // Ensure exactly one primary among the living.
+        let has_primary = self
+            .replicas
+            .iter()
+            .any(|(_, role, _)| *role == Role::Primary);
+        if !has_primary {
+            if let Some((id, role, _)) = self
+                .replicas
+                .iter_mut()
+                .find(|(_, role, _)| *role == Role::Backup)
+            {
+                *role = Role::Primary;
+                events.push(FailoverEvent::Promoted(*id));
+            } else {
+                events.push(FailoverEvent::ServiceDown);
+            }
+        }
+        for &e in &events {
+            self.log.push((now, e));
+        }
+        events
+    }
+
+    /// Whether the service can serve requests.
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        self.primary().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn service() -> ReplicatedService {
+        ReplicatedService::new(
+            "localization",
+            &[ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            SimDuration::from_secs(10),
+            t(0),
+        )
+    }
+
+    #[test]
+    fn primary_survives_with_heartbeats() {
+        let mut s = service();
+        for i in 1..20 {
+            s.heartbeat(ReplicaId(0), t(i));
+            s.heartbeat(ReplicaId(1), t(i));
+            s.heartbeat(ReplicaId(2), t(i));
+            assert!(s.tick(t(i)).is_empty());
+        }
+        assert_eq!(s.primary(), Some(ReplicaId(0)));
+    }
+
+    #[test]
+    fn silent_primary_fails_over_to_next_backup() {
+        let mut s = service();
+        // Backups keep beating; primary goes silent.
+        for i in 1..=15 {
+            s.heartbeat(ReplicaId(1), t(i));
+            s.heartbeat(ReplicaId(2), t(i));
+        }
+        let events = s.tick(t(15));
+        assert!(events.contains(&FailoverEvent::Failed(ReplicaId(0))));
+        assert!(events.contains(&FailoverEvent::Promoted(ReplicaId(1))));
+        assert_eq!(s.primary(), Some(ReplicaId(1)));
+        assert_eq!(s.role_of(ReplicaId(0)), Some(Role::Down));
+    }
+
+    #[test]
+    fn cascading_failures_reach_last_replica_then_outage() {
+        let mut s = service();
+        // Nobody heartbeats: everyone fails at once, nothing promotable.
+        let events = s.tick(t(60));
+        assert!(events.contains(&FailoverEvent::Failed(ReplicaId(0))));
+        assert!(events.contains(&FailoverEvent::Failed(ReplicaId(1))));
+        assert!(events.contains(&FailoverEvent::Failed(ReplicaId(2))));
+        assert!(events.contains(&FailoverEvent::ServiceDown));
+        assert!(!s.is_available());
+    }
+
+    #[test]
+    fn recovered_replica_rejoins_without_demoting_new_primary() {
+        let mut s = service();
+        for i in 1..=15 {
+            s.heartbeat(ReplicaId(1), t(i));
+            s.heartbeat(ReplicaId(2), t(i));
+        }
+        s.tick(t(15));
+        assert_eq!(s.primary(), Some(ReplicaId(1)));
+        // Replica 0 comes back.
+        s.heartbeat(ReplicaId(0), t(16));
+        s.tick(t(16));
+        assert_eq!(s.primary(), Some(ReplicaId(1)), "no flapping");
+        assert_eq!(s.role_of(ReplicaId(0)), Some(Role::Backup));
+        assert!(s
+            .log()
+            .iter()
+            .any(|&(_, e)| e == FailoverEvent::Rejoined(ReplicaId(0))));
+        // If the new primary later dies, the recovered one takes over.
+        for i in 17..=40 {
+            s.heartbeat(ReplicaId(0), t(i));
+            s.heartbeat(ReplicaId(2), t(i));
+        }
+        let ev = s.tick(t(40));
+        assert!(ev.contains(&FailoverEvent::Promoted(ReplicaId(0))));
+    }
+}

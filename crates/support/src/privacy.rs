@@ -1,0 +1,243 @@
+//! Privacy zones and the sensor duty-cycle governor.
+//!
+//! "The astronauts may intensify sensor measurements when they are alarmed
+//! by anything unusual or temporarily disable some functionalities in
+//! privacy-sensitive situations. The habitat system, which is inherently
+//! ubiquitous and intruding, could be then perceived as more acceptable by
+//! the crew themselves." Every decision is written to an audit log — the
+//! paper's trust problem is addressed by making the system's behaviour
+//! inspectable.
+
+use ares_habitat::rooms::RoomId;
+use ares_simkit::series::{Interval, IntervalSet};
+use ares_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A sensor class whose operation the governor can gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorClass {
+    /// Microphone feature extraction.
+    Microphone,
+    /// Indoor localization (BLE scanning).
+    Localization,
+    /// Inertial sampling.
+    Inertial,
+    /// Environmental sampling.
+    Environmental,
+}
+
+/// Sampling intensity directed by the governor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DutyLevel {
+    /// Sensor off.
+    Off,
+    /// Reduced rate.
+    Reduced,
+    /// Normal operation.
+    Normal,
+    /// Boosted ("intensify sensor measurements when alarmed").
+    Intensified,
+}
+
+/// An audit-log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// When.
+    pub at: SimTime,
+    /// Who requested it ("system", "crew:A", "mission-control").
+    pub actor: String,
+    /// What was decided.
+    pub decision: String,
+}
+
+/// The privacy governor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyGovernor {
+    /// Rooms where microphones never run (standing policy).
+    mic_forbidden: Vec<RoomId>,
+    /// Temporary per-sensor suppression windows.
+    suppressed: Vec<(SensorClass, IntervalSet)>,
+    /// Temporary intensification windows.
+    intensified: Vec<(SensorClass, IntervalSet)>,
+    audit: Vec<AuditEntry>,
+}
+
+impl Default for PrivacyGovernor {
+    fn default() -> Self {
+        PrivacyGovernor::icares()
+    }
+}
+
+impl PrivacyGovernor {
+    /// The ICAres-1 standing policy: no audio in the restroom or bedroom,
+    /// ever ("video and audio recording in the habitat was prohibited" in
+    /// general; feature extraction was allowed except in the most sensitive
+    /// spaces).
+    #[must_use]
+    pub fn icares() -> Self {
+        PrivacyGovernor {
+            mic_forbidden: vec![RoomId::Restroom, RoomId::Bedroom],
+            suppressed: Vec::new(),
+            intensified: Vec::new(),
+            audit: Vec::new(),
+        }
+    }
+
+    /// The audit log.
+    #[must_use]
+    pub fn audit(&self) -> &[AuditEntry] {
+        &self.audit
+    }
+
+    /// A crew member or the system suppresses a sensor class for a window.
+    pub fn suppress(
+        &mut self,
+        actor: impl Into<String>,
+        sensor: SensorClass,
+        window: Interval,
+    ) {
+        let actor = actor.into();
+        self.audit.push(AuditEntry {
+            at: window.start,
+            actor: actor.clone(),
+            decision: format!("suppress {sensor:?} until {}", window.end),
+        });
+        match self.suppressed.iter_mut().find(|(s, _)| *s == sensor) {
+            Some((_, set)) => set.insert(window),
+            None => {
+                let mut set = IntervalSet::new();
+                set.insert(window);
+                self.suppressed.push((sensor, set));
+            }
+        }
+    }
+
+    /// Intensifies a sensor class for a window ("when alarmed by anything
+    /// unusual").
+    pub fn intensify(
+        &mut self,
+        actor: impl Into<String>,
+        sensor: SensorClass,
+        window: Interval,
+    ) {
+        let actor = actor.into();
+        self.audit.push(AuditEntry {
+            at: window.start,
+            actor,
+            decision: format!("intensify {sensor:?} until {}", window.end),
+        });
+        match self.intensified.iter_mut().find(|(s, _)| *s == sensor) {
+            Some((_, set)) => set.insert(window),
+            None => {
+                let mut set = IntervalSet::new();
+                set.insert(window);
+                self.intensified.push((sensor, set));
+            }
+        }
+    }
+
+    /// The duty level of a sensor at an instant in a room. Suppression wins
+    /// over intensification; standing room policy wins over everything.
+    #[must_use]
+    pub fn duty(&self, sensor: SensorClass, room: RoomId, at: SimTime) -> DutyLevel {
+        if sensor == SensorClass::Microphone && self.mic_forbidden.contains(&room) {
+            return DutyLevel::Off;
+        }
+        if self
+            .suppressed
+            .iter()
+            .any(|(s, set)| *s == sensor && set.contains(at))
+        {
+            return DutyLevel::Off;
+        }
+        if self
+            .intensified
+            .iter()
+            .any(|(s, set)| *s == sensor && set.contains(at))
+        {
+            return DutyLevel::Intensified;
+        }
+        DutyLevel::Normal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn standing_policy_silences_restroom_mics() {
+        let g = PrivacyGovernor::icares();
+        assert_eq!(
+            g.duty(SensorClass::Microphone, RoomId::Restroom, t(0)),
+            DutyLevel::Off
+        );
+        assert_eq!(
+            g.duty(SensorClass::Microphone, RoomId::Bedroom, t(0)),
+            DutyLevel::Off
+        );
+        assert_eq!(
+            g.duty(SensorClass::Microphone, RoomId::Kitchen, t(0)),
+            DutyLevel::Normal
+        );
+        // Localization still works in the restroom (safety).
+        assert_eq!(
+            g.duty(SensorClass::Localization, RoomId::Restroom, t(0)),
+            DutyLevel::Normal
+        );
+    }
+
+    #[test]
+    fn temporary_suppression_expires() {
+        let mut g = PrivacyGovernor::icares();
+        g.suppress("crew:E", SensorClass::Localization, Interval::new(t(100), t(200)));
+        assert_eq!(
+            g.duty(SensorClass::Localization, RoomId::Biolab, t(150)),
+            DutyLevel::Off
+        );
+        assert_eq!(
+            g.duty(SensorClass::Localization, RoomId::Biolab, t(250)),
+            DutyLevel::Normal
+        );
+        assert_eq!(g.audit().len(), 1);
+        assert_eq!(g.audit()[0].actor, "crew:E");
+    }
+
+    #[test]
+    fn suppression_beats_intensification() {
+        let mut g = PrivacyGovernor::icares();
+        let w = Interval::new(t(0), t(100));
+        g.intensify("system", SensorClass::Inertial, w);
+        g.suppress("crew:A", SensorClass::Inertial, w);
+        assert_eq!(
+            g.duty(SensorClass::Inertial, RoomId::Office, t(50)),
+            DutyLevel::Off
+        );
+    }
+
+    #[test]
+    fn intensification_window_works() {
+        let mut g = PrivacyGovernor::icares();
+        g.intensify("mission-control", SensorClass::Environmental, Interval::new(t(10), t(20)));
+        assert_eq!(
+            g.duty(SensorClass::Environmental, RoomId::Main, t(15)),
+            DutyLevel::Intensified
+        );
+        assert_eq!(
+            g.duty(SensorClass::Environmental, RoomId::Main, t(25)),
+            DutyLevel::Normal
+        );
+    }
+
+    #[test]
+    fn every_decision_is_audited() {
+        let mut g = PrivacyGovernor::icares();
+        g.suppress("crew:B", SensorClass::Microphone, Interval::new(t(0), t(10)));
+        g.intensify("system", SensorClass::Localization, Interval::new(t(5), t(15)));
+        assert_eq!(g.audit().len(), 2);
+    }
+}

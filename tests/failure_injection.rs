@@ -1,0 +1,238 @@
+//! Failure-injection tests: the pipeline and support runtime must degrade
+//! gracefully, not collapse, when hardware misbehaves — the paper's
+//! resilience requirement.
+
+use ares::badge::records::{BadgeId, MissionRecording};
+use ares::crew::roster::AstronautId;
+use ares::icares::MissionRunner;
+
+fn one_day() -> (MissionRunner, MissionRecording) {
+    let runner = MissionRunner::icares();
+    let recording = {
+        let (rec, _) = runner.run_day(3);
+        rec
+    };
+    (runner, recording)
+}
+
+#[test]
+fn dead_badge_is_reported_absent_not_misattributed() {
+    let (runner, mut recording) = one_day();
+    // E's badge dies completely: no records at all.
+    let unit = BadgeId(4);
+    for log in &mut recording.logs {
+        if log.badge == unit {
+            *log = ares::badge::records::BadgeLog::new(unit);
+        }
+    }
+    let analysis = runner.pipeline().analyze_day(3, &recording.logs);
+    assert!(
+        analysis.carrier_of[AstronautId::E.index()].is_none(),
+        "a dead badge must yield 'no data', not a wrong assignment"
+    );
+    // Everyone else is unaffected.
+    for a in [AstronautId::A, AstronautId::B, AstronautId::D, AstronautId::F] {
+        assert!(analysis.carrier_of[a.index()].is_some(), "{a} lost");
+    }
+}
+
+#[test]
+fn missing_sync_degrades_gracefully() {
+    let (runner, mut recording) = one_day();
+    // The reference badge was unreachable all day: nobody has sync samples.
+    for log in &mut recording.logs {
+        log.sync.clear();
+    }
+    let analysis = runner.pipeline().analyze_day(3, &recording.logs);
+    // Identity corrections fall back to the identity mapping; with offsets of
+    // a few seconds, room-level results survive.
+    let resolved = AstronautId::ALL
+        .iter()
+        .filter(|a| analysis.carrier_of[a.index()].is_some())
+        .count();
+    assert!(resolved >= 5, "only {resolved} resolved without sync");
+    assert!(!analysis.meetings.is_empty(), "meals still detected");
+    for b in &analysis.badges {
+        assert_eq!(b.corr.samples, 0, "no sync data should mean identity fit");
+    }
+}
+
+#[test]
+fn truncated_day_still_analyzes() {
+    let (runner, mut recording) = one_day();
+    // A power cut at 13:00: every unit loses the afternoon.
+    let cutoff = ares::simkit::time::SimTime::from_day_hms(3, 13, 0, 0);
+    for log in &mut recording.logs {
+        log.scans.retain(|s| s.t_local < cutoff);
+        log.audio.retain(|s| s.t_local < cutoff);
+        log.imu.retain(|s| s.t_local < cutoff);
+        log.proximity.retain(|s| s.t_local < cutoff);
+        log.ir.retain(|s| s.t_local < cutoff);
+    }
+    let analysis = runner.pipeline().analyze_day(3, &recording.logs);
+    // Mornings contain breakfast and the briefing.
+    assert!(
+        analysis.meetings.iter().filter(|m| m.planned).count() >= 2,
+        "morning group activities survive the truncation"
+    );
+}
+
+#[test]
+fn corrupted_scan_stream_is_rejected_cleanly() {
+    use ares::badge::storage::{decode_scan_stream, encode_scan_stream, DecodeScanError};
+    let (_, recording) = one_day();
+    let log = recording.log(BadgeId(0)).unwrap();
+    let image = encode_scan_stream(&log.scans[..100.min(log.scans.len())]);
+    // Bit-flip the middle of the image.
+    let mut bytes = image.to_vec();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    let result = decode_scan_stream(bytes.into());
+    // Either it still parses (the flip hit an RSSI payload) or it fails with
+    // a structured error — never a panic.
+    if let Err(e) = result {
+        assert!(matches!(
+            e,
+            DecodeScanError::BadMagic(_)
+                | DecodeScanError::Truncated
+                | DecodeScanError::TooManyHits(_)
+        ));
+    }
+}
+
+#[test]
+fn thinned_beacon_deployment_still_classifies_rooms() {
+    use ares::badge::world::World;
+    use ares::habitat::beacons::BeaconDeployment;
+    use ares::habitat::floorplan::FloorPlan;
+    // Ablate the deployment to one beacon per room and re-run localization
+    // on synthetic scans: room classification survives (the strongest beacon
+    // is still in-room); position quality is what degrades.
+    let plan = FloorPlan::lunares();
+    let full = BeaconDeployment::icares(&plan);
+    let thin = full.thinned(1);
+    let world = World::icares().with_beacons(thin.clone());
+    let mut rng = ares::simkit::rng::SeedTree::new(77).stream("thin");
+    let mut correct = 0;
+    let mut total = 0;
+    for room in ares::habitat::rooms::RoomId::FIG2 {
+        let pos = plan.room_center(room);
+        for i in 0..50 {
+            let scan = ares::badge::scanner::scan(
+                &world,
+                pos,
+                ares::simkit::time::SimTime::from_secs(i),
+                &mut rng,
+            );
+            if scan.hits.is_empty() {
+                continue;
+            }
+            total += 1;
+            if ares::sociometrics::localization::classify_room(&scan, &thin) == Some(room) {
+                correct += 1;
+            }
+        }
+    }
+    assert!(total > 300);
+    // With a single beacon per room, the rare scan that loses the in-room
+    // packet but catches a doorway leak can misclassify — that is exactly
+    // the artifact the 10-second dwell filter exists for. Near-perfect is
+    // the right expectation here.
+    let accuracy = f64::from(correct) / f64::from(total);
+    assert!(accuracy > 0.99, "accuracy {accuracy:.4}");
+}
+
+#[test]
+fn nominal_fallback_when_schedule_match_is_ambiguous() {
+    // A badge with data only during group slots (meals/briefings) matches
+    // every astronaut equally; the resolver must fall back to the nominal
+    // owner rather than guessing.
+    use ares::sociometrics::anomaly::{identify_carrier, IdentityParams};
+    use ares::sociometrics::localization::{Fix, PositionTrack};
+    let schedule = ares::crew::schedule::Schedule::icares();
+    let plan = ares::habitat::floorplan::FloorPlan::lunares();
+    let mut track = PositionTrack::default();
+    // Fixes only during lunch (kitchen) — zero discriminating signal.
+    let mut t = ares::simkit::time::SimTime::from_day_hms(5, 12, 30, 0);
+    let end = ares::simkit::time::SimTime::from_day_hms(5, 13, 0, 0);
+    while t < end {
+        track.fixes.push(
+            t,
+            Fix {
+                room: ares::habitat::rooms::RoomId::Kitchen,
+                position: plan.room_center(ares::habitat::rooms::RoomId::Kitchen),
+                hits: 3,
+            },
+        );
+        t += ares::simkit::time::SimDuration::from_secs(1);
+    }
+    let params = IdentityParams {
+        min_fixes: 100,
+        ..Default::default()
+    };
+    let id = identify_carrier(&track, 5, Some(AstronautId::B), &schedule, &params);
+    // Whatever the winner, a full-kitchen lunch matches everyone; the flag
+    // must not report a swap on such weak evidence when scores tie at the
+    // kitchen slot (everyone's activity there is Meal).
+    assert!(id.carrier.is_some());
+    assert!(!id.mismatch || id.score > 0.9, "weak evidence must not flag swaps");
+}
+
+#[test]
+fn pipeline_survives_shuffled_log_order() {
+    let (runner, mut recording) = one_day();
+    recording.logs.reverse();
+    let analysis = runner.pipeline().analyze_day(3, &recording.logs);
+    for a in AstronautId::ALL {
+        assert!(
+            analysis.carrier_of[a.index()].is_some(),
+            "{a} unresolved after log reorder"
+        );
+    }
+}
+
+#[test]
+fn backup_badge_handover_is_transparent_to_the_pipeline() {
+    // "We also provided them with 6 redundant backup badges, in case their
+    // assigned ones failed." E's badge dies after day 8; E takes spare unit
+    // 10. Identity comes from the schedule, not the assignment sheet, so the
+    // pipeline picks the spare up with zero reconfiguration.
+    use ares::crew::incidents::{Incident, IncidentScript};
+    use ares::icares::ScenarioConfig;
+    let config = ScenarioConfig {
+        incidents: IncidentScript::icares().with(Incident::BadgeFailure {
+            from_day: 9,
+            wearer: AstronautId::E,
+            backup_index: 4, // physical unit 10
+        }),
+        ..Default::default()
+    };
+    let runner = MissionRunner::new(config);
+    let (_, analysis) = {
+        
+        runner.run_day(9)
+    };
+    let idx = analysis.carrier_of[AstronautId::E.index()].expect("E resolved on the spare");
+    assert_eq!(
+        analysis.badges[idx].badge,
+        BadgeId(10),
+        "E must be carried by the spare unit"
+    );
+    // The spare has no nominal owner, so no false swap flag is raised for it.
+    assert!(
+        !analysis
+            .swaps
+            .iter()
+            .any(|&(b, _, _)| b == BadgeId(10)),
+        "spare adoption is not an identity anomaly"
+    );
+    // E's dead primary is not resolved to anyone.
+    assert!(
+        !analysis
+            .badges
+            .iter()
+            .any(|b| b.badge == BadgeId(4) && b.identification.carrier.is_some()
+                && b.identification.score > 0.3),
+        "the dead primary must not claim a carrier"
+    );
+}

@@ -1,0 +1,255 @@
+//! Property-based tests over the workspace's core invariants.
+
+use ares::badge::records::BeaconScan;
+use ares::badge::storage::{decode_scan_stream, encode_scan_stream};
+use ares::crew::roster::AstronautId;
+use ares::habitat::beacons::BeaconId;
+use ares::simkit::clock::DriftingClock;
+use ares::simkit::series::{Interval, IntervalSet};
+use ares::simkit::time::{SimDuration, SimTime};
+use ares::sociometrics::social::CompanyMatrix;
+use ares::sociometrics::sync::SyncCorrection;
+use ares::support::approval::{ApprovalRules, Proposal, Status, Vote};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0i64..100_000, 0i64..5_000).prop_map(|(a, len)| {
+        Interval::new(SimTime::from_secs(a), SimTime::from_secs(a + len))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---------- interval algebra ----------
+
+    #[test]
+    fn interval_set_union_is_commutative_and_monotone(
+        xs in prop::collection::vec(interval_strategy(), 0..20),
+        ys in prop::collection::vec(interval_strategy(), 0..20),
+    ) {
+        let a = IntervalSet::from_intervals(xs.clone());
+        let b = IntervalSet::from_intervals(ys.clone());
+        let ab = a.union(&b);
+        let ba = b.union(&a);
+        prop_assert_eq!(ab.clone(), ba);
+        prop_assert!(ab.total_duration() >= a.total_duration());
+        prop_assert!(ab.total_duration() >= b.total_duration());
+        prop_assert!(ab.total_duration() <= a.total_duration() + b.total_duration());
+    }
+
+    #[test]
+    fn interval_set_intersection_distributes_measure(
+        xs in prop::collection::vec(interval_strategy(), 0..20),
+        ys in prop::collection::vec(interval_strategy(), 0..20),
+    ) {
+        let a = IntervalSet::from_intervals(xs);
+        let b = IntervalSet::from_intervals(ys);
+        let i = a.intersection(&b);
+        let u = a.union(&b);
+        // |A| + |B| = |A∪B| + |A∩B|
+        let lhs = a.total_duration() + b.total_duration();
+        let rhs = u.total_duration() + i.total_duration();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn complement_partitions_the_window(
+        xs in prop::collection::vec(interval_strategy(), 0..20),
+    ) {
+        let a = IntervalSet::from_intervals(xs);
+        let lo = SimTime::from_secs(-10);
+        let hi = SimTime::from_secs(200_000);
+        let c = a.complement_within(lo, hi);
+        prop_assert_eq!(
+            a.clip(lo, hi).total_duration() + c.total_duration(),
+            hi - lo
+        );
+        prop_assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn membership_matches_measure(
+        xs in prop::collection::vec(interval_strategy(), 0..12),
+        probe in 0i64..105_000,
+    ) {
+        let a = IntervalSet::from_intervals(xs);
+        let t = SimTime::from_secs(probe);
+        let hit = a.contains(t);
+        let direct = a.intervals().iter().any(|iv| iv.contains(t));
+        prop_assert_eq!(hit, direct);
+    }
+
+    // ---------- clocks & sync ----------
+
+    #[test]
+    fn clock_correction_inverts_any_drift(
+        offset_ms in -8_000i64..8_000,
+        skew_ppm in -80.0f64..80.0,
+        probe_h in 0.0f64..400.0,
+    ) {
+        let badge = DriftingClock::new(SimDuration::from_millis(offset_ms), skew_ppm);
+        let reference = DriftingClock::ideal();
+        let samples: Vec<ares::badge::records::SyncSample> = (0..30)
+            .map(|i| {
+                let t = SimTime::from_hours_true(f64::from(i) * 12.0);
+                ares::badge::records::SyncSample {
+                    t_local: badge.local_time(t),
+                    t_reference: reference.local_time(t),
+                }
+            })
+            .collect();
+        let corr = SyncCorrection::fit(&samples);
+        let t = SimTime::from_hours_true(probe_h);
+        let recovered = corr.to_reference(badge.local_time(t));
+        prop_assert!(
+            (recovered - t).abs() < SimDuration::from_millis(5),
+            "residual {} at {probe_h} h", recovered - t
+        );
+    }
+
+    // ---------- on-card codec ----------
+
+    #[test]
+    fn scan_codec_round_trips(
+        scans in prop::collection::vec(
+            (0i64..i64::MAX / 2, prop::collection::vec((0u8..27, -100.0f64..-30.0), 0..27)),
+            0..40
+        )
+    ) {
+        let mut input: Vec<BeaconScan> = scans
+            .into_iter()
+            .map(|(t, hits)| BeaconScan {
+                t_local: SimTime::from_micros(t),
+                hits: hits.into_iter().map(|(b, r)| (BeaconId(b), r)).collect(),
+            })
+            .collect();
+        // Timestamps need not be sorted for the codec.
+        let image = encode_scan_stream(&input);
+        let out = decode_scan_stream(image).unwrap();
+        prop_assert_eq!(out.len(), input.len());
+        for (a, b) in input.drain(..).zip(out) {
+            prop_assert_eq!(a.t_local, b.t_local);
+            prop_assert_eq!(a.hits.len(), b.hits.len());
+            for ((ba, ra), (bb, rb)) in a.hits.iter().zip(&b.hits) {
+                prop_assert_eq!(ba, bb);
+                prop_assert!((ra - rb).abs() <= 0.005 + 1e-9);
+            }
+        }
+    }
+
+    // ---------- social metrics ----------
+
+    #[test]
+    fn hits_authority_is_permutation_equivariant(
+        hours in prop::collection::vec(0.1f64..50.0, 15),
+        perm_seed in 0u64..1000,
+    ) {
+        // Build a symmetric matrix from 15 upper-triangle entries.
+        let mut meetings = Vec::new();
+        let mut k = 0;
+        for i in 0..6usize {
+            for j in (i + 1)..6 {
+                meetings.push((i, j, hours[k]));
+                k += 1;
+            }
+        }
+        let build = |pairs: &[(usize, usize, f64)]| {
+            let mut m = CompanyMatrix::new();
+            for &(i, j, h) in pairs {
+                m.add_pair_hours(AstronautId::ALL[i], AstronautId::ALL[j], h);
+            }
+            m.hits_authority(80)
+        };
+        let base = build(&meetings);
+        // Apply a permutation of the astronauts.
+        let mut perm: Vec<usize> = (0..6).collect();
+        let mut s = perm_seed;
+        for i in (1..6).rev() {
+            s = ares::simkit::rng::splitmix64(s);
+            perm.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let permuted: Vec<(usize, usize, f64)> = meetings
+            .iter()
+            .map(|&(i, j, h)| (perm[i], perm[j], h))
+            .collect();
+        let permuted_auth = build(&permuted);
+        for i in 0..6 {
+            prop_assert!(
+                (base[i] - permuted_auth[perm[i]]).abs() < 1e-6,
+                "HITS not equivariant at {i}"
+            );
+        }
+    }
+
+    // ---------- approval safety ----------
+
+    #[test]
+    fn approval_never_applies_without_quorum_or_against_control(
+        votes in prop::collection::vec((0usize..6, prop::bool::ANY), 0..24),
+        control in prop::option::of(prop::bool::ANY),
+        eval_min in 0i64..600,
+        quorum in 1usize..=6,
+    ) {
+        let rules = ApprovalRules {
+            crew_quorum: quorum,
+            aboard: 6,
+            ..Default::default()
+        };
+        let mut p = Proposal::new("x", SimTime::EPOCH);
+        for (who, approve) in votes {
+            p.crew_vote(
+                AstronautId::ALL[who],
+                if approve { Vote::Approve } else { Vote::Reject },
+            );
+        }
+        if let Some(c) = control {
+            p.control_vote(if c { Vote::Approve } else { Vote::Reject });
+        }
+        let status = p.evaluate(SimTime::from_secs(eval_min * 60), &rules);
+        if let Status::Applied { emergency } = status {
+            prop_assert!(p.approvals() >= rules.crew_quorum, "applied without quorum");
+            prop_assert!(control != Some(false), "applied against control");
+            if emergency {
+                prop_assert!(control.is_none(), "emergency despite control vote");
+                prop_assert_eq!(p.approvals(), 6, "emergency without unanimity");
+            }
+        }
+    }
+
+    // ---------- geometry / localization ----------
+
+    #[test]
+    fn noiseless_trilateration_recovers_the_position(
+        fx in 0.12f64..0.88,
+        fy in 0.12f64..0.88,
+    ) {
+        use ares::habitat::floorplan::FloorPlan;
+        use ares::habitat::beacons::BeaconDeployment;
+        use ares::habitat::rf::ChannelParams;
+        use ares::habitat::rooms::RoomId;
+        use ares::sociometrics::localization::{estimate_position, LocalizationParams};
+        let plan = FloorPlan::lunares();
+        let beacons = BeaconDeployment::icares(&plan);
+        let room = RoomId::Biolab;
+        let (min, max) = plan.room_polygon(room).bounds();
+        let p = ares::simkit::geometry::Point2::new(
+            min.x + fx * (max.x - min.x),
+            min.y + fy * (max.y - min.y),
+        );
+        // Exact RSSI from the path-loss model: no shadowing, no loss.
+        let ch = ChannelParams::ble();
+        let scan = BeaconScan {
+            t_local: SimTime::EPOCH,
+            hits: beacons
+                .in_room(room)
+                .map(|b| (b.id, ch.mean_rssi(b.position.distance(p), 0)))
+                .collect(),
+        };
+        let params = LocalizationParams { gn_iterations: 30, ..Default::default() };
+        let est = estimate_position(&scan, room, &beacons, &plan, &params);
+        // The Tikhonov prior biases slightly toward the weighted centroid,
+        // so allow a modest tolerance even in the noiseless case.
+        prop_assert!(est.distance(p) < 0.85, "error {:.3} m at {p}", est.distance(p));
+    }
+}

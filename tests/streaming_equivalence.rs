@@ -1,0 +1,133 @@
+//! The streaming analyzer must agree with the offline batch pipeline on the
+//! same recorded day — same rooms, same speech intervals, same wear story —
+//! while holding only bounded state.
+
+use ares::badge::records::BadgeId;
+use ares::icares::MissionRunner;
+use ares::simkit::time::{SimDuration, SimTime};
+use ares::sociometrics::streaming::{LiveEvent, StreamingAnalyzer};
+
+#[test]
+fn streaming_matches_batch_on_a_real_day() {
+    let runner = MissionRunner::icares();
+    let (recording, batch) = runner.run_day(3);
+    let unit = BadgeId(4); // E's badge
+    let log = recording.log(unit).expect("recorded");
+    let batch_day = batch
+        .badges
+        .iter()
+        .find(|b| b.badge == unit)
+        .expect("analyzed");
+
+    let mut sa = StreamingAnalyzer::icares();
+    // Replay in the order the badge produced records: sync first (the badge
+    // syncs opportunistically from the very start of the day), then the
+    // sensor streams interleaved by timestamp.
+    for s in &log.sync {
+        sa.ingest_sync(unit, s);
+    }
+    let mut room_events: Vec<(SimTime, ares::habitat::rooms::RoomId)> = Vec::new();
+    let mut speech_events = 0usize;
+    for scan in &log.scans {
+        for e in sa.ingest_scan(unit, scan) {
+            if let LiveEvent::RoomChanged { room, at, .. } = e {
+                room_events.push((at, room));
+            }
+        }
+    }
+    for frame in &log.audio {
+        for e in sa.ingest_audio(unit, frame) {
+            if matches!(e, LiveEvent::SpeechDetected { .. }) {
+                speech_events += 1;
+            }
+        }
+    }
+
+    // 1. Room agreement: sample the streaming room timeline against the
+    //    batch track every minute.
+    let mut agree = 0;
+    let mut total = 0;
+    let mut t = SimTime::from_day_hms(3, 7, 30, 0);
+    while t < SimTime::from_day_hms(3, 20, 30, 0) {
+        let streamed = room_events
+            .iter()
+            .rev()
+            .find(|&&(at, _)| at <= t)
+            .map(|&(_, r)| r);
+        let batched = batch_day.track.room_at(t);
+        if let (Some(a), Some(b)) = (streamed, batched) {
+            total += 1;
+            if a == b {
+                agree += 1;
+            }
+        }
+        t += SimDuration::from_mins(1);
+    }
+    assert!(total > 350, "too few comparable minutes: {total}");
+    let accuracy = f64::from(agree) / f64::from(total);
+    assert!(
+        accuracy > 0.97,
+        "streaming rooms diverge from batch: {accuracy:.3}"
+    );
+
+    // 2. Speech agreement: live interval count within 15 % of the batch
+    //    count (the final open bucket is the only structural difference).
+    let batch_speech = batch_day
+        .speech
+        .intervals
+        .iter()
+        .filter(|iv| iv.speech)
+        .count();
+    let diff = (speech_events as f64 - batch_speech as f64).abs();
+    assert!(
+        diff <= 0.15 * batch_speech as f64 + 2.0,
+        "speech intervals: streaming {speech_events} vs batch {batch_speech}"
+    );
+
+    // 3. Bounded memory after a full day of records.
+    assert!(
+        sa.retained_records() < 64,
+        "retained {} records",
+        sa.retained_records()
+    );
+    assert!(sa.records_ingested() > 50_000);
+}
+
+#[test]
+fn streaming_meeting_events_bracket_batch_meetings() {
+    let runner = MissionRunner::icares();
+    let (recording, batch) = runner.run_day(2);
+    let mut sa = StreamingAnalyzer::icares();
+    // Interleave all badges' scans by local timestamp (true multiplexed feed).
+    let mut feed: Vec<(BadgeId, &ares::badge::records::BeaconScan)> = Vec::new();
+    for log in &recording.logs {
+        for s in &log.sync {
+            sa.ingest_sync(log.badge, s);
+        }
+        for scan in &log.scans {
+            feed.push((log.badge, scan));
+        }
+    }
+    feed.sort_by_key(|(_, s)| s.t_local);
+    let mut started = 0usize;
+    let mut ended = 0usize;
+    for (badge, scan) in feed {
+        for e in sa.ingest_scan(badge, scan) {
+            match e {
+                LiveEvent::MeetingStarted { .. } => started += 1,
+                LiveEvent::MeetingEnded { .. } => ended += 1,
+                _ => {}
+            }
+        }
+    }
+    // The streaming detector fires on raw co-presence, so it sees at least
+    // as many episodes as the batch detector's (merged, filtered) meetings.
+    assert!(
+        started >= batch.meetings.len(),
+        "streaming {} starts vs batch {} meetings",
+        started,
+        batch.meetings.len()
+    );
+    assert!(ended <= started);
+    assert!(started > 10, "a normal day has many gatherings: {started}");
+}
