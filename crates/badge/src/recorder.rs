@@ -356,14 +356,22 @@ mod tests {
             SeedTree::new(99),
         );
         let day = rec.record_day(2);
-        // Find a unit with a visible offset and check its first scan differs
-        // from the true grid by roughly that offset.
+        // The first scan may come well after 07:00 (the badge sleeps while
+        // docked), so recover the true sampling instant from the stamp: it
+        // must sit on the scan-period grid, and the stamp must be that grid
+        // instant's *local* image — offset by the unit's drifting clock.
         let unit = BadgeId(0);
         let clock = rec.clocks().clock(unit);
         let scan0 = &day.log(unit).unwrap().scans[0];
         let true_start = SimTime::from_day_hms(2, 7, 0, 0);
-        let expect = clock.local_time(true_start);
-        assert_eq!(scan0.t_local, expect);
+        let period = SamplingConfig::default().scan_period.as_micros();
+        let since_start = (clock.true_time(scan0.t_local) - true_start).as_micros();
+        let grid = true_start
+            + ares_simkit::time::SimDuration::from_micros(
+                (since_start + period / 2) / period * period,
+            );
+        assert_eq!(scan0.t_local, clock.local_time(grid));
+        assert_ne!(scan0.t_local, grid, "the clock offset must be visible");
     }
 
     #[test]

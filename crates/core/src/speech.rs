@@ -35,8 +35,8 @@ pub struct SpeechParams {
     pub gender_split_hz: f64,
     /// The TTS band of A's screen reader (Hz).
     pub synthetic_band_hz: (f64, f64),
-    /// Maximum F0 spread across consecutive in-band utterances for a run to
-    /// be synthetic (Hz).
+    /// Maximum F0 spread (std dev of per-utterance medians) across
+    /// consecutive in-band utterances for a run to be synthetic (Hz).
     pub synthetic_max_spread_hz: f64,
     /// Whether to filter synthetic voices at all (the "unfixed" algorithm of
     /// the original deployment sets this to false — an ablation).
@@ -118,25 +118,44 @@ pub fn analyze(log: &BadgeLog, corr: &SyncCorrection, params: &SpeechParams) -> 
             .collect(),
     );
 
-    // Self-speech utterances.
-    let utterances = assemble_utterances(&frames, params);
-    let synthetic_flags = mark_synthetic_runs(&utterances, params);
+    // Self-speech utterances (collar-level frames only).
+    let utterances = assemble_utterances(&frames, params.self_level_db);
+    // Synthetic detection runs on *heard-level* utterances: the screen
+    // reader sits at screen distance, so most of its frames land below the
+    // collar threshold — scanning only self-level utterances misses the
+    // runs entirely (the original deployment's bug, in a second guise).
+    let candidates = assemble_utterances(&frames, params.level_threshold_db);
+    let candidate_flags = mark_synthetic_runs(&candidates, params);
+    let synthetic_set = IntervalSet::from_intervals(
+        candidates
+            .iter()
+            .zip(&candidate_flags)
+            .filter(|&(_, &flag)| flag)
+            .map(|(u, _)| u.interval)
+            .collect(),
+    );
     let mut self_spans = Vec::new();
-    let mut synthetic_spans = Vec::new();
     let mut f0s = Vec::new();
-    for (u, &synthetic) in utterances.iter().zip(&synthetic_flags) {
+    for u in &utterances {
+        let synthetic = synthetic_set
+            .intervals()
+            .iter()
+            .any(|iv| iv.overlaps(&u.interval));
         if synthetic && params.filter_synthetic {
-            synthetic_spans.push(u.interval);
-        } else {
-            self_spans.push(u.interval);
-            f0s.push(u.f0_hz);
+            continue;
         }
+        self_spans.push(u.interval);
+        f0s.push(u.f0_hz);
     }
     SpeechTrack {
         intervals,
         heard,
         self_talk: IntervalSet::from_intervals(self_spans),
-        synthetic: IntervalSet::from_intervals(synthetic_spans),
+        synthetic: if params.filter_synthetic {
+            synthetic_set
+        } else {
+            IntervalSet::new()
+        },
         self_f0_hz: ares_simkit::stats::median(&f0s),
     }
 }
@@ -198,10 +217,7 @@ fn finish_interval(
     }
 }
 
-fn assemble_utterances(
-    frames: &[(SimTime, &AudioFrame)],
-    params: &SpeechParams,
-) -> Vec<Utterance> {
+fn assemble_utterances(frames: &[(SimTime, &AudioFrame)], level_db: f64) -> Vec<Utterance> {
     let mut out = Vec::new();
     let mut run: Vec<(SimTime, f64)> = Vec::new();
     let gap = SimDuration::from_millis(1200);
@@ -217,9 +233,7 @@ fn assemble_utterances(
         run.clear();
     };
     for &(t, f) in frames {
-        let is_self = f.voiced
-            && f.level_db >= params.self_level_db
-            && f.f0_hz.is_some();
+        let is_self = f.voiced && f.level_db >= level_db && f.f0_hz.is_some();
         if is_self {
             if run.last().is_some_and(|&(lt, _)| t - lt > gap) {
                 flush(&mut run);
@@ -258,10 +272,15 @@ fn mark_synthetic_runs(utterances: &[Utterance], params: &SpeechParams) -> Vec<b
         }
         let run = &utterances[i..=j];
         if run.len() >= 3 {
-            let f0s: Vec<f64> = run.iter().map(|u| u.f0_hz).collect();
-            let spread = f0s.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-                - f0s.iter().cloned().fold(f64::INFINITY, f64::min);
-            if spread <= params.synthetic_max_spread_hz {
+            // Robust spread: the std dev of the per-utterance medians. The
+            // max−min range grows with run length under frame-level F0
+            // noise, so long reader sessions would escape a range test;
+            // the std dev stays flat for TTS and large for humans.
+            let mut stats = ares_simkit::stats::Running::new();
+            for u in run {
+                stats.push(u.f0_hz);
+            }
+            if stats.std_dev() <= params.synthetic_max_spread_hz {
                 for flag in &mut flags[i..=j] {
                     *flag = true;
                 }

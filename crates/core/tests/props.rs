@@ -151,3 +151,70 @@ proptest! {
         prop_assert!(corrected_err < SimDuration::from_millis(10));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_checkpoint_resume_is_transparent(
+        rooms in prop::collection::vec(0usize..4, 24..100),
+        split_frac in 0.1f64..0.9,
+    ) {
+        // Checkpoint → serde round-trip → restore into a fresh analyzer →
+        // resume must be indistinguishable from an uninterrupted run, for
+        // arbitrary room walks and an arbitrary split point.
+        use ares_habitat::beacons::BeaconDeployment;
+        use ares_habitat::floorplan::FloorPlan;
+        use ares_sociometrics::streaming::{AnalyzerCheckpoint, StreamingAnalyzer};
+        const ROOM_CHOICES: [RoomId; 4] =
+            [RoomId::Office, RoomId::Kitchen, RoomId::Biolab, RoomId::Workshop];
+        let dep = BeaconDeployment::icares(&FloorPlan::lunares());
+        let t0 = SimTime::from_day_hms(4, 9, 0, 0);
+        let feed = |sa: &mut StreamingAnalyzer, range: std::ops::Range<usize>| {
+            let mut events = Vec::new();
+            for i in range {
+                let t = t0 + SimDuration::from_secs(i as i64 * 30);
+                let scan = ares_badge::records::BeaconScan {
+                    t_local: t,
+                    hits: dep.in_room(ROOM_CHOICES[rooms[i]]).map(|b| (b.id, -55.0)).collect(),
+                };
+                events.extend(sa.ingest_scan(BadgeId(0), &scan));
+                let anchor = ares_badge::records::BeaconScan {
+                    t_local: t,
+                    hits: dep.in_room(RoomId::Office).map(|b| (b.id, -55.0)).collect(),
+                };
+                events.extend(sa.ingest_scan(BadgeId(1), &anchor));
+                let talking = i % 3 == 0;
+                events.extend(sa.ingest_audio(BadgeId(0), &AudioFrame {
+                    t_local: t,
+                    level_db: if talking { 66.0 } else { 41.0 },
+                    voiced: talking,
+                    f0_hz: if talking { Some(170.0) } else { None },
+                }));
+                events.extend(sa.ingest_imu(BadgeId(1), &ImuSample {
+                    t_local: t,
+                    accel_var: if (i / 8) % 2 == 0 { 0.05 } else { 0.0002 },
+                    accel_mean: 9.81,
+                    step_hz: None,
+                }));
+            }
+            events
+        };
+        let split = ((rooms.len() as f64 * split_frac) as usize).clamp(1, rooms.len() - 1);
+        let mut whole = StreamingAnalyzer::icares();
+        let expected = feed(&mut whole, 0..rooms.len());
+        let mut first = StreamingAnalyzer::icares();
+        let mut got = feed(&mut first, 0..split);
+        let ckpt = first.checkpoint(t0 + SimDuration::from_secs(split as i64 * 30));
+        let wire = serde::Serialize::to_value(&ckpt);
+        let restored: AnalyzerCheckpoint = serde::Deserialize::from_value(&wire)
+            .expect("checkpoint must round-trip");
+        prop_assert_eq!(&ckpt, &restored);
+        let mut second = StreamingAnalyzer::icares();
+        second.restore(&restored);
+        got.extend(feed(&mut second, split..rooms.len()));
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(second.records_ingested(), whole.records_ingested());
+        prop_assert_eq!(second.events_emitted(), whole.events_emitted());
+    }
+}

@@ -205,7 +205,11 @@ mod tests {
     #[test]
     fn talkative_speakers_dominate() {
         let mut rng = SeedTree::new(5).stream("conv2");
-        let spec = crew_spec(0.6);
+        // A long window so the floor-share estimate concentrates: C's talk
+        // weight (0.82) over E's (0.55) gives an expected time ratio ≈1.49,
+        // and over eight hours the sampling noise cannot erase it.
+        let mut spec = crew_spec(0.6);
+        spec.window = window(480);
         let mut out = Vec::new();
         generate(&spec, &mut rng, &mut out);
         let talk_time = |id: AstronautId| -> f64 {
@@ -214,8 +218,12 @@ mod tests {
                 .map(|s| s.interval.duration().as_secs_f64())
                 .sum()
         };
-        // C (weight 1.0) must out-talk E (weight 0.52) clearly.
-        assert!(talk_time(AstronautId::C) > 1.4 * talk_time(AstronautId::E));
+        assert!(
+            talk_time(AstronautId::C) > 1.3 * talk_time(AstronautId::E),
+            "C {:.0} s vs E {:.0} s",
+            talk_time(AstronautId::C),
+            talk_time(AstronautId::E)
+        );
     }
 
     #[test]
@@ -239,14 +247,23 @@ mod tests {
         let spec = crew_spec(0.6);
         let mut out = Vec::new();
         generate(&spec, &mut rng, &mut out);
-        for s in &out {
-            if s.source == VoiceSource::Astronaut(AstronautId::B) {
-                assert!(s.f0_hz > 165.0, "B is female register, got {}", s.f0_hz);
-            }
-            if s.source == VoiceSource::Astronaut(AstronautId::E) {
-                assert!(s.f0_hz < 165.0, "E is male register, got {}", s.f0_hz);
-            }
-        }
+        // Per-utterance F0 is Gaussian with a ±12 % spread, so single
+        // utterances legitimately cross the register boundary (B at 215 Hz
+        // hits <165 Hz at ≈2σ). The register claim is about the voice, not
+        // each draw: the per-speaker mean must sit clearly on its side.
+        let mean_f0 = |id: AstronautId| -> f64 {
+            let f0s: Vec<f64> = out
+                .iter()
+                .filter(|s| s.source == VoiceSource::Astronaut(id))
+                .map(|s| s.f0_hz)
+                .collect();
+            assert!(!f0s.is_empty(), "{id:?} never spoke");
+            f0s.iter().sum::<f64>() / f0s.len() as f64
+        };
+        let b = mean_f0(AstronautId::B);
+        let e = mean_f0(AstronautId::E);
+        assert!(b > 180.0, "B is female register, mean {b:.1}");
+        assert!(e < 140.0, "E is male register, mean {e:.1}");
     }
 
     #[test]

@@ -254,8 +254,24 @@ impl IntervalSet {
     /// Whether `t` lies in any interval.
     #[must_use]
     pub fn contains(&self, t: SimTime) -> bool {
+        self.covering(t).is_some()
+    }
+
+    /// The interval containing `t`, if any.
+    #[must_use]
+    pub fn covering(&self, t: SimTime) -> Option<&Interval> {
         let idx = self.items.partition_point(|iv| iv.end <= t);
-        self.items.get(idx).is_some_and(|iv| iv.contains(t))
+        self.items.get(idx).filter(|iv| iv.contains(t))
+    }
+
+    /// Total measure of the set restricted to `[lo, hi)`.
+    #[must_use]
+    pub fn duration_within(&self, lo: SimTime, hi: SimTime) -> SimDuration {
+        let window = Interval::new(lo, hi);
+        self.items
+            .iter()
+            .filter_map(|iv| iv.intersect(&window))
+            .fold(SimDuration::ZERO, |acc, iv| acc + iv.duration())
     }
 
     /// Union of two sets.

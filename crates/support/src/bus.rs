@@ -8,7 +8,7 @@
 //! so units can run on their own threads while tests drive them
 //! synchronously.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -89,6 +89,8 @@ impl Subscription {
 struct Inner {
     subscribers: HashMap<Topic, Vec<Sender<Message>>>,
     published: HashMap<Topic, u64>,
+    /// Messages dropped because a bounded subscriber's queue was full.
+    dropped: HashMap<Topic, u64>,
 }
 
 /// The shared bus. Cheap to clone (an `Arc` inside).
@@ -104,7 +106,7 @@ impl Bus {
         Self::default()
     }
 
-    /// Subscribes to a topic.
+    /// Subscribes to a topic with an unbounded queue.
     #[must_use]
     pub fn subscribe(&self, topic: Topic) -> Subscription {
         let (tx, rx) = unbounded();
@@ -117,21 +119,52 @@ impl Bus {
         Subscription { rx }
     }
 
+    /// Subscribes to a topic with a queue holding at most `capacity`
+    /// messages. When the queue is full, new messages for this subscriber
+    /// are dropped and counted in [`Bus::dropped_count`] — a slow consumer
+    /// sheds load visibly instead of stalling the habitat fabric or growing
+    /// without bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn subscribe_bounded(&self, topic: Topic, capacity: usize) -> Subscription {
+        let (tx, rx) = bounded(capacity);
+        self.inner
+            .write()
+            .subscribers
+            .entry(topic)
+            .or_default()
+            .push(tx);
+        Subscription { rx }
+    }
+
     /// Publishes to a topic; returns the number of subscribers reached.
-    /// Dead subscriptions are pruned lazily.
+    /// Dead subscriptions are pruned lazily; full bounded subscriptions
+    /// count the loss instead of silently swallowing it.
     pub fn publish(&self, topic: Topic, message: Message) -> usize {
         let mut inner = self.inner.write();
         *inner.published.entry(topic).or_default() += 1;
-        let subs = inner.subscribers.entry(topic).or_default();
         let mut delivered = 0;
-        subs.retain(|tx| match tx.try_send(message.clone()) {
-            Ok(()) => {
-                delivered += 1;
-                true
-            }
-            Err(TrySendError::Disconnected(_)) => false,
-            Err(TrySendError::Full(_)) => true,
-        });
+        let mut dropped = 0u64;
+        {
+            let subs = inner.subscribers.entry(topic).or_default();
+            subs.retain(|tx| match tx.try_send(message.clone()) {
+                Ok(()) => {
+                    delivered += 1;
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+                Err(TrySendError::Full(_)) => {
+                    dropped += 1;
+                    true
+                }
+            });
+        }
+        if dropped > 0 {
+            *inner.dropped.entry(topic).or_default() += dropped;
+        }
         delivered
     }
 
@@ -139,6 +172,12 @@ impl Bus {
     #[must_use]
     pub fn published_count(&self, topic: Topic) -> u64 {
         *self.inner.read().published.get(&topic).unwrap_or(&0)
+    }
+
+    /// Messages dropped on a topic because a bounded subscriber was full.
+    #[must_use]
+    pub fn dropped_count(&self, topic: Topic) -> u64 {
+        *self.inner.read().dropped.get(&topic).unwrap_or(&0)
     }
 
     /// Current subscriber count on a topic.
@@ -208,6 +247,27 @@ mod tests {
         let all = sub.drain();
         assert_eq!(all.len(), 5);
         assert_eq!(all[4].payload, "r4");
+    }
+
+    #[test]
+    fn bounded_subscriber_sheds_load_and_counts_drops() {
+        let bus = Bus::new();
+        let slow = bus.subscribe_bounded(Topic::Sensors, 3);
+        let fast = bus.subscribe(Topic::Sensors);
+        for i in 0..10 {
+            bus.publish(Topic::Sensors, msg("badge", &i.to_string()));
+        }
+        // The bounded queue kept the three oldest; the rest were dropped
+        // and the loss is visible, not silent.
+        assert_eq!(slow.len(), 3);
+        assert_eq!(bus.dropped_count(Topic::Sensors), 7);
+        assert_eq!(fast.drain().len(), 10, "unbounded peer sees everything");
+        // Draining frees capacity for later publishes.
+        let _ = slow.drain();
+        bus.publish(Topic::Sensors, msg("badge", "fresh"));
+        assert_eq!(slow.try_recv().unwrap().payload, "fresh");
+        assert_eq!(bus.dropped_count(Topic::Sensors), 7);
+        assert_eq!(bus.dropped_count(Topic::Alerts), 0);
     }
 
     #[test]

@@ -62,6 +62,39 @@ struct InFlight<T> {
     item: T,
 }
 
+/// A reliable telemetry message awaiting acknowledgement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PendingTelemetry {
+    seq: u64,
+    payload: String,
+    first_sent: SimTime,
+    /// Attempts transmitted so far (≥ 1 once the first attempt fires).
+    attempts: u32,
+    /// When the next retransmission fires if no ack has landed by then.
+    next_attempt_at: SimTime,
+    /// Earth-side arrival times of attempts currently in flight.
+    arrivals: Vec<SimTime>,
+    /// Earliest habitat-side ack arrival among successful attempts.
+    ack_at: Option<SimTime>,
+}
+
+/// Delivery counters of the reliable telemetry stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TelemetryStatus {
+    /// Messages submitted via [`EarthLink::send_telemetry`].
+    pub sent: u64,
+    /// Unique messages that reached Earth.
+    pub delivered: u64,
+    /// Redundant arrivals suppressed on Earth (retransmit raced its ack).
+    pub duplicates: u64,
+    /// Attempts beyond each message's first transmission.
+    pub retransmits: u64,
+    /// Attempts destroyed in transit (loss windows / random loss).
+    pub lost_attempts: u64,
+    /// Messages still awaiting acknowledgement.
+    pub pending: u64,
+}
+
 /// The habitat-side gateway of the Earth link.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EarthLink {
@@ -77,6 +110,17 @@ pub struct EarthLink {
     /// Telemetry actually handed to Earth: `(sent_at_mars, received_at_earth,
     /// payload)`.
     received_on_earth: Vec<(SimTime, SimTime, String)>,
+    /// Windows in which transmissions are destroyed (not merely delayed).
+    loss_windows: IntervalSet,
+    /// Per-attempt random loss probability, with its deterministic seed.
+    loss_probability: f64,
+    loss_seed: u64,
+    /// Reliable telemetry: next sequence number and unacked messages.
+    next_seq: u64,
+    pending: Vec<PendingTelemetry>,
+    /// Earth-side duplicate suppression: seqs already delivered (sorted).
+    delivered_seqs: Vec<u64>,
+    telemetry: TelemetryStatus,
 }
 
 impl EarthLink {
@@ -92,6 +136,13 @@ impl EarthLink {
             local_version: 0,
             deliveries: Vec::new(),
             received_on_earth: Vec::new(),
+            loss_windows: IntervalSet::new(),
+            loss_probability: 0.0,
+            loss_seed: 0,
+            next_seq: 0,
+            pending: Vec::new(),
+            delivered_seqs: Vec::new(),
+            telemetry: TelemetryStatus::default(),
         }
     }
 
@@ -124,6 +175,9 @@ impl EarthLink {
     }
 
     /// The habitat sends telemetry/reports at (Mars) time `now`.
+    ///
+    /// Fire-and-forget: delayed by blackouts but never retried. Use
+    /// [`EarthLink::send_telemetry`] for digests that must not be lost.
     pub fn downlink(&mut self, now: SimTime, payload: impl Into<String>) {
         self.outbound.push_back(InFlight {
             arrives_at: self.deliverable_at(now + self.delay),
@@ -131,20 +185,162 @@ impl EarthLink {
         });
     }
 
+    /// Adds a window in which transmissions are *destroyed* in transit (a
+    /// lossy window, unlike a blackout which merely delays).
+    pub fn add_loss_window(&mut self, window: Interval) {
+        self.loss_windows.insert(window);
+    }
+
+    /// Enables seeded per-attempt random loss with probability `p`. The same
+    /// seed yields the same losses — chaos runs stay replayable.
+    pub fn set_random_loss(&mut self, p: f64, seed: u64) {
+        self.loss_probability = p.clamp(0.0, 1.0);
+        self.loss_seed = seed;
+    }
+
+    /// Submits a telemetry digest to the *reliable* stream: store-and-forward
+    /// with a monotone sequence number, positive acknowledgement from Earth,
+    /// bounded exponential-backoff retransmission and Earth-side duplicate
+    /// suppression. Returns the assigned sequence number.
+    pub fn send_telemetry(&mut self, now: SimTime, payload: impl Into<String>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.telemetry.sent += 1;
+        self.pending.push(PendingTelemetry {
+            seq,
+            payload: payload.into(),
+            first_sent: now,
+            attempts: 0,
+            next_attempt_at: now,
+            arrivals: Vec::new(),
+            ack_at: None,
+        });
+        seq
+    }
+
+    /// Current counters of the reliable telemetry stream.
+    #[must_use]
+    pub fn telemetry_status(&self) -> TelemetryStatus {
+        TelemetryStatus {
+            pending: self.pending.len() as u64,
+            ..self.telemetry
+        }
+    }
+
+    /// Retransmission timeout before attempt `attempts + 1`: one round trip
+    /// plus margin, doubled per retry, capped (bounded backoff).
+    fn rto(&self, attempts: u32) -> SimDuration {
+        let base = self.delay * 2 + SimDuration::from_mins(5);
+        base * i64::from(1u32 << attempts.saturating_sub(1).min(3))
+    }
+
+    /// Whether the attempt transmitted at `sent` as try `attempt` of `seq`
+    /// is destroyed in transit.
+    fn attempt_lost(&self, seq: u64, attempt: u32, sent: SimTime) -> bool {
+        if self.loss_windows.contains(sent + self.delay) {
+            return true;
+        }
+        if self.loss_probability <= 0.0 {
+            return false;
+        }
+        let word = ares_simkit::rng::splitmix64(
+            self.loss_seed ^ (seq << 16) ^ u64::from(attempt),
+        );
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.loss_probability
+    }
+
     fn deliverable_at(&self, due: SimTime) -> SimTime {
-        // Push past any blackout covering the due instant.
+        // Push past any blackout covering the due instant, then re-scan: the
+        // displaced time may land inside a later (or overlapping) window and
+        // must be pushed again until it settles on clear sky. The fixpoint
+        // terminates because every step jumps to a window end and the set of
+        // windows is finite.
         let mut t = due;
-        for iv in self.blackouts.intervals() {
-            if iv.contains(t) {
-                t = iv.end;
-            }
+        while let Some(iv) = self.blackouts.covering(t) {
+            t = iv.end;
         }
         t
+    }
+
+    /// Drives the reliable telemetry state machines up to `now`: fires due
+    /// (re)transmissions, lands arrivals and acks, and schedules backoff.
+    /// Event order is deterministic — `(time, acks-before-attempts, seq)` —
+    /// so identical histories replay identically.
+    fn pump_telemetry(&mut self, now: SimTime) {
+        loop {
+            // The earliest due event over all pending messages. Kind 0 =
+            // Earth-side arrival of an in-flight attempt, kind 1 = ack
+            // arrival (completes a message), kind 2 = (re)transmission.
+            // Arrivals sort before acks at the same instant so a duplicate
+            // landing exactly when its ack settles the message is still
+            // observed on Earth.
+            let mut next: Option<(SimTime, u8, u64, usize)> = None;
+            for (idx, msg) in self.pending.iter().enumerate() {
+                let consider = |at: SimTime, kind: u8, best: &mut Option<(SimTime, u8, u64, usize)>| {
+                    if at <= now && best.is_none_or(|(t, k, s, _)| (at, kind, msg.seq) < (t, k, s)) {
+                        *best = Some((at, kind, msg.seq, idx));
+                    }
+                };
+                for &a in &msg.arrivals {
+                    consider(a, 0, &mut next);
+                }
+                if let Some(ack) = msg.ack_at {
+                    consider(ack, 1, &mut next);
+                }
+                consider(msg.next_attempt_at, 2, &mut next);
+            }
+            let Some((at, kind, seq, idx)) = next else { break };
+            match kind {
+                1 => {
+                    // Ack received: the message is done.
+                    self.pending.remove(idx);
+                }
+                0 => {
+                    // The attempt lands on Earth; the ack starts home.
+                    let ack_arrival = self.deliverable_at(at + self.delay);
+                    let msg = &mut self.pending[idx];
+                    // Remove exactly one copy: attempts displaced onto the
+                    // same blackout end arrive as distinct (duplicate)
+                    // packets and must each be observed.
+                    if let Some(pos) = msg.arrivals.iter().position(|&a| a == at) {
+                        msg.arrivals.remove(pos);
+                    }
+                    msg.ack_at = Some(msg.ack_at.map_or(ack_arrival, |a| a.min(ack_arrival)));
+                    let (first_sent, payload) = (msg.first_sent, msg.payload.clone());
+                    // Earth side: suppress duplicates by sequence number.
+                    match self.delivered_seqs.binary_search(&seq) {
+                        Ok(_) => self.telemetry.duplicates += 1,
+                        Err(pos) => {
+                            self.delivered_seqs.insert(pos, seq);
+                            self.telemetry.delivered += 1;
+                            self.received_on_earth.push((first_sent, at, payload));
+                        }
+                    }
+                }
+                _ => {
+                    // Transmission attempt.
+                    self.pending[idx].attempts += 1;
+                    let attempts = self.pending[idx].attempts;
+                    if attempts > 1 {
+                        self.telemetry.retransmits += 1;
+                    }
+                    self.pending[idx].next_attempt_at = at + self.rto(attempts);
+                    if self.attempt_lost(seq, attempts, at) {
+                        self.telemetry.lost_attempts += 1;
+                    } else {
+                        let arrival = self.deliverable_at(at + self.delay);
+                        self.pending[idx].arrivals.push(arrival);
+                    }
+                }
+            }
+        }
     }
 
     /// Advances the link to `now`, delivering everything due. Returns the
     /// new deliveries on the habitat side.
     pub fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
+        self.pump_telemetry(now);
         let mut out = Vec::new();
         // Mails may be queued out of order due to blackout displacement.
         let mut still_waiting = VecDeque::new();
@@ -288,6 +484,89 @@ mod tests {
         assert!(link.advance(t(5, 11, 0)).is_empty());
         let arrived = link.advance(t(5, 12, 0));
         assert_eq!(arrived.len(), 1);
+    }
+
+    #[test]
+    fn displacement_rescans_back_to_back_blackouts() {
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        // Two windows added out of order; the first displacement lands the
+        // message exactly on the seam, which sits inside the merged cover.
+        link.add_blackout(Interval::new(t(5, 11, 0), t(5, 13, 0)));
+        link.add_blackout(Interval::new(t(5, 10, 0), t(5, 11, 30)));
+        link.uplink(t(5, 9, 50), cmd(2, 0)); // due 10:10, inside the cover
+        assert!(link.advance(t(5, 12, 59)).is_empty(), "still covered");
+        let arrived = link.advance(t(5, 13, 0));
+        assert_eq!(arrived.len(), 1, "delivered only after the whole cover");
+    }
+
+    #[test]
+    fn reliable_telemetry_survives_a_blackout() {
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        link.add_blackout(Interval::new(t(7, 10, 0), t(7, 12, 0)));
+        link.send_telemetry(t(7, 10, 30), "digest-1");
+        link.advance(t(7, 11, 59));
+        assert_eq!(link.received_on_earth().len(), 0);
+        link.advance(t(7, 14, 0));
+        let status = link.telemetry_status();
+        assert_eq!(status.delivered, 1);
+        assert_eq!(status.pending, 0, "ack must land and settle the message");
+    }
+
+    #[test]
+    fn lost_attempts_are_retried_until_acked() {
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        // Transit loss for the first hour: the initial attempt dies.
+        link.add_loss_window(Interval::new(t(3, 8, 0), t(3, 9, 0)));
+        link.send_telemetry(t(3, 8, 30), "digest");
+        // RTO is 45 min: retry at 9:15 arrives 9:35, ack at 9:55.
+        link.advance(t(3, 12, 0));
+        let status = link.telemetry_status();
+        assert_eq!(status.delivered, 1, "{status:?}");
+        assert_eq!(status.lost_attempts, 1);
+        assert_eq!(status.retransmits, 1);
+        assert_eq!(status.pending, 0);
+        assert_eq!(link.received_on_earth().len(), 1);
+        let (_, received_at, _) = &link.received_on_earth()[0];
+        assert_eq!(*received_at, t(3, 9, 35));
+    }
+
+    #[test]
+    fn duplicate_arrivals_are_suppressed_on_earth() {
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        // Blackout delays the first attempt's *ack* long enough that a
+        // retransmission fires; both copies arrive, Earth keeps one.
+        link.add_blackout(Interval::new(t(4, 8, 30), t(4, 10, 0)));
+        link.send_telemetry(t(4, 8, 0), "digest");
+        link.advance(t(4, 12, 0));
+        let status = link.telemetry_status();
+        assert_eq!(status.delivered, 1);
+        assert!(status.duplicates >= 1, "{status:?}");
+        assert_eq!(status.pending, 0);
+        assert_eq!(
+            link.received_on_earth().len(),
+            1,
+            "duplicates must not reach the Earth-side consumer"
+        );
+    }
+
+    #[test]
+    fn random_loss_is_deterministic_and_eventually_delivered() {
+        let run = || {
+            let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+            link.set_random_loss(0.5, 0xC0FFEE);
+            for i in 0..20u64 {
+                link.send_telemetry(t(2, 8, 0) + SimDuration::from_mins(i as i64 * 30), format!("d{i}"));
+            }
+            link.advance(t(4, 0, 0));
+            (link.telemetry_status(), link.received_on_earth().to_vec())
+        };
+        let (s1, earth1) = run();
+        let (s2, earth2) = run();
+        assert_eq!(s1, s2, "same seed ⇒ same counters");
+        assert_eq!(earth1, earth2);
+        assert_eq!(s1.delivered, 20, "every digest eventually lands");
+        assert_eq!(s1.pending, 0);
+        assert!(s1.lost_attempts > 0, "p=0.5 must actually lose attempts");
     }
 
     #[test]

@@ -37,8 +37,11 @@ pub enum FailoverEvent {
     Promoted(ReplicaId),
     /// A previously failed replica rejoined as backup.
     Rejoined(ReplicaId),
-    /// No live replica remains — total service outage.
+    /// No live replica remains — total service outage. Emitted once at the
+    /// start of an outage, not on every detector tick while it lasts.
     ServiceDown,
+    /// A primary exists again after a total outage.
+    ServiceRestored,
 }
 
 /// The failure detector + role manager of one replicated service.
@@ -48,6 +51,9 @@ pub struct ReplicatedService {
     heartbeat_deadline: SimDuration,
     replicas: Vec<(ReplicaId, Role, SimTime)>, // priority order; last heartbeat
     log: Vec<(SimTime, FailoverEvent)>,
+    /// Whether the service is currently in a total outage (no primary and
+    /// nothing promotable); gates the one-shot `ServiceDown` event.
+    service_down: bool,
 }
 
 impl ReplicatedService {
@@ -82,6 +88,7 @@ impl ReplicatedService {
             heartbeat_deadline,
             replicas,
             log: Vec::new(),
+            service_down: false,
         }
     }
 
@@ -158,9 +165,19 @@ impl ReplicatedService {
             {
                 *role = Role::Primary;
                 events.push(FailoverEvent::Promoted(*id));
-            } else {
+            } else if !self.service_down {
+                self.service_down = true;
                 events.push(FailoverEvent::ServiceDown);
             }
+        }
+        if self.service_down
+            && self
+                .replicas
+                .iter()
+                .any(|(_, role, _)| *role == Role::Primary)
+        {
+            self.service_down = false;
+            events.push(FailoverEvent::ServiceRestored);
         }
         for &e in &events {
             self.log.push((now, e));
@@ -172,6 +189,63 @@ impl ReplicatedService {
     #[must_use]
     pub fn is_available(&self) -> bool {
         self.primary().is_some()
+    }
+}
+
+/// Replicated checkpoint store shared by a service's replicas.
+///
+/// The primary offers snapshots on a schedule; backups hold the latest
+/// replicated copy. A promoted backup resumes from [`CheckpointVault::latest`]
+/// and replays only the records since `taken_at` — the *replay gap* — instead
+/// of losing the whole day. The vault is deliberately dumb (last-write-wins
+/// by snapshot time): ordering comes from the sim clock, not from the vault.
+#[derive(Debug, Clone)]
+pub struct CheckpointVault<T> {
+    latest: Option<(SimTime, T)>,
+    offered: u64,
+}
+
+impl<T> Default for CheckpointVault<T> {
+    fn default() -> Self {
+        CheckpointVault {
+            latest: None,
+            offered: 0,
+        }
+    }
+}
+
+impl<T: Clone> CheckpointVault<T> {
+    /// An empty vault.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replicates a snapshot taken at `at`; older snapshots are ignored.
+    pub fn offer(&mut self, at: SimTime, snapshot: T) {
+        self.offered += 1;
+        if self.latest.as_ref().is_none_or(|&(t, _)| at >= t) {
+            self.latest = Some((at, snapshot));
+        }
+    }
+
+    /// The newest replicated snapshot, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<(SimTime, &T)> {
+        self.latest.as_ref().map(|(t, s)| (*t, s))
+    }
+
+    /// Snapshots offered over the vault's life.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// The replay gap a promotion at `now` would incur: time since the last
+    /// replicated snapshot, or `None` while the vault is empty.
+    #[must_use]
+    pub fn replay_gap(&self, now: SimTime) -> Option<SimDuration> {
+        self.latest.as_ref().map(|&(t, _)| now - t)
     }
 }
 
@@ -229,6 +303,60 @@ mod tests {
         assert!(events.contains(&FailoverEvent::Failed(ReplicaId(2))));
         assert!(events.contains(&FailoverEvent::ServiceDown));
         assert!(!s.is_available());
+    }
+
+    #[test]
+    fn outage_logged_once_and_restoration_announced() {
+        let mut s = service();
+        // Nobody heartbeats: total outage at t=60.
+        let events = s.tick(t(60));
+        assert_eq!(
+            events.iter().filter(|&&e| e == FailoverEvent::ServiceDown).count(),
+            1
+        );
+        // The detector keeps running during the outage — no log spam.
+        for i in 61..=120 {
+            assert!(s.tick(t(i)).is_empty(), "tick {i} re-raised the outage");
+        }
+        assert_eq!(
+            s.log()
+                .iter()
+                .filter(|&&(_, e)| e == FailoverEvent::ServiceDown)
+                .count(),
+            1,
+            "ServiceDown must be one event per outage"
+        );
+        // A replica recovers: promotion + restoration, exactly once.
+        s.heartbeat(ReplicaId(1), t(121));
+        let events = s.tick(t(121));
+        assert!(events.contains(&FailoverEvent::Promoted(ReplicaId(1))));
+        assert!(events.contains(&FailoverEvent::ServiceRestored));
+        assert!(s.is_available());
+        // A second outage raises ServiceDown again.
+        let events = s.tick(t(200));
+        assert!(events.contains(&FailoverEvent::ServiceDown));
+        assert_eq!(
+            s.log()
+                .iter()
+                .filter(|&&(_, e)| e == FailoverEvent::ServiceDown)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn vault_keeps_newest_snapshot_and_measures_replay_gap() {
+        let mut vault: CheckpointVault<String> = CheckpointVault::new();
+        assert!(vault.latest().is_none());
+        assert!(vault.replay_gap(t(10)).is_none());
+        vault.offer(t(10), "early".into());
+        vault.offer(t(30), "late".into());
+        vault.offer(t(20), "stale".into()); // out-of-order replication
+        let (at, snap) = vault.latest().expect("non-empty");
+        assert_eq!(at, t(30));
+        assert_eq!(snap, "late");
+        assert_eq!(vault.offered(), 3);
+        assert_eq!(vault.replay_gap(t(45)), Some(SimDuration::from_secs(15)));
     }
 
     #[test]

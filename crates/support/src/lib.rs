@@ -9,6 +9,8 @@
 //! * [`accessibility`] — ability-based interface design (the fix for the
 //!   e-ink badge-number mix-up).
 //! * [`bus`] — the habitat-wide pub/sub fabric.
+//! * [`chaos`] — seeded, replayable fault injection (crashes, blackouts,
+//!   heartbeat loss, badge deaths) for reliability drills.
 //! * [`failover`] — heartbeat failure detection and primary/backup
 //!   replication of analysis units.
 //! * [`earthlink`] — the 20-minute-delay link with blackout handling and the
@@ -30,6 +32,7 @@ pub mod accessibility;
 pub mod alerts;
 pub mod approval;
 pub mod bus;
+pub mod chaos;
 pub mod earthlink;
 pub mod failover;
 pub mod privacy;
@@ -42,9 +45,12 @@ pub mod prelude {
     pub use crate::alerts::{Alert, AlertEngine, AlertRules, Severity};
     pub use crate::approval::{ApprovalRules, Proposal, Status, Vote};
     pub use crate::bus::{Bus, Message, Subscription, Topic};
+    pub use crate::chaos::{Fault, FaultPlan, FaultScheduler};
     pub use crate::earthlink::{Command, ConflictPolicy, Delivery, EarthLink, ONE_WAY_DELAY};
     pub use crate::failover::{FailoverEvent, ReplicaId, ReplicatedService, Role};
     pub use crate::privacy::{DutyLevel, PrivacyGovernor, SensorClass};
     pub use crate::resources::{FluidBalance, Resource, ResourceLedger};
-    pub use crate::runtime::{DayReport, SupportRuntime};
+    pub use crate::runtime::{
+        ChaosConfig, ChaosMission, DayReport, ReliabilityReport, SupportRuntime,
+    };
 }

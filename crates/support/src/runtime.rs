@@ -8,11 +8,19 @@
 
 use crate::alerts::{Alert, AlertEngine, AlertRules};
 use crate::bus::{Bus, Message, Topic};
-use crate::earthlink::{ConflictPolicy, EarthLink};
-use crate::failover::{FailoverEvent, ReplicaId, ReplicatedService};
+use crate::chaos::{FaultPlan, FaultScheduler};
+use crate::earthlink::{ConflictPolicy, EarthLink, TelemetryStatus};
+use crate::failover::{CheckpointVault, FailoverEvent, ReplicaId, ReplicatedService};
 use crate::privacy::PrivacyGovernor;
+use ares_badge::records::{AudioFrame, BadgeId, BeaconScan, ImuSample, SyncSample};
+use ares_habitat::beacons::BeaconDeployment;
+use ares_habitat::floorplan::FloorPlan;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::rng::splitmix64;
+use ares_simkit::series::Interval;
 use ares_simkit::time::{SimDuration, SimTime};
 use ares_sociometrics::pipeline::DayAnalysis;
+use ares_sociometrics::streaming::{AnalyzerCheckpoint, LiveEvent, StreamingAnalyzer};
 
 /// Summary of one day processed by the runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +161,439 @@ impl SupportRuntime {
     }
 }
 
+/// Configuration of a sub-day chaos drill: tick/heartbeat/checkpoint
+/// cadence, fleet sizes and telemetry loss rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Mission window the drill covers.
+    pub span: Interval,
+    /// Driver tick (heartbeats, detector, workload) — minutes, not days.
+    pub tick: SimDuration,
+    /// Heartbeat silence after which a replica is declared failed.
+    pub heartbeat_deadline: SimDuration,
+    /// How often the primary replicates an analyzer snapshot.
+    pub checkpoint_every: SimDuration,
+    /// How often a telemetry digest is sent to Earth.
+    pub telemetry_every: SimDuration,
+    /// Analysis replicas (priority order `0..n`).
+    pub replicas: u8,
+    /// Sensor badges generating workload (`0..n`).
+    pub badges: u8,
+    /// Baseline random loss probability on telemetry attempts.
+    pub telemetry_loss: f64,
+}
+
+impl ChaosConfig {
+    /// The canonical drill: one full mission day, 2-minute ticks, 5-minute
+    /// failure detection, 15-minute checkpoints, hourly telemetry, a
+    /// 3-replica analysis tier and 4 badges.
+    #[must_use]
+    pub fn icares_day(day: u32) -> Self {
+        ChaosConfig {
+            span: Interval::new(
+                SimTime::from_day_hms(day, 0, 0, 0),
+                SimTime::from_day_hms(day + 1, 0, 0, 0),
+            ),
+            tick: SimDuration::from_mins(2),
+            heartbeat_deadline: SimDuration::from_mins(5),
+            checkpoint_every: SimDuration::from_mins(15),
+            telemetry_every: SimDuration::from_hours(1),
+            replicas: 3,
+            badges: 4,
+            telemetry_loss: 0.0,
+        }
+    }
+}
+
+/// The reliability scorecard of one chaos drill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityReport {
+    /// Signature of the fault plan that produced this run.
+    pub plan_signature: String,
+    /// Mission window.
+    pub span: Interval,
+    /// Driver tick length.
+    pub tick: SimDuration,
+    /// Detector ticks executed.
+    pub ticks: u64,
+    /// Ticks with an alive, serving primary.
+    pub available_ticks: u64,
+    /// Backup promotions performed.
+    pub failovers: u64,
+    /// Distinct unavailability episodes.
+    pub outages: u64,
+    /// Total time without a serving primary.
+    pub downtime: SimDuration,
+    /// Mean time to repair (downtime / outages).
+    pub mttr: SimDuration,
+    /// End-of-run telemetry ledger (after the post-mission drain).
+    pub telemetry: TelemetryStatus,
+    /// Checkpoints successfully replicated to the vault.
+    pub checkpoints_replicated: u64,
+    /// Checkpoint offers lost to bus outages.
+    pub checkpoints_dropped: u64,
+    /// Promotions that restored from a replicated snapshot.
+    pub replays: u64,
+    /// Largest promotion-time gap between snapshot and now.
+    pub max_replay_gap: SimDuration,
+    /// Workload records generated.
+    pub records_fed: u64,
+    /// Live events in the mission stream (duplicates suppressed).
+    pub events: u64,
+}
+
+impl ReliabilityReport {
+    /// Availability over the window, in percent.
+    #[must_use]
+    pub fn availability_pct(&self) -> f64 {
+        if self.ticks == 0 {
+            100.0
+        } else {
+            self.available_ticks as f64 / self.ticks as f64 * 100.0
+        }
+    }
+
+    /// Renders the scorecard as a fixed-format text block. Same plan + same
+    /// config ⇒ byte-identical output, so artifacts diff cleanly.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mins = |d: SimDuration| d.as_secs_f64() / 60.0;
+        format!(
+            "reliability scorecard\n\
+             plan:         {}\n\
+             span:         {} .. {} ({} ticks @ {:.0} s)\n\
+             availability: {:.3}% ({}/{} ticks)\n\
+             failover:     {} promotions, {} outages, downtime {:.1} min, MTTR {:.1} min\n\
+             checkpoints:  {} replicated, {} dropped, {} replays, max replay gap {:.1} min\n\
+             telemetry:    sent {}, delivered {}, duplicates {}, retransmits {}, lost attempts {}, pending {}\n\
+             workload:     {} records, {} events\n",
+            self.plan_signature,
+            self.span.start,
+            self.span.end,
+            self.ticks,
+            self.tick.as_secs_f64(),
+            self.availability_pct(),
+            self.available_ticks,
+            self.ticks,
+            self.failovers,
+            self.outages,
+            mins(self.downtime),
+            mins(self.mttr),
+            self.checkpoints_replicated,
+            self.checkpoints_dropped,
+            self.replays,
+            mins(self.max_replay_gap),
+            self.telemetry.sent,
+            self.telemetry.delivered,
+            self.telemetry.duplicates,
+            self.telemetry.retransmits,
+            self.telemetry.lost_attempts,
+            self.telemetry.pending,
+            self.records_fed,
+            self.events,
+        )
+    }
+}
+
+/// One deterministic workload record, kept in the replay log.
+#[derive(Debug, Clone)]
+enum ChaosRecord {
+    Scan(BadgeId, BeaconScan),
+    Audio(BadgeId, AudioFrame),
+    Imu(BadgeId, ImuSample),
+    Sync(BadgeId, SyncSample),
+}
+
+/// A chaos drill: the support tier driven at sub-day granularity under a
+/// compiled [`FaultPlan`], producing a [`ReliabilityReport`].
+///
+/// The drill wires together the pieces the day-level runtime treats
+/// coarsely: heartbeats every tick, a [`CheckpointVault`] fed on a 15-minute
+/// schedule, a promoted backup that *restores the latest snapshot and
+/// replays the record log* (bounded, measured gap), and an Earth link whose
+/// blackouts, loss windows and random attempt loss come from the same plan.
+/// Everything is seeded; running the same plan twice yields byte-identical
+/// scorecards.
+#[derive(Debug)]
+pub struct ChaosMission {
+    config: ChaosConfig,
+    sched: FaultScheduler,
+    plan_signature: String,
+    service: ReplicatedService,
+    vault: CheckpointVault<AnalyzerCheckpoint>,
+    analyzer: StreamingAnalyzer,
+    link: EarthLink,
+    deployment: BeaconDeployment,
+    log: Vec<(SimTime, ChaosRecord)>,
+    events: Vec<LiveEvent>,
+}
+
+impl ChaosMission {
+    /// Builds a drill from a config and a fault plan.
+    #[must_use]
+    pub fn new(config: ChaosConfig, plan: &FaultPlan) -> Self {
+        let sched = FaultScheduler::compile(plan, config.span.end);
+        let mut link = EarthLink::new(ConflictPolicy::CrewWins);
+        for iv in sched.blackouts().intervals() {
+            link.add_blackout(*iv);
+        }
+        for iv in sched.link_loss().intervals() {
+            link.add_loss_window(*iv);
+        }
+        link.set_random_loss(config.telemetry_loss, splitmix64(plan.seed() ^ 0x7E1E_CA57));
+        let replicas: Vec<ReplicaId> = (0..config.replicas).map(ReplicaId).collect();
+        let service = ReplicatedService::new(
+            "analysis-tier",
+            &replicas,
+            config.heartbeat_deadline,
+            config.span.start,
+        );
+        ChaosMission {
+            config,
+            sched,
+            plan_signature: plan.signature(),
+            service,
+            vault: CheckpointVault::new(),
+            analyzer: StreamingAnalyzer::icares(),
+            link,
+            deployment: BeaconDeployment::icares(&FloorPlan::lunares()),
+            log: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The deduplicated mission event stream (valid after [`Self::run`]).
+    #[must_use]
+    pub fn events(&self) -> &[LiveEvent] {
+        &self.events
+    }
+
+    /// Deterministic sensor workload for tick `index` at `t`: dead badges
+    /// fall silent, sync exchanges pause while the reference badge is out.
+    fn workload_at(&self, t: SimTime, index: u64) -> Vec<ChaosRecord> {
+        const ROOMS: [RoomId; 4] = [
+            RoomId::Office,
+            RoomId::Kitchen,
+            RoomId::Biolab,
+            RoomId::Workshop,
+        ];
+        let mut out = Vec::new();
+        for b in 0..self.config.badges {
+            let badge = BadgeId(b);
+            if !self.sched.badge_alive(badge, t) {
+                continue;
+            }
+            if index.is_multiple_of(30) && self.sched.reference_available(t) {
+                out.push(ChaosRecord::Sync(
+                    badge,
+                    SyncSample {
+                        t_local: t,
+                        t_reference: t,
+                    },
+                ));
+            }
+            let slot = ((index / 15 + u64::from(b) * 2) % ROOMS.len() as u64) as usize;
+            out.push(ChaosRecord::Scan(
+                badge,
+                BeaconScan {
+                    t_local: t,
+                    hits: self
+                        .deployment
+                        .in_room(ROOMS[slot])
+                        .map(|bea| (bea.id, -55.0))
+                        .collect(),
+                },
+            ));
+            let talking = (index + u64::from(b) * 7) % 45 < 15;
+            out.push(ChaosRecord::Audio(
+                badge,
+                AudioFrame {
+                    t_local: t,
+                    level_db: if talking { 66.0 } else { 42.0 },
+                    voiced: talking,
+                    f0_hz: if talking {
+                        Some(150.0 + f64::from(b) * 20.0)
+                    } else {
+                        None
+                    },
+                },
+            ));
+            let worn = (index + u64::from(b) * 11) % 240 < 210;
+            out.push(ChaosRecord::Imu(
+                badge,
+                ImuSample {
+                    t_local: t,
+                    accel_var: if worn { 0.05 } else { 0.0003 },
+                    accel_mean: 9.81,
+                    step_hz: None,
+                },
+            ));
+        }
+        out
+    }
+
+    fn ingest(analyzer: &mut StreamingAnalyzer, rec: &ChaosRecord) -> Vec<LiveEvent> {
+        match rec {
+            ChaosRecord::Scan(b, s) => analyzer.ingest_scan(*b, s),
+            ChaosRecord::Audio(b, f) => analyzer.ingest_audio(*b, f),
+            ChaosRecord::Imu(b, s) => analyzer.ingest_imu(*b, s),
+            ChaosRecord::Sync(b, s) => {
+                analyzer.ingest_sync(*b, s);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Runs the drill over the configured span and returns the scorecard.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(&mut self) -> ReliabilityReport {
+        let cfg = self.config;
+        let mut t = cfg.span.start;
+        let mut index = 0u64;
+        let (mut ticks, mut available_ticks) = (0u64, 0u64);
+        let (mut failovers, mut outages) = (0u64, 0u64);
+        let mut downtime = SimDuration::ZERO;
+        let mut down_since: Option<SimTime> = None;
+        let mut next_checkpoint = cfg.span.start + cfg.checkpoint_every;
+        let mut next_telemetry = cfg.span.start + cfg.telemetry_every;
+        let (mut checkpoints_replicated, mut checkpoints_dropped) = (0u64, 0u64);
+        let mut replays = 0u64;
+        let mut max_replay_gap = SimDuration::ZERO;
+        let mut records_fed = 0u64;
+        while t < cfg.span.end {
+            // Heartbeats from replicas that are alive and not suppressed.
+            for r in 0..cfg.replicas {
+                let id = ReplicaId(r);
+                if self.sched.heartbeat_delivered(id, t) {
+                    self.service.heartbeat(id, t);
+                }
+            }
+            // Failure detection; a promotion rebuilds the analysis state
+            // from the last replicated snapshot plus the record log.
+            for ev in self.service.tick(t) {
+                if let FailoverEvent::Promoted(_) = ev {
+                    failovers += 1;
+                    let mut fresh = StreamingAnalyzer::icares();
+                    let mut since: Option<SimTime> = None;
+                    if let Some((at, ckpt)) = self.vault.latest() {
+                        fresh.restore(ckpt);
+                        since = Some(at);
+                        replays += 1;
+                        max_replay_gap = max_replay_gap.max(t - at);
+                    }
+                    // Events regenerated by the replay that the crashed
+                    // primary already emitted are duplicates: skip exactly
+                    // that many, keep the rest.
+                    let mut skip = (self.events.len() as u64).saturating_sub(fresh.events_emitted());
+                    for (rt, rec) in &self.log {
+                        if since.is_some_and(|s| *rt <= s) {
+                            continue;
+                        }
+                        for ev in Self::ingest(&mut fresh, rec) {
+                            if skip > 0 {
+                                skip -= 1;
+                            } else {
+                                self.events.push(ev);
+                            }
+                        }
+                    }
+                    self.analyzer = fresh;
+                }
+            }
+            // Workload: always logged (badges keep sensing), ingested only
+            // while an alive primary is serving.
+            let serving = self
+                .service
+                .primary()
+                .is_some_and(|p| self.sched.replica_alive(p, t));
+            for rec in self.workload_at(t, index) {
+                records_fed += 1;
+                if serving {
+                    let evs = Self::ingest(&mut self.analyzer, &rec);
+                    self.events.extend(evs);
+                }
+                self.log.push((t, rec));
+            }
+            // Availability bookkeeping.
+            ticks += 1;
+            if serving {
+                available_ticks += 1;
+                if let Some(s) = down_since.take() {
+                    downtime += t - s;
+                }
+            } else if down_since.is_none() {
+                down_since = Some(t);
+                outages += 1;
+            }
+            // Checkpoint replication (skipped while the bus is down — the
+            // vault keeps the older snapshot and the log keeps the records).
+            if t >= next_checkpoint {
+                next_checkpoint += cfg.checkpoint_every;
+                if serving {
+                    if self.sched.bus_drop_active(t) {
+                        checkpoints_dropped += 1;
+                    } else {
+                        self.vault.offer(t, self.analyzer.checkpoint(t));
+                        checkpoints_replicated += 1;
+                        self.log.retain(|(rt, _)| *rt > t);
+                    }
+                }
+            }
+            // Hourly telemetry digest over the reliable link.
+            if t >= next_telemetry {
+                next_telemetry += cfg.telemetry_every;
+                let digest = format!(
+                    "{} records={} events={}",
+                    t,
+                    records_fed,
+                    self.events.len()
+                );
+                let _ = self.link.send_telemetry(t, digest);
+            }
+            let _ = self.link.advance(t);
+            t += cfg.tick;
+            index += 1;
+        }
+        if let Some(s) = down_since {
+            downtime += cfg.span.end - s;
+        }
+        // Post-mission drain: retransmissions keep going until every digest
+        // is acked (bounded — the backoff caps and blackouts end).
+        let mut drain = cfg.span.end;
+        for _ in 0..96 {
+            if self.link.telemetry_status().pending == 0 {
+                break;
+            }
+            drain += SimDuration::from_hours(1);
+            let _ = self.link.advance(drain);
+        }
+        let telemetry = self.link.telemetry_status();
+        let mttr = if outages > 0 {
+            SimDuration::from_secs_f64(downtime.as_secs_f64() / outages as f64)
+        } else {
+            SimDuration::ZERO
+        };
+        ReliabilityReport {
+            plan_signature: self.plan_signature.clone(),
+            span: cfg.span,
+            tick: cfg.tick,
+            ticks,
+            available_ticks,
+            failovers,
+            outages,
+            downtime,
+            mttr,
+            telemetry,
+            checkpoints_replicated,
+            checkpoints_dropped,
+            replays,
+            max_replay_gap,
+            records_fed,
+            events: self.events.len() as u64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +612,49 @@ mod tests {
             climate_sums: [(0.0, 0); 10],
             reference_env: Vec::new(),
         }
+    }
+
+    #[test]
+    fn chaos_drill_survives_primary_crash_with_bounded_replay() {
+        use crate::chaos::Fault;
+        let crash = SimTime::from_day_hms(5, 12, 0, 0);
+        let plan = FaultPlan::new(42).with(Fault::ReplicaCrash {
+            replica: ReplicaId(0),
+            at: crash,
+            recover_at: None,
+        });
+        let mut mission = ChaosMission::new(ChaosConfig::icares_day(5), &plan);
+        let report = mission.run();
+        assert_eq!(report.failovers, 1, "{}", report.render());
+        assert_eq!(report.outages, 1);
+        assert!(report.availability_pct() > 99.0, "{}", report.render());
+        assert!(report.replays >= 1, "promotion restored a snapshot");
+        // Gap bounded by checkpoint cadence + detection deadline + a tick.
+        assert!(
+            report.max_replay_gap <= SimDuration::from_mins(15 + 5 + 2),
+            "gap {:?}",
+            report.max_replay_gap
+        );
+        assert_eq!(report.telemetry.pending, 0);
+        assert_eq!(report.telemetry.sent, report.telemetry.delivered);
+    }
+
+    #[test]
+    fn chaos_scorecard_is_byte_identical_across_runs() {
+        let plan = FaultPlan::sweep(
+            0xA11CE,
+            0.8,
+            Interval::new(
+                SimTime::from_day_hms(6, 0, 0, 0),
+                SimTime::from_day_hms(7, 0, 0, 0),
+            ),
+        );
+        let mut cfg = ChaosConfig::icares_day(6);
+        cfg.telemetry_loss = 0.2;
+        let a = ChaosMission::new(cfg, &plan).run();
+        let b = ChaosMission::new(cfg, &plan).run();
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
     }
 
     #[test]

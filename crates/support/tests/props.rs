@@ -47,6 +47,62 @@ proptest! {
     }
 
     #[test]
+    fn failover_promotion_is_deterministic_under_interleavings(
+        script in prop::collection::vec((0u8..4, 0i64..2_000), 1..80),
+    ) {
+        // The same heartbeat/tick interleaving must produce the same role
+        // assignments and the same event log, run after run — promotions
+        // follow priority order, never iteration luck.
+        let run = || {
+            let mut svc = ReplicatedService::new(
+                "svc",
+                &[ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                SimDuration::from_secs(60),
+                SimTime::EPOCH,
+            );
+            let mut t = SimTime::EPOCH;
+            for &(who, dt) in &script {
+                t += SimDuration::from_secs(dt);
+                if who < 3 {
+                    svc.heartbeat(ReplicaId(who), t);
+                }
+                svc.tick(t);
+            }
+            let roles: Vec<_> = [ReplicaId(0), ReplicaId(1), ReplicaId(2)]
+                .iter()
+                .map(|&r| svc.role_of(r))
+                .collect();
+            (svc.log().to_vec(), roles, svc.primary())
+        };
+        let (log_a, roles_a, primary_a) = run();
+        let (log_b, roles_b, primary_b) = run();
+        prop_assert_eq!(log_a.clone(), log_b);
+        prop_assert_eq!(roles_a, roles_b);
+        prop_assert_eq!(primary_a, primary_b);
+        // Whenever a promotion happened, it promoted the highest-priority
+        // replica that was not Down at that instant — replay the log and
+        // check each promotion against the set of replicas declared failed
+        // and not yet rejoined.
+        let mut down = std::collections::BTreeSet::new();
+        for (at, ev) in &log_a {
+            match ev {
+                FailoverEvent::Failed(r) => { down.insert(*r); }
+                FailoverEvent::Rejoined(r) => { down.remove(r); }
+                FailoverEvent::Promoted(p) => {
+                    for r in [ReplicaId(0), ReplicaId(1), ReplicaId(2)] {
+                        if r == *p { break; }
+                        prop_assert!(
+                            down.contains(&r),
+                            "at {at}: promoted {p:?} while higher-priority {r:?} was up"
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
     fn failover_log_promotions_follow_failures(
         gaps in prop::collection::vec(30i64..600, 1..20),
     ) {

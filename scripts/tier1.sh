@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything a change must pass before it lands.
+# Offline by design — all dependencies are vendored path crates; no network.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier1: release build =="
+cargo build --release --workspace
+
+echo "== tier1: tests =="
+cargo test -q --workspace
+
+echo "== tier1: clippy (warnings are errors) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== tier1: OK =="

@@ -1,0 +1,290 @@
+//! Offline stand-in for `bytes`.
+//!
+//! `BytesMut` is a growable byte buffer, `Bytes` an immutable cursor over a
+//! shared (`Arc`) byte block. The `Buf`/`BufMut` traits carry exactly the
+//! accessors the on-card codec uses. No zero-copy splitting beyond `slice`.
+
+#![allow(clippy::all)]
+
+use std::sync::Arc;
+
+/// Read-side accessor trait.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the read cursor.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `i16`.
+    fn get_i16_le(&mut self) -> i16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        i16::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        i64::from_le_bytes(raw)
+    }
+}
+
+/// Write-side accessor trait.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `i16`.
+    fn put_i16_le(&mut self, v: i16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Written length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::new(self.data),
+            start: 0,
+            end_offset: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// An immutable view over shared bytes, with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    /// Distance from the block's end to this view's end.
+    end_offset: usize,
+}
+
+impl Bytes {
+    /// Unread length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end() - self.start
+    }
+
+    /// Whether nothing remains.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn end(&self) -> usize {
+        self.data.len() - self.end_offset
+    }
+
+    /// Copies the unread bytes into a fresh `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+
+    /// A sub-view; accepts the range forms the workspace uses.
+    #[must_use]
+    pub fn slice(&self, range: impl SliceRange) -> Bytes {
+        let (lo, hi) = range.resolve(self.len());
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end_offset: self.data.len() - (self.start + hi),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end_offset: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.start..self.end()]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Range argument for [`Bytes::slice`].
+pub trait SliceRange {
+    /// Resolves to `(start, end)` within a view of length `len`.
+    fn resolve(self, len: usize) -> (usize, usize);
+}
+
+impl SliceRange for std::ops::Range<usize> {
+    fn resolve(self, _len: usize) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl SliceRange for std::ops::RangeTo<usize> {
+    fn resolve(self, _len: usize) -> (usize, usize) {
+        (0, self.end)
+    }
+}
+
+impl SliceRange for std::ops::RangeFrom<usize> {
+    fn resolve(self, len: usize) -> (usize, usize) {
+        (self.start, len)
+    }
+}
+
+impl SliceRange for std::ops::RangeFull {
+    fn resolve(self, len: usize) -> (usize, usize) {
+        (0, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_primitives_round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xB5);
+        buf.put_i64_le(-123_456_789);
+        buf.put_i16_le(-3200);
+        buf.put_bytes(7, 3);
+        assert_eq!(buf.len(), 14);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 14);
+        assert_eq!(b.get_u8(), 0xB5);
+        assert_eq!(b.get_i64_le(), -123_456_789);
+        assert_eq!(b.get_i16_le(), -3200);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.remaining(), 2);
+        assert!(b.has_remaining());
+    }
+
+    #[test]
+    fn slice_views_share_storage() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"hello world");
+        let b = buf.freeze();
+        let hello = b.slice(..5);
+        let world = b.slice(6..11);
+        assert_eq!(hello.as_ref(), b"hello");
+        assert_eq!(world.as_ref(), b"world");
+        let mut cur = b.slice(..);
+        cur.advance(6);
+        assert_eq!(cur.as_ref(), b"world");
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface the `ares-bench` benches use — groups,
+//! sample sizes, throughput annotation, `Bencher::iter` — as a plain
+//! wall-clock timing loop printing one summary line per benchmark. There is
+//! no statistical analysis, HTML report, or baseline comparison.
+
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compat no-op (CLI filtering is not implemented).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(name, sample_size, None, f);
+        self
+    }
+
+    /// Upstream-compat no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing sample size and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` runs of `routine` (after one warmup run).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median.as_secs_f64() > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median.as_secs_f64() > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} median {median:>12?}  mean {mean:>12?}{rate}");
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $cfg.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_collects_samples() {
+        benches();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 5);
+    }
+}

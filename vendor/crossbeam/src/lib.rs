@@ -1,0 +1,316 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the pieces this workspace uses: `channel::unbounded` MPMC
+//! channels with disconnect detection (built on `Mutex<VecDeque>` +
+//! `Condvar`), and `scope` re-exported from `std::thread`. Semantics match
+//! upstream for the operations exposed; performance characteristics do not
+//! (and do not need to — channels sit on control paths here, not data paths).
+
+#![allow(clippy::all)]
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    #[derive(Debug)]
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        space: Condvar,
+        capacity: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages.
+    /// `try_send` on a full channel returns [`TrySendError::Full`]; `send`
+    /// blocks until a receiver makes room.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (rendezvous channels are not modelled).
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity channels are not supported");
+        channel(Some(cap))
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full (never produced by unbounded channels).
+        Full(T),
+        /// All receivers have been dropped.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders have been dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe EOF.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Non-blocking send.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TrySendError::Disconnected`] when no receiver remains,
+        /// [`TrySendError::Full`] when a bounded channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut q = self.shared.queue.lock().expect("channel mutex");
+            if let Some(cap) = self.shared.capacity {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Blocking send (never blocks for unbounded channels; blocks until
+        /// room frees up for bounded ones).
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] when no receiver remains.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.capacity.is_none() {
+                return self.try_send(value).map_err(|e| match e {
+                    TrySendError::Full(v) | TrySendError::Disconnected(v) => SendError(v),
+                });
+            }
+            let cap = self.shared.capacity.expect("bounded");
+            let mut q = self.shared.queue.lock().expect("channel mutex");
+            loop {
+                if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                if q.len() < cap {
+                    q.push_back(value);
+                    drop(q);
+                    self.shared.ready.notify_one();
+                    return Ok(());
+                }
+                q = self.shared.space.wait(q).expect("channel condvar");
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::Relaxed);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver: wake blocked bounded senders so they error.
+                self.shared.space.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when additionally no sender remains.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().expect("channel mutex");
+            match q.pop_front() {
+                Some(v) => {
+                    drop(q);
+                    self.shared.space.notify_one();
+                    Ok(v)
+                }
+                None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and closed.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().expect("channel mutex");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.shared.space.notify_one();
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).expect("channel condvar");
+            }
+        }
+
+        /// Number of queued messages.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel mutex").len()
+        }
+
+        /// Whether the queue is empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+/// Scoped threads (std's implementation matches the crossbeam API shape).
+pub use std::thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
+
+    #[test]
+    fn bounded_rejects_when_full_and_frees_on_recv() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_blocking_send_waits_for_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u8).unwrap();
+        let h = std::thread::spawn(move || tx.send(2u8));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.try_recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_observed_on_both_ends() {
+        let (tx, rx) = unbounded();
+        tx.try_send(1u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.try_send(2u8), Err(TrySendError::Disconnected(2)));
+    }
+
+    #[test]
+    fn blocking_recv_sees_cross_thread_sends() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        h.join().unwrap();
+        assert_eq!(got.len(), 100);
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the upstream surface this workspace uses — `proptest!`,
+//! `prop_assert*`, range/tuple/vec/option/bool/string strategies and
+//! `prop_map` — but generates inputs with a plain seeded RNG and reports
+//! failures through `assert!`, without shrinking. Each test function derives
+//! its stream from a hash of its own name, so runs are deterministic and
+//! independent of test execution order.
+
+#![allow(clippy::all)]
+
+use rand::rngs::StdRng;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a, used to give every property its own deterministic seed.
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+)),* $(,)?) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+/// String strategy from a pattern literal.
+///
+/// Supports the character-class-with-repetition shape the tests use
+/// (`"[a-z]{1,12}"`): one bracketed class of ranges/single chars followed by
+/// an optional `{min,max}` count (default exactly 1).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        use rand::Rng;
+        let (class, min, max) = parse_simple_pattern(self);
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| class[rng.gen_range(0..class.len())])
+            .collect()
+    }
+}
+
+fn parse_simple_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let bytes: Vec<char> = pat.chars().collect();
+    assert!(
+        bytes.first() == Some(&'['),
+        "proptest stub supports only `[class]{{min,max}}` patterns, got {pat:?}"
+    );
+    let close = bytes
+        .iter()
+        .position(|&c| c == ']')
+        .unwrap_or_else(|| panic!("unterminated class in pattern {pat:?}"));
+    let mut class = Vec::new();
+    let mut i = 1;
+    while i < close {
+        if i + 2 < close && bytes[i + 1] == '-' {
+            let (lo, hi) = (bytes[i], bytes[i + 2]);
+            for c in lo..=hi {
+                class.push(c);
+            }
+            i += 3;
+        } else {
+            class.push(bytes[i]);
+            i += 1;
+        }
+    }
+    assert!(!class.is_empty(), "empty class in pattern {pat:?}");
+    let rest: String = bytes[close + 1..].iter().collect();
+    if rest.is_empty() {
+        return (class, 1, 1);
+    }
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pat:?}"));
+    let (min, max) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = counts.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    (class, min, max)
+}
+
+/// Strategy modules mirroring the upstream `prop::` namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// A `Vec` of values from `element`, with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            let SizeRange { min, max } = size.into();
+            VecStrategy { element, min, max }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Generates either boolean with equal probability.
+        pub const ANY: super::super::BoolAny = super::super::BoolAny;
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{OptionStrategy, Strategy};
+
+        /// `None` or `Some(value from s)`, with equal probability.
+        pub fn of<S: Strategy>(s: S) -> OptionStrategy<S> {
+            OptionStrategy { inner: s }
+        }
+    }
+}
+
+/// Length bounds for [`prop::collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>`.
+#[derive(Debug, Clone, Copy)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        use rand::Rng;
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `bool`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        use rand::Rng;
+        rng.gen::<bool>()
+    }
+}
+
+/// Strategy for `Option<S::Value>`.
+#[derive(Debug, Clone, Copy)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        use rand::Rng;
+        if rng.gen::<bool>() {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_length() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let strat = prop::collection::vec(0u8..4, 3..=5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_range(x in 10u32..20, flip in prop::bool::ANY) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(flip || !flip);
+        }
+
+        #[test]
+        fn prop_map_applies(y in (0i64..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(y % 2, 0);
+            prop_assert!((0..20).contains(&y));
+        }
+    }
+}

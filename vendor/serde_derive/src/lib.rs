@@ -1,0 +1,472 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits impls of the vendored `serde` stub's simplified traits
+//! (`Serialize::to_value` / `Deserialize::from_value`). The input item is
+//! parsed directly from the token stream — no `syn`/`quote` available in the
+//! offline build environment — covering the shapes this workspace uses:
+//! named-field structs, tuple structs, unit structs, and enums with unit,
+//! tuple, or struct variants, plus plain type generics.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next(); // '#'
+                    self.next(); // [...]
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.next();
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            self.next(); // pub(crate) etc.
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes a balanced `<...>` generics block, returning type param names.
+    fn skip_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+            _ => return params,
+        }
+        self.next(); // '<'
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        let mut last_was_lifetime = false;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => {
+                        at_param_start = true;
+                        last_was_lifetime = false;
+                    }
+                    '\'' if depth == 1 => last_was_lifetime = true,
+                    _ => {}
+                },
+                Some(TokenTree::Ident(id)) => {
+                    if depth == 1 && at_param_start {
+                        let s = id.to_string();
+                        if last_was_lifetime {
+                            last_was_lifetime = false;
+                        } else if s == "const" {
+                            // const param: the next ident is its name but it
+                            // must not receive a Serialize bound; skip it.
+                        } else {
+                            params.push(s);
+                        }
+                    }
+                    at_param_start = false;
+                }
+                Some(_) => {}
+                None => panic!("serde_derive stub: unterminated generics"),
+            }
+        }
+        params
+    }
+
+    /// Skips a type expression until a top-level `,` (consumed) or the end.
+    fn skip_type(&mut self) {
+        let mut angle = 0usize;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle += 1;
+                    self.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle = angle.saturating_sub(1);
+                    self.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut c = Cursor::new(ts);
+    c.skip_attrs_and_vis();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    let generics = c.skip_generics();
+    // Skip an optional where-clause: scan forward to the body.
+    let kind = match keyword.as_str() {
+        "struct" => loop {
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break Kind::NamedStruct(parse_named_fields(g.stream()));
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    break Kind::TupleStruct(count_tuple_fields(g.stream()));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Kind::UnitStruct,
+                Some(_) => continue,
+                None => break Kind::UnitStruct,
+            }
+        },
+        "enum" => loop {
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break Kind::Enum(parse_variants(g.stream()));
+                }
+                Some(_) => continue,
+                None => panic!("serde_derive stub: enum without body"),
+            }
+        },
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    };
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        match c.peek() {
+            Some(TokenTree::Ident(_)) => {
+                fields.push(c.expect_ident());
+                // ':'
+                c.next();
+                c.skip_type();
+            }
+            _ => break,
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut n = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0usize;
+    while let Some(t) = c.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle = angle.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => n += 1,
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        n + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        let name = match c.peek() {
+            Some(TokenTree::Ident(_)) => c.expect_ident(),
+            _ => break,
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    c.next();
+                    break;
+                }
+                _ => {
+                    c.next();
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn impl_header(trait_name: &str, input: &Input) -> String {
+    if input.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = input.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{plain}>",
+            bounded.join(", "),
+            input.name
+        )
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(String::from(\"{vn}\"), ::serde::Value::Map(vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let code = format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header("Serialize", &parsed)
+    );
+    code.parse()
+        .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: {{ let null = ::serde::Value::Null; \
+                         let fv = entries.iter().find(|(k, _)| k == \"{f}\").map(|(_, v)| v).unwrap_or(&null); \
+                         ::serde::Deserialize::from_value(fv)? }}"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Map(entries) => Ok({name} {{ {} }}), \
+                 other => Err(::serde::DeError(format!(\"expected map for {name}, got {{other:?}}\"))) }}",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(xs.get({i}).unwrap_or(&null))?"))
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Seq(xs) => {{ let null = ::serde::Value::Null; Ok({name}({})) }}, \
+                 other => Err(::serde::DeError(format!(\"expected seq for {name}, got {{other:?}}\"))) }}",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!(
+                                    "::serde::Deserialize::from_value(xs.get({i}).unwrap_or(&null))?"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match payload {{ ::serde::Value::Seq(xs) => {{ let null = ::serde::Value::Null; Ok({name}::{vn}({})) }}, other => Err(::serde::DeError(format!(\"expected seq payload for {vn}, got {{other:?}}\"))) }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "{f}: {{ let null = ::serde::Value::Null; \
+                                     let fv = entries.iter().find(|(k, _)| k == \"{f}\").map(|(_, v)| v).unwrap_or(&null); \
+                                     ::serde::Deserialize::from_value(fv)? }}"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match payload {{ ::serde::Value::Map(entries) => Ok({name}::{vn} {{ {} }}), other => Err(::serde::DeError(format!(\"expected map payload for {vn}, got {{other:?}}\"))) }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ {} _ => Err(::serde::DeError(format!(\"unknown variant {{s}} of {name}\"))) }}, \
+                 ::serde::Value::Map(m) if m.len() == 1 => {{ let (tag, payload) = &m[0]; match tag.as_str() {{ {} _ => Err(::serde::DeError(format!(\"unknown variant {{tag}} of {name}\"))) }} }}, \
+                 other => Err(::serde::DeError(format!(\"expected enum value for {name}, got {{other:?}}\"))) }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    let code = format!(
+        "{} {{ fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }} }}",
+        impl_header("Deserialize", &parsed)
+    );
+    code.parse()
+        .expect("serde_derive stub: generated Deserialize impl must parse")
+}
