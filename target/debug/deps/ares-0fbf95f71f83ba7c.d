@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ares-0fbf95f71f83ba7c.d: src/lib.rs
+
+/root/repo/target/debug/deps/ares-0fbf95f71f83ba7c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ares-342828ff6e9db117.d: src/lib.rs
+
+/root/repo/target/debug/deps/ares-342828ff6e9db117: src/lib.rs
+
+src/lib.rs:

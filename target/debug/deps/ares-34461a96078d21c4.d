@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ares-34461a96078d21c4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libares-34461a96078d21c4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libares-34461a96078d21c4.rmeta: src/lib.rs
+
+src/lib.rs:

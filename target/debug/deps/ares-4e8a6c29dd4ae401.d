@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ares-4e8a6c29dd4ae401.d: src/lib.rs
+
+/root/repo/target/debug/deps/libares-4e8a6c29dd4ae401.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libares-4e8a6c29dd4ae401.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ares-ab0aa6800353243e.d: src/lib.rs
+
+/root/repo/target/debug/deps/ares-ab0aa6800353243e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ares_badge-3b98f81e2a270b79.d: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs
+
+/root/repo/target/debug/deps/libares_badge-3b98f81e2a270b79.rlib: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs
+
+/root/repo/target/debug/deps/libares_badge-3b98f81e2a270b79.rmeta: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs
+
+crates/badge/src/lib.rs:
+crates/badge/src/clockdrift.rs:
+crates/badge/src/links.rs:
+crates/badge/src/mic.rs:
+crates/badge/src/power.rs:
+crates/badge/src/recorder.rs:
+crates/badge/src/records.rs:
+crates/badge/src/scanner.rs:
+crates/badge/src/sensors.rs:
+crates/badge/src/storage.rs:
+crates/badge/src/world.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ares_badge-7c15f5881b5e65fe.d: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs
+
+/root/repo/target/debug/deps/ares_badge-7c15f5881b5e65fe: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs
+
+crates/badge/src/lib.rs:
+crates/badge/src/clockdrift.rs:
+crates/badge/src/links.rs:
+crates/badge/src/mic.rs:
+crates/badge/src/power.rs:
+crates/badge/src/recorder.rs:
+crates/badge/src/records.rs:
+crates/badge/src/scanner.rs:
+crates/badge/src/sensors.rs:
+crates/badge/src/storage.rs:
+crates/badge/src/world.rs:

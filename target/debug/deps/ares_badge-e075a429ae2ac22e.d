@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ares_badge-e075a429ae2ac22e.d: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libares_badge-e075a429ae2ac22e.rmeta: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs Cargo.toml
+
+crates/badge/src/lib.rs:
+crates/badge/src/clockdrift.rs:
+crates/badge/src/links.rs:
+crates/badge/src/mic.rs:
+crates/badge/src/power.rs:
+crates/badge/src/recorder.rs:
+crates/badge/src/records.rs:
+crates/badge/src/scanner.rs:
+crates/badge/src/sensors.rs:
+crates/badge/src/storage.rs:
+crates/badge/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ares_bench-1fdfae4d5e42a13c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libares_bench-1fdfae4d5e42a13c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libares_bench-1fdfae4d5e42a13c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ares_bench-606986c0ec2c275e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ares_bench-606986c0ec2c275e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

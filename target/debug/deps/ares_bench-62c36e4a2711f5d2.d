@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ares_bench-62c36e4a2711f5d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ares_bench-62c36e4a2711f5d2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ares_bench-a73c0ad101d521ce.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libares_bench-a73c0ad101d521ce.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libares_bench-a73c0ad101d521ce.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

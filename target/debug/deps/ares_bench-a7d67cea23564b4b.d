@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ares_bench-a7d67cea23564b4b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libares_bench-a7d67cea23564b4b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libares_bench-a7d67cea23564b4b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ares_bench-c7369a9aeba042a2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libares_bench-c7369a9aeba042a2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

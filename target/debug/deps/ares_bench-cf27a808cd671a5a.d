@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ares_bench-cf27a808cd671a5a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ares_bench-cf27a808cd671a5a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

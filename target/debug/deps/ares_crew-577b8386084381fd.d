@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ares_crew-577b8386084381fd.d: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs
+
+/root/repo/target/debug/deps/libares_crew-577b8386084381fd.rlib: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs
+
+/root/repo/target/debug/deps/libares_crew-577b8386084381fd.rmeta: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs
+
+crates/crew/src/lib.rs:
+crates/crew/src/behavior.rs:
+crates/crew/src/conversation.rs:
+crates/crew/src/incidents.rs:
+crates/crew/src/roster.rs:
+crates/crew/src/schedule.rs:
+crates/crew/src/surveys.rs:
+crates/crew/src/truth.rs:

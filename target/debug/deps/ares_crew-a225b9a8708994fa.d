@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ares_crew-a225b9a8708994fa.d: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libares_crew-a225b9a8708994fa.rmeta: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs Cargo.toml
+
+crates/crew/src/lib.rs:
+crates/crew/src/behavior.rs:
+crates/crew/src/conversation.rs:
+crates/crew/src/incidents.rs:
+crates/crew/src/roster.rs:
+crates/crew/src/schedule.rs:
+crates/crew/src/surveys.rs:
+crates/crew/src/truth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ares_habitat-7f9c649aa6c71cf5.d: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs
+
+/root/repo/target/debug/deps/libares_habitat-7f9c649aa6c71cf5.rlib: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs
+
+/root/repo/target/debug/deps/libares_habitat-7f9c649aa6c71cf5.rmeta: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs
+
+crates/habitat/src/lib.rs:
+crates/habitat/src/beacons.rs:
+crates/habitat/src/environment.rs:
+crates/habitat/src/floorplan.rs:
+crates/habitat/src/rf.rs:
+crates/habitat/src/rooms.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ares_habitat-d24d13363d838280.d: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libares_habitat-d24d13363d838280.rmeta: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs Cargo.toml
+
+crates/habitat/src/lib.rs:
+crates/habitat/src/beacons.rs:
+crates/habitat/src/environment.rs:
+crates/habitat/src/floorplan.rs:
+crates/habitat/src/rf.rs:
+crates/habitat/src/rooms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ares_icares-2a8420489eb5d46e.d: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+/root/repo/target/debug/deps/libares_icares-2a8420489eb5d46e.rlib: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+/root/repo/target/debug/deps/libares_icares-2a8420489eb5d46e.rmeta: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+crates/icares/src/lib.rs:
+crates/icares/src/calibration.rs:
+crates/icares/src/export.rs:
+crates/icares/src/figures.rs:
+crates/icares/src/scenario.rs:

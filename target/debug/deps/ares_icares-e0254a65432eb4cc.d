@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ares_icares-e0254a65432eb4cc.d: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+/root/repo/target/debug/deps/ares_icares-e0254a65432eb4cc: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+crates/icares/src/lib.rs:
+crates/icares/src/calibration.rs:
+crates/icares/src/export.rs:
+crates/icares/src/figures.rs:
+crates/icares/src/scenario.rs:

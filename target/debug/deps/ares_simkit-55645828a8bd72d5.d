@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ares_simkit-55645828a8bd72d5.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/event.rs crates/simkit/src/geometry.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libares_simkit-55645828a8bd72d5.rmeta: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/event.rs crates/simkit/src/geometry.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs Cargo.toml
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/geometry.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

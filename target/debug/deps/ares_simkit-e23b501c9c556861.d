@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ares_simkit-e23b501c9c556861.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/event.rs crates/simkit/src/geometry.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/ares_simkit-e23b501c9c556861: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/event.rs crates/simkit/src/geometry.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/geometry.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ares_sociometrics-af653e41d0c3f66c.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/anomaly.rs crates/core/src/environment.rs crates/core/src/localization.rs crates/core/src/meetings.rs crates/core/src/occupancy.rs crates/core/src/pipeline.rs crates/core/src/proximity.rs crates/core/src/report.rs crates/core/src/social.rs crates/core/src/speech.rs crates/core/src/streaming.rs crates/core/src/sync.rs crates/core/src/validation.rs crates/core/src/wear.rs
+
+/root/repo/target/debug/deps/ares_sociometrics-af653e41d0c3f66c: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/anomaly.rs crates/core/src/environment.rs crates/core/src/localization.rs crates/core/src/meetings.rs crates/core/src/occupancy.rs crates/core/src/pipeline.rs crates/core/src/proximity.rs crates/core/src/report.rs crates/core/src/social.rs crates/core/src/speech.rs crates/core/src/streaming.rs crates/core/src/sync.rs crates/core/src/validation.rs crates/core/src/wear.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activity.rs:
+crates/core/src/anomaly.rs:
+crates/core/src/environment.rs:
+crates/core/src/localization.rs:
+crates/core/src/meetings.rs:
+crates/core/src/occupancy.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/proximity.rs:
+crates/core/src/report.rs:
+crates/core/src/social.rs:
+crates/core/src/speech.rs:
+crates/core/src/streaming.rs:
+crates/core/src/sync.rs:
+crates/core/src/validation.rs:
+crates/core/src/wear.rs:

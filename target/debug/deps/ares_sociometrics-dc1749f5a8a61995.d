@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/ares_sociometrics-dc1749f5a8a61995.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/anomaly.rs crates/core/src/environment.rs crates/core/src/localization.rs crates/core/src/meetings.rs crates/core/src/occupancy.rs crates/core/src/pipeline.rs crates/core/src/proximity.rs crates/core/src/report.rs crates/core/src/social.rs crates/core/src/speech.rs crates/core/src/streaming.rs crates/core/src/sync.rs crates/core/src/validation.rs crates/core/src/wear.rs Cargo.toml
+
+/root/repo/target/debug/deps/libares_sociometrics-dc1749f5a8a61995.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/anomaly.rs crates/core/src/environment.rs crates/core/src/localization.rs crates/core/src/meetings.rs crates/core/src/occupancy.rs crates/core/src/pipeline.rs crates/core/src/proximity.rs crates/core/src/report.rs crates/core/src/social.rs crates/core/src/speech.rs crates/core/src/streaming.rs crates/core/src/sync.rs crates/core/src/validation.rs crates/core/src/wear.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/activity.rs:
+crates/core/src/anomaly.rs:
+crates/core/src/environment.rs:
+crates/core/src/localization.rs:
+crates/core/src/meetings.rs:
+crates/core/src/occupancy.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/proximity.rs:
+crates/core/src/report.rs:
+crates/core/src/social.rs:
+crates/core/src/speech.rs:
+crates/core/src/streaming.rs:
+crates/core/src/sync.rs:
+crates/core/src/validation.rs:
+crates/core/src/wear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

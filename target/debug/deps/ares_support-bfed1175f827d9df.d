@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ares_support-bfed1175f827d9df.d: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs
+
+/root/repo/target/debug/deps/libares_support-bfed1175f827d9df.rlib: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs
+
+/root/repo/target/debug/deps/libares_support-bfed1175f827d9df.rmeta: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs
+
+crates/support/src/lib.rs:
+crates/support/src/accessibility.rs:
+crates/support/src/alerts.rs:
+crates/support/src/approval.rs:
+crates/support/src/bus.rs:
+crates/support/src/earthlink.rs:
+crates/support/src/failover.rs:
+crates/support/src/privacy.rs:
+crates/support/src/resources.rs:
+crates/support/src/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_pipeline-81b063ef4a00f834.d: crates/bench/src/bin/bench_pipeline.rs
+
+/root/repo/target/debug/deps/bench_pipeline-81b063ef4a00f834: crates/bench/src/bin/bench_pipeline.rs
+
+crates/bench/src/bin/bench_pipeline.rs:

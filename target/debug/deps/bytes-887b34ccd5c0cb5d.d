@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-887b34ccd5c0cb5d.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-887b34ccd5c0cb5d: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

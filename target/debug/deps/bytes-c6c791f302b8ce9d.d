@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-c6c791f302b8ce9d.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c6c791f302b8ce9d.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c6c791f302b8ce9d.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

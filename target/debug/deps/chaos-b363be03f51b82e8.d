@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-b363be03f51b82e8.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-b363be03f51b82e8: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_mission-2a5db97a896d99a3.d: tests/chaos_mission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_mission-2a5db97a896d99a3.rmeta: tests/chaos_mission.rs Cargo.toml
+
+tests/chaos_mission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_mission-48e03cbc7918be2a.d: tests/chaos_mission.rs
+
+/root/repo/target/debug/deps/chaos_mission-48e03cbc7918be2a: tests/chaos_mission.rs
+
+tests/chaos_mission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a4478e61d19aa422.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a4478e61d19aa422: tests/end_to_end.rs
+
+tests/end_to_end.rs:

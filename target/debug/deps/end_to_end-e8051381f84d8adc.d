@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e8051381f84d8adc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e8051381f84d8adc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

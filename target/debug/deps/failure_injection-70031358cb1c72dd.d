@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-70031358cb1c72dd.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-70031358cb1c72dd: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-e56b8b1fcbeb6af6.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-e56b8b1fcbeb6af6: tests/failure_injection.rs
+
+tests/failure_injection.rs:

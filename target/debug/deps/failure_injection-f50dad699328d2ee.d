@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-f50dad699328d2ee.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-f50dad699328d2ee: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-0fe1e752ba5669df.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-0fe1e752ba5669df: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

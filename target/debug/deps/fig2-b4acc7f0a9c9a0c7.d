@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-b4acc7f0a9c9a0c7.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-b4acc7f0a9c9a0c7: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-e57b4bb886ff9af2.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-e57b4bb886ff9af2: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-f0275663cae1df6a.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-f0275663cae1df6a: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-114df264a6bfd23c.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-114df264a6bfd23c: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-2ca26d2fc3f82134.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-2ca26d2fc3f82134: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-bb12465d4360da2f.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-bb12465d4360da2f: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

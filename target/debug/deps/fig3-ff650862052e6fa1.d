@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-ff650862052e6fa1.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-ff650862052e6fa1: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-0789b0c2b6567908.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-0789b0c2b6567908: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

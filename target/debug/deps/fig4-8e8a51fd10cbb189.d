@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-8e8a51fd10cbb189.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-8e8a51fd10cbb189: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

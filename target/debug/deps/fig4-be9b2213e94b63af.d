@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-be9b2213e94b63af.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-be9b2213e94b63af: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-f45ea32a276ec515.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-f45ea32a276ec515: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

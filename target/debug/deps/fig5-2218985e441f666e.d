@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2218985e441f666e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2218985e441f666e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

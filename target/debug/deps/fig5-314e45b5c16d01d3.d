@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-314e45b5c16d01d3.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-314e45b5c16d01d3: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-6317c9ebea1ccc35.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-6317c9ebea1ccc35: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

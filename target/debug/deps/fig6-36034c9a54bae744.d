@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-36034c9a54bae744.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-36034c9a54bae744: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b2af74b1f6279329.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b2af74b1f6279329: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d7095811d7e58f99.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d7095811d7e58f99: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

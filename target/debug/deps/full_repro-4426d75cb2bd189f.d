@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_repro-4426d75cb2bd189f.d: crates/bench/src/bin/full_repro.rs
+
+/root/repo/target/debug/deps/full_repro-4426d75cb2bd189f: crates/bench/src/bin/full_repro.rs
+
+crates/bench/src/bin/full_repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_repro-470f30997fe81355.d: crates/bench/src/bin/full_repro.rs
+
+/root/repo/target/debug/deps/full_repro-470f30997fe81355: crates/bench/src/bin/full_repro.rs
+
+crates/bench/src/bin/full_repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_repro-7f4e0f37546695d4.d: crates/bench/src/bin/full_repro.rs
+
+/root/repo/target/debug/deps/full_repro-7f4e0f37546695d4: crates/bench/src/bin/full_repro.rs
+
+crates/bench/src/bin/full_repro.rs:

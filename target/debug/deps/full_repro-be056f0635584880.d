@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_repro-be056f0635584880.d: crates/bench/src/bin/full_repro.rs
+
+/root/repo/target/debug/deps/full_repro-be056f0635584880: crates/bench/src/bin/full_repro.rs
+
+crates/bench/src/bin/full_repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_repro-fc9ca2c8b63971c2.d: crates/bench/src/bin/full_repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_repro-fc9ca2c8b63971c2.rmeta: crates/bench/src/bin/full_repro.rs Cargo.toml
+
+crates/bench/src/bin/full_repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

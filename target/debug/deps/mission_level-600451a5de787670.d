@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mission_level-600451a5de787670.d: tests/mission_level.rs
+
+/root/repo/target/debug/deps/mission_level-600451a5de787670: tests/mission_level.rs
+
+tests/mission_level.rs:

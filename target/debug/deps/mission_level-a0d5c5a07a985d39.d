@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mission_level-a0d5c5a07a985d39.d: tests/mission_level.rs
+
+/root/repo/target/debug/deps/mission_level-a0d5c5a07a985d39: tests/mission_level.rs
+
+tests/mission_level.rs:

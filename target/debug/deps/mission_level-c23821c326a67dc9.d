@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mission_level-c23821c326a67dc9.d: tests/mission_level.rs
+
+/root/repo/target/debug/deps/mission_level-c23821c326a67dc9: tests/mission_level.rs
+
+tests/mission_level.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mission_level-d38a59660b39f2c8.d: tests/mission_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmission_level-d38a59660b39f2c8.rmeta: tests/mission_level.rs Cargo.toml
+
+tests/mission_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

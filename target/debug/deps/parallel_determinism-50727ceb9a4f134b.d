@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-50727ceb9a4f134b.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-50727ceb9a4f134b: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

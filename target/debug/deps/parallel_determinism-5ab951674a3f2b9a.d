@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-5ab951674a3f2b9a.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-5ab951674a3f2b9a: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

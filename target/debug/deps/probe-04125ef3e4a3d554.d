@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-04125ef3e4a3d554.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-04125ef3e4a3d554: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-107e342593ec1e05.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-107e342593ec1e05: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

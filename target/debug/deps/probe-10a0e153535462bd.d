@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-10a0e153535462bd.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-10a0e153535462bd: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

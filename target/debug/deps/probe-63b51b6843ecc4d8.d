@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-63b51b6843ecc4d8.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-63b51b6843ecc4d8: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

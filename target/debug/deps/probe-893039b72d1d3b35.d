@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe-893039b72d1d3b35.d: crates/bench/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe-893039b72d1d3b35.rmeta: crates/bench/src/bin/probe.rs Cargo.toml
+
+crates/bench/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6a74f889ccaf1393.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6a74f889ccaf1393: tests/properties.rs
+
+tests/properties.rs:

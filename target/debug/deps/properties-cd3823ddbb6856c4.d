@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cd3823ddbb6856c4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cd3823ddbb6856c4: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f554a65b8133a1b9.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f554a65b8133a1b9: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-0b89fe0f8fee12f6.d: crates/crew/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-0b89fe0f8fee12f6.rmeta: crates/crew/tests/props.rs Cargo.toml
+
+crates/crew/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-0d0a0183787aaf9c.d: crates/simkit/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-0d0a0183787aaf9c.rmeta: crates/simkit/tests/props.rs Cargo.toml
+
+crates/simkit/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0d65aef024c581c8.d: crates/support/tests/props.rs
+
+/root/repo/target/debug/deps/props-0d65aef024c581c8: crates/support/tests/props.rs
+
+crates/support/tests/props.rs:

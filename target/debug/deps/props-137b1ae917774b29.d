@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-137b1ae917774b29.d: crates/badge/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-137b1ae917774b29.rmeta: crates/badge/tests/props.rs Cargo.toml
+
+crates/badge/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

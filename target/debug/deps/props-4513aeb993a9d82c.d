@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-4513aeb993a9d82c.d: crates/support/tests/props.rs
+
+/root/repo/target/debug/deps/props-4513aeb993a9d82c: crates/support/tests/props.rs
+
+crates/support/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-59817a6257dcd843.d: crates/badge/tests/props.rs
+
+/root/repo/target/debug/deps/props-59817a6257dcd843: crates/badge/tests/props.rs
+
+crates/badge/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-60e63600d1c66c5d.d: crates/simkit/tests/props.rs
+
+/root/repo/target/debug/deps/props-60e63600d1c66c5d: crates/simkit/tests/props.rs
+
+crates/simkit/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-8103283d929b22dc.d: crates/crew/tests/props.rs
+
+/root/repo/target/debug/deps/props-8103283d929b22dc: crates/crew/tests/props.rs
+
+crates/crew/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-d58dcdc14f911b78.d: crates/support/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-d58dcdc14f911b78.rmeta: crates/support/tests/props.rs Cargo.toml
+
+crates/support/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-db5e2d38c0602b7c.d: crates/core/tests/props.rs
+
+/root/repo/target/debug/deps/props-db5e2d38c0602b7c: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

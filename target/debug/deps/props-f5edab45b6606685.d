@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-f5edab45b6606685.d: crates/habitat/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-f5edab45b6606685.rmeta: crates/habitat/tests/props.rs Cargo.toml
+
+crates/habitat/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

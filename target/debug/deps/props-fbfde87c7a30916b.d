@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-fbfde87c7a30916b.d: crates/habitat/tests/props.rs
+
+/root/repo/target/debug/deps/props-fbfde87c7a30916b: crates/habitat/tests/props.rs
+
+crates/habitat/tests/props.rs:

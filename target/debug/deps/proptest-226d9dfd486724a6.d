@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-226d9dfd486724a6.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-226d9dfd486724a6.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-226d9dfd486724a6.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-9b35b326dae84b2c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-9b35b326dae84b2c: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-7a6b71d223132674.d: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-7a6b71d223132674.rlib: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-7a6b71d223132674.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/rngs.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rand-b13e9df8298b1c13.d: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-b13e9df8298b1c13.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/rngs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

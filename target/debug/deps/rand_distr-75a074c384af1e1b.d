@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-75a074c384af1e1b.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-75a074c384af1e1b: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-7bf29abd592e04c1.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-7bf29abd592e04c1.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-7bf29abd592e04c1.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

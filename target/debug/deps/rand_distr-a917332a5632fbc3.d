@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_distr-a917332a5632fbc3.d: vendor/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_distr-a917332a5632fbc3.rmeta: vendor/rand_distr/src/lib.rs Cargo.toml
+
+vendor/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_thin-9319b9640d664c26.d: tests/scratch_thin.rs
+
+/root/repo/target/debug/deps/scratch_thin-9319b9640d664c26: tests/scratch_thin.rs
+
+tests/scratch_thin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seeds-19933bde513fb145.d: crates/bench/src/bin/seeds.rs
+
+/root/repo/target/debug/deps/seeds-19933bde513fb145: crates/bench/src/bin/seeds.rs
+
+crates/bench/src/bin/seeds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seeds-369016b61bdb3b83.d: crates/bench/src/bin/seeds.rs
+
+/root/repo/target/debug/deps/seeds-369016b61bdb3b83: crates/bench/src/bin/seeds.rs
+
+crates/bench/src/bin/seeds.rs:

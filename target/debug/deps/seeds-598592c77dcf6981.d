@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seeds-598592c77dcf6981.d: crates/bench/src/bin/seeds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseeds-598592c77dcf6981.rmeta: crates/bench/src/bin/seeds.rs Cargo.toml
+
+crates/bench/src/bin/seeds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

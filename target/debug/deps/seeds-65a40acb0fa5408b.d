@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seeds-65a40acb0fa5408b.d: crates/bench/src/bin/seeds.rs
+
+/root/repo/target/debug/deps/seeds-65a40acb0fa5408b: crates/bench/src/bin/seeds.rs
+
+crates/bench/src/bin/seeds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seeds-78c4bef59a80e0b4.d: crates/bench/src/bin/seeds.rs
+
+/root/repo/target/debug/deps/seeds-78c4bef59a80e0b4: crates/bench/src/bin/seeds.rs
+
+crates/bench/src/bin/seeds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-bb176375d3e3a411.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-bb176375d3e3a411: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-e9d84f79a8b82bad.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e9d84f79a8b82bad.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e9d84f79a8b82bad.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats-1dc3c22aef72bbe1.d: crates/bench/src/bin/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats-1dc3c22aef72bbe1.rmeta: crates/bench/src/bin/stats.rs Cargo.toml
+
+crates/bench/src/bin/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

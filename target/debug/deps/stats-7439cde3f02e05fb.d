@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats-7439cde3f02e05fb.d: crates/bench/src/bin/stats.rs
+
+/root/repo/target/debug/deps/stats-7439cde3f02e05fb: crates/bench/src/bin/stats.rs
+
+crates/bench/src/bin/stats.rs:

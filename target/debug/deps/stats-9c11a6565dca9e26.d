@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats-9c11a6565dca9e26.d: crates/bench/src/bin/stats.rs
+
+/root/repo/target/debug/deps/stats-9c11a6565dca9e26: crates/bench/src/bin/stats.rs
+
+crates/bench/src/bin/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats-ec8419ad4605f167.d: crates/bench/src/bin/stats.rs
+
+/root/repo/target/debug/deps/stats-ec8419ad4605f167: crates/bench/src/bin/stats.rs
+
+crates/bench/src/bin/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats-fe5b9d666dd6a88b.d: crates/bench/src/bin/stats.rs
+
+/root/repo/target/debug/deps/stats-fe5b9d666dd6a88b: crates/bench/src/bin/stats.rs
+
+crates/bench/src/bin/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_equivalence-03da95ab57a325e6.d: tests/streaming_equivalence.rs
+
+/root/repo/target/debug/deps/streaming_equivalence-03da95ab57a325e6: tests/streaming_equivalence.rs
+
+tests/streaming_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_equivalence-17949784c4dc804c.d: tests/streaming_equivalence.rs
+
+/root/repo/target/debug/deps/streaming_equivalence-17949784c4dc804c: tests/streaming_equivalence.rs
+
+tests/streaming_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_equivalence-fcb95a9331a274cd.d: tests/streaming_equivalence.rs
+
+/root/repo/target/debug/deps/streaming_equivalence-fcb95a9331a274cd: tests/streaming_equivalence.rs
+
+tests/streaming_equivalence.rs:

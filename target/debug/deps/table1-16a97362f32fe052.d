@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-16a97362f32fe052.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-16a97362f32fe052: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

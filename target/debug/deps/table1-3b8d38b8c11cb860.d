@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3b8d38b8c11cb860.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3b8d38b8c11cb860: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5b041d3f3ebd876b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5b041d3f3ebd876b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b585cae332a02b95.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b585cae332a02b95: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_probe-2616b19f624b4878.d: tests/tmp_probe.rs
+
+/root/repo/target/debug/deps/tmp_probe-2616b19f624b4878: tests/tmp_probe.rs
+
+tests/tmp_probe.rs:

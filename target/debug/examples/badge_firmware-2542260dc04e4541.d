@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/badge_firmware-2542260dc04e4541.d: examples/badge_firmware.rs
+
+/root/repo/target/debug/examples/badge_firmware-2542260dc04e4541: examples/badge_firmware.rs
+
+examples/badge_firmware.rs:

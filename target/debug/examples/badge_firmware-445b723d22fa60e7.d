@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/badge_firmware-445b723d22fa60e7.d: examples/badge_firmware.rs
+
+/root/repo/target/debug/examples/badge_firmware-445b723d22fa60e7: examples/badge_firmware.rs
+
+examples/badge_firmware.rs:

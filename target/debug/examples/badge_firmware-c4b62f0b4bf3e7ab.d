@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/badge_firmware-c4b62f0b4bf3e7ab.d: examples/badge_firmware.rs
+
+/root/repo/target/debug/examples/badge_firmware-c4b62f0b4bf3e7ab: examples/badge_firmware.rs
+
+examples/badge_firmware.rs:

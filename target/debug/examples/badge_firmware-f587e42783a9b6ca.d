@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/badge_firmware-f587e42783a9b6ca.d: examples/badge_firmware.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbadge_firmware-f587e42783a9b6ca.rmeta: examples/badge_firmware.rs Cargo.toml
+
+examples/badge_firmware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ergonomics-1bbff0704b379659.d: examples/ergonomics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libergonomics-1bbff0704b379659.rmeta: examples/ergonomics.rs Cargo.toml
+
+examples/ergonomics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

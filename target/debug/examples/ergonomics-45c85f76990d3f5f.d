@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ergonomics-45c85f76990d3f5f.d: examples/ergonomics.rs
+
+/root/repo/target/debug/examples/ergonomics-45c85f76990d3f5f: examples/ergonomics.rs
+
+examples/ergonomics.rs:

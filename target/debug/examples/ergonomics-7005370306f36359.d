@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ergonomics-7005370306f36359.d: examples/ergonomics.rs
+
+/root/repo/target/debug/examples/ergonomics-7005370306f36359: examples/ergonomics.rs
+
+examples/ergonomics.rs:

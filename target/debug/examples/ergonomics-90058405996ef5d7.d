@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ergonomics-90058405996ef5d7.d: examples/ergonomics.rs
+
+/root/repo/target/debug/examples/ergonomics-90058405996ef5d7: examples/ergonomics.rs
+
+examples/ergonomics.rs:

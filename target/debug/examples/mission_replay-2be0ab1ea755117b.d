@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mission_replay-2be0ab1ea755117b.d: examples/mission_replay.rs
+
+/root/repo/target/debug/examples/mission_replay-2be0ab1ea755117b: examples/mission_replay.rs
+
+examples/mission_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mission_replay-3bcf3a0c2d8bb6f5.d: examples/mission_replay.rs
+
+/root/repo/target/debug/examples/mission_replay-3bcf3a0c2d8bb6f5: examples/mission_replay.rs
+
+examples/mission_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mission_replay-e789a4434078c45e.d: examples/mission_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmission_replay-e789a4434078c45e.rmeta: examples/mission_replay.rs Cargo.toml
+
+examples/mission_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mission_replay-f548210611c1060c.d: examples/mission_replay.rs
+
+/root/repo/target/debug/examples/mission_replay-f548210611c1060c: examples/mission_replay.rs
+
+examples/mission_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-17b1f6aca0f54fc7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-17b1f6aca0f54fc7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6cd040262cd8b5a7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6cd040262cd8b5a7: examples/quickstart.rs
+
+examples/quickstart.rs:

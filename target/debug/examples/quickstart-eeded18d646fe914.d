@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eeded18d646fe914.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eeded18d646fe914: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/realtime_feedback-422a2569ba4f57f1.d: examples/realtime_feedback.rs Cargo.toml
+
+/root/repo/target/debug/examples/librealtime_feedback-422a2569ba4f57f1.rmeta: examples/realtime_feedback.rs Cargo.toml
+
+examples/realtime_feedback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/realtime_feedback-5b7aa57636ee3d3f.d: examples/realtime_feedback.rs
+
+/root/repo/target/debug/examples/realtime_feedback-5b7aa57636ee3d3f: examples/realtime_feedback.rs
+
+examples/realtime_feedback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/realtime_feedback-a678ea10407cbcb8.d: examples/realtime_feedback.rs
+
+/root/repo/target/debug/examples/realtime_feedback-a678ea10407cbcb8: examples/realtime_feedback.rs
+
+examples/realtime_feedback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/realtime_feedback-ad0402add4924042.d: examples/realtime_feedback.rs
+
+/root/repo/target/debug/examples/realtime_feedback-ad0402add4924042: examples/realtime_feedback.rs
+
+examples/realtime_feedback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/support_system-09e0e10e89655b40.d: examples/support_system.rs
+
+/root/repo/target/debug/examples/support_system-09e0e10e89655b40: examples/support_system.rs
+
+examples/support_system.rs:

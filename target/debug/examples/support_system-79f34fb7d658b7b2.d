@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/support_system-79f34fb7d658b7b2.d: examples/support_system.rs
+
+/root/repo/target/debug/examples/support_system-79f34fb7d658b7b2: examples/support_system.rs
+
+examples/support_system.rs:

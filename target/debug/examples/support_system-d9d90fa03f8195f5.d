@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/support_system-d9d90fa03f8195f5.d: examples/support_system.rs
+
+/root/repo/target/debug/examples/support_system-d9d90fa03f8195f5: examples/support_system.rs
+
+examples/support_system.rs:

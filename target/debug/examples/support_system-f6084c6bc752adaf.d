@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/support_system-f6084c6bc752adaf.d: examples/support_system.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsupport_system-f6084c6bc752adaf.rmeta: examples/support_system.rs Cargo.toml
+
+examples/support_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

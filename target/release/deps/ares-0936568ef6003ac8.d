@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ares-0936568ef6003ac8.d: src/lib.rs
+
+/root/repo/target/release/deps/ares-0936568ef6003ac8: src/lib.rs
+
+src/lib.rs:

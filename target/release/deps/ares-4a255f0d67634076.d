@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ares-4a255f0d67634076.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libares-4a255f0d67634076.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

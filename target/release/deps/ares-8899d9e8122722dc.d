@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ares-8899d9e8122722dc.d: src/lib.rs
+
+/root/repo/target/release/deps/libares-8899d9e8122722dc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libares-8899d9e8122722dc.rmeta: src/lib.rs
+
+src/lib.rs:

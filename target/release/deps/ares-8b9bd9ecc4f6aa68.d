@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ares-8b9bd9ecc4f6aa68.d: src/lib.rs
+
+/root/repo/target/release/deps/libares-8b9bd9ecc4f6aa68.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libares-8b9bd9ecc4f6aa68.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ares_badge-a2cb19066e488cd2.d: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs Cargo.toml
+
+/root/repo/target/release/deps/libares_badge-a2cb19066e488cd2.rmeta: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs Cargo.toml
+
+crates/badge/src/lib.rs:
+crates/badge/src/clockdrift.rs:
+crates/badge/src/links.rs:
+crates/badge/src/mic.rs:
+crates/badge/src/power.rs:
+crates/badge/src/recorder.rs:
+crates/badge/src/records.rs:
+crates/badge/src/scanner.rs:
+crates/badge/src/sensors.rs:
+crates/badge/src/storage.rs:
+crates/badge/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ares_badge-d78eddaf8b50e0d1.d: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs
+
+/root/repo/target/release/deps/libares_badge-d78eddaf8b50e0d1.rlib: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs
+
+/root/repo/target/release/deps/libares_badge-d78eddaf8b50e0d1.rmeta: crates/badge/src/lib.rs crates/badge/src/clockdrift.rs crates/badge/src/links.rs crates/badge/src/mic.rs crates/badge/src/power.rs crates/badge/src/recorder.rs crates/badge/src/records.rs crates/badge/src/scanner.rs crates/badge/src/sensors.rs crates/badge/src/storage.rs crates/badge/src/world.rs
+
+crates/badge/src/lib.rs:
+crates/badge/src/clockdrift.rs:
+crates/badge/src/links.rs:
+crates/badge/src/mic.rs:
+crates/badge/src/power.rs:
+crates/badge/src/recorder.rs:
+crates/badge/src/records.rs:
+crates/badge/src/scanner.rs:
+crates/badge/src/sensors.rs:
+crates/badge/src/storage.rs:
+crates/badge/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ares_bench-2c7059a544a31543.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/ares_bench-2c7059a544a31543: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ares_bench-92990ecf076bdc34.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libares_bench-92990ecf076bdc34.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libares_bench-92990ecf076bdc34.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

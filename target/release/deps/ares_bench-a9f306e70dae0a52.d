@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ares_bench-a9f306e70dae0a52.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libares_bench-a9f306e70dae0a52.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libares_bench-a9f306e70dae0a52.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ares_bench-b6f05323a23d29e6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libares_bench-b6f05323a23d29e6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ares_bench-cc2a2ae3acca6b4a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libares_bench-cc2a2ae3acca6b4a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libares_bench-cc2a2ae3acca6b4a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

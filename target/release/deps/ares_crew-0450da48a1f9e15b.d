@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ares_crew-0450da48a1f9e15b.d: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs
+
+/root/repo/target/release/deps/ares_crew-0450da48a1f9e15b: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs
+
+crates/crew/src/lib.rs:
+crates/crew/src/behavior.rs:
+crates/crew/src/conversation.rs:
+crates/crew/src/incidents.rs:
+crates/crew/src/roster.rs:
+crates/crew/src/schedule.rs:
+crates/crew/src/surveys.rs:
+crates/crew/src/truth.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ares_crew-9e9433702e6b94ce.d: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs
+
+/root/repo/target/release/deps/libares_crew-9e9433702e6b94ce.rlib: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs
+
+/root/repo/target/release/deps/libares_crew-9e9433702e6b94ce.rmeta: crates/crew/src/lib.rs crates/crew/src/behavior.rs crates/crew/src/conversation.rs crates/crew/src/incidents.rs crates/crew/src/roster.rs crates/crew/src/schedule.rs crates/crew/src/surveys.rs crates/crew/src/truth.rs
+
+crates/crew/src/lib.rs:
+crates/crew/src/behavior.rs:
+crates/crew/src/conversation.rs:
+crates/crew/src/incidents.rs:
+crates/crew/src/roster.rs:
+crates/crew/src/schedule.rs:
+crates/crew/src/surveys.rs:
+crates/crew/src/truth.rs:

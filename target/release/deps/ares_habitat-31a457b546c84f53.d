@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ares_habitat-31a457b546c84f53.d: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs crates/habitat/src/visibility.rs
+
+/root/repo/target/release/deps/libares_habitat-31a457b546c84f53.rlib: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs crates/habitat/src/visibility.rs
+
+/root/repo/target/release/deps/libares_habitat-31a457b546c84f53.rmeta: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs crates/habitat/src/visibility.rs
+
+crates/habitat/src/lib.rs:
+crates/habitat/src/beacons.rs:
+crates/habitat/src/environment.rs:
+crates/habitat/src/floorplan.rs:
+crates/habitat/src/rf.rs:
+crates/habitat/src/rooms.rs:
+crates/habitat/src/visibility.rs:

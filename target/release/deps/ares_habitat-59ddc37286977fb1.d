@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ares_habitat-59ddc37286977fb1.d: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs crates/habitat/src/visibility.rs
+
+/root/repo/target/release/deps/ares_habitat-59ddc37286977fb1: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs crates/habitat/src/visibility.rs
+
+crates/habitat/src/lib.rs:
+crates/habitat/src/beacons.rs:
+crates/habitat/src/environment.rs:
+crates/habitat/src/floorplan.rs:
+crates/habitat/src/rf.rs:
+crates/habitat/src/rooms.rs:
+crates/habitat/src/visibility.rs:

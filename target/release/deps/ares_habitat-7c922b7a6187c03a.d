@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ares_habitat-7c922b7a6187c03a.d: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs
+
+/root/repo/target/release/deps/libares_habitat-7c922b7a6187c03a.rlib: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs
+
+/root/repo/target/release/deps/libares_habitat-7c922b7a6187c03a.rmeta: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs
+
+crates/habitat/src/lib.rs:
+crates/habitat/src/beacons.rs:
+crates/habitat/src/environment.rs:
+crates/habitat/src/floorplan.rs:
+crates/habitat/src/rf.rs:
+crates/habitat/src/rooms.rs:

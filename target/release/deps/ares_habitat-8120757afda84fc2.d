@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ares_habitat-8120757afda84fc2.d: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs Cargo.toml
+
+/root/repo/target/release/deps/libares_habitat-8120757afda84fc2.rmeta: crates/habitat/src/lib.rs crates/habitat/src/beacons.rs crates/habitat/src/environment.rs crates/habitat/src/floorplan.rs crates/habitat/src/rf.rs crates/habitat/src/rooms.rs Cargo.toml
+
+crates/habitat/src/lib.rs:
+crates/habitat/src/beacons.rs:
+crates/habitat/src/environment.rs:
+crates/habitat/src/floorplan.rs:
+crates/habitat/src/rf.rs:
+crates/habitat/src/rooms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

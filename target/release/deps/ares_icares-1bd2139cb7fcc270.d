@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ares_icares-1bd2139cb7fcc270.d: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+/root/repo/target/release/deps/libares_icares-1bd2139cb7fcc270.rlib: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+/root/repo/target/release/deps/libares_icares-1bd2139cb7fcc270.rmeta: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+crates/icares/src/lib.rs:
+crates/icares/src/calibration.rs:
+crates/icares/src/export.rs:
+crates/icares/src/figures.rs:
+crates/icares/src/scenario.rs:

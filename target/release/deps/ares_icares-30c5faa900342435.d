@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ares_icares-30c5faa900342435.d: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs Cargo.toml
+
+/root/repo/target/release/deps/libares_icares-30c5faa900342435.rmeta: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs Cargo.toml
+
+crates/icares/src/lib.rs:
+crates/icares/src/calibration.rs:
+crates/icares/src/export.rs:
+crates/icares/src/figures.rs:
+crates/icares/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

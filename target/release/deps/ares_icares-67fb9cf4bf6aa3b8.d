@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ares_icares-67fb9cf4bf6aa3b8.d: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+/root/repo/target/release/deps/ares_icares-67fb9cf4bf6aa3b8: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+crates/icares/src/lib.rs:
+crates/icares/src/calibration.rs:
+crates/icares/src/export.rs:
+crates/icares/src/figures.rs:
+crates/icares/src/scenario.rs:

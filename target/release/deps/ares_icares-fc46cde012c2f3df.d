@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ares_icares-fc46cde012c2f3df.d: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+/root/repo/target/release/deps/libares_icares-fc46cde012c2f3df.rlib: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+/root/repo/target/release/deps/libares_icares-fc46cde012c2f3df.rmeta: crates/icares/src/lib.rs crates/icares/src/calibration.rs crates/icares/src/export.rs crates/icares/src/figures.rs crates/icares/src/scenario.rs
+
+crates/icares/src/lib.rs:
+crates/icares/src/calibration.rs:
+crates/icares/src/export.rs:
+crates/icares/src/figures.rs:
+crates/icares/src/scenario.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ares_simkit-abb69051db95b08d.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/event.rs crates/simkit/src/geometry.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/ares_simkit-abb69051db95b08d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/event.rs crates/simkit/src/geometry.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/geometry.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ares_simkit-c2dd954324e014da.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/event.rs crates/simkit/src/geometry.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libares_simkit-c2dd954324e014da.rlib: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/event.rs crates/simkit/src/geometry.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libares_simkit-c2dd954324e014da.rmeta: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/event.rs crates/simkit/src/geometry.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/geometry.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

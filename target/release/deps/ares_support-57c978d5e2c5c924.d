@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ares_support-57c978d5e2c5c924.d: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs Cargo.toml
+
+/root/repo/target/release/deps/libares_support-57c978d5e2c5c924.rmeta: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs Cargo.toml
+
+crates/support/src/lib.rs:
+crates/support/src/accessibility.rs:
+crates/support/src/alerts.rs:
+crates/support/src/approval.rs:
+crates/support/src/bus.rs:
+crates/support/src/earthlink.rs:
+crates/support/src/failover.rs:
+crates/support/src/privacy.rs:
+crates/support/src/resources.rs:
+crates/support/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ares_support-646b002672fb0564.d: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs
+
+/root/repo/target/release/deps/ares_support-646b002672fb0564: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs
+
+crates/support/src/lib.rs:
+crates/support/src/accessibility.rs:
+crates/support/src/alerts.rs:
+crates/support/src/approval.rs:
+crates/support/src/bus.rs:
+crates/support/src/earthlink.rs:
+crates/support/src/failover.rs:
+crates/support/src/privacy.rs:
+crates/support/src/resources.rs:
+crates/support/src/runtime.rs:

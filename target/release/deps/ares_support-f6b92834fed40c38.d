@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ares_support-f6b92834fed40c38.d: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/chaos.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs
+
+/root/repo/target/release/deps/libares_support-f6b92834fed40c38.rlib: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/chaos.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs
+
+/root/repo/target/release/deps/libares_support-f6b92834fed40c38.rmeta: crates/support/src/lib.rs crates/support/src/accessibility.rs crates/support/src/alerts.rs crates/support/src/approval.rs crates/support/src/bus.rs crates/support/src/chaos.rs crates/support/src/earthlink.rs crates/support/src/failover.rs crates/support/src/privacy.rs crates/support/src/resources.rs crates/support/src/runtime.rs
+
+crates/support/src/lib.rs:
+crates/support/src/accessibility.rs:
+crates/support/src/alerts.rs:
+crates/support/src/approval.rs:
+crates/support/src/bus.rs:
+crates/support/src/chaos.rs:
+crates/support/src/earthlink.rs:
+crates/support/src/failover.rs:
+crates/support/src/privacy.rs:
+crates/support/src/resources.rs:
+crates/support/src/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pipeline-c2b4449125e3ad05.d: crates/bench/src/bin/bench_pipeline.rs
+
+/root/repo/target/release/deps/bench_pipeline-c2b4449125e3ad05: crates/bench/src/bin/bench_pipeline.rs
+
+crates/bench/src/bin/bench_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pipeline-c799cdb783ed3349.d: crates/bench/src/bin/bench_pipeline.rs
+
+/root/repo/target/release/deps/bench_pipeline-c799cdb783ed3349: crates/bench/src/bin/bench_pipeline.rs
+
+crates/bench/src/bin/bench_pipeline.rs:

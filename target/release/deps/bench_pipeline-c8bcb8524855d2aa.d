@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pipeline-c8bcb8524855d2aa.d: crates/bench/src/bin/bench_pipeline.rs
+
+/root/repo/target/release/deps/bench_pipeline-c8bcb8524855d2aa: crates/bench/src/bin/bench_pipeline.rs
+
+crates/bench/src/bin/bench_pipeline.rs:

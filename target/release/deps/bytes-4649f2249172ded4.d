@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-4649f2249172ded4.d: vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-4649f2249172ded4.rmeta: vendor/bytes/src/lib.rs Cargo.toml
+
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

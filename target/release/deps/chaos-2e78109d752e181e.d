@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-2e78109d752e181e.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/release/deps/chaos-2e78109d752e181e: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

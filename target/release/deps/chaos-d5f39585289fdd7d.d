@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chaos-d5f39585289fdd7d.d: crates/bench/src/bin/chaos.rs Cargo.toml
+
+/root/repo/target/release/deps/libchaos-d5f39585289fdd7d.rmeta: crates/bench/src/bin/chaos.rs Cargo.toml
+
+crates/bench/src/bin/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-543470e8ce594749.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-543470e8ce594749: tests/end_to_end.rs
+
+tests/end_to_end.rs:

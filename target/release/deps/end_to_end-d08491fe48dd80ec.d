@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-d08491fe48dd80ec.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-d08491fe48dd80ec: tests/end_to_end.rs
+
+tests/end_to_end.rs:

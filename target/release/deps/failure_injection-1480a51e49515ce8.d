@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/failure_injection-1480a51e49515ce8.d: tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/release/deps/libfailure_injection-1480a51e49515ce8.rmeta: tests/failure_injection.rs Cargo.toml
+
+tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-dc449b798f2ba21f.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-dc449b798f2ba21f: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-1902445c906f1505.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-1902445c906f1505: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-1e63e2619a95db42.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-1e63e2619a95db42: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-1fb2ce1aa6f3d4ce.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-1fb2ce1aa6f3d4ce: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

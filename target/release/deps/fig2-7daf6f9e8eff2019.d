@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-7daf6f9e8eff2019.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-7daf6f9e8eff2019: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

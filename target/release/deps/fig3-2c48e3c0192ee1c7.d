@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-2c48e3c0192ee1c7.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-2c48e3c0192ee1c7: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

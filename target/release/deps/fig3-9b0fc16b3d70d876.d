@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-9b0fc16b3d70d876.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-9b0fc16b3d70d876: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-b67b53fa73c7578a.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-b67b53fa73c7578a: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3-ce2adcc9c4738ed0.d: crates/bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3-ce2adcc9c4738ed0.rmeta: crates/bench/src/bin/fig3.rs Cargo.toml
+
+crates/bench/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

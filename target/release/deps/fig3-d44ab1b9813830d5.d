@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-d44ab1b9813830d5.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-d44ab1b9813830d5: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig4-3495193d0b3f2680.d: crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig4-3495193d0b3f2680.rmeta: crates/bench/src/bin/fig4.rs Cargo.toml
+
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-61add52fc23cd813.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-61add52fc23cd813: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-a08eca379f1099bf.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-a08eca379f1099bf: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-bff27a151a6f8abb.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-bff27a151a6f8abb: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

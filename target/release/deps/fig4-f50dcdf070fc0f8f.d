@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-f50dcdf070fc0f8f.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-f50dcdf070fc0f8f: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

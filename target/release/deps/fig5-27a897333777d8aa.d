@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-27a897333777d8aa.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-27a897333777d8aa: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5-3b5e8350a420cae7.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5-3b5e8350a420cae7.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

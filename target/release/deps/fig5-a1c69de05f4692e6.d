@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-a1c69de05f4692e6.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-a1c69de05f4692e6: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

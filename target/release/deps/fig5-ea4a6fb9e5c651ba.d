@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-ea4a6fb9e5c651ba.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-ea4a6fb9e5c651ba: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

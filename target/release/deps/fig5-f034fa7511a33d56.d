@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f034fa7511a33d56.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f034fa7511a33d56: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-465a9da19a0baaa9.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-465a9da19a0baaa9: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-b03d28424f14630d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-b03d28424f14630d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-c99084992fd9919a.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-c99084992fd9919a: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_repro-0f008ab78d9d45f3.d: crates/bench/src/bin/full_repro.rs
+
+/root/repo/target/release/deps/full_repro-0f008ab78d9d45f3: crates/bench/src/bin/full_repro.rs
+
+crates/bench/src/bin/full_repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/full_repro-4d779f8600120237.d: crates/bench/src/bin/full_repro.rs Cargo.toml
+
+/root/repo/target/release/deps/libfull_repro-4d779f8600120237.rmeta: crates/bench/src/bin/full_repro.rs Cargo.toml
+
+crates/bench/src/bin/full_repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

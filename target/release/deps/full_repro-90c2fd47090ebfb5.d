@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_repro-90c2fd47090ebfb5.d: crates/bench/src/bin/full_repro.rs
+
+/root/repo/target/release/deps/full_repro-90c2fd47090ebfb5: crates/bench/src/bin/full_repro.rs
+
+crates/bench/src/bin/full_repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_repro-916456eea089d803.d: crates/bench/src/bin/full_repro.rs
+
+/root/repo/target/release/deps/full_repro-916456eea089d803: crates/bench/src/bin/full_repro.rs
+
+crates/bench/src/bin/full_repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_repro-d9cac01e595e4aee.d: crates/bench/src/bin/full_repro.rs
+
+/root/repo/target/release/deps/full_repro-d9cac01e595e4aee: crates/bench/src/bin/full_repro.rs
+
+crates/bench/src/bin/full_repro.rs:

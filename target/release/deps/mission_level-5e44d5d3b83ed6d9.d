@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mission_level-5e44d5d3b83ed6d9.d: tests/mission_level.rs
+
+/root/repo/target/release/deps/mission_level-5e44d5d3b83ed6d9: tests/mission_level.rs
+
+tests/mission_level.rs:

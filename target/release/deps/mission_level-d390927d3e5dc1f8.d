@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mission_level-d390927d3e5dc1f8.d: tests/mission_level.rs Cargo.toml
+
+/root/repo/target/release/deps/libmission_level-d390927d3e5dc1f8.rmeta: tests/mission_level.rs Cargo.toml
+
+tests/mission_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

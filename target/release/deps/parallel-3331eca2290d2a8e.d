@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-3331eca2290d2a8e.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/release/deps/parallel-3331eca2290d2a8e: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:

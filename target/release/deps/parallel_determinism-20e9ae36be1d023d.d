@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-20e9ae36be1d023d.d: tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-20e9ae36be1d023d: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_determinism-732e639858da19d3.d: tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_determinism-732e639858da19d3.rmeta: tests/parallel_determinism.rs Cargo.toml
+
+tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

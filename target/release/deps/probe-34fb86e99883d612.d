@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-34fb86e99883d612.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-34fb86e99883d612: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-3c1bcd0ed22ef81f.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-3c1bcd0ed22ef81f: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

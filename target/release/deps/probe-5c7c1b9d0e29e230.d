@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/probe-5c7c1b9d0e29e230.d: crates/bench/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/release/deps/libprobe-5c7c1b9d0e29e230.rmeta: crates/bench/src/bin/probe.rs Cargo.toml
+
+crates/bench/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

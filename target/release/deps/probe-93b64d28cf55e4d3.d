@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-93b64d28cf55e4d3.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-93b64d28cf55e4d3: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-f2a6c612ff9518bf.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-f2a6c612ff9518bf: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

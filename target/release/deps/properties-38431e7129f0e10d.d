@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-38431e7129f0e10d.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-38431e7129f0e10d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-dc97f32967e79be9.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-dc97f32967e79be9.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

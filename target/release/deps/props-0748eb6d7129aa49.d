@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-0748eb6d7129aa49.d: crates/crew/tests/props.rs
+
+/root/repo/target/release/deps/props-0748eb6d7129aa49: crates/crew/tests/props.rs
+
+crates/crew/tests/props.rs:

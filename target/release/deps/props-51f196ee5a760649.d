@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-51f196ee5a760649.d: crates/simkit/tests/props.rs
+
+/root/repo/target/release/deps/props-51f196ee5a760649: crates/simkit/tests/props.rs
+
+crates/simkit/tests/props.rs:

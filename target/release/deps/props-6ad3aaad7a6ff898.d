@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-6ad3aaad7a6ff898.d: crates/badge/tests/props.rs
+
+/root/repo/target/release/deps/props-6ad3aaad7a6ff898: crates/badge/tests/props.rs
+
+crates/badge/tests/props.rs:

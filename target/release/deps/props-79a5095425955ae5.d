@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-79a5095425955ae5.d: crates/core/tests/props.rs
+
+/root/repo/target/release/deps/props-79a5095425955ae5: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-8124afa8316a47e8.d: crates/support/tests/props.rs
+
+/root/repo/target/release/deps/props-8124afa8316a47e8: crates/support/tests/props.rs
+
+crates/support/tests/props.rs:

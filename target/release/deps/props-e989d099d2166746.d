@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-e989d099d2166746.d: crates/habitat/tests/props.rs
+
+/root/repo/target/release/deps/props-e989d099d2166746: crates/habitat/tests/props.rs
+
+crates/habitat/tests/props.rs:

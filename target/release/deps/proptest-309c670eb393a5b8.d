@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-309c670eb393a5b8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-309c670eb393a5b8.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-309c670eb393a5b8.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

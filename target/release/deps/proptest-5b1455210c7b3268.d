@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-5b1455210c7b3268.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-5b1455210c7b3268: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

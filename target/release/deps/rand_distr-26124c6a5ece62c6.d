@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-26124c6a5ece62c6.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-26124c6a5ece62c6.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-26124c6a5ece62c6.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_distr-e307c9c0b7fb0556.d: vendor/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_distr-e307c9c0b7fb0556.rmeta: vendor/rand_distr/src/lib.rs Cargo.toml
+
+vendor/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-f96bfe1de886c473.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-f96bfe1de886c473.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-f96bfe1de886c473.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_distr-faa32ba206f43341.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/rand_distr-faa32ba206f43341: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

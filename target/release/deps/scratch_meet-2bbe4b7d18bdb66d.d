@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch_meet-2bbe4b7d18bdb66d.d: crates/bench/src/bin/scratch_meet.rs
+
+/root/repo/target/release/deps/scratch_meet-2bbe4b7d18bdb66d: crates/bench/src/bin/scratch_meet.rs
+
+crates/bench/src/bin/scratch_meet.rs:

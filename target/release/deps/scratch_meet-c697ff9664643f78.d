@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch_meet-c697ff9664643f78.d: crates/bench/src/bin/scratch_meet.rs
+
+/root/repo/target/release/deps/scratch_meet-c697ff9664643f78: crates/bench/src/bin/scratch_meet.rs
+
+crates/bench/src/bin/scratch_meet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch_occ-556e3e98004cf3e1.d: crates/bench/src/bin/scratch_occ.rs
+
+/root/repo/target/release/deps/scratch_occ-556e3e98004cf3e1: crates/bench/src/bin/scratch_occ.rs
+
+crates/bench/src/bin/scratch_occ.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch_probe-81b734a275a3aa15.d: tests/scratch_probe.rs
+
+/root/repo/target/release/deps/scratch_probe-81b734a275a3aa15: tests/scratch_probe.rs
+
+tests/scratch_probe.rs:

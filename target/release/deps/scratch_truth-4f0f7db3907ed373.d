@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch_truth-4f0f7db3907ed373.d: crates/crew/tests/scratch_truth.rs
+
+/root/repo/target/release/deps/scratch_truth-4f0f7db3907ed373: crates/crew/tests/scratch_truth.rs
+
+crates/crew/tests/scratch_truth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seeds-52716022426cfd18.d: crates/bench/src/bin/seeds.rs
+
+/root/repo/target/release/deps/seeds-52716022426cfd18: crates/bench/src/bin/seeds.rs
+
+crates/bench/src/bin/seeds.rs:

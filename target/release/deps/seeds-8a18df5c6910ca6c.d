@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seeds-8a18df5c6910ca6c.d: crates/bench/src/bin/seeds.rs
+
+/root/repo/target/release/deps/seeds-8a18df5c6910ca6c: crates/bench/src/bin/seeds.rs
+
+crates/bench/src/bin/seeds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/seeds-8c4d5424f91a9b94.d: crates/bench/src/bin/seeds.rs Cargo.toml
+
+/root/repo/target/release/deps/libseeds-8c4d5424f91a9b94.rmeta: crates/bench/src/bin/seeds.rs Cargo.toml
+
+crates/bench/src/bin/seeds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seeds-ca1596204d92dfb6.d: crates/bench/src/bin/seeds.rs
+
+/root/repo/target/release/deps/seeds-ca1596204d92dfb6: crates/bench/src/bin/seeds.rs
+
+crates/bench/src/bin/seeds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seeds-d90818d802348473.d: crates/bench/src/bin/seeds.rs
+
+/root/repo/target/release/deps/seeds-d90818d802348473: crates/bench/src/bin/seeds.rs
+
+crates/bench/src/bin/seeds.rs:

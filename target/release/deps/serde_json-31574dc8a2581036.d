@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-31574dc8a2581036.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-31574dc8a2581036: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-41a2d9df62ef3141.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-41a2d9df62ef3141.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-41a2d9df62ef3141.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

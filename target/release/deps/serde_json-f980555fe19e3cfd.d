@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-f980555fe19e3cfd.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-f980555fe19e3cfd.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stats-1c4c683a9e49c75a.d: crates/bench/src/bin/stats.rs
+
+/root/repo/target/release/deps/stats-1c4c683a9e49c75a: crates/bench/src/bin/stats.rs
+
+crates/bench/src/bin/stats.rs:

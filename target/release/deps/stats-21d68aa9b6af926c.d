@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stats-21d68aa9b6af926c.d: crates/bench/src/bin/stats.rs
+
+/root/repo/target/release/deps/stats-21d68aa9b6af926c: crates/bench/src/bin/stats.rs
+
+crates/bench/src/bin/stats.rs:

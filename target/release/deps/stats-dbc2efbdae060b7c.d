@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stats-dbc2efbdae060b7c.d: crates/bench/src/bin/stats.rs
+
+/root/repo/target/release/deps/stats-dbc2efbdae060b7c: crates/bench/src/bin/stats.rs
+
+crates/bench/src/bin/stats.rs:

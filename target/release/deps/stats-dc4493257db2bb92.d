@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stats-dc4493257db2bb92.d: crates/bench/src/bin/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libstats-dc4493257db2bb92.rmeta: crates/bench/src/bin/stats.rs Cargo.toml
+
+crates/bench/src/bin/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stats-fee3645030b3744d.d: crates/bench/src/bin/stats.rs
+
+/root/repo/target/release/deps/stats-fee3645030b3744d: crates/bench/src/bin/stats.rs
+
+crates/bench/src/bin/stats.rs:

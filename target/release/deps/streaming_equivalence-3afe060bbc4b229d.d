@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/streaming_equivalence-3afe060bbc4b229d.d: tests/streaming_equivalence.rs
+
+/root/repo/target/release/deps/streaming_equivalence-3afe060bbc4b229d: tests/streaming_equivalence.rs
+
+tests/streaming_equivalence.rs:

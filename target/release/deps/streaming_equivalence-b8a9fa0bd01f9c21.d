@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/streaming_equivalence-b8a9fa0bd01f9c21.d: tests/streaming_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libstreaming_equivalence-b8a9fa0bd01f9c21.rmeta: tests/streaming_equivalence.rs Cargo.toml
+
+tests/streaming_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

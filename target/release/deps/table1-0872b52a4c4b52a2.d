@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-0872b52a4c4b52a2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-0872b52a4c4b52a2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

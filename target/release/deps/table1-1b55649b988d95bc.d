@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1b55649b988d95bc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1b55649b988d95bc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

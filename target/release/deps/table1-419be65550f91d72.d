@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-419be65550f91d72.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-419be65550f91d72: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

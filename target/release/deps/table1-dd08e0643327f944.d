@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-dd08e0643327f944.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-dd08e0643327f944: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

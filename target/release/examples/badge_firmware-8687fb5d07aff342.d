@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/badge_firmware-8687fb5d07aff342.d: examples/badge_firmware.rs
+
+/root/repo/target/release/examples/badge_firmware-8687fb5d07aff342: examples/badge_firmware.rs
+
+examples/badge_firmware.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/badge_firmware-f4196a3f5d364319.d: examples/badge_firmware.rs Cargo.toml
+
+/root/repo/target/release/examples/libbadge_firmware-f4196a3f5d364319.rmeta: examples/badge_firmware.rs Cargo.toml
+
+examples/badge_firmware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/ergonomics-604e3fd972e01d7f.d: examples/ergonomics.rs Cargo.toml
+
+/root/repo/target/release/examples/libergonomics-604e3fd972e01d7f.rmeta: examples/ergonomics.rs Cargo.toml
+
+examples/ergonomics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ergonomics-cb6edc1542f0396f.d: examples/ergonomics.rs
+
+/root/repo/target/release/examples/ergonomics-cb6edc1542f0396f: examples/ergonomics.rs
+
+examples/ergonomics.rs:

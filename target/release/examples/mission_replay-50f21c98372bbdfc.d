@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mission_replay-50f21c98372bbdfc.d: examples/mission_replay.rs
+
+/root/repo/target/release/examples/mission_replay-50f21c98372bbdfc: examples/mission_replay.rs
+
+examples/mission_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/mission_replay-7e9cb9dc2e3699bd.d: examples/mission_replay.rs Cargo.toml
+
+/root/repo/target/release/examples/libmission_replay-7e9cb9dc2e3699bd.rmeta: examples/mission_replay.rs Cargo.toml
+
+examples/mission_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5884a646af81869a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5884a646af81869a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/realtime_feedback-a0149f7aed0111e0.d: examples/realtime_feedback.rs Cargo.toml
+
+/root/repo/target/release/examples/librealtime_feedback-a0149f7aed0111e0.rmeta: examples/realtime_feedback.rs Cargo.toml
+
+examples/realtime_feedback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

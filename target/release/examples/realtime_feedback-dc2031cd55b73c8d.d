@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/realtime_feedback-dc2031cd55b73c8d.d: examples/realtime_feedback.rs
+
+/root/repo/target/release/examples/realtime_feedback-dc2031cd55b73c8d: examples/realtime_feedback.rs
+
+examples/realtime_feedback.rs:

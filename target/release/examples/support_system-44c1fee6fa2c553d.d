@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/support_system-44c1fee6fa2c553d.d: examples/support_system.rs Cargo.toml
+
+/root/repo/target/release/examples/libsupport_system-44c1fee6fa2c553d.rmeta: examples/support_system.rs Cargo.toml
+
+examples/support_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

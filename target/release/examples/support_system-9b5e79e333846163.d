@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/support_system-9b5e79e333846163.d: examples/support_system.rs
+
+/root/repo/target/release/examples/support_system-9b5e79e333846163: examples/support_system.rs
+
+examples/support_system.rs:
