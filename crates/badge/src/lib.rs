@@ -50,10 +50,10 @@ pub mod device {
 /// Convenient glob-import of the most used badge types.
 pub mod prelude {
     pub use crate::clockdrift::ClockSet;
+    pub use crate::recorder::Recorder;
     pub use crate::records::{
         AudioFrame, BadgeId, BadgeLog, BeaconScan, EnvSample, ImuSample, IrContact,
         MissionRecording, ProximityObs, SamplingConfig, SyncSample,
     };
-    pub use crate::recorder::Recorder;
     pub use crate::world::World;
 }

@@ -148,7 +148,14 @@ mod tests {
         let mut worn_hits = 0;
         for _ in 0..100 {
             if ir_exchange(
-                &world, p, east, WearState::Worn, q, west, WearState::Worn, &mut rng,
+                &world,
+                p,
+                east,
+                WearState::Worn,
+                q,
+                west,
+                WearState::Worn,
+                &mut rng,
             ) {
                 worn_hits += 1;
             }
@@ -175,8 +182,7 @@ mod tests {
         // Docked at the station: sync succeeds almost always.
         let mut got = None;
         for _ in 0..20 {
-            if let Some(s) = sync_attempt(&world, &clocks, BadgeId(0), world.station, t, &mut rng)
-            {
+            if let Some(s) = sync_attempt(&world, &clocks, BadgeId(0), world.station, t, &mut rng) {
                 got = Some(s);
                 break;
             }

@@ -104,8 +104,9 @@ impl MicModel {
         }
         let muffle = if muffled { self.muffle_db } else { 0.0 };
         let (mut level, voiced, f0) = match best {
-            Some((speech, f0)) if speech - muffle > noise + self.voiced_margin_db
-                && speech - muffle > self.voiced_floor_db =>
+            Some((speech, f0))
+                if speech - muffle > noise + self.voiced_margin_db
+                    && speech - muffle > self.voiced_floor_db =>
             {
                 let f0_est = f0 + Normal::new(0.0, 2.0).expect("sd > 0").sample(rng);
                 (speech - muffle, true, Some(f0_est))
@@ -160,7 +161,8 @@ mod tests {
     use ares_simkit::series::Interval;
 
     fn truth_with_speaker_at(pos: Point2) -> MissionTruth {
-        let mut astronauts: Vec<AstronautTruth> = (0..6).map(|_| AstronautTruth::default()).collect();
+        let mut astronauts: Vec<AstronautTruth> =
+            (0..6).map(|_| AstronautTruth::default()).collect();
         astronauts[0]
             .path
             .push(SimTime::from_secs(0), PathPoint { pos, facing: 0.0 });
@@ -191,12 +193,22 @@ mod tests {
         let t = SimTime::from_secs(5);
         // Badge 1.2 m from the speaker: voiced, level near 66 dB.
         let near = mic.frame(
-            &world, &truth,
+            &world,
+            &truth,
             kitchen + ares_simkit::geometry::Vec2::new(1.2, 0.0),
-            t, t, &[&s], 0.0, false, &mut rng,
+            t,
+            t,
+            &[&s],
+            0.0,
+            false,
+            &mut rng,
         );
         assert!(near.voiced, "near frame must be voiced");
-        assert!((near.level_db - 66.4).abs() < 4.0, "level {}", near.level_db);
+        assert!(
+            (near.level_db - 66.4).abs() < 4.0,
+            "level {}",
+            near.level_db
+        );
         // Badge across the habitat (office): walls kill it.
         let office = world.plan.room_center(RoomId::Office);
         let far = mic.frame(&world, &truth, office, t, t, &[&s], 0.0, false, &mut rng);
@@ -218,14 +230,23 @@ mod tests {
         let mut clear_voiced = 0;
         let mut muffled_voiced = 0;
         for _ in 0..200 {
-            if mic.frame(&world, &truth, pos, t, t, &[&s], 0.0, false, &mut rng).voiced {
+            if mic
+                .frame(&world, &truth, pos, t, t, &[&s], 0.0, false, &mut rng)
+                .voiced
+            {
                 clear_voiced += 1;
             }
-            if mic.frame(&world, &truth, pos, t, t, &[&s], 0.0, true, &mut rng).voiced {
+            if mic
+                .frame(&world, &truth, pos, t, t, &[&s], 0.0, true, &mut rng)
+                .voiced
+            {
                 muffled_voiced += 1;
             }
         }
-        assert!(clear_voiced > muffled_voiced + 30, "{clear_voiced} vs {muffled_voiced}");
+        assert!(
+            clear_voiced > muffled_voiced + 30,
+            "{clear_voiced} vs {muffled_voiced}"
+        );
     }
 
     #[test]
@@ -238,7 +259,10 @@ mod tests {
         let t = SimTime::from_secs(0);
         let mean = |adj: f64, rng: &mut rand::rngs::StdRng| -> f64 {
             (0..200)
-                .map(|_| mic.frame(&world, &truth, p, t, t, &[], adj, false, rng).level_db)
+                .map(|_| {
+                    mic.frame(&world, &truth, p, t, t, &[], adj, false, rng)
+                        .level_db
+                })
                 .sum::<f64>()
                 / 200.0
         };

@@ -133,7 +133,10 @@ mod tests {
         assert!(b.drain_active(SimDuration::from_hours(14)));
         assert!(b.soc() < 1.0 && b.soc() > 0.0);
         b.charge(SimDuration::from_hours(10));
-        assert!((b.soc() - 1.0).abs() < 1e-9, "overnight restores full charge");
+        assert!(
+            (b.soc() - 1.0).abs() < 1e-9,
+            "overnight restores full charge"
+        );
     }
 
     #[test]

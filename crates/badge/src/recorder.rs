@@ -148,7 +148,8 @@ impl<'a> Recorder<'a> {
                 if sampling {
                     // BLE scan.
                     if elapsed % self.config.scan_period.as_micros() == 0 {
-                        log.scans.push(scanner::scan(self.world, pos, t_local, &mut rng));
+                        log.scans
+                            .push(scanner::scan(self.world, pos, t_local, &mut rng));
                     }
                     // IMU window.
                     if elapsed % self.config.imu_window.as_micros() == 0 {
@@ -158,14 +159,15 @@ impl<'a> Recorder<'a> {
                         let energy = carrier
                             .map(|c| 0.8 + 0.4 * self.roster.member(c).profile.mobility)
                             .unwrap_or(1.0);
-                        log.imu.push(imu_model.sample(t_local, wear, walking, energy, &mut rng));
+                        log.imu
+                            .push(imu_model.sample(t_local, wear, walking, energy, &mut rng));
                     }
                     // Audio frames (two per second at the default config).
                     let af = self.config.audio_frame.as_micros();
                     if elapsed % af == 0 {
                         let frames_per_tick = (tick.as_micros() / af).max(1);
-                        let muffled = carrier == Some(AstronautId::A)
-                            && self.muffled_days.contains(&day);
+                        let muffled =
+                            carrier == Some(AstronautId::A) && self.muffled_days.contains(&day);
                         for k in 0..frames_per_tick {
                             let ft = t + SimDuration::from_micros(k * af);
                             log.audio.push(mic_model.frame(
@@ -214,7 +216,8 @@ impl<'a> Recorder<'a> {
                 }
                 // Environment (all active units, including reference/backups).
                 if elapsed % self.config.env_period.as_micros() == 0 {
-                    log.env.push(sensors::sample_env(self.world, pos, t, t_local, &mut rng));
+                    log.env
+                        .push(sensors::sample_env(self.world, pos, t, t_local, &mut rng));
                 }
                 // Sync attempts.
                 if elapsed % self.config.sync_period.as_micros() == 0 {

@@ -14,8 +14,9 @@ use serde::{Deserialize, Serialize};
 /// Units 0–5 are initially assigned to astronauts A–F, 6–11 are the six
 /// redundant backups, and [`BadgeId::REFERENCE`] is the permanently charged
 /// reference badge at the station.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct BadgeId(pub u8);
 
 impl BadgeId {
@@ -141,7 +142,6 @@ pub struct BadgeLog {
     /// format is far denser than these in-memory features).
     pub bytes_written: u64,
 }
-
 
 impl BadgeLog {
     /// Creates an empty log for a unit.

@@ -16,12 +16,7 @@ use ares_simkit::time::SimTime;
 use rand::Rng;
 
 /// Performs one BLE scan at the given badge position.
-pub fn scan(
-    world: &World,
-    badge_pos: Point2,
-    t_local: SimTime,
-    rng: &mut impl Rng,
-) -> BeaconScan {
+pub fn scan(world: &World, badge_pos: Point2, t_local: SimTime, rng: &mut impl Rng) -> BeaconScan {
     let badge_room = world.room_at(badge_pos);
     let mut hits = Vec::new();
     for beacon in candidate_beacons(world, badge_room) {
@@ -30,7 +25,9 @@ pub fn scan(
             // Convex room: zero wall crossings by construction.
             world.ble.transmit_known_walls(d, 0, rng)
         } else {
-            world.ble.transmit(&world.plan, beacon.position, badge_pos, rng)
+            world
+                .ble
+                .transmit(&world.plan, beacon.position, badge_pos, rng)
         };
         if let Reception::Received(rssi) = reception {
             hits.push((beacon.id, rssi));
@@ -45,9 +42,11 @@ fn candidate_beacons(
     world: &World,
     room: RoomId,
 ) -> impl Iterator<Item = &ares_habitat::beacons::Beacon> {
-    world.beacons.beacons().iter().filter(move |b| {
-        b.room == room || world.plan.door_between(b.room, room).is_some()
-    })
+    world
+        .beacons
+        .beacons()
+        .iter()
+        .filter(move |b| b.room == room || world.plan.door_between(b.room, room).is_some())
 }
 
 #[cfg(test)]

@@ -95,8 +95,7 @@ pub fn sample_env(
 ) -> EnvSample {
     let room = world.room_at(badge_pos);
     let temp = world.env.temperature_c(room, t_true) + Normal::new(0.0, 0.25).unwrap().sample(rng);
-    let pressure =
-        world.env.pressure_hpa(t_true) + Normal::new(0.0, 0.35).unwrap().sample(rng);
+    let pressure = world.env.pressure_hpa(t_true) + Normal::new(0.0, 0.35).unwrap().sample(rng);
     let light = (world.env.light_lux(room, t_true) * rng.gen_range(0.92..1.08)).max(0.0);
     EnvSample {
         t_local,
@@ -127,7 +126,11 @@ mod tests {
         let t = SimTime::from_secs(0);
         for _ in 0..300 {
             let walk = model.sample(t, WearState::Worn, true, 1.0, &mut rng);
-            assert!(walk.accel_var > WALK_VAR_THRESHOLD, "walk var {}", walk.accel_var);
+            assert!(
+                walk.accel_var > WALK_VAR_THRESHOLD,
+                "walk var {}",
+                walk.accel_var
+            );
             assert!(walk.step_hz.is_some());
             let still = model.sample(t, WearState::Worn, false, 1.0, &mut rng);
             assert!(still.accel_var < WALK_VAR_THRESHOLD);

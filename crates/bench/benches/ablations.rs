@@ -19,8 +19,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 /// centroid, with and without RSSI smoothing.
 fn ablation_localization(c: &mut Criterion) {
     let world = World::icares();
-    let truth = world.plan.room_center(RoomId::Workshop)
-        + ares_simkit::geometry::Vec2::new(1.3, 1.1);
+    let truth =
+        world.plan.room_center(RoomId::Workshop) + ares_simkit::geometry::Vec2::new(1.3, 1.1);
     let mut rng = SeedTree::new(11).stream("abl-loc");
     // Pre-generate scans.
     let scans: Vec<_> = (0..500)
@@ -58,7 +58,10 @@ fn ablation_localization(c: &mut Criterion) {
     println!("  centroid, raw RSSI:       {:.3}", eval(&coarse, false));
     println!("  centroid, smoothed RSSI:  {:.3}", eval(&coarse, true));
     println!("  GN+prior, raw RSSI:       {:.3}", eval(&refined, false));
-    println!("  GN+prior, smoothed RSSI:  {:.3}  <- production path", eval(&refined, true));
+    println!(
+        "  GN+prior, smoothed RSSI:  {:.3}  <- production path",
+        eval(&refined, true)
+    );
 
     let mut g = c.benchmark_group("ablation-localization");
     g.sample_size(10);
@@ -107,7 +110,7 @@ fn ablation_beacon_density(c: &mut Criterion) {
         let dep = full.thinned(per_room);
         let world = World::icares().with_beacons(dep);
         let pos = plan.room_center(RoomId::Office);
-        g.bench_function(format!("scan @{per_room}/room"), |b| {
+        g.bench_function(&format!("scan @{per_room}/room"), |b| {
             let mut rng = SeedTree::new(13).stream("abl-dens-b");
             let mut t = 0i64;
             b.iter(|| {
@@ -161,8 +164,8 @@ fn ablation_speech_thresholds(c: &mut Criterion) {
 /// The 10-second dwell filter ablation: passage counts with and without it.
 fn ablation_dwell_filter(c: &mut Criterion) {
     use ares_icares::MissionRunner;
-    use ares_sociometrics::occupancy::{segment_stays, PassageMatrix};
     use ares_simkit::time::SimDuration;
+    use ares_sociometrics::occupancy::{segment_stays, PassageMatrix};
     let runner = MissionRunner::icares();
     let (_, analysis) = runner.run_day(3);
     println!("\n[ablation] day-3 passages with vs without the 10-s dwell filter:");
@@ -218,18 +221,20 @@ fn ablation_proximity_vs_localization(c: &mut Criterion) {
     use ares_sociometrics::proximity::{ColocationIndex, ProximityParams};
     let runner = MissionRunner::icares();
     let (recording, analysis) = runner.run_day(3);
-    let logs: Vec<(&ares_badge::records::BadgeLog, &ares_sociometrics::sync::SyncCorrection)> =
-        recording
-            .logs
-            .iter()
-            .filter_map(|log| {
-                analysis
-                    .badges
-                    .iter()
-                    .find(|b| b.badge == log.badge)
-                    .map(|b| (log, &b.corr))
-            })
-            .collect();
+    let logs: Vec<(
+        &ares_badge::records::BadgeLog,
+        &ares_sociometrics::sync::SyncCorrection,
+    )> = recording
+        .logs
+        .iter()
+        .filter_map(|log| {
+            analysis
+                .badges
+                .iter()
+                .find(|b| b.badge == log.badge)
+                .map(|b| (log, &b.corr))
+        })
+        .collect();
     let index = ColocationIndex::build(&logs, &ProximityParams::default());
     println!("\n[ablation] day-3 pairwise co-presence, two modalities (hours):");
     use ares_crew::roster::AstronautId as Id;

@@ -1,17 +1,17 @@
 //! Pipeline-stage benchmarks: what it costs to turn one day of badge
 //! recordings into the paper's analyses.
 //!
-//! Each stage is benchmarked on a realistic day-3 recording of badge 0
-//! (astronaut A's), generated once up front.
+//! The per-stage benchmarks call the *engine stage kernels* — the same
+//! functions the batch pipeline, the streaming analyzer and the parallel
+//! executor share — on a realistic day-3 recording of badge 0 (astronaut
+//! A's), generated once up front. The `mission-engine` group measures the
+//! deterministic parallel executor at 1 and N workers on the full day.
 
 use ares_icares::MissionRunner;
-use ares_sociometrics::activity::{detect_walking, ActivityParams};
-use ares_sociometrics::localization::{localize, LocalizationParams};
-use ares_sociometrics::occupancy::segment_stays;
-use ares_sociometrics::speech::{analyze, SpeechParams};
-use ares_sociometrics::sync::SyncCorrection;
-use ares_sociometrics::wear::{detect_wear, WearParams};
-use ares_simkit::time::SimDuration;
+use ares_sociometrics::engine::{
+    analyze_badge_day, stage_activity, stage_localize, stage_speech, stage_stays, stage_sync_fit,
+    stage_wear, EngineMetrics, MissionContext, MissionEngine,
+};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_pipeline_stages(c: &mut Criterion) {
@@ -21,56 +21,51 @@ fn bench_pipeline_stages(c: &mut Criterion) {
         .log(ares_badge::records::BadgeId(0))
         .expect("badge 0 recorded")
         .clone();
-    let corr = SyncCorrection::fit(&log.sync);
-    let beacons = ares_habitat::beacons::BeaconDeployment::icares(runner.pipeline().plan());
-    let plan = runner.pipeline().plan().clone();
+    let ctx = runner.pipeline().context().clone();
+    let corr = stage_sync_fit(&log);
 
     let mut g = c.benchmark_group("pipeline-stages");
     g.sample_size(10);
 
     g.throughput(Throughput::Elements(log.sync.len() as u64));
     g.bench_function("sync fit", |b| {
-        b.iter(|| black_box(SyncCorrection::fit(&log.sync)));
+        b.iter(|| black_box(stage_sync_fit(&log)));
     });
 
     g.throughput(Throughput::Elements(log.scans.len() as u64));
     g.bench_function("localize full day", |b| {
-        b.iter(|| {
-            black_box(localize(
-                &log,
-                &corr,
-                &beacons,
-                &plan,
-                &LocalizationParams::default(),
-            ))
-        });
+        b.iter(|| black_box(stage_localize(&ctx, &log, &corr)));
     });
 
-    let track = localize(&log, &corr, &beacons, &plan, &LocalizationParams::default());
+    let track = stage_localize(&ctx, &log, &corr);
     g.throughput(Throughput::Elements(track.fixes.len() as u64));
     g.bench_function("segment stays", |b| {
-        b.iter(|| black_box(segment_stays(&track, SimDuration::from_secs(5))));
+        b.iter(|| black_box(stage_stays(&track)));
     });
 
-    let wear = detect_wear(&log, &corr, &WearParams::default());
+    let wear = stage_wear(&ctx, &log, &corr);
     g.throughput(Throughput::Elements(log.imu.len() as u64));
     g.bench_function("wear detection", |b| {
-        b.iter(|| black_box(detect_wear(&log, &corr, &WearParams::default())));
+        b.iter(|| black_box(stage_wear(&ctx, &log, &corr)));
     });
     g.bench_function("walking detection", |b| {
-        b.iter(|| {
-            black_box(detect_walking(
-                &log,
-                &corr,
-                &wear,
-                &ActivityParams::default(),
-            ))
-        });
+        b.iter(|| black_box(stage_activity(&ctx, &log, &corr, &wear)));
     });
 
     g.throughput(Throughput::Elements(log.audio.len() as u64));
     g.bench_function("speech analysis full day", |b| {
-        b.iter(|| black_box(analyze(&log, &corr, &SpeechParams::default())));
+        b.iter(|| black_box(stage_speech(&ctx, &log, &corr)));
+    });
+
+    let records =
+        (log.sync.len() + log.scans.len() + log.audio.len() + log.imu.len() + log.env.len()) as u64;
+    g.throughput(Throughput::Elements(records));
+    g.bench_function("badge-day (all stages, metered)", |b| {
+        b.iter(|| {
+            let mut metrics = EngineMetrics::new();
+            black_box(analyze_badge_day(&ctx, 3, &log, &mut metrics));
+            black_box(metrics)
+        });
     });
     g.finish();
 }
@@ -83,6 +78,25 @@ fn bench_full_day(c: &mut Criterion) {
     g.bench_function("analyze one mission day (13 units)", |b| {
         b.iter(|| black_box(runner.pipeline().analyze_day(3, &recording.logs)));
     });
+    g.finish();
+}
+
+fn bench_mission_engine(c: &mut Criterion) {
+    let runner = MissionRunner::icares();
+    let (recording, _) = runner.run_day(3);
+    let ctx = runner.pipeline().context().clone();
+    let n = std::thread::available_parallelism()
+        .map_or(2, usize::from)
+        .max(2);
+
+    let mut g = c.benchmark_group("mission-engine");
+    g.sample_size(10);
+    for workers in [1usize, n] {
+        let engine = MissionEngine::with_workers(ctx.clone(), workers);
+        g.bench_function(&format!("analyze one day @{workers} worker(s)"), |b| {
+            b.iter(|| black_box(engine.analyze_day(3, &recording.logs)));
+        });
+    }
     g.finish();
 }
 
@@ -120,13 +134,14 @@ fn bench_streaming(c: &mut Criterion) {
         .log(ares_badge::records::BadgeId(0))
         .expect("badge 0 recorded")
         .clone();
+    let ctx = MissionContext::icares();
     let mut g = c.benchmark_group("streaming");
     g.sample_size(10);
     let records = (log.scans.len() + log.audio.len() + log.imu.len()) as u64;
     g.throughput(Throughput::Elements(records));
     g.bench_function("ingest one badge-day (live events)", |b| {
         b.iter(|| {
-            let mut sa = StreamingAnalyzer::icares();
+            let mut sa = StreamingAnalyzer::with_context(ctx.clone());
             for s in &log.sync {
                 sa.ingest_sync(log.badge, s);
             }
@@ -150,6 +165,7 @@ criterion_group!(
     benches,
     bench_pipeline_stages,
     bench_full_day,
+    bench_mission_engine,
     bench_recording,
     bench_hits,
     bench_streaming

@@ -1,0 +1,85 @@
+//! Bench smoke: one fast, scriptable measurement of the staged engine.
+//!
+//! Records mission day 3 once, runs it through the engine sequentially and
+//! with every available core, checks the two analyses are bit-identical, and
+//! writes per-stage timings plus the measured speedup to `BENCH_pipeline.json`
+//! (or the path given as the first argument). `scripts/tier1.sh` runs this as
+//! its final step so every green build leaves a timing artifact behind.
+//!
+//! ```text
+//! cargo run --release -p ares-bench --bin bench_smoke [out.json]
+//! ```
+
+use ares_icares::MissionRunner;
+use ares_sociometrics::engine::{MissionEngine, Stage};
+use ares_sociometrics::report::engine_section;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const DAY: u32 = 3;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let runner = MissionRunner::icares();
+    eprintln!("recording mission day {DAY}…");
+    let (recording, _) = runner.run_day(DAY);
+    let ctx = runner.pipeline().context().clone();
+    let workers = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let sequential_engine = MissionEngine::with_workers(ctx.clone(), 1);
+    let t0 = Instant::now();
+    let sequential = sequential_engine.analyze_day(DAY, &recording.logs);
+    let seq_wall_s = t0.elapsed().as_secs_f64();
+    let metrics = sequential_engine.metrics();
+
+    let parallel_engine = MissionEngine::with_workers(ctx, workers);
+    let t0 = Instant::now();
+    let parallel = parallel_engine.analyze_day(DAY, &recording.logs);
+    let par_wall_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        parallel, sequential,
+        "determinism violated: parallel day differs from sequential"
+    );
+    let speedup = if par_wall_s > 0.0 {
+        seq_wall_s / par_wall_s
+    } else {
+        0.0
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"day\": {DAY},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"sequential_wall_s\": {seq_wall_s:.6},");
+    let _ = writeln!(json, "  \"parallel_wall_s\": {par_wall_s:.6},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
+    let _ = writeln!(json, "  \"deterministic\": true,");
+    json.push_str("  \"stages\": {\n");
+    for (i, stage) in Stage::ALL.into_iter().enumerate() {
+        let m = metrics.get(stage);
+        let comma = if i + 1 < Stage::ALL.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"calls\": {}, \"records_in\": {}, \"items_out\": {}, \
+             \"wall_s\": {:.6}, \"records_per_s\": {:.1}}}{comma}",
+            stage.label(),
+            m.calls,
+            m.records_in,
+            m.items_out,
+            m.wall_s,
+            m.records_per_s(),
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench artifact");
+
+    println!("{}", engine_section(&metrics));
+    println!(
+        "day {DAY}: sequential {seq_wall_s:.2} s, parallel {par_wall_s:.2} s \
+         @{workers} worker(s) → speedup {speedup:.2}×"
+    );
+    println!("wrote {out_path}");
+}

@@ -20,10 +20,10 @@ fn main() {
     let seed = match std::env::args().nth(1) {
         None => 0x1CA7E5,
         Some(s) => {
-            let parsed = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).map_or_else(
-                || s.parse::<u64>(),
-                |hex| u64::from_str_radix(hex, 16),
-            );
+            let parsed = s
+                .strip_prefix("0x")
+                .or_else(|| s.strip_prefix("0X"))
+                .map_or_else(|| s.parse::<u64>(), |hex| u64::from_str_radix(hex, 16));
             match parsed {
                 Ok(v) => v,
                 Err(_) => {
@@ -58,7 +58,11 @@ fn main() {
             report.telemetry.duplicates,
             report.max_replay_gap.as_secs_f64() / 60.0,
         );
-        let _ = writeln!(artifact, "## intensity {intensity:.2}\n\n{}", report.render());
+        let _ = writeln!(
+            artifact,
+            "## intensity {intensity:.2}\n\n{}",
+            report.render()
+        );
         // The robustness contract, enforced at every intensity: the tier
         // serves, and the reliable channel never permanently loses a digest.
         assert!(
@@ -67,7 +71,8 @@ fn main() {
             report.render()
         );
         assert_eq!(
-            report.telemetry.pending, 0,
+            report.telemetry.pending,
+            0,
             "undelivered telemetry at intensity {intensity}:\n{}",
             report.render()
         );

@@ -19,16 +19,40 @@ fn main() {
     let table1 = ares_sociometrics::report::table_one(&mission);
     let stats = figures::stats_report(&mission);
 
-    println!("==================== Fig. 2 ====================\n{}", fig2.render());
-    println!("==================== Fig. 3 ====================\n{}", fig3.ascii);
+    println!(
+        "==================== Fig. 2 ====================\n{}",
+        fig2.render()
+    );
+    println!(
+        "==================== Fig. 3 ====================\n{}",
+        fig3.ascii
+    );
     for a in AstronautId::ALL {
-        println!("  {a}: mean centre distance {:.2} m", fig3.center_distance_m[a.index()]);
+        println!(
+            "  {a}: mean centre distance {:.2} m",
+            fig3.center_distance_m[a.index()]
+        );
     }
-    println!("\n==================== Fig. 4 ====================\n{}", fig4.render());
-    println!("==================== Fig. 5 ====================\n{}", fig5.render());
-    println!("==================== Fig. 6 ====================\n{}", fig6.render());
-    println!("==================== Table I ===================\n{}", table1.render());
-    println!("==================== Stats =====================\n{}", stats.render());
+    println!(
+        "\n==================== Fig. 4 ====================\n{}",
+        fig4.render()
+    );
+    println!(
+        "==================== Fig. 5 ====================\n{}",
+        fig5.render()
+    );
+    println!(
+        "==================== Fig. 6 ====================\n{}",
+        fig6.render()
+    );
+    println!(
+        "==================== Table I ===================\n{}",
+        table1.render()
+    );
+    println!(
+        "==================== Stats =====================\n{}",
+        stats.render()
+    );
 
     let artifacts = calibration::Artifacts {
         fig2: &fig2,
@@ -49,7 +73,10 @@ fn main() {
         &ares_simkit::rng::SeedTree::new(0x1CA7E5),
     );
     let check = ares_sociometrics::validation::cross_check(&mission, &surveys);
-    println!("==================== Survey cross-check ====================\n{}", check.render());
+    println!(
+        "==================== Survey cross-check ====================\n{}",
+        check.render()
+    );
     claims.push(calibration::ClaimCheck {
         id: "SURVEY-1".into(),
         paper: "survey answers allowed us to interpret and verify the sensor findings".into(),
@@ -103,7 +130,11 @@ fn main() {
     println!("==================== Claims ====================");
     println!("{}", calibration::render_claims_markdown(&claims));
     let passed = claims.iter().filter(|c| c.pass).count();
-    println!("{passed}/{} shape checks hold; wall time {:?}", claims.len(), t0.elapsed());
+    println!(
+        "{passed}/{} shape checks hold; wall time {:?}",
+        claims.len(),
+        t0.elapsed()
+    );
     if passed < claims.len() {
         std::process::exit(1);
     }

@@ -11,20 +11,34 @@ fn main() {
     let mut fig4 = vec![];
     let mut fig6 = vec![];
     let mission = runner.run_days(2, 14, |day| {
-        let w: Vec<String> = AstronautId::ALL.iter().map(|a| {
-            day.daily[a.index()].map(|d| format!("{:.3}", d.walking_fraction)).unwrap_or("  -  ".into())
-        }).collect();
-        let h: Vec<String> = AstronautId::ALL.iter().map(|a| {
-            day.daily[a.index()].map(|d| format!("{:.2}", d.heard_fraction)).unwrap_or(" - ".into())
-        }).collect();
+        let w: Vec<String> = AstronautId::ALL
+            .iter()
+            .map(|a| {
+                day.daily[a.index()]
+                    .map(|d| format!("{:.3}", d.walking_fraction))
+                    .unwrap_or("  -  ".into())
+            })
+            .collect();
+        let h: Vec<String> = AstronautId::ALL
+            .iter()
+            .map(|a| {
+                day.daily[a.index()]
+                    .map(|d| format!("{:.2}", d.heard_fraction))
+                    .unwrap_or(" - ".into())
+            })
+            .collect();
         fig4.push(format!("day {:2} walk {}", day.day, w.join(" ")));
         fig6.push(format!("day {:2} heard {}", day.day, h.join(" ")));
         eprintln!("day {} done ({:?})", day.day, t0.elapsed());
     });
     println!("=== fig4 (walking fraction per day A..F) ===");
-    for l in &fig4 { println!("{l}"); }
+    for l in &fig4 {
+        println!("{l}");
+    }
     println!("=== fig6 (heard speech fraction per day A..F) ===");
-    for l in &fig6 { println!("{l}"); }
+    for l in &fig6 {
+        println!("{l}");
+    }
     println!("=== table 1 ===");
     println!("{}", report::table_one(&mission).render());
     println!("=== headline ===");
@@ -32,29 +46,55 @@ fn main() {
     println!("=== passages ===");
     let hottest = mission.passages.hottest();
     println!("total {} hottest {:?}", mission.passages.total(), hottest);
-    for from in [RoomId::Office, RoomId::Workshop, RoomId::Biolab, RoomId::Storage] {
-        println!("{from}->kitchen {}  kitchen->{from} {}", mission.passages.count(from, RoomId::Kitchen), mission.passages.count(RoomId::Kitchen, from));
+    for from in [
+        RoomId::Office,
+        RoomId::Workshop,
+        RoomId::Biolab,
+        RoomId::Storage,
+    ] {
+        println!(
+            "{from}->kitchen {}  kitchen->{from} {}",
+            mission.passages.count(from, RoomId::Kitchen),
+            mission.passages.count(RoomId::Kitchen, from)
+        );
     }
     println!("=== stays / sessions ===");
-    use ares_sociometrics::occupancy::median_session_hours;
     use ares_simkit::time::SimDuration;
+    use ares_sociometrics::occupancy::median_session_hours;
     for r in [RoomId::Biolab, RoomId::Office, RoomId::Workshop] {
-        println!("{r}: median stay {:.2} h, session {:.2} h (n={})",
+        println!(
+            "{r}: median stay {:.2} h, session {:.2} h (n={})",
             mission.stay_stats.median_stay_hours(r, 0.5),
             median_session_hours(&mission.stays_per_day, r, SimDuration::from_mins(12), 0.5),
-            mission.stay_stats.stay_count(r));
+            mission.stay_stats.stay_count(r)
+        );
     }
     println!("=== pairs ===");
     use AstronautId as Id;
-    println!("A-F private {:.1} h all {:.1} h", mission.ledger.private_hours(Id::A, Id::F), mission.ledger.all_hours(Id::A, Id::F));
-    println!("D-E private {:.1} h all {:.1} h", mission.ledger.private_hours(Id::D, Id::E), mission.ledger.all_hours(Id::D, Id::E));
+    println!(
+        "A-F private {:.1} h all {:.1} h",
+        mission.ledger.private_hours(Id::A, Id::F),
+        mission.ledger.all_hours(Id::A, Id::F)
+    );
+    println!(
+        "D-E private {:.1} h all {:.1} h",
+        mission.ledger.private_hours(Id::D, Id::E),
+        mission.ledger.all_hours(Id::D, Id::E)
+    );
     println!("=== swaps === {:?}", mission.swaps);
-    println!("=== bytes === {:.1} GiB", mission.bytes_recorded as f64 / (1u64<<30) as f64);
+    println!(
+        "=== bytes === {:.1} GiB",
+        mission.bytes_recorded as f64 / (1u64 << 30) as f64
+    );
     println!("=== heatmap centre-hugging (mean distance to own room centre) ===");
     let plan = ares_habitat::floorplan::FloorPlan::lunares();
     for a in AstronautId::ALL {
         let hm = &mission.heatmaps[a.index()];
-        println!("{a}: {:.2} m (total {:.0} s)", hm.mean_center_distance(&plan), hm.total_seconds());
+        println!(
+            "{a}: {:.2} m (total {:.0} s)",
+            hm.mean_center_distance(&plan),
+            hm.total_seconds()
+        );
     }
     println!("=== company hours (accompanied) ===");
     for a in AstronautId::ALL {

@@ -77,7 +77,5 @@ fn main() {
             }
         );
     }
-    println!(
-        "\noverall: {overall_pass}/{overall_total} claim evaluations held across seeds"
-    );
+    println!("\noverall: {overall_pass}/{overall_total} claim evaluations held across seeds");
 }

@@ -24,5 +24,8 @@ fn main() {
         &ares_simkit::rng::SeedTree::new(0x1CA7E5),
     );
     println!("\nsensor ↔ survey cross-check:");
-    println!("{}", ares_sociometrics::validation::cross_check(&mission, &surveys).render());
+    println!(
+        "{}",
+        ares_sociometrics::validation::cross_check(&mission, &surveys).render()
+    );
 }

@@ -10,7 +10,11 @@ fn main() {
         let f = |v: &Option<f64>| v.map_or("n/a".into(), |x| format!("{x:.2}"));
         println!(
             "{}   {:>7}  {:>9}  {:>7.2}  {:>7.2}",
-            ["A", "B", "C", "D", "E", "F"][i], f(c), f(au), ta, wa
+            ["A", "B", "C", "D", "E", "F"][i],
+            f(c),
+            f(au),
+            ta,
+            wa
         );
     }
 }

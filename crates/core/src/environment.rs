@@ -14,7 +14,7 @@
 
 use crate::localization::PositionTrack;
 use crate::sync::SyncCorrection;
-use ares_badge::records::BadgeLog;
+use ares_badge::records::{BadgeLog, EnvSample};
 use ares_habitat::rooms::{RoomId, RoomTable};
 use ares_simkit::stats::Running;
 use ares_simkit::time::{SimDuration, SimTime};
@@ -93,7 +93,7 @@ pub struct LightsOn {
 /// below `low` — robust to flicker at the threshold.
 #[must_use]
 pub fn detect_lights_on(
-    log: &BadgeLog,
+    env: &[EnvSample],
     corr: &SyncCorrection,
     low: f64,
     high: f64,
@@ -101,7 +101,7 @@ pub fn detect_lights_on(
     let mut out = Vec::new();
     let mut armed = false;
     let mut initialized = false;
-    for s in &log.env {
+    for s in env {
         if !initialized {
             armed = s.light_lux < low;
             initialized = true;
@@ -173,7 +173,11 @@ mod tests {
         let end = SimTime::EPOCH + SimDuration::from_days(i64::from(days));
         while t < end {
             let phase = ((t - SimTime::EPOCH) % day_length) / day_length;
-            let lux = if (0.29..0.875).contains(&phase) { 420.0 } else { 8.0 };
+            let lux = if (0.29..0.875).contains(&phase) {
+                420.0
+            } else {
+                8.0
+            };
             log.env.push(EnvSample {
                 t_local: t,
                 temperature_c: 21.0,
@@ -188,7 +192,7 @@ mod tests {
     #[test]
     fn detects_one_transition_per_cycle() {
         let log = log_with_light_cycle(10, SOL);
-        let tr = detect_lights_on(&log, &SyncCorrection::identity(), 50.0, 100.0);
+        let tr = detect_lights_on(&log.env, &SyncCorrection::identity(), 50.0, 100.0);
         // 10 terrestrial days ≈ 9.7 sols → 9 or 10 mornings.
         assert!((9..=10).contains(&tr.len()), "{} transitions", tr.len());
     }
@@ -196,7 +200,7 @@ mod tests {
     #[test]
     fn recovers_the_martian_sol() {
         let log = log_with_light_cycle(14, SOL);
-        let tr = detect_lights_on(&log, &SyncCorrection::identity(), 50.0, 100.0);
+        let tr = detect_lights_on(&log.env, &SyncCorrection::identity(), 50.0, 100.0);
         let est = estimate_day_length(&tr).expect("enough mornings");
         let err = (est.day_length - SOL).abs();
         assert!(
@@ -213,7 +217,7 @@ mod tests {
     #[test]
     fn terrestrial_lighting_shows_no_shift() {
         let log = log_with_light_cycle(10, SimDuration::from_hours(24));
-        let tr = detect_lights_on(&log, &SyncCorrection::identity(), 50.0, 100.0);
+        let tr = detect_lights_on(&log.env, &SyncCorrection::identity(), 50.0, 100.0);
         let est = estimate_day_length(&tr).expect("enough mornings");
         assert!(est.daily_shift.abs() < SimDuration::from_mins(2));
     }
@@ -231,7 +235,7 @@ mod tests {
                 light_lux: lux,
             });
         }
-        let tr = detect_lights_on(&log, &SyncCorrection::identity(), 50.0, 100.0);
+        let tr = detect_lights_on(&log.env, &SyncCorrection::identity(), 50.0, 100.0);
         // One transition at the 110 reading, one after the 8.0 dip.
         assert_eq!(tr.len(), 2, "{tr:?}");
     }
@@ -257,7 +261,11 @@ mod tests {
             };
             track.fixes.push(
                 SimTime::from_secs(i * 60),
-                Fix { room, position: Point2::ORIGIN, hits: 3 },
+                Fix {
+                    room,
+                    position: Point2::ORIGIN,
+                    hits: 3,
+                },
             );
             log.env.push(EnvSample {
                 t_local: SimTime::from_secs(i * 60),

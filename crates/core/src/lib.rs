@@ -23,9 +23,13 @@
 //! * [`anomaly`] — badge-swap detection and identity repair.
 //! * [`environment`] — room-climate recovery and the artificial-day-length
 //!   estimator (the habitat ran on Martian time).
-//! * [`pipeline`] — the day-by-day orchestration.
+//! * [`engine`] — the staged mission engine: the shared [`engine::MissionContext`],
+//!   the per-badge-day stage kernels, per-stage metrics, and the
+//!   deterministic parallel executor.
+//! * [`pipeline`] — the day-by-day orchestration (a façade over [`engine`]).
 //! * [`streaming`] — the bounded-memory real-time analyzer (the mission
-//!   support system's substrate; Section VI).
+//!   support system's substrate; Section VI), built on the same stage
+//!   kernels as the batch path.
 //! * [`report`] — Table I and the headline statistics.
 //! * [`validation`] — cross-checking sensor findings against the classic
 //!   evening surveys.
@@ -40,7 +44,7 @@
 //! // For each day: feed the badge logs recorded that day.
 //! # let day_logs: Vec<ares_badge::records::BadgeLog> = Vec::new();
 //! let day = pipeline.analyze_day(2, &day_logs);
-//! mission.absorb(&day);
+//! mission.absorb(day);
 //! let table = ares_sociometrics::report::table_one(&mission);
 //! println!("{}", table.render());
 //! ```
@@ -50,6 +54,7 @@
 
 pub mod activity;
 pub mod anomaly;
+pub mod engine;
 pub mod environment;
 pub mod localization;
 pub mod meetings;
@@ -68,7 +73,8 @@ pub mod wear;
 pub mod prelude {
     pub use crate::activity::{ActivityParams, ActivityTrack};
     pub use crate::anomaly::{Identification, IdentityParams};
-    pub use crate::localization::{Fix, Heatmap, LocalizationParams, PositionTrack};
+    pub use crate::engine::{EngineMetrics, MissionContext, MissionEngine, Stage, StageMetrics};
+    pub use crate::localization::{Fix, Heatmap, LocalizationParams, PositionTrack, ScanSmoother};
     pub use crate::meetings::{MeetingObs, MeetingParams};
     pub use crate::occupancy::{PassageMatrix, Stay, StayStats};
     pub use crate::pipeline::{DayAnalysis, MissionAnalysis, Pipeline, PipelineParams};

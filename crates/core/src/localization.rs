@@ -189,6 +189,72 @@ pub fn estimate_position(
     poly.clamp_inside(est)
 }
 
+/// The rolling same-room scan window — the smoothing stage kernel shared by
+/// the batch localizer and the streaming analyzer.
+///
+/// Recent scans classified to the same room are retained (a room change
+/// flushes the window) and their RSSI is averaged per beacon before ranging,
+/// shrinking log-normal shadowing by √window.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScanSmoother {
+    window: std::collections::VecDeque<BeaconScan>,
+    room: Option<RoomId>,
+}
+
+impl ScanSmoother {
+    /// An empty smoother.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one scan: classifies its room, flushes the window on a room
+    /// change, caps it at the smoothing depth, and returns the room —
+    /// `None` when the scan heard no classifiable beacon (the scan is then
+    /// ignored, exactly as in the batch path).
+    pub fn push(
+        &mut self,
+        scan: &BeaconScan,
+        beacons: &BeaconDeployment,
+        params: &LocalizationParams,
+    ) -> Option<RoomId> {
+        let room = classify_room(scan, beacons)?;
+        if self.room.is_some_and(|r| r != room) {
+            self.window.clear();
+        }
+        self.room = Some(room);
+        self.window.push_back(scan.clone());
+        while self.window.len() > params.smoothing_window.max(1) {
+            self.window.pop_front();
+        }
+        Some(room)
+    }
+
+    /// The RSSI-averaged merge of the current window.
+    #[must_use]
+    pub fn merged(&self) -> BeaconScan {
+        merge_scans(&self.window.iter().collect::<Vec<_>>())
+    }
+
+    /// The room of the most recent classified scan.
+    #[must_use]
+    pub fn room(&self) -> Option<RoomId> {
+        self.room
+    }
+
+    /// Scans currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
 /// Localizes a whole badge log onto reference time.
 #[must_use]
 pub fn localize(
@@ -200,23 +266,12 @@ pub fn localize(
 ) -> PositionTrack {
     let mut track = PositionTrack::default();
     let mut last_t = None;
-    let mut window: std::collections::VecDeque<(&BeaconScan, RoomId)> =
-        std::collections::VecDeque::new();
+    let mut smoother = ScanSmoother::new();
     for scan in &log.scans {
-        let Some(room) = classify_room(scan, beacons) else {
+        let Some(room) = smoother.push(scan, beacons, params) else {
             continue;
         };
-        // Maintain the smoothing window: recent scans classified to the same
-        // room (a room change flushes it).
-        if window.back().is_some_and(|&(_, r)| r != room) {
-            window.clear();
-        }
-        window.push_back((scan, room));
-        while window.len() > params.smoothing_window.max(1) {
-            window.pop_front();
-        }
-        let merged = merge_scans(&window.iter().map(|&(s, _)| s).collect::<Vec<_>>());
-        let position = estimate_position(&merged, room, beacons, plan, params);
+        let position = estimate_position(&smoother.merged(), room, beacons, plan, params);
         let t = corr.to_reference(scan.t_local);
         // Guard against pathological correction foldbacks.
         if last_t.is_some_and(|lt| t < lt) {
@@ -398,8 +453,8 @@ mod tests {
         let mut total_err = 0.0;
         let mut n = 0;
         for room in [RoomId::Biolab, RoomId::Kitchen, RoomId::Office] {
-            let truth_pos = world.plan.room_center(room)
-                + ares_simkit::geometry::Vec2::new(0.7, -0.6);
+            let truth_pos =
+                world.plan.room_center(room) + ares_simkit::geometry::Vec2::new(0.7, -0.6);
             for i in 0..100 {
                 let scan = scanner::scan(&world, truth_pos, SimTime::from_secs(i), &mut rng);
                 let Some(r) = classify_room(&scan, &world.beacons) else {

@@ -137,7 +137,11 @@ pub fn detect_meetings(
         }
     }
     for (room, (start, group)) in open {
-        segments.push((room, Interval::new(start, start + SimDuration::from_secs(1)), group));
+        segments.push((
+            room,
+            Interval::new(start, start + SimDuration::from_secs(1)),
+            group,
+        ));
     }
 
     // Merge adjacent segments with overlapping groups into meetings (people
@@ -169,8 +173,7 @@ pub fn detect_meetings(
         .map(|(room, interval, group)| {
             let participants: Vec<AstronautId> =
                 group.iter().map(|&i| AstronautId::ALL[i]).collect();
-            let (speech_fraction, mean_level_db) =
-                meeting_dynamics(&group, speech, interval);
+            let (speech_fraction, mean_level_db) = meeting_dynamics(&group, speech, interval);
             let planned = is_scheduled_group(room, interval, schedule);
             MeetingObs {
                 room,
@@ -244,7 +247,9 @@ fn is_scheduled_group(room: RoomId, interval: Interval, _schedule: &Schedule) ->
         };
         if group_room == room {
             // Require a substantial overlap, not a brief graze.
-            let ov = slot_iv.intersect(&interval).map_or(SimDuration::ZERO, |iv| iv.duration());
+            let ov = slot_iv
+                .intersect(&interval)
+                .map_or(SimDuration::ZERO, |iv| iv.duration());
             if ov >= SimDuration::from_mins(5) {
                 return true;
             }

@@ -88,13 +88,11 @@ pub fn segment_stays(track: &PositionTrack, max_gap: SimDuration) -> Vec<Stay> {
 }
 
 /// The Fig. 2 passage matrix over the eight peripheral rooms.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct PassageMatrix {
     /// `counts[from][to]` over [`RoomId::FIG2`] indices.
     counts: [[u32; 8]; 8],
 }
-
 
 impl PassageMatrix {
     /// An empty matrix.
@@ -250,11 +248,7 @@ pub fn sessions(stays: &[Stay], gap: SimDuration) -> Vec<Stay> {
 /// the majority of stays at the office and the workshop lasted twice as
 /// much" — daily sojourn lengths, robust to brief hydration dashes.
 #[must_use]
-pub fn median_daily_room_hours(
-    stays_per_day: &[Vec<Stay>],
-    room: RoomId,
-    min_hours: f64,
-) -> f64 {
+pub fn median_daily_room_hours(stays_per_day: &[Vec<Stay>], room: RoomId, min_hours: f64) -> f64 {
     let mut totals = Vec::new();
     for day_stays in stays_per_day {
         let h: f64 = day_stays
@@ -302,9 +296,9 @@ pub fn presence_intervals(stays: &[Stay]) -> Vec<(RoomId, Interval)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ares_simkit::time::SimTime;
     use crate::localization::{Fix, PositionTrack};
     use ares_simkit::geometry::Point2;
+    use ares_simkit::time::SimTime;
 
     fn track_from(rooms: &[(i64, i64, RoomId)]) -> PositionTrack {
         let mut track = PositionTrack::default();

@@ -10,22 +10,27 @@
 //! mission schedule, and the nominal badge-assignment sheet. It never touches
 //! the simulation ground truth — the integration tests hold it accountable
 //! against that truth instead.
+//!
+//! The actual staged analysis lives in [`crate::engine`]: [`Pipeline`] is a
+//! thin façade over a [`MissionContext`] and the shared stage kernels, so
+//! the batch path, the parallel [`crate::engine::MissionEngine`] and the
+//! streaming analyzer all run the *same* code.
 
-use crate::activity::{self, ActivityParams, ActivityTrack};
-use crate::anomaly::{self, Identification, IdentityParams};
-use crate::localization::{self, Heatmap, LocalizationParams, PositionTrack};
-use crate::meetings::{self, MeetingObs, MeetingParams};
-use crate::occupancy::{self, PassageMatrix, Stay, StayStats};
+use crate::activity::{ActivityParams, ActivityTrack};
+use crate::anomaly::{Identification, IdentityParams};
+use crate::engine::{self, EngineMetrics, MissionContext};
+use crate::localization::{Heatmap, LocalizationParams, PositionTrack};
+use crate::meetings::{MeetingObs, MeetingParams};
+use crate::occupancy::{PassageMatrix, Stay, StayStats};
 use crate::social::{CompanyMatrix, PairwiseLedger};
-use crate::speech::{self, SpeechParams, SpeechTrack};
+use crate::speech::{SpeechParams, SpeechTrack};
 use crate::sync::SyncCorrection;
-use crate::wear::{self, WearParams, WearTrack};
+use crate::wear::{WearParams, WearTrack};
 use ares_badge::records::{BadgeId, BadgeLog};
 use ares_crew::roster::AstronautId;
 use ares_crew::schedule::Schedule;
 use ares_habitat::beacons::BeaconDeployment;
 use ares_habitat::floorplan::FloorPlan;
-use ares_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// All tunables of the pipeline.
@@ -114,13 +119,11 @@ pub struct DayAnalysis {
     pub reference_env: Vec<ares_badge::records::EnvSample>,
 }
 
-/// The pipeline: deployment metadata plus parameters.
+/// The pipeline: a façade over the shared [`MissionContext`] and the
+/// engine's stage kernels.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
-    plan: FloorPlan,
-    beacons: BeaconDeployment,
-    schedule: Schedule,
-    params: PipelineParams,
+    ctx: MissionContext,
 }
 
 impl Pipeline {
@@ -133,278 +136,69 @@ impl Pipeline {
         params: PipelineParams,
     ) -> Self {
         Pipeline {
-            plan,
-            beacons,
-            schedule,
-            params,
+            ctx: MissionContext::new(plan, beacons, schedule, params),
         }
+    }
+
+    /// Wraps an already-built context.
+    #[must_use]
+    pub fn from_context(ctx: MissionContext) -> Self {
+        Pipeline { ctx }
     }
 
     /// The canonical ICAres-1 pipeline with default parameters.
     #[must_use]
     pub fn icares() -> Self {
-        let plan = FloorPlan::lunares();
-        let beacons = BeaconDeployment::icares(&plan);
-        Pipeline::new(plan, beacons, Schedule::icares(), PipelineParams::default())
+        Pipeline::from_context(MissionContext::icares())
+    }
+
+    /// The shared mission context.
+    #[must_use]
+    pub fn context(&self) -> &MissionContext {
+        &self.ctx
     }
 
     /// The parameters in use.
     #[must_use]
     pub fn params(&self) -> &PipelineParams {
-        &self.params
+        &self.ctx.params
     }
 
     /// Mutable access for ablation sweeps.
     pub fn params_mut(&mut self) -> &mut PipelineParams {
-        &mut self.params
+        &mut self.ctx.params
     }
 
     /// The floor plan (for heatmap construction).
     #[must_use]
     pub fn plan(&self) -> &FloorPlan {
-        &self.plan
+        &self.ctx.plan
     }
 
     /// The nominal owner of a badge unit per the assignment sheet.
     #[must_use]
     pub fn nominal_owner(badge: BadgeId) -> Option<AstronautId> {
-        (badge.0 < 6).then(|| AstronautId::ALL[badge.0 as usize])
+        MissionContext::nominal_owner(badge)
     }
 
-    /// Analyzes one day of badge logs.
+    /// Analyzes one day of badge logs (sequentially, metrics discarded).
+    /// Use [`crate::engine::MissionEngine`] for the parallel path or
+    /// [`Self::analyze_day_metered`] to keep the stage metrics.
     #[must_use]
     pub fn analyze_day(&self, day: u32, logs: &[BadgeLog]) -> DayAnalysis {
-        let day_start = SimTime::from_day_hms(day, 7, 0, 0);
-        let day_end = SimTime::from_day_hms(day, 21, 0, 0);
-
-        // Per-badge passes.
-        let mut badges: Vec<BadgeDay> = Vec::new();
-        for log in logs {
-            if log.badge == BadgeId::REFERENCE {
-                continue;
-            }
-            let corr = SyncCorrection::fit(&log.sync);
-            let track = localization::localize(
-                log,
-                &corr,
-                &self.beacons,
-                &self.plan,
-                &self.params.localization,
-            );
-            let wear_track = wear::detect_wear(log, &corr, &self.params.wear);
-            let act = activity::detect_walking(log, &corr, &wear_track, &self.params.activity);
-            let sp = speech::analyze(log, &corr, &self.params.speech);
-            let stays = occupancy::segment_stays(&track, SimDuration::from_secs(5));
-            let identification = anomaly::identify_carrier(
-                &track,
-                day,
-                Self::nominal_owner(log.badge),
-                &self.schedule,
-                &self.params.identity,
-            );
-            badges.push(BadgeDay {
-                badge: log.badge,
-                corr,
-                track,
-                wear: wear_track,
-                activity: act,
-                speech: sp,
-                stays,
-                identification,
-            });
-        }
-
-        // Identity resolution: one badge per astronaut, best score wins.
-        let mut carrier_of: [Option<usize>; 6] = [None; 6];
-        let mut order: Vec<usize> = (0..badges.len()).collect();
-        order.sort_by(|&a, &b| {
-            badges[b]
-                .identification
-                .score
-                .partial_cmp(&badges[a].identification.score)
-                .expect("finite scores")
-        });
-        let mut swaps = Vec::new();
-        for idx in order {
-            let Some(who) = badges[idx].identification.carrier else {
-                continue;
-            };
-            if carrier_of[who.index()].is_none() {
-                carrier_of[who.index()] = Some(idx);
-                if badges[idx].identification.mismatch {
-                    if let Some(nominal) = Self::nominal_owner(badges[idx].badge) {
-                        swaps.push((badges[idx].badge, nominal, who));
-                    }
-                }
-            }
-        }
-
-        // Meetings & passages from resolved identities.
-        let mut stays_by_ast: [Vec<Stay>; 6] = Default::default();
-        let mut speech_by_ast: [Option<&SpeechTrack>; 6] = [None; 6];
-        for a in AstronautId::ALL {
-            if let Some(idx) = carrier_of[a.index()] {
-                stays_by_ast[a.index()] = badges[idx]
-                    .stays
-                    .iter()
-                    .copied()
-                    .filter(|s| {
-                        s.interval.end > day_start && s.interval.start < day_end
-                    })
-                    .collect();
-                speech_by_ast[a.index()] = Some(&badges[idx].speech);
-            }
-        }
-        let detected_meetings = meetings::detect_meetings(
-            &stays_by_ast,
-            &speech_by_ast,
-            &self.schedule,
-            &self.params.meetings,
-        );
-        let mut passages = PassageMatrix::new();
-        for sts in &stays_by_ast {
-            passages.accumulate(sts);
-        }
-
-        // Daily aggregates.
-        let mut daily: [Option<AstronautDaily>; 6] = [None; 6];
-        for a in AstronautId::ALL {
-            let Some(idx) = carrier_of[a.index()] else {
-                continue;
-            };
-            let b = &badges[idx];
-            let worn = b.wear.worn.clip(day_start, day_end).total_duration();
-            let walking = b.activity.walking.clip(day_start, day_end).total_duration();
-            daily[a.index()] = Some(AstronautDaily {
-                walking_fraction: activity::walking_fraction(
-                    &b.activity,
-                    &b.wear,
-                    day_start,
-                    day_end,
-                ),
-                heard_fraction: speech::heard_fraction(&b.speech, day_start, day_end),
-                worn_fraction: wear::worn_fraction(&b.wear, day_start, day_end),
-                active_fraction: wear::active_fraction(&b.wear, day_start, day_end),
-                self_talk_h: speech::self_talk_duration(&b.speech, day_start, day_end)
-                    .as_hours_f64(),
-                worn_h: worn.as_hours_f64(),
-                walking_h: walking.as_hours_f64(),
-                mean_accel_var: b.activity.mean_accel_var,
-            });
-        }
-
-        let private_pairs = private_conversations(logs, &badges, &carrier_of, &speech_by_ast);
-
-        // Room climate: join every carried badge's env stream with its track.
-        let mut climate_sums = [(0.0f64, 0u64); 10];
-        for log in logs {
-            let Some(bd) = badges.iter().find(|b| b.badge == log.badge) else {
-                continue;
-            };
-            for s in &log.env {
-                let t = bd.corr.to_reference(s.t_local);
-                if let Some(fix) = bd.track.at(t) {
-                    let slot = &mut climate_sums[fix.room.index()];
-                    slot.0 += s.temperature_c;
-                    slot.1 += 1;
-                }
-            }
-        }
-        let reference_env = logs
-            .iter()
-            .find(|l| l.badge == BadgeId::REFERENCE)
-            .map(|l| l.env.clone())
-            .unwrap_or_default();
-
-        DayAnalysis {
-            day,
-            badges,
-            carrier_of,
-            meetings: detected_meetings,
-            passages,
-            daily,
-            swaps,
-            private_pairs,
-            climate_sums,
-            reference_env,
-        }
+        engine::analyze_day(&self.ctx, day, logs, &mut EngineMetrics::new())
     }
-}
 
-/// Private-conversation mining: "the infrared transceiver … enables assessing
-/// whether two badges are truly close and face each other, so that it is
-/// likely that their bearers may be having a conversation."
-///
-/// A minute counts as private conversation for a pair when (a) their badges
-/// exchanged IR contacts in that minute, (b) neither badge saw a third badge
-/// over IR, and (c) at least one of the pair's badges heard speech.
-fn private_conversations(
-    logs: &[BadgeLog],
-    badges: &[BadgeDay],
-    carrier_of: &[Option<usize>; 6],
-    speech_by_ast: &[Option<&SpeechTrack>; 6],
-) -> Vec<(AstronautId, AstronautId, f64)> {
-    use std::collections::{BTreeMap, BTreeSet};
-    // Badge unit → resolved astronaut.
-    let mut who: BTreeMap<BadgeId, usize> = BTreeMap::new();
-    for (ai, slot) in carrier_of.iter().enumerate() {
-        if let Some(idx) = slot {
-            who.insert(badges[*idx].badge, ai);
-        }
+    /// Analyzes one day of badge logs, accumulating per-stage metrics.
+    #[must_use]
+    pub fn analyze_day_metered(
+        &self,
+        day: u32,
+        logs: &[BadgeLog],
+        metrics: &mut EngineMetrics,
+    ) -> DayAnalysis {
+        engine::analyze_day(&self.ctx, day, logs, metrics)
     }
-    let minute = SimDuration::from_secs(60);
-    // (astronaut, minute-index) → set of IR partners.
-    let mut partners: BTreeMap<(usize, i64), BTreeSet<usize>> = BTreeMap::new();
-    for log in logs {
-        let Some(&me) = who.get(&log.badge) else {
-            continue;
-        };
-        let Some(bd) = badges.iter().find(|b| b.badge == log.badge) else {
-            continue;
-        };
-        for c in &log.ir {
-            let Some(&other) = who.get(&c.other) else {
-                continue;
-            };
-            let t = bd.corr.to_reference(c.t_local);
-            let w = t.as_micros().div_euclid(minute.as_micros());
-            partners.entry((me, w)).or_default().insert(other);
-        }
-    }
-    let mut hours: BTreeMap<(usize, usize), f64> = BTreeMap::new();
-    for (&(me, w), set) in &partners {
-        if set.len() != 1 {
-            continue; // a third party was in view — not private
-        }
-        let other = *set.iter().next().expect("len checked");
-        if me >= other {
-            continue; // count each pair-minute once, from the lower index
-        }
-        // The partner must also see only `me` in this minute (if it saw
-        // anyone at all).
-        if partners
-            .get(&(other, w))
-            .is_some_and(|s| s.len() > 1 || !s.contains(&me))
-        {
-            continue;
-        }
-        // Speech evidence from either badge.
-        let mid = SimTime::from_micros(w * minute.as_micros() + minute.as_micros() / 2);
-        let talked = [me, other].iter().any(|&i| {
-            speech_by_ast[i].is_some_and(|tr| {
-                tr.heard.contains(mid)
-                    || tr.heard.contains(mid - SimDuration::from_secs(20))
-                    || tr.heard.contains(mid + SimDuration::from_secs(20))
-            })
-        });
-        if talked {
-            *hours.entry((me, other)).or_insert(0.0) += 1.0 / 60.0;
-        }
-    }
-    hours
-        .into_iter()
-        .map(|((x, y), h)| (AstronautId::ALL[x], AstronautId::ALL[y], h))
-        .collect()
 }
 
 /// Mission-level accumulator over day analyses.
@@ -460,8 +254,10 @@ impl MissionAnalysis {
         }
     }
 
-    /// Folds one day's analysis into the mission aggregates.
-    pub fn absorb(&mut self, day: &DayAnalysis) {
+    /// Folds one day's analysis into the mission aggregates, taking
+    /// ownership so the hot per-day vectors (stays, meetings, the reference
+    /// environmental stream) are moved, not cloned.
+    pub fn absorb(&mut self, mut day: DayAnalysis) {
         self.passages.merge(&day.passages);
         for m in &day.meetings {
             self.company.accumulate(m);
@@ -473,13 +269,15 @@ impl MissionAnalysis {
         for &(x, y, h) in &day.private_pairs {
             self.ledger.add_private(x, y, h);
         }
-        self.meetings.extend(day.meetings.iter().cloned());
+        self.meetings.append(&mut day.meetings);
         for a in AstronautId::ALL {
             if let Some(idx) = day.carrier_of[a.index()] {
-                let b = &day.badges[idx];
+                // Each badge index resolves to at most one astronaut, so the
+                // take below never sees the same stays twice.
+                let b = &mut day.badges[idx];
                 self.stay_stats.accumulate(&b.stays);
                 self.heatmaps[a.index()].accumulate(&b.track);
-                self.stays_per_day.push(b.stays.clone());
+                self.stays_per_day.push(std::mem::take(&mut b.stays));
             }
         }
         while self.daily.len() < day.day as usize {
@@ -493,7 +291,7 @@ impl MissionAnalysis {
             self.climate_sums[i].0 += sum;
             self.climate_sums[i].1 += n;
         }
-        self.reference_env.extend(day.reference_env.iter().copied());
+        self.reference_env.append(&mut day.reference_env);
     }
 
     /// The warmest room by badge-measured mean temperature (≥30 samples).
@@ -512,10 +310,8 @@ impl MissionAnalysis {
     /// stream (the habitat "lived on particularly adjusted Martian time").
     #[must_use]
     pub fn day_length_estimate(&self) -> Option<crate::environment::DayLengthEstimate> {
-        let mut log = ares_badge::records::BadgeLog::new(BadgeId::REFERENCE);
-        log.env = self.reference_env.clone();
         let transitions = crate::environment::detect_lights_on(
-            &log,
+            &self.reference_env,
             &SyncCorrection::identity(),
             50.0,
             100.0,
@@ -580,7 +376,7 @@ mod tests {
         assert!(day.meetings.is_empty());
         assert_eq!(day.passages.total(), 0);
         let mut mission = MissionAnalysis::new(pipeline.plan());
-        mission.absorb(&day);
+        mission.absorb(day);
         assert_eq!(mission.daily.len(), 3);
         assert!(mission.daily[2].iter().all(Option::is_none));
     }

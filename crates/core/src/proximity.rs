@@ -176,13 +176,13 @@ mod tests {
 
     #[test]
     fn near_windows_accumulate_symmetrically() {
-        let a = log_with_obs(BadgeId(0), vec![(10, BadgeId(1), -50.0), (70, BadgeId(1), -52.0)]);
+        let a = log_with_obs(
+            BadgeId(0),
+            vec![(10, BadgeId(1), -50.0), (70, BadgeId(1), -52.0)],
+        );
         let b = log_with_obs(BadgeId(1), vec![(15, BadgeId(0), -51.0)]);
         let corr = SyncCorrection::identity();
-        let idx = ColocationIndex::build(
-            &[(&a, &corr), (&b, &corr)],
-            &ProximityParams::default(),
-        );
+        let idx = ColocationIndex::build(&[(&a, &corr), (&b, &corr)], &ProximityParams::default());
         // Windows 0 and 1 → 2 minutes.
         assert!((idx.pair_hours(BadgeId(0), BadgeId(1)) - 2.0 / 60.0).abs() < 1e-9);
         assert_eq!(
@@ -219,9 +219,7 @@ mod tests {
             speech_fraction: 0.5,
             mean_level_db: 60.0,
         };
-        let badge_of = |a: AstronautId| -> Option<BadgeId> {
-            Some(BadgeId(a.index() as u8))
-        };
+        let badge_of = |a: AstronautId| -> Option<BadgeId> { Some(BadgeId(a.index() as u8)) };
         let conf = confirm_meetings(&[meeting], &idx, &badge_of);
         // 10 minutes checked, the first 5 confirmed.
         assert_eq!(conf.checked, 10);

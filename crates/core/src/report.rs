@@ -1,5 +1,7 @@
-//! Mission reporting: the paper's Table I and the headline statistics.
+//! Mission reporting: the paper's Table I, the headline statistics, and the
+//! mission engine's per-stage workload section.
 
+use crate::engine::EngineMetrics;
 use crate::pipeline::MissionAnalysis;
 use crate::social::normalize_scores;
 use ares_crew::roster::AstronautId;
@@ -145,6 +147,17 @@ pub fn headline_stats(mission: &MissionAnalysis) -> HeadlineStats {
         early_worn_fraction: mean(&early),
         late_worn_fraction: mean(&late),
     }
+}
+
+/// Renders the engine's per-stage metrics as a mission-report section: the
+/// workload gauge behind "run the analyses as fast as the hardware allows".
+#[must_use]
+pub fn engine_section(metrics: &EngineMetrics) -> String {
+    format!(
+        "analysis engine workload\n{}total stage wall time: {:.3} s\n",
+        metrics.render(),
+        metrics.total_wall_s()
+    )
 }
 
 #[cfg(test)]

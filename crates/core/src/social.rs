@@ -164,10 +164,7 @@ impl PairwiseLedger {
 /// Normalizes a per-astronaut score vector by its maximum (the paper's Table
 /// I presentation); entries for `exclude` become `None` ("n/a").
 #[must_use]
-pub fn normalize_scores(
-    scores: &[f64; 6],
-    exclude: &[AstronautId],
-) -> [Option<f64>; 6] {
+pub fn normalize_scores(scores: &[f64; 6], exclude: &[AstronautId]) -> [Option<f64>; 6] {
     let max = AstronautId::ALL
         .iter()
         .filter(|a| !exclude.contains(a))
@@ -178,7 +175,11 @@ pub fn normalize_scores(
         if exclude.contains(&a) {
             continue;
         }
-        out[a.index()] = Some(if max > 0.0 { scores[a.index()] / max } else { 0.0 });
+        out[a.index()] = Some(if max > 0.0 {
+            scores[a.index()] / max
+        } else {
+            0.0
+        });
     }
     out
 }

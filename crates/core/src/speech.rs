@@ -94,6 +94,22 @@ pub struct SpeechTrack {
     pub self_f0_hz: f64,
 }
 
+/// Stage kernel: whether one audio frame counts toward the paper's speech
+/// rule — voiced, at or above the level threshold. Shared verbatim by the
+/// batch interval classifier and the streaming analyzer.
+#[must_use]
+pub fn frame_qualifies(frame: &AudioFrame, params: &SpeechParams) -> bool {
+    frame.voiced && frame.level_db >= params.level_threshold_db
+}
+
+/// Stage kernel: the paper's interval rule — "a 15 s interval is considered
+/// as speech if there are voice frequencies detected of at least 60 dB and
+/// for at least 20 % of the interval". Shared by batch and streaming.
+#[must_use]
+pub fn interval_is_speech(frames: usize, qualifying: usize, params: &SpeechParams) -> bool {
+    frames > 0 && qualifying as f64 / frames as f64 >= params.frame_quorum
+}
+
 /// A self-voiced utterance assembled from consecutive frames.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Utterance {
@@ -179,7 +195,7 @@ fn classify_intervals(
         if f.voiced {
             c.4 += 1;
             c.5 += f.level_db;
-            if f.level_db >= params.level_threshold_db {
+            if frame_qualifies(f, params) {
                 c.2 += 1;
                 c.3 += f.level_db;
             }
@@ -202,7 +218,7 @@ fn finish_interval(
     ),
     params: &SpeechParams,
 ) -> SpeechInterval {
-    let speech = frames > 0 && qualifying as f64 / frames as f64 >= params.frame_quorum;
+    let speech = interval_is_speech(frames, qualifying, params);
     SpeechInterval {
         start,
         frames,
@@ -213,7 +229,11 @@ fn finish_interval(
         } else {
             0.0
         },
-        mean_voiced_db: if voiced > 0 { voiced_sum / voiced as f64 } else { 0.0 },
+        mean_voiced_db: if voiced > 0 {
+            voiced_sum / voiced as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -357,14 +377,28 @@ mod tests {
         let mut frames = Vec::new();
         for i in 0..30 {
             let voiced = i < 6;
-            frames.push(frame(i * 500, if voiced { 62.0 } else { 45.0 }, voiced, voiced.then_some(200.0)));
+            frames.push(frame(
+                i * 500,
+                if voiced { 62.0 } else { 45.0 },
+                voiced,
+                voiced.then_some(200.0),
+            ));
         }
         // Second window: only 5 qualify (16.7 %).
         for i in 30..60 {
             let voiced = i < 35;
-            frames.push(frame(i * 500, if voiced { 62.0 } else { 45.0 }, voiced, voiced.then_some(200.0)));
+            frames.push(frame(
+                i * 500,
+                if voiced { 62.0 } else { 45.0 },
+                voiced,
+                voiced.then_some(200.0),
+            ));
         }
-        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        let track = analyze(
+            &log_of(frames),
+            &SyncCorrection::identity(),
+            &SpeechParams::default(),
+        );
         assert_eq!(track.intervals.len(), 2);
         assert!(track.intervals[0].speech, "20 % exactly qualifies");
         assert!(!track.intervals[1].speech);
@@ -373,7 +407,11 @@ mod tests {
     #[test]
     fn loud_but_unvoiced_frames_do_not_count() {
         let frames: Vec<AudioFrame> = (0..30).map(|i| frame(i * 500, 70.0, false, None)).collect();
-        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        let track = analyze(
+            &log_of(frames),
+            &SyncCorrection::identity(),
+            &SpeechParams::default(),
+        );
         assert!(!track.intervals[0].speech);
     }
 
@@ -387,10 +425,17 @@ mod tests {
         for i in 10..20 {
             frames.push(frame(i * 500, 67.0, true, Some(120.0)));
         }
-        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        let track = analyze(
+            &log_of(frames),
+            &SyncCorrection::identity(),
+            &SpeechParams::default(),
+        );
         let d = track.self_talk.total_duration().as_secs_f64();
         assert!((d - 5.0).abs() < 1.0, "self talk {d}");
-        assert_eq!(classify_register(&track, &SpeechParams::default()), Some("female"));
+        assert_eq!(
+            classify_register(&track, &SpeechParams::default()),
+            Some("female")
+        );
     }
 
     #[test]
@@ -413,7 +458,11 @@ mod tests {
             frames.push(frame(t, 76.0, true, Some(205.0)));
             t += 500;
         }
-        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        let track = analyze(
+            &log_of(frames),
+            &SyncCorrection::identity(),
+            &SpeechParams::default(),
+        );
         assert!(
             track.synthetic.total_duration() > SimDuration::from_secs(14),
             "synthetic spans {:?}",
@@ -426,7 +475,11 @@ mod tests {
             filter_synthetic: false,
             ..Default::default()
         };
-        let naive = analyze(&log_of_frames_clone(), &SyncCorrection::identity(), &unfixed);
+        let naive = analyze(
+            &log_of_frames_clone(),
+            &SyncCorrection::identity(),
+            &unfixed,
+        );
         assert!(naive.self_talk.total_duration().as_secs_f64() > 18.0);
 
         fn log_of_frames_clone() -> BadgeLog {
@@ -482,7 +535,11 @@ mod tests {
                 t += 500;
             }
         }
-        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        let track = analyze(
+            &log_of(frames),
+            &SyncCorrection::identity(),
+            &SpeechParams::default(),
+        );
         assert!(track.synthetic.is_empty());
         assert!(track.self_talk.total_duration() > SimDuration::from_secs(12));
     }
@@ -497,7 +554,11 @@ mod tests {
         for i in 30..60 {
             frames.push(frame(i * 500, 41.0, false, None));
         }
-        let track = analyze(&log_of(frames), &SyncCorrection::identity(), &SpeechParams::default());
+        let track = analyze(
+            &log_of(frames),
+            &SyncCorrection::identity(),
+            &SpeechParams::default(),
+        );
         let f = heard_fraction(&track, SimTime::from_secs(0), SimTime::from_secs(45));
         assert!((f - 0.5).abs() < 1e-9);
     }

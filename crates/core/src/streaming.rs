@@ -13,16 +13,26 @@
 //! the moment the evidence is in. Clock correction is fitted *incrementally*
 //! — running regression sums, one update per sync exchange — so the analyzer
 //! never needs to revisit old data.
+//!
+//! Every classification rule here is a **shared stage kernel** from the
+//! batch path: room smoothing is [`ScanSmoother`] (the same type
+//! [`crate::localization::localize`] runs on), the speech-interval rule is
+//! [`crate::speech::frame_qualifies`] + [`crate::speech::interval_is_speech`],
+//! and the wear vote is [`crate::wear::window_on_body`] +
+//! [`crate::wear::block_worn`]. The streaming analyzer cannot drift from the
+//! pipeline because there is no second copy of the logic to drift.
 
-use crate::localization::{classify_room, estimate_position, merge_scans, LocalizationParams};
+use crate::engine::MissionContext;
+use crate::localization::ScanSmoother;
+use crate::speech::{frame_qualifies, interval_is_speech};
+use crate::wear::{block_worn, window_on_body};
 use ares_badge::records::{AudioFrame, BadgeId, BeaconScan, ImuSample, SyncSample};
-use ares_badge::sensors::OFF_BODY_VAR_THRESHOLD;
-use ares_habitat::beacons::BeaconDeployment;
-use ares_habitat::floorplan::FloorPlan;
 use ares_habitat::rooms::RoomId;
 use ares_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
+
+pub use crate::sync::IncrementalSync;
 
 /// An event emitted by the streaming analyzer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -75,64 +85,10 @@ pub enum LiveEvent {
     },
 }
 
-/// Incremental least-squares fit of `local − ref = offset + skew·ref`:
-/// running sums only, O(1) memory and per-sample cost.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct IncrementalSync {
-    n: f64,
-    sx: f64,
-    sy: f64,
-    sxx: f64,
-    sxy: f64,
-}
-
-impl IncrementalSync {
-    /// Folds in one sync exchange.
-    pub fn update(&mut self, s: &SyncSample) {
-        let x = s.t_reference.as_secs_f64();
-        let y = (s.t_local - s.t_reference).as_secs_f64();
-        self.n += 1.0;
-        self.sx += x;
-        self.sy += y;
-        self.sxx += x * x;
-        self.sxy += x * y;
-    }
-
-    /// Samples folded so far.
-    #[must_use]
-    pub fn samples(&self) -> usize {
-        self.n as usize
-    }
-
-    /// Current `(offset_s, skew_ppm)` estimate; identity until two samples.
-    #[must_use]
-    pub fn estimate(&self) -> (f64, f64) {
-        if self.n < 2.0 {
-            return (if self.n > 0.0 { self.sy / self.n } else { 0.0 }, 0.0);
-        }
-        let det = self.n * self.sxx - self.sx * self.sx;
-        if det.abs() < 1e-9 {
-            return (self.sy / self.n, 0.0);
-        }
-        let slope = (self.n * self.sxy - self.sx * self.sy) / det;
-        let offset = (self.sy - slope * self.sx) / self.n;
-        (offset, slope * 1e6)
-    }
-
-    /// Maps a local timestamp to reference time with the current estimate.
-    #[must_use]
-    pub fn to_reference(&self, t_local: SimTime) -> SimTime {
-        let (offset, skew_ppm) = self.estimate();
-        let k = 1.0 + skew_ppm * 1e-6;
-        SimTime::from_secs_f64((t_local.as_secs_f64() - offset) / k)
-    }
-}
-
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 struct BadgeState {
     sync: IncrementalSync,
-    window: VecDeque<BeaconScan>,
-    room: Option<RoomId>,
+    smoother: ScanSmoother,
     // Speech interval under construction: (bucket, frames, qualifying, Σlevel).
     speech_bucket: Option<(SimTime, usize, usize, f64)>,
     // Wear block under construction: (bucket, on_body, total).
@@ -159,13 +115,7 @@ pub struct AnalyzerCheckpoint {
 /// The bounded-memory streaming analyzer.
 #[derive(Debug)]
 pub struct StreamingAnalyzer {
-    plan: FloorPlan,
-    beacons: BeaconDeployment,
-    params: LocalizationParams,
-    speech_interval: SimDuration,
-    speech_level_db: f64,
-    speech_quorum: f64,
-    wear_block: SimDuration,
+    ctx: MissionContext,
     badges: BTreeMap<BadgeId, BadgeState>,
     occupancy: BTreeMap<RoomId, Vec<BadgeId>>,
     meeting_since: BTreeMap<RoomId, SimTime>,
@@ -177,22 +127,27 @@ impl StreamingAnalyzer {
     /// Creates an analyzer for the canonical deployment.
     #[must_use]
     pub fn icares() -> Self {
-        let plan = FloorPlan::lunares();
-        let beacons = BeaconDeployment::icares(&plan);
+        StreamingAnalyzer::with_context(MissionContext::icares())
+    }
+
+    /// Creates an analyzer over a shared mission context — the same context
+    /// type (and thus the same parameters) the batch pipeline runs on.
+    #[must_use]
+    pub fn with_context(ctx: MissionContext) -> Self {
         StreamingAnalyzer {
-            plan,
-            beacons,
-            params: LocalizationParams::default(),
-            speech_interval: SimDuration::from_secs(15),
-            speech_level_db: 60.0,
-            speech_quorum: 0.20,
-            wear_block: SimDuration::from_secs(60),
+            ctx,
             badges: BTreeMap::new(),
             occupancy: BTreeMap::new(),
             meeting_since: BTreeMap::new(),
             events_emitted: 0,
             records_ingested: 0,
         }
+    }
+
+    /// The mission context in use.
+    #[must_use]
+    pub fn context(&self) -> &MissionContext {
+        &self.ctx
     }
 
     /// Records ingested so far (all streams).
@@ -213,7 +168,7 @@ impl StreamingAnalyzer {
     pub fn retained_records(&self) -> usize {
         self.badges
             .values()
-            .map(|b| b.window.len() + 2)
+            .map(|b| b.smoother.len() + 2)
             .sum::<usize>()
     }
 
@@ -224,30 +179,24 @@ impl StreamingAnalyzer {
     }
 
     /// Ingests one BLE scan; may emit room-change and meeting events.
+    ///
+    /// Room smoothing runs on the shared [`ScanSmoother`] kernel — the same
+    /// window/flush rules as the batch localizer. The smoothed position is
+    /// available on demand via [`ScanSmoother::merged`]; the event stream
+    /// carries rooms.
     pub fn ingest_scan(&mut self, badge: BadgeId, scan: &BeaconScan) -> Vec<LiveEvent> {
         self.records_ingested += 1;
         let mut events = Vec::new();
-        let Some(room) = classify_room(scan, &self.beacons) else {
+        let state = self.badges.entry(badge).or_default();
+        let previous = state.smoother.room();
+        let Some(room) =
+            state
+                .smoother
+                .push(scan, &self.ctx.beacons, &self.ctx.params.localization)
+        else {
             return events;
         };
-        let state = self.badges.entry(badge).or_default();
         let at = state.sync.to_reference(scan.t_local);
-        if state.room != Some(room) {
-            state.window.clear();
-        }
-        state.window.push_back(scan.clone());
-        while state.window.len() > self.params.smoothing_window.max(1) {
-            state.window.pop_front();
-        }
-        // Position is available on demand; the event stream carries rooms.
-        let _ = estimate_position(
-            &merge_scans(&state.window.iter().collect::<Vec<_>>()),
-            room,
-            &self.beacons,
-            &self.plan,
-            &self.params,
-        );
-        let previous = state.room.replace(room);
         if previous != Some(room) {
             events.push(LiveEvent::RoomChanged { badge, room, at });
             self.move_badge(badge, previous, room, at, &mut events);
@@ -293,20 +242,19 @@ impl StreamingAnalyzer {
     }
 
     /// Ingests one audio frame; may emit a speech-interval event when the
-    /// 15-second bucket closes.
+    /// 15-second bucket closes. Frame and interval classification are the
+    /// shared [`frame_qualifies`] / [`interval_is_speech`] kernels.
     pub fn ingest_audio(&mut self, badge: BadgeId, frame: &AudioFrame) -> Vec<LiveEvent> {
         self.records_ingested += 1;
-        let interval = self.speech_interval;
-        let level_thr = self.speech_level_db;
-        let quorum = self.speech_quorum;
+        let params = self.ctx.params.speech;
         let state = self.badges.entry(badge).or_default();
         let at = state.sync.to_reference(frame.t_local);
-        let bucket = at.floor_to(interval);
+        let bucket = at.floor_to(params.interval);
         let mut events = Vec::new();
         match &mut state.speech_bucket {
             Some((b, frames, qualifying, level_sum)) if *b == bucket => {
                 *frames += 1;
-                if frame.voiced && frame.level_db >= level_thr {
+                if frame_qualifies(frame, &params) {
                     *qualifying += 1;
                     *level_sum += frame.level_db;
                 }
@@ -314,7 +262,7 @@ impl StreamingAnalyzer {
             open => {
                 // Close the previous bucket, if it qualified.
                 if let Some((b, frames, qualifying, level_sum)) = open.take() {
-                    if frames > 0 && qualifying as f64 / frames as f64 >= quorum {
+                    if interval_is_speech(frames, qualifying, &params) {
                         events.push(LiveEvent::SpeechDetected {
                             badge,
                             at: b,
@@ -322,13 +270,8 @@ impl StreamingAnalyzer {
                         });
                     }
                 }
-                let q = usize::from(frame.voiced && frame.level_db >= level_thr);
-                *open = Some((
-                    bucket,
-                    1,
-                    q,
-                    if q > 0 { frame.level_db } else { 0.0 },
-                ));
+                let q = usize::from(frame_qualifies(frame, &params));
+                *open = Some((bucket, 1, q, if q > 0 { frame.level_db } else { 0.0 }));
             }
         }
         self.events_emitted += events.len() as u64;
@@ -336,30 +279,31 @@ impl StreamingAnalyzer {
     }
 
     /// Ingests one IMU window; may emit wear transitions when the 60-second
-    /// block closes.
+    /// block closes. Window and block classification are the shared
+    /// [`window_on_body`] / [`block_worn`] kernels.
     pub fn ingest_imu(&mut self, badge: BadgeId, sample: &ImuSample) -> Vec<LiveEvent> {
         self.records_ingested += 1;
-        let block = self.wear_block;
+        let params = self.ctx.params.wear;
         let state = self.badges.entry(badge).or_default();
         let at = state.sync.to_reference(sample.t_local);
-        let bucket = at.floor_to(block);
+        let bucket = at.floor_to(params.block);
         let mut events = Vec::new();
         match &mut state.wear_bucket {
             Some((b, on_body, total)) if *b == bucket => {
                 *total += 1;
-                if sample.accel_var > OFF_BODY_VAR_THRESHOLD {
+                if window_on_body(sample, &params) {
                     *on_body += 1;
                 }
             }
             open => {
                 if let Some((b, on_body, total)) = open.take() {
-                    let worn = total > 0 && on_body * 2 >= total;
+                    let worn = block_worn(on_body, total, &params);
                     if worn != state.worn {
                         state.worn = worn;
                         events.push(LiveEvent::WearChanged { badge, worn, at: b });
                     }
                 }
-                let ob = usize::from(sample.accel_var > OFF_BODY_VAR_THRESHOLD);
+                let ob = usize::from(window_on_body(sample, &params));
                 *open = Some((bucket, ob, 1));
             }
         }
@@ -411,7 +355,7 @@ impl StreamingAnalyzer {
     /// The current room of a badge, if localized.
     #[must_use]
     pub fn room_of(&self, badge: BadgeId) -> Option<RoomId> {
-        self.badges.get(&badge).and_then(|s| s.room)
+        self.badges.get(&badge).and_then(|s| s.smoother.room())
     }
 
     /// The rooms currently hosting gatherings of two or more badges.
@@ -427,6 +371,8 @@ impl StreamingAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ares_habitat::beacons::BeaconDeployment;
+    use ares_habitat::floorplan::FloorPlan;
     use ares_simkit::clock::DriftingClock;
 
     #[test]
@@ -466,16 +412,26 @@ mod tests {
         let t0 = SimTime::from_day_hms(3, 9, 0, 0);
         // Badge 0 enters the office.
         let ev = sa.ingest_scan(BadgeId(0), &scan_at(t0, RoomId::Office, &dep));
-        assert!(matches!(ev[0], LiveEvent::RoomChanged { room: RoomId::Office, .. }));
+        assert!(matches!(
+            ev[0],
+            LiveEvent::RoomChanged {
+                room: RoomId::Office,
+                ..
+            }
+        ));
         assert_eq!(sa.room_of(BadgeId(0)), Some(RoomId::Office));
         // Badge 1 joins: a meeting starts.
         let ev = sa.ingest_scan(
             BadgeId(1),
             &scan_at(t0 + SimDuration::from_secs(30), RoomId::Office, &dep),
         );
-        assert!(ev
-            .iter()
-            .any(|e| matches!(e, LiveEvent::MeetingStarted { room: RoomId::Office, .. })));
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            LiveEvent::MeetingStarted {
+                room: RoomId::Office,
+                ..
+            }
+        )));
         assert_eq!(sa.active_meetings(), vec![(RoomId::Office, 2)]);
         // Badge 1 leaves for the kitchen: the meeting ends.
         let ev = sa.ingest_scan(
@@ -559,7 +515,12 @@ mod tests {
             sa.ingest_scan(BadgeId(0), &scan_at(t, RoomId::Biolab, &dep));
             sa.ingest_audio(
                 BadgeId(0),
-                &AudioFrame { t_local: t, level_db: 45.0, voiced: false, f0_hz: None },
+                &AudioFrame {
+                    t_local: t,
+                    level_db: 45.0,
+                    voiced: false,
+                    f0_hz: None,
+                },
             );
         }
         assert_eq!(sa.records_ingested(), 10_000);
@@ -578,7 +539,11 @@ mod tests {
             let mut events = Vec::new();
             for i in range {
                 let t = t0 + SimDuration::from_secs(i);
-                let room = if (i / 300) % 2 == 0 { RoomId::Office } else { RoomId::Kitchen };
+                let room = if (i / 300) % 2 == 0 {
+                    RoomId::Office
+                } else {
+                    RoomId::Kitchen
+                };
                 events.extend(sa.ingest_scan(BadgeId(0), &scan_at(t, room, &dep)));
                 events.extend(sa.ingest_scan(BadgeId(1), &scan_at(t, RoomId::Office, &dep)));
                 events.extend(sa.ingest_audio(
@@ -632,12 +597,18 @@ mod tests {
             let t = SimTime::from_hours_true(f64::from(i) * 10.0);
             sa.ingest_sync(
                 BadgeId(0),
-                &SyncSample { t_local: clock.local_time(t), t_reference: t },
+                &SyncSample {
+                    t_local: clock.local_time(t),
+                    t_reference: t,
+                },
             );
         }
         let dep = BeaconDeployment::icares(&FloorPlan::lunares());
         let true_t = SimTime::from_day_hms(8, 12, 0, 0);
-        let ev = sa.ingest_scan(BadgeId(0), &scan_at(clock.local_time(true_t), RoomId::Kitchen, &dep));
+        let ev = sa.ingest_scan(
+            BadgeId(0),
+            &scan_at(clock.local_time(true_t), RoomId::Kitchen, &dep),
+        );
         match &ev[0] {
             LiveEvent::RoomChanged { at, .. } => {
                 assert!(

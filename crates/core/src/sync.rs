@@ -49,7 +49,10 @@ impl SyncCorrection {
         if samples.len() < 2 {
             return SyncCorrection::identity();
         }
-        let xs: Vec<f64> = samples.iter().map(|s| s.t_reference.as_secs_f64()).collect();
+        let xs: Vec<f64> = samples
+            .iter()
+            .map(|s| s.t_reference.as_secs_f64())
+            .collect();
         let ys: Vec<f64> = samples
             .iter()
             .map(|s| (s.t_local - s.t_reference).as_secs_f64())
@@ -85,6 +88,60 @@ impl SyncCorrection {
     }
 }
 
+/// Incremental least-squares fit of `local − ref = offset + skew·ref`:
+/// running sums only, O(1) memory and per-sample cost — the streaming
+/// counterpart of [`SyncCorrection::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IncrementalSync {
+    n: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+}
+
+impl IncrementalSync {
+    /// Folds in one sync exchange.
+    pub fn update(&mut self, s: &SyncSample) {
+        let x = s.t_reference.as_secs_f64();
+        let y = (s.t_local - s.t_reference).as_secs_f64();
+        self.n += 1.0;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.sxy += x * y;
+    }
+
+    /// Samples folded so far.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Current `(offset_s, skew_ppm)` estimate; identity until two samples.
+    #[must_use]
+    pub fn estimate(&self) -> (f64, f64) {
+        if self.n < 2.0 {
+            return (if self.n > 0.0 { self.sy / self.n } else { 0.0 }, 0.0);
+        }
+        let det = self.n * self.sxx - self.sx * self.sx;
+        if det.abs() < 1e-9 {
+            return (self.sy / self.n, 0.0);
+        }
+        let slope = (self.n * self.sxy - self.sx * self.sy) / det;
+        let offset = (self.sy - slope * self.sx) / self.n;
+        (offset, slope * 1e6)
+    }
+
+    /// Maps a local timestamp to reference time with the current estimate.
+    #[must_use]
+    pub fn to_reference(&self, t_local: SimTime) -> SimTime {
+        let (offset, skew_ppm) = self.estimate();
+        let k = 1.0 + skew_ppm * 1e-6;
+        SimTime::from_secs_f64((t_local.as_secs_f64() - offset) / k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,7 +171,11 @@ mod tests {
         let hours: Vec<f64> = (0..40).map(|i| i as f64 * 8.0).collect();
         let s = samples_from_clocks(&badge, &reference, &hours);
         let corr = SyncCorrection::fit(&s);
-        assert!((corr.offset_s - 3.2).abs() < 0.01, "offset {}", corr.offset_s);
+        assert!(
+            (corr.offset_s - 3.2).abs() < 0.01,
+            "offset {}",
+            corr.offset_s
+        );
         assert!((corr.skew_ppm - 55.0).abs() < 0.5, "skew {}", corr.skew_ppm);
         assert!(corr.rms_residual_s < 1e-6);
     }

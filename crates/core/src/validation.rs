@@ -90,12 +90,8 @@ pub fn cross_check(mission: &MissionAnalysis, surveys: &[SurveyResponse]) -> Cro
 
     // 1. Days the sensors heard more conversation should be days the crew
     //    reported higher satisfaction (the day-11/12 collapse shows in both).
-    let (speech, satisfaction) = day_series(
-        mission,
-        surveys,
-        |d| d.heard_fraction,
-        |s| s.satisfaction,
-    );
+    let (speech, satisfaction) =
+        day_series(mission, surveys, |d| d.heard_fraction, |s| s.satisfaction);
     let r1 = pearson(&speech, &satisfaction);
     items.push(CrossCheckItem {
         name: "heard speech vs satisfaction".into(),
@@ -117,12 +113,8 @@ pub fn cross_check(mission: &MissionAnalysis, surveys: &[SurveyResponse]) -> Cro
 
     // 3. Sensor-measured conversation should anti-correlate with reported
     //    distraction spikes (stress days).
-    let (speech2, distraction) = day_series(
-        mission,
-        surveys,
-        |d| d.heard_fraction,
-        |s| s.distraction,
-    );
+    let (speech2, distraction) =
+        day_series(mission, surveys, |d| d.heard_fraction, |s| s.distraction);
     let r3 = pearson(&speech2, &distraction);
     items.push(CrossCheckItem {
         name: "heard speech vs distraction".into(),
@@ -185,11 +177,7 @@ mod tests {
         );
         let check = cross_check(&mission, &surveys);
         assert_eq!(check.items.len(), 3);
-        assert!(
-            check.all_agree(),
-            "cross-check failed:\n{}",
-            check.render()
-        );
+        assert!(check.all_agree(), "cross-check failed:\n{}", check.render());
     }
 
     #[test]

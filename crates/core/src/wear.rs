@@ -7,7 +7,7 @@
 //! over minute-scale blocks.
 
 use crate::sync::SyncCorrection;
-use ares_badge::records::BadgeLog;
+use ares_badge::records::{BadgeLog, ImuSample};
 use ares_badge::sensors::OFF_BODY_VAR_THRESHOLD;
 use ares_simkit::series::{Interval, IntervalSet};
 use ares_simkit::time::{SimDuration, SimTime};
@@ -32,6 +32,21 @@ impl Default for WearParams {
             block_quorum: 0.5,
         }
     }
+}
+
+/// Stage kernel: whether one inertial window shows on-body micro-motion.
+/// Shared verbatim by the batch classifier and the streaming analyzer.
+#[must_use]
+pub fn window_on_body(sample: &ImuSample, params: &WearParams) -> bool {
+    sample.accel_var > params.on_body_var
+}
+
+/// Stage kernel: the block vote — a minute-scale block counts as worn when
+/// at least `block_quorum` of its windows show on-body motion. Shared by
+/// batch and streaming.
+#[must_use]
+pub fn block_worn(on_body: usize, total: usize, params: &WearParams) -> bool {
+    total > 0 && on_body as f64 / total as f64 >= params.block_quorum
 }
 
 /// The wear state of one badge over a span, on reference time.
@@ -61,7 +76,7 @@ pub fn detect_wear(log: &BadgeLog, corr: &SyncCorrection, params: &WearParams) -
             if total > 0 {
                 let end = s + params.block;
                 active_blocks.push(Interval::new(s, end));
-                if on_body as f64 / total as f64 >= params.block_quorum {
+                if block_worn(on_body, total, params) {
                     worn_blocks.push(Interval::new(s, end));
                 }
             }
@@ -84,7 +99,7 @@ pub fn detect_wear(log: &BadgeLog, corr: &SyncCorrection, params: &WearParams) -
             total = 0;
         }
         total += 1;
-        if s.accel_var > params.on_body_var {
+        if window_on_body(s, params) {
             on_body += 1;
         }
     }
@@ -171,8 +186,6 @@ mod tests {
             });
         }
         let track = detect_wear(&log, &SyncCorrection::identity(), &WearParams::default());
-        assert!(
-            worn_fraction(&track, SimTime::from_secs(0), SimTime::from_secs(60)) > 0.9
-        );
+        assert!(worn_fraction(&track, SimTime::from_secs(0), SimTime::from_secs(60)) > 0.9);
     }
 }

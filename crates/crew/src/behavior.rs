@@ -150,7 +150,13 @@ impl TraceBuilder {
     fn dwell_until(&mut self, until: SimTime, facing: f64) {
         if until > self.t {
             self.facing = facing;
-            self.path.push((self.t, PathPoint { pos: self.pos, facing }));
+            self.path.push((
+                self.t,
+                PathPoint {
+                    pos: self.pos,
+                    facing,
+                },
+            ));
             self.t = until;
         }
     }
@@ -254,7 +260,9 @@ impl<'a> BehaviorSim<'a> {
     /// Runs the full mission and returns the ground truth.
     #[must_use]
     pub fn generate(&self) -> MissionTruth {
-        let mut rng = SeedTree::new(self.config.seed).child("crew").stream("behavior");
+        let mut rng = SeedTree::new(self.config.seed)
+            .child("crew")
+            .stream("behavior");
         let mut builders: Vec<TraceBuilder> = AstronautId::ALL
             .iter()
             .map(|&id| {
@@ -263,11 +271,7 @@ impl<'a> BehaviorSim<'a> {
                 } else {
                     self.config.walk_speed_mps
                 };
-                TraceBuilder::new(
-                    SimTime::from_day_hms(1, 6, 55, 0),
-                    self.bed_of(id),
-                    speed,
-                )
+                TraceBuilder::new(SimTime::from_day_hms(1, 6, 55, 0), self.bed_of(id), speed)
             })
             .collect();
         let mut speech: Vec<SpeechSegment> = Vec::new();
@@ -347,8 +351,8 @@ impl<'a> BehaviorSim<'a> {
         let mut slot = 0usize;
         while slot < SLOTS_PER_DAY {
             if let Some((who, at)) = death {
-                let death_slot = ((at - day_start).as_micros()
-                    / crate::schedule::SLOT.as_micros()) as usize;
+                let death_slot =
+                    ((at - day_start).as_micros() / crate::schedule::SLOT.as_micros()) as usize;
                 if slot == death_slot {
                     self.simulate_death_block(day, slot, who, at, builders, speech, meetings, rng);
                     slot = death_slot + 2;
@@ -513,8 +517,7 @@ impl<'a> BehaviorSim<'a> {
                 .iter()
                 .filter(|&&(a, act)| {
                     act == Activity::Break
-                        && rng.gen::<f64>()
-                            < 0.35 + 0.5 * self.roster.member(a).profile.sociability
+                        && rng.gen::<f64>() < 0.35 + 0.5 * self.roster.member(a).profile.sociability
                 })
                 .map(|&(a, _)| a)
                 .collect();
@@ -558,9 +561,11 @@ impl<'a> BehaviorSim<'a> {
                     if let Some(iv) = reserve(&mut busy[id.index()], window, dur, rng) {
                         engagements[id.index()].push(Engagement {
                             window: iv,
-                            action: Action::Errand(
-                                self.sample_station(target_room, profile.impaired, rng),
-                            ),
+                            action: Action::Errand(self.sample_station(
+                                target_room,
+                                profile.impaired,
+                                rng,
+                            )),
                         });
                     }
                 }
@@ -593,9 +598,7 @@ impl<'a> BehaviorSim<'a> {
                 if let Some(iv) = reserve(&mut busy[id.index()], window, dur, rng) {
                     engagements[id.index()].push(Engagement {
                         window: iv,
-                        action: Action::Errand(
-                            self.sample_station(RoomId::Restroom, false, rng),
-                        ),
+                        action: Action::Errand(self.sample_station(RoomId::Restroom, false, rng)),
                     });
                 }
             }
@@ -619,14 +622,9 @@ impl<'a> BehaviorSim<'a> {
                     let n = sample_poisson(rate, rng);
                     for _ in 0..n {
                         let dur = SimDuration::from_secs(rng.gen_range(60..300));
-                        let Some(iv) = reserve_pair(
-                            &mut busy,
-                            x.index(),
-                            y.index(),
-                            window,
-                            dur,
-                            rng,
-                        ) else {
+                        let Some(iv) =
+                            reserve_pair(&mut busy, x.index(), y.index(), window, dur, rng)
+                        else {
                             continue;
                         };
                         let active = (0.68 * talk.max(0.25)).clamp(0.04, 0.85);
@@ -672,9 +670,7 @@ impl<'a> BehaviorSim<'a> {
                 // battery deaths keep badges "active" for only ~84 % of
                 // daytime, as in the deployment.
                 let (morning_dock, evening_dead) = self.wear_failures(day, id);
-                if !act.badge_worn()
-                    || (morning_dock && slot < 11)
-                    || (evening_dead && slot >= 23)
+                if !act.badge_worn() || (morning_dock && slot < 11) || (evening_dead && slot >= 23)
                 {
                     b.set_wear(WearState::Docked);
                 } else if rng.gen::<f64>() < self.config.nowear_prob(day)
@@ -840,7 +836,11 @@ impl<'a> BehaviorSim<'a> {
                 } else {
                     (c2, c1)
                 };
-                let station = if rng.gen::<f64>() < profile.mobility { far } else { near };
+                let station = if rng.gen::<f64>() < profile.mobility {
+                    far
+                } else {
+                    near
+                };
                 // The most restless astronauts pace via a detour point.
                 if rng.gen::<f64>() < (profile.mobility - 0.55).max(0.0) {
                     let detour = self.sample_station(room, profile.impaired, rng);

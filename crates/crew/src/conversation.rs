@@ -174,13 +174,20 @@ mod tests {
     use ares_simkit::time::SimTime;
 
     fn window(mins: i64) -> Interval {
-        Interval::new(SimTime::EPOCH, SimTime::EPOCH + SimDuration::from_mins(mins))
+        Interval::new(
+            SimTime::EPOCH,
+            SimTime::EPOCH + SimDuration::from_mins(mins),
+        )
     }
 
     fn crew_spec(active: f64) -> ConversationSpec {
         let roster = Roster::icares();
         ConversationSpec {
-            participants: roster.members().iter().map(Participant::from_member).collect(),
+            participants: roster
+                .members()
+                .iter()
+                .map(Participant::from_member)
+                .collect(),
             window: window(30),
             active_fraction: active,
             level_adjust_db: 0.0,
@@ -195,10 +202,7 @@ mod tests {
             let mut out = Vec::new();
             generate(&spec, &mut rng, &mut out);
             let f = voiced_fraction(&out, spec.window);
-            assert!(
-                (f - target).abs() < 0.12,
-                "target {target}, got {f}"
-            );
+            assert!((f - target).abs() < 0.12, "target {target}, got {f}");
         }
     }
 
@@ -276,9 +280,7 @@ mod tests {
         let loud = crew_spec(0.4);
         let mut out_l = Vec::new();
         generate(&loud, &mut rng, &mut out_l);
-        let mean = |v: &[SpeechSegment]| {
-            v.iter().map(|s| s.level_db).sum::<f64>() / v.len() as f64
-        };
+        let mean = |v: &[SpeechSegment]| v.iter().map(|s| s.level_db).sum::<f64>() / v.len() as f64;
         assert!(mean(&out_l) - mean(&out_q) > 6.0);
     }
 

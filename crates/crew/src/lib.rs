@@ -45,7 +45,9 @@ pub mod truth;
 pub mod prelude {
     pub use crate::behavior::{BehaviorConfig, BehaviorSim, CHARGING_STATION};
     pub use crate::incidents::{Incident, IncidentScript};
-    pub use crate::roster::{AstronautId, CrewMember, PersonalityProfile, Role, Roster, VoiceRegister};
+    pub use crate::roster::{
+        AstronautId, CrewMember, PersonalityProfile, Role, Roster, VoiceRegister,
+    };
     pub use crate::schedule::{Activity, Schedule, MISSION_DAYS, SLOTS_PER_DAY};
     pub use crate::surveys::{SurveyConfig, SurveyResponse};
     pub use crate::truth::{

@@ -151,31 +151,86 @@ impl Roster {
     #[must_use]
     pub fn icares() -> Self {
         use AstronautId as Id;
-        let member = |id: Id, role, register, mobility, talk, soc, f0: f64, level: f64| CrewMember {
-            id,
-            role,
-            register,
-            profile: PersonalityProfile {
-                mobility,
-                talkativeness: talk,
-                sociability: soc,
-                voice_f0_hz: f0,
-                voice_f0_sd_hz: f0 * 0.12,
-                voice_level_db: level,
-                impaired: id == Id::A,
-                uses_screen_reader: id == Id::A,
-            },
-        };
+        let member =
+            |id: Id, role, register, mobility, talk, soc, f0: f64, level: f64| CrewMember {
+                id,
+                role,
+                register,
+                profile: PersonalityProfile {
+                    mobility,
+                    talkativeness: talk,
+                    sociability: soc,
+                    voice_f0_hz: f0,
+                    voice_f0_sd_hz: f0 * 0.12,
+                    voice_level_db: level,
+                    impaired: id == Id::A,
+                    uses_screen_reader: id == Id::A,
+                },
+            };
         Roster {
             members: vec![
                 // Orderings target Table I: walking C>F>D>E>B>A,
                 // talking C>F>A≈D>B>E, company B>D>F>A>E.
-                member(Id::A, Role::Biologist, VoiceRegister::Female, 0.33, 0.62, 0.78, 205.0, 66.0),
-                member(Id::B, Role::Commander, VoiceRegister::Female, 0.35, 0.58, 1.00, 215.0, 68.0),
-                member(Id::C, Role::Scientist, VoiceRegister::Male, 1.00, 0.82, 0.88, 125.0, 70.0),
-                member(Id::D, Role::Engineer, VoiceRegister::Female, 0.66, 0.70, 0.93, 200.0, 67.0),
-                member(Id::E, Role::StructuralMaterialScientist, VoiceRegister::Male, 0.52, 0.55, 0.70, 115.0, 65.5),
-                member(Id::F, Role::ChiefMedicalOfficer, VoiceRegister::Male, 0.80, 0.74, 0.86, 130.0, 69.0),
+                member(
+                    Id::A,
+                    Role::Biologist,
+                    VoiceRegister::Female,
+                    0.33,
+                    0.62,
+                    0.78,
+                    205.0,
+                    66.0,
+                ),
+                member(
+                    Id::B,
+                    Role::Commander,
+                    VoiceRegister::Female,
+                    0.35,
+                    0.58,
+                    1.00,
+                    215.0,
+                    68.0,
+                ),
+                member(
+                    Id::C,
+                    Role::Scientist,
+                    VoiceRegister::Male,
+                    1.00,
+                    0.82,
+                    0.88,
+                    125.0,
+                    70.0,
+                ),
+                member(
+                    Id::D,
+                    Role::Engineer,
+                    VoiceRegister::Female,
+                    0.66,
+                    0.70,
+                    0.93,
+                    200.0,
+                    67.0,
+                ),
+                member(
+                    Id::E,
+                    Role::StructuralMaterialScientist,
+                    VoiceRegister::Male,
+                    0.52,
+                    0.55,
+                    0.70,
+                    115.0,
+                    65.5,
+                ),
+                member(
+                    Id::F,
+                    Role::ChiefMedicalOfficer,
+                    VoiceRegister::Male,
+                    0.80,
+                    0.74,
+                    0.86,
+                    130.0,
+                    69.0,
+                ),
             ],
         }
     }

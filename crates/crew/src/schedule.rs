@@ -148,12 +148,12 @@ impl Schedule {
         use AstronautId as Id;
         // Common frame of the day (slot 0 = 07:00).
         match slot {
-            0 => return Activity::Meal,     // breakfast 07:00
-            2 => return Activity::Briefing, // 08:00
-            7 => return Activity::Break,    // 10:30
-            11 => return Activity::Meal,    // lunch 12:30
-            18 => return Activity::Break,   // 16:00
-            23 => return Activity::Meal,    // dinner 18:30
+            0 => return Activity::Meal,      // breakfast 07:00
+            2 => return Activity::Briefing,  // 08:00
+            7 => return Activity::Break,     // 10:30
+            11 => return Activity::Meal,     // lunch 12:30
+            18 => return Activity::Break,    // 16:00
+            23 => return Activity::Meal,     // dinner 18:30
             27 => return Activity::Briefing, // debrief 20:30
             _ => {}
         }
@@ -164,8 +164,8 @@ impl Schedule {
         // Role-specific work rooms, rotated by slot block so everyone moves
         // around during the day.
         let block = slot / 4 + day as usize; // slow rotation across days
-        // Chosen so A and F share most work blocks (their bond shows in the
-        // pairwise meeting hours) while D and E overlap only occasionally.
+                                             // Chosen so A and F share most work blocks (their bond shows in the
+                                             // pairwise meeting hours) while D and E overlap only occasionally.
         let rooms: [RoomId; 3] = match ast {
             Id::A => [RoomId::Biolab, RoomId::Office, RoomId::Office],
             Id::B => [RoomId::Office, RoomId::Office, RoomId::Workshop],
@@ -299,7 +299,10 @@ mod tests {
         };
         let b = office_slots(AstronautId::B);
         for ast in [AstronautId::C, AstronautId::D, AstronautId::E] {
-            assert!(b > office_slots(ast), "commander outranks {ast} in office time");
+            assert!(
+                b > office_slots(ast),
+                "commander outranks {ast} in office time"
+            );
         }
     }
 

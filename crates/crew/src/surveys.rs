@@ -101,8 +101,7 @@ pub fn generate(
                     + noise.sample(&mut rng),
             );
             let productivity = clamp_likert(
-                base + 0.6 * member.profile.mobility - 1.4 * (1.0 - mood)
-                    + noise.sample(&mut rng),
+                base + 0.6 * member.profile.mobility - 1.4 * (1.0 - mood) + noise.sample(&mut rng),
             );
             let distraction = clamp_likert(
                 2.4 + 1.8 * (1.0 - mood) + 0.9 * grief - bias + noise.sample(&mut rng),
@@ -164,7 +163,13 @@ mod tests {
     #[test]
     fn all_values_are_likert() {
         for r in surveys() {
-            for v in [r.satisfaction, r.well_being, r.comfort, r.productivity, r.distraction] {
+            for v in [
+                r.satisfaction,
+                r.well_being,
+                r.comfort,
+                r.productivity,
+                r.distraction,
+            ] {
                 assert!((1.0..=7.0).contains(&v), "{v}");
             }
         }
@@ -175,7 +180,12 @@ mod tests {
         let s = surveys();
         let sat = |d| daily_mean(&s, d, |r| r.satisfaction).unwrap();
         let dis = |d| daily_mean(&s, d, |r| r.distraction).unwrap();
-        assert!(sat(11) < sat(9) - 1.0, "day 11 {} vs day 9 {}", sat(11), sat(9));
+        assert!(
+            sat(11) < sat(9) - 1.0,
+            "day 11 {} vs day 9 {}",
+            sat(11),
+            sat(9)
+        );
         assert!(dis(11) > dis(9) + 0.8);
     }
 

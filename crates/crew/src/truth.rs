@@ -220,8 +220,20 @@ mod tests {
     #[test]
     fn position_interpolates_linearly() {
         let mut truth = AstronautTruth::default();
-        truth.path.push(t(0), PathPoint { pos: Point2::new(0.0, 0.0), facing: 0.0 });
-        truth.path.push(t(10), PathPoint { pos: Point2::new(10.0, 0.0), facing: 0.0 });
+        truth.path.push(
+            t(0),
+            PathPoint {
+                pos: Point2::new(0.0, 0.0),
+                facing: 0.0,
+            },
+        );
+        truth.path.push(
+            t(10),
+            PathPoint {
+                pos: Point2::new(10.0, 0.0),
+                facing: 0.0,
+            },
+        );
         let p = truth.position(t(4)).unwrap();
         assert!((p.x - 4.0).abs() < 1e-9);
         // clamped outside range
@@ -238,13 +250,27 @@ mod tests {
     #[test]
     fn badge_position_follows_wear_state() {
         let mut truth = AstronautTruth::default();
-        truth.path.push(t(0), PathPoint { pos: Point2::new(5.0, 5.0), facing: 0.0 });
+        truth.path.push(
+            t(0),
+            PathPoint {
+                pos: Point2::new(5.0, 5.0),
+                facing: 0.0,
+            },
+        );
         truth.wear.push(t(0), WearState::Worn);
-        truth.wear.push(t(100), WearState::LeftAt(Point2::new(1.0, 1.0)));
+        truth
+            .wear
+            .push(t(100), WearState::LeftAt(Point2::new(1.0, 1.0)));
         truth.wear.push(t(200), WearState::Docked);
         let station = Point2::new(9.0, 9.0);
-        assert_eq!(truth.badge_position(t(50), station).unwrap(), Point2::new(5.0, 5.0));
-        assert_eq!(truth.badge_position(t(150), station).unwrap(), Point2::new(1.0, 1.0));
+        assert_eq!(
+            truth.badge_position(t(50), station).unwrap(),
+            Point2::new(5.0, 5.0)
+        );
+        assert_eq!(
+            truth.badge_position(t(150), station).unwrap(),
+            Point2::new(1.0, 1.0)
+        );
         assert_eq!(truth.badge_position(t(250), station).unwrap(), station);
         // Before any wear record: docked.
         assert_eq!(truth.badge_position(t(-10), station).unwrap(), station);

@@ -63,9 +63,21 @@ impl BeaconDeployment {
             let (min, max) = plan.room_polygon(room).bounds();
             let (w, h) = (max.x - min.x, max.y - min.y);
             // Spread into three non-collinear mounts: NW, NE, S-center.
-            push(Point2::new(min.x + 0.15 * w, min.y + 0.85 * h), room, &mut beacons);
-            push(Point2::new(min.x + 0.85 * w, min.y + 0.85 * h), room, &mut beacons);
-            push(Point2::new(min.x + 0.50 * w, min.y + 0.15 * h), room, &mut beacons);
+            push(
+                Point2::new(min.x + 0.15 * w, min.y + 0.85 * h),
+                room,
+                &mut beacons,
+            );
+            push(
+                Point2::new(min.x + 0.85 * w, min.y + 0.85 * h),
+                room,
+                &mut beacons,
+            );
+            push(
+                Point2::new(min.x + 0.50 * w, min.y + 0.15 * h),
+                room,
+                &mut beacons,
+            );
         }
         // Main hall: west, center, east.
         let (min, max) = plan.room_polygon(RoomId::Main).bounds();

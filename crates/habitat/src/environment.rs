@@ -142,10 +142,7 @@ mod tests {
         let kitchen = env.temperature_c(RoomId::Kitchen, t);
         for r in RoomId::ALL {
             if r != RoomId::Kitchen {
-                assert!(
-                    kitchen > env.temperature_c(r, t),
-                    "kitchen must beat {r}"
-                );
+                assert!(kitchen > env.temperature_c(r, t), "kitchen must beat {r}");
             }
         }
     }

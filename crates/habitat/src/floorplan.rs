@@ -282,10 +282,7 @@ impl FloorPlan {
                     t = t.max(c1);
                 }
                 if t < 1.0 - 1e-9 {
-                    walls.push(Segment::new(
-                        edge.a + (edge.b - edge.a) * t,
-                        edge.b,
-                    ));
+                    walls.push(Segment::new(edge.a + (edge.b - edge.a) * t, edge.b));
                 }
             }
         }
@@ -346,7 +343,12 @@ mod tests {
         let route = plan.route(RoomId::Kitchen, RoomId::Hangar).unwrap();
         assert_eq!(
             route,
-            vec![RoomId::Kitchen, RoomId::Main, RoomId::Airlock, RoomId::Hangar]
+            vec![
+                RoomId::Kitchen,
+                RoomId::Main,
+                RoomId::Airlock,
+                RoomId::Hangar
+            ]
         );
     }
 
@@ -381,7 +383,10 @@ mod tests {
     #[test]
     fn route_to_self_is_trivial() {
         let plan = FloorPlan::lunares();
-        assert_eq!(plan.route(RoomId::Biolab, RoomId::Biolab).unwrap(), vec![RoomId::Biolab]);
+        assert_eq!(
+            plan.route(RoomId::Biolab, RoomId::Biolab).unwrap(),
+            vec![RoomId::Biolab]
+        );
     }
 
     #[test]

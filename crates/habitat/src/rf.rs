@@ -320,7 +320,10 @@ mod tests {
         let inside = Point2::new(door.center.x, 0.4);
         let outside = Point2::new(door.center.x, -0.4);
         let rssi = ch.mean_rssi_between(&plan, inside, outside);
-        assert!(rssi > ch.params().sensitivity_dbm, "doorway leak blocked: {rssi}");
+        assert!(
+            rssi > ch.params().sensitivity_dbm,
+            "doorway leak blocked: {rssi}"
+        );
     }
 
     #[test]
@@ -339,7 +342,10 @@ mod tests {
             }
         }
         let frac = received as f64 / n as f64;
-        assert!(frac > 0.90, "in-room reception should be reliable, got {frac}");
+        assert!(
+            frac > 0.90,
+            "in-room reception should be reliable, got {frac}"
+        );
         let mean = sum / received as f64;
         let expect = ch.mean_rssi_between(&plan, tx, rx);
         assert!((mean - expect).abs() < 0.5, "mean {mean} vs model {expect}");

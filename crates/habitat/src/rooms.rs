@@ -193,7 +193,10 @@ mod tests {
         let labels: Vec<&str> = RoomId::FIG2.iter().map(|r| r.label()).collect();
         assert_eq!(
             labels,
-            vec!["airlock", "bedroom", "biolab", "kitchen", "office", "restroom", "storage", "workshop"]
+            vec![
+                "airlock", "bedroom", "biolab", "kitchen", "office", "restroom", "storage",
+                "workshop"
+            ]
         );
         assert!(!RoomId::Main.in_fig2());
         assert!(!RoomId::Hangar.in_fig2());

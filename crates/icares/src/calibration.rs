@@ -76,15 +76,22 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
     let kitchen_pair = |x: RoomId| a.fig2.round_trips(x, RoomId::Kitchen);
     let office_k = kitchen_pair(RoomId::Office);
     let workshop_k = kitchen_pair(RoomId::Workshop);
-    let others_max = [RoomId::Airlock, RoomId::Bedroom, RoomId::Restroom, RoomId::Storage]
-        .iter()
-        .map(|&r| kitchen_pair(r))
-        .max()
-        .unwrap_or(0);
+    let others_max = [
+        RoomId::Airlock,
+        RoomId::Bedroom,
+        RoomId::Restroom,
+        RoomId::Storage,
+    ]
+    .iter()
+    .map(|&r| kitchen_pair(r))
+    .max()
+    .unwrap_or(0);
     out.push(ClaimCheck::new(
         "FIG-2",
         "most passages run office/workshop ↔ kitchen; max count ≈ 200",
-        format!("hottest {hf}→{ht} = {hc}; office↔kitchen {office_k}, workshop↔kitchen {workshop_k}"),
+        format!(
+            "hottest {hf}→{ht} = {hc}; office↔kitchen {office_k}, workshop↔kitchen {workshop_k}"
+        ),
         (hf == RoomId::Kitchen || ht == RoomId::Kitchen)
             && office_k > others_max
             && workshop_k > others_max
@@ -120,7 +127,12 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
         "D, F walk significantly more than B, E; A among the most passive",
         format!(
             "A {:.3} B {:.3} C {:.3} D {:.3} E {:.3} F {:.3}",
-            m(Id::A), m(Id::B), m(Id::C), m(Id::D), m(Id::E), m(Id::F)
+            m(Id::A),
+            m(Id::B),
+            m(Id::C),
+            m(Id::D),
+            m(Id::E),
+            m(Id::F)
         ),
         m(Id::D) > 1.2 * m(Id::B) && m(Id::F) > 1.2 * m(Id::E) && a_bottom_two,
     ));
@@ -128,15 +140,16 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
     // FIG-5: the unplanned consolation gathering, quieter than lunch.
     let consolation = a.fig5.consolation();
     let pass5 = match (consolation, a.fig5.lunch_level_db) {
-        (Some((start, level)), Some(lunch)) => {
-            start.hour_of_day() == 15 && level < lunch - 2.0
-        }
+        (Some((start, level)), Some(lunch)) => start.hour_of_day() == 15 && level < lunch - 2.0,
         _ => false,
     };
     out.push(ClaimCheck::new(
         "FIG-5",
         "unplanned kitchen gathering ≈ 15:20 after C's death, quieter than lunch",
-        format!("consolation {consolation:?}, lunch {:?} dB", a.fig5.lunch_level_db),
+        format!(
+            "consolation {consolation:?}, lunch {:?} dB",
+            a.fig5.lunch_level_db
+        ),
         pass5,
     ));
 
@@ -158,7 +171,11 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
         "conversations rarer towards the end; days 11–12 the crew barely talked",
         format!(
             "trends all negative: {trend_down}; day-11 mean {:.2} vs day-3 mean {:.2}",
-            AstronautId::ALL.iter().map(|&x| day_val(11, x)).sum::<f64>() / 6.0,
+            AstronautId::ALL
+                .iter()
+                .map(|&x| day_val(11, x))
+                .sum::<f64>()
+                / 6.0,
             AstronautId::ALL.iter().map(|&x| day_val(3, x)).sum::<f64>() / 6.0
         ),
         trend_down && slump,
@@ -167,8 +184,8 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
     // TAB-1 orderings.
     let t = a.table1;
     let get = |col: &[Option<f64>; 6], x: Id| col[x.index()].unwrap_or(-1.0);
-    let company_ok = TableOne::top_of(&t.company) == Some(Id::B)
-        || TableOne::top_of(&t.company) == Some(Id::F);
+    let company_ok =
+        TableOne::top_of(&t.company) == Some(Id::B) || TableOne::top_of(&t.company) == Some(Id::F);
     let b_top2_auth = get(&t.authority, Id::B) >= 0.9;
     // E vs A company is a near-tie in the paper too (0.74 vs 0.79), so "E
     // lowest" is asserted as bottom-two.
@@ -180,7 +197,12 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
     out.push(ClaimCheck::new(
         "TAB-1a",
         "B most central/available (company & authority ≈ 1.00); E among the lowest",
-        format!("company top {:?}, B authority {:.2}, E company {:.2}", TableOne::top_of(&t.company), get(&t.authority, Id::B), get(&t.company, Id::E)),
+        format!(
+            "company top {:?}, B authority {:.2}, E company {:.2}",
+            TableOne::top_of(&t.company),
+            get(&t.authority, Id::B),
+            get(&t.company, Id::E)
+        ),
         company_ok && b_top2_auth && e_bottom_two,
     ));
     out.push(ClaimCheck::new(
@@ -188,7 +210,9 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
         "C n/a for company/authority but tops talking and walking (1.00)",
         format!(
             "C company {:?}, talking {:?}, walking {:?}",
-            t.company[Id::C.index()], t.talking[Id::C.index()], t.walking[Id::C.index()]
+            t.company[Id::C.index()],
+            t.talking[Id::C.index()],
+            t.walking[Id::C.index()]
         ),
         t.company[Id::C.index()].is_none()
             && t.talking[Id::C.index()] == Some(1.0)
@@ -202,7 +226,9 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
             && get(&t.talking, Id::A) > get(&t.talking, Id::E)
             && get(&t.walking, Id::F) > get(&t.walking, Id::D)
             && get(&t.walking, Id::D) > get(&t.walking, Id::E)
-            && AstronautId::ALL.iter().all(|&x| get(&t.walking, Id::A) <= get(&t.walking, x)),
+            && AstronautId::ALL
+                .iter()
+                .all(|&x| get(&t.walking, Id::A) <= get(&t.walking, x)),
     ));
 
     // TXT-1: volume & wear statistics.
@@ -229,7 +255,9 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
             a.stats.early_worn * 100.0,
             a.stats.late_worn * 100.0
         ),
-        a.stats.early_worn > 0.68 && a.stats.late_worn < 0.58 && a.stats.early_worn - a.stats.late_worn > 0.15,
+        a.stats.early_worn > 0.68
+            && a.stats.late_worn < 0.58
+            && a.stats.early_worn - a.stats.late_worn > 0.15,
     ));
 
     // TXT-3: office/workshop sessions much longer than biolab's.
@@ -258,8 +286,16 @@ pub fn check_claims(a: &Artifacts<'_>) -> Vec<ClaimCheck> {
     ));
 
     // TXT-5: identity anomalies caught (A↔B swap day 6, F reuses C's badge).
-    let day6 = a.stats.swaps.iter().any(|(d, n, r)| *d == 6 && ((n == "A" && r == "B") || (n == "B" && r == "A")));
-    let reuse = a.stats.swaps.iter().any(|(d, n, r)| *d >= 7 && n == "C" && r == "F");
+    let day6 = a
+        .stats
+        .swaps
+        .iter()
+        .any(|(d, n, r)| *d == 6 && ((n == "A" && r == "B") || (n == "B" && r == "A")));
+    let reuse = a
+        .stats
+        .swaps
+        .iter()
+        .any(|(d, n, r)| *d >= 7 && n == "C" && r == "F");
     out.push(ClaimCheck::new(
         "TXT-5",
         "badge swap (A↔B) and re-use of C's badge by F detected and repaired",

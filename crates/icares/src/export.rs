@@ -49,8 +49,7 @@ pub fn export_all(dir: &Path, bundle: &ExportBundle<'_>) -> io::Result<Vec<PathB
     write("fig3_heatmap_A.txt", bundle.fig3.ascii.clone())?;
     write(
         "fig3_center_distances.json",
-        serde_json::to_string_pretty(&bundle.fig3.center_distance_m)
-            .expect("serializable array"),
+        serde_json::to_string_pretty(&bundle.fig3.center_distance_m).expect("serializable array"),
     )?;
     write("fig4_walking.csv", bundle.fig4.to_csv())?;
     write("fig5_timeline.txt", bundle.fig5.render())?;

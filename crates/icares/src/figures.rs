@@ -62,7 +62,12 @@ impl Figure2 {
         let mut out = String::from("from,to,count\n");
         for (i, from) in RoomId::FIG2.iter().enumerate() {
             for (j, to) in RoomId::FIG2.iter().enumerate() {
-                out.push_str(&format!("{},{},{}\n", from.label(), to.label(), self.counts[i][j]));
+                out.push_str(&format!(
+                    "{},{},{}\n",
+                    from.label(),
+                    to.label(),
+                    self.counts[i][j]
+                ));
             }
         }
         out
@@ -177,7 +182,10 @@ impl DailySeries {
     /// ASCII rendering: one row per day.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = format!("day   {}\n", AstronautId::ALL.map(|a| format!("{a:>6}")).join(""));
+        let mut out = format!(
+            "day   {}\n",
+            AstronautId::ALL.map(|a| format!("{a:>6}")).join("")
+        );
         for (di, day) in self.days.iter().enumerate() {
             out.push_str(&format!("{day:>3}   "));
             for a in AstronautId::ALL {
@@ -333,7 +341,8 @@ pub fn figure5(day: &DayAnalysis) -> Figure5 {
     for m in &day.meetings {
         if m.planned
             && m.room == RoomId::Kitchen
-            && m.interval.contains(SimTime::from_day_hms(day.day, 12, 45, 0))
+            && m.interval
+                .contains(SimTime::from_day_hms(day.day, 12, 45, 0))
         {
             lunch_level_db = Some(m.mean_level_db);
         }
@@ -581,14 +590,14 @@ mod tests {
 #[cfg(test)]
 mod fig5_tests {
     use super::*;
+    use ares_simkit::series::Interval;
     use ares_sociometrics::meetings::MeetingObs;
     use ares_sociometrics::occupancy::PassageMatrix;
     use ares_sociometrics::pipeline::DayAnalysis;
-    use ares_simkit::series::Interval;
 
     fn synthetic_death_day() -> DayAnalysis {
-        let mk_meeting = |room, h0: u32, m0: u32, h1: u32, m1: u32, n: usize, planned, level| {
-            MeetingObs {
+        let mk_meeting =
+            |room, h0: u32, m0: u32, h1: u32, m1: u32, n: usize, planned, level| MeetingObs {
                 room,
                 interval: Interval::new(
                     SimTime::from_day_hms(4, h0, m0, 0),
@@ -598,8 +607,7 @@ mod fig5_tests {
                 planned,
                 speech_fraction: 0.5,
                 mean_level_db: level,
-            }
-        };
+            };
         DayAnalysis {
             day: 4,
             badges: Vec::new(),
@@ -650,8 +658,8 @@ mod fig5_tests {
 
 #[cfg(test)]
 mod claim_tests {
-    use crate::calibration::{check_claims, Artifacts};
     use super::*;
+    use crate::calibration::{check_claims, Artifacts};
     use ares_habitat::beacons::BeaconDeployment;
     use ares_sociometrics::pipeline::MissionAnalysis;
     use ares_sociometrics::report::TableOne;

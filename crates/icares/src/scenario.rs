@@ -14,6 +14,7 @@ use ares_crew::roster::Roster;
 use ares_crew::schedule::{Schedule, MISSION_DAYS};
 use ares_crew::truth::MissionTruth;
 use ares_simkit::rng::SeedTree;
+use ares_sociometrics::engine::{EngineMetrics, MissionEngine};
 use ares_sociometrics::pipeline::{DayAnalysis, MissionAnalysis, Pipeline, PipelineParams};
 
 /// First instrumented mission day (badges were first worn on day 2).
@@ -70,14 +71,8 @@ impl MissionRunner {
             seed: config.seed,
             ..config.behavior.clone()
         };
-        let truth = BehaviorSim::new(
-            &roster,
-            &schedule,
-            &world.incidents,
-            &world.plan,
-            behavior,
-        )
-        .generate();
+        let truth = BehaviorSim::new(&roster, &schedule, &world.incidents, &world.plan, behavior)
+            .generate();
         let mut pipeline = Pipeline::icares();
         *pipeline.params_mut() = config.pipeline;
         MissionRunner {
@@ -160,7 +155,7 @@ impl MissionRunner {
             let (recording, analysis) = self.run_day(day);
             mission.account_bytes(&recording.logs);
             observer(&analysis);
-            mission.absorb(&analysis);
+            mission.absorb(analysis);
         }
         mission
     }
@@ -169,6 +164,32 @@ impl MissionRunner {
     #[must_use]
     pub fn run_mission(&self) -> MissionAnalysis {
         self.run_days(FIRST_INSTRUMENTED_DAY, MISSION_DAYS, |_| {})
+    }
+
+    /// Runs the instrumented days `from..=to` through the deterministic
+    /// parallel [`MissionEngine`], fanning badge-days across `workers`
+    /// threads. The result is bit-identical to [`Self::run_days`]; returns
+    /// the engine's accumulated per-stage metrics alongside.
+    #[must_use]
+    pub fn run_days_parallel(
+        &self,
+        from: u32,
+        to: u32,
+        workers: usize,
+    ) -> (MissionAnalysis, EngineMetrics) {
+        let engine = MissionEngine::with_workers(self.pipeline.context().clone(), workers);
+        let days: Vec<(u32, Vec<ares_badge::records::BadgeLog>)> = (from..=to.min(MISSION_DAYS))
+            .map(|day| (day, self.recorder().record_day(day).logs))
+            .collect();
+        let mission = engine.analyze_days(&days);
+        let metrics = engine.metrics();
+        (mission, metrics)
+    }
+
+    /// Runs the full instrumented mission through the parallel engine.
+    #[must_use]
+    pub fn run_mission_parallel(&self, workers: usize) -> (MissionAnalysis, EngineMetrics) {
+        self.run_days_parallel(FIRST_INSTRUMENTED_DAY, MISSION_DAYS, workers)
     }
 }
 

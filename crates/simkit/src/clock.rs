@@ -155,7 +155,10 @@ mod tests {
         let c = DriftingClock::new(SimDuration::ZERO, 100.0); // 100 ppm fast
         let t = SimTime::from_secs(10_000);
         let err = c.error_at(t).as_secs_f64();
-        assert!((err - 1.0).abs() < 1e-6, "100 ppm over 10^4 s = 1 s, got {err}");
+        assert!(
+            (err - 1.0).abs() < 1e-6,
+            "100 ppm over 10^4 s = 1 s, got {err}"
+        );
     }
 
     #[test]

@@ -153,7 +153,9 @@ impl<S> Default for EventLoop<S> {
 
 impl<S> std::fmt::Debug for EventLoop<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventLoop").field("sched", &self.sched).finish()
+        f.debug_struct("EventLoop")
+            .field("sched", &self.sched)
+            .finish()
     }
 }
 

@@ -399,7 +399,12 @@ impl Grid {
     pub fn new(origin: Point2, cell: f64, nx: usize, ny: usize) -> Self {
         assert!(cell > 0.0, "cell size must be positive");
         assert!(nx > 0 && ny > 0, "grid must be non-empty");
-        Grid { origin, cell, nx, ny }
+        Grid {
+            origin,
+            cell,
+            nx,
+            ny,
+        }
     }
 
     /// Builds the smallest grid with cells of side `cell` covering `(min, max)`.
@@ -525,11 +530,20 @@ mod tests {
     fn wall_crossings() {
         let room = Polygon::rect(0.0, 0.0, 2.0, 2.0);
         // From inside to outside: 1 crossing.
-        assert_eq!(room.crossings(Point2::new(1.0, 1.0), Point2::new(5.0, 1.0)), 1);
+        assert_eq!(
+            room.crossings(Point2::new(1.0, 1.0), Point2::new(5.0, 1.0)),
+            1
+        );
         // Passing fully through: 2 crossings.
-        assert_eq!(room.crossings(Point2::new(-1.0, 1.0), Point2::new(5.0, 1.0)), 2);
+        assert_eq!(
+            room.crossings(Point2::new(-1.0, 1.0), Point2::new(5.0, 1.0)),
+            2
+        );
         // Entirely inside: 0.
-        assert_eq!(room.crossings(Point2::new(0.5, 0.5), Point2::new(1.5, 1.5)), 0);
+        assert_eq!(
+            room.crossings(Point2::new(0.5, 0.5), Point2::new(1.5, 1.5)),
+            0
+        );
     }
 
     #[test]

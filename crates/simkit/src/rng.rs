@@ -111,8 +111,16 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let t = SeedTree::new(7);
-        let a: Vec<u64> = t.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = t.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = t
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = t
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -29,7 +29,9 @@ pub struct Series<T> {
 
 impl<T> Default for Series<T> {
     fn default() -> Self {
-        Series { samples: Vec::new() }
+        Series {
+            samples: Vec::new(),
+        }
     }
 }
 

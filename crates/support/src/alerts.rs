@@ -129,8 +129,7 @@ impl AlertEngine {
             .filter_map(|&a| day.daily[a.index()].map(|d| (a, d.heard_fraction)))
             .collect();
         if fractions.len() >= 3 {
-            let mean: f64 =
-                fractions.iter().map(|&(_, f)| f).sum::<f64>() / fractions.len() as f64;
+            let mean: f64 = fractions.iter().map(|&(_, f)| f).sum::<f64>() / fractions.len() as f64;
             if mean > 0.05 {
                 for &(a, f) in &fractions {
                     if f < self.rules.passivity_ratio * mean {
@@ -185,8 +184,7 @@ impl AlertEngine {
                         });
                     }
                     // Exponential moving baseline.
-                    self.baseline_walking[a.index()] =
-                        Some(0.8 * base + 0.2 * d.walking_fraction);
+                    self.baseline_walking[a.index()] = Some(0.8 * base + 0.2 * d.walking_fraction);
                 }
                 _ => self.baseline_walking[a.index()] = Some(d.walking_fraction),
             }
@@ -224,9 +222,9 @@ impl AlertEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ares_simkit::series::Interval;
     use ares_sociometrics::occupancy::Stay;
     use ares_sociometrics::pipeline::AstronautDaily;
-    use ares_simkit::series::Interval;
 
     fn daily(heard: f64, walking: f64, worn: f64) -> AstronautDaily {
         AstronautDaily {
@@ -286,7 +284,9 @@ mod tests {
         let mut day2 = empty_day(4);
         day2.daily[0] = Some(daily(0.3, 0.01, 0.7));
         let alerts = engine.evaluate_day(&day2);
-        assert!(alerts.iter().any(|a| a.rule == "fatigue" && a.who == Some(AstronautId::A)));
+        assert!(alerts
+            .iter()
+            .any(|a| a.rule == "fatigue" && a.who == Some(AstronautId::A)));
     }
 
     #[test]
@@ -347,6 +347,8 @@ mod tests {
         day.carrier_of[0] = Some(0);
         let mut engine = AlertEngine::new(AlertRules::default());
         let alerts = engine.evaluate_day(&day);
-        assert!(alerts.iter().any(|a| a.rule == "hydration" && a.who == Some(AstronautId::A)));
+        assert!(alerts
+            .iter()
+            .any(|a| a.rule == "hydration" && a.who == Some(AstronautId::A)));
     }
 }

@@ -108,13 +108,19 @@ impl Proposal {
     /// Number of crew approvals.
     #[must_use]
     pub fn approvals(&self) -> usize {
-        self.votes.iter().filter(|&&(_, v)| v == Vote::Approve).count()
+        self.votes
+            .iter()
+            .filter(|&&(_, v)| v == Vote::Approve)
+            .count()
     }
 
     /// Number of crew rejections.
     #[must_use]
     pub fn rejections(&self) -> usize {
-        self.votes.iter().filter(|&&(_, v)| v == Vote::Reject).count()
+        self.votes
+            .iter()
+            .filter(|&&(_, v)| v == Vote::Reject)
+            .count()
     }
 
     /// Advances the protocol at `now`; returns the (possibly new) status.
@@ -177,7 +183,11 @@ mod tests {
         approve_all(&mut p, &[Id::A, Id::B, Id::C]);
         assert_eq!(p.evaluate(t(10), &rules), Status::Pending, "3 < quorum 4");
         p.crew_vote(Id::D, Vote::Approve);
-        assert_eq!(p.evaluate(t(10), &rules), Status::Pending, "control missing");
+        assert_eq!(
+            p.evaluate(t(10), &rules),
+            Status::Pending,
+            "control missing"
+        );
         p.control_vote(Vote::Approve);
         assert_eq!(
             p.evaluate(t(45), &rules),

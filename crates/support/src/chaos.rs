@@ -154,7 +154,8 @@ impl FaultPlan {
         let mut rng = tree.stream("heartbeat");
         if intensity >= 0.5 {
             let start = at_frac(rng.gen_range(0.1..0.8));
-            let window = Interval::new(start, start + SimDuration::from_mins(rng.gen_range(10..45)));
+            let window =
+                Interval::new(start, start + SimDuration::from_mins(rng.gen_range(10..45)));
             plan = plan.with(Fault::HeartbeatLoss {
                 replica: ReplicaId(2),
                 window,
@@ -199,7 +200,10 @@ impl FaultPlan {
         if intensity >= 0.9 {
             let start = at_frac(rng.gen_range(0.5..0.7));
             plan = plan.with(Fault::ReferenceOutage {
-                window: Interval::new(start, start + SimDuration::from_mins(rng.gen_range(30..120))),
+                window: Interval::new(
+                    start,
+                    start + SimDuration::from_mins(rng.gen_range(30..120)),
+                ),
             });
         }
         plan

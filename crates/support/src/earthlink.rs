@@ -243,9 +243,7 @@ impl EarthLink {
         if self.loss_probability <= 0.0 {
             return false;
         }
-        let word = ares_simkit::rng::splitmix64(
-            self.loss_seed ^ (seq << 16) ^ u64::from(attempt),
-        );
+        let word = ares_simkit::rng::splitmix64(self.loss_seed ^ (seq << 16) ^ u64::from(attempt));
         let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
         unit < self.loss_probability
     }
@@ -277,11 +275,14 @@ impl EarthLink {
             // observed on Earth.
             let mut next: Option<(SimTime, u8, u64, usize)> = None;
             for (idx, msg) in self.pending.iter().enumerate() {
-                let consider = |at: SimTime, kind: u8, best: &mut Option<(SimTime, u8, u64, usize)>| {
-                    if at <= now && best.is_none_or(|(t, k, s, _)| (at, kind, msg.seq) < (t, k, s)) {
-                        *best = Some((at, kind, msg.seq, idx));
-                    }
-                };
+                let consider =
+                    |at: SimTime, kind: u8, best: &mut Option<(SimTime, u8, u64, usize)>| {
+                        if at <= now
+                            && best.is_none_or(|(t, k, s, _)| (at, kind, msg.seq) < (t, k, s))
+                        {
+                            *best = Some((at, kind, msg.seq, idx));
+                        }
+                    };
                 for &a in &msg.arrivals {
                     consider(a, 0, &mut next);
                 }
@@ -290,7 +291,9 @@ impl EarthLink {
                 }
                 consider(msg.next_attempt_at, 2, &mut next);
             }
-            let Some((at, kind, seq, idx)) = next else { break };
+            let Some((at, kind, seq, idx)) = next else {
+                break;
+            };
             match kind {
                 1 => {
                     // Ack received: the message is done.
@@ -451,7 +454,10 @@ mod tests {
         let deliveries = link.advance(t(12, 10, 30));
         assert_eq!(link.conflict_count(), 1);
         match &deliveries[0] {
-            Delivery::Conflict { command, local_version } => {
+            Delivery::Conflict {
+                command,
+                local_version,
+            } => {
                 assert_eq!(command.id, 7);
                 assert_eq!(*local_version, 1);
             }
@@ -555,7 +561,10 @@ mod tests {
             let mut link = EarthLink::new(ConflictPolicy::CrewWins);
             link.set_random_loss(0.5, 0xC0FFEE);
             for i in 0..20u64 {
-                link.send_telemetry(t(2, 8, 0) + SimDuration::from_mins(i as i64 * 30), format!("d{i}"));
+                link.send_telemetry(
+                    t(2, 8, 0) + SimDuration::from_mins(i as i64 * 30),
+                    format!("d{i}"),
+                );
             }
             link.advance(t(4, 0, 0));
             (link.telemetry_status(), link.received_on_earth().to_vec())

@@ -75,13 +75,7 @@ impl ReplicatedService {
         let replicas = replicas
             .iter()
             .enumerate()
-            .map(|(i, &r)| {
-                (
-                    r,
-                    if i == 0 { Role::Primary } else { Role::Backup },
-                    now,
-                )
-            })
+            .map(|(i, &r)| (r, if i == 0 { Role::Primary } else { Role::Backup }, now))
             .collect();
         ReplicatedService {
             name: name.into(),
@@ -311,7 +305,10 @@ mod tests {
         // Nobody heartbeats: total outage at t=60.
         let events = s.tick(t(60));
         assert_eq!(
-            events.iter().filter(|&&e| e == FailoverEvent::ServiceDown).count(),
+            events
+                .iter()
+                .filter(|&&e| e == FailoverEvent::ServiceDown)
+                .count(),
             1
         );
         // The detector keeps running during the outage — no log spam.

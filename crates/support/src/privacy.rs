@@ -90,12 +90,7 @@ impl PrivacyGovernor {
     }
 
     /// A crew member or the system suppresses a sensor class for a window.
-    pub fn suppress(
-        &mut self,
-        actor: impl Into<String>,
-        sensor: SensorClass,
-        window: Interval,
-    ) {
+    pub fn suppress(&mut self, actor: impl Into<String>, sensor: SensorClass, window: Interval) {
         let actor = actor.into();
         self.audit.push(AuditEntry {
             at: window.start,
@@ -114,12 +109,7 @@ impl PrivacyGovernor {
 
     /// Intensifies a sensor class for a window ("when alarmed by anything
     /// unusual").
-    pub fn intensify(
-        &mut self,
-        actor: impl Into<String>,
-        sensor: SensorClass,
-        window: Interval,
-    ) {
+    pub fn intensify(&mut self, actor: impl Into<String>, sensor: SensorClass, window: Interval) {
         let actor = actor.into();
         self.audit.push(AuditEntry {
             at: window.start,
@@ -194,7 +184,11 @@ mod tests {
     #[test]
     fn temporary_suppression_expires() {
         let mut g = PrivacyGovernor::icares();
-        g.suppress("crew:E", SensorClass::Localization, Interval::new(t(100), t(200)));
+        g.suppress(
+            "crew:E",
+            SensorClass::Localization,
+            Interval::new(t(100), t(200)),
+        );
         assert_eq!(
             g.duty(SensorClass::Localization, RoomId::Biolab, t(150)),
             DutyLevel::Off
@@ -222,7 +216,11 @@ mod tests {
     #[test]
     fn intensification_window_works() {
         let mut g = PrivacyGovernor::icares();
-        g.intensify("mission-control", SensorClass::Environmental, Interval::new(t(10), t(20)));
+        g.intensify(
+            "mission-control",
+            SensorClass::Environmental,
+            Interval::new(t(10), t(20)),
+        );
         assert_eq!(
             g.duty(SensorClass::Environmental, RoomId::Main, t(15)),
             DutyLevel::Intensified
@@ -236,8 +234,16 @@ mod tests {
     #[test]
     fn every_decision_is_audited() {
         let mut g = PrivacyGovernor::icares();
-        g.suppress("crew:B", SensorClass::Microphone, Interval::new(t(0), t(10)));
-        g.intensify("system", SensorClass::Localization, Interval::new(t(5), t(15)));
+        g.suppress(
+            "crew:B",
+            SensorClass::Microphone,
+            Interval::new(t(0), t(10)),
+        );
+        g.intensify(
+            "system",
+            SensorClass::Localization,
+            Interval::new(t(5), t(15)),
+        );
         assert_eq!(g.audit().len(), 2);
     }
 }

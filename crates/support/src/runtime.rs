@@ -19,6 +19,7 @@ use ares_habitat::rooms::RoomId;
 use ares_simkit::rng::splitmix64;
 use ares_simkit::series::Interval;
 use ares_simkit::time::{SimDuration, SimTime};
+use ares_sociometrics::engine::EngineMetrics;
 use ares_sociometrics::pipeline::DayAnalysis;
 use ares_sociometrics::streaming::{AnalyzerCheckpoint, LiveEvent, StreamingAnalyzer};
 
@@ -136,9 +137,7 @@ impl SupportRuntime {
         );
         let evening = SimTime::from_day_hms(day.day, 21, 0, 0);
         self.link.downlink(evening, summary);
-        let _ = self
-            .link
-            .advance(evening + SimDuration::from_mins(25));
+        let _ = self.link.advance(evening + SimDuration::from_mins(25));
 
         DayReport {
             day: day.day,
@@ -146,6 +145,19 @@ impl SupportRuntime {
             failovers,
             available: self.analysis_tier.is_available(),
         }
+    }
+
+    /// Publishes the mission engine's per-stage metrics on the control topic
+    /// — the habitat's own observability of its analysis workload ("fast as
+    /// the hardware allows" needs a gauge, not a guess).
+    pub fn publish_stage_metrics(&mut self, day: u32, metrics: &EngineMetrics) {
+        self.bus.publish(
+            Topic::Control,
+            Message {
+                from: "mission-engine".into(),
+                payload: format!("day {day} stage metrics\n{}", metrics.render()),
+            },
+        );
     }
 
     /// Total alerts raised over the runtime's life.
@@ -484,7 +496,8 @@ impl ChaosMission {
                     // Events regenerated by the replay that the crashed
                     // primary already emitted are duplicates: skip exactly
                     // that many, keep the rest.
-                    let mut skip = (self.events.len() as u64).saturating_sub(fresh.events_emitted());
+                    let mut skip =
+                        (self.events.len() as u64).saturating_sub(fresh.events_emitted());
                     for (rt, rec) in &self.log {
                         if since.is_some_and(|s| *rt <= s) {
                             continue;
@@ -542,12 +555,7 @@ impl ChaosMission {
             // Hourly telemetry digest over the reliable link.
             if t >= next_telemetry {
                 next_telemetry += cfg.telemetry_every;
-                let digest = format!(
-                    "{} records={} events={}",
-                    t,
-                    records_fed,
-                    self.events.len()
-                );
+                let digest = format!("{} records={} events={}", t, records_fed, self.events.len());
                 let _ = self.link.send_telemetry(t, digest);
             }
             let _ = self.link.advance(t);
@@ -675,6 +683,21 @@ mod tests {
             .collect();
         assert!(failed_days.contains(&5), "day-5 failure detected");
         assert!(rt.bus().published_count(Topic::Control) > 0);
+    }
+
+    #[test]
+    fn stage_metrics_land_on_the_control_topic() {
+        use ares_sociometrics::engine::Stage;
+        let mut rt = SupportRuntime::icares();
+        let feed = rt.bus().subscribe(Topic::Control);
+        let mut metrics = EngineMetrics::new();
+        metrics.record(Stage::Localize, 50_400, 48_000, 1.25);
+        rt.publish_stage_metrics(3, &metrics);
+        let msgs = feed.drain();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].from, "mission-engine");
+        assert!(msgs[0].payload.contains("day 3"));
+        assert!(msgs[0].payload.contains("localize"));
     }
 
     #[test]

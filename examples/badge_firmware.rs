@@ -37,8 +37,13 @@ fn main() {
     // Clock drift: what the fitted correction recovered.
     let corr = SyncCorrection::fit(&log.sync);
     println!("\nclock correction (fitted offline against the reference badge):");
-    println!("  offset {:+.3} s, skew {:+.2} ppm, {} samples, RMS residual {:.1} ms",
-        corr.offset_s, corr.skew_ppm, corr.samples, corr.rms_residual_s * 1000.0);
+    println!(
+        "  offset {:+.3} s, skew {:+.2} ppm, {} samples, RMS residual {:.1} ms",
+        corr.offset_s,
+        corr.skew_ppm,
+        corr.samples,
+        corr.rms_residual_s * 1000.0
+    );
     let end_of_mission = SimTime::from_day_hms(14, 21, 0, 0);
     println!(
         "  uncorrected, this clock would be {:+.1} s off by mission end",
@@ -75,7 +80,10 @@ fn main() {
         battery.soc() * 100.0
     );
     battery.charge(SimDuration::from_hours(10));
-    println!("overnight charging restores SoC to {:.0} %", battery.soc() * 100.0);
+    println!(
+        "overnight charging restores SoC to {:.0} %",
+        battery.soc() * 100.0
+    );
 
     // What the pipeline concluded about this unit today.
     if let Some(bd) = analysis.badges.iter().find(|b| b.badge == unit) {

@@ -28,9 +28,10 @@ fn main() {
         let mut total = 0.0;
         for &from in &RoomId::FIG2 {
             for &to in &RoomId::FIG2 {
-                let n = f64::from(fig2.counts
-                    [RoomId::FIG2.iter().position(|&x| x == from).unwrap()]
-                    [RoomId::FIG2.iter().position(|&x| x == to).unwrap()]);
+                let n = f64::from(
+                    fig2.counts[RoomId::FIG2.iter().position(|&x| x == from).unwrap()]
+                        [RoomId::FIG2.iter().position(|&x| x == to).unwrap()],
+                );
                 if n > 0.0 {
                     let dist = (slot_of(from) - slot_of(to)).abs() * 4.0 + 3.0;
                     total += n * dist;

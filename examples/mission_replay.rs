@@ -7,6 +7,7 @@
 
 use ares::crew::roster::AstronautId;
 use ares::icares::{figures, MissionRunner};
+use ares::sociometrics::engine::MissionEngine;
 use ares::sociometrics::report;
 
 fn main() {
@@ -23,7 +24,9 @@ fn main() {
             / 6.0;
         let mut notes: Vec<String> = Vec::new();
         for &(badge, nominal, resolved) in &day.swaps {
-            notes.push(format!("identity anomaly: {badge} ({nominal}'s) worn by {resolved}"));
+            notes.push(format!(
+                "identity anomaly: {badge} ({nominal}'s) worn by {resolved}"
+            ));
         }
         if day
             .meetings
@@ -66,6 +69,17 @@ fn main() {
 
     println!("=== Fig. 6 (speech fraction per day) ===");
     println!("{}", figures::figure6(&mission).render());
+
+    // What the analysis itself cost, stage by stage: replay one
+    // representative day through the staged engine with every core.
+    let engine = MissionEngine::new(runner.pipeline().context().clone());
+    let (recording, _) = runner.run_day(3);
+    let _ = engine.analyze_day(3, &recording.logs);
+    println!(
+        "=== engine workload (day 3, {} worker(s)) ===",
+        engine.workers()
+    );
+    println!("{}", report::engine_section(&engine.metrics()));
 
     // Close the loop the way the deployment did: verify the sensor story
     // against the crew's evening self-reports.

@@ -44,7 +44,11 @@ fn main() {
         }
     }
     feed.sort_by_key(|&(t, _, _)| t);
-    println!("feed: {} records from {} units\n", feed.len(), recording.logs.len());
+    println!(
+        "feed: {} records from {} units\n",
+        feed.len(),
+        recording.logs.len()
+    );
 
     let started = std::time::Instant::now();
     let mut ticker: Vec<String> = Vec::new();
@@ -72,10 +76,11 @@ fn main() {
                         badges.len()
                     ));
                 }
-                LiveEvent::MeetingEnded { room, at, duration }
-                    if duration.as_hours_f64() > 0.4 => {
-                        ticker.push(format!("{at}  meeting in the {room} ended after {duration}"));
-                    }
+                LiveEvent::MeetingEnded { room, at, duration } if duration.as_hours_f64() > 0.4 => {
+                    ticker.push(format!(
+                        "{at}  meeting in the {room} ended after {duration}"
+                    ));
+                }
                 _ => {}
             }
         }

@@ -82,7 +82,10 @@ fn main() {
 
     // Drain the alert feed.
     let alerts = alert_feed.drain();
-    println!("\n{} alerts were published on the bus; a sample:", alerts.len());
+    println!(
+        "\n{} alerts were published on the bus; a sample:",
+        alerts.len()
+    );
     for a in alerts.iter().take(10) {
         println!("  {}", a.payload);
     }
@@ -99,7 +102,12 @@ fn main() {
         "intensify meeting-loudness monitoring for 48 h",
         SimTime::from_day_hms(12, 13, 0, 0),
     );
-    for a in [AstronautId::A, AstronautId::B, AstronautId::D, AstronautId::F] {
+    for a in [
+        AstronautId::A,
+        AstronautId::B,
+        AstronautId::D,
+        AstronautId::F,
+    ] {
         proposal.crew_vote(a, Vote::Approve);
     }
     let s1 = proposal.evaluate(SimTime::from_day_hms(12, 13, 5, 0), &rules);
@@ -146,7 +154,10 @@ fn main() {
         fb.recovered_water_l(),
     );
     for who in fb.dehydrated(0.4) {
-        println!("dehydration warning for {who} (net {:+.2} L)", fb.net_l(who, 0.4));
+        println!(
+            "dehydration warning for {who} (net {:+.2} L)",
+            fb.net_l(who, 0.4)
+        );
     }
     println!(
         "urine processor recovered {:.1} L back into stores ({:.0} L water remaining)",

@@ -5,6 +5,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== tier1: format =="
+cargo fmt --all --check
+
 echo "== tier1: release build =="
 cargo build --release --workspace
 
@@ -12,6 +15,9 @@ echo "== tier1: tests =="
 cargo test -q --workspace
 
 echo "== tier1: clippy (warnings are errors) =="
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: bench smoke (per-stage timings -> BENCH_pipeline.json) =="
+cargo run --release -q -p ares-bench --bin bench_smoke BENCH_pipeline.json
 
 echo "== tier1: OK =="

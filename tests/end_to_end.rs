@@ -103,8 +103,8 @@ fn clock_corrections_recover_true_drift() {
             continue;
         }
         let real = clocks.clock(b.badge);
-        let rel_skew = (real.skew_ppm() - reference.skew_ppm())
-            / (1.0 + reference.skew_ppm() * 1e-6);
+        let rel_skew =
+            (real.skew_ppm() - reference.skew_ppm()) / (1.0 + reference.skew_ppm() * 1e-6);
         assert!(
             (b.corr.skew_ppm - rel_skew).abs() < 2.0,
             "{}: fitted {:.1} ppm vs real {:.1} ppm",
@@ -176,7 +176,10 @@ fn meeting_recall_against_ground_truth() {
             found += 1;
         }
     }
-    assert!(total >= 5, "expected several substantial meetings, got {total}");
+    assert!(
+        total >= 5,
+        "expected several substantial meetings, got {total}"
+    );
     let recall = f64::from(found) / f64::from(total);
     assert!(recall > 0.8, "meeting recall {recall:.2} ({found}/{total})");
 }
@@ -194,13 +197,20 @@ fn walking_fractions_correlate_with_truth() {
             continue;
         };
         let t = r.truth().of(a);
-        let walk_h = t.walking.clip(day_start, day_end).total_duration().as_hours_f64();
+        let walk_h = t
+            .walking
+            .clip(day_start, day_end)
+            .total_duration()
+            .as_hours_f64();
         measured.push(d.walking_fraction);
         truth_frac.push(walk_h / 14.0);
     }
     assert!(measured.len() >= 5);
     let rho = ares::simkit::stats::pearson(&measured, &truth_frac);
-    assert!(rho > 0.8, "walking estimates should track truth, r = {rho:.2}");
+    assert!(
+        rho > 0.8,
+        "walking estimates should track truth, r = {rho:.2}"
+    );
 }
 
 #[test]
@@ -307,24 +317,30 @@ fn proximity_radio_confirms_detected_meetings() {
     use ares::sociometrics::proximity::{confirm_meetings, ColocationIndex, ProximityParams};
     let r = runner();
     let (recording, analysis) = r.run_day(3);
-    let logs: Vec<(&ares::badge::records::BadgeLog, &ares::sociometrics::sync::SyncCorrection)> =
-        recording
-            .logs
-            .iter()
-            .filter_map(|log| {
-                analysis
-                    .badges
-                    .iter()
-                    .find(|b| b.badge == log.badge)
-                    .map(|b| (log, &b.corr))
-            })
-            .collect();
+    let logs: Vec<(
+        &ares::badge::records::BadgeLog,
+        &ares::sociometrics::sync::SyncCorrection,
+    )> = recording
+        .logs
+        .iter()
+        .filter_map(|log| {
+            analysis
+                .badges
+                .iter()
+                .find(|b| b.badge == log.badge)
+                .map(|b| (log, &b.corr))
+        })
+        .collect();
     let index = ColocationIndex::build(&logs, &ProximityParams::default());
     let badge_of = |a: AstronautId| -> Option<BadgeId> {
         analysis.carrier_of[a.index()].map(|i| analysis.badges[i].badge)
     };
     let conf = confirm_meetings(&analysis.meetings, &index, &badge_of);
-    assert!(conf.checked > 200, "checked {} meeting minutes", conf.checked);
+    assert!(
+        conf.checked > 200,
+        "checked {} meeting minutes",
+        conf.checked
+    );
     assert!(
         conf.rate() > 0.8,
         "proximity confirms only {:.0} % of meeting time",

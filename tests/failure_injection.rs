@@ -31,7 +31,12 @@ fn dead_badge_is_reported_absent_not_misattributed() {
         "a dead badge must yield 'no data', not a wrong assignment"
     );
     // Everyone else is unaffected.
-    for a in [AstronautId::A, AstronautId::B, AstronautId::D, AstronautId::F] {
+    for a in [
+        AstronautId::A,
+        AstronautId::B,
+        AstronautId::D,
+        AstronautId::F,
+    ] {
         assert!(analysis.carrier_of[a.index()].is_some(), "{a} lost");
     }
 }
@@ -175,7 +180,10 @@ fn nominal_fallback_when_schedule_match_is_ambiguous() {
     // must not report a swap on such weak evidence when scores tie at the
     // kitchen slot (everyone's activity there is Meal).
     assert!(id.carrier.is_some());
-    assert!(!id.mismatch || id.score > 0.9, "weak evidence must not flag swaps");
+    assert!(
+        !id.mismatch || id.score > 0.9,
+        "weak evidence must not flag swaps"
+    );
 }
 
 #[test]
@@ -208,10 +216,7 @@ fn backup_badge_handover_is_transparent_to_the_pipeline() {
         ..Default::default()
     };
     let runner = MissionRunner::new(config);
-    let (_, analysis) = {
-        
-        runner.run_day(9)
-    };
+    let (_, analysis) = { runner.run_day(9) };
     let idx = analysis.carrier_of[AstronautId::E.index()].expect("E resolved on the spare");
     assert_eq!(
         analysis.badges[idx].badge,
@@ -220,19 +225,14 @@ fn backup_badge_handover_is_transparent_to_the_pipeline() {
     );
     // The spare has no nominal owner, so no false swap flag is raised for it.
     assert!(
-        !analysis
-            .swaps
-            .iter()
-            .any(|&(b, _, _)| b == BadgeId(10)),
+        !analysis.swaps.iter().any(|&(b, _, _)| b == BadgeId(10)),
         "spare adoption is not an identity anomaly"
     );
     // E's dead primary is not resolved to anyone.
     assert!(
-        !analysis
-            .badges
-            .iter()
-            .any(|b| b.badge == BadgeId(4) && b.identification.carrier.is_some()
-                && b.identification.score > 0.3),
+        !analysis.badges.iter().any(|b| b.badge == BadgeId(4)
+            && b.identification.carrier.is_some()
+            && b.identification.score > 0.3),
         "the dead primary must not claim a carrier"
     );
 }

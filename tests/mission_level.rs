@@ -45,9 +45,7 @@ fn all_paper_shape_checks_hold() {
     assert!(
         failing.is_empty(),
         "shape checks failing:\n{}",
-        calibration::render_claims_markdown(
-            &failing.into_iter().cloned().collect::<Vec<_>>()
-        )
+        calibration::render_claims_markdown(&failing.into_iter().cloned().collect::<Vec<_>>())
     );
 }
 

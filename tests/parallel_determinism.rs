@@ -1,0 +1,66 @@
+//! The parallel executor's determinism guarantee, end to end.
+//!
+//! The [`ares_sociometrics::engine::MissionEngine`] fans badge-days across a
+//! scoped worker pool and merges results in canonical day/badge order, so its
+//! `MissionAnalysis` must be **bit-identical** (`PartialEq` over every f64)
+//! to the sequential pipeline's — for any worker count, on the full ICAres
+//! scenario.
+
+use ares_icares::scenario::{MissionRunner, FIRST_INSTRUMENTED_DAY};
+use ares_sociometrics::engine::{MissionEngine, Stage};
+use ares_sociometrics::pipeline::MissionAnalysis;
+
+#[test]
+fn parallel_mission_is_bit_identical_to_sequential() {
+    let runner = MissionRunner::icares();
+
+    // Record every instrumented day once; fold the sequential analysis as we
+    // go (this is exactly what `MissionRunner::run_days` does).
+    let mut sequential = MissionAnalysis::new(runner.pipeline().plan());
+    let mut days = Vec::new();
+    for day in FIRST_INSTRUMENTED_DAY..=ares_crew::schedule::MISSION_DAYS {
+        let (recording, analysis) = runner.run_day(day);
+        sequential.account_bytes(&recording.logs);
+        sequential.absorb(analysis);
+        days.push((day, recording.logs));
+    }
+    assert!(!sequential.meetings.is_empty(), "sanity: mission has data");
+
+    let badge_days: u64 = days
+        .iter()
+        .map(|(_, logs)| {
+            logs.iter()
+                .filter(|l| l.badge != ares_badge::records::BadgeId::REFERENCE)
+                .count() as u64
+        })
+        .sum();
+
+    for workers in [1usize, 2, 4] {
+        let engine = MissionEngine::with_workers(runner.pipeline().context().clone(), workers);
+        let parallel = engine.analyze_days(&days);
+        assert_eq!(
+            parallel, sequential,
+            "parallel MissionAnalysis diverged with {workers} worker(s)"
+        );
+        // The metric *counts* are deterministic too: every badge-day ran
+        // every per-badge stage exactly once, regardless of scheduling.
+        let metrics = engine.metrics();
+        for stage in [
+            Stage::SyncFit,
+            Stage::Localize,
+            Stage::Wear,
+            Stage::Activity,
+            Stage::Speech,
+            Stage::Stays,
+            Stage::Identity,
+        ] {
+            assert_eq!(
+                metrics.get(stage).calls,
+                badge_days,
+                "{} calls with {workers} worker(s)",
+                stage.label()
+            );
+        }
+        assert_eq!(metrics.get(Stage::Assemble).calls, days.len() as u64);
+    }
+}

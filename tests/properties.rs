@@ -13,9 +13,8 @@ use ares::support::approval::{ApprovalRules, Proposal, Status, Vote};
 use proptest::prelude::*;
 
 fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (0i64..100_000, 0i64..5_000).prop_map(|(a, len)| {
-        Interval::new(SimTime::from_secs(a), SimTime::from_secs(a + len))
-    })
+    (0i64..100_000, 0i64..5_000)
+        .prop_map(|(a, len)| Interval::new(SimTime::from_secs(a), SimTime::from_secs(a + len)))
 }
 
 proptest! {
