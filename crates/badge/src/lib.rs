@@ -20,6 +20,8 @@
 //! * [`power`] — battery and overnight charging.
 //! * [`storage`] — SD volume accounting and the on-card scan codec.
 //! * [`recorder`] — the day-by-day firmware recorder.
+//! * [`telemetry`] — the columnar (struct-of-arrays) telemetry store and
+//!   its zero-copy views; [`records::BadgeLog`] is the row-oriented façade.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -33,6 +35,7 @@ pub mod records;
 pub mod scanner;
 pub mod sensors;
 pub mod storage;
+pub mod telemetry;
 pub mod world;
 
 /// Physical constants of the badge hardware, from the paper.
@@ -55,5 +58,6 @@ pub mod prelude {
         AudioFrame, BadgeId, BadgeLog, BeaconScan, EnvSample, ImuSample, IrContact,
         MissionRecording, ProximityObs, SamplingConfig, SyncSample,
     };
+    pub use crate::telemetry::{TelemetryStore, TelemetryView};
     pub use crate::world::World;
 }

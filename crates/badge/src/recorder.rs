@@ -13,6 +13,7 @@ use crate::records::{BadgeId, BadgeLog, MissionRecording, SamplingConfig};
 use crate::scanner;
 use crate::sensors::{self, ImuModel};
 use crate::storage::StorageMeter;
+use crate::telemetry::TelemetryStore;
 use crate::world::World;
 use ares_crew::roster::{AstronautId, Roster};
 use ares_crew::truth::{MissionTruth, WearState};
@@ -70,13 +71,29 @@ impl<'a> Recorder<'a> {
         &self.config
     }
 
-    /// Records one mission day (1-based) for all units.
+    /// Records one mission day (1-based) for all units, as row-oriented
+    /// [`BadgeLog`]s — a thin façade over [`record_day_stores`].
+    ///
+    /// [`record_day_stores`]: Recorder::record_day_stores
+    #[must_use]
+    pub fn record_day(&self, day: u32) -> MissionRecording {
+        MissionRecording {
+            logs: self
+                .record_day_stores(day)
+                .into_iter()
+                .map(BadgeLog::from)
+                .collect(),
+        }
+    }
+
+    /// Records one mission day (1-based) for all units, appending every
+    /// sensor stream directly into columnar [`TelemetryStore`]s.
     ///
     /// The recorded span covers the duty day plus the overnight docking
     /// period before the next morning (sync exchanges happen at the
     /// charger).
     #[must_use]
-    pub fn record_day(&self, day: u32) -> MissionRecording {
+    pub fn record_day_stores(&self, day: u32) -> Vec<TelemetryStore> {
         let mut rng = self
             .seed
             .child("badge")
@@ -92,8 +109,8 @@ impl<'a> Recorder<'a> {
             0.0
         };
 
-        let mut logs: Vec<BadgeLog> = (0..UNIT_COUNT)
-            .map(|i| BadgeLog::new(BadgeId(i as u8)))
+        let mut stores: Vec<TelemetryStore> = (0..UNIT_COUNT)
+            .map(|i| TelemetryStore::new(BadgeId(i as u8)))
             .collect();
 
         // Pre-compute per-unit wear/position queries through the world.
@@ -138,7 +155,7 @@ impl<'a> Recorder<'a> {
                 // Backups and the reference sample environment/sync only.
                 let clock = self.clocks.clock(unit);
                 let t_local = clock.local_time(t);
-                let log = &mut logs[idx];
+                let store = &mut stores[idx];
 
                 // A docked badge (EVA, exercise, forgotten on the charger)
                 // pauses full sampling — the firmware sleeps while charging —
@@ -148,8 +165,7 @@ impl<'a> Recorder<'a> {
                 if sampling {
                     // BLE scan.
                     if elapsed % self.config.scan_period.as_micros() == 0 {
-                        log.scans
-                            .push(scanner::scan(self.world, pos, t_local, &mut rng));
+                        store.push_scan(scanner::scan(self.world, pos, t_local, &mut rng));
                     }
                     // IMU window.
                     if elapsed % self.config.imu_window.as_micros() == 0 {
@@ -159,8 +175,7 @@ impl<'a> Recorder<'a> {
                         let energy = carrier
                             .map(|c| 0.8 + 0.4 * self.roster.member(c).profile.mobility)
                             .unwrap_or(1.0);
-                        log.imu
-                            .push(imu_model.sample(t_local, wear, walking, energy, &mut rng));
+                        store.push_imu(imu_model.sample(t_local, wear, walking, energy, &mut rng));
                     }
                     // Audio frames (two per second at the default config).
                     let af = self.config.audio_frame.as_micros();
@@ -170,7 +185,7 @@ impl<'a> Recorder<'a> {
                             carrier == Some(AstronautId::A) && self.muffled_days.contains(&day);
                         for k in 0..frames_per_tick {
                             let ft = t + SimDuration::from_micros(k * af);
-                            log.audio.push(mic_model.frame(
+                            store.push_audio(mic_model.frame(
                                 self.world,
                                 self.truth,
                                 pos,
@@ -188,7 +203,9 @@ impl<'a> Recorder<'a> {
                         let obs = links::proximity_sweep(
                             self.world, unit, pos, &positions, t_local, &mut rng,
                         );
-                        log.proximity.extend(obs);
+                        for o in obs {
+                            store.push_proximity(o);
+                        }
                     }
                     // Infrared exchanges (only toward higher unit ids to
                     // sample each pair once; recorded on both).
@@ -209,22 +226,21 @@ impl<'a> Recorder<'a> {
                             if links::ir_exchange(
                                 self.world, pos, fa, wear, opos, fb, owear, &mut rng,
                             ) {
-                                log.ir.push(crate::records::IrContact { t_local, other });
+                                store.push_ir(crate::records::IrContact { t_local, other });
                             }
                         }
                     }
                 }
                 // Environment (all active units, including reference/backups).
                 if elapsed % self.config.env_period.as_micros() == 0 {
-                    log.env
-                        .push(sensors::sample_env(self.world, pos, t, t_local, &mut rng));
+                    store.push_env(sensors::sample_env(self.world, pos, t, t_local, &mut rng));
                 }
                 // Sync attempts.
                 if elapsed % self.config.sync_period.as_micros() == 0 {
                     if let Some(s) =
                         links::sync_attempt(self.world, &self.clocks, unit, pos, t, &mut rng)
                     {
-                        log.sync.push(s);
+                        store.push_sync(s);
                     }
                 }
             }
@@ -233,22 +249,23 @@ impl<'a> Recorder<'a> {
 
         // IR contacts recorded on the lower-id unit only so far; mirror them
         // onto the partner, stamped with the partner's own clock at the same
-        // true instant.
+        // true instant. The partner's stamp can land out of time order; the
+        // column's sorted insert repairs that on append.
         let mut mirrored: Vec<(usize, crate::records::IrContact)> = Vec::new();
-        for log in &logs {
-            for c in &log.ir {
-                let t_true = self.clocks.clock(log.badge).true_time(c.t_local);
+        for store in &stores {
+            for (t_local, c) in store.ir.view().iter() {
+                let t_true = self.clocks.clock(store.badge).true_time(t_local);
                 mirrored.push((
                     c.other.0 as usize,
                     crate::records::IrContact {
                         t_local: self.clocks.clock(c.other).local_time(t_true),
-                        other: log.badge,
+                        other: store.badge,
                     },
                 ));
             }
         }
         for (idx, contact) in mirrored {
-            logs[idx].ir.push(contact);
+            stores[idx].push_ir(contact);
         }
 
         // --- Overnight: docked sampling (sparse) + dense sync -------------
@@ -259,14 +276,13 @@ impl<'a> Recorder<'a> {
                 let pos = self.world.badge_position(unit, tn, self.truth);
                 let t_local = clock.local_time(tn);
                 if (tn - duty_end).as_micros() % self.config.env_period.as_micros() == 0 {
-                    logs[idx]
-                        .env
-                        .push(sensors::sample_env(self.world, pos, tn, t_local, &mut rng));
+                    stores[idx]
+                        .push_env(sensors::sample_env(self.world, pos, tn, t_local, &mut rng));
                 }
                 if let Some(s) =
                     links::sync_attempt(self.world, &self.clocks, unit, pos, tn, &mut rng)
                 {
-                    logs[idx].sync.push(s);
+                    stores[idx].push_sync(s);
                 }
             }
             tn += self.config.sync_period;
@@ -281,10 +297,10 @@ impl<'a> Recorder<'a> {
             } else {
                 meter.record_docked(&self.config, night_end - start);
             }
-            logs[idx].bytes_written = meter.bytes();
+            stores[idx].bytes_written = meter.bytes();
         }
 
-        MissionRecording { logs }
+        stores
     }
 
     /// Records the instrumented portion of the mission (days 2–14; badges

@@ -7,6 +7,7 @@
 //! A's), generated once up front. The `mission-engine` group measures the
 //! deterministic parallel executor at 1 and N workers on the full day.
 
+use ares_badge::telemetry::TelemetryStore;
 use ares_icares::MissionRunner;
 use ares_sociometrics::engine::{
     analyze_badge_day, stage_activity, stage_localize, stage_speech, stage_stays, stage_sync_fit,
@@ -17,53 +18,56 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 fn bench_pipeline_stages(c: &mut Criterion) {
     let runner = MissionRunner::icares();
     let (recording, _) = runner.run_day(3);
-    let log = recording
-        .log(ares_badge::records::BadgeId(0))
-        .expect("badge 0 recorded")
-        .clone();
+    let store = TelemetryStore::from(
+        recording
+            .log(ares_badge::records::BadgeId(0))
+            .expect("badge 0 recorded"),
+    );
+    let view = store.view();
     let ctx = runner.pipeline().context().clone();
-    let corr = stage_sync_fit(&log);
+    let corr = stage_sync_fit(view);
 
     let mut g = c.benchmark_group("pipeline-stages");
     g.sample_size(10);
 
-    g.throughput(Throughput::Elements(log.sync.len() as u64));
+    g.throughput(Throughput::Elements(view.sync.len() as u64));
     g.bench_function("sync fit", |b| {
-        b.iter(|| black_box(stage_sync_fit(&log)));
+        b.iter(|| black_box(stage_sync_fit(view)));
     });
 
-    g.throughput(Throughput::Elements(log.scans.len() as u64));
+    g.throughput(Throughput::Elements(view.scans.len() as u64));
     g.bench_function("localize full day", |b| {
-        b.iter(|| black_box(stage_localize(&ctx, &log, &corr)));
+        b.iter(|| black_box(stage_localize(&ctx, view, &corr)));
     });
 
-    let track = stage_localize(&ctx, &log, &corr);
+    let track = stage_localize(&ctx, view, &corr);
     g.throughput(Throughput::Elements(track.fixes.len() as u64));
     g.bench_function("segment stays", |b| {
         b.iter(|| black_box(stage_stays(&track)));
     });
 
-    let wear = stage_wear(&ctx, &log, &corr);
-    g.throughput(Throughput::Elements(log.imu.len() as u64));
+    let wear = stage_wear(&ctx, view, &corr);
+    g.throughput(Throughput::Elements(view.imu.len() as u64));
     g.bench_function("wear detection", |b| {
-        b.iter(|| black_box(stage_wear(&ctx, &log, &corr)));
+        b.iter(|| black_box(stage_wear(&ctx, view, &corr)));
     });
     g.bench_function("walking detection", |b| {
-        b.iter(|| black_box(stage_activity(&ctx, &log, &corr, &wear)));
+        b.iter(|| black_box(stage_activity(&ctx, view, &corr, &wear)));
     });
 
-    g.throughput(Throughput::Elements(log.audio.len() as u64));
+    g.throughput(Throughput::Elements(view.audio.len() as u64));
     g.bench_function("speech analysis full day", |b| {
-        b.iter(|| black_box(stage_speech(&ctx, &log, &corr)));
+        b.iter(|| black_box(stage_speech(&ctx, view, &corr)));
     });
 
     let records =
-        (log.sync.len() + log.scans.len() + log.audio.len() + log.imu.len() + log.env.len()) as u64;
+        (view.sync.len() + view.scans.len() + view.audio.len() + view.imu.len() + view.env.len())
+            as u64;
     g.throughput(Throughput::Elements(records));
     g.bench_function("badge-day (all stages, metered)", |b| {
         b.iter(|| {
             let mut metrics = EngineMetrics::new();
-            black_box(analyze_badge_day(&ctx, 3, &log, &mut metrics));
+            black_box(analyze_badge_day(&ctx, 3, view, &mut metrics));
             black_box(metrics)
         });
     });
@@ -91,11 +95,18 @@ fn bench_mission_engine(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("mission-engine");
     g.sample_size(10);
+    let stores: Vec<TelemetryStore> = recording.logs.iter().map(TelemetryStore::from).collect();
     for workers in [1usize, n] {
         let engine = MissionEngine::with_workers(ctx.clone(), workers);
         g.bench_function(&format!("analyze one day @{workers} worker(s)"), |b| {
             b.iter(|| black_box(engine.analyze_day(3, &recording.logs)));
         });
+        g.bench_function(
+            &format!("analyze one day on stores @{workers} worker(s)"),
+            |b| {
+                b.iter(|| black_box(engine.analyze_day_stores(3, &stores)));
+            },
+        );
     }
     g.finish();
 }

@@ -1,15 +1,20 @@
 //! Bench smoke: one fast, scriptable measurement of the staged engine.
 //!
-//! Records mission day 3 once, runs it through the engine sequentially and
-//! with every available core, checks the two analyses are bit-identical, and
-//! writes per-stage timings plus the measured speedup to `BENCH_pipeline.json`
-//! (or the path given as the first argument). `scripts/tier1.sh` runs this as
-//! its final step so every green build leaves a timing artifact behind.
+//! Records mission day 3 once, converts it to the columnar store, runs the
+//! store through the engine sequentially and with every available core, then
+//! runs the row façade path and checks all three analyses are bit-identical.
+//! Per-stage timings, the measured speedup, the store-vs-façade memory
+//! footprints and the verified `deterministic` flag go to
+//! `BENCH_pipeline.json` (or the path given as the first argument).
+//! `scripts/tier1.sh` runs this as its final step so every green build leaves
+//! a timing artifact behind — and then greps the artifact to fail the build
+//! on a lost determinism bit or a non-finite stage metric.
 //!
 //! ```text
 //! cargo run --release -p ares-bench --bin bench_smoke [out.json]
 //! ```
 
+use ares_badge::telemetry::{log_mem_bytes, TelemetryStore};
 use ares_icares::MissionRunner;
 use ares_sociometrics::engine::{MissionEngine, Stage};
 use ares_sociometrics::report::engine_section;
@@ -29,20 +34,32 @@ fn main() {
     let ctx = runner.pipeline().context().clone();
     let workers = std::thread::available_parallelism().map_or(1, usize::from);
 
+    let stores: Vec<TelemetryStore> = recording.logs.iter().map(TelemetryStore::from).collect();
+    let facade_bytes: u64 = recording.logs.iter().map(log_mem_bytes).sum();
+    let store_bytes: u64 = stores.iter().map(TelemetryStore::mem_bytes).sum();
+
     let sequential_engine = MissionEngine::with_workers(ctx.clone(), 1);
     let t0 = Instant::now();
-    let sequential = sequential_engine.analyze_day(DAY, &recording.logs);
+    let sequential = sequential_engine.analyze_day_stores(DAY, &stores);
     let seq_wall_s = t0.elapsed().as_secs_f64();
     let metrics = sequential_engine.metrics();
 
     let parallel_engine = MissionEngine::with_workers(ctx, workers);
     let t0 = Instant::now();
-    let parallel = parallel_engine.analyze_day(DAY, &recording.logs);
+    let parallel = parallel_engine.analyze_day_stores(DAY, &stores);
     let par_wall_s = t0.elapsed().as_secs_f64();
 
+    // The row façade must land on the very same analysis as the store path.
+    let facade = sequential_engine.analyze_day(DAY, &recording.logs);
+
+    let deterministic = parallel == sequential && facade == sequential;
     assert_eq!(
         parallel, sequential,
         "determinism violated: parallel day differs from sequential"
+    );
+    assert_eq!(
+        facade, sequential,
+        "facade drifted: row-path day differs from columnar"
     );
     let speedup = if par_wall_s > 0.0 {
         seq_wall_s / par_wall_s
@@ -56,7 +73,9 @@ fn main() {
     let _ = writeln!(json, "  \"sequential_wall_s\": {seq_wall_s:.6},");
     let _ = writeln!(json, "  \"parallel_wall_s\": {par_wall_s:.6},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
-    let _ = writeln!(json, "  \"deterministic\": true,");
+    let _ = writeln!(json, "  \"deterministic\": {deterministic},");
+    let _ = writeln!(json, "  \"facade_bytes\": {facade_bytes},");
+    let _ = writeln!(json, "  \"store_bytes\": {store_bytes},");
     json.push_str("  \"stages\": {\n");
     for (i, stage) in Stage::ALL.into_iter().enumerate() {
         let m = metrics.get(stage);
@@ -80,6 +99,11 @@ fn main() {
     println!(
         "day {DAY}: sequential {seq_wall_s:.2} s, parallel {par_wall_s:.2} s \
          @{workers} worker(s) → speedup {speedup:.2}×"
+    );
+    println!(
+        "telemetry footprint: row facade {:.1} MiB, columnar store {:.1} MiB",
+        facade_bytes as f64 / (1024.0 * 1024.0),
+        store_bytes as f64 / (1024.0 * 1024.0),
     );
     println!("wrote {out_path}");
 }

@@ -111,7 +111,10 @@ fn main() {
         });
     }
 
-    // Persist every artifact for downstream plotting.
+    // Persist every artifact for downstream plotting. The telemetry sample
+    // re-records one day in columnar form so the column serializer has real
+    // data to stream out.
+    let telemetry = runner.record_day_stores(3);
     let bundle = ares_icares::export::ExportBundle {
         fig2: &fig2,
         fig3: &fig3,
@@ -121,6 +124,7 @@ fn main() {
         table1: &table1,
         stats: &stats,
         claims: &claims,
+        telemetry: &telemetry,
     };
     match ares_icares::export::export_all(std::path::Path::new("artifacts"), &bundle) {
         Ok(paths) => println!("exported {} artifact files to ./artifacts", paths.len()),

@@ -3,7 +3,7 @@
 
 use crate::sync::SyncCorrection;
 use crate::wear::WearTrack;
-use ares_badge::records::BadgeLog;
+use ares_badge::records::{BadgeLog, ImuSample};
 use ares_badge::sensors::WALK_VAR_THRESHOLD;
 use ares_simkit::series::{Interval, IntervalSet};
 use ares_simkit::time::{SimDuration, SimTime};
@@ -55,10 +55,22 @@ pub fn detect_walking(
     wear: &WearTrack,
     params: &ActivityParams,
 ) -> ActivityTrack {
+    detect_walking_iter(log.imu.iter().copied(), corr, wear, params)
+}
+
+/// [`detect_walking`] over any inertial window stream — the shared kernel
+/// behind the row façade and the columnar view path.
+#[must_use]
+pub fn detect_walking_iter(
+    samples: impl Iterator<Item = ImuSample>,
+    corr: &SyncCorrection,
+    wear: &WearTrack,
+    params: &ActivityParams,
+) -> ActivityTrack {
     let mut bouts = Vec::new();
     let mut var_sum = 0.0;
     let mut worn_windows = 0usize;
-    for s in &log.imu {
+    for s in samples {
         let t = corr.to_reference(s.t_local);
         if !wear.worn.contains(t) {
             continue;

@@ -34,9 +34,10 @@ use crate::speech::{self, SpeechTrack};
 use crate::sync::SyncCorrection;
 use crate::wear::{self, WearTrack};
 use ares_badge::records::{BadgeId, BadgeLog};
+use ares_badge::telemetry::{TelemetryStore, TelemetryView};
 use ares_crew::roster::AstronautId;
 use ares_crew::schedule::Schedule;
-use ares_habitat::beacons::BeaconDeployment;
+use ares_habitat::beacons::{BeaconDeployment, BeaconIndex};
 use ares_habitat::floorplan::FloorPlan;
 use ares_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,9 @@ pub struct MissionContext {
     pub schedule: Schedule,
     /// All pipeline tunables.
     pub params: PipelineParams,
+    /// Dense by-id beacon lookup, built once from `beacons` — the localize
+    /// hot path resolves a beacon per advertisement, millions per day.
+    beacon_index: BeaconIndex,
 }
 
 impl MissionContext {
@@ -69,12 +73,20 @@ impl MissionContext {
         schedule: Schedule,
         params: PipelineParams,
     ) -> Self {
+        let beacon_index = beacons.index();
         MissionContext {
             plan,
             beacons,
             schedule,
             params,
+            beacon_index,
         }
+    }
+
+    /// The pre-built dense beacon lookup (mirrors `beacons` as constructed).
+    #[must_use]
+    pub fn beacon_index(&self) -> &BeaconIndex {
+        &self.beacon_index
     }
 
     /// The canonical ICAres-1 deployment with default parameters.
@@ -171,10 +183,19 @@ pub struct StageMetrics {
 
 impl StageMetrics {
     /// Input throughput in records per second (0 when no time was measured).
+    ///
+    /// Guarded against zero and denormal wall times: the result is always
+    /// finite, so serialized metrics (`BENCH_pipeline.json`) can never
+    /// contain `inf`/`NaN`.
     #[must_use]
     pub fn records_per_s(&self) -> f64 {
         if self.wall_s > 0.0 {
-            self.records_in as f64 / self.wall_s
+            let r = self.records_in as f64 / self.wall_s;
+            if r.is_finite() {
+                r
+            } else {
+                0.0
+            }
         } else {
             0.0
         }
@@ -252,41 +273,55 @@ impl EngineMetrics {
 
 /// Stage kernel: fits the clock correction from a badge's sync exchanges.
 #[must_use]
-pub fn stage_sync_fit(log: &BadgeLog) -> SyncCorrection {
-    SyncCorrection::fit(&log.sync)
+pub fn stage_sync_fit(view: TelemetryView<'_>) -> SyncCorrection {
+    SyncCorrection::fit_view(view.sync)
 }
 
-/// Stage kernel: localizes a badge log onto reference time.
+/// Stage kernel: localizes a badge's scan column onto reference time.
 #[must_use]
 pub fn stage_localize(
     ctx: &MissionContext,
-    log: &BadgeLog,
+    view: TelemetryView<'_>,
     corr: &SyncCorrection,
 ) -> PositionTrack {
-    localization::localize(log, corr, &ctx.beacons, &ctx.plan, &ctx.params.localization)
+    localization::localize_scans(
+        view.scans,
+        corr,
+        &ctx.beacon_index,
+        &ctx.plan,
+        &ctx.params.localization,
+    )
 }
 
 /// Stage kernel: classifies worn vs. off-body time.
 #[must_use]
-pub fn stage_wear(ctx: &MissionContext, log: &BadgeLog, corr: &SyncCorrection) -> WearTrack {
-    wear::detect_wear(log, corr, &ctx.params.wear)
+pub fn stage_wear(
+    ctx: &MissionContext,
+    view: TelemetryView<'_>,
+    corr: &SyncCorrection,
+) -> WearTrack {
+    wear::detect_wear_iter(view.imu_samples(), corr, &ctx.params.wear)
 }
 
 /// Stage kernel: detects walking bouts over worn time.
 #[must_use]
 pub fn stage_activity(
     ctx: &MissionContext,
-    log: &BadgeLog,
+    view: TelemetryView<'_>,
     corr: &SyncCorrection,
     wear_track: &WearTrack,
 ) -> ActivityTrack {
-    activity::detect_walking(log, corr, wear_track, &ctx.params.activity)
+    activity::detect_walking_iter(view.imu_samples(), corr, wear_track, &ctx.params.activity)
 }
 
 /// Stage kernel: applies the paper's speech rules to the audio stream.
 #[must_use]
-pub fn stage_speech(ctx: &MissionContext, log: &BadgeLog, corr: &SyncCorrection) -> SpeechTrack {
-    speech::analyze(log, corr, &ctx.params.speech)
+pub fn stage_speech(
+    ctx: &MissionContext,
+    view: TelemetryView<'_>,
+    corr: &SyncCorrection,
+) -> SpeechTrack {
+    speech::analyze_iter(view.audio_frames(), corr, &ctx.params.speech)
 }
 
 /// Stage kernel: segments room stays from a localized track.
@@ -320,50 +355,50 @@ pub fn stage_identity(
 pub fn analyze_badge_day(
     ctx: &MissionContext,
     day: u32,
-    log: &BadgeLog,
+    view: TelemetryView<'_>,
     metrics: &mut EngineMetrics,
 ) -> BadgeDay {
     let t0 = Instant::now();
-    let corr = stage_sync_fit(log);
+    let corr = stage_sync_fit(view);
     metrics.record(
         Stage::SyncFit,
-        log.sync.len() as u64,
+        view.sync.len() as u64,
         1,
         t0.elapsed().as_secs_f64(),
     );
 
     let t0 = Instant::now();
-    let track = stage_localize(ctx, log, &corr);
+    let track = stage_localize(ctx, view, &corr);
     metrics.record(
         Stage::Localize,
-        log.scans.len() as u64,
+        view.scans.len() as u64,
         track.fixes.len() as u64,
         t0.elapsed().as_secs_f64(),
     );
 
     let t0 = Instant::now();
-    let wear_track = stage_wear(ctx, log, &corr);
+    let wear_track = stage_wear(ctx, view, &corr);
     metrics.record(
         Stage::Wear,
-        log.imu.len() as u64,
+        view.imu.len() as u64,
         wear_track.worn.intervals().len() as u64,
         t0.elapsed().as_secs_f64(),
     );
 
     let t0 = Instant::now();
-    let act = stage_activity(ctx, log, &corr, &wear_track);
+    let act = stage_activity(ctx, view, &corr, &wear_track);
     metrics.record(
         Stage::Activity,
-        log.imu.len() as u64,
+        view.imu.len() as u64,
         act.walking.intervals().len() as u64,
         t0.elapsed().as_secs_f64(),
     );
 
     let t0 = Instant::now();
-    let sp = stage_speech(ctx, log, &corr);
+    let sp = stage_speech(ctx, view, &corr);
     metrics.record(
         Stage::Speech,
-        log.audio.len() as u64,
+        view.audio.len() as u64,
         sp.intervals.len() as u64,
         t0.elapsed().as_secs_f64(),
     );
@@ -378,7 +413,7 @@ pub fn analyze_badge_day(
     );
 
     let t0 = Instant::now();
-    let identification = stage_identity(ctx, day, log.badge, &track);
+    let identification = stage_identity(ctx, day, view.badge, &track);
     metrics.record(
         Stage::Identity,
         stays.len() as u64,
@@ -387,7 +422,7 @@ pub fn analyze_badge_day(
     );
 
     BadgeDay {
-        badge: log.badge,
+        badge: view.badge,
         corr,
         track,
         wear: wear_track,
@@ -406,7 +441,7 @@ pub fn analyze_badge_day(
 pub fn assemble_day(
     ctx: &MissionContext,
     day: u32,
-    logs: &[BadgeLog],
+    stores: &[TelemetryStore],
     badges: Vec<BadgeDay>,
     metrics: &mut EngineMetrics,
 ) -> DayAnalysis {
@@ -484,16 +519,16 @@ pub fn assemble_day(
         });
     }
 
-    let private_pairs = private_conversations(logs, &badges, &carrier_of, &speech_by_ast);
+    let private_pairs = private_conversations(stores, &badges, &carrier_of, &speech_by_ast);
 
-    // Room climate: join every carried badge's env stream with its track.
+    // Room climate: join every carried badge's env column with its track.
     let mut climate_sums = [(0.0f64, 0u64); 10];
-    for log in logs {
-        let Some(bd) = badges.iter().find(|b| b.badge == log.badge) else {
+    for store in stores {
+        let Some(bd) = badges.iter().find(|b| b.badge == store.badge) else {
             continue;
         };
-        for s in &log.env {
-            let t = bd.corr.to_reference(s.t_local);
+        for (t_local, s) in store.env.view().iter() {
+            let t = bd.corr.to_reference(t_local);
             if let Some(fix) = bd.track.at(t) {
                 let slot = &mut climate_sums[fix.room.index()];
                 slot.0 += s.temperature_c;
@@ -501,13 +536,13 @@ pub fn assemble_day(
             }
         }
     }
-    let reference_env = logs
+    let reference_env = stores
         .iter()
-        .find(|l| l.badge == BadgeId::REFERENCE)
-        .map(|l| l.env.clone())
+        .find(|s| s.badge == BadgeId::REFERENCE)
+        .map(|s| s.view().env_samples().collect())
         .unwrap_or_default();
 
-    let records_in: u64 = logs.iter().map(|l| l.env.len() as u64).sum();
+    let records_in: u64 = stores.iter().map(|s| s.env.len() as u64).sum();
     let out = DayAnalysis {
         day,
         badges,
@@ -529,8 +564,8 @@ pub fn assemble_day(
     out
 }
 
-/// Analyzes one day of badge logs sequentially: per-badge stages in log
-/// order, then day-level assembly.
+/// Analyzes one day of badge logs sequentially (row façade): converts the
+/// logs into columnar stores once, then delegates to [`analyze_day_stores`].
 #[must_use]
 pub fn analyze_day(
     ctx: &MissionContext,
@@ -538,12 +573,25 @@ pub fn analyze_day(
     logs: &[BadgeLog],
     metrics: &mut EngineMetrics,
 ) -> DayAnalysis {
-    let badges: Vec<BadgeDay> = logs
+    let stores: Vec<TelemetryStore> = logs.iter().map(TelemetryStore::from).collect();
+    analyze_day_stores(ctx, day, &stores, metrics)
+}
+
+/// Analyzes one day of columnar telemetry sequentially: per-badge stages in
+/// store order over zero-copy views, then day-level assembly.
+#[must_use]
+pub fn analyze_day_stores(
+    ctx: &MissionContext,
+    day: u32,
+    stores: &[TelemetryStore],
+    metrics: &mut EngineMetrics,
+) -> DayAnalysis {
+    let badges: Vec<BadgeDay> = stores
         .iter()
-        .filter(|log| log.badge != BadgeId::REFERENCE)
-        .map(|log| analyze_badge_day(ctx, day, log, metrics))
+        .filter(|store| store.badge != BadgeId::REFERENCE)
+        .map(|store| analyze_badge_day(ctx, day, store.view(), metrics))
         .collect();
-    assemble_day(ctx, day, logs, badges, metrics)
+    assemble_day(ctx, day, stores, badges, metrics)
 }
 
 /// Private-conversation mining: "the infrared transceiver … enables assessing
@@ -554,7 +602,7 @@ pub fn analyze_day(
 /// exchanged IR contacts in that minute, (b) neither badge saw a third badge
 /// over IR, and (c) at least one of the pair's badges heard speech.
 fn private_conversations(
-    logs: &[BadgeLog],
+    stores: &[TelemetryStore],
     badges: &[BadgeDay],
     carrier_of: &[Option<usize>; 6],
     speech_by_ast: &[Option<&SpeechTrack>; 6],
@@ -570,18 +618,18 @@ fn private_conversations(
     let minute = SimDuration::from_secs(60);
     // (astronaut, minute-index) → set of IR partners.
     let mut partners: BTreeMap<(usize, i64), BTreeSet<usize>> = BTreeMap::new();
-    for log in logs {
-        let Some(&me) = who.get(&log.badge) else {
+    for store in stores {
+        let Some(&me) = who.get(&store.badge) else {
             continue;
         };
-        let Some(bd) = badges.iter().find(|b| b.badge == log.badge) else {
+        let Some(bd) = badges.iter().find(|b| b.badge == store.badge) else {
             continue;
         };
-        for c in &log.ir {
+        for (t_local, c) in store.ir.view().iter() {
             let Some(&other) = who.get(&c.other) else {
                 continue;
             };
-            let t = bd.corr.to_reference(c.t_local);
+            let t = bd.corr.to_reference(t_local);
             let w = t.as_micros().div_euclid(minute.as_micros());
             partners.entry((me, w)).or_default().insert(other);
         }
@@ -699,13 +747,13 @@ impl MissionEngine {
 
     /// Fans badge-day tasks out across the worker pool; results come back in
     /// task order regardless of which worker ran what.
-    fn fan_out(&self, tasks: &[(u32, &BadgeLog)]) -> Vec<BadgeDay> {
+    fn fan_out(&self, tasks: &[(u32, TelemetryView<'_>)]) -> Vec<BadgeDay> {
         let workers = self.workers.min(tasks.len().max(1));
         if workers == 1 {
             let mut local = EngineMetrics::new();
             let out = tasks
                 .iter()
-                .map(|&(day, log)| analyze_badge_day(&self.ctx, day, log, &mut local))
+                .map(|&(day, view)| analyze_badge_day(&self.ctx, day, view, &mut local))
                 .collect();
             self.merge_metrics(&local);
             return out;
@@ -718,10 +766,10 @@ impl MissionEngine {
                     let mut local = EngineMetrics::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(day, log)) = tasks.get(i) else {
+                        let Some(&(day, view)) = tasks.get(i) else {
                             break;
                         };
-                        let analyzed = analyze_badge_day(&self.ctx, day, log, &mut local);
+                        let analyzed = analyze_badge_day(&self.ctx, day, view, &mut local);
                         *slots[i].lock().expect("unshared slot") = Some(analyzed);
                     }
                     self.merge_metrics(&local);
@@ -738,47 +786,69 @@ impl MissionEngine {
             .collect()
     }
 
-    /// Analyzes one day of badge logs, fanning the badges across workers.
-    /// Bit-identical to [`analyze_day`].
+    /// Analyzes one day of badge logs (row façade): converts to columnar
+    /// stores once, then fans the views across workers. Bit-identical to
+    /// [`analyze_day`].
     #[must_use]
     pub fn analyze_day(&self, day: u32, logs: &[BadgeLog]) -> DayAnalysis {
-        let tasks: Vec<(u32, &BadgeLog)> = logs
+        let stores: Vec<TelemetryStore> = logs.iter().map(TelemetryStore::from).collect();
+        self.analyze_day_stores(day, &stores)
+    }
+
+    /// Analyzes one day of columnar telemetry, fanning zero-copy badge views
+    /// across workers. Bit-identical to [`analyze_day_stores`].
+    #[must_use]
+    pub fn analyze_day_stores(&self, day: u32, stores: &[TelemetryStore]) -> DayAnalysis {
+        let tasks: Vec<(u32, TelemetryView<'_>)> = stores
             .iter()
-            .filter(|log| log.badge != BadgeId::REFERENCE)
-            .map(|log| (day, log))
+            .filter(|store| store.badge != BadgeId::REFERENCE)
+            .map(|store| (day, store.view()))
             .collect();
         let badges = self.fan_out(&tasks);
         let mut local = EngineMetrics::new();
-        let out = assemble_day(&self.ctx, day, logs, badges, &mut local);
+        let out = assemble_day(&self.ctx, day, stores, badges, &mut local);
         self.merge_metrics(&local);
         out
     }
 
-    /// Analyzes a batch of recorded days, fanning **all** badge-days across
-    /// workers at once, then assembling and absorbing each day in canonical
-    /// order. Bit-identical to analyzing each day sequentially and absorbing
-    /// in day order (including [`MissionAnalysis::account_bytes`]).
+    /// Analyzes a batch of recorded days (row façade): converts each day's
+    /// logs into columnar stores, then delegates to
+    /// [`MissionEngine::analyze_days_stores`].
     #[must_use]
     pub fn analyze_days(&self, days: &[(u32, Vec<BadgeLog>)]) -> MissionAnalysis {
-        let tasks: Vec<(u32, &BadgeLog)> = days
+        let day_stores: Vec<(u32, Vec<TelemetryStore>)> = days
             .iter()
-            .flat_map(|&(day, ref logs)| {
-                logs.iter()
-                    .filter(|log| log.badge != BadgeId::REFERENCE)
-                    .map(move |log| (day, log))
+            .map(|&(day, ref logs)| (day, logs.iter().map(TelemetryStore::from).collect()))
+            .collect();
+        self.analyze_days_stores(&day_stores)
+    }
+
+    /// Analyzes a batch of recorded days, fanning **all** badge-day views
+    /// across workers at once, then assembling and absorbing each day in
+    /// canonical order. Bit-identical to analyzing each day sequentially and
+    /// absorbing in day order (including the recorded-byte accounting).
+    #[must_use]
+    pub fn analyze_days_stores(&self, days: &[(u32, Vec<TelemetryStore>)]) -> MissionAnalysis {
+        let tasks: Vec<(u32, TelemetryView<'_>)> = days
+            .iter()
+            .flat_map(|&(day, ref stores)| {
+                stores
+                    .iter()
+                    .filter(|store| store.badge != BadgeId::REFERENCE)
+                    .map(move |store| (day, store.view()))
             })
             .collect();
         let mut analyzed = self.fan_out(&tasks).into_iter();
         let mut local = EngineMetrics::new();
         let mut mission = MissionAnalysis::new(&self.ctx.plan);
-        for (day, logs) in days {
-            let n = logs
+        for (day, stores) in days {
+            let n = stores
                 .iter()
-                .filter(|log| log.badge != BadgeId::REFERENCE)
+                .filter(|store| store.badge != BadgeId::REFERENCE)
                 .count();
             let badges: Vec<BadgeDay> = analyzed.by_ref().take(n).collect();
-            let day_analysis = assemble_day(&self.ctx, *day, logs, badges, &mut local);
-            mission.account_bytes(logs);
+            let day_analysis = assemble_day(&self.ctx, *day, stores, badges, &mut local);
+            mission.account_recorded(stores.iter().map(|s| s.bytes_written).sum());
             mission.absorb(day_analysis);
         }
         self.merge_metrics(&local);
@@ -807,6 +877,23 @@ mod tests {
         assert!((loc.records_per_s() - 160.0).abs() < 1e-9);
         assert_eq!(a.get(Stage::Speech).calls, 1);
         assert!(a.render().contains("localize"));
+    }
+
+    #[test]
+    fn throughput_is_always_finite() {
+        // Zero wall time → 0, never NaN.
+        let zero = StageMetrics {
+            calls: 1,
+            records_in: 10,
+            items_out: 0,
+            wall_s: 0.0,
+        };
+        assert_eq!(zero.records_per_s(), 0.0);
+        // Denormal wall time overflowing the division → 0, never inf.
+        let mut m = EngineMetrics::new();
+        m.record(Stage::Localize, u64::MAX, 0, f64::MIN_POSITIVE / 4.0);
+        let r = m.get(Stage::Localize).records_per_s();
+        assert!(r.is_finite(), "throughput {r} must be finite");
     }
 
     #[test]

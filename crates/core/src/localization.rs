@@ -12,13 +12,15 @@
 
 use crate::sync::SyncCorrection;
 use ares_badge::records::{BadgeLog, BeaconScan};
-use ares_habitat::beacons::BeaconDeployment;
-use ares_habitat::rf::ChannelParams;
+use ares_badge::telemetry::{ColumnView, ScanHits};
+use ares_habitat::beacons::{BeaconDeployment, BeaconId, BeaconIndex};
+use ares_habitat::rf::{ChannelParams, RangingTable};
 use ares_habitat::rooms::RoomId;
-use ares_simkit::geometry::{Grid, Point2};
+use ares_simkit::geometry::{Grid, Point2, Polygon};
 use ares_simkit::series::Series;
 use ares_simkit::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Localization parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,6 +116,17 @@ pub fn classify_room(scan: &BeaconScan, beacons: &BeaconDeployment) -> Option<Ro
     Some(room)
 }
 
+/// [`classify_room`] over raw advertisement hits, resolving beacons through
+/// the dense [`BeaconIndex`] — the form used by the localization hot path
+/// and the streaming analyzer.
+#[must_use]
+pub fn classify_room_hits(hits: &[(BeaconId, f64)], index: &BeaconIndex) -> Option<RoomId> {
+    let strongest = hits
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite RSSI"))?;
+    Some(index.get(strongest.0)?.room)
+}
+
 /// Estimates the in-room position from one scan's hits.
 ///
 /// Ranging inverts the calibrated path-loss model; the initial guess is the
@@ -136,6 +149,19 @@ pub fn estimate_position(
             (b.room == room).then(|| (b.position, params.channel.distance_for_rssi(rssi)))
         })
         .collect();
+    solve_position(&anchors, poly, params)
+}
+
+/// Solves a position from ranged in-room anchors: weighted-centroid
+/// initialization refined by regularized Gauss–Newton, clamped into the room
+/// polygon. Falls back to the first anchor (or the room centre) when hits
+/// are too few for a fix. Shared by the exact [`estimate_position`] and the
+/// table-ranged hot path inside [`localize`].
+fn solve_position(
+    anchors: &[(Point2, f64)],
+    poly: &Polygon,
+    params: &LocalizationParams,
+) -> Point2 {
     if anchors.len() < params.min_hits_for_fix {
         return match anchors.first() {
             Some(&(p, _)) => poly.clamp_inside(p),
@@ -146,7 +172,7 @@ pub fn estimate_position(
     let mut wx = 0.0;
     let mut wy = 0.0;
     let mut wsum = 0.0;
-    for &(p, d) in &anchors {
+    for &(p, d) in anchors {
         let w = 1.0 / d.max(0.3);
         wx += p.x * w;
         wy += p.y * w;
@@ -163,9 +189,11 @@ pub fn estimate_position(
     for _ in 0..params.gn_iterations {
         let mut jt_j = [[lambda, 0.0], [0.0, lambda]];
         let mut jt_r = [lambda * (est.x - init.x), lambda * (est.y - init.y)];
-        for &(a, d) in &anchors {
+        for &(a, d) in anchors {
             let diff = est - a;
-            let dist = diff.norm().max(1e-6);
+            // Plain sqrt, not hypot: anchor offsets are room-scale meters, so
+            // the overflow guard hypot pays for is wasted in this inner loop.
+            let dist = (diff.x * diff.x + diff.y * diff.y).sqrt().max(1e-6);
             let r = dist - d;
             let j = [diff.x / dist, diff.y / dist];
             jt_j[0][0] += j[0] * j[0];
@@ -182,7 +210,7 @@ pub fn estimate_position(
         let dx = (jt_j[1][1] * jt_r[0] - jt_j[0][1] * jt_r[1]) / det;
         let dy = (-jt_j[1][0] * jt_r[0] + jt_j[0][0] * jt_r[1]) / det;
         est = Point2::new(est.x - dx, est.y - dy);
-        if dx.hypot(dy) < 1e-3 {
+        if dx * dx + dy * dy < 1e-6 {
             break;
         }
     }
@@ -197,7 +225,13 @@ pub fn estimate_position(
 /// shrinking log-normal shadowing by √window.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ScanSmoother {
-    window: std::collections::VecDeque<BeaconScan>,
+    /// Local timestamps of the retained scans, in arrival order.
+    ts: VecDeque<SimTime>,
+    /// Advertisement count of each retained scan (delimits `hits`).
+    counts: VecDeque<u32>,
+    /// The retained scans' hits, flattened scan-by-scan (columnar: no
+    /// per-scan `Vec` clone on push).
+    hits: VecDeque<(BeaconId, f64)>,
     room: Option<RoomId>,
 }
 
@@ -214,26 +248,71 @@ impl ScanSmoother {
     /// ignored, exactly as in the batch path).
     pub fn push(
         &mut self,
-        scan: &BeaconScan,
-        beacons: &BeaconDeployment,
+        t_local: SimTime,
+        hits: &[(BeaconId, f64)],
+        index: &BeaconIndex,
         params: &LocalizationParams,
     ) -> Option<RoomId> {
-        let room = classify_room(scan, beacons)?;
+        let room = classify_room_hits(hits, index)?;
         if self.room.is_some_and(|r| r != room) {
-            self.window.clear();
+            self.ts.clear();
+            self.counts.clear();
+            self.hits.clear();
         }
         self.room = Some(room);
-        self.window.push_back(scan.clone());
-        while self.window.len() > params.smoothing_window.max(1) {
-            self.window.pop_front();
+        self.ts.push_back(t_local);
+        #[allow(clippy::cast_possible_truncation)]
+        self.counts.push_back(hits.len() as u32);
+        self.hits.extend(hits.iter().copied());
+        while self.ts.len() > params.smoothing_window.max(1) {
+            self.ts.pop_front();
+            let n = self.counts.pop_front().unwrap_or(0);
+            self.hits.drain(..n as usize);
         }
         Some(room)
     }
 
-    /// The RSSI-averaged merge of the current window.
+    /// Merges the window's RSSI per beacon into `out` (sorted by id),
+    /// reusing `scratch` — the allocation-free form of [`merge_scans`]
+    /// used by the localization hot path.
+    pub fn merge_into(&self, scratch: &mut MergeScratch, out: &mut Vec<(BeaconId, f64)>) {
+        for &(id, rssi) in &self.hits {
+            let i = id.0 as usize;
+            if i >= scratch.sums.len() {
+                scratch.sums.resize(i + 1, 0.0);
+                scratch.counts.resize(i + 1, 0);
+            }
+            if scratch.counts[i] == 0 {
+                scratch.touched.push(id.0);
+            }
+            scratch.sums[i] += rssi;
+            scratch.counts[i] += 1;
+        }
+        scratch.touched.sort_unstable();
+        out.clear();
+        for &raw in &scratch.touched {
+            let i = raw as usize;
+            out.push((
+                BeaconId(raw),
+                scratch.sums[i] / f64::from(scratch.counts[i]),
+            ));
+            scratch.sums[i] = 0.0;
+            scratch.counts[i] = 0;
+        }
+        scratch.touched.clear();
+    }
+
+    /// The RSSI-averaged merge of the current window (compatibility form;
+    /// the hot path uses [`ScanSmoother::merge_into`]).
     #[must_use]
     pub fn merged(&self) -> BeaconScan {
-        merge_scans(&self.window.iter().collect::<Vec<_>>())
+        let mut scratch = MergeScratch::default();
+        let mut hits = Vec::new();
+        self.merge_into(&mut scratch, &mut hits);
+        BeaconScan {
+            t_local: self.ts.iter().copied().max().unwrap_or(SimTime::EPOCH),
+            hits,
+        }
     }
 
     /// The room of the most recent classified scan.
@@ -245,34 +324,62 @@ impl ScanSmoother {
     /// Scans currently retained.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.window.len()
+        self.ts.len()
     }
 
     /// Whether the window is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.window.is_empty()
+        self.ts.is_empty()
     }
 }
 
-/// Localizes a whole badge log onto reference time.
-#[must_use]
-pub fn localize(
-    log: &BadgeLog,
+/// Reusable per-beacon accumulator for [`ScanSmoother::merge_into`] —
+/// replaces the per-scan `BTreeMap` allocation of [`merge_scans`] with flat
+/// arrays indexed by beacon id. Accumulation order (scan arrival) and output
+/// order (ascending id) match `merge_scans` bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct MergeScratch {
+    sums: Vec<f64>,
+    counts: Vec<u32>,
+    touched: Vec<u8>,
+}
+
+/// The shared localization loop: smoothing window → per-beacon RSSI merge →
+/// table ranging → position solve, with reusable scratch buffers so the
+/// steady state allocates nothing per scan. Both the row-façade
+/// [`localize`] and the columnar [`localize_scans`] drive this one loop, so
+/// the two paths cannot diverge.
+fn localize_inner<'h>(
+    scans: impl Iterator<Item = (SimTime, &'h [(BeaconId, f64)])>,
     corr: &SyncCorrection,
-    beacons: &BeaconDeployment,
+    index: &BeaconIndex,
     plan: &ares_habitat::floorplan::FloorPlan,
     params: &LocalizationParams,
 ) -> PositionTrack {
+    let ranging = RangingTable::new(&params.channel);
     let mut track = PositionTrack::default();
     let mut last_t = None;
     let mut smoother = ScanSmoother::new();
-    for scan in &log.scans {
-        let Some(room) = smoother.push(scan, beacons, params) else {
+    let mut scratch = MergeScratch::default();
+    let mut merged: Vec<(BeaconId, f64)> = Vec::new();
+    let mut anchors: Vec<(Point2, f64)> = Vec::new();
+    for (t_local, hits) in scans {
+        let Some(room) = smoother.push(t_local, hits, index, params) else {
             continue;
         };
-        let position = estimate_position(&smoother.merged(), room, beacons, plan, params);
-        let t = corr.to_reference(scan.t_local);
+        smoother.merge_into(&mut scratch, &mut merged);
+        let poly = plan.room_polygon(room);
+        anchors.clear();
+        for &(id, rssi) in &merged {
+            if let Some(b) = index.get(id) {
+                if b.room == room {
+                    anchors.push((b.position, ranging.distance(rssi)));
+                }
+            }
+        }
+        let position = solve_position(&anchors, poly, params);
+        let t = corr.to_reference(t_local);
         // Guard against pathological correction foldbacks.
         if last_t.is_some_and(|lt| t < lt) {
             continue;
@@ -283,11 +390,51 @@ pub fn localize(
             Fix {
                 room,
                 position,
-                hits: scan.hits.len(),
+                hits: hits.len(),
             },
         );
     }
     track
+}
+
+/// Localizes a whole badge log onto reference time (row façade; builds the
+/// beacon index on the fly).
+#[must_use]
+pub fn localize(
+    log: &BadgeLog,
+    corr: &SyncCorrection,
+    beacons: &BeaconDeployment,
+    plan: &ares_habitat::floorplan::FloorPlan,
+    params: &LocalizationParams,
+) -> PositionTrack {
+    let index = beacons.index();
+    localize_inner(
+        log.scans.iter().map(|s| (s.t_local, s.hits.as_slice())),
+        corr,
+        &index,
+        plan,
+        params,
+    )
+}
+
+/// Localizes a columnar scan view onto reference time — the zero-copy hot
+/// path driven by the engine (the pre-built [`BeaconIndex`] comes from
+/// `MissionContext`).
+#[must_use]
+pub fn localize_scans(
+    scans: ColumnView<'_, ScanHits>,
+    corr: &SyncCorrection,
+    index: &BeaconIndex,
+    plan: &ares_habitat::floorplan::FloorPlan,
+    params: &LocalizationParams,
+) -> PositionTrack {
+    localize_inner(
+        scans.iter().map(|(t, h)| (t, h.as_slice())),
+        corr,
+        index,
+        plan,
+        params,
+    )
 }
 
 /// A positional heatmap: seconds spent per 28 cm grid cell.
@@ -511,6 +658,64 @@ mod tests {
             err_gn < err_c,
             "refinement must help on smoothed RSSI: GN {err_gn:.1} vs centroid {err_c:.1}"
         );
+    }
+
+    #[test]
+    fn flattened_smoother_matches_merge_scans() {
+        let world = World::icares();
+        let params = LocalizationParams::default();
+        let index = world.beacons.index();
+        let mut rng = SeedTree::new(34).stream("loc4");
+        let pos = world.plan.room_center(RoomId::Workshop);
+        let mut smoother = ScanSmoother::new();
+        let mut window: Vec<ares_badge::records::BeaconScan> = Vec::new();
+        for i in 0..40 {
+            let scan = scanner::scan(&world, pos, SimTime::from_secs(i), &mut rng);
+            let room = smoother.push(scan.t_local, &scan.hits, &index, &params);
+            assert_eq!(room, classify_room(&scan, &world.beacons));
+            if room.is_none() {
+                continue;
+            }
+            window.push(scan);
+            if window.len() > params.smoothing_window {
+                window.remove(0);
+            }
+            let expect = merge_scans(&window.iter().collect::<Vec<_>>());
+            assert_eq!(smoother.merged(), expect, "scan {i}");
+            assert_eq!(smoother.len(), window.len());
+        }
+        assert!(!smoother.is_empty());
+    }
+
+    #[test]
+    fn columnar_localize_matches_row_facade() {
+        use ares_badge::records::BadgeLog;
+        use ares_badge::telemetry::TelemetryStore;
+        let world = World::icares();
+        let params = LocalizationParams::default();
+        let index = world.beacons.index();
+        let mut rng = SeedTree::new(35).stream("loc5");
+        let mut log = BadgeLog::new(ares_badge::records::BadgeId(0));
+        for (i, room) in [RoomId::Kitchen, RoomId::Biolab, RoomId::Office]
+            .into_iter()
+            .cycle()
+            .take(120)
+            .enumerate()
+        {
+            let pos = world.plan.room_center(room);
+            log.scans.push(scanner::scan(
+                &world,
+                pos,
+                SimTime::from_secs(i as i64),
+                &mut rng,
+            ));
+        }
+        let corr = SyncCorrection::identity();
+        let row = localize(&log, &corr, &world.beacons, &world.plan, &params);
+        let store = TelemetryStore::from(&log);
+        let col = localize_scans(store.view().scans, &corr, &index, &world.plan, &params);
+        assert_eq!(row, col, "columnar path must match the row façade");
+        assert!(!row.fixes.is_empty());
     }
 
     #[test]

@@ -199,6 +199,17 @@ impl Pipeline {
     ) -> DayAnalysis {
         engine::analyze_day(&self.ctx, day, logs, metrics)
     }
+
+    /// Analyzes one day of columnar telemetry stores — the zero-copy path;
+    /// bit-identical to [`Self::analyze_day`] on the equivalent logs.
+    #[must_use]
+    pub fn analyze_day_stores(
+        &self,
+        day: u32,
+        stores: &[ares_badge::telemetry::TelemetryStore],
+    ) -> DayAnalysis {
+        engine::analyze_day_stores(&self.ctx, day, stores, &mut EngineMetrics::new())
+    }
 }
 
 /// Mission-level accumulator over day analyses.
@@ -319,9 +330,15 @@ impl MissionAnalysis {
         crate::environment::estimate_day_length(&transitions)
     }
 
+    /// Accounts raw storage volume already summed by the caller (the
+    /// engine's store path sums `TelemetryStore::bytes_written` directly).
+    pub fn account_recorded(&mut self, bytes: u64) {
+        self.bytes_recorded += bytes;
+    }
+
     /// Accounts raw storage volume from the day's logs.
     pub fn account_bytes(&mut self, logs: &[BadgeLog]) {
-        self.bytes_recorded += logs.iter().map(|l| l.bytes_written).sum::<u64>();
+        self.account_recorded(logs.iter().map(|l| l.bytes_written).sum::<u64>());
     }
 
     /// Mission-mean of a daily metric for one astronaut.

@@ -117,14 +117,22 @@ struct Utterance {
     f0_hz: f64,
 }
 
-/// Analyzes a badge's audio stream.
+/// Analyzes a badge's audio stream (row façade).
 #[must_use]
 pub fn analyze(log: &BadgeLog, corr: &SyncCorrection, params: &SpeechParams) -> SpeechTrack {
-    let frames: Vec<(SimTime, &AudioFrame)> = log
-        .audio
-        .iter()
-        .map(|f| (corr.to_reference(f.t_local), f))
-        .collect();
+    analyze_iter(log.audio.iter().copied(), corr, params)
+}
+
+/// [`analyze`] over any audio frame stream — the shared kernel behind the
+/// row façade and the columnar view path.
+#[must_use]
+pub fn analyze_iter(
+    audio: impl Iterator<Item = AudioFrame>,
+    corr: &SyncCorrection,
+    params: &SpeechParams,
+) -> SpeechTrack {
+    let frames: Vec<(SimTime, AudioFrame)> =
+        audio.map(|f| (corr.to_reference(f.t_local), f)).collect();
     let intervals = classify_intervals(&frames, params);
     let heard = IntervalSet::from_intervals(
         intervals
@@ -177,7 +185,7 @@ pub fn analyze(log: &BadgeLog, corr: &SyncCorrection, params: &SpeechParams) -> 
 }
 
 fn classify_intervals(
-    frames: &[(SimTime, &AudioFrame)],
+    frames: &[(SimTime, AudioFrame)],
     params: &SpeechParams,
 ) -> Vec<SpeechInterval> {
     let mut out: Vec<SpeechInterval> = Vec::new();
@@ -195,7 +203,7 @@ fn classify_intervals(
         if f.voiced {
             c.4 += 1;
             c.5 += f.level_db;
-            if frame_qualifies(f, params) {
+            if frame_qualifies(&f, params) {
                 c.2 += 1;
                 c.3 += f.level_db;
             }
@@ -237,7 +245,7 @@ fn finish_interval(
     }
 }
 
-fn assemble_utterances(frames: &[(SimTime, &AudioFrame)], level_db: f64) -> Vec<Utterance> {
+fn assemble_utterances(frames: &[(SimTime, AudioFrame)], level_db: f64) -> Vec<Utterance> {
     let mut out = Vec::new();
     let mut run: Vec<(SimTime, f64)> = Vec::new();
     let gap = SimDuration::from_millis(1200);

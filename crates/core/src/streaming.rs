@@ -189,11 +189,12 @@ impl StreamingAnalyzer {
         let mut events = Vec::new();
         let state = self.badges.entry(badge).or_default();
         let previous = state.smoother.room();
-        let Some(room) =
-            state
-                .smoother
-                .push(scan, &self.ctx.beacons, &self.ctx.params.localization)
-        else {
+        let Some(room) = state.smoother.push(
+            scan.t_local,
+            &scan.hits,
+            self.ctx.beacon_index(),
+            &self.ctx.params.localization,
+        ) else {
             return events;
         };
         let at = state.sync.to_reference(scan.t_local);

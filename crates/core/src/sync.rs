@@ -12,6 +12,7 @@
 //! All cross-badge analyses run on reference time.
 
 use ares_badge::records::SyncSample;
+use ares_badge::telemetry::{ColumnView, SyncPayload};
 use ares_simkit::stats::linear_fit;
 use ares_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -46,9 +47,6 @@ impl SyncCorrection {
     /// Returns the identity correction when fewer than two samples exist.
     #[must_use]
     pub fn fit(samples: &[SyncSample]) -> Self {
-        if samples.len() < 2 {
-            return SyncCorrection::identity();
-        }
         let xs: Vec<f64> = samples
             .iter()
             .map(|s| s.t_reference.as_secs_f64())
@@ -57,16 +55,42 @@ impl SyncCorrection {
             .iter()
             .map(|s| (s.t_local - s.t_reference).as_secs_f64())
             .collect();
-        let (offset, slope) = linear_fit(&xs, &ys);
+        Self::fit_xy(&xs, &ys)
+    }
+
+    /// Fits a correction straight off a columnar sync view — the same least
+    /// squares as [`SyncCorrection::fit`] on byte-identical inputs, without
+    /// materializing row structs.
+    #[must_use]
+    pub fn fit_view(view: ColumnView<'_, SyncPayload>) -> Self {
+        let xs: Vec<f64> = view
+            .payloads()
+            .iter()
+            .map(|p| p.t_reference.as_secs_f64())
+            .collect();
+        let ys: Vec<f64> = view
+            .iter()
+            .map(|(t_local, p)| (t_local - p.t_reference).as_secs_f64())
+            .collect();
+        Self::fit_xy(&xs, &ys)
+    }
+
+    /// The shared least-squares tail of [`SyncCorrection::fit`] and
+    /// [`SyncCorrection::fit_view`].
+    fn fit_xy(xs: &[f64], ys: &[f64]) -> Self {
+        if xs.len() < 2 {
+            return SyncCorrection::identity();
+        }
+        let (offset, slope) = linear_fit(xs, ys);
         let mut sq = 0.0;
-        for (&x, &y) in xs.iter().zip(&ys) {
+        for (&x, &y) in xs.iter().zip(ys) {
             let r = y - (offset + slope * x);
             sq += r * r;
         }
         SyncCorrection {
             offset_s: offset,
             skew_ppm: slope * 1e6,
-            samples: samples.len(),
+            samples: xs.len(),
             rms_residual_s: (sq / xs.len() as f64).sqrt(),
         }
     }

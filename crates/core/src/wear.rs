@@ -58,9 +58,21 @@ pub struct WearTrack {
     pub active: IntervalSet,
 }
 
-/// Classifies wear from a badge's inertial stream.
+/// Classifies wear from a badge's inertial stream (row façade).
 #[must_use]
 pub fn detect_wear(log: &BadgeLog, corr: &SyncCorrection, params: &WearParams) -> WearTrack {
+    detect_wear_iter(log.imu.iter().copied(), corr, params)
+}
+
+/// Classifies wear from any inertial window stream — the shared kernel
+/// behind the row façade and the columnar view path (which feeds it
+/// `TelemetryView::imu_samples()`).
+#[must_use]
+pub fn detect_wear_iter(
+    samples: impl Iterator<Item = ImuSample>,
+    corr: &SyncCorrection,
+    params: &WearParams,
+) -> WearTrack {
     let mut worn_blocks = Vec::new();
     let mut active_blocks = Vec::new();
     let mut block_start: Option<SimTime> = None;
@@ -82,7 +94,7 @@ pub fn detect_wear(log: &BadgeLog, corr: &SyncCorrection, params: &WearParams) -
             }
         }
     };
-    for s in &log.imu {
+    for s in samples {
         let t = corr.to_reference(s.t_local);
         let this_block = t.floor_to(params.block);
         if block_start != Some(this_block) {
@@ -99,7 +111,7 @@ pub fn detect_wear(log: &BadgeLog, corr: &SyncCorrection, params: &WearParams) -
             total = 0;
         }
         total += 1;
-        if window_on_body(s, params) {
+        if window_on_body(&s, params) {
             on_body += 1;
         }
     }

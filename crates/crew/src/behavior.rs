@@ -75,8 +75,8 @@ impl Default for BehaviorConfig {
             walk_speed_mps: 1.2,
             impaired_walk_speed_mps: 1.05,
             station_dwell_base_s: 240.0,
-            errand_prob_focus: 0.40,
-            errand_prob_other: 0.16,
+            errand_prob_focus: 0.32,
+            errand_prob_other: 0.22,
             restroom_prob: 0.09,
             chat_rate: 1.5,
             talk_decay_per_day: 0.045,
@@ -414,8 +414,8 @@ impl<'a> BehaviorSim<'a> {
             RoomId::Kitchen,
             Interval::new(gather, window.end),
             &survivors,
-            0.30,
-            -5.0,
+            0.24,
+            -7.5,
             false,
             rng,
         );
@@ -454,7 +454,7 @@ impl<'a> BehaviorSim<'a> {
                 before,
                 Activity::Work(RoomId::Office) | Activity::Work(RoomId::Workshop)
             );
-            if focus && rng.gen::<f64>() < 0.55 {
+            if focus && rng.gen::<f64>() < 0.65 {
                 return before; // keeps working through the break
             }
         }

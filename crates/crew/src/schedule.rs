@@ -174,7 +174,14 @@ impl Schedule {
             Id::E => [RoomId::Biolab, RoomId::Workshop, RoomId::Storage],
             Id::F => [RoomId::Biolab, RoomId::Office, RoomId::Workshop],
         };
-        Activity::Work(rooms[block % 3])
+        let room = rooms[block % 3];
+        // Biolab protocols run shorter than a full 2 h block (the paper's
+        // ≈2.5 h biolab stays): the block's last slot moves to the
+        // astronaut's next station to write up results.
+        if room == RoomId::Biolab && slot % 4 == 3 {
+            return Activity::Work(rooms[(block + 1) % 3]);
+        }
+        Activity::Work(room)
     }
 
     /// The scheduled activity for `ast` on `day` (1-based) in `slot`.

@@ -54,7 +54,7 @@ pub struct SurveyConfig {
 impl Default for SurveyConfig {
     fn default() -> Self {
         SurveyConfig {
-            noise_sd: 0.55,
+            noise_sd: 0.5,
             morale_decay_per_day: 0.09,
             badge_annoyance_per_day: 0.12,
         }
@@ -104,7 +104,7 @@ pub fn generate(
                 base + 0.6 * member.profile.mobility - 1.4 * (1.0 - mood) + noise.sample(&mut rng),
             );
             let distraction = clamp_likert(
-                2.4 + 1.8 * (1.0 - mood) + 0.9 * grief - bias + noise.sample(&mut rng),
+                2.4 + 2.1 * (1.0 - mood) + 0.9 * grief - bias + noise.sample(&mut rng),
             );
             out.push(SurveyResponse {
                 day,

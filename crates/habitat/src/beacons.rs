@@ -130,6 +130,12 @@ impl BeaconDeployment {
         self.beacons.iter().filter(move |b| b.room == room)
     }
 
+    /// Builds the dense O(1) lookup index over this deployment.
+    #[must_use]
+    pub fn index(&self) -> BeaconIndex {
+        BeaconIndex::new(self)
+    }
+
     /// A reduced deployment keeping only the first `per_room` beacons of each
     /// room — used by the beacon-density ablation experiment.
     #[must_use]
@@ -146,9 +152,62 @@ impl BeaconDeployment {
     }
 }
 
+/// A dense by-id beacon lookup, built once per deployment.
+///
+/// [`BeaconDeployment::get`] scans the placement list linearly — fine for a
+/// handful of calls, but the localization hot path resolves a beacon for
+/// every advertisement of every scan (millions per mission day). The index
+/// turns that into a single slice access.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct BeaconIndex {
+    by_id: Vec<Option<Beacon>>,
+}
+
+impl BeaconIndex {
+    /// Builds the index over a deployment.
+    #[must_use]
+    pub fn new(deployment: &BeaconDeployment) -> Self {
+        let top = deployment
+            .beacons()
+            .iter()
+            .map(|b| b.id.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut by_id = vec![None; top];
+        for &b in deployment.beacons() {
+            by_id[b.id.0 as usize] = Some(b);
+        }
+        BeaconIndex { by_id }
+    }
+
+    /// Looks up a beacon by id in O(1).
+    #[must_use]
+    pub fn get(&self, id: BeaconId) -> Option<&Beacon> {
+        self.by_id.get(id.0 as usize)?.as_ref()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_agrees_with_linear_lookup() {
+        let plan = FloorPlan::lunares();
+        let dep = BeaconDeployment::icares(&plan);
+        let index = dep.index();
+        for raw in 0u8..40 {
+            let id = BeaconId(raw);
+            assert_eq!(index.get(id), dep.get(id), "beacon {id}");
+        }
+        // Thinned deployments leave id gaps; the index must mirror them.
+        let thin = dep.thinned(1);
+        let index = thin.index();
+        for raw in 0u8..40 {
+            let id = BeaconId(raw);
+            assert_eq!(index.get(id), thin.get(id), "thinned beacon {id}");
+        }
+    }
 
     #[test]
     fn icares_has_27_beacons() {

@@ -102,6 +102,66 @@ impl ChannelParams {
     }
 }
 
+/// A memoized RSSI → distance table on a quantized dBm grid.
+///
+/// [`ChannelParams::distance_for_rssi`] costs a `powf` per call; the
+/// localization hot path ranges every advertisement of every smoothed scan.
+/// The table precomputes the inversion on a 1/128 dB grid spanning the
+/// receivable range, reducing each ranging to a rounding and a slice load.
+/// Quantization error is bounded by half a grid step (≤ 1/256 dB ≈ 0.009 %
+/// of distance) — far below the channel's multi-dB shadowing. RSSI outside
+/// the grid (never produced by a receiver honoring `sensitivity_dbm`) falls
+/// back to the exact inversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangingTable {
+    params: ChannelParams,
+    /// Grid origin (dBm) — comfortably below receiver sensitivity.
+    min_dbm: f64,
+    /// Inverse grid step (steps per dB); a power of two so the grid values
+    /// are exact in binary floating point.
+    inv_step: f64,
+    /// Precomputed `distance_for_rssi` at each grid point.
+    distances: Vec<f64>,
+}
+
+impl RangingTable {
+    /// Grid resolution: 1/128 dB.
+    const INV_STEP: f64 = 128.0;
+
+    /// Precomputes the table for a channel.
+    #[must_use]
+    pub fn new(params: &ChannelParams) -> Self {
+        let min_dbm = (params.sensitivity_dbm - 25.0).floor();
+        let max_dbm = (params.tx_power_dbm + 15.0).ceil();
+        let n = ((max_dbm - min_dbm) * Self::INV_STEP) as usize + 1;
+        let distances = (0..n)
+            .map(|i| params.distance_for_rssi(min_dbm + i as f64 / Self::INV_STEP))
+            .collect();
+        RangingTable {
+            params: *params,
+            min_dbm,
+            inv_step: Self::INV_STEP,
+            distances,
+        }
+    }
+
+    /// Estimated distance for an RSSI: table lookup at the nearest grid
+    /// point, exact inversion outside the grid.
+    #[must_use]
+    pub fn distance(&self, rssi: Rssi) -> f64 {
+        let slot = (rssi - self.min_dbm) * self.inv_step;
+        // `as usize` saturates negatives to 0; reject those explicitly.
+        if slot >= 0.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let i = (slot + 0.5) as usize;
+            if let Some(&d) = self.distances.get(i) {
+                return d;
+            }
+        }
+        self.params.distance_for_rssi(rssi)
+    }
+}
+
 /// The wireless channel: floor plan + per-technology parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Channel {
@@ -286,6 +346,31 @@ mod tests {
             let rssi = p.mean_rssi(d, 0);
             assert!((p.distance_for_rssi(rssi) - d).abs() < 1e-9, "at {d} m");
         }
+    }
+
+    #[test]
+    fn ranging_table_matches_exact_inversion() {
+        let p = ChannelParams::ble();
+        let table = RangingTable::new(&p);
+        // Inside the grid: table error is bounded by half a grid step of
+        // RSSI, i.e. a relative distance error below 1/256 dB of path loss.
+        let tol = 10f64.powf(1.0 / (256.0 * 10.0 * p.exponent)) - 1.0;
+        let mut dbm = p.sensitivity_dbm - 20.0;
+        while dbm < p.tx_power_dbm + 10.0 {
+            let exact = p.distance_for_rssi(dbm);
+            let got = table.distance(dbm);
+            assert!(
+                (got - exact).abs() <= exact * tol + 1e-12,
+                "at {dbm} dBm: table {got} vs exact {exact}"
+            );
+            dbm += 0.173; // off-grid sampling
+        }
+        // Outside the grid: exact fallback, bit-for-bit.
+        for dbm in [-200.0, 60.0, 100.0] {
+            assert_eq!(table.distance(dbm), p.distance_for_rssi(dbm));
+        }
+        // On-grid RSSI values are looked up exactly.
+        assert_eq!(table.distance(-60.0), p.distance_for_rssi(-60.0));
     }
 
     #[test]

@@ -4,7 +4,10 @@
 
 use crate::calibration::ClaimCheck;
 use crate::figures::{DailySeries, Figure2, Figure3, Figure5, StatsReport};
+use ares_badge::records::BadgeId;
+use ares_badge::telemetry::TelemetryStore;
 use ares_sociometrics::report::TableOne;
+use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -27,6 +30,54 @@ pub struct ExportBundle<'a> {
     pub stats: &'a StatsReport,
     /// Claim checks.
     pub claims: &'a [ClaimCheck],
+    /// One sample day of columnar telemetry (may be empty).
+    pub telemetry: &'a [TelemetryStore],
+}
+
+/// Serializes one day of telemetry straight off the columnar store: per-badge
+/// column lengths and storage volume, plus the reference unit's environment
+/// columns in full — each field written as its own JSON array, borrowed
+/// directly from the store's timestamp and payload slices (no row
+/// materialization).
+#[must_use]
+pub fn telemetry_columns_json(stores: &[TelemetryStore]) -> String {
+    fn join<T: std::fmt::Display>(values: impl Iterator<Item = T>) -> String {
+        values.map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+    }
+    let mut json = String::from("{\n  \"badges\": [\n");
+    for (i, store) in stores.iter().enumerate() {
+        let v = store.view();
+        let comma = if i + 1 < stores.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"badge\": {}, \"scans\": {}, \"audio\": {}, \"imu\": {}, \"env\": {}, \
+             \"proximity\": {}, \"ir\": {}, \"sync\": {}, \"bytes_written\": {}}}{comma}",
+            store.badge.0,
+            v.scans.len(),
+            v.audio.len(),
+            v.imu.len(),
+            v.env.len(),
+            v.proximity.len(),
+            v.ir.len(),
+            v.sync.len(),
+            store.bytes_written,
+        );
+    }
+    json.push_str("  ]");
+    if let Some(reference) = stores.iter().find(|s| s.badge == BadgeId::REFERENCE) {
+        let env = reference.env.view();
+        let _ = write!(
+            json,
+            ",\n  \"reference_env\": {{\n    \"t_us\": [{}],\n    \"temperature_c\": [{}],\n    \
+             \"pressure_hpa\": [{}],\n    \"light_lux\": [{}]\n  }}",
+            join(env.ts().iter().map(|t| t.as_micros())),
+            join(env.payloads().iter().map(|p| p.temperature_c)),
+            join(env.payloads().iter().map(|p| p.pressure_hpa)),
+            join(env.payloads().iter().map(|p| p.light_lux)),
+        );
+    }
+    json.push_str("\n}\n");
+    json
 }
 
 /// Writes all artifacts into `dir` (created if missing); returns the paths
@@ -67,6 +118,10 @@ pub fn export_all(dir: &Path, bundle: &ExportBundle<'_>) -> io::Result<Vec<PathB
         "claims.md",
         crate::calibration::render_claims_markdown(bundle.claims),
     )?;
+    write(
+        "telemetry_columns.json",
+        telemetry_columns_json(bundle.telemetry),
+    )?;
     Ok(written)
 }
 
@@ -104,6 +159,15 @@ mod tests {
             measured: "m".into(),
             pass: true,
         }];
+        let mut telem = TelemetryStore::new(BadgeId::REFERENCE);
+        telem.push_env(ares_badge::records::EnvSample {
+            t_local: ares_simkit::time::SimTime::from_secs(60),
+            temperature_c: 21.5,
+            pressure_hpa: 991.0,
+            light_lux: 250.0,
+        });
+        telem.bytes_written = 42;
+        let telemetry = vec![telem];
         let dir = std::env::temp_dir().join(format!("ares-export-{}", std::process::id()));
         let bundle = ExportBundle {
             fig2: &fig2,
@@ -114,9 +178,13 @@ mod tests {
             table1: &table1,
             stats: &stats,
             claims: &claims,
+            telemetry: &telemetry,
         };
         let written = export_all(&dir, &bundle).expect("export succeeds");
-        assert_eq!(written.len(), 11);
+        assert_eq!(written.len(), 12);
+        let columns = std::fs::read_to_string(dir.join("telemetry_columns.json")).unwrap();
+        assert!(columns.contains("\"reference_env\""), "{columns}");
+        assert!(columns.contains("21.5"), "{columns}");
         for p in &written {
             assert!(p.exists(), "{p:?} missing");
             assert!(std::fs::metadata(p).unwrap().len() > 0, "{p:?} empty");

@@ -7,7 +7,8 @@
 //! the mission aggregates and dropped).
 
 use ares_badge::recorder::Recorder;
-use ares_badge::records::{MissionRecording, SamplingConfig};
+use ares_badge::records::{BadgeLog, MissionRecording, SamplingConfig};
+use ares_badge::telemetry::TelemetryStore;
 use ares_badge::world::World;
 use ares_crew::behavior::{BehaviorConfig, BehaviorSim};
 use ares_crew::roster::Roster;
@@ -131,12 +132,23 @@ impl MissionRunner {
         )
     }
 
+    /// Records a single day in columnar form — the zero-copy recording path.
+    #[must_use]
+    pub fn record_day_stores(&self, day: u32) -> Vec<TelemetryStore> {
+        self.recorder().record_day_stores(day)
+    }
+
     /// Records and analyzes a single day; returns both the raw recording and
-    /// the day analysis (used by Fig. 5 and by tests).
+    /// the day analysis (used by Fig. 5 and by tests). Recording and analysis
+    /// run on the columnar store; the returned [`MissionRecording`] is the
+    /// row façade of the same data.
     #[must_use]
     pub fn run_day(&self, day: u32) -> (MissionRecording, DayAnalysis) {
-        let recording = self.recorder().record_day(day);
-        let analysis = self.pipeline.analyze_day(day, &recording.logs);
+        let stores = self.record_day_stores(day);
+        let analysis = self.pipeline.analyze_day_stores(day, &stores);
+        let recording = MissionRecording {
+            logs: stores.into_iter().map(BadgeLog::from).collect(),
+        };
         (recording, analysis)
     }
 
@@ -152,8 +164,9 @@ impl MissionRunner {
     ) -> MissionAnalysis {
         let mut mission = MissionAnalysis::new(self.pipeline.plan());
         for day in from..=to.min(MISSION_DAYS) {
-            let (recording, analysis) = self.run_day(day);
-            mission.account_bytes(&recording.logs);
+            let stores = self.record_day_stores(day);
+            let analysis = self.pipeline.analyze_day_stores(day, &stores);
+            mission.account_recorded(stores.iter().map(|s| s.bytes_written).sum());
             observer(&analysis);
             mission.absorb(analysis);
         }
@@ -178,10 +191,10 @@ impl MissionRunner {
         workers: usize,
     ) -> (MissionAnalysis, EngineMetrics) {
         let engine = MissionEngine::with_workers(self.pipeline.context().clone(), workers);
-        let days: Vec<(u32, Vec<ares_badge::records::BadgeLog>)> = (from..=to.min(MISSION_DAYS))
-            .map(|day| (day, self.recorder().record_day(day).logs))
+        let days: Vec<(u32, Vec<TelemetryStore>)> = (from..=to.min(MISSION_DAYS))
+            .map(|day| (day, self.record_day_stores(day)))
             .collect();
-        let mission = engine.analyze_days(&days);
+        let mission = engine.analyze_days_stores(&days);
         let metrics = engine.metrics();
         (mission, metrics)
     }

@@ -285,9 +285,17 @@ impl Polygon {
     /// Even-odd point containment test; boundary points count as inside.
     #[must_use]
     pub fn contains(&self, p: Point2) -> bool {
-        // Boundary check first for robustness.
+        // Boundary check first for robustness. Squared distances: this runs
+        // once per localization fix, and the sqrt per edge dominates.
         for e in self.edges() {
-            if e.distance_to_point(p) < 1e-9 {
+            let ab = e.b - e.a;
+            let len_sq = ab.dot(ab);
+            let q = if len_sq < 1e-18 {
+                e.a
+            } else {
+                e.a + ab * ((p - e.a).dot(ab) / len_sq).clamp(0.0, 1.0)
+            };
+            if q.distance_sq(p) < 1e-18 {
                 return true;
             }
         }
@@ -358,7 +366,7 @@ impl Polygon {
             let len_sq = ab.dot(ab).max(1e-18);
             let t = ((p - e.a).dot(ab) / len_sq).clamp(0.0, 1.0);
             let q = e.a + ab * t;
-            let d = q.distance(p);
+            let d = q.distance_sq(p);
             if d < best_d {
                 best_d = d;
                 best = q;

@@ -20,4 +20,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier1: bench smoke (per-stage timings -> BENCH_pipeline.json) =="
 cargo run --release -q -p ares-bench --bin bench_smoke BENCH_pipeline.json
 
+echo "== tier1: bench regression guard =="
+# A lost determinism bit or a non-finite stage metric is a build failure,
+# not a number to eyeball.
+if grep -q '"deterministic": false' BENCH_pipeline.json; then
+    echo "tier1: FAIL — bench_smoke reports deterministic: false" >&2
+    exit 1
+fi
+if grep -qiE '(^|[^a-z])(inf|nan)([^a-z]|$)' BENCH_pipeline.json; then
+    echo "tier1: FAIL — non-finite stage metric in BENCH_pipeline.json" >&2
+    exit 1
+fi
+if ! grep -q '"store_bytes"' BENCH_pipeline.json; then
+    echo "tier1: FAIL — BENCH_pipeline.json lacks store-vs-facade footprint" >&2
+    exit 1
+fi
+
 echo "== tier1: OK =="

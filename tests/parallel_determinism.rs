@@ -63,4 +63,26 @@ fn parallel_mission_is_bit_identical_to_sequential() {
         }
         assert_eq!(metrics.get(Stage::Assemble).calls, days.len() as u64);
     }
+
+    // The columnar store path must land on the same bits as the row façade:
+    // batch-on-store ≡ batch-on-façade, again for any worker count.
+    let store_days: Vec<(u32, Vec<ares_badge::telemetry::TelemetryStore>)> = days
+        .iter()
+        .map(|(day, logs)| {
+            (
+                *day,
+                logs.iter()
+                    .map(ares_badge::telemetry::TelemetryStore::from)
+                    .collect(),
+            )
+        })
+        .collect();
+    for workers in [1usize, 4] {
+        let engine = MissionEngine::with_workers(runner.pipeline().context().clone(), workers);
+        let on_stores = engine.analyze_days_stores(&store_days);
+        assert_eq!(
+            on_stores, sequential,
+            "store-path MissionAnalysis diverged from the facade with {workers} worker(s)"
+        );
+    }
 }
