@@ -3,31 +3,74 @@
 
 use crate::clockdrift::ClockSet;
 use crate::records::{BadgeId, ProximityObs, SyncSample};
-use crate::world::World;
+use crate::world::{RfMode, World};
 use ares_crew::truth::{MissionTruth, WearState};
+use ares_habitat::fieldcache::room_wall_floor;
 use ares_habitat::rf::Reception;
+use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::{Point2, Vec2};
 use ares_simkit::time::SimTime;
 use rand::Rng;
 
 /// Samples the 868 MHz proximity observations a badge makes at one instant:
 /// which other units it hears and at what RSSI.
+///
+/// Same-room links skip geometry entirely (convex rooms cross zero walls).
+/// Under [`RfMode::Cached`], cross-room links are first tested against the
+/// [`room_wall_floor`] lower bound — a pair whose *best possible* RSSI is
+/// below sensitivity is dropped without touching geometry or randomness,
+/// which is exactly what the exact path's pre-draw early-out would do with
+/// the true wall count — and transmitters parked at the station resolve wall
+/// counts from the station's cache table. Output and RNG consumption are
+/// bit-identical across modes.
+#[allow(clippy::too_many_arguments)]
 pub fn proximity_sweep(
     world: &World,
+    mode: RfMode,
     listener: BadgeId,
     listener_pos: Point2,
-    units: &[(BadgeId, Point2)],
+    listener_room: RoomId,
+    units: &[(BadgeId, Point2, RoomId)],
     t_local: SimTime,
     rng: &mut impl Rng,
 ) -> Vec<ProximityObs> {
+    let params = world.sub_ghz.params();
     let mut out = Vec::new();
-    for &(other, pos) in units {
+    for &(other, pos, other_room) in units {
         if other == listener {
             continue;
         }
-        if let Reception::Received(rssi) =
-            world.sub_ghz.transmit(&world.plan, pos, listener_pos, rng)
-        {
+        let d = pos.distance(listener_pos);
+        let walls = match mode {
+            RfMode::Cached if other_room == listener_room => 0,
+            RfMode::Cached => {
+                let floor = room_wall_floor(other_room, listener_room);
+                if floor >= 2
+                    && params.mean_rssi(d, floor) + 6.0 * params.shadowing_sigma_db
+                        < params.sensitivity_dbm
+                {
+                    // Even the wall-count lower bound puts the link below
+                    // sensitivity: the exact path would early-out before
+                    // drawing, so skipping here stays bit-identical.
+                    continue;
+                }
+                if pos == world.station {
+                    // Docked / uncarried transmitters sit exactly at the
+                    // station — resolved from its per-cell table.
+                    world.field_cache().walls_from(
+                        &world.plan,
+                        world.station_source(),
+                        listener_pos,
+                    )
+                } else {
+                    world.plan.walls_crossed(pos, listener_pos)
+                }
+            }
+            // The honest baseline: per-packet geometry, no shortcuts (a
+            // same-room scan finds 0 crossings, so the value is unchanged).
+            RfMode::Exact => world.plan.walls_crossed(pos, listener_pos),
+        };
+        if let Reception::Received(rssi) = world.sub_ghz.transmit_known_walls(d, walls, rng) {
             out.push(ProximityObs {
                 t_local,
                 other,
@@ -39,31 +82,47 @@ pub fn proximity_sweep(
 }
 
 /// Samples an infrared exchange between two *worn* badges. Badges on desks
-/// or chargers never register IR contacts (nobody faces them).
+/// or chargers never register IR contacts (nobody faces them). Under
+/// [`RfMode::Cached`], same-room exchanges (the overwhelmingly common case
+/// within the 2 m IR range) skip the wall scan — rooms are convex so the
+/// count is zero by construction; [`RfMode::Exact`] runs the full visibility
+/// test per exchange.
 #[allow(clippy::too_many_arguments)]
 pub fn ir_exchange(
     world: &World,
+    mode: RfMode,
     a_pos: Point2,
     a_facing: Vec2,
     a_wear: WearState,
+    a_room: RoomId,
     b_pos: Point2,
     b_facing: Vec2,
     b_wear: WearState,
+    b_room: RoomId,
     rng: &mut impl Rng,
 ) -> bool {
     if !a_wear.is_worn() || !b_wear.is_worn() {
         return false;
     }
-    world
-        .ir
-        .detect(&world.plan, a_pos, a_facing, b_pos, b_facing, rng)
+    let visible = if mode == RfMode::Cached && a_room == b_room {
+        world
+            .ir
+            .mutually_visible_known_walls(0, a_pos, a_facing, b_pos, b_facing)
+    } else {
+        world
+            .ir
+            .mutually_visible(&world.plan, a_pos, a_facing, b_pos, b_facing)
+    };
+    visible && rng.gen::<f64>() < world.ir.detection_prob
 }
 
 /// Attempts an opportunistic sync exchange with the reference badge: succeeds
 /// when the badge's BLE link to the station is up, and records both local
-/// clocks' readings of the same true instant.
+/// clocks' readings of the same true instant. The station is a cache source,
+/// so [`RfMode::Cached`] resolves the wall count with a table lookup.
 pub fn sync_attempt(
     world: &World,
+    mode: RfMode,
     clocks: &ClockSet,
     badge: BadgeId,
     badge_pos: Point2,
@@ -73,10 +132,16 @@ pub fn sync_attempt(
     if badge == BadgeId::REFERENCE {
         return None;
     }
-    match world
-        .ble
-        .transmit(&world.plan, world.station, badge_pos, rng)
-    {
+    let walls = match mode {
+        RfMode::Cached => {
+            world
+                .field_cache()
+                .walls_from(&world.plan, world.station_source(), badge_pos)
+        }
+        RfMode::Exact => world.plan.walls_crossed(world.station, badge_pos),
+    };
+    let d = world.station.distance(badge_pos);
+    match world.ble.transmit_known_walls(d, walls, rng) {
         Reception::Received(_) => Some(SyncSample {
             t_local: clocks.clock(badge).local_time(t_true),
             t_reference: clocks.reference().local_time(t_true),
@@ -116,24 +181,28 @@ mod tests {
         let kitchen = world.plan.room_center(RoomId::Kitchen);
         let office = world.plan.room_center(RoomId::Office);
         let units = vec![
-            (BadgeId(1), kitchen + Vec2::new(1.0, 0.0)),
-            (BadgeId(2), office),
+            (BadgeId(1), kitchen + Vec2::new(1.0, 0.0), RoomId::Kitchen),
+            (BadgeId(2), office, RoomId::Office),
         ];
         let mut heard1 = 0;
         let mut heard2 = 0;
         for i in 0..200 {
-            let obs = proximity_sweep(
-                &world,
-                BadgeId(0),
-                kitchen,
-                &units,
-                SimTime::from_secs(i),
-                &mut rng,
-            );
-            heard1 += obs.iter().filter(|o| o.other == BadgeId(1)).count();
-            heard2 += obs.iter().filter(|o| o.other == BadgeId(2)).count();
+            for mode in [RfMode::Cached, RfMode::Exact] {
+                let obs = proximity_sweep(
+                    &world,
+                    mode,
+                    BadgeId(0),
+                    kitchen,
+                    RoomId::Kitchen,
+                    &units,
+                    SimTime::from_secs(i),
+                    &mut rng,
+                );
+                heard1 += obs.iter().filter(|o| o.other == BadgeId(1)).count();
+                heard2 += obs.iter().filter(|o| o.other == BadgeId(2)).count();
+            }
         }
-        assert!(heard1 > 150, "same-room unit heard {heard1}");
+        assert!(heard1 > 300, "same-room unit heard {heard1}");
         assert_eq!(heard2, 0, "cross-habitat unit must be shielded");
     }
 
@@ -149,24 +218,30 @@ mod tests {
         for _ in 0..100 {
             if ir_exchange(
                 &world,
+                RfMode::Cached,
                 p,
                 east,
                 WearState::Worn,
+                RoomId::Kitchen,
                 q,
                 west,
                 WearState::Worn,
+                RoomId::Kitchen,
                 &mut rng,
             ) {
                 worn_hits += 1;
             }
             assert!(!ir_exchange(
                 &world,
+                RfMode::Exact,
                 p,
                 east,
                 WearState::Docked,
+                RoomId::Kitchen,
                 q,
                 west,
                 WearState::Worn,
+                RoomId::Kitchen,
                 &mut rng
             ));
         }
@@ -182,7 +257,15 @@ mod tests {
         // Docked at the station: sync succeeds almost always.
         let mut got = None;
         for _ in 0..20 {
-            if let Some(s) = sync_attempt(&world, &clocks, BadgeId(0), world.station, t, &mut rng) {
+            if let Some(s) = sync_attempt(
+                &world,
+                RfMode::Cached,
+                &clocks,
+                BadgeId(0),
+                world.station,
+                t,
+                &mut rng,
+            ) {
                 got = Some(s);
                 break;
             }
@@ -191,10 +274,14 @@ mod tests {
         // The pair encodes the true offset between the two clocks.
         let expected = clocks.clock(BadgeId(0)).local_time(t) - clocks.reference().local_time(t);
         assert!(((s.t_local - s.t_reference) - expected).abs() < SimDuration::from_micros(1));
-        // Far away behind walls: never syncs.
+        // Far away behind walls: never syncs, in either mode.
         let biolab = world.plan.room_center(RoomId::Biolab);
         for _ in 0..50 {
-            assert!(sync_attempt(&world, &clocks, BadgeId(0), biolab, t, &mut rng).is_none());
+            for mode in [RfMode::Cached, RfMode::Exact] {
+                assert!(
+                    sync_attempt(&world, mode, &clocks, BadgeId(0), biolab, t, &mut rng).is_none()
+                );
+            }
         }
     }
 
@@ -205,6 +292,7 @@ mod tests {
         let mut rng = SeedTree::new(23).stream("sync2");
         assert!(sync_attempt(
             &world,
+            RfMode::Cached,
             &clocks,
             BadgeId::REFERENCE,
             world.station,

@@ -9,8 +9,9 @@
 //! incorrectly (astronaut A's exposure problem) records muffled levels.
 
 use crate::records::AudioFrame;
-use crate::world::World;
+use crate::world::{RfMode, World};
 use ares_crew::truth::{MissionTruth, SpeechSegment};
+use ares_habitat::fieldcache::room_wall_floor;
 use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::Point2;
 use ares_simkit::time::{SimDuration, SimTime};
@@ -75,6 +76,8 @@ impl MicModel {
     /// `active`: the speech segments overlapping the frame. `noise_adjust_db`
     /// captures mission-wide quietness (days 11–12 had "much less other noise
     /// recorded"); `muffled` models a badly exposed microphone.
+    ///
+    /// Compatibility façade over [`MicSampler`], using exact geometry.
     #[allow(clippy::too_many_arguments)]
     pub fn frame(
         &self,
@@ -88,33 +91,119 @@ impl MicModel {
         muffled: bool,
         rng: &mut impl Rng,
     ) -> AudioFrame {
-        let room = world.room_at(badge_pos);
-        let noise = MicModel::noise_floor(room)
-            + noise_adjust_db
-            + Normal::new(0.0, 1.4).expect("sd > 0").sample(rng);
+        let sampler = MicSampler::new(*self, noise_adjust_db, muffled);
+        sampler.frame(
+            world,
+            RfMode::Exact,
+            truth,
+            badge_pos,
+            world.room_at(badge_pos),
+            t_true,
+            t_local,
+            active,
+            rng,
+        )
+    }
+}
+
+/// A per-unit microphone sampler with the noise/f0/wobble distributions and
+/// the day's muffle/quietness constants hoisted out of the per-frame path.
+///
+/// The frame logic is shared by both RF modes and draws the same randomness
+/// in the same order regardless of mode: the ambient-noise draw happens
+/// before the segment loop, the segment loop itself never draws, and the
+/// voiced decision (which gates the f0 draw) is mode-independent — the
+/// cached-mode cull only drops segments whose level *upper bound* (wall-count
+/// lower bound) already cannot exceed the realized noise, and such segments
+/// can neither fire the voiced branch nor lift the non-voiced level above
+/// the noise it is clamped to.
+#[derive(Debug, Clone)]
+pub struct MicSampler {
+    model: MicModel,
+    noise_adjust_db: f64,
+    muffle_db: f64,
+    noise: Normal,
+    f0: Normal,
+    wobble: Normal,
+}
+
+impl MicSampler {
+    /// Builds a sampler for one unit-day.
+    #[must_use]
+    pub fn new(model: MicModel, noise_adjust_db: f64, muffled: bool) -> Self {
+        MicSampler {
+            model,
+            noise_adjust_db,
+            muffle_db: if muffled { model.muffle_db } else { 0.0 },
+            noise: Normal::new(0.0, 1.4).expect("sd > 0"),
+            f0: Normal::new(0.0, 2.0).expect("sd > 0"),
+            wobble: Normal::new(0.0, 0.6).expect("sd > 0"),
+        }
+    }
+
+    /// Extracts one audio frame at the badge (see [`MicModel::frame`] for
+    /// the semantics; `badge_room` is the pre-resolved room of `badge_pos`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn frame(
+        &self,
+        world: &World,
+        mode: RfMode,
+        truth: &MissionTruth,
+        badge_pos: Point2,
+        badge_room: RoomId,
+        t_true: SimTime,
+        t_local: SimTime,
+        active: &[&SpeechSegment],
+        rng: &mut impl Rng,
+    ) -> AudioFrame {
+        let noise =
+            MicModel::noise_floor(badge_room) + self.noise_adjust_db + self.noise.sample(rng);
         let mut best: Option<(f64, f64)> = None; // (level, f0)
         for seg in active {
             let Some(pos) = truth.of(seg.source.located_with()).position(t_true) else {
                 continue;
             };
-            let level = self.received_level(world, seg.level_db, pos, badge_pos);
+            let d = pos.distance(badge_pos).max(0.3);
+            let spread = seg.level_db - 20.0 * d.log10();
+            let level = match mode {
+                // Convex rooms: zero wall crossings by construction.
+                RfMode::Cached if world.room_in_mode(pos, mode) == badge_room => spread,
+                RfMode::Cached => {
+                    let speaker_room = world.room_in_mode(pos, mode);
+                    let bound = spread
+                        - room_wall_floor(speaker_room, badge_room) as f64
+                            * self.model.wall_loss_db;
+                    if bound - self.muffle_db <= noise {
+                        // Provably cannot beat ambient noise: skip the wall
+                        // scan (output-identical, see type docs).
+                        continue;
+                    }
+                    spread
+                        - world.plan.walls_crossed(pos, badge_pos) as f64 * self.model.wall_loss_db
+                }
+                // The honest baseline: a wall scan per segment per frame.
+                RfMode::Exact => {
+                    spread
+                        - world.plan.walls_crossed(pos, badge_pos) as f64 * self.model.wall_loss_db
+                }
+            };
             if best.is_none_or(|(b, _)| level > b) {
                 best = Some((level, seg.f0_hz));
             }
         }
-        let muffle = if muffled { self.muffle_db } else { 0.0 };
+        let muffle = self.muffle_db;
         let (mut level, voiced, f0) = match best {
             Some((speech, f0))
-                if speech - muffle > noise + self.voiced_margin_db
-                    && speech - muffle > self.voiced_floor_db =>
+                if speech - muffle > noise + self.model.voiced_margin_db
+                    && speech - muffle > self.model.voiced_floor_db =>
             {
-                let f0_est = f0 + Normal::new(0.0, 2.0).expect("sd > 0").sample(rng);
+                let f0_est = f0 + self.f0.sample(rng);
                 (speech - muffle, true, Some(f0_est))
             }
             Some((speech, _)) => ((speech - muffle).max(noise), false, None),
             None => (noise, false, None),
         };
-        level += Normal::new(0.0, 0.6).expect("sd > 0").sample(rng);
+        level += self.wobble.sample(rng);
         AudioFrame {
             t_local,
             level_db: level,

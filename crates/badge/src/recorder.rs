@@ -5,21 +5,32 @@
 //! unit's drifting local clock. Recording day-by-day keeps memory bounded
 //! (the real mission wrote to SD cards; we hand each day to the pipeline and
 //! drop it).
+//!
+//! Recording is organised unit-by-unit: a shared per-day precomputation
+//! resolves every unit's position, wear state and room once per master tick,
+//! then each unit replays the day against that table on its **own** seeded
+//! RNG stream. Because no randomness is shared across units, the per-unit
+//! jobs can fan out across worker threads and the merged result is
+//! bit-identical to the sequential order for any worker count.
 
 use crate::clockdrift::{ClockSet, UNIT_COUNT};
 use crate::links;
-use crate::mic::{self, MicModel};
+use crate::mic::{self, MicModel, MicSampler};
 use crate::records::{BadgeId, BadgeLog, MissionRecording, SamplingConfig};
 use crate::scanner;
-use crate::sensors::{self, ImuModel};
+use crate::sensors::{EnvSampler, ImuModel, ImuSampler};
 use crate::storage::StorageMeter;
 use crate::telemetry::TelemetryStore;
-use crate::world::World;
+use crate::world::{RfMode, World};
 use ares_crew::roster::{AstronautId, Roster};
-use ares_crew::truth::{MissionTruth, WearState};
+use ares_crew::truth::{MissionTruth, SpeechSegment, WearState};
+use ares_habitat::rooms::RoomId;
+use ares_simkit::geometry::Point2;
 use ares_simkit::rng::SeedTree;
 use ares_simkit::time::{SimDuration, SimTime};
 use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Mission-wide recording context.
 #[derive(Debug)]
@@ -30,8 +41,23 @@ pub struct Recorder<'a> {
     clocks: ClockSet,
     config: SamplingConfig,
     seed: SeedTree,
+    rf_mode: RfMode,
     /// Days on which astronaut A's badge sat muffled under the lab apron.
     muffled_days: Vec<u32>,
+}
+
+/// Shared per-day context, computed once before the per-unit fan-out.
+struct DayPrecomp {
+    day: u32,
+    start: SimTime,
+    duty_end: SimTime,
+    night_end: SimTime,
+    noise_adjust: f64,
+    day_speech: Vec<SpeechSegment>,
+    carriers: Vec<Option<AstronautId>>,
+    /// Tick-major daytime table: `states[tick][unit]` = (position, wear,
+    /// room). Rooms are resolved under the recorder's RF mode.
+    states: Vec<Vec<(Point2, WearState, RoomId)>>,
 }
 
 impl<'a> Recorder<'a> {
@@ -55,8 +81,18 @@ impl<'a> Recorder<'a> {
             clocks,
             config,
             seed,
+            rf_mode: RfMode::default(),
             muffled_days,
         }
+    }
+
+    /// Selects the RF geometry path (default [`RfMode::Cached`]). Both modes
+    /// record bit-identical telemetry; `Exact` is the slow baseline used by
+    /// benches and equivalence tests.
+    #[must_use]
+    pub fn with_rf_mode(mut self, mode: RfMode) -> Self {
+        self.rf_mode = mode;
+        self
     }
 
     /// The clock set in use (tests compare pipeline corrections against it).
@@ -94,163 +130,54 @@ impl<'a> Recorder<'a> {
     /// charger).
     #[must_use]
     pub fn record_day_stores(&self, day: u32) -> Vec<TelemetryStore> {
-        let mut rng = self
-            .seed
-            .child("badge")
-            .stream_indexed("recorder-day", u64::from(day));
-        let start = SimTime::from_day_hms(day, 7, 0, 0);
-        let duty_end = SimTime::from_day_hms(day, 21, 0, 0);
-        let night_end = SimTime::from_day_hms(day + 1, 6, 55, 0);
-        let imu_model = ImuModel::default();
-        let mic_model = MicModel::default();
-        let noise_adjust = if self.world.incidents.talk_mood(day) < 0.5 {
-            -4.0
+        self.record_day_stores_parallel(day, 1)
+    }
+
+    /// Records one mission day on up to `workers` threads, one unit per job.
+    ///
+    /// Each unit draws from its own seeded stream, so the result is
+    /// bit-identical to [`record_day_stores`] for any worker count; the
+    /// canonical unit order is restored by slot-indexed merging.
+    ///
+    /// [`record_day_stores`]: Recorder::record_day_stores
+    #[must_use]
+    pub fn record_day_stores_parallel(&self, day: u32, workers: usize) -> Vec<TelemetryStore> {
+        let pre = self.precompute_day(day);
+        let workers = workers.clamp(1, UNIT_COUNT);
+        let mut stores: Vec<TelemetryStore> = if workers == 1 {
+            (0..UNIT_COUNT)
+                .map(|i| self.record_unit_day(&pre, i))
+                .collect()
         } else {
-            0.0
+            let slots: Vec<Mutex<Option<TelemetryStore>>> =
+                (0..UNIT_COUNT).map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            crossbeam::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= UNIT_COUNT {
+                            break;
+                        }
+                        *slots[i].lock().expect("unshared slot") =
+                            Some(self.record_unit_day(&pre, i));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("unshared slot")
+                        .expect("every unit ran")
+                })
+                .collect()
         };
 
-        let mut stores: Vec<TelemetryStore> = (0..UNIT_COUNT)
-            .map(|i| TelemetryStore::new(BadgeId(i as u8)))
-            .collect();
-
-        // Pre-compute per-unit wear/position queries through the world.
-        let unit_ids: Vec<BadgeId> = (0..UNIT_COUNT).map(|i| BadgeId(i as u8)).collect();
-
-        // --- Daytime sampling at 1 Hz master tick -------------------------
-        let tick = SimDuration::from_secs(1);
-        let mut speech_cursor = 0usize;
-        let day_speech: Vec<ares_crew::truth::SpeechSegment> = self
-            .truth
-            .speech
-            .iter()
-            .filter(|s| s.interval.end > start && s.interval.start < duty_end)
-            .copied()
-            .collect();
-
-        let mut t = start;
-        while t < duty_end {
-            // Positions & wear of all units this tick.
-            let states: Vec<(BadgeId, ares_simkit::geometry::Point2, WearState)> = unit_ids
-                .iter()
-                .map(|&u| {
-                    (
-                        u,
-                        self.world.badge_position(u, t, self.truth),
-                        self.world.badge_wear(u, t, self.truth),
-                    )
-                })
-                .collect();
-            let positions: Vec<(BadgeId, ares_simkit::geometry::Point2)> =
-                states.iter().map(|&(u, p, _)| (u, p)).collect();
-            let elapsed = (t - start).as_micros();
-
-            let active = mic::active_segments(&day_speech, &mut speech_cursor, t, tick);
-
-            for (idx, &(unit, pos, wear)) in states.iter().enumerate() {
-                let carrier = self.world.carrier_of(unit, day);
-                let active_unit = carrier.is_some() || unit == BadgeId::REFERENCE;
-                if !active_unit && !matches!(unit, BadgeId(6..=11)) {
-                    continue;
-                }
-                // Backups and the reference sample environment/sync only.
-                let clock = self.clocks.clock(unit);
-                let t_local = clock.local_time(t);
-                let store = &mut stores[idx];
-
-                // A docked badge (EVA, exercise, forgotten on the charger)
-                // pauses full sampling — the firmware sleeps while charging —
-                // which is what makes badges "active" for only part of the
-                // daytime. Environment and sync continue below.
-                let sampling = carrier.is_some() && !matches!(wear, WearState::Docked);
-                if sampling {
-                    // BLE scan.
-                    if elapsed % self.config.scan_period.as_micros() == 0 {
-                        store.push_scan(scanner::scan(self.world, pos, t_local, &mut rng));
-                    }
-                    // IMU window.
-                    if elapsed % self.config.imu_window.as_micros() == 0 {
-                        let walking = carrier
-                            .map(|c| self.truth.of(c).is_walking(t) && wear.is_worn())
-                            .unwrap_or(false);
-                        let energy = carrier
-                            .map(|c| 0.8 + 0.4 * self.roster.member(c).profile.mobility)
-                            .unwrap_or(1.0);
-                        store.push_imu(imu_model.sample(t_local, wear, walking, energy, &mut rng));
-                    }
-                    // Audio frames (two per second at the default config).
-                    let af = self.config.audio_frame.as_micros();
-                    if elapsed % af == 0 {
-                        let frames_per_tick = (tick.as_micros() / af).max(1);
-                        let muffled =
-                            carrier == Some(AstronautId::A) && self.muffled_days.contains(&day);
-                        for k in 0..frames_per_tick {
-                            let ft = t + SimDuration::from_micros(k * af);
-                            store.push_audio(mic_model.frame(
-                                self.world,
-                                self.truth,
-                                pos,
-                                ft,
-                                clock.local_time(ft),
-                                &active,
-                                noise_adjust,
-                                muffled,
-                                &mut rng,
-                            ));
-                        }
-                    }
-                    // Proximity sweep.
-                    if elapsed % self.config.proximity_period.as_micros() == 0 {
-                        let obs = links::proximity_sweep(
-                            self.world, unit, pos, &positions, t_local, &mut rng,
-                        );
-                        for o in obs {
-                            store.push_proximity(o);
-                        }
-                    }
-                    // Infrared exchanges (only toward higher unit ids to
-                    // sample each pair once; recorded on both).
-                    if elapsed % self.config.ir_period.as_micros() == 0 {
-                        for &(other, opos, owear) in states.iter().skip(idx + 1) {
-                            if self.world.carrier_of(other, day).is_none() {
-                                continue;
-                            }
-                            if pos.distance(opos) > self.world.ir.range_m {
-                                continue;
-                            }
-                            let (Some(fa), Some(fb)) = (
-                                links::worn_facing(self.world, unit, t, self.truth),
-                                links::worn_facing(self.world, other, t, self.truth),
-                            ) else {
-                                continue;
-                            };
-                            if links::ir_exchange(
-                                self.world, pos, fa, wear, opos, fb, owear, &mut rng,
-                            ) {
-                                store.push_ir(crate::records::IrContact { t_local, other });
-                            }
-                        }
-                    }
-                }
-                // Environment (all active units, including reference/backups).
-                if elapsed % self.config.env_period.as_micros() == 0 {
-                    store.push_env(sensors::sample_env(self.world, pos, t, t_local, &mut rng));
-                }
-                // Sync attempts.
-                if elapsed % self.config.sync_period.as_micros() == 0 {
-                    if let Some(s) =
-                        links::sync_attempt(self.world, &self.clocks, unit, pos, t, &mut rng)
-                    {
-                        store.push_sync(s);
-                    }
-                }
-            }
-            t += tick;
-        }
-
-        // IR contacts recorded on the lower-id unit only so far; mirror them
-        // onto the partner, stamped with the partner's own clock at the same
-        // true instant. The partner's stamp can land out of time order; the
-        // column's sorted insert repairs that on append.
+        // IR contacts are recorded on the lower-id unit only so far; mirror
+        // them onto the partner, stamped with the partner's own clock at the
+        // same true instant. The partner's stamp can land out of time order;
+        // the column's sorted insert repairs that on append.
         let mut mirrored: Vec<(usize, crate::records::IrContact)> = Vec::new();
         for store in &stores {
             for (t_local, c) in store.ir.view().iter() {
@@ -268,39 +195,263 @@ impl<'a> Recorder<'a> {
             stores[idx].push_ir(contact);
         }
 
-        // --- Overnight: docked sampling (sparse) + dense sync -------------
-        let mut tn = duty_end;
-        while tn < night_end {
-            for (idx, &unit) in unit_ids.iter().enumerate() {
-                let clock = self.clocks.clock(unit);
-                let pos = self.world.badge_position(unit, tn, self.truth);
-                let t_local = clock.local_time(tn);
-                if (tn - duty_end).as_micros() % self.config.env_period.as_micros() == 0 {
-                    stores[idx]
-                        .push_env(sensors::sample_env(self.world, pos, tn, t_local, &mut rng));
+        // Storage accounting.
+        for (idx, store) in stores.iter_mut().enumerate() {
+            let mut meter = StorageMeter::new();
+            if pre.carriers[idx].is_some() {
+                meter.record_active(&self.config, pre.duty_end - pre.start);
+                meter.record_docked(&self.config, pre.night_end - pre.duty_end);
+            } else {
+                meter.record_docked(&self.config, pre.night_end - pre.start);
+            }
+            store.bytes_written = meter.bytes();
+        }
+
+        stores
+    }
+
+    /// Resolves everything the per-unit jobs share: the day's constants, the
+    /// speech overlapping the duty window, and every unit's position, wear
+    /// state and room at each master tick.
+    fn precompute_day(&self, day: u32) -> DayPrecomp {
+        let start = SimTime::from_day_hms(day, 7, 0, 0);
+        let duty_end = SimTime::from_day_hms(day, 21, 0, 0);
+        let night_end = SimTime::from_day_hms(day + 1, 6, 55, 0);
+        let noise_adjust = if self.world.incidents.talk_mood(day) < 0.5 {
+            -4.0
+        } else {
+            0.0
+        };
+        let day_speech = self
+            .truth
+            .speech
+            .iter()
+            .filter(|s| s.interval.end > start && s.interval.start < duty_end)
+            .copied()
+            .collect();
+        let carriers: Vec<Option<AstronautId>> = (0..UNIT_COUNT)
+            .map(|i| self.world.carrier_of(BadgeId(i as u8), day))
+            .collect();
+        let tick = SimDuration::from_secs(1);
+        let ticks = ((duty_end - start).as_micros() / tick.as_micros()) as usize;
+        let mut states = Vec::with_capacity(ticks);
+        let mut t = start;
+        while t < duty_end {
+            // Same as `World::badge_position`/`badge_wear`, with the
+            // day-constant carrier lookup hoisted out of the tick loop.
+            states.push(
+                carriers
+                    .iter()
+                    .map(|&carrier| {
+                        let (pos, wear) = match carrier {
+                            Some(c) => {
+                                let a = self.truth.of(c);
+                                (
+                                    a.badge_position(t, self.world.station)
+                                        .unwrap_or(self.world.station),
+                                    a.wear_state(t),
+                                )
+                            }
+                            None => (self.world.station, WearState::Docked),
+                        };
+                        (pos, wear, self.world.room_in_mode(pos, self.rf_mode))
+                    })
+                    .collect(),
+            );
+            t += tick;
+        }
+        DayPrecomp {
+            day,
+            start,
+            duty_end,
+            night_end,
+            noise_adjust,
+            day_speech,
+            carriers,
+            states,
+        }
+    }
+
+    /// Records one unit's full day (duty + overnight) on the unit's own
+    /// seeded stream. No randomness is shared with other units.
+    fn record_unit_day(&self, pre: &DayPrecomp, idx: usize) -> TelemetryStore {
+        let unit = BadgeId(idx as u8);
+        let mut rng = self
+            .seed
+            .child("badge")
+            .stream_indexed("recorder-unit-day", (u64::from(pre.day) << 8) | idx as u64);
+        let mut store = TelemetryStore::new(unit);
+        let clock = self.clocks.clock(unit);
+        let carrier = pre.carriers[idx];
+        let active_unit = carrier.is_some() || unit == BadgeId::REFERENCE;
+        let tick = SimDuration::from_secs(1);
+        let env = EnvSampler::default();
+
+        // --- Daytime sampling at the 1 Hz master tick --------------------
+        // Uncarried primaries record nothing during the day; backups and the
+        // reference sample environment/sync only (the firmware sleeps while
+        // charging), which is what makes badges "active" for only part of
+        // the daytime.
+        if active_unit || matches!(unit, BadgeId(6..=11)) {
+            let energy = carrier
+                .map(|c| 0.8 + 0.4 * self.roster.member(c).profile.mobility)
+                .unwrap_or(1.0);
+            let muffled = carrier == Some(AstronautId::A) && self.muffled_days.contains(&pre.day);
+            let imu = ImuSampler::new(ImuModel::default(), energy);
+            let mic_sampler = MicSampler::new(MicModel::default(), pre.noise_adjust, muffled);
+            let mut speech_cursor = 0usize;
+            let mut t = pre.start;
+            for tick_states in &pre.states {
+                let (pos, wear, room) = tick_states[idx];
+                let elapsed = (t - pre.start).as_micros();
+                let t_local = clock.local_time(t);
+                // A docked badge (EVA, exercise, forgotten on the charger)
+                // pauses full sampling; environment and sync continue below.
+                let sampling = carrier.is_some() && !matches!(wear, WearState::Docked);
+                if sampling {
+                    // BLE scan.
+                    if elapsed % self.config.scan_period.as_micros() == 0 {
+                        store.push_scan(scanner::scan_in(
+                            self.world,
+                            self.rf_mode,
+                            room,
+                            pos,
+                            t_local,
+                            &mut rng,
+                        ));
+                    }
+                    // IMU window.
+                    if elapsed % self.config.imu_window.as_micros() == 0 {
+                        let walking = carrier
+                            .map(|c| self.truth.of(c).is_walking(t) && wear.is_worn())
+                            .unwrap_or(false);
+                        store.push_imu(imu.sample(t_local, wear, walking, &mut rng));
+                    }
+                    // Audio frames (two per second at the default config).
+                    let af = self.config.audio_frame.as_micros();
+                    if elapsed % af == 0 {
+                        let frames_per_tick = (tick.as_micros() / af).max(1);
+                        let active =
+                            mic::active_segments(&pre.day_speech, &mut speech_cursor, t, tick);
+                        for k in 0..frames_per_tick {
+                            let ft = t + SimDuration::from_micros(k * af);
+                            store.push_audio(mic_sampler.frame(
+                                self.world,
+                                self.rf_mode,
+                                self.truth,
+                                pos,
+                                room,
+                                ft,
+                                clock.local_time(ft),
+                                &active,
+                                &mut rng,
+                            ));
+                        }
+                    }
+                    // Proximity sweep.
+                    if elapsed % self.config.proximity_period.as_micros() == 0 {
+                        let units: Vec<(BadgeId, Point2, RoomId)> = tick_states
+                            .iter()
+                            .enumerate()
+                            .map(|(j, &(p, _, r))| (BadgeId(j as u8), p, r))
+                            .collect();
+                        for o in links::proximity_sweep(
+                            self.world,
+                            self.rf_mode,
+                            unit,
+                            pos,
+                            room,
+                            &units,
+                            t_local,
+                            &mut rng,
+                        ) {
+                            store.push_proximity(o);
+                        }
+                    }
+                    // Infrared exchanges (only toward higher unit ids to
+                    // sample each pair once; mirrored onto the partner after
+                    // the merge).
+                    if elapsed % self.config.ir_period.as_micros() == 0 {
+                        for (j, &(opos, owear, oroom)) in
+                            tick_states.iter().enumerate().skip(idx + 1)
+                        {
+                            let other = BadgeId(j as u8);
+                            if pre.carriers[j].is_none() {
+                                continue;
+                            }
+                            if pos.distance(opos) > self.world.ir.range_m {
+                                continue;
+                            }
+                            let (Some(fa), Some(fb)) = (
+                                links::worn_facing(self.world, unit, t, self.truth),
+                                links::worn_facing(self.world, other, t, self.truth),
+                            ) else {
+                                continue;
+                            };
+                            if links::ir_exchange(
+                                self.world,
+                                self.rf_mode,
+                                pos,
+                                fa,
+                                wear,
+                                room,
+                                opos,
+                                fb,
+                                owear,
+                                oroom,
+                                &mut rng,
+                            ) {
+                                store.push_ir(crate::records::IrContact { t_local, other });
+                            }
+                        }
+                    }
                 }
-                if let Some(s) =
-                    links::sync_attempt(self.world, &self.clocks, unit, pos, tn, &mut rng)
-                {
-                    stores[idx].push_sync(s);
+                // Environment (all active units, including reference/backups).
+                if elapsed % self.config.env_period.as_micros() == 0 {
+                    store.push_env(env.sample(self.world, room, t, t_local, &mut rng));
                 }
+                // Sync attempts.
+                if elapsed % self.config.sync_period.as_micros() == 0 {
+                    if let Some(s) = links::sync_attempt(
+                        self.world,
+                        self.rf_mode,
+                        &self.clocks,
+                        unit,
+                        pos,
+                        t,
+                        &mut rng,
+                    ) {
+                        store.push_sync(s);
+                    }
+                }
+                t += tick;
+            }
+        }
+
+        // --- Overnight: docked sampling (sparse) + dense sync ------------
+        let mut tn = pre.duty_end;
+        while tn < pre.night_end {
+            let pos = self.world.badge_position(unit, tn, self.truth);
+            let t_local = clock.local_time(tn);
+            if (tn - pre.duty_end).as_micros() % self.config.env_period.as_micros() == 0 {
+                let room = self.world.room_in_mode(pos, self.rf_mode);
+                store.push_env(env.sample(self.world, room, tn, t_local, &mut rng));
+            }
+            if let Some(s) = links::sync_attempt(
+                self.world,
+                self.rf_mode,
+                &self.clocks,
+                unit,
+                pos,
+                tn,
+                &mut rng,
+            ) {
+                store.push_sync(s);
             }
             tn += self.config.sync_period;
         }
 
-        // --- Storage accounting -------------------------------------------
-        for (idx, &unit) in unit_ids.iter().enumerate() {
-            let mut meter = StorageMeter::new();
-            if self.world.carrier_of(unit, day).is_some() {
-                meter.record_active(&self.config, duty_end - start);
-                meter.record_docked(&self.config, night_end - duty_end);
-            } else {
-                meter.record_docked(&self.config, night_end - start);
-            }
-            stores[idx].bytes_written = meter.bytes();
-        }
-
-        stores
+        store
     }
 
     /// Records the instrumented portion of the mission (days 2–14; badges
@@ -407,5 +558,26 @@ mod tests {
         let total: usize = day.logs.iter().map(|l| l.ir.len()).sum();
         assert!(total > 0, "some IR contacts on a normal day");
         assert_eq!(total % 2, 0, "contacts recorded pairwise");
+    }
+
+    #[test]
+    fn exact_mode_matches_cached_mode() {
+        let (world, roster, truth) = setup();
+        let cached = Recorder::new(
+            &world,
+            &roster,
+            &truth,
+            SamplingConfig::default(),
+            SeedTree::new(99),
+        );
+        let exact = Recorder::new(
+            &world,
+            &roster,
+            &truth,
+            SamplingConfig::default(),
+            SeedTree::new(99),
+        )
+        .with_rf_mode(RfMode::Exact);
+        assert_eq!(cached.record_day_stores(2), exact.record_day_stores(2));
     }
 }

@@ -8,29 +8,64 @@
 //! dwell filter exists to suppress).
 
 use crate::records::BeaconScan;
-use crate::world::World;
+use crate::world::{RfMode, World};
 use ares_habitat::rf::Reception;
 use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::Point2;
 use ares_simkit::time::SimTime;
 use rand::Rng;
 
-/// Performs one BLE scan at the given badge position.
+/// Performs one BLE scan at the given badge position (cached geometry).
 pub fn scan(world: &World, badge_pos: Point2, t_local: SimTime, rng: &mut impl Rng) -> BeaconScan {
-    let badge_room = world.room_at(badge_pos);
+    let badge_room = world.room_in_mode(badge_pos, RfMode::Cached);
+    scan_in(world, RfMode::Cached, badge_room, badge_pos, t_local, rng)
+}
+
+/// Performs one BLE scan with the badge's room already resolved, under the
+/// given RF mode.
+///
+/// Both modes consider the same candidate beacons in the same order and draw
+/// the same randomness per candidate, so the emitted scans are bit-identical;
+/// `Cached` resolves wall counts from the field cache, `Exact` from the
+/// geometric oracle.
+pub fn scan_in(
+    world: &World,
+    mode: RfMode,
+    badge_room: RoomId,
+    badge_pos: Point2,
+    t_local: SimTime,
+    rng: &mut impl Rng,
+) -> BeaconScan {
     let mut hits = Vec::new();
-    for beacon in candidate_beacons(world, badge_room) {
+    let mut consider = |beacon: &ares_habitat::beacons::Beacon, walls: usize, rng: &mut _| {
         let d = beacon.position.distance(badge_pos);
-        let reception = if beacon.room == badge_room {
-            // Convex room: zero wall crossings by construction.
-            world.ble.transmit_known_walls(d, 0, rng)
-        } else {
-            world
-                .ble
-                .transmit(&world.plan, beacon.position, badge_pos, rng)
-        };
-        if let Reception::Received(rssi) = reception {
+        if let Reception::Received(rssi) = world.ble.transmit_known_walls(d, walls, rng) {
             hits.push((beacon.id, rssi));
+        }
+    };
+    match mode {
+        RfMode::Cached => {
+            let cache = world.field_cache();
+            for &bi in cache.candidates(badge_room) {
+                let beacon = &world.beacons.beacons()[bi as usize];
+                let walls = if beacon.room == badge_room {
+                    // Convex room: zero wall crossings by construction.
+                    0
+                } else {
+                    cache.walls_from(&world.plan, bi as usize, badge_pos)
+                };
+                consider(beacon, walls, rng);
+            }
+        }
+        RfMode::Exact => {
+            for beacon in candidate_beacons(world, badge_room) {
+                let walls = if beacon.room == badge_room {
+                    0
+                } else {
+                    world.plan.walls_crossed(beacon.position, badge_pos)
+                };
+                consider(beacon, walls, rng);
+            }
         }
     }
     BeaconScan { t_local, hits }

@@ -8,6 +8,7 @@
 use crate::records::{EnvSample, ImuSample};
 use crate::world::World;
 use ares_crew::truth::WearState;
+use ares_habitat::rooms::RoomId;
 use ares_simkit::time::SimTime;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
@@ -51,31 +52,53 @@ impl ImuModel {
         energy_scale: f64,
         rng: &mut impl Rng,
     ) -> ImuSample {
+        ImuSampler::new(*self, energy_scale).sample(t_local, wear, walking, rng)
+    }
+}
+
+/// A per-unit IMU sampler with the wearer's energy scale folded in and every
+/// per-window `Normal` constructed once instead of per sample.
+#[derive(Debug, Clone)]
+pub struct ImuSampler {
+    walk: Normal,
+    still: Normal,
+    off_body: Normal,
+    step: Normal,
+    mean: Normal,
+}
+
+impl ImuSampler {
+    /// Builds a sampler for one unit-day; `energy_scale` is the carrier's
+    /// bodily energy (1.0 for uncarried units).
+    #[must_use]
+    pub fn new(model: ImuModel, energy_scale: f64) -> Self {
+        ImuSampler {
+            walk: Normal::new(model.walk_var * energy_scale, 0.22).expect("sd > 0"),
+            still: Normal::new(model.still_var * energy_scale, 0.012).expect("sd > 0"),
+            off_body: Normal::new(model.off_body_var, 0.00018).expect("sd > 0"),
+            step: Normal::new(model.step_hz, 0.12).expect("sd > 0"),
+            mean: Normal::new(9.81, 0.04).expect("sd > 0"),
+        }
+    }
+
+    /// Samples one IMU feature window (see [`ImuModel::sample`]).
+    pub fn sample(
+        &self,
+        t_local: SimTime,
+        wear: WearState,
+        walking: bool,
+        rng: &mut impl Rng,
+    ) -> ImuSample {
         let (var, step) = match wear {
             WearState::Worn if walking => {
-                let v = Normal::new(self.walk_var * energy_scale, 0.22)
-                    .expect("sd > 0")
-                    .sample(rng)
-                    .max(0.4);
-                let s = Normal::new(self.step_hz, 0.12).expect("sd > 0").sample(rng);
+                let v = self.walk.sample(rng).max(0.4);
+                let s = self.step.sample(rng);
                 (v, Some(s.clamp(1.2, 2.6)))
             }
-            WearState::Worn => {
-                let v = Normal::new(self.still_var * energy_scale, 0.012)
-                    .expect("sd > 0")
-                    .sample(rng)
-                    .max(0.003);
-                (v, None)
-            }
-            WearState::LeftAt(_) | WearState::Docked => {
-                let v = Normal::new(self.off_body_var, 0.00018)
-                    .expect("sd > 0")
-                    .sample(rng)
-                    .max(1e-5);
-                (v, None)
-            }
+            WearState::Worn => (self.still.sample(rng).max(0.003), None),
+            WearState::LeftAt(_) | WearState::Docked => (self.off_body.sample(rng).max(1e-5), None),
         };
-        let mean = Normal::new(9.81, 0.04).expect("sd > 0").sample(rng);
+        let mean = self.mean.sample(rng);
         ImuSample {
             t_local,
             accel_var: var,
@@ -85,7 +108,48 @@ impl ImuModel {
     }
 }
 
-/// Samples one environmental record for a badge.
+/// An environmental sampler with the measurement-noise distributions hoisted
+/// out of the per-sample path. The badge's room is resolved by the caller
+/// (mode-aware), not re-derived per sample.
+#[derive(Debug, Clone)]
+pub struct EnvSampler {
+    temp: Normal,
+    pressure: Normal,
+}
+
+impl Default for EnvSampler {
+    fn default() -> Self {
+        EnvSampler {
+            temp: Normal::new(0.0, 0.25).expect("sd > 0"),
+            pressure: Normal::new(0.0, 0.35).expect("sd > 0"),
+        }
+    }
+}
+
+impl EnvSampler {
+    /// Samples one environmental record for a badge in `room`.
+    pub fn sample(
+        &self,
+        world: &World,
+        room: RoomId,
+        t_true: SimTime,
+        t_local: SimTime,
+        rng: &mut impl Rng,
+    ) -> EnvSample {
+        let temp = world.env.temperature_c(room, t_true) + self.temp.sample(rng);
+        let pressure = world.env.pressure_hpa(t_true) + self.pressure.sample(rng);
+        let light = (world.env.light_lux(room, t_true) * rng.gen_range(0.92..1.08)).max(0.0);
+        EnvSample {
+            t_local,
+            temperature_c: temp,
+            pressure_hpa: pressure,
+            light_lux: light,
+        }
+    }
+}
+
+/// Samples one environmental record for a badge (exact-geometry façade over
+/// [`EnvSampler`]).
 pub fn sample_env(
     world: &World,
     badge_pos: ares_simkit::geometry::Point2,
@@ -93,16 +157,7 @@ pub fn sample_env(
     t_local: SimTime,
     rng: &mut impl Rng,
 ) -> EnvSample {
-    let room = world.room_at(badge_pos);
-    let temp = world.env.temperature_c(room, t_true) + Normal::new(0.0, 0.25).unwrap().sample(rng);
-    let pressure = world.env.pressure_hpa(t_true) + Normal::new(0.0, 0.35).unwrap().sample(rng);
-    let light = (world.env.light_lux(room, t_true) * rng.gen_range(0.92..1.08)).max(0.0);
-    EnvSample {
-        t_local,
-        temperature_c: temp,
-        pressure_hpa: pressure,
-        light_lux: light,
-    }
+    EnvSampler::default().sample(world, world.room_at(badge_pos), t_true, t_local, rng)
 }
 
 /// Classifier threshold separating on-body from off-body accelerometer

@@ -7,11 +7,29 @@ use ares_crew::roster::AstronautId;
 use ares_crew::truth::{MissionTruth, WearState};
 use ares_habitat::beacons::BeaconDeployment;
 use ares_habitat::environment::Environment;
+use ares_habitat::fieldcache::RfFieldCache;
 use ares_habitat::floorplan::FloorPlan;
 use ares_habitat::rf::{Channel, ChannelParams, InfraredParams};
 use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::Point2;
 use ares_simkit::time::SimTime;
+use std::sync::OnceLock;
+
+/// Which geometry path the recording front end takes.
+///
+/// Both modes produce **bit-identical** telemetry for identical seeds: the
+/// cache only tabulates cells it can prove constant (falling back to the
+/// exact oracle elsewhere), and its fast-reject culls only skip packets the
+/// exact path would also reject before drawing any randomness. `Exact` exists
+/// as the honest baseline for benches and equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RfMode {
+    /// Precomputed [`RfFieldCache`] lookups with exact fallback (default).
+    #[default]
+    Cached,
+    /// Full geometric path: wall scans and polygon tests per packet.
+    Exact,
+}
 
 /// Everything the badge firmware simulation samples against.
 #[derive(Debug)]
@@ -32,6 +50,8 @@ pub struct World {
     pub incidents: IncidentScript,
     /// Position of the charging station / reference badge.
     pub station: Point2,
+    /// Lazily built RF field cache (plan + beacons + station sources).
+    field_cache: OnceLock<RfFieldCache>,
 }
 
 impl World {
@@ -49,6 +69,7 @@ impl World {
             env: Environment::icares(),
             incidents: IncidentScript::icares(),
             station: CHARGING_STATION,
+            field_cache: OnceLock::new(),
         }
     }
 
@@ -56,7 +77,36 @@ impl World {
     #[must_use]
     pub fn with_beacons(mut self, beacons: BeaconDeployment) -> Self {
         self.beacons = beacons;
+        // The cache indexes sources by beacon order; rebuild on next use.
+        self.field_cache = OnceLock::new();
         self
+    }
+
+    /// The RF field cache, built on first use from the plan, beacon
+    /// deployment and station position.
+    #[must_use]
+    pub fn field_cache(&self) -> &RfFieldCache {
+        self.field_cache
+            .get_or_init(|| RfFieldCache::build(&self.plan, &self.beacons, &[self.station]))
+    }
+
+    /// Cache source index of the charging station (= one past the beacons).
+    #[must_use]
+    pub fn station_source(&self) -> usize {
+        self.beacons.len()
+    }
+
+    /// The room a point lies in under the given RF mode — cache lookup or
+    /// exact polygon test, bit-identical by the cache's purity contract.
+    #[must_use]
+    pub fn room_in_mode(&self, p: Point2, mode: RfMode) -> RoomId {
+        match mode {
+            RfMode::Cached => self
+                .field_cache()
+                .room_of(&self.plan, p)
+                .unwrap_or(RoomId::Main),
+            RfMode::Exact => self.room_at(p),
+        }
     }
 
     /// Which astronaut carries the given badge unit on `day`, if anyone.

@@ -9,6 +9,8 @@
 //!   attenuation and shadowing, plus the infrared face-to-face cone model.
 //! * [`environment`] — per-room temperature/light/pressure fields on a
 //!   Martian-sol cycle.
+//! * [`fieldcache`] — precomputed per-source wall counts and room lookups on
+//!   a quantized grid, bit-identical to the exact geometry.
 //!
 //! # Examples
 //!
@@ -28,6 +30,7 @@
 
 pub mod beacons;
 pub mod environment;
+pub mod fieldcache;
 pub mod floorplan;
 pub mod rf;
 pub mod rooms;
@@ -36,6 +39,7 @@ pub mod rooms;
 pub mod prelude {
     pub use crate::beacons::{Beacon, BeaconDeployment, BeaconId};
     pub use crate::environment::Environment;
+    pub use crate::fieldcache::RfFieldCache;
     pub use crate::floorplan::{Door, FloorPlan};
     pub use crate::rf::{Channel, ChannelParams, InfraredParams, Reception, Rssi};
     pub use crate::rooms::{RoomId, RoomTable};

@@ -22,7 +22,7 @@ use crate::floorplan::FloorPlan;
 use ares_simkit::geometry::{Point2, Vec2};
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Received signal strength in dBm.
 pub type Rssi = f64;
@@ -163,9 +163,36 @@ impl RangingTable {
 }
 
 /// The wireless channel: floor plan + per-technology parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The shadowing sampler is prebuilt from the parameters at construction so
+/// the per-packet hot path never re-validates the distribution; it is derived
+/// state, excluded from serialization and rebuilt on deserialize.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Channel {
     params: ChannelParams,
+    shadowing: Normal,
+}
+
+impl Serialize for Channel {
+    fn to_value(&self) -> Value {
+        // Only `params` is persisted; `shadowing` is derived from it.
+        Value::Map(vec![(String::from("params"), self.params.to_value())])
+    }
+}
+
+impl Deserialize for Channel {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(fields) => {
+                let params = fields
+                    .iter()
+                    .find(|(k, _)| k == "params")
+                    .ok_or_else(|| DeError(String::from("Channel: missing field params")))?;
+                Ok(Channel::new(ChannelParams::from_value(&params.1)?))
+            }
+            _ => Err(DeError(String::from("Channel: expected map"))),
+        }
+    }
 }
 
 /// Result of attempting one packet reception.
@@ -190,9 +217,15 @@ impl Reception {
 
 impl Channel {
     /// Creates a channel with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shadowing sigma is negative or non-finite.
     #[must_use]
     pub fn new(params: ChannelParams) -> Self {
-        Channel { params }
+        let shadowing =
+            Normal::new(0.0, params.shadowing_sigma_db).expect("finite non-negative sigma");
+        Channel { params, shadowing }
     }
 
     /// The channel parameters.
@@ -211,10 +244,7 @@ impl Channel {
     ) -> Reception {
         let walls = plan.walls_crossed(tx, rx);
         let mean = self.params.mean_rssi(tx.distance(rx), walls);
-        let shadow = Normal::new(0.0, self.params.shadowing_sigma_db)
-            .expect("positive sigma")
-            .sample(rng);
-        let rssi = mean + shadow;
+        let rssi = mean + self.shadowing.sample(rng);
         if rssi < self.params.sensitivity_dbm {
             return Reception::Lost;
         }
@@ -239,10 +269,7 @@ impl Channel {
         if mean + 6.0 * self.params.shadowing_sigma_db < self.params.sensitivity_dbm {
             return Reception::Lost;
         }
-        let shadow = Normal::new(0.0, self.params.shadowing_sigma_db)
-            .expect("positive sigma")
-            .sample(rng);
-        let rssi = mean + shadow;
+        let rssi = mean + self.shadowing.sample(rng);
         if rssi < self.params.sensitivity_dbm || rng.gen::<f64>() < self.params.base_loss {
             return Reception::Lost;
         }
@@ -299,7 +326,31 @@ impl InfraredParams {
         if d > self.range_m || d < 1e-9 {
             return false;
         }
-        if plan.walls_crossed(a_pos, b_pos) > 0 {
+        self.mutually_visible_known_walls(
+            plan.walls_crossed(a_pos, b_pos),
+            a_pos,
+            a_facing,
+            b_pos,
+            b_facing,
+        )
+    }
+
+    /// [`InfraredParams::mutually_visible`] with the wall-crossing count
+    /// already known — e.g. zero for two badges in the same convex room.
+    #[must_use]
+    pub fn mutually_visible_known_walls(
+        &self,
+        walls: usize,
+        a_pos: Point2,
+        a_facing: Vec2,
+        b_pos: Point2,
+        b_facing: Vec2,
+    ) -> bool {
+        let d = a_pos.distance(b_pos);
+        if d > self.range_m || d < 1e-9 {
+            return false;
+        }
+        if walls > 0 {
             return false;
         }
         let ab = (b_pos - a_pos).normalized();

@@ -2,6 +2,7 @@
 
 use ares_habitat::beacons::BeaconDeployment;
 use ares_habitat::environment::Environment;
+use ares_habitat::fieldcache::{room_wall_floor, RfFieldCache};
 use ares_habitat::floorplan::FloorPlan;
 use ares_habitat::rf::{Channel, ChannelParams};
 use ares_habitat::rooms::RoomId;
@@ -9,6 +10,29 @@ use ares_simkit::geometry::Point2;
 use ares_simkit::rng::SeedTree;
 use ares_simkit::time::SimTime;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The canonical cache (plan + 27 beacons + charging-station extra), built
+/// once for all cases.
+fn canonical_cache() -> &'static (FloorPlan, RfFieldCache) {
+    static CACHE: OnceLock<(FloorPlan, RfFieldCache)> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let plan = FloorPlan::lunares();
+        let deployment = BeaconDeployment::icares(&plan);
+        let cache = RfFieldCache::build(&plan, &deployment, &[Point2::new(30.0, -5.2)]);
+        (plan, cache)
+    })
+}
+
+/// A random probe point spanning the grid and a margin beyond it (so the
+/// off-grid oracle fallback is exercised too).
+fn probe_point(plan: &FloorPlan, fx: f64, fy: f64) -> Point2 {
+    let (lo, hi) = plan.bounds();
+    Point2::new(
+        lo.x - 1.0 + fx * (hi.x - lo.x + 2.0),
+        lo.y - 1.0 + fy * (hi.y - lo.y + 2.0),
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -101,6 +125,70 @@ proptest! {
         for room in RoomId::ALL {
             prop_assert!(thin.in_room(room).count() <= per_room);
         }
+    }
+
+    #[test]
+    fn field_cache_walls_match_the_oracle_everywhere(
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0, source_frac in 0.0f64..1.0,
+    ) {
+        let (plan, cache) = canonical_cache();
+        let p = probe_point(plan, fx, fy);
+        let source = ((source_frac * cache.source_count() as f64) as usize)
+            .min(cache.source_count() - 1);
+        let exact = plan.walls_crossed(cache.source_position(source), p);
+        prop_assert_eq!(
+            cache.walls_from(plan, source, p), exact,
+            "source {} at probe ({}, {})", source, p.x, p.y
+        );
+    }
+
+    #[test]
+    fn field_cache_mean_rssi_is_bit_identical(
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0, source_frac in 0.0f64..1.0,
+    ) {
+        let (plan, cache) = canonical_cache();
+        let p = probe_point(plan, fx, fy);
+        let source = ((source_frac * cache.source_count() as f64) as usize)
+            .min(cache.source_count() - 1);
+        let src = cache.source_position(source);
+        let params = ChannelParams::ble();
+        let through_cache = params.mean_rssi(src.distance(p), cache.walls_from(plan, source, p));
+        let exact = params.mean_rssi(src.distance(p), plan.walls_crossed(src, p));
+        // Bit-for-bit, not approximately: the recorder's draws hang off this.
+        prop_assert_eq!(through_cache.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn field_cache_rooms_match_the_oracle_everywhere(fx in 0.0f64..1.0, fy in 0.0f64..1.0) {
+        let (plan, cache) = canonical_cache();
+        let p = probe_point(plan, fx, fy);
+        prop_assert_eq!(cache.room_of(plan, p), plan.room_at(p));
+    }
+
+    #[test]
+    fn room_wall_floor_is_a_sound_lower_bound(
+        a in 0usize..10, b in 0usize..10, fx in 0.1f64..0.9, fy in 0.1f64..0.9,
+    ) {
+        let (plan, _) = canonical_cache();
+        let (ra, rb) = (RoomId::ALL[a], RoomId::ALL[b]);
+        let floor = room_wall_floor(ra, rb);
+        prop_assert_eq!(floor, room_wall_floor(rb, ra), "floor must be symmetric");
+        // Any segment between interior points of the two rooms crosses at
+        // least `floor` walls.
+        let (min_a, max_a) = plan.room_polygon(ra).bounds();
+        let (min_b, max_b) = plan.room_polygon(rb).bounds();
+        let pa = Point2::new(
+            min_a.x + 0.05 + fx * (max_a.x - min_a.x - 0.1),
+            min_a.y + 0.05 + fy * (max_a.y - min_a.y - 0.1),
+        );
+        let pb = Point2::new(
+            min_b.x + 0.05 + fy * (max_b.x - min_b.x - 0.1),
+            min_b.y + 0.05 + fx * (max_b.y - min_b.y - 0.1),
+        );
+        prop_assert!(
+            plan.walls_crossed(pa, pb) >= floor,
+            "{}→{}: {} walls < floor {}", ra, rb, plan.walls_crossed(pa, pb), floor
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use ares_badge::recorder::Recorder;
 use ares_badge::records::{BadgeLog, MissionRecording, SamplingConfig};
 use ares_badge::telemetry::TelemetryStore;
-use ares_badge::world::World;
+use ares_badge::world::{RfMode, World};
 use ares_crew::behavior::{BehaviorConfig, BehaviorSim};
 use ares_crew::roster::Roster;
 use ares_crew::schedule::{Schedule, MISSION_DAYS};
@@ -136,6 +136,28 @@ impl MissionRunner {
     #[must_use]
     pub fn record_day_stores(&self, day: u32) -> Vec<TelemetryStore> {
         self.recorder().record_day_stores(day)
+    }
+
+    /// Records a single day with the per-unit jobs fanned out on up to
+    /// `workers` threads; bit-identical to [`record_day_stores`] for any
+    /// worker count.
+    ///
+    /// [`record_day_stores`]: MissionRunner::record_day_stores
+    #[must_use]
+    pub fn record_day_stores_parallel(&self, day: u32, workers: usize) -> Vec<TelemetryStore> {
+        self.recorder().record_day_stores_parallel(day, workers)
+    }
+
+    /// Records a single day through the exact geometric path (no field
+    /// cache) — the slow baseline benches compare against; bit-identical to
+    /// [`record_day_stores`].
+    ///
+    /// [`record_day_stores`]: MissionRunner::record_day_stores
+    #[must_use]
+    pub fn record_day_stores_exact(&self, day: u32) -> Vec<TelemetryStore> {
+        self.recorder()
+            .with_rf_mode(RfMode::Exact)
+            .record_day_stores(day)
     }
 
     /// Records and analyzes a single day; returns both the raw recording and

@@ -36,4 +36,21 @@ if ! grep -q '"store_bytes"' BENCH_pipeline.json; then
     exit 1
 fi
 
+echo "== tier1: recording-throughput guard =="
+# The recording front end must report a wall time, it must be non-zero, and
+# the parallel/exact recordings must be bit-identical to the sequential
+# cached one.
+if grep -q '"record_deterministic": false' BENCH_pipeline.json; then
+    echo "tier1: FAIL — bench_smoke reports record_deterministic: false" >&2
+    exit 1
+fi
+if ! grep -q '"record_wall_s"' BENCH_pipeline.json; then
+    echo "tier1: FAIL — BENCH_pipeline.json lacks record_wall_s" >&2
+    exit 1
+fi
+if grep -q '"record_wall_s": 0\.000000' BENCH_pipeline.json; then
+    echo "tier1: FAIL — record_wall_s is zero (recording did not run)" >&2
+    exit 1
+fi
+
 echo "== tier1: OK =="
