@@ -20,6 +20,11 @@ use ares_habitat::beacons::BeaconId;
 use ares_simkit::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Fixed-width lane helpers for batched struct-of-arrays kernels over
+/// columns (re-exported from `ares_simkit` so column consumers need no extra
+/// dependency).
+pub use ares_simkit::lanes;
+
 /// The advertisements of one BLE scan, timestamp stripped.
 pub type ScanHits = Vec<(BeaconId, f64)>;
 
@@ -226,6 +231,20 @@ impl<'a, T> ColumnView<'a, T> {
             ts: &self.ts[lo..hi],
             payloads: &self.payloads[lo..hi],
         }
+    }
+
+    /// The timestamp column split into `[SimTime; LANES]` chunks plus the
+    /// remainder tail — the iteration shape of the batched stage kernels.
+    #[must_use]
+    pub fn ts_lanes(&self) -> (&'a [[SimTime; lanes::LANES]], &'a [SimTime]) {
+        lanes::as_lanes(self.ts)
+    }
+
+    /// The payload column split into `[T; LANES]` chunks plus the remainder
+    /// tail.
+    #[must_use]
+    pub fn payload_lanes(&self) -> (&'a [[T; lanes::LANES]], &'a [T]) {
+        lanes::as_lanes(self.payloads)
     }
 }
 

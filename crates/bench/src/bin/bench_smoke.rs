@@ -8,18 +8,30 @@
 //! available core, plus the row façade path, and checks the analyses agree.
 //! Per-stage timings, the recording wall times and cache speedup, the
 //! store-vs-façade memory footprints and the verified determinism flags go
-//! to `BENCH_pipeline.json` (or the path given as the first argument).
-//! `scripts/tier1.sh` runs this as its final step so every green build
-//! leaves a timing artifact behind — and then greps the artifact to fail the
-//! build on a lost determinism bit or a non-finite metric.
+//! to `BENCH_pipeline.json` (or the path given as the first argument), and
+//! one compact line per run is appended to `artifacts/bench_history.jsonl`
+//! so regressions are visible across runs, not just against the last
+//! committed artifact. `scripts/tier1.sh` runs this as its final step so
+//! every green build leaves a timing artifact behind — and then greps the
+//! artifact to fail the build on a lost determinism bit, a non-finite
+//! metric, or a kernel throughput regression.
 //!
-//! Speedup is only *measured* when more than one hardware thread exists;
-//! on a single-core host the parallel engine run degenerates to a second
-//! sequential run and the ratio would be timing noise, so it is pinned to
-//! 1.0 with `"speedup_measured": false`.
+//! On a single-core host the parallel engine run cannot demonstrate a
+//! wall-clock speedup, but it is still *measured*, never fabricated: the
+//! engine runs with two workers interleaved on the one core and the ratio
+//! (≈1.0 minus scheduling overhead) is reported with `"interleaved": true`.
+//! `"speedup_measured"` is true either way — the number always comes from
+//! two timed runs whose outputs were checked bit-identical.
+//!
+//! Throughput is reported on two planes: `mission_days_per_s` is the
+//! *analysis* rate (one recorded day through the seven-stage engine,
+//! sequentially — the figure the batched kernels move), and
+//! `e2e_days_per_s` folds in the simulation front end that produced the
+//! telemetry (record + analyze).
 //!
 //! ```text
 //! cargo run --release -p ares-bench --bin bench_smoke [out.json]
+//! BENCH_TS=<unix-seconds> … # pins the history timestamp (reproducible CI)
 //! ```
 
 use ares_badge::records::BadgeLog;
@@ -31,6 +43,19 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const DAY: u32 = 3;
+const HISTORY_PATH: &str = "artifacts/bench_history.jsonl";
+
+fn history_timestamp() -> u64 {
+    if let Some(ts) = std::env::var_os("BENCH_TS") {
+        if let Some(parsed) = ts.to_str().and_then(|s| s.parse::<u64>().ok()) {
+            return parsed;
+        }
+        eprintln!("BENCH_TS is not a unix-seconds integer; using wall clock");
+    }
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
 
 fn main() {
     let out_path = std::env::args()
@@ -103,27 +128,26 @@ fn main() {
     let seq_wall_s = t0.elapsed().as_secs_f64();
     let metrics = sequential_engine.metrics();
 
-    let speedup_measured = workers > 1;
-    let (par_wall_s, speedup) = if speedup_measured {
-        let parallel_engine = MissionEngine::with_workers(ctx, workers);
-        let t0 = Instant::now();
-        let parallel = parallel_engine.analyze_day_stores(DAY, &stores);
-        let par_wall_s = t0.elapsed().as_secs_f64();
-        assert_eq!(
-            parallel, sequential,
-            "determinism violated: parallel day differs from sequential"
-        );
-        let speedup = if par_wall_s > 0.0 {
-            seq_wall_s / par_wall_s
-        } else {
-            0.0
-        };
-        (par_wall_s, speedup)
+    // One hardware thread cannot show a wall-clock speedup, but the parallel
+    // engine path still deserves a real measurement: run it with two workers
+    // interleaved on the single core. The ratio honestly lands near 1.0
+    // (minus scheduling overhead) and the determinism check still bites.
+    let interleaved = workers == 1;
+    let engine_workers = if interleaved { 2 } else { workers };
+    let parallel_engine = MissionEngine::with_workers(ctx, engine_workers);
+    let t0 = Instant::now();
+    let parallel = parallel_engine.analyze_day_stores(DAY, &stores);
+    let par_wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        parallel, sequential,
+        "determinism violated: parallel day differs from sequential"
+    );
+    let speedup = if par_wall_s > 0.0 {
+        seq_wall_s / par_wall_s
     } else {
-        // One hardware thread: a "parallel" run is a second sequential run
-        // and the ratio would be noise. Report the null equivalent.
-        (seq_wall_s, 1.0)
+        0.0
     };
+    let speedup_measured = true;
 
     // The row façade must land on the very same analysis as the store path.
     let facade = sequential_engine.analyze_day(DAY, &logs);
@@ -133,8 +157,18 @@ fn main() {
         "facade drifted: row-path day differs from columnar"
     );
 
-    // End-to-end throughput: record one day and analyze it, sequentially.
-    let mission_days_per_s = 1.0 / (record_wall_s + seq_wall_s);
+    // Analysis-plane throughput: one recorded mission day through the staged
+    // engine, sequentially. End-to-end folds in the recording front end.
+    let mission_days_per_s = if seq_wall_s > 0.0 {
+        1.0 / seq_wall_s
+    } else {
+        0.0
+    };
+    let e2e_days_per_s = if record_wall_s + seq_wall_s > 0.0 {
+        1.0 / (record_wall_s + seq_wall_s)
+    } else {
+        0.0
+    };
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"day\": {DAY},");
@@ -152,10 +186,13 @@ fn main() {
     );
     let _ = writeln!(json, "  \"record_deterministic\": {record_deterministic},");
     let _ = writeln!(json, "  \"mission_days_per_s\": {mission_days_per_s:.6},");
+    let _ = writeln!(json, "  \"e2e_days_per_s\": {e2e_days_per_s:.6},");
     let _ = writeln!(json, "  \"sequential_wall_s\": {seq_wall_s:.6},");
     let _ = writeln!(json, "  \"parallel_wall_s\": {par_wall_s:.6},");
+    let _ = writeln!(json, "  \"engine_workers\": {engine_workers},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
     let _ = writeln!(json, "  \"speedup_measured\": {speedup_measured},");
+    let _ = writeln!(json, "  \"interleaved\": {interleaved},");
     let _ = writeln!(json, "  \"deterministic\": {deterministic},");
     let _ = writeln!(json, "  \"facade_bytes\": {facade_bytes},");
     let _ = writeln!(json, "  \"store_bytes\": {store_bytes},");
@@ -178,24 +215,67 @@ fn main() {
     json.push_str("  }\n}\n");
     std::fs::write(&out_path, &json).expect("write bench artifact");
 
+    // One compact line per run, appended forever: the across-runs record the
+    // single-artifact snapshot cannot give.
+    let ts = history_timestamp();
+    let mut line = String::from("{");
+    let _ = write!(line, "\"ts\": {ts}, \"day\": {DAY}, \"workers\": {workers}");
+    let _ = write!(
+        line,
+        ", \"record_wall_s\": {record_wall_s:.6}, \"sequential_wall_s\": {seq_wall_s:.6}"
+    );
+    let _ = write!(
+        line,
+        ", \"parallel_wall_s\": {par_wall_s:.6}, \"speedup\": {speedup:.4}, \
+         \"interleaved\": {interleaved}"
+    );
+    let _ = write!(
+        line,
+        ", \"mission_days_per_s\": {mission_days_per_s:.6}, \
+         \"e2e_days_per_s\": {e2e_days_per_s:.6}"
+    );
+    for stage in Stage::ALL {
+        let m = metrics.get(stage);
+        let _ = write!(
+            line,
+            ", \"{}_wall_s\": {:.6}, \"{}_records_per_s\": {:.1}",
+            stage.label(),
+            m.wall_s,
+            stage.label(),
+            m.records_per_s(),
+        );
+    }
+    line.push_str("}\n");
+    if let Err(e) = std::fs::create_dir_all("artifacts").and_then(|()| {
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(HISTORY_PATH)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+    }) {
+        eprintln!("warning: could not append {HISTORY_PATH}: {e}");
+    }
+
     println!("{}", engine_section(&metrics));
     println!(
         "record day {DAY}: cached {record_wall_s:.2} s, parallel {record_parallel_wall_s:.2} s \
          @{record_workers} worker(s), exact {record_exact_wall_s:.2} s \
          → cache speedup {record_speedup_cache:.2}×"
     );
-    if speedup_measured {
-        println!(
-            "analyze day {DAY}: sequential {seq_wall_s:.2} s, parallel {par_wall_s:.2} s \
-             @{workers} worker(s) → speedup {speedup:.2}×"
-        );
-    } else {
-        println!(
-            "analyze day {DAY}: sequential {seq_wall_s:.2} s \
-             (single hardware thread; speedup not measured)"
-        );
-    }
-    println!("end to end: {mission_days_per_s:.3} mission day(s)/s");
+    println!(
+        "analyze day {DAY}: sequential {seq_wall_s:.2} s, parallel {par_wall_s:.2} s \
+         @{engine_workers} worker(s) → speedup {speedup:.2}×{}",
+        if interleaved {
+            " (interleaved on one core)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "throughput: {mission_days_per_s:.3} mission day(s)/s analyzed, \
+         {e2e_days_per_s:.3} day(s)/s end to end"
+    );
     println!(
         "telemetry footprint: row facade {:.1} MiB, columnar store {:.1} MiB",
         facade_bytes as f64 / (1024.0 * 1024.0),

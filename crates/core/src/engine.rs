@@ -315,13 +315,17 @@ pub fn stage_activity(
 }
 
 /// Stage kernel: applies the paper's speech rules to the audio stream.
+///
+/// Drives the batched [`speech::analyze_view`] kernel directly over the
+/// columnar audio view — bit-identical to the scalar
+/// [`speech::analyze_iter`] over [`TelemetryView::audio_frames`].
 #[must_use]
 pub fn stage_speech(
     ctx: &MissionContext,
     view: TelemetryView<'_>,
     corr: &SyncCorrection,
 ) -> SpeechTrack {
-    speech::analyze_iter(view.audio_frames(), corr, &ctx.params.speech)
+    speech::analyze_view(view.audio, corr, &ctx.params.speech)
 }
 
 /// Stage kernel: segments room stays from a localized track.

@@ -17,6 +17,7 @@ use ares_habitat::beacons::{BeaconDeployment, BeaconId, BeaconIndex};
 use ares_habitat::rf::{ChannelParams, RangingTable};
 use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::{Grid, Point2, Polygon};
+use ares_simkit::lanes;
 use ares_simkit::series::Series;
 use ares_simkit::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -276,6 +277,26 @@ impl ScanSmoother {
     /// reusing `scratch` — the allocation-free form of [`merge_scans`]
     /// used by the localization hot path.
     pub fn merge_into(&self, scratch: &mut MergeScratch, out: &mut Vec<(BeaconId, f64)>) {
+        out.clear();
+        self.for_each_merged_sum(scratch, |id, sum, count| {
+            out.push((id, sum / f64::from(count)));
+        });
+    }
+
+    /// Accumulates the window's per-beacon RSSI sums (scan-arrival order,
+    /// exactly as [`ScanSmoother::merge_into`]) and yields
+    /// `(id, sum, count)` per touched beacon in ascending id order.
+    ///
+    /// The batched localizer consumes this form directly: deferring the
+    /// `sum / count` division lets it run lane-wide over a whole block of
+    /// scans, while `merge_into` divides inline — the same two operands in
+    /// the same operation either way, so both paths produce bit-identical
+    /// averaged RSSI.
+    pub(crate) fn for_each_merged_sum(
+        &self,
+        scratch: &mut MergeScratch,
+        mut f: impl FnMut(BeaconId, f64, u32),
+    ) {
         for &(id, rssi) in &self.hits {
             let i = id.0 as usize;
             if i >= scratch.sums.len() {
@@ -289,13 +310,9 @@ impl ScanSmoother {
             scratch.counts[i] += 1;
         }
         scratch.touched.sort_unstable();
-        out.clear();
         for &raw in &scratch.touched {
             let i = raw as usize;
-            out.push((
-                BeaconId(raw),
-                scratch.sums[i] / f64::from(scratch.counts[i]),
-            ));
+            f(BeaconId(raw), scratch.sums[i], scratch.counts[i]);
             scratch.sums[i] = 0.0;
             scratch.counts[i] = 0;
         }
@@ -310,9 +327,15 @@ impl ScanSmoother {
         let mut hits = Vec::new();
         self.merge_into(&mut scratch, &mut hits);
         BeaconScan {
-            t_local: self.ts.iter().copied().max().unwrap_or(SimTime::EPOCH),
+            t_local: self.latest_t().unwrap_or(SimTime::EPOCH),
             hits,
         }
+    }
+
+    /// The newest local timestamp in the window, if any.
+    #[must_use]
+    pub fn latest_t(&self) -> Option<SimTime> {
+        self.ts.iter().copied().max()
     }
 
     /// The room of the most recent classified scan.
@@ -417,11 +440,11 @@ pub fn localize(
     )
 }
 
-/// Localizes a columnar scan view onto reference time — the zero-copy hot
-/// path driven by the engine (the pre-built [`BeaconIndex`] comes from
-/// `MissionContext`).
+/// The scalar reference form of [`localize_scans`]: the same loop as the row
+/// façade, one scan at a time. Kept as the bit-identity oracle the batched
+/// kernel is tested against.
 #[must_use]
-pub fn localize_scans(
+pub fn localize_scans_scalar(
     scans: ColumnView<'_, ScanHits>,
     corr: &SyncCorrection,
     index: &BeaconIndex,
@@ -435,6 +458,398 @@ pub fn localize_scans(
         plan,
         params,
     )
+}
+
+/// Scans buffered per batched solve block. Large enough to amortize the
+/// lane-transpose setup, small enough that the block's SoA buffers stay in
+/// L2.
+const BLOCK_SCANS: usize = 1024;
+
+/// One smoothed scan awaiting the batched position solve: its anchors sit in
+/// the block's flat SoA buffers at `astart..astart + alen`.
+#[derive(Debug, Clone, Copy)]
+struct PendingFix {
+    t_local: SimTime,
+    room: RoomId,
+    hits: u32,
+    astart: u32,
+    alen: u32,
+}
+
+/// Reusable SoA buffers of the batched localizer. One per kernel invocation;
+/// every `Vec` is recycled across blocks, so the steady state allocates
+/// nothing per scan.
+#[derive(Debug)]
+struct BatchScratch {
+    /// Per-beacon RSSI accumulator, indexed by raw id — fixed arrays sized
+    /// to the `u8` id universe, so the scatter loop needs no bounds or
+    /// resize checks.
+    sums: [f64; 256],
+    counts: [u32; 256],
+    touched: Vec<u8>,
+    /// Scans buffered for the current block, in arrival order.
+    pend: Vec<PendingFix>,
+    /// In-room anchor coordinates, flattened scan-by-scan.
+    ax: Vec<f64>,
+    ay: Vec<f64>,
+    /// Per-anchor RSSI sums (phase A), averaged RSSI then ranged distance
+    /// in place (phase B).
+    ad: Vec<f64>,
+    /// Per-anchor window hit counts, pre-converted to f64 for the lane-wide
+    /// `sum / count` division.
+    an: Vec<f64>,
+    /// Solved (already clamped) position per pending scan.
+    pos: Vec<Point2>,
+    /// Pending scans bucketed by anchor count: `by_len[n]` holds indexes
+    /// into `pend` whose scans have exactly `n` anchors.
+    by_len: Vec<Vec<u32>>,
+    /// Lane-transposed anchors of one solve group: row `a` holds anchor `a`
+    /// of up to [`lanes::LANES`] scans.
+    lx: Vec<[f64; lanes::LANES]>,
+    ly: Vec<[f64; lanes::LANES]>,
+    ld: Vec<[f64; lanes::LANES]>,
+    /// Gathered local timestamps and their batch-corrected reference times.
+    tloc: Vec<SimTime>,
+    tref: Vec<SimTime>,
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        BatchScratch {
+            sums: [0.0; 256],
+            counts: [0; 256],
+            touched: Vec::new(),
+            pend: Vec::new(),
+            ax: Vec::new(),
+            ay: Vec::new(),
+            ad: Vec::new(),
+            an: Vec::new(),
+            pos: Vec::new(),
+            by_len: Vec::new(),
+            lx: Vec::new(),
+            ly: Vec::new(),
+            ld: Vec::new(),
+            tloc: Vec::new(),
+            tref: Vec::new(),
+        }
+    }
+}
+
+impl BatchScratch {
+    /// Solves every buffered scan and emits its fix, then resets the block.
+    ///
+    /// Phase B of the batched kernel: lane-wide RSSI averaging and ranging,
+    /// anchor-count bucketing, lane-transposed weighted-centroid +
+    /// Gauss–Newton solves, then in-arrival-order emission through the
+    /// batch-corrected clock map and the monotonic guard — each step
+    /// performing, per scan, exactly the operations of the scalar loop.
+    #[allow(clippy::cast_possible_truncation)]
+    fn flush(
+        &mut self,
+        ranging: &RangingTable,
+        corr: &SyncCorrection,
+        plan: &ares_habitat::floorplan::FloorPlan,
+        params: &LocalizationParams,
+        last_t: &mut Option<SimTime>,
+        track: &mut PositionTrack,
+    ) {
+        use lanes::{as_lanes, as_lanes_mut, LANES};
+        if self.pend.is_empty() {
+            return;
+        }
+        // Averaged RSSI: the merge's deferred `sum / count`, lane-wide, then
+        // table ranging in place. Same two operations per anchor as the
+        // scalar `merge_into` + `ranging.distance`.
+        {
+            let len = self.ad.len();
+            let tail_start = len - len % LANES;
+            let (dc, _) = as_lanes_mut(&mut self.ad);
+            let (nc, _) = as_lanes(&self.an);
+            for (d, n) in dc.iter_mut().zip(nc) {
+                for l in 0..LANES {
+                    d[l] /= n[l];
+                }
+            }
+            for i in tail_start..len {
+                self.ad[i] /= self.an[i];
+            }
+        }
+        ranging.distances_in_place(&mut self.ad);
+        // Bucket scans by anchor count so each solve group shares one lane
+        // geometry — no masks, no padding columns.
+        for b in &mut self.by_len {
+            b.clear();
+        }
+        for (i, p) in self.pend.iter().enumerate() {
+            let n = p.alen as usize;
+            if n >= self.by_len.len() {
+                self.by_len.resize_with(n + 1, Vec::new);
+            }
+            self.by_len[n].push(i as u32);
+        }
+
+        self.pos.clear();
+        self.pos.resize(self.pend.len(), Point2::new(0.0, 0.0));
+        for n in 0..self.by_len.len() {
+            if self.by_len[n].is_empty() {
+                continue;
+            }
+            if n < params.min_hits_for_fix {
+                // Too few anchors for a solve: first anchor clamped inside,
+                // or the room centre — the scalar fallback verbatim.
+                for gi in 0..self.by_len[n].len() {
+                    let i = self.by_len[n][gi] as usize;
+                    let p = self.pend[i];
+                    let poly = plan.room_polygon(p.room);
+                    self.pos[i] = if p.alen == 0 {
+                        poly.centroid()
+                    } else {
+                        poly.clamp_inside(Point2::new(
+                            self.ax[p.astart as usize],
+                            self.ay[p.astart as usize],
+                        ))
+                    };
+                }
+                continue;
+            }
+            self.lx.clear();
+            self.lx.resize(n, [0.0; LANES]);
+            self.ly.clear();
+            self.ly.resize(n, [0.0; LANES]);
+            self.ld.clear();
+            self.ld.resize(n, [0.0; LANES]);
+            let mut g = 0;
+            while g < self.by_len[n].len() {
+                let glen = LANES.min(self.by_len[n].len() - g);
+                // Transpose the group's anchors into lane rows; tail groups
+                // pad by repeating the last scan (its duplicate lanes are
+                // solved and discarded).
+                for l in 0..LANES {
+                    let i = self.by_len[n][g + l.min(glen - 1)] as usize;
+                    let s = self.pend[i].astart as usize;
+                    for a in 0..n {
+                        self.lx[a][l] = self.ax[s + a];
+                        self.ly[a][l] = self.ay[s + a];
+                        self.ld[a][l] = self.ad[s + a];
+                    }
+                }
+                let (ex, ey) = solve_lanes(&self.lx, &self.ly, &self.ld, params.gn_iterations);
+                for l in 0..glen {
+                    let i = self.by_len[n][g + l] as usize;
+                    let room = self.pend[i].room;
+                    self.pos[i] = plan
+                        .room_polygon(room)
+                        .clamp_inside(Point2::new(ex[l], ey[l]));
+                }
+                g += glen;
+            }
+        }
+
+        // Emit in arrival order: batch clock correction, monotonic guard,
+        // fix push — the scalar tail of `localize_inner`, verbatim.
+        self.tloc.clear();
+        self.tloc.extend(self.pend.iter().map(|p| p.t_local));
+        self.tref.clear();
+        corr.to_reference_batch(&self.tloc, &mut self.tref);
+        for (i, p) in self.pend.iter().enumerate() {
+            let t = self.tref[i];
+            if last_t.is_some_and(|lt| t < lt) {
+                continue;
+            }
+            *last_t = Some(t);
+            track.fixes.push(
+                t,
+                Fix {
+                    room: p.room,
+                    position: self.pos[i],
+                    hits: p.hits as usize,
+                },
+            );
+        }
+        self.pend.clear();
+        self.ax.clear();
+        self.ay.clear();
+        self.ad.clear();
+        self.an.clear();
+    }
+}
+
+/// Lane-batched weighted-centroid initialization + regularized Gauss–Newton:
+/// [`lanes::LANES`] scans solved at once, every scan in the group sharing the
+/// same anchor count `n` (= row count of the transposed inputs).
+///
+/// Per lane this performs exactly the operations of [`solve_position`]'s
+/// solve path, in the same order — including the per-scan early exits, which
+/// become per-lane `conv` flags (a converged lane's estimate is frozen while
+/// the group finishes). The lane loops carry no cross-lane operations, so
+/// autovectorization cannot reassociate anything: outputs are bit-identical
+/// to the scalar solver.
+fn solve_lanes(
+    ax: &[[f64; lanes::LANES]],
+    ay: &[[f64; lanes::LANES]],
+    ad: &[[f64; lanes::LANES]],
+    gn_iterations: usize,
+) -> ([f64; lanes::LANES], [f64; lanes::LANES]) {
+    use lanes::{splat, LANES};
+    let mut wx = splat(0.0);
+    let mut wy = splat(0.0);
+    let mut wsum = splat(0.0);
+    for a in 0..ax.len() {
+        for l in 0..LANES {
+            let w = 1.0 / ad[a][l].max(0.3);
+            wx[l] += ax[a][l] * w;
+            wy[l] += ay[a][l] * w;
+            wsum[l] += w;
+        }
+    }
+    let mut ix = splat(0.0);
+    let mut iy = splat(0.0);
+    for l in 0..LANES {
+        ix[l] = wx[l] / wsum[l];
+        iy[l] = wy[l] / wsum[l];
+    }
+    let mut ex = ix;
+    let mut ey = iy;
+    let mut conv = [false; LANES];
+    let lambda = 0.8;
+    for _ in 0..gn_iterations {
+        if conv == [true; LANES] {
+            break;
+        }
+        // J^T J is symmetric; the scalar solver's [0][1] and [1][0] entries
+        // accumulate the same products, so one lane register serves both.
+        let mut a00 = splat(lambda);
+        let mut a01 = splat(0.0);
+        let mut a11 = splat(lambda);
+        let mut r0 = splat(0.0);
+        let mut r1 = splat(0.0);
+        for l in 0..LANES {
+            r0[l] = lambda * (ex[l] - ix[l]);
+            r1[l] = lambda * (ey[l] - iy[l]);
+        }
+        for a in 0..ax.len() {
+            for l in 0..LANES {
+                let dx = ex[l] - ax[a][l];
+                let dy = ey[l] - ay[a][l];
+                let dist = (dx * dx + dy * dy).sqrt().max(1e-6);
+                let r = dist - ad[a][l];
+                let j0 = dx / dist;
+                let j1 = dy / dist;
+                a00[l] += j0 * j0;
+                a01[l] += j0 * j1;
+                a11[l] += j1 * j1;
+                r0[l] += j0 * r;
+                r1[l] += j1 * r;
+            }
+        }
+        for l in 0..LANES {
+            if conv[l] {
+                continue;
+            }
+            let det = a00[l] * a11[l] - a01[l] * a01[l];
+            if det.abs() < 1e-9 {
+                conv[l] = true;
+                continue;
+            }
+            let dx = (a11[l] * r0[l] - a01[l] * r1[l]) / det;
+            let dy = (-a01[l] * r0[l] + a00[l] * r1[l]) / det;
+            ex[l] -= dx;
+            ey[l] -= dy;
+            if dx * dx + dy * dy < 1e-6 {
+                conv[l] = true;
+            }
+        }
+    }
+    (ex, ey)
+}
+
+/// Localizes a columnar scan view onto reference time — the batched SoA hot
+/// path driven by the engine (the pre-built [`BeaconIndex`] comes from
+/// `MissionContext`).
+///
+/// Phase A walks scans in order, windowing them by **index ring** directly
+/// over the column — the same window [`ScanSmoother`] keeps (last
+/// `smoothing_window` classifiable scans, flushed on a room change) without
+/// copying any hits — and scatter-merges each window into fixed per-beacon
+/// accumulators, gathering each scan's in-room anchors (RSSI still as
+/// `sum`/`count` pairs) into flat SoA buffers. Every [`BLOCK_SCANS`] scans,
+/// phase B ([`BatchScratch::flush`]) averages, ranges, and solves the whole
+/// block lane-wide.
+///
+/// Every per-scan floating-point operation matches
+/// [`localize_scans_scalar`] in kind and order (accumulation in scan-arrival
+/// order, output in ascending beacon id), so the track is bit-identical to
+/// the scalar path — the contract `tests/batched_kernels.rs` enforces.
+#[must_use]
+#[allow(clippy::cast_possible_truncation)]
+pub fn localize_scans(
+    scans: ColumnView<'_, ScanHits>,
+    corr: &SyncCorrection,
+    index: &BeaconIndex,
+    plan: &ares_habitat::floorplan::FloorPlan,
+    params: &LocalizationParams,
+) -> PositionTrack {
+    let ranging = RangingTable::new(&params.channel);
+    let mut track = PositionTrack::default();
+    let mut last_t = None;
+    let mut batch = BatchScratch::default();
+    let window = params.smoothing_window.max(1);
+    let mut ring: Vec<u32> = Vec::with_capacity(window);
+    let mut room_cur: Option<RoomId> = None;
+    let ts = scans.ts();
+    let payloads = scans.payloads();
+    for (si, hits) in payloads.iter().enumerate() {
+        let Some(room) = classify_room_hits(hits, index) else {
+            continue;
+        };
+        if room_cur.is_some_and(|r| r != room) {
+            ring.clear();
+        }
+        room_cur = Some(room);
+        if ring.len() == window {
+            ring.remove(0);
+        }
+        ring.push(si as u32);
+        for &wi in &ring {
+            for &(id, rssi) in &payloads[wi as usize] {
+                let i = id.0 as usize;
+                if batch.counts[i] == 0 {
+                    batch.touched.push(id.0);
+                }
+                batch.sums[i] += rssi;
+                batch.counts[i] += 1;
+            }
+        }
+        batch.touched.sort_unstable();
+        let astart = batch.ax.len() as u32;
+        for ti in 0..batch.touched.len() {
+            let raw = batch.touched[ti];
+            let i = raw as usize;
+            if let Some(b) = index.get(BeaconId(raw)) {
+                if b.room == room {
+                    batch.ax.push(b.position.x);
+                    batch.ay.push(b.position.y);
+                    batch.ad.push(batch.sums[i]);
+                    batch.an.push(f64::from(batch.counts[i]));
+                }
+            }
+            batch.sums[i] = 0.0;
+            batch.counts[i] = 0;
+        }
+        batch.touched.clear();
+        batch.pend.push(PendingFix {
+            t_local: ts[si],
+            room,
+            hits: hits.len() as u32,
+            astart,
+            alen: batch.ax.len() as u32 - astart,
+        });
+        if batch.pend.len() >= BLOCK_SCANS {
+            batch.flush(&ranging, corr, plan, params, &mut last_t, &mut track);
+        }
+    }
+    batch.flush(&ranging, corr, plan, params, &mut last_t, &mut track);
+    track
 }
 
 /// A positional heatmap: seconds spent per 28 cm grid cell.

@@ -14,7 +14,13 @@
 //! The actual staged analysis lives in [`crate::engine`]: [`Pipeline`] is a
 //! thin façade over a [`MissionContext`] and the shared stage kernels, so
 //! the batch path, the parallel [`crate::engine::MissionEngine`] and the
-//! streaming analyzer all run the *same* code.
+//! streaming analyzer all run the *same* code. When the engine runs over
+//! columnar stores, the localize and speech stages drop into batched
+//! struct-of-arrays kernels ([`crate::localization::localize_scans`],
+//! [`crate::speech::analyze_view`]) that are bit-identical to the scalar
+//! kernels this row-façade path drives — the contract
+//! `tests/batched_kernels.rs` enforces — so the two entry points still
+//! cannot diverge.
 
 use crate::activity::{ActivityParams, ActivityTrack};
 use crate::anomaly::{Identification, IdentityParams};

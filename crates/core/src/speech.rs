@@ -15,6 +15,7 @@
 
 use crate::sync::SyncCorrection;
 use ares_badge::records::{AudioFrame, BadgeLog};
+use ares_badge::telemetry::{AudioPayload, ColumnView};
 use ares_simkit::series::{Interval, IntervalSet};
 use ares_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -123,8 +124,9 @@ pub fn analyze(log: &BadgeLog, corr: &SyncCorrection, params: &SpeechParams) -> 
     analyze_iter(log.audio.iter().copied(), corr, params)
 }
 
-/// [`analyze`] over any audio frame stream — the shared kernel behind the
-/// row façade and the columnar view path.
+/// [`analyze`] over any audio frame stream — the scalar reference kernel
+/// behind the row façade, and the bit-identity oracle for the batched
+/// [`analyze_view`].
 #[must_use]
 pub fn analyze_iter(
     audio: impl Iterator<Item = AudioFrame>,
@@ -134,14 +136,6 @@ pub fn analyze_iter(
     let frames: Vec<(SimTime, AudioFrame)> =
         audio.map(|f| (corr.to_reference(f.t_local), f)).collect();
     let intervals = classify_intervals(&frames, params);
-    let heard = IntervalSet::from_intervals(
-        intervals
-            .iter()
-            .filter(|iv| iv.speech)
-            .map(|iv| Interval::new(iv.start, iv.start + params.interval))
-            .collect(),
-    );
-
     // Self-speech utterances (collar-level frames only).
     let utterances = assemble_utterances(&frames, params.self_level_db);
     // Synthetic detection runs on *heard-level* utterances: the screen
@@ -149,7 +143,104 @@ pub fn analyze_iter(
     // collar threshold — scanning only self-level utterances misses the
     // runs entirely (the original deployment's bug, in a second guise).
     let candidates = assemble_utterances(&frames, params.level_threshold_db);
-    let candidate_flags = mark_synthetic_runs(&candidates, params);
+    assemble_track(intervals, &utterances, &candidates, params)
+}
+
+/// [`analyze`] over the columnar audio view — the batched hot path driven by
+/// the engine.
+///
+/// One fused pass replaces the scalar kernel's frame materialization and
+/// three separate sweeps: reference times come from the lane-batched
+/// [`SyncCorrection::to_reference_batch`]; the 15-s bucket is tracked as a
+/// cached `[start, start + interval)` window so the integer-division
+/// `floor_to` only runs when a frame leaves the window (bit-equal, since
+/// `floor_to(t) == start` exactly when `t` is inside it); level sums
+/// accumulate through branch-free selects (adding a literal `+0.0` for
+/// non-qualifying frames, which cannot change any reachable sum — the
+/// accumulators start at `+0.0` and can never become `-0.0`); and utterance
+/// assembly runs over a pre-filtered candidate list ([`Utterance`] runs only
+/// ever contain voiced, pitched frames at or above the lower of the two
+/// level thresholds, and skipped frames could only have forced a flush that
+/// the next retained frame or end-of-stream forces anyway, with the same run
+/// contents — this relies on reference times being non-decreasing, which the
+/// sorted audio column plus any sane correction guarantees).
+///
+/// The resulting track is bit-identical to [`analyze_iter`] on the same
+/// frames — the contract `tests/batched_kernels.rs` enforces.
+#[must_use]
+pub fn analyze_view(
+    audio: ColumnView<'_, AudioPayload>,
+    corr: &SyncCorrection,
+    params: &SpeechParams,
+) -> SpeechTrack {
+    let mut tref: Vec<SimTime> = Vec::with_capacity(audio.len());
+    corr.to_reference_batch(audio.ts(), &mut tref);
+    let payloads = audio.payloads();
+    let min_level = params.self_level_db.min(params.level_threshold_db);
+
+    let mut intervals: Vec<SpeechInterval> = Vec::new();
+    let mut cands: Vec<(SimTime, f64, f64)> = Vec::new();
+    let mut have = false;
+    let mut bstart = SimTime::EPOCH;
+    let mut bend = SimTime::EPOCH;
+    let (mut frames_n, mut qual, mut lsum, mut voiced_n, mut vsum) =
+        (0usize, 0usize, 0.0f64, 0usize, 0.0f64);
+    for (p, &t) in payloads.iter().zip(&tref) {
+        if !(have && t >= bstart && t < bend) {
+            if have {
+                intervals.push(finish_interval(
+                    (bstart, frames_n, qual, lsum, voiced_n, vsum),
+                    params,
+                ));
+            }
+            bstart = t.floor_to(params.interval);
+            bend = bstart + params.interval;
+            have = true;
+            (frames_n, qual, lsum, voiced_n, vsum) = (0, 0, 0.0, 0, 0.0);
+        }
+        frames_n += 1;
+        let level = p.level_db;
+        let voiced = p.voiced;
+        voiced_n += usize::from(voiced);
+        vsum += if voiced { level } else { 0.0 };
+        let q = voiced && level >= params.level_threshold_db;
+        qual += usize::from(q);
+        lsum += if q { level } else { 0.0 };
+        if voiced && level >= min_level {
+            if let Some(f0) = p.f0_hz {
+                cands.push((t, level, f0));
+            }
+        }
+    }
+    if have {
+        intervals.push(finish_interval(
+            (bstart, frames_n, qual, lsum, voiced_n, vsum),
+            params,
+        ));
+    }
+    let utterances = utterances_from_candidates(&cands, params.self_level_db);
+    let candidates = utterances_from_candidates(&cands, params.level_threshold_db);
+    assemble_track(intervals, &utterances, &candidates, params)
+}
+
+/// The shared tail of [`analyze_iter`] and [`analyze_view`]: heard-span
+/// extraction, synthetic-run marking, self-talk filtering, and the F0
+/// median — one implementation, so the two paths cannot diverge past the
+/// utterance stage.
+fn assemble_track(
+    intervals: Vec<SpeechInterval>,
+    utterances: &[Utterance],
+    candidates: &[Utterance],
+    params: &SpeechParams,
+) -> SpeechTrack {
+    let heard = IntervalSet::from_intervals(
+        intervals
+            .iter()
+            .filter(|iv| iv.speech)
+            .map(|iv| Interval::new(iv.start, iv.start + params.interval))
+            .collect(),
+    );
+    let candidate_flags = mark_synthetic_runs(candidates, params);
     let synthetic_set = IntervalSet::from_intervals(
         candidates
             .iter()
@@ -160,7 +251,7 @@ pub fn analyze_iter(
     );
     let mut self_spans = Vec::new();
     let mut f0s = Vec::new();
-    for u in &utterances {
+    for u in utterances {
         let synthetic = synthetic_set
             .intervals()
             .iter()
@@ -272,6 +363,43 @@ fn assemble_utterances(frames: &[(SimTime, AudioFrame)], level_db: f64) -> Vec<U
         }
     }
     flush(&mut run);
+    out
+}
+
+/// [`assemble_utterances`] over a pre-filtered candidate list of
+/// `(t_ref, level_db, f0_hz)` triples — every frame that is voiced, pitched,
+/// and at or above the *lower* of the two assembly thresholds, in stream
+/// order. Frames dropped from the list can never join a run at any
+/// `level_db` the caller passes, and the flushes they might have forced
+/// happen with identical run contents at the next candidate or end of
+/// stream (reference times are non-decreasing), so the output is bit-equal
+/// to the scalar assembly over the full frame list.
+fn utterances_from_candidates(cands: &[(SimTime, f64, f64)], level_db: f64) -> Vec<Utterance> {
+    let mut out = Vec::new();
+    let mut run: Vec<(SimTime, f64)> = Vec::new();
+    let mut f0s: Vec<f64> = Vec::new();
+    let gap = SimDuration::from_millis(1200);
+    let frame_len = SimDuration::from_millis(500);
+    let mut flush = |run: &mut Vec<(SimTime, f64)>, f0s: &mut Vec<f64>| {
+        if run.len() >= 2 {
+            f0s.clear();
+            f0s.extend(run.iter().map(|&(_, f)| f));
+            out.push(Utterance {
+                interval: Interval::new(run[0].0, run[run.len() - 1].0 + frame_len),
+                f0_hz: ares_simkit::stats::median_mut(f0s),
+            });
+        }
+        run.clear();
+    };
+    for &(t, level, f0) in cands {
+        if run.last().is_some_and(|&(lt, _)| t - lt > gap) {
+            flush(&mut run, &mut f0s);
+        }
+        if level >= level_db {
+            run.push((t, f0));
+        }
+    }
+    flush(&mut run, &mut f0s);
     out
 }
 

@@ -23,7 +23,7 @@
 //! pipeline because there is no second copy of the logic to drift.
 
 use crate::engine::MissionContext;
-use crate::localization::ScanSmoother;
+use crate::localization::{MergeScratch, ScanSmoother};
 use crate::speech::{frame_qualifies, interval_is_speech};
 use crate::wear::{block_worn, window_on_body};
 use ares_badge::records::{AudioFrame, BadgeId, BeaconScan, ImuSample, SyncSample};
@@ -121,6 +121,10 @@ pub struct StreamingAnalyzer {
     meeting_since: BTreeMap<RoomId, SimTime>,
     events_emitted: u64,
     records_ingested: u64,
+    // Persistent per-beacon accumulator for `merged_scan_of` — the same
+    // allocation-free merge the batched localizer uses, kept out of
+    // checkpoints (pure scratch, always left zeroed between calls).
+    merge_scratch: MergeScratch,
 }
 
 impl StreamingAnalyzer {
@@ -141,6 +145,7 @@ impl StreamingAnalyzer {
             meeting_since: BTreeMap::new(),
             events_emitted: 0,
             records_ingested: 0,
+            merge_scratch: MergeScratch::default(),
         }
     }
 
@@ -359,6 +364,28 @@ impl StreamingAnalyzer {
         self.badges.get(&badge).and_then(|s| s.smoother.room())
     }
 
+    /// The RSSI-averaged merge of a badge's current smoothing window —
+    /// what the batch localizer would range and solve from at this instant.
+    ///
+    /// Runs [`ScanSmoother::merge_into`] on the analyzer's persistent
+    /// [`MergeScratch`], so repeated live queries (e.g. a habitat dashboard
+    /// polling every badge each second) allocate nothing per call beyond the
+    /// returned hit list.
+    pub fn merged_scan_of(&mut self, badge: BadgeId) -> Option<BeaconScan> {
+        let state = self.badges.get(&badge)?;
+        if state.smoother.is_empty() {
+            return None;
+        }
+        let mut hits = Vec::new();
+        state
+            .smoother
+            .merge_into(&mut self.merge_scratch, &mut hits);
+        Some(BeaconScan {
+            t_local: state.smoother.latest_t()?,
+            hits,
+        })
+    }
+
     /// The rooms currently hosting gatherings of two or more badges.
     #[must_use]
     pub fn active_meetings(&self) -> Vec<(RoomId, usize)> {
@@ -403,6 +430,27 @@ mod tests {
         BeaconScan {
             t_local: t,
             hits: dep.in_room(room).map(|b| (b.id, -55.0)).collect(),
+        }
+    }
+
+    #[test]
+    fn merged_scan_query_reuses_scratch_and_matches_window() {
+        let mut sa = StreamingAnalyzer::icares();
+        let dep = BeaconDeployment::icares(&FloorPlan::lunares());
+        let t0 = SimTime::from_day_hms(3, 9, 0, 0);
+        assert!(sa.merged_scan_of(BadgeId(7)).is_none());
+        for i in 0..3 {
+            let t = t0 + SimDuration::from_secs(i);
+            sa.ingest_scan(BadgeId(7), &scan_at(t, RoomId::Office, &dep));
+        }
+        let m1 = sa.merged_scan_of(BadgeId(7)).expect("window non-empty");
+        let m2 = sa.merged_scan_of(BadgeId(7)).expect("repeat query");
+        // The persistent scratch must come back zeroed: identical answers.
+        assert_eq!(m1, m2);
+        assert_eq!(m1.t_local, t0 + SimDuration::from_secs(2));
+        assert!(!m1.hits.is_empty());
+        for &(_, rssi) in &m1.hits {
+            assert!((rssi - -55.0).abs() < 1e-12);
         }
     }
 

@@ -105,6 +105,33 @@ impl SyncCorrection {
         SimTime::from_secs_f64((t_local.as_secs_f64() - self.offset_s) / k)
     }
 
+    /// Maps a whole timestamp column onto the reference timeline, appending
+    /// to `out` — the lane-batched form of [`SyncCorrection::to_reference`].
+    ///
+    /// The subtract/divide runs over fixed `[f64; LANES]` chunks so it
+    /// vectorizes; per element the arithmetic is exactly `to_reference`'s,
+    /// so the output timestamps are bit-identical.
+    pub fn to_reference_batch(&self, ts: &[SimTime], out: &mut Vec<SimTime>) {
+        use ares_simkit::lanes::{as_lanes, splat, LANES};
+        out.reserve(ts.len());
+        let k = 1.0 + self.skew_ppm * 1e-6;
+        let (chunks, tail) = as_lanes(ts);
+        for chunk in chunks {
+            let mut secs = splat(0.0);
+            for l in 0..LANES {
+                secs[l] = (chunk[l].as_secs_f64() - self.offset_s) / k;
+            }
+            for s in secs {
+                out.push(SimTime::from_secs_f64(s));
+            }
+        }
+        for &t in tail {
+            out.push(SimTime::from_secs_f64(
+                (t.as_secs_f64() - self.offset_s) / k,
+            ));
+        }
+    }
+
     /// The correction's estimate of `local − ref` at a reference instant.
     #[must_use]
     pub fn shift_at(&self, t_ref: SimTime) -> SimDuration {

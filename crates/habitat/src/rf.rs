@@ -149,7 +149,12 @@ impl RangingTable {
     /// point, exact inversion outside the grid.
     #[must_use]
     pub fn distance(&self, rssi: Rssi) -> f64 {
-        let slot = (rssi - self.min_dbm) * self.inv_step;
+        self.range_slot((rssi - self.min_dbm) * self.inv_step, rssi)
+    }
+
+    /// The lookup tail shared by [`RangingTable::distance`] and the
+    /// lane-batched [`RangingTable::distances_in_place`].
+    fn range_slot(&self, slot: f64, rssi: Rssi) -> f64 {
         // `as usize` saturates negatives to 0; reject those explicitly.
         if slot >= 0.0 {
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -159,6 +164,30 @@ impl RangingTable {
             }
         }
         self.params.distance_for_rssi(rssi)
+    }
+
+    /// Ranges a whole RSSI column in place: `rssi[i]` becomes
+    /// [`RangingTable::distance`]`(rssi[i])`.
+    ///
+    /// The slot arithmetic runs over fixed `[f64; LANES]` chunks so it
+    /// vectorizes; the table load stays a per-lane gather. Per element the
+    /// operations are exactly [`RangingTable::distance`]'s, so the result is
+    /// bit-identical to ranging one value at a time.
+    pub fn distances_in_place(&self, rssi: &mut [f64]) {
+        use ares_simkit::lanes::{as_lanes_mut, splat, LANES};
+        let (chunks, tail) = as_lanes_mut(rssi);
+        for chunk in chunks {
+            let mut slot = splat(0.0);
+            for l in 0..LANES {
+                slot[l] = (chunk[l] - self.min_dbm) * self.inv_step;
+            }
+            for l in 0..LANES {
+                chunk[l] = self.range_slot(slot[l], chunk[l]);
+            }
+        }
+        for r in tail {
+            *r = self.distance(*r);
+        }
     }
 }
 

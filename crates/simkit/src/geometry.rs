@@ -242,10 +242,54 @@ fn on_segment(a: Point2, b: Point2, p: Point2) -> bool {
 }
 
 /// A simple polygon given by its vertices in order (either winding).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Polygon {
     vertices: Vec<Point2>,
+    /// A cached open box strictly interior to the polygon (margin well past
+    /// the boundary tolerance of [`Polygon::contains`]), when one is cheap
+    /// to prove — currently for axis-aligned rectangles, which every room
+    /// in the habitat is. Points inside it short-circuit `contains` without
+    /// the per-edge boundary scan; points outside fall through to the full
+    /// test, so results are identical either way.
+    interior_box: Option<(Point2, Point2)>,
 }
+
+/// Manual serde impls: the wire form carries vertices only (exactly the
+/// shape the former derive produced), and deserialization rebuilds through
+/// [`Polygon::new`] so the cached interior box is recomputed, never trusted
+/// from serialized data.
+impl Serialize for Polygon {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("vertices".to_string(), self.vertices.to_value())])
+    }
+}
+
+impl Deserialize for Polygon {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Map(fields) => {
+                let vertices = fields
+                    .iter()
+                    .find(|(k, _)| k == "vertices")
+                    .ok_or_else(|| serde::DeError("Polygon: missing field vertices".into()))?;
+                Ok(Polygon::new(Vec::<Point2>::from_value(&vertices.1)?))
+            }
+            other => Err(serde::DeError(format!(
+                "Polygon: expected map, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl PartialEq for Polygon {
+    fn eq(&self, other: &Self) -> bool {
+        self.vertices == other.vertices
+    }
+}
+
+/// Margin of the cached interior box: far beyond `contains`'s 1e-9 boundary
+/// tolerance, negligible against room-scale meters.
+const INTERIOR_MARGIN: f64 = 1e-6;
 
 impl Polygon {
     /// Creates a polygon from vertices.
@@ -256,7 +300,52 @@ impl Polygon {
     #[must_use]
     pub fn new(vertices: Vec<Point2>) -> Self {
         assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
-        Polygon { vertices }
+        let interior_box = Self::rect_interior(&vertices);
+        Polygon {
+            vertices,
+            interior_box,
+        }
+    }
+
+    /// The interior box of an axis-aligned rectangle (`None` for any other
+    /// shape): its bounds shrunk by [`INTERIOR_MARGIN`]. A proper rectangle
+    /// is required — four vertices whose edges strictly alternate between
+    /// horizontal and vertical (which rules out zero-length edges and
+    /// collinear degenerates, where a bounds-derived box would overreach).
+    fn rect_interior(vertices: &[Point2]) -> Option<(Point2, Point2)> {
+        if vertices.len() != 4 {
+            return None;
+        }
+        let mut want_horizontal: Option<bool> = None;
+        for i in 0..4 {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % 4];
+            let horizontal = if a.y == b.y && a.x != b.x {
+                true
+            } else if a.x == b.x && a.y != b.y {
+                false
+            } else {
+                return None;
+            };
+            if want_horizontal.is_some_and(|w| w != horizontal) {
+                return None;
+            }
+            want_horizontal = Some(!horizontal);
+        }
+        let (min, max) = {
+            let mut min = vertices[0];
+            let mut max = vertices[0];
+            for v in &vertices[1..] {
+                min.x = min.x.min(v.x);
+                min.y = min.y.min(v.y);
+                max.x = max.x.max(v.x);
+                max.y = max.y.max(v.y);
+            }
+            (min, max)
+        };
+        let lo = Point2::new(min.x + INTERIOR_MARGIN, min.y + INTERIOR_MARGIN);
+        let hi = Point2::new(max.x - INTERIOR_MARGIN, max.y - INTERIOR_MARGIN);
+        (lo.x < hi.x && lo.y < hi.y).then_some((lo, hi))
     }
 
     /// Axis-aligned rectangle with one corner at `(x, y)`.
@@ -285,6 +374,14 @@ impl Polygon {
     /// Even-odd point containment test; boundary points count as inside.
     #[must_use]
     pub fn contains(&self, p: Point2) -> bool {
+        // Points strictly inside the cached interior box are decided without
+        // touching the edges: they are provably past the boundary tolerance
+        // and in the interior, where the full test below must answer `true`.
+        if let Some((lo, hi)) = self.interior_box {
+            if p.x > lo.x && p.x < hi.x && p.y > lo.y && p.y < hi.y {
+                return true;
+            }
+        }
         // Boundary check first for robustness. Squared distances: this runs
         // once per localization fix, and the sqrt per edge dominates.
         for e in self.edges() {

@@ -1,0 +1,68 @@
+//! Fixed-width lane chunking for batched struct-of-arrays kernels.
+//!
+//! The hot analysis kernels (localization Gauss–Newton, the 15-s speech
+//! rule, RSSI ranging) process millions of homogeneous records per mission
+//! day. Splitting a column into `[T; LANES]` chunks gives the autovectorizer
+//! a fixed trip count it can turn into SIMD, while the per-lane operation
+//! *order* stays exactly the scalar order — which is what keeps the batched
+//! kernels bit-identical to their scalar references (the same `.to_bits()`
+//! contract the RF field cache honors).
+//!
+//! `LANES` is a compile-time constant, not a CPU probe: lane width changes
+//! instruction *scheduling*, never IEEE semantics, so results are identical
+//! on any host.
+
+/// Lane width of the batched kernels: 8 f64s (one AVX-512 register, four
+/// SSE2 registers — the autovectorizer splits as the target allows).
+pub const LANES: usize = 8;
+
+/// Splits a slice into full `[T; LANES]` chunks plus the remainder tail.
+///
+/// The tail is processed by the same per-element code as the lanes, so
+/// record counts that are not a multiple of `LANES` take the identical
+/// arithmetic path.
+#[must_use]
+pub fn as_lanes<T>(slice: &[T]) -> (&[[T; LANES]], &[T]) {
+    slice.as_chunks::<LANES>()
+}
+
+/// Mutable variant of [`as_lanes`].
+#[must_use]
+pub fn as_lanes_mut<T>(slice: &mut [T]) -> (&mut [[T; LANES]], &mut [T]) {
+    slice.as_chunks_mut::<LANES>()
+}
+
+/// An all-lanes copy of one value.
+#[must_use]
+pub fn splat(v: f64) -> [f64; LANES] {
+    [v; LANES]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_and_tail_partition_the_slice() {
+        let xs: Vec<u32> = (0..LANES as u32 * 3 + 5).collect();
+        let (chunks, tail) = as_lanes(&xs);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(tail.len(), 5);
+        let rebuilt: Vec<u32> = chunks
+            .iter()
+            .flatten()
+            .copied()
+            .chain(tail.iter().copied())
+            .collect();
+        assert_eq!(rebuilt, xs);
+    }
+
+    #[test]
+    fn exact_multiple_has_empty_tail() {
+        let xs = vec![1.5f64; LANES * 2];
+        let (chunks, tail) = as_lanes(&xs);
+        assert_eq!(chunks.len(), 2);
+        assert!(tail.is_empty());
+        assert_eq!(splat(1.5), chunks[0]);
+    }
+}

@@ -35,6 +35,7 @@
 pub mod clock;
 pub mod event;
 pub mod geometry;
+pub mod lanes;
 pub mod rng;
 pub mod series;
 pub mod stats;

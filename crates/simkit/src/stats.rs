@@ -146,10 +146,19 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// empty.
 #[must_use]
 pub fn median(values: &[f64]) -> f64 {
-    if values.is_empty() {
+    let mut v: Vec<f64> = values.to_vec();
+    median_mut(&mut v)
+}
+
+/// [`median`] over a caller-owned buffer, sorting it in place — the
+/// allocation-free form batched kernels use in per-run hot loops. Same
+/// comparator and midpoint arithmetic as [`median`], so results are
+/// bit-identical.
+#[must_use]
+pub fn median_mut(v: &mut [f64]) -> f64 {
+    if v.is_empty() {
         return 0.0;
     }
-    let mut v: Vec<f64> = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
     let n = v.len();
     if n % 2 == 1 {

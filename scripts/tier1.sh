@@ -53,4 +53,19 @@ if grep -q '"record_wall_s": 0\.000000' BENCH_pipeline.json; then
     exit 1
 fi
 
+echo "== tier1: kernel-throughput guard =="
+# The batched localize/speech kernels must stay above ~60% of their measured
+# steady-state throughput on the slowest host exercised so far (a 1-core
+# 2.1 GHz Xeon) — a silent fall back to a slow path is a build failure.
+loc_rps=$(grep '"localize"' BENCH_pipeline.json | sed 's/.*"records_per_s": \([0-9.]*\).*/\1/')
+sp_rps=$(grep '"speech"' BENCH_pipeline.json | sed 's/.*"records_per_s": \([0-9.]*\).*/\1/')
+if ! awk -v v="$loc_rps" 'BEGIN{exit !(v+0 >= 2000000)}'; then
+    echo "tier1: FAIL — localize throughput regressed: ${loc_rps:-missing} rec/s < 2000000" >&2
+    exit 1
+fi
+if ! awk -v v="$sp_rps" 'BEGIN{exit !(v+0 >= 20000000)}'; then
+    echo "tier1: FAIL — speech throughput regressed: ${sp_rps:-missing} rec/s < 20000000" >&2
+    exit 1
+fi
+
 echo "== tier1: OK =="

@@ -77,7 +77,7 @@ fn parallel_mission_is_bit_identical_to_sequential() {
             )
         })
         .collect();
-    for workers in [1usize, 4] {
+    for workers in [1usize, 2, 4] {
         let engine = MissionEngine::with_workers(runner.pipeline().context().clone(), workers);
         let on_stores = engine.analyze_days_stores(&store_days);
         assert_eq!(
@@ -85,4 +85,56 @@ fn parallel_mission_is_bit_identical_to_sequential() {
             "store-path MissionAnalysis diverged from the facade with {workers} worker(s)"
         );
     }
+}
+
+/// The batched SoA kernels behind the store path must be *bit*-identical to
+/// their scalar references on real mission data — positions compared through
+/// `f64::to_bits`, not tolerance — and stay so under every worker count the
+/// executor supports (the store path above already pins the full analysis at
+/// 1/2/4 workers; this pins the kernels themselves).
+#[test]
+fn batched_kernels_are_bit_identical_to_scalar_on_mission_data() {
+    use ares_sociometrics::localization::{localize_scans, localize_scans_scalar};
+    use ares_sociometrics::speech::{analyze_iter, analyze_view};
+    use ares_sociometrics::sync::SyncCorrection;
+
+    let runner = MissionRunner::icares();
+    let stores = runner.record_day_stores(FIRST_INSTRUMENTED_DAY);
+    let ctx = runner.pipeline().context().clone();
+    let mut nonempty = 0;
+    for store in &stores {
+        let view = store.view();
+        let corr = SyncCorrection::fit_view(view.sync);
+
+        let scalar = localize_scans_scalar(
+            view.scans,
+            &corr,
+            ctx.beacon_index(),
+            &ctx.plan,
+            &ctx.params.localization,
+        );
+        let batched = localize_scans(
+            view.scans,
+            &corr,
+            ctx.beacon_index(),
+            &ctx.plan,
+            &ctx.params.localization,
+        );
+        assert_eq!(scalar, batched, "batched localize diverged from scalar");
+        for (a, b) in scalar.fixes.samples().iter().zip(batched.fixes.samples()) {
+            assert_eq!(a.value.position.x.to_bits(), b.value.position.x.to_bits());
+            assert_eq!(a.value.position.y.to_bits(), b.value.position.y.to_bits());
+        }
+        nonempty += usize::from(!scalar.fixes.samples().is_empty());
+
+        let s = analyze_iter(view.audio_frames(), &corr, &ctx.params.speech);
+        let b = analyze_view(view.audio, &corr, &ctx.params.speech);
+        assert_eq!(s, b, "batched speech diverged from scalar");
+        for (si, bi) in s.intervals.iter().zip(&b.intervals) {
+            assert_eq!(si.mean_level_db.to_bits(), bi.mean_level_db.to_bits());
+            assert_eq!(si.mean_voiced_db.to_bits(), bi.mean_voiced_db.to_bits());
+        }
+        assert_eq!(s.self_f0_hz.to_bits(), b.self_f0_hz.to_bits());
+    }
+    assert!(nonempty > 0, "sanity: day had localizable badges");
 }
