@@ -160,6 +160,83 @@ pub fn engine_section(metrics: &EngineMetrics) -> String {
     )
 }
 
+/// One ingest shard's health row for the mission report: how much telemetry
+/// landed, what backpressure shed (per sensor family), how deep the bounded
+/// queue ran, and how often the shard failed over. Built by the support
+/// crate's ingest server; defined here so the report can render it without a
+/// dependency cycle.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IngestShardRow {
+    /// Shard index.
+    pub shard: usize,
+    /// Records applied to tenant state.
+    pub ingested: u64,
+    /// Records shed at the front door, per family label (zeros included).
+    pub dropped: Vec<(String, u64)>,
+    /// Current bounded-queue depth when the row was sampled (zero after a
+    /// clean drain).
+    pub queue_depth: usize,
+    /// High-water mark of the bounded queue over the run.
+    pub queue_peak: usize,
+    /// Backup promotions the shard survived.
+    pub failovers: u64,
+    /// Checkpoints the vault accepted.
+    pub checkpoints: u64,
+}
+
+impl IngestShardRow {
+    /// Total records shed across all families.
+    #[must_use]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// Renders the ingest-plane health section: one row per shard plus a
+/// breakdown of non-zero typed drop counters — backpressure shedding is
+/// mission-report-visible, not buried in bus counters.
+#[must_use]
+pub fn ingest_section(rows: &[IngestShardRow]) -> String {
+    let mut out = String::from(
+        "ingest service health\nshard  ingested  dropped  depth  peak  failovers  checkpoints\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5}  {:>8}  {:>7}  {:>5}  {:>4}  {:>9}  {:>11}\n",
+            r.shard,
+            r.ingested,
+            r.dropped_total(),
+            r.queue_depth,
+            r.queue_peak,
+            r.failovers,
+            r.checkpoints,
+        ));
+    }
+    let shed: Vec<String> = rows
+        .iter()
+        .flat_map(|r| {
+            r.dropped
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|(k, n)| format!("shard {} {k}: {n}", r.shard))
+        })
+        .collect();
+    if shed.is_empty() {
+        out.push_str("no records shed\n");
+    } else {
+        out.push_str(&format!("shed breakdown: {}\n", shed.join(", ")));
+    }
+    out
+}
+
+/// The engine workload section followed by the ingest health section — the
+/// full "how the analysis plane ran" report when telemetry arrived through
+/// the streaming front door.
+#[must_use]
+pub fn engine_section_with_ingest(metrics: &EngineMetrics, rows: &[IngestShardRow]) -> String {
+    format!("{}\n{}", engine_section(metrics), ingest_section(rows))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +302,52 @@ mod tests {
         assert!((h.mean_worn_fraction - 9.0 / 14.0).abs() < 0.01);
         assert!((h.mean_active_fraction - 0.9).abs() < 0.01);
         assert_eq!(h.recorded_gib, 0.0);
+    }
+
+    #[test]
+    fn ingest_section_lists_shards_and_typed_drops() {
+        let rows = vec![
+            IngestShardRow {
+                shard: 0,
+                ingested: 1000,
+                dropped: vec![("scan".into(), 0), ("audio".into(), 7)],
+                queue_depth: 3,
+                queue_peak: 64,
+                failovers: 1,
+                checkpoints: 4,
+            },
+            IngestShardRow {
+                shard: 1,
+                ingested: 900,
+                dropped: vec![("scan".into(), 0)],
+                queue_depth: 0,
+                queue_peak: 12,
+                failovers: 0,
+                checkpoints: 5,
+            },
+        ];
+        assert_eq!(rows[0].dropped_total(), 7);
+        let s = ingest_section(&rows);
+        assert!(s.contains("ingest service health"));
+        assert_eq!(s.lines().count(), 5, "header + 2 shards + shed line:\n{s}");
+        assert!(s.contains("shard 0 audio: 7"), "typed drops surfaced:\n{s}");
+        assert!(
+            !s.contains("shard 0 scan"),
+            "zero counters stay quiet:\n{s}"
+        );
+    }
+
+    #[test]
+    fn ingest_section_quiet_when_nothing_shed() {
+        let rows = vec![IngestShardRow {
+            shard: 0,
+            ingested: 10,
+            ..IngestShardRow::default()
+        }];
+        let s = ingest_section(&rows);
+        assert!(s.contains("no records shed"));
+        let combined = engine_section_with_ingest(&EngineMetrics::new(), &rows);
+        assert!(combined.contains("analysis engine workload"));
+        assert!(combined.contains("ingest service health"));
     }
 }

@@ -112,6 +112,82 @@ pub struct AnalyzerCheckpoint {
     records_ingested: u64,
 }
 
+impl AnalyzerCheckpoint {
+    /// Records the analyzer had ingested when the snapshot was taken — the
+    /// **replay cursor**: a recovering replica that restores this checkpoint
+    /// must re-feed exactly the WAL records *after* this count to converge
+    /// on the crashed primary's state.
+    #[must_use]
+    pub fn records_ingested(&self) -> u64 {
+        self.records_ingested
+    }
+
+    /// Events the analyzer had emitted when the snapshot was taken. Replaying
+    /// the gap regenerates events past this count; anything before it is a
+    /// duplicate a downstream sink has already seen.
+    #[must_use]
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+}
+
+/// A checkpoint schedule on the sim clock: arms at `start + every` and fires
+/// once per call to [`CheckpointCadence::due`] whenever the deadline has
+/// passed, then re-arms past `now`. Long gaps (an idle stream, a stalled
+/// shard) collapse into a single firing instead of a burst of stale
+/// checkpoints.
+///
+/// Serializable so a shard can carry its cadence inside its own checkpoint
+/// and resume the schedule after a promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointCadence {
+    every: SimDuration,
+    next: SimTime,
+}
+
+impl CheckpointCadence {
+    /// A cadence firing every `every`, first due at `start + every`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is not a positive duration.
+    #[must_use]
+    pub fn new(start: SimTime, every: SimDuration) -> Self {
+        assert!(
+            every > SimDuration::ZERO,
+            "checkpoint cadence must be positive"
+        );
+        CheckpointCadence {
+            every,
+            next: start + every,
+        }
+    }
+
+    /// Whether a checkpoint is due at `now`; if so, re-arms strictly past
+    /// `now` (one firing, however late the caller is).
+    pub fn due(&mut self, now: SimTime) -> bool {
+        if now < self.next {
+            return false;
+        }
+        while self.next <= now {
+            self.next += self.every;
+        }
+        true
+    }
+
+    /// The next scheduled firing instant.
+    #[must_use]
+    pub fn next_at(&self) -> SimTime {
+        self.next
+    }
+
+    /// The configured period.
+    #[must_use]
+    pub fn every(&self) -> SimDuration {
+        self.every
+    }
+}
+
 /// The bounded-memory streaming analyzer.
 #[derive(Debug)]
 pub struct StreamingAnalyzer {
@@ -635,6 +711,33 @@ mod tests {
         assert_eq!(got, expected, "resumed stream must match uninterrupted");
         assert_eq!(second.records_ingested(), whole.records_ingested());
         assert_eq!(second.events_emitted(), whole.events_emitted());
+    }
+
+    #[test]
+    fn cadence_fires_once_per_deadline_and_collapses_gaps() {
+        let t0 = SimTime::from_day_hms(3, 0, 0, 0);
+        let mut c = CheckpointCadence::new(t0, SimDuration::from_mins(15));
+        assert!(!c.due(t0 + SimDuration::from_mins(14)));
+        assert!(c.due(t0 + SimDuration::from_mins(15)));
+        assert_eq!(c.next_at(), t0 + SimDuration::from_mins(30));
+        // Nothing more until the next deadline.
+        assert!(!c.due(t0 + SimDuration::from_mins(16)));
+        // A long stall collapses to one firing, re-armed past `now`.
+        assert!(c.due(t0 + SimDuration::from_mins(100)));
+        assert_eq!(c.next_at(), t0 + SimDuration::from_mins(105));
+        assert!(!c.due(t0 + SimDuration::from_mins(104)));
+        // The replay cursor rides the checkpoint.
+        let mut sa = StreamingAnalyzer::icares();
+        sa.ingest_sync(
+            BadgeId(0),
+            &SyncSample {
+                t_local: t0,
+                t_reference: t0,
+            },
+        );
+        let ckpt = sa.checkpoint(t0);
+        assert_eq!(ckpt.records_ingested(), 1);
+        assert_eq!(ckpt.events_emitted(), 0);
     }
 
     #[test]

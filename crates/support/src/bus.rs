@@ -27,16 +27,19 @@ pub enum Topic {
     EarthLink,
     /// System-management messages (heartbeats, takeovers, approvals).
     Control,
+    /// Ingest-plane health: backpressure shedding, queue depths, failovers.
+    Ingest,
 }
 
 impl Topic {
     /// All topics.
-    pub const ALL: [Topic; 5] = [
+    pub const ALL: [Topic; 6] = [
         Topic::Sensors,
         Topic::Analysis,
         Topic::Alerts,
         Topic::EarthLink,
         Topic::Control,
+        Topic::Ingest,
     ];
 }
 

@@ -191,12 +191,16 @@ impl ReplicatedService {
 /// The primary offers snapshots on a schedule; backups hold the latest
 /// replicated copy. A promoted backup resumes from [`CheckpointVault::latest`]
 /// and replays only the records since `taken_at` — the *replay gap* — instead
-/// of losing the whole day. The vault is deliberately dumb (last-write-wins
-/// by snapshot time): ordering comes from the sim clock, not from the vault.
+/// of losing the whole day. Ordering is enforced by the vault: an offer must
+/// be **strictly newer** than the held snapshot or it is rejected. A lagging
+/// replica (or a replayed replication message) re-offering an old — or
+/// equal-time but stale — snapshot must never overwrite the established
+/// state the next promotion will restore from.
 #[derive(Debug, Clone)]
 pub struct CheckpointVault<T> {
     latest: Option<(SimTime, T)>,
     offered: u64,
+    rejected: u64,
 }
 
 impl<T> Default for CheckpointVault<T> {
@@ -204,6 +208,7 @@ impl<T> Default for CheckpointVault<T> {
         CheckpointVault {
             latest: None,
             offered: 0,
+            rejected: 0,
         }
     }
 }
@@ -215,11 +220,18 @@ impl<T: Clone> CheckpointVault<T> {
         Self::default()
     }
 
-    /// Replicates a snapshot taken at `at`; older snapshots are ignored.
-    pub fn offer(&mut self, at: SimTime, snapshot: T) {
+    /// Replicates a snapshot taken at `at`. Returns whether the vault
+    /// accepted it: offers not strictly newer than [`CheckpointVault::latest`]
+    /// are rejected (and counted), so out-of-order replication can never roll
+    /// the vault back.
+    pub fn offer(&mut self, at: SimTime, snapshot: T) -> bool {
         self.offered += 1;
-        if self.latest.as_ref().is_none_or(|&(t, _)| at >= t) {
+        if self.latest.as_ref().is_none_or(|&(t, _)| at > t) {
             self.latest = Some((at, snapshot));
+            true
+        } else {
+            self.rejected += 1;
+            false
         }
     }
 
@@ -233,6 +245,12 @@ impl<T: Clone> CheckpointVault<T> {
     #[must_use]
     pub fn offered(&self) -> u64 {
         self.offered
+    }
+
+    /// Offers rejected for being no newer than the held snapshot.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// The replay gap a promotion at `now` would incur: time since the last
@@ -346,14 +364,32 @@ mod tests {
         let mut vault: CheckpointVault<String> = CheckpointVault::new();
         assert!(vault.latest().is_none());
         assert!(vault.replay_gap(t(10)).is_none());
-        vault.offer(t(10), "early".into());
-        vault.offer(t(30), "late".into());
-        vault.offer(t(20), "stale".into()); // out-of-order replication
+        assert!(vault.offer(t(10), "early".into()));
+        assert!(vault.offer(t(30), "late".into()));
+        assert!(!vault.offer(t(20), "stale".into())); // out-of-order replication
         let (at, snap) = vault.latest().expect("non-empty");
         assert_eq!(at, t(30));
         assert_eq!(snap, "late");
         assert_eq!(vault.offered(), 3);
+        assert_eq!(vault.rejected(), 1);
         assert_eq!(vault.replay_gap(t(45)), Some(SimDuration::from_secs(15)));
+    }
+
+    #[test]
+    fn vault_rejects_offers_no_newer_than_latest() {
+        // The lagging-replica hazard: after the vault holds t=30, nothing at
+        // or before t=30 may replace it — not even an equal-time offer with
+        // different (older) content.
+        let mut vault: CheckpointVault<&'static str> = CheckpointVault::new();
+        assert!(vault.offer(t(30), "established"));
+        assert!(!vault.offer(t(30), "lagging-replica"), "equal-time offer");
+        assert!(!vault.offer(t(29), "older"), "strictly older offer");
+        let (at, snap) = vault.latest().expect("non-empty");
+        assert_eq!((at, *snap), (t(30), "established"));
+        assert_eq!(vault.rejected(), 2);
+        // Strictly newer offers still advance the vault.
+        assert!(vault.offer(t(31), "newer"));
+        assert_eq!(vault.latest().map(|(a, s)| (a, *s)), Some((t(31), "newer")));
     }
 
     #[test]

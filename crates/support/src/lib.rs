@@ -15,6 +15,9 @@
 //!   replication of analysis units.
 //! * [`earthlink`] — the 20-minute-delay link with blackout handling and the
 //!   day-12 delayed-command conflict detector.
+//! * [`ingest`] — the multi-tenant streaming front door: thread-per-shard
+//!   ingest with bounded queues, typed backpressure, per-shard WAL + vault
+//!   checkpoints, and byte-identical crash recovery.
 //! * [`alerts`] — the rule engine (dehydration, passivity, conflict heat,
 //!   fatigue, wear compliance).
 //! * [`approval`] — the crew + mission-control change-approval protocol with
@@ -35,6 +38,7 @@ pub mod bus;
 pub mod chaos;
 pub mod earthlink;
 pub mod failover;
+pub mod ingest;
 pub mod privacy;
 pub mod resources;
 pub mod runtime;
@@ -48,6 +52,10 @@ pub mod prelude {
     pub use crate::chaos::{Fault, FaultPlan, FaultScheduler};
     pub use crate::earthlink::{Command, ConflictPolicy, Delivery, EarthLink, ONE_WAY_DELAY};
     pub use crate::failover::{FailoverEvent, ReplicaId, ReplicatedService, Role};
+    pub use crate::ingest::{
+        BackpressurePolicy, IngestConfig, IngestRunReport, IngestServer, RecordKind,
+        TelemetryRecord, TenantId,
+    };
     pub use crate::privacy::{DutyLevel, PrivacyGovernor, SensorClass};
     pub use crate::resources::{FluidBalance, Resource, ResourceLedger};
     pub use crate::runtime::{

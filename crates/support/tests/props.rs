@@ -5,7 +5,7 @@ use ares_simkit::time::{SimDuration, SimTime};
 use ares_support::earthlink::{Command, ConflictPolicy, Delivery, EarthLink, ONE_WAY_DELAY};
 #[allow(unused_imports)]
 use ares_support::failover::Role as _RoleCheck;
-use ares_support::failover::{FailoverEvent, ReplicaId, ReplicatedService, Role};
+use ares_support::failover::{CheckpointVault, FailoverEvent, ReplicaId, ReplicatedService, Role};
 use ares_support::privacy::{DutyLevel, PrivacyGovernor, SensorClass};
 use proptest::prelude::*;
 
@@ -126,6 +126,35 @@ proptest! {
         if let (Some((tf, _)), Some((tp, _))) = (failed_at, promoted_at) {
             prop_assert!(tp >= tf);
         }
+    }
+
+    #[test]
+    fn vault_latest_is_the_first_offer_at_the_running_max_time(
+        offers in prop::collection::vec(0i64..5_000, 1..60),
+    ) {
+        // Offers arrive in arbitrary (possibly regressing) timestamp order, as
+        // from a lagging replica. The vault must always hold the *first* offer
+        // made at the running-max timestamp: later equal-time or older offers
+        // are rejected, never overwrite.
+        let mut vault: CheckpointVault<usize> = CheckpointVault::new();
+        let mut expect: Option<(i64, usize)> = None;
+        let mut rejected = 0u64;
+        for (i, &s) in offers.iter().enumerate() {
+            let accepted = vault.offer(SimTime::from_secs(s), i);
+            let newer = expect.is_none_or(|(t, _)| s > t);
+            prop_assert_eq!(accepted, newer, "offer {} at t={}", i, s);
+            if newer {
+                expect = Some((s, i));
+            } else {
+                rejected += 1;
+            }
+            let (at, &snap) = vault.latest().expect("offered at least once");
+            let (et, ei) = expect.expect("tracked");
+            prop_assert_eq!(at, SimTime::from_secs(et));
+            prop_assert_eq!(snap, ei);
+        }
+        prop_assert_eq!(vault.offered(), offers.len() as u64);
+        prop_assert_eq!(vault.rejected(), rejected);
     }
 
     #[test]

@@ -68,4 +68,29 @@ if ! awk -v v="$sp_rps" 'BEGIN{exit !(v+0 >= 20000000)}'; then
     exit 1
 fi
 
+echo "== tier1: ingest soak (multi-tenant streaming + chaos drill) =="
+# Streams a full recorded day through the sharded ingest service twice —
+# clean, then with shard 0's primary killed at noon — and splices sustained
+# throughput plus a recovery-divergence bit into the artifact.
+cargo run --release -q -p ares-bench --bin ingest_soak BENCH_pipeline.json
+
+echo "== tier1: ingest regression guard =="
+# A recovered shard that is not byte-identical to the unfaulted run is a
+# build failure, and so is a silent throughput collapse at the front door.
+if grep -q '"recovery_divergent": true' BENCH_pipeline.json; then
+    echo "tier1: FAIL — ingest_soak reports recovery_divergent: true" >&2
+    exit 1
+fi
+if ! grep -q '"recovery_divergent": false' BENCH_pipeline.json; then
+    echo "tier1: FAIL — BENCH_pipeline.json lacks the ingest recovery verdict" >&2
+    exit 1
+fi
+# Floor: ~1/3 of the ~190k records/s measured on the slowest host exercised
+# so far — headroom for scheduling noise, trips on an accidental slow path.
+ing_rps=$(grep '"sustained_records_per_s"' BENCH_pipeline.json | sed 's/.*: \([0-9.]*\).*/\1/')
+if ! awk -v v="$ing_rps" 'BEGIN{exit !(v+0 >= 60000)}'; then
+    echo "tier1: FAIL — ingest throughput regressed: ${ing_rps:-missing} rec/s < 60000" >&2
+    exit 1
+fi
+
 echo "== tier1: OK =="

@@ -2,10 +2,14 @@
 //! same recorded day — same rooms, same speech intervals, same wear story —
 //! while holding only bounded state.
 
-use ares::badge::records::BadgeId;
+use ares::badge::records::{BadgeId, BeaconScan};
 use ares::icares::MissionRunner;
 use ares::simkit::time::{SimDuration, SimTime};
+use ares::sociometrics::engine::MissionContext;
 use ares::sociometrics::streaming::{LiveEvent, StreamingAnalyzer};
+use ares::support::ingest::TelemetryRecord;
+use proptest::prelude::*;
+use std::sync::OnceLock;
 
 #[test]
 fn streaming_matches_batch_on_a_real_day() {
@@ -130,4 +134,117 @@ fn streaming_meeting_events_bracket_batch_meetings() {
     );
     assert!(ended <= started);
     assert!(started > 10, "a normal day has many gatherings: {started}");
+}
+
+/// A recorded multi-badge day flattened into one analyzer-facing feed,
+/// interleaved by badge-local timestamp. Recorded once and shared across
+/// property cases — recording a day is the expensive part, not replaying it.
+fn day2_feed() -> &'static (MissionContext, Vec<(BadgeId, TelemetryRecord)>) {
+    static FEED: OnceLock<(MissionContext, Vec<(BadgeId, TelemetryRecord)>)> = OnceLock::new();
+    FEED.get_or_init(|| {
+        let runner = MissionRunner::icares();
+        let ctx = runner.pipeline().context().clone();
+        let stores = runner.record_day_stores(2);
+        let mut feed: Vec<(BadgeId, TelemetryRecord)> = Vec::new();
+        // Five badges give genuine cross-badge interleaving (room handoffs,
+        // shared meetings) while keeping each property case fast.
+        for store in stores.iter().take(5) {
+            let v = store.view();
+            for (t, hits) in v.scan_hits() {
+                feed.push((
+                    store.badge,
+                    TelemetryRecord::Scan(BeaconScan {
+                        t_local: t,
+                        hits: hits.to_vec(),
+                    }),
+                ));
+            }
+            for a in v.audio_frames() {
+                feed.push((store.badge, TelemetryRecord::Audio(a)));
+            }
+            for s in v.imu_samples() {
+                feed.push((store.badge, TelemetryRecord::Imu(s)));
+            }
+            for s in v.sync_samples() {
+                feed.push((store.badge, TelemetryRecord::Sync(s)));
+            }
+        }
+        feed.sort_by_key(|(_, r)| r.t_local());
+        (ctx, feed)
+    })
+}
+
+/// Feeds one record into the analyzer, collecting any emitted events.
+fn apply_record(
+    sa: &mut StreamingAnalyzer,
+    badge: BadgeId,
+    record: &TelemetryRecord,
+    events: &mut Vec<LiveEvent>,
+) {
+    match record {
+        TelemetryRecord::Scan(s) => events.extend(sa.ingest_scan(badge, s)),
+        TelemetryRecord::Audio(a) => events.extend(sa.ingest_audio(badge, a)),
+        TelemetryRecord::Imu(s) => events.extend(sa.ingest_imu(badge, s)),
+        TelemetryRecord::Sync(s) => sa.ingest_sync(badge, s),
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Checkpoint at an arbitrary cut of an interleaved multi-badge feed,
+    /// restore into a fresh analyzer, replay the tail — and the result must
+    /// be bit-identical to never having been interrupted: same event stream,
+    /// same counters, same serialized checkpoint bytes. This is the contract
+    /// the ingest shards' recovery path stands on.
+    #[test]
+    fn checkpoint_restore_replay_matches_uninterrupted_ingest_bit_for_bit(
+        frac in 0u32..=1_000,
+    ) {
+        let (ctx, feed) = day2_feed();
+        let cut = feed.len() * frac as usize / 1_000;
+        let end = SimTime::from_day_hms(3, 0, 0, 0);
+
+        let mut whole = StreamingAnalyzer::with_context(ctx.clone());
+        let mut whole_events = Vec::new();
+        for (badge, r) in feed {
+            apply_record(&mut whole, *badge, r, &mut whole_events);
+        }
+
+        let mut first = StreamingAnalyzer::with_context(ctx.clone());
+        let mut split_events = Vec::new();
+        for (badge, r) in &feed[..cut] {
+            apply_record(&mut first, *badge, r, &mut split_events);
+        }
+        let mid_at = feed[..cut]
+            .last()
+            .map_or(SimTime::EPOCH, |(_, r)| r.t_local());
+        let mid = first.checkpoint(mid_at);
+
+        let mut resumed = StreamingAnalyzer::with_context(ctx.clone());
+        resumed.restore(&mid);
+        for (badge, r) in &feed[cut..] {
+            apply_record(&mut resumed, *badge, r, &mut split_events);
+        }
+
+        prop_assert_eq!(
+            split_events.len(),
+            whole_events.len(),
+            "event counts diverged at cut {}/{}",
+            cut,
+            feed.len()
+        );
+        prop_assert_eq!(&split_events, &whole_events);
+        prop_assert_eq!(resumed.records_ingested(), whole.records_ingested());
+        prop_assert_eq!(resumed.events_emitted(), whole.events_emitted());
+        let uninterrupted = serde_json::to_string(&whole.checkpoint(end)).expect("ckpt");
+        let recovered = serde_json::to_string(&resumed.checkpoint(end)).expect("ckpt");
+        prop_assert_eq!(
+            uninterrupted,
+            recovered,
+            "checkpoint bytes diverged at cut {}",
+            cut
+        );
+    }
 }
