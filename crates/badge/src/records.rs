@@ -223,6 +223,29 @@ impl Default for SamplingConfig {
     }
 }
 
+impl SamplingConfig {
+    /// The fleet-scale sampling profile: every stream decimated ~5× against
+    /// the canonical deployment so hundreds of habitats fit in one soak run.
+    ///
+    /// The analysis pipeline makes no assumptions about these rates beyond
+    /// monotonic timestamps, so fleet runs stay bit-deterministic — they just
+    /// carry less telemetry per badge-day than the paper's deployment.
+    #[must_use]
+    pub fn fleet() -> Self {
+        SamplingConfig {
+            scan_period: SimDuration::from_secs(5),
+            audio_frame: SimDuration::from_millis(2500),
+            imu_window: SimDuration::from_secs(5),
+            env_period: SimDuration::from_secs(300),
+            proximity_period: SimDuration::from_secs(25),
+            ir_period: SimDuration::from_secs(5),
+            sync_period: SimDuration::from_mins(10),
+            raw_rate_active_bps: 8_100,
+            raw_rate_docked_bps: 360,
+        }
+    }
+}
+
 /// A full mission recording: one log per physical unit, stitched over days.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct MissionRecording {

@@ -1,0 +1,28 @@
+//! Bench guard: the single tier-1 gate over `BENCH_pipeline.json`.
+//!
+//! Parses the benchmark artifact with the crate's own JSON reader (no grep,
+//! no sed, no jq dependency) and enforces every tier-1 floor in one place:
+//! determinism bits, stage-throughput floors, ingest recovery and sustained
+//! rate, and the fleet scale + determinism verdicts. Each violation is
+//! printed on its own stderr line; any violation exits non-zero, which
+//! `scripts/tier1.sh` treats as a build failure.
+//!
+//! ```text
+//! cargo run --release -p ares-bench --bin bench_guard [artifact.json]
+//! ```
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let violations = ares_bench::artifact::check_pipeline_file(&path);
+    if violations.is_empty() {
+        println!("bench guard: {path} OK — all tier-1 floors hold");
+        return;
+    }
+    eprintln!("bench guard: {path} FAILED {} check(s):", violations.len());
+    for v in &violations {
+        eprintln!("  - {v}");
+    }
+    std::process::exit(1);
+}

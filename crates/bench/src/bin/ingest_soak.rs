@@ -32,7 +32,6 @@ use ares_support::chaos::{Fault, FaultPlan};
 use ares_support::ingest::{
     BackpressurePolicy, IngestConfig, IngestRunReport, IngestServer, TelemetryRecord, TenantId,
 };
-use std::fmt::Write as _;
 use std::time::Instant;
 
 const DAY: u32 = 3;
@@ -104,32 +103,6 @@ fn rendered(analysis: &MissionAnalysis) -> String {
     serde_json::to_string(analysis).expect("mission analysis serializes")
 }
 
-/// Splices `"ingest": {...}` into an existing bench artifact, or writes a
-/// fresh one holding only the ingest object. The vendored serde stub renders
-/// but does not parse JSON, so the merge is textual: strip the final closing
-/// brace, append the new member.
-fn splice_into_artifact(path: &str, ingest_json: &str) {
-    let merged = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            // Re-runs replace the previous ingest object rather than
-            // appending a duplicate member.
-            let body = existing
-                .find("\n  \"ingest\": {")
-                .map_or(existing.as_str(), |at| &existing[..at]);
-            let body = body.trim_end();
-            let body = body.strip_suffix('}').unwrap_or(body);
-            let body = body.trim_end().trim_end_matches(',').trim_end();
-            if body.is_empty() || body == "{" {
-                format!("{{\n{ingest_json}}}\n")
-            } else {
-                format!("{body},\n{ingest_json}}}\n")
-            }
-        }
-        Err(_) => format!("{{\n{ingest_json}}}\n"),
-    };
-    std::fs::write(path, merged).expect("write bench artifact");
-}
-
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -185,34 +158,36 @@ fn main() {
         eprintln!("soak: chaos drill did not exercise failover + vault replay");
     }
 
-    let mut ingest = String::new();
-    let _ = writeln!(ingest, "  \"ingest\": {{");
-    let _ = writeln!(ingest, "    \"day\": {DAY},");
-    let _ = writeln!(ingest, "    \"shards\": {},", cfg.shards);
-    let _ = writeln!(ingest, "    \"tenants\": 2,");
-    let _ = writeln!(ingest, "    \"records_submitted\": {submitted},");
-    let _ = writeln!(ingest, "    \"clean_wall_s\": {clean_wall_s:.6},");
-    let _ = writeln!(
-        ingest,
-        "    \"sustained_records_per_s\": {sustained_records_per_s:.1},"
+    let ingest = ares_bench::artifact::render_member(
+        "ingest",
+        &[
+            ("day", DAY.to_string()),
+            ("shards", cfg.shards.to_string()),
+            ("tenants", "2".to_string()),
+            ("records_submitted", submitted.to_string()),
+            ("clean_wall_s", format!("{clean_wall_s:.6}")),
+            (
+                "sustained_records_per_s",
+                format!("{sustained_records_per_s:.1}"),
+            ),
+            ("chaos_wall_s", format!("{chaos_wall_s:.6}")),
+            ("failovers", faulted.failovers().to_string()),
+            ("vault_restores", drill.replays.to_string()),
+            ("wal_replayed", drill.wal_replayed.to_string()),
+            (
+                "checkpoints",
+                faulted
+                    .shards
+                    .iter()
+                    .map(|s| s.checkpoints)
+                    .sum::<u64>()
+                    .to_string(),
+            ),
+            ("records_dropped", faulted.records_dropped().to_string()),
+            ("recovery_divergent", recovery_divergent.to_string()),
+        ],
     );
-    let _ = writeln!(ingest, "    \"chaos_wall_s\": {chaos_wall_s:.6},");
-    let _ = writeln!(ingest, "    \"failovers\": {},", faulted.failovers());
-    let _ = writeln!(ingest, "    \"vault_restores\": {},", drill.replays);
-    let _ = writeln!(ingest, "    \"wal_replayed\": {},", drill.wal_replayed);
-    let _ = writeln!(
-        ingest,
-        "    \"checkpoints\": {},",
-        faulted.shards.iter().map(|s| s.checkpoints).sum::<u64>()
-    );
-    let _ = writeln!(
-        ingest,
-        "    \"records_dropped\": {},",
-        faulted.records_dropped()
-    );
-    let _ = writeln!(ingest, "    \"recovery_divergent\": {recovery_divergent}");
-    let _ = writeln!(ingest, "  }}");
-    splice_into_artifact(&out_path, &ingest);
+    ares_bench::artifact::splice_into_file(&out_path, "ingest", &ingest);
 
     // Reliability scorecard: the chaos run's engine stage timings (replays
     // included) plus per-shard ingest health, in mission-report form.

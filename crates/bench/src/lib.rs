@@ -19,6 +19,8 @@
 use ares_icares::MissionRunner;
 use ares_sociometrics::pipeline::{DayAnalysis, MissionAnalysis};
 
+pub mod artifact;
+
 /// Runs the full instrumented mission with the default seed, returning the
 /// aggregates plus the death-day analysis needed by Fig. 5.
 #[must_use]

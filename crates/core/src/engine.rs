@@ -42,7 +42,7 @@ use ares_habitat::floorplan::FloorPlan;
 use ares_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The deployment metadata every analysis stage reads: floor plan, beacon
@@ -685,24 +685,49 @@ fn private_conversations(
 /// metrics) varies.
 #[derive(Debug)]
 pub struct MissionEngine {
-    ctx: MissionContext,
+    ctx: Arc<MissionContext>,
     workers: usize,
     metrics: Mutex<EngineMetrics>,
+}
+
+/// One unit of parallel work: a badge-day of one habitat, carrying the
+/// context it must be analyzed under. Single-habitat paths pass the engine's
+/// own context; the fleet path threads each habitat's interned context
+/// through, which is what generalizes the work unit from `(badge, day)` to
+/// `(habitat, badge, day)` without duplicating the executor.
+#[derive(Clone, Copy)]
+struct UnitTask<'a> {
+    ctx: &'a MissionContext,
+    day: u32,
+    view: TelemetryView<'a>,
+}
+
+/// One habitat's recorded days plus its interned context — the batch unit
+/// the fleet scheduler hands to [`MissionEngine::analyze_fleet_stores`].
+#[derive(Debug)]
+pub struct HabitatDays {
+    /// Fleet-wide habitat index.
+    pub habitat: u32,
+    /// The habitat's interned mission context (Arc-shared across habitats
+    /// with identical deployments).
+    pub ctx: Arc<MissionContext>,
+    /// Recorded columnar telemetry per day, in canonical day order.
+    pub days: Vec<(u32, Vec<TelemetryStore>)>,
 }
 
 impl MissionEngine {
     /// An engine over a context, with one worker per available core.
     #[must_use]
-    pub fn new(ctx: MissionContext) -> Self {
+    pub fn new(ctx: impl Into<Arc<MissionContext>>) -> Self {
         let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         MissionEngine::with_workers(ctx, workers)
     }
 
     /// An engine with an explicit worker count (clamped to ≥ 1).
     #[must_use]
-    pub fn with_workers(ctx: MissionContext, workers: usize) -> Self {
+    pub fn with_workers(ctx: impl Into<Arc<MissionContext>>, workers: usize) -> Self {
         MissionEngine {
-            ctx,
+            ctx: ctx.into(),
             workers: workers.max(1),
             metrics: Mutex::new(EngineMetrics::new()),
         }
@@ -750,14 +775,16 @@ impl MissionEngine {
     }
 
     /// Fans badge-day tasks out across the worker pool; results come back in
-    /// task order regardless of which worker ran what.
-    fn fan_out(&self, tasks: &[(u32, TelemetryView<'_>)]) -> Vec<BadgeDay> {
+    /// task order regardless of which worker ran what. Each task carries its
+    /// own context, so one pool serves single-habitat and fleet batches
+    /// alike.
+    fn fan_out(&self, tasks: &[UnitTask<'_>]) -> Vec<BadgeDay> {
         let workers = self.workers.min(tasks.len().max(1));
         if workers == 1 {
             let mut local = EngineMetrics::new();
             let out = tasks
                 .iter()
-                .map(|&(day, view)| analyze_badge_day(&self.ctx, day, view, &mut local))
+                .map(|&t| analyze_badge_day(t.ctx, t.day, t.view, &mut local))
                 .collect();
             self.merge_metrics(&local);
             return out;
@@ -770,10 +797,10 @@ impl MissionEngine {
                     let mut local = EngineMetrics::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(day, view)) = tasks.get(i) else {
+                        let Some(&t) = tasks.get(i) else {
                             break;
                         };
-                        let analyzed = analyze_badge_day(&self.ctx, day, view, &mut local);
+                        let analyzed = analyze_badge_day(t.ctx, t.day, t.view, &mut local);
                         *slots[i].lock().expect("unshared slot") = Some(analyzed);
                     }
                     self.merge_metrics(&local);
@@ -803,10 +830,14 @@ impl MissionEngine {
     /// across workers. Bit-identical to [`analyze_day_stores`].
     #[must_use]
     pub fn analyze_day_stores(&self, day: u32, stores: &[TelemetryStore]) -> DayAnalysis {
-        let tasks: Vec<(u32, TelemetryView<'_>)> = stores
+        let tasks: Vec<UnitTask<'_>> = stores
             .iter()
             .filter(|store| store.badge != BadgeId::REFERENCE)
-            .map(|store| (day, store.view()))
+            .map(|store| UnitTask {
+                ctx: &self.ctx,
+                day,
+                view: store.view(),
+            })
             .collect();
         let badges = self.fan_out(&tasks);
         let mut local = EngineMetrics::new();
@@ -833,13 +864,17 @@ impl MissionEngine {
     /// absorbing in day order (including the recorded-byte accounting).
     #[must_use]
     pub fn analyze_days_stores(&self, days: &[(u32, Vec<TelemetryStore>)]) -> MissionAnalysis {
-        let tasks: Vec<(u32, TelemetryView<'_>)> = days
+        let tasks: Vec<UnitTask<'_>> = days
             .iter()
             .flat_map(|&(day, ref stores)| {
                 stores
                     .iter()
                     .filter(|store| store.badge != BadgeId::REFERENCE)
-                    .map(move |store| (day, store.view()))
+                    .map(move |store| UnitTask {
+                        ctx: &self.ctx,
+                        day,
+                        view: store.view(),
+                    })
             })
             .collect();
         let mut analyzed = self.fan_out(&tasks).into_iter();
@@ -857,6 +892,53 @@ impl MissionEngine {
         }
         self.merge_metrics(&local);
         mission
+    }
+
+    /// Analyzes a fleet batch — several habitats' recorded days, each under
+    /// its own interned context — by fanning **all** `(habitat, badge, day)`
+    /// units across one worker pool, then assembling and absorbing each
+    /// habitat's days in canonical `(habitat, day, badge)` order.
+    ///
+    /// Per-habitat output is bit-identical to running that habitat alone
+    /// through [`MissionEngine::analyze_days_stores`] with any worker count:
+    /// habitats share no mutable state, every unit lands in a pre-assigned
+    /// slot, and assembly is sequential in canonical order.
+    #[must_use]
+    pub fn analyze_fleet_stores(&self, batch: &[HabitatDays]) -> Vec<(u32, MissionAnalysis)> {
+        let tasks: Vec<UnitTask<'_>> = batch
+            .iter()
+            .flat_map(|hab| {
+                hab.days.iter().flat_map(move |&(day, ref stores)| {
+                    stores
+                        .iter()
+                        .filter(|store| store.badge != BadgeId::REFERENCE)
+                        .map(move |store| UnitTask {
+                            ctx: &hab.ctx,
+                            day,
+                            view: store.view(),
+                        })
+                })
+            })
+            .collect();
+        let mut analyzed = self.fan_out(&tasks).into_iter();
+        let mut local = EngineMetrics::new();
+        let mut out = Vec::with_capacity(batch.len());
+        for hab in batch {
+            let mut mission = MissionAnalysis::new(&hab.ctx.plan);
+            for (day, stores) in &hab.days {
+                let n = stores
+                    .iter()
+                    .filter(|store| store.badge != BadgeId::REFERENCE)
+                    .count();
+                let badges: Vec<BadgeDay> = analyzed.by_ref().take(n).collect();
+                let day_analysis = assemble_day(&hab.ctx, *day, stores, badges, &mut local);
+                mission.account_recorded(stores.iter().map(|s| s.bytes_written).sum());
+                mission.absorb(day_analysis);
+            }
+            out.push((hab.habitat, mission));
+        }
+        self.merge_metrics(&local);
+        out
     }
 }
 

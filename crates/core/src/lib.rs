@@ -26,6 +26,9 @@
 //! * [`engine`] — the staged mission engine: the shared [`engine::MissionContext`],
 //!   the per-badge-day stage kernels, per-stage metrics, and the
 //!   deterministic parallel executor.
+//! * [`fleet`] — the fleet-scale mission service: hundreds of seeded habitat
+//!   variants sharded behind one deterministic scheduler, with a fleet
+//!   scorecard aggregated across shards.
 //! * [`pipeline`] — the day-by-day orchestration (a façade over [`engine`]).
 //! * [`streaming`] — the bounded-memory real-time analyzer (the mission
 //!   support system's substrate; Section VI), built on the same stage
@@ -56,6 +59,7 @@ pub mod activity;
 pub mod anomaly;
 pub mod engine;
 pub mod environment;
+pub mod fleet;
 pub mod localization;
 pub mod meetings;
 pub mod occupancy;
@@ -73,12 +77,20 @@ pub mod wear;
 pub mod prelude {
     pub use crate::activity::{ActivityParams, ActivityTrack};
     pub use crate::anomaly::{Identification, IdentityParams};
-    pub use crate::engine::{EngineMetrics, MissionContext, MissionEngine, Stage, StageMetrics};
+    pub use crate::engine::{
+        EngineMetrics, HabitatDays, MissionContext, MissionEngine, Stage, StageMetrics,
+    };
+    pub use crate::fleet::{
+        run_fleet, FleetConfig, FleetRun, FleetScorecard, HabitatOutcome, HabitatSource,
+        OpenHabitat, ShardReport,
+    };
     pub use crate::localization::{Fix, Heatmap, LocalizationParams, PositionTrack, ScanSmoother};
     pub use crate::meetings::{MeetingObs, MeetingParams};
     pub use crate::occupancy::{PassageMatrix, Stay, StayStats};
     pub use crate::pipeline::{DayAnalysis, MissionAnalysis, Pipeline, PipelineParams};
-    pub use crate::report::{headline_stats, table_one, HeadlineStats, TableOne};
+    pub use crate::report::{
+        fleet_section, headline_stats, table_one, FleetShardRow, HeadlineStats, TableOne,
+    };
     pub use crate::social::{CompanyMatrix, PairwiseLedger};
     pub use crate::speech::{SpeechParams, SpeechTrack};
     pub use crate::streaming::{IncrementalSync, LiveEvent, StreamingAnalyzer};

@@ -126,10 +126,12 @@ pub struct DayAnalysis {
 }
 
 /// The pipeline: a façade over the shared [`MissionContext`] and the
-/// engine's stage kernels.
+/// engine's stage kernels. The context is held behind an [`Arc`] so fleet
+/// runs can intern one context per habitat deployment and share it across
+/// every runner, engine and shard that analyzes that habitat.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
-    ctx: MissionContext,
+    ctx: std::sync::Arc<MissionContext>,
 }
 
 impl Pipeline {
@@ -141,15 +143,13 @@ impl Pipeline {
         schedule: Schedule,
         params: PipelineParams,
     ) -> Self {
-        Pipeline {
-            ctx: MissionContext::new(plan, beacons, schedule, params),
-        }
+        Pipeline::from_context(MissionContext::new(plan, beacons, schedule, params))
     }
 
-    /// Wraps an already-built context.
+    /// Wraps an already-built (possibly interned) context.
     #[must_use]
-    pub fn from_context(ctx: MissionContext) -> Self {
-        Pipeline { ctx }
+    pub fn from_context(ctx: impl Into<std::sync::Arc<MissionContext>>) -> Self {
+        Pipeline { ctx: ctx.into() }
     }
 
     /// The canonical ICAres-1 pipeline with default parameters.
@@ -164,15 +164,24 @@ impl Pipeline {
         &self.ctx
     }
 
+    /// The interned context handle (cheap to clone into engines and fleet
+    /// batches).
+    #[must_use]
+    pub fn context_arc(&self) -> std::sync::Arc<MissionContext> {
+        self.ctx.clone()
+    }
+
     /// The parameters in use.
     #[must_use]
     pub fn params(&self) -> &PipelineParams {
         &self.ctx.params
     }
 
-    /// Mutable access for ablation sweeps.
+    /// Mutable access for ablation sweeps. Un-interns the context first
+    /// (clone-on-write) if it is shared, so tweaking one pipeline's tunables
+    /// never perturbs another run holding the same interned context.
     pub fn params_mut(&mut self) -> &mut PipelineParams {
-        &mut self.ctx.params
+        &mut std::sync::Arc::make_mut(&mut self.ctx).params
     }
 
     /// The floor plan (for heatmap construction).

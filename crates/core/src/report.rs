@@ -237,6 +237,68 @@ pub fn engine_section_with_ingest(metrics: &EngineMetrics, rows: &[IngestShardRo
     format!("{}\n{}", engine_section(metrics), ingest_section(rows))
 }
 
+/// One fleet shard's row for the mission report: workload plus the
+/// availability drill verdict. The availability numbers come from the
+/// support crate's CTMC drill; defined here so the report can render them
+/// without a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetShardRow {
+    /// Shard index.
+    pub shard: usize,
+    /// Habitats the shard owned.
+    pub habitats: u32,
+    /// Badge-days the shard analyzed.
+    pub badge_days: u64,
+    /// Telemetry bytes the shard recorded.
+    pub bytes: u64,
+    /// Shard wall time, seconds.
+    pub wall_s: f64,
+    /// Observed availability of the shard's replicated service (fraction of
+    /// detector ticks with a serving primary).
+    pub availability_observed: f64,
+    /// The CTMC steady-state availability prediction.
+    pub availability_model: f64,
+    /// Failovers the drill exercised.
+    pub failovers: u64,
+}
+
+/// Renders the fleet scorecard: one row per shard (workload + availability
+/// drill), fleet totals and the merged per-stage engine table.
+#[must_use]
+pub fn fleet_section(scorecard: &crate::fleet::FleetScorecard, rows: &[FleetShardRow]) -> String {
+    let mut out = String::from(
+        "fleet mission service\n\
+         shard  habitats  badge-days       bytes    wall-s  avail-obs  avail-ctmc  failovers\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5}  {:>8}  {:>10}  {:>10}  {:>8.2}  {:>9.5}  {:>10.5}  {:>9}\n",
+            r.shard,
+            r.habitats,
+            r.badge_days,
+            r.bytes,
+            r.wall_s,
+            r.availability_observed,
+            r.availability_model,
+            r.failovers,
+        ));
+    }
+    let c = &scorecard.config;
+    out.push_str(&format!(
+        "fleet: {} habitats × {} crew variants, days {}–{}, {} shards × {} workers\n",
+        c.habitats, c.crews, c.first_day, c.last_day, c.shards, c.workers,
+    ));
+    out.push_str(&format!(
+        "totals: {} badge-days, {:.1} MiB recorded, {:.2} s wall → {:.1} badge-days/s\n\n",
+        scorecard.badge_days,
+        scorecard.bytes_recorded as f64 / (1u64 << 20) as f64,
+        scorecard.wall_s,
+        scorecard.badge_days_per_s,
+    ));
+    out.push_str(&engine_section(&scorecard.metrics));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,5 +411,53 @@ mod tests {
         let combined = engine_section_with_ingest(&EngineMetrics::new(), &rows);
         assert!(combined.contains("analysis engine workload"));
         assert!(combined.contains("ingest service health"));
+    }
+
+    #[test]
+    fn fleet_section_renders_shards_totals_and_engine_table() {
+        let scorecard = crate::fleet::FleetScorecard {
+            config: crate::fleet::FleetConfig {
+                habitats: 4,
+                crews: 2,
+                shards: 2,
+                workers: 1,
+                first_day: 2,
+                last_day: 2,
+                ..crate::fleet::FleetConfig::default()
+            },
+            badge_days: 48,
+            bytes_recorded: 4 << 20,
+            wall_s: 2.0,
+            badge_days_per_s: 24.0,
+            metrics: EngineMetrics::new(),
+        };
+        let rows = vec![
+            FleetShardRow {
+                shard: 0,
+                habitats: 2,
+                badge_days: 24,
+                bytes: 2 << 20,
+                wall_s: 1.0,
+                availability_observed: 0.995,
+                availability_model: 0.999,
+                failovers: 3,
+            },
+            FleetShardRow {
+                shard: 1,
+                habitats: 2,
+                badge_days: 24,
+                ..FleetShardRow::default()
+            },
+        ];
+        let s = fleet_section(&scorecard, &rows);
+        assert!(s.contains("fleet mission service"), "{s}");
+        assert!(s.contains("4 habitats × 2 crew variants"), "{s}");
+        assert!(s.contains("48 badge-days"), "{s}");
+        assert!(s.contains("24.0 badge-days/s"), "{s}");
+        assert!(s.contains("0.99500"), "availability rendered:\n{s}");
+        assert!(
+            s.contains("analysis engine workload"),
+            "engine table appended:\n{s}"
+        );
     }
 }

@@ -260,6 +260,19 @@ impl<'a> BehaviorSim<'a> {
     /// Runs the full mission and returns the ground truth.
     #[must_use]
     pub fn generate(&self) -> MissionTruth {
+        self.generate_through(MISSION_DAYS)
+    }
+
+    /// Runs the mission only through `last_day` (clamped to the mission
+    /// span) and returns the ground truth for days `1..=last_day`.
+    ///
+    /// Behaviour is simulated strictly day by day from a single stream, so
+    /// the prefix generated here is bit-identical to the same days of
+    /// [`Self::generate`] — fleet-scale runs that only record a few days per
+    /// habitat use this to skip simulating the rest of the mission.
+    #[must_use]
+    pub fn generate_through(&self, last_day: u32) -> MissionTruth {
+        let last_day = last_day.clamp(1, MISSION_DAYS);
         let mut rng = SeedTree::new(self.config.seed)
             .child("crew")
             .stream("behavior");
@@ -277,7 +290,7 @@ impl<'a> BehaviorSim<'a> {
         let mut speech: Vec<SpeechSegment> = Vec::new();
         let mut meetings: Vec<TruthMeeting> = Vec::new();
 
-        for day in 1..=MISSION_DAYS {
+        for day in 1..=last_day {
             self.simulate_day(day, &mut builders, &mut speech, &mut meetings, &mut rng);
         }
 

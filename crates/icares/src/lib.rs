@@ -28,4 +28,4 @@ pub mod export;
 pub mod figures;
 pub mod scenario;
 
-pub use scenario::{MissionRunner, ScenarioConfig, FIRST_INSTRUMENTED_DAY};
+pub use scenario::{FleetScenario, MissionRunner, ScenarioConfig, FIRST_INSTRUMENTED_DAY};

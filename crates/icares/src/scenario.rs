@@ -5,6 +5,12 @@
 //! the way the deployment did: day by day, keeping memory bounded (a full
 //! day of 1 Hz multi-badge recordings is generated, analyzed, folded into
 //! the mission aggregates and dropped).
+//!
+//! [`FleetScenario`] scales the same slice out: it interns the deployment
+//! (world, roster, schedule, [`MissionContext`]) once behind `Arc`s and
+//! opens seeded habitat/crew variants for the fleet scheduler
+//! ([`ares_sociometrics::fleet`]), each variant a [`MissionRunner`] sharing
+//! the interned parts and owning only its ground truth.
 
 use ares_badge::recorder::Recorder;
 use ares_badge::records::{BadgeLog, MissionRecording, SamplingConfig};
@@ -15,8 +21,11 @@ use ares_crew::roster::Roster;
 use ares_crew::schedule::{Schedule, MISSION_DAYS};
 use ares_crew::truth::MissionTruth;
 use ares_simkit::rng::SeedTree;
-use ares_sociometrics::engine::{EngineMetrics, MissionEngine};
+use ares_sociometrics::engine::{EngineMetrics, MissionContext, MissionEngine};
+use ares_sociometrics::fleet::{FleetConfig, HabitatSource, OpenHabitat};
 use ares_sociometrics::pipeline::{DayAnalysis, MissionAnalysis, Pipeline, PipelineParams};
+use rand::Rng;
+use std::sync::Arc;
 
 /// First instrumented mission day (badges were first worn on day 2).
 pub const FIRST_INSTRUMENTED_DAY: u32 = 2;
@@ -35,6 +44,11 @@ pub struct ScenarioConfig {
     /// The incident script (the canonical ICAres-1 one by default; tests
     /// inject extra failures here).
     pub incidents: ares_crew::incidents::IncidentScript,
+    /// Last mission day to simulate ground truth for; `0` means the full
+    /// mission. Fleet runs that only record a few days set this to the last
+    /// recorded day — truth generation is day-sequential from one stream, so
+    /// the prefix is bit-identical to the full mission's.
+    pub truth_days: u32,
 }
 
 impl Default for ScenarioConfig {
@@ -45,16 +59,61 @@ impl Default for ScenarioConfig {
             sampling: SamplingConfig::default(),
             pipeline: PipelineParams::default(),
             incidents: ares_crew::incidents::IncidentScript::icares(),
+            truth_days: 0,
         }
     }
 }
 
-/// The assembled scenario: world, crew, ground truth and pipeline.
+impl ScenarioConfig {
+    /// The seeded configuration of habitat `habitat` in a fleet of crew
+    /// variant count `crews`.
+    ///
+    /// Every habitat gets its own master seed (independent clocks, channel
+    /// noise and behavioural draws) from the fleet seed, and one of `crews`
+    /// crew-profile variants (`habitat % crews`) perturbing the behavioural
+    /// parameters — different chattiness, errand frequency and badge
+    /// discipline per variant, the spread a real fleet of crews would show.
+    /// Sampling uses the decimated [`SamplingConfig::fleet`] profile.
+    #[must_use]
+    pub fn fleet_variant(fleet_seed: u64, habitat: u32, crews: u32) -> ScenarioConfig {
+        let tree = SeedTree::new(fleet_seed).child("fleet");
+        let seed = tree
+            .stream_indexed("habitat", u64::from(habitat))
+            .gen::<u64>();
+        let variant = if crews == 0 { 0 } else { habitat % crews };
+        let mut rng = tree.stream_indexed("crew-variant", u64::from(variant));
+        let base = BehaviorConfig::default();
+        let behavior = BehaviorConfig {
+            seed,
+            walk_speed_mps: base.walk_speed_mps * rng.gen_range(0.9..1.1),
+            station_dwell_base_s: base.station_dwell_base_s * rng.gen_range(0.85..1.2),
+            errand_prob_focus: base.errand_prob_focus * rng.gen_range(0.8..1.2),
+            errand_prob_other: base.errand_prob_other * rng.gen_range(0.8..1.2),
+            restroom_prob: base.restroom_prob * rng.gen_range(0.8..1.2),
+            chat_rate: base.chat_rate * rng.gen_range(0.75..1.3),
+            talk_decay_per_day: base.talk_decay_per_day * rng.gen_range(0.7..1.3),
+            nowear_base: base.nowear_base * rng.gen_range(0.7..1.3),
+            nowear_slope: base.nowear_slope * rng.gen_range(0.7..1.3),
+            forgot_dock_prob: base.forgot_dock_prob * rng.gen_range(0.7..1.3),
+            ..base
+        };
+        ScenarioConfig {
+            seed,
+            behavior,
+            sampling: SamplingConfig::fleet(),
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// The assembled scenario: world, crew, ground truth and pipeline. The
+/// deployment parts are `Arc`-held so fleet variants can intern one copy
+/// across hundreds of runners.
 #[derive(Debug)]
 pub struct MissionRunner {
-    world: World,
-    roster: Roster,
-    schedule: Schedule,
+    world: Arc<World>,
+    roster: Arc<Roster>,
+    schedule: Arc<Schedule>,
     truth: MissionTruth,
     config: ScenarioConfig,
     pipeline: Pipeline,
@@ -66,16 +125,40 @@ impl MissionRunner {
     pub fn new(config: ScenarioConfig) -> Self {
         let mut world = World::icares();
         world.incidents = config.incidents.clone();
-        let roster = Roster::icares();
-        let schedule = Schedule::icares();
+        let mut pipeline = Pipeline::icares();
+        *pipeline.params_mut() = config.pipeline;
+        MissionRunner::with_shared(
+            Arc::new(world),
+            Arc::new(Roster::icares()),
+            Arc::new(Schedule::icares()),
+            pipeline,
+            config,
+        )
+    }
+
+    /// Builds a scenario over an already-interned deployment: shared world
+    /// (whose incident script governs both truth and recording — the
+    /// `config.incidents` field is ignored here), roster, schedule and
+    /// pipeline context. Only the ground truth is simulated per call; this is
+    /// the fleet path, where hundreds of variants share one deployment.
+    #[must_use]
+    pub fn with_shared(
+        world: Arc<World>,
+        roster: Arc<Roster>,
+        schedule: Arc<Schedule>,
+        pipeline: Pipeline,
+        config: ScenarioConfig,
+    ) -> Self {
         let behavior = BehaviorConfig {
             seed: config.seed,
             ..config.behavior.clone()
         };
-        let truth = BehaviorSim::new(&roster, &schedule, &world.incidents, &world.plan, behavior)
-            .generate();
-        let mut pipeline = Pipeline::icares();
-        *pipeline.params_mut() = config.pipeline;
+        let sim = BehaviorSim::new(&roster, &schedule, &world.incidents, &world.plan, behavior);
+        let truth = if config.truth_days == 0 {
+            sim.generate()
+        } else {
+            sim.generate_through(config.truth_days)
+        };
         MissionRunner {
             world,
             roster,
@@ -228,6 +311,70 @@ impl MissionRunner {
     }
 }
 
+/// A fleet of seeded ICAres-style habitats sharing one interned deployment.
+///
+/// The expensive, read-only parts — the [`World`] (including its lazily-built
+/// RF field cache), roster, schedule and the analysis [`MissionContext`] —
+/// are built **once** and `Arc`-shared across every habitat the scheduler
+/// opens; each [`HabitatSource::open`] call only simulates that habitat's
+/// ground truth (through the last recorded day) and hands back a recorder
+/// over the shared world.
+#[derive(Debug)]
+pub struct FleetScenario {
+    world: Arc<World>,
+    roster: Arc<Roster>,
+    schedule: Arc<Schedule>,
+    ctx: Arc<MissionContext>,
+}
+
+impl FleetScenario {
+    /// The canonical fleet: every habitat a seeded variant of the ICAres-1
+    /// deployment.
+    #[must_use]
+    pub fn icares() -> Self {
+        FleetScenario {
+            world: Arc::new(World::icares()),
+            roster: Arc::new(Roster::icares()),
+            schedule: Arc::new(Schedule::icares()),
+            ctx: Arc::new(MissionContext::icares()),
+        }
+    }
+
+    /// The interned analysis context every habitat shares.
+    #[must_use]
+    pub fn context(&self) -> &Arc<MissionContext> {
+        &self.ctx
+    }
+
+    /// Opens one habitat as a standalone [`MissionRunner`] (sharing the
+    /// interned deployment) — the same variant the scheduler records, for
+    /// determinism probes that re-analyze a habitat out of band.
+    #[must_use]
+    pub fn open_runner(&self, config: &FleetConfig, habitat: u32) -> MissionRunner {
+        let variant = ScenarioConfig {
+            truth_days: config.last_day,
+            ..ScenarioConfig::fleet_variant(config.seed, habitat, config.crews)
+        };
+        MissionRunner::with_shared(
+            Arc::clone(&self.world),
+            Arc::clone(&self.roster),
+            Arc::clone(&self.schedule),
+            Pipeline::from_context(Arc::clone(&self.ctx)),
+            variant,
+        )
+    }
+}
+
+impl HabitatSource for FleetScenario {
+    fn open(&self, config: &FleetConfig, habitat: u32) -> OpenHabitat<'_> {
+        let runner = self.open_runner(config, habitat);
+        OpenHabitat {
+            ctx: Arc::clone(&self.ctx),
+            recorder: Box::new(move |day| runner.record_day_stores(day)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +395,49 @@ mod tests {
         assert!(!analysis.meetings.is_empty(), "meals must be detected");
         assert!(analysis.passages.total() > 5, "some passages expected");
         assert!(analysis.swaps.is_empty(), "no swap on day 3");
+    }
+
+    #[test]
+    fn fleet_runners_share_the_interned_deployment() {
+        let scenario = FleetScenario::icares();
+        let cfg = FleetConfig {
+            habitats: 4,
+            crews: 2,
+            first_day: FIRST_INSTRUMENTED_DAY,
+            last_day: FIRST_INSTRUMENTED_DAY,
+            ..FleetConfig::default()
+        };
+        let before = Arc::strong_count(scenario.context());
+        let runners: Vec<MissionRunner> = (0..cfg.habitats)
+            .map(|h| scenario.open_runner(&cfg, h))
+            .collect();
+        // Every runner's context is the same allocation, not a deep copy …
+        for r in &runners {
+            assert!(Arc::ptr_eq(&r.pipeline().context_arc(), scenario.context()));
+            assert!(std::ptr::eq(r.world(), &*scenario.world));
+        }
+        // … which the refcount confirms: one new strong ref per runner.
+        assert_eq!(
+            Arc::strong_count(scenario.context()),
+            before + cfg.habitats as usize
+        );
+    }
+
+    #[test]
+    fn fleet_variants_are_seed_deterministic_and_distinct() {
+        let a = ScenarioConfig::fleet_variant(0xF1EE7, 5, 3);
+        let b = ScenarioConfig::fleet_variant(0xF1EE7, 5, 3);
+        assert_eq!(a.seed, b.seed, "same (seed, habitat) must replay");
+        assert_eq!(a.behavior.walk_speed_mps, b.behavior.walk_speed_mps);
+        // Different habitats get different truth seeds; different crew
+        // variants get different behavior perturbations.
+        let other = ScenarioConfig::fleet_variant(0xF1EE7, 6, 3);
+        assert_ne!(a.seed, other.seed);
+        assert_ne!(a.behavior.walk_speed_mps, other.behavior.walk_speed_mps);
+        // Habitats 5 and 8 share crew variant 5 % 3 == 8 % 3 but not seeds.
+        let same_crew = ScenarioConfig::fleet_variant(0xF1EE7, 8, 3);
+        assert_eq!(a.behavior.walk_speed_mps, same_crew.behavior.walk_speed_mps);
+        assert_ne!(a.seed, same_crew.seed);
     }
 
     #[test]

@@ -65,4 +65,39 @@ mod tests {
         assert!(tail.is_empty());
         assert_eq!(splat(1.5), chunks[0]);
     }
+
+    #[test]
+    fn empty_slice_yields_no_chunks_and_no_tail() {
+        let xs: [f64; 0] = [];
+        let (chunks, tail) = as_lanes(&xs);
+        assert!(chunks.is_empty());
+        assert!(tail.is_empty());
+    }
+
+    #[test]
+    fn short_slice_is_all_tail() {
+        // Fewer elements than one lane: everything goes down the tail path.
+        let xs: Vec<u32> = (0..LANES as u32 - 1).collect();
+        let (chunks, tail) = as_lanes(&xs);
+        assert!(chunks.is_empty());
+        assert_eq!(tail, &xs[..]);
+    }
+
+    #[test]
+    fn mutable_lanes_write_through() {
+        let mut xs: Vec<f64> = (0..LANES as u32 + 3).map(f64::from).collect();
+        let (chunks, tail) = as_lanes_mut(&mut xs);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(tail.len(), 3);
+        for lane in chunks.iter_mut() {
+            for v in lane.iter_mut() {
+                *v *= 2.0;
+            }
+        }
+        for v in tail.iter_mut() {
+            *v *= 2.0;
+        }
+        let expect: Vec<f64> = (0..LANES as u32 + 3).map(|i| f64::from(i) * 2.0).collect();
+        assert_eq!(xs, expect);
+    }
 }

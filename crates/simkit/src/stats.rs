@@ -225,4 +225,24 @@ mod tests {
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&[]), 0.0);
     }
+
+    #[test]
+    fn median_mut_tiny_inputs() {
+        // 0, 1 and 2 elements exercise every branch of the midpoint
+        // arithmetic; the buffer is sorted in place as a side effect.
+        assert_eq!(median_mut(&mut []), 0.0);
+        assert_eq!(median_mut(&mut [7.5]), 7.5);
+        let mut two = [9.0, 1.0];
+        assert_eq!(median_mut(&mut two), 5.0);
+        assert_eq!(two, [1.0, 9.0]);
+    }
+
+    #[test]
+    fn median_mut_matches_allocating_median() {
+        let xs = [5.0, -1.0, 3.5, 2.0, 8.25, 0.0, 3.5];
+        for n in 0..=xs.len() {
+            let mut buf = xs[..n].to_vec();
+            assert_eq!(median_mut(&mut buf).to_bits(), median(&xs[..n]).to_bits());
+        }
+    }
 }

@@ -29,17 +29,20 @@ pub enum Topic {
     Control,
     /// Ingest-plane health: backpressure shedding, queue depths, failovers.
     Ingest,
+    /// Fleet-scheduler health: shard scorecards, availability drills.
+    Fleet,
 }
 
 impl Topic {
     /// All topics.
-    pub const ALL: [Topic; 6] = [
+    pub const ALL: [Topic; 7] = [
         Topic::Sensors,
         Topic::Analysis,
         Topic::Alerts,
         Topic::EarthLink,
         Topic::Control,
         Topic::Ingest,
+        Topic::Fleet,
     ];
 }
 

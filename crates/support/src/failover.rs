@@ -261,6 +261,168 @@ impl<T: Clone> CheckpointVault<T> {
     }
 }
 
+/// Closed-form CTMC availability of a `replicas`-way replicated service.
+///
+/// Each replica is an independent two-state continuous-time Markov chain
+/// (up with mean sojourn `mean_up`, down with mean sojourn `mean_down`;
+/// failure rate λ = 1/mean_up, repair rate μ = 1/mean_down). Steady-state
+/// per-replica availability is a = μ/(λ+μ) = mean_up/(mean_up+mean_down),
+/// and the service is up while **any** replica is up:
+/// `A = 1 − (1 − a)^replicas`.
+#[must_use]
+pub fn ctmc_availability(mean_up: SimDuration, mean_down: SimDuration, replicas: u32) -> f64 {
+    if replicas == 0 {
+        return 0.0;
+    }
+    let up = mean_up.as_secs_f64();
+    let down = mean_down.as_secs_f64();
+    if up <= 0.0 {
+        return 0.0;
+    }
+    if down <= 0.0 {
+        return 1.0;
+    }
+    let a = up / (up + down);
+    1.0 - (1.0 - a).powi(i32::try_from(replicas).unwrap_or(i32::MAX))
+}
+
+/// Availability estimate of one fleet shard's replicated analysis service:
+/// a seeded renewal-process drill observed through the real failure
+/// detector, against the closed-form CTMC model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardAvailability {
+    /// The shard index.
+    pub shard: usize,
+    /// Replica count.
+    pub replicas: u32,
+    /// Fraction of detector ticks with a serving primary.
+    pub observed: f64,
+    /// The CTMC steady-state prediction ([`ctmc_availability`]).
+    pub model: f64,
+    /// Promotions the detector performed over the drill.
+    pub failovers: u64,
+    /// Total outages (every replica down simultaneously).
+    pub outages: u64,
+}
+
+/// Drills one shard's replicated service against seeded exponential up/down
+/// cycles and reports observed vs. modelled availability.
+///
+/// Each replica alternates exponentially-distributed up and down sojourns
+/// (inverse-CDF sampling from its own [`SeedTree`] stream, so the drill is
+/// bit-deterministic per `(seed, shard, replica)`). Replicas that are up
+/// heartbeat every `tick_every` of simulated time; the detector runs on the
+/// same cadence with a deadline of 2.5 ticks. The observed availability
+/// trails the CTMC model slightly — the detector needs a missed deadline to
+/// declare a failure — which is exactly the gap the drill exists to expose.
+///
+/// [`SeedTree`]: ares_simkit::rng::SeedTree
+#[must_use]
+pub fn drill_shard_availability(
+    seed: u64,
+    shard: usize,
+    replicas: u32,
+    mean_up: SimDuration,
+    mean_down: SimDuration,
+    horizon: SimDuration,
+    tick_every: SimDuration,
+) -> ShardAvailability {
+    use ares_simkit::rng::SeedTree;
+    use rand::Rng;
+    let replicas = replicas.clamp(1, 12);
+    let tick_every = if tick_every.as_micros() > 0 {
+        tick_every
+    } else {
+        SimDuration::from_secs(30)
+    };
+    let tree = SeedTree::new(seed).child("fleet-availability");
+    let horizon_s = horizon.as_secs_f64().max(tick_every.as_secs_f64());
+
+    // Per-replica alternating up/down renewal schedule over the horizon:
+    // the up spans, in order.
+    let up_spans: Vec<Vec<(f64, f64)>> = (0..replicas)
+        .map(|r| {
+            let mut rng = tree.stream_indexed(&format!("shard{shard:03}/replica"), u64::from(r));
+            let mut spans = Vec::new();
+            let mut t = 0.0f64;
+            let mut up = true;
+            while t < horizon_s {
+                let mean = if up {
+                    mean_up.as_secs_f64()
+                } else {
+                    mean_down.as_secs_f64()
+                }
+                .max(1e-6);
+                let u: f64 = rng.gen();
+                let sojourn = -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln();
+                if up {
+                    spans.push((t, (t + sojourn).min(horizon_s)));
+                }
+                t += sojourn;
+                up = !up;
+            }
+            spans
+        })
+        .collect();
+    let is_up = |r: usize, at_s: f64| -> bool {
+        up_spans[r]
+            .iter()
+            .take_while(|&&(start, _)| start <= at_s)
+            .any(|&(_, end)| at_s < end)
+    };
+
+    let ids: Vec<ReplicaId> = (0..replicas).map(|r| ReplicaId(r as u8)).collect();
+    let deadline = SimDuration::from_micros(tick_every.as_micros() * 5 / 2);
+    let mut svc = ReplicatedService::new(
+        format!("fleet-shard{shard:03}"),
+        &ids,
+        deadline,
+        SimTime::from_secs(0),
+    );
+    let mut ticks = 0u64;
+    let mut up_ticks = 0u64;
+    let mut now = SimTime::from_secs(0);
+    loop {
+        now += tick_every;
+        if now.as_secs_f64() > horizon_s {
+            break;
+        }
+        let at_s = now.as_secs_f64();
+        for (r, &id) in ids.iter().enumerate() {
+            if is_up(r, at_s) {
+                svc.heartbeat(id, now);
+            }
+        }
+        svc.tick(now);
+        ticks += 1;
+        if svc.is_available() {
+            up_ticks += 1;
+        }
+    }
+    let failovers = svc
+        .log()
+        .iter()
+        .filter(|(_, e)| matches!(e, FailoverEvent::Promoted(_)))
+        .count() as u64;
+    let outages = svc
+        .log()
+        .iter()
+        .filter(|(_, e)| matches!(e, FailoverEvent::ServiceDown))
+        .count() as u64;
+    ShardAvailability {
+        shard,
+        replicas,
+        observed: if ticks > 0 {
+            up_ticks as f64 / ticks as f64
+        } else {
+            0.0
+        },
+        model: ctmc_availability(mean_up, mean_down, replicas),
+        failovers,
+        outages,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +552,73 @@ mod tests {
         // Strictly newer offers still advance the vault.
         assert!(vault.offer(t(31), "newer"));
         assert_eq!(vault.latest().map(|(a, s)| (a, *s)), Some((t(31), "newer")));
+    }
+
+    #[test]
+    fn ctmc_availability_closed_form() {
+        // a = 0.9 per replica.
+        let up = SimDuration::from_secs(900);
+        let down = SimDuration::from_secs(100);
+        assert!((ctmc_availability(up, down, 1) - 0.9).abs() < 1e-12);
+        assert!((ctmc_availability(up, down, 2) - 0.99).abs() < 1e-12);
+        assert!((ctmc_availability(up, down, 3) - 0.999).abs() < 1e-12);
+        // Degenerate shapes stay in [0, 1].
+        assert_eq!(ctmc_availability(up, down, 0), 0.0);
+        assert_eq!(ctmc_availability(SimDuration::from_secs(0), down, 2), 0.0);
+        assert_eq!(ctmc_availability(up, SimDuration::from_secs(0), 2), 1.0);
+    }
+
+    #[test]
+    fn shard_drill_is_deterministic_and_tracks_the_model() {
+        let drill = || {
+            drill_shard_availability(
+                42,
+                3,
+                3,
+                SimDuration::from_hours(8),
+                SimDuration::from_mins(20),
+                SimDuration::from_days(30),
+                SimDuration::from_secs(30),
+            )
+        };
+        let a = drill();
+        let b = drill();
+        assert_eq!(a, b, "drill must be bit-deterministic");
+        assert_eq!(a.shard, 3);
+        assert_eq!(a.replicas, 3);
+        assert!(
+            a.observed > 0.9 && a.observed <= 1.0,
+            "observed {}",
+            a.observed
+        );
+        assert!(a.model > 0.99, "model {}", a.model);
+        // The detector's declare-latency means observed availability can only
+        // trail the instantaneous-model ceiling by a small margin.
+        assert!(
+            a.model - a.observed < 0.05,
+            "observed {} too far below model {}",
+            a.observed,
+            a.model
+        );
+        // A month with ~3 failures/replica/day must exercise failover.
+        assert!(a.failovers > 0);
+    }
+
+    #[test]
+    fn more_replicas_never_hurt_availability() {
+        let up = SimDuration::from_hours(4);
+        let down = SimDuration::from_mins(30);
+        let horizon = SimDuration::from_days(20);
+        let tick = SimDuration::from_secs(30);
+        let one = drill_shard_availability(7, 0, 1, up, down, horizon, tick);
+        let three = drill_shard_availability(7, 0, 3, up, down, horizon, tick);
+        assert!(three.model > one.model);
+        assert!(
+            three.observed >= one.observed,
+            "3-way {} vs 1-way {}",
+            three.observed,
+            one.observed
+        );
     }
 
     #[test]

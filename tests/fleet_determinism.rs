@@ -1,0 +1,133 @@
+//! The fleet scheduler's determinism guarantee, end to end.
+//!
+//! [`ares_sociometrics::fleet::run_fleet`] shards habitats across threads,
+//! batches them for bounded memory, and fans each habitat's badge-days
+//! through the per-shard [`MissionEngine`] worker pool. Per-habitat
+//! `MissionAnalysis` must be **bit-identical** (`PartialEq` over every f64,
+//! and byte-identical serialized) for any shard count, any worker count and
+//! any batch size — only wall times may differ. A fleet habitat must also
+//! match a standalone [`MissionRunner`] opened from the same seeded variant,
+//! proving shard placement leaks nothing into the analysis.
+
+use ares_icares::scenario::FIRST_INSTRUMENTED_DAY;
+use ares_icares::FleetScenario;
+use ares_sociometrics::engine::MissionEngine;
+use ares_sociometrics::fleet::{run_fleet, FleetConfig, FleetRun};
+use ares_sociometrics::pipeline::MissionAnalysis;
+
+const HABITATS: u32 = 5;
+
+fn config(shards: usize, workers: usize, batch: usize) -> FleetConfig {
+    FleetConfig {
+        seed: 0xF1EE7,
+        habitats: HABITATS,
+        crews: 2,
+        first_day: FIRST_INSTRUMENTED_DAY,
+        last_day: FIRST_INSTRUMENTED_DAY,
+        shards,
+        workers,
+        batch,
+    }
+}
+
+fn rendered(analysis: &MissionAnalysis) -> String {
+    serde_json::to_string(analysis).expect("mission analysis serializes")
+}
+
+fn assert_same_outcomes(reference: &FleetRun, run: &FleetRun, label: &str) {
+    assert_eq!(run.outcomes.len(), reference.outcomes.len(), "{label}");
+    for (r, o) in reference.outcomes.iter().zip(&run.outcomes) {
+        assert_eq!(o.habitat, r.habitat, "{label}: habitat order");
+        assert_eq!(
+            o.badge_days, r.badge_days,
+            "{label}: habitat {} badge-days",
+            o.habitat
+        );
+        assert_eq!(o.bytes, r.bytes, "{label}: habitat {} bytes", o.habitat);
+        assert_eq!(
+            o.analysis, r.analysis,
+            "{label}: habitat {} analysis diverged",
+            o.habitat
+        );
+        assert_eq!(
+            rendered(&o.analysis),
+            rendered(&r.analysis),
+            "{label}: habitat {} serialized bytes diverged",
+            o.habitat
+        );
+    }
+    assert_eq!(
+        run.scorecard.badge_days, reference.scorecard.badge_days,
+        "{label}: total badge-days"
+    );
+    assert_eq!(
+        run.scorecard.bytes_recorded, reference.scorecard.bytes_recorded,
+        "{label}: total bytes"
+    );
+}
+
+#[test]
+fn fleet_is_bit_identical_across_shard_worker_and_batch_counts() {
+    let scenario = FleetScenario::icares();
+    let reference = run_fleet(&config(1, 1, 1), &scenario);
+    assert_eq!(reference.outcomes.len(), HABITATS as usize);
+    assert!(
+        reference.outcomes.iter().all(|o| o.badge_days > 0),
+        "sanity: every habitat recorded data"
+    );
+
+    for (shards, workers, batch) in [(2, 2, 2), (3, 4, 1), (HABITATS as usize + 2, 2, 4)] {
+        let run = run_fleet(&config(shards, workers, batch), &scenario);
+        assert_same_outcomes(
+            &reference,
+            &run,
+            &format!("{shards} shards × {workers} workers, batch {batch}"),
+        );
+    }
+}
+
+#[test]
+fn fleet_habitat_matches_standalone_runner() {
+    let scenario = FleetScenario::icares();
+    let cfg = config(2, 2, 2);
+    let fleet = run_fleet(&cfg, &scenario);
+
+    // Re-derive habitat 3 completely outside the fleet scheduler: a fresh
+    // runner from the same seeded variant, analyzed by a standalone engine.
+    let habitat = 3u32;
+    let runner = scenario.open_runner(&cfg, habitat);
+    let days: Vec<_> = (cfg.first_day..=cfg.last_day)
+        .map(|day| (day, runner.record_day_stores(day)))
+        .collect();
+    let engine = MissionEngine::with_workers(scenario.context().clone(), 1);
+    let standalone = engine.analyze_days_stores(&days);
+
+    let outcome = &fleet.outcomes[habitat as usize];
+    assert_eq!(outcome.habitat, habitat);
+    assert_eq!(
+        outcome.analysis, standalone,
+        "fleet habitat diverged from standalone runner"
+    );
+    assert_eq!(rendered(&outcome.analysis), rendered(&standalone));
+}
+
+#[test]
+fn crew_variants_actually_differ() {
+    // Habitats mapped to different crew variants must not produce identical
+    // analyses — otherwise the seeded perturbations are dead code.
+    let scenario = FleetScenario::icares();
+    let run = run_fleet(&config(2, 1, 2), &scenario);
+    // With crews = 2, habitats 0 and 1 use different variants.
+    assert_ne!(
+        rendered(&run.outcomes[0].analysis),
+        rendered(&run.outcomes[1].analysis),
+        "crew variants 0 and 1 produced byte-identical analyses"
+    );
+    // Habitats 0 and 2 share a variant but have different habitat seeds, so
+    // their recorded missions still differ.
+    assert_ne!(
+        rendered(&run.outcomes[0].analysis),
+        rendered(&run.outcomes[2].analysis),
+        "distinct habitat seeds produced byte-identical analyses"
+    );
+}
