@@ -5,7 +5,6 @@ use crate::clockdrift::ClockSet;
 use crate::records::{BadgeId, ProximityObs, SyncSample};
 use crate::world::{RfMode, World};
 use ares_crew::truth::{MissionTruth, WearState};
-use ares_habitat::fieldcache::room_wall_floor;
 use ares_habitat::rf::Reception;
 use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::{Point2, Vec2};
@@ -17,7 +16,8 @@ use rand::Rng;
 ///
 /// Same-room links skip geometry entirely (convex rooms cross zero walls).
 /// Under [`RfMode::Cached`], cross-room links are first tested against the
-/// [`room_wall_floor`] lower bound — a pair whose *best possible* RSSI is
+/// plan's [`wall_floor`](ares_habitat::floorplan::FloorPlan::wall_floor)
+/// lower bound — a pair whose *best possible* RSSI is
 /// below sensitivity is dropped without touching geometry or randomness,
 /// which is exactly what the exact path's pre-draw early-out would do with
 /// the true wall count — and transmitters parked at the station resolve wall
@@ -44,7 +44,7 @@ pub fn proximity_sweep(
         let walls = match mode {
             RfMode::Cached if other_room == listener_room => 0,
             RfMode::Cached => {
-                let floor = room_wall_floor(other_room, listener_room);
+                let floor = world.plan.wall_floor(other_room, listener_room);
                 if floor >= 2
                     && params.mean_rssi(d, floor) + 6.0 * params.shadowing_sigma_db
                         < params.sensitivity_dbm

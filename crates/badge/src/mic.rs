@@ -11,7 +11,6 @@
 use crate::records::AudioFrame;
 use crate::world::{RfMode, World};
 use ares_crew::truth::{MissionTruth, SpeechSegment};
-use ares_habitat::fieldcache::room_wall_floor;
 use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::Point2;
 use ares_simkit::time::{SimDuration, SimTime};
@@ -171,7 +170,7 @@ impl MicSampler {
                 RfMode::Cached => {
                     let speaker_room = world.room_in_mode(pos, mode);
                     let bound = spread
-                        - room_wall_floor(speaker_room, badge_room) as f64
+                        - world.plan.wall_floor(speaker_room, badge_room) as f64
                             * self.model.wall_loss_db;
                     if bound - self.muffle_db <= noise {
                         // Provably cannot beat ambient noise: skip the wall

@@ -60,6 +60,19 @@ impl World {
     pub fn icares() -> Self {
         let plan = FloorPlan::lunares();
         let beacons = BeaconDeployment::icares(&plan);
+        World::from_parts(plan, beacons, IncidentScript::icares(), CHARGING_STATION)
+    }
+
+    /// Assembles a world from already-built scenario parts. Channels and
+    /// environment are the canonical deployment hardware — scenarios vary
+    /// geometry, crew and incidents, not the radio stack.
+    #[must_use]
+    pub fn from_parts(
+        plan: FloorPlan,
+        beacons: BeaconDeployment,
+        incidents: IncidentScript,
+        station: Point2,
+    ) -> Self {
         World {
             plan,
             beacons,
@@ -67,8 +80,8 @@ impl World {
             sub_ghz: Channel::new(ChannelParams::sub_ghz()),
             ir: InfraredParams::default(),
             env: Environment::icares(),
-            incidents: IncidentScript::icares(),
-            station: CHARGING_STATION,
+            incidents,
+            station,
             field_cache: OnceLock::new(),
         }
     }

@@ -415,6 +415,19 @@ pub fn check_pipeline(doc: &Json) -> Vec<Violation> {
     expect_bool(doc, &["fleet", "fleet_deterministic"], true, &mut out);
     expect_floor(doc, &["fleet", "badge_days"], 1_000.0, &mut out);
     expect_positive(doc, &["fleet", "habitats"], &mut out);
+    // Scenario generation: ≥ 25 seeded scenarios must pass the layout
+    // validator and replay bit-identically (recording, analysis and
+    // streaming), and the worst generated plan's field-cache
+    // resolved_fraction must stay near-total (measured 1.0 on every plan in
+    // the generator's family; 0.95 leaves slack for grid changes).
+    expect_bool(doc, &["scenario_gen", "deterministic"], true, &mut out);
+    expect_floor(
+        doc,
+        &["scenario_gen", "scenarios_validated"],
+        25.0,
+        &mut out,
+    );
+    expect_floor(doc, &["scenario_gen", "cache_purity_min"], 0.95, &mut out);
     out
 }
 
@@ -599,7 +612,8 @@ mod tests {
     "speech": {"records_per_s": 50062568.6}
   },
   "ingest": {"sustained_records_per_s": 262852.6, "recovery_divergent": false},
-  "fleet": {"habitats": 200, "badge_days": 2400, "fleet_deterministic": true}
+  "fleet": {"habitats": 200, "badge_days": 2400, "fleet_deterministic": true},
+  "scenario_gen": {"scenarios_validated": 30, "cache_purity_min": 1.0, "deterministic": true}
 }"#;
         assert_eq!(check_pipeline(&parse(healthy).expect("parses")), Vec::new());
 
@@ -613,7 +627,8 @@ mod tests {
     "speech": {"records_per_s": 50062568.6}
   },
   "ingest": {"sustained_records_per_s": 262852.6, "recovery_divergent": true},
-  "fleet": {"habitats": 200, "badge_days": 12, "fleet_deterministic": true}
+  "fleet": {"habitats": 200, "badge_days": 12, "fleet_deterministic": true},
+  "scenario_gen": {"scenarios_validated": 12, "cache_purity_min": 0.4, "deterministic": true}
 }"#;
         let violations = check_pipeline(&parse(sick).expect("parses"));
         let text: Vec<String> = violations.iter().map(ToString::to_string).collect();
@@ -634,10 +649,21 @@ mod tests {
             text.iter().any(|v| v.contains("fleet.badge_days")),
             "{text:?}"
         );
+        assert!(
+            text.iter()
+                .any(|v| v.contains("scenario_gen.scenarios_validated")),
+            "{text:?}"
+        );
+        assert!(
+            text.iter()
+                .any(|v| v.contains("scenario_gen.cache_purity_min")),
+            "{text:?}"
+        );
         // Missing members are named, not silently passed.
         let empty = check_pipeline(&parse("{}").expect("parses"));
         assert!(empty
             .iter()
             .any(|v| v.0.contains("fleet.fleet_deterministic")));
+        assert!(empty.iter().any(|v| v.0.contains("scenario_gen")));
     }
 }

@@ -89,7 +89,8 @@ pub mod prelude {
     pub use crate::occupancy::{PassageMatrix, Stay, StayStats};
     pub use crate::pipeline::{DayAnalysis, MissionAnalysis, Pipeline, PipelineParams};
     pub use crate::report::{
-        fleet_section, headline_stats, table_one, FleetShardRow, HeadlineStats, TableOne,
+        fleet_section, headline_stats, scenario_section, table_one, FleetShardRow, HeadlineStats,
+        ScenarioPlanRow, TableOne,
     };
     pub use crate::social::{CompanyMatrix, PairwiseLedger};
     pub use crate::speech::{SpeechParams, SpeechTrack};

@@ -361,6 +361,7 @@ impl<'a> BehaviorSim<'a> {
             }
         }
 
+        let drill = self.incidents.spe_drill_on(day);
         let mut slot = 0usize;
         while slot < SLOTS_PER_DAY {
             if let Some((who, at)) = death {
@@ -369,6 +370,17 @@ impl<'a> BehaviorSim<'a> {
                 if slot == death_slot {
                     self.simulate_death_block(day, slot, who, at, builders, speech, meetings, rng);
                     slot = death_slot + 2;
+                    continue;
+                }
+            }
+            if let Some((at, shelter)) = drill {
+                let drill_slot =
+                    ((at - day_start).as_micros() / crate::schedule::SLOT.as_micros()) as usize;
+                if slot == drill_slot {
+                    self.simulate_spe_drill_block(
+                        day, slot, at, shelter, builders, speech, meetings, rng,
+                    );
+                    slot = drill_slot + 2;
                     continue;
                 }
             }
@@ -436,6 +448,59 @@ impl<'a> BehaviorSim<'a> {
             let b = &mut builders[id.index()];
             let room = self.effective_activity(day, slot, id, rng).room();
             self.filler(b, room, at + SimDuration::from_mins(15), rng, id);
+            let seat = meeting
+                .seats
+                .iter()
+                .find(|(a, _, _)| *a == id)
+                .map(|&(_, p, f)| (p, f))
+                .expect("seat assigned");
+            let wp = self.route_points(b.pos, seat.0);
+            let arrival = b.walk(&wp);
+            meeting.arrivals.push(arrival);
+            b.dwell_until(window.end, seat.1);
+        }
+        self.emit_meeting(meeting, speech, meetings, rng);
+    }
+
+    /// The SPE storm-shelter drill: the alert sounds at `at`; every aboard
+    /// astronaut reacts within the 60-second alert budget (a 10–55 s
+    /// acknowledge-and-drop-tools delay) and walks straight to the shelter,
+    /// where the crew holds a terse muster until the two-slot window ends.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_spe_drill_block(
+        &self,
+        day: u32,
+        slot: usize,
+        at: SimTime,
+        shelter: RoomId,
+        builders: &mut [TraceBuilder],
+        speech: &mut Vec<SpeechSegment>,
+        meetings: &mut Vec<TruthMeeting>,
+        rng: &mut StdRng,
+    ) {
+        let window = Interval::new(
+            Schedule::slot_interval(day, slot).start,
+            Schedule::slot_interval(day, slot + 1).end,
+        );
+        let crew = self.aboard_at(at);
+        let mut meeting = self.make_meeting(
+            shelter,
+            Interval::new(at, window.end),
+            &crew,
+            0.30,
+            -4.0,
+            false,
+            rng,
+        );
+        for &id in &crew {
+            let b = &mut builders[id.index()];
+            let room = self.effective_activity(day, slot, id, rng).room();
+            // Normal work until the alert sounds.
+            self.filler(b, room, at, rng, id);
+            // Reaction delay: acknowledge, drop tools — strictly inside the
+            // 60 s alert budget.
+            let react = 10.0 + 45.0 * rng.gen::<f64>();
+            b.dwell_until(at + SimDuration::from_secs_f64(react), b.facing);
             let seat = meeting
                 .seats
                 .iter()
@@ -1070,6 +1135,62 @@ mod tests {
             })
             .expect("day-4 lunch recorded");
         assert!(lunch.level_db - consolation.level_db > 5.0);
+    }
+
+    #[test]
+    fn spe_drill_musters_the_crew_within_the_alert_budget() {
+        let roster = Roster::icares();
+        let schedule = Schedule::icares();
+        let at = SimTime::from_day_hms(2, 10, 5, 0);
+        let shelter = RoomId::Storage;
+        let incidents = IncidentScript::icares()
+            .with(crate::incidents::Incident::SpeShelterDrill { at, shelter });
+        let plan = FloorPlan::lunares();
+        let sim = BehaviorSim::new(
+            &roster,
+            &schedule,
+            &incidents,
+            &plan,
+            BehaviorConfig::default(),
+        );
+        let truth = sim.generate_through(2);
+        // The muster meeting is recorded: unplanned, in the shelter, whole
+        // crew, starting at the alert.
+        let muster = truth
+            .meetings
+            .iter()
+            .find(|m| !m.planned && m.room == shelter && m.interval.start == at)
+            .expect("drill muster recorded");
+        assert_eq!(muster.participants.len(), 6);
+        // Every astronaut starts moving within the 60 s alert budget and is
+        // sheltered before the window closes.
+        let budget = SimDuration::from_secs(60);
+        for id in AstronautId::ALL {
+            let a = truth.of(id);
+            assert!(
+                a.walking
+                    .intervals()
+                    .iter()
+                    .any(|w| w.start > at && w.start < at + budget),
+                "{id} must start moving within 60 s of the alert"
+            );
+            let settled = a.path.at(muster.interval.end - SimDuration::from_mins(1));
+            let pos = settled.expect("path sample").value.pos;
+            assert_eq!(plan.room_at(pos), Some(shelter), "{id} sheltered");
+        }
+        // No drill in the canonical script: day 2 is bit-identical without it.
+        let canonical = IncidentScript::icares();
+        let base = BehaviorSim::new(
+            &roster,
+            &schedule,
+            &canonical,
+            &plan,
+            BehaviorConfig::default(),
+        );
+        let t0 = base.generate_through(1);
+        let t1 = sim.generate_through(1);
+        assert_eq!(t0.speech.len(), t1.speech.len());
+        assert_eq!(t0.meetings.len(), t1.meetings.len());
     }
 
     #[test]

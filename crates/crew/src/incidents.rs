@@ -13,6 +13,7 @@
 //! badge that had belonged to the deceased C.
 
 use crate::roster::AstronautId;
+use ares_habitat::rooms::RoomId;
 use ares_simkit::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,17 @@ pub enum Incident {
         wearer: AstronautId,
         /// Whose badge it originally was.
         previous_owner: AstronautId,
+    },
+    /// A solar-particle-event storm-shelter drill: the alert sounds at `at`
+    /// and the whole crew must reach the designated shelter room, each
+    /// astronaut starting to move within the 60-second alert budget. Used by
+    /// generated scenarios to exercise emergency mustering; not part of the
+    /// canonical ICAres-1 script.
+    SpeShelterDrill {
+        /// Instant the alert sounds (within a slot whose index is ≤ 26).
+        at: SimTime,
+        /// Designated storm-shelter room.
+        shelter: RoomId,
     },
     /// A badge fails outright; the wearer switches to one of the six spare
     /// units ("we also provided them with 6 redundant backup badges, in case
@@ -136,6 +148,18 @@ impl IncidentScript {
     pub fn death_of(&self, who: AstronautId) -> Option<SimTime> {
         self.incidents.iter().find_map(|i| match i {
             Incident::Death { who: w, at } if *w == who => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// The SPE storm-shelter drill scheduled on `day`, if any: the alert
+    /// instant and the designated shelter room.
+    #[must_use]
+    pub fn spe_drill_on(&self, day: u32) -> Option<(SimTime, RoomId)> {
+        self.incidents.iter().find_map(|i| match i {
+            Incident::SpeShelterDrill { at, shelter } if at.mission_day() == day => {
+                Some((*at, *shelter))
+            }
             _ => None,
         })
     }
@@ -268,5 +292,18 @@ mod tests {
     fn builder_adds_incidents() {
         let s = IncidentScript::none().with(Incident::FoodShortage { day: 3 });
         assert!(s.talk_mood(3) < 0.5);
+    }
+
+    #[test]
+    fn spe_drill_lookup_by_day() {
+        let at = SimTime::from_day_hms(9, 10, 12, 0);
+        let s = IncidentScript::none().with(Incident::SpeShelterDrill {
+            at,
+            shelter: RoomId::Storage,
+        });
+        assert_eq!(s.spe_drill_on(9), Some((at, RoomId::Storage)));
+        assert_eq!(s.spe_drill_on(8), None);
+        // The canonical script carries no drill.
+        assert_eq!(IncidentScript::icares().spe_drill_on(9), None);
     }
 }

@@ -38,6 +38,7 @@ pub mod conversation;
 pub mod incidents;
 pub mod roster;
 pub mod schedule;
+pub mod spec;
 pub mod surveys;
 pub mod truth;
 
@@ -49,6 +50,7 @@ pub mod prelude {
         AstronautId, CrewMember, PersonalityProfile, Role, Roster, VoiceRegister,
     };
     pub use crate::schedule::{Activity, Schedule, MISSION_DAYS, SLOTS_PER_DAY};
+    pub use crate::spec::{CrewSpec, MemberSpec, ScheduleSpec};
     pub use crate::surveys::{SurveyConfig, SurveyResponse};
     pub use crate::truth::{
         AstronautTruth, MissionTruth, PathPoint, SpeechSegment, TruthMeeting, VoiceSource,

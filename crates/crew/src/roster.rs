@@ -140,98 +140,64 @@ pub struct CrewMember {
     pub profile: PersonalityProfile,
 }
 
-/// The full crew roster.
+/// The full crew roster, with its stored pairwise affinity matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Roster {
     members: Vec<CrewMember>,
+    /// Row-major 6×6 table; entry `x.index() * 6 + y.index()`.
+    affinity: Vec<f64>,
 }
 
 impl Roster {
-    /// The canonical ICAres-1 roster.
+    /// The canonical ICAres-1 roster — the paper's crew, built from
+    /// [`CrewSpec::icares`](crate::spec::CrewSpec::icares).
+    ///
+    /// Orderings target Table I: walking C>F>D>E>B>A, talking C>F>A≈D>B>E,
+    /// company B>D>F>A>E.
     #[must_use]
     pub fn icares() -> Self {
-        use AstronautId as Id;
-        let member =
-            |id: Id, role, register, mobility, talk, soc, f0: f64, level: f64| CrewMember {
-                id,
-                role,
-                register,
-                profile: PersonalityProfile {
-                    mobility,
-                    talkativeness: talk,
-                    sociability: soc,
-                    voice_f0_hz: f0,
-                    voice_f0_sd_hz: f0 * 0.12,
-                    voice_level_db: level,
-                    impaired: id == Id::A,
-                    uses_screen_reader: id == Id::A,
-                },
-            };
+        Roster::from_spec(&crate::spec::CrewSpec::icares())
+    }
+
+    /// Builds a roster from a crew spec: six members in
+    /// [`AstronautId::ALL`] order plus the affinity table. The F0 standard
+    /// deviation is derived as `0.12 · voice_f0_hz` (synthetic voices set it
+    /// to ~0 elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not hold exactly six members in id order or
+    /// a 36-entry affinity table — generated specs are validated upstream.
+    #[must_use]
+    pub fn from_spec(spec: &crate::spec::CrewSpec) -> Self {
+        assert_eq!(spec.members.len(), 6, "crew spec must hold six members");
+        assert_eq!(spec.affinity.len(), 36, "affinity must be a 6×6 table");
+        let members = spec
+            .members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                assert_eq!(m.id.index(), i, "members must be in AstronautId order");
+                CrewMember {
+                    id: m.id,
+                    role: m.role,
+                    register: m.register,
+                    profile: PersonalityProfile {
+                        mobility: m.mobility,
+                        talkativeness: m.talkativeness,
+                        sociability: m.sociability,
+                        voice_f0_hz: m.voice_f0_hz,
+                        voice_f0_sd_hz: m.voice_f0_hz * 0.12,
+                        voice_level_db: m.voice_level_db,
+                        impaired: m.impaired,
+                        uses_screen_reader: m.uses_screen_reader,
+                    },
+                }
+            })
+            .collect();
         Roster {
-            members: vec![
-                // Orderings target Table I: walking C>F>D>E>B>A,
-                // talking C>F>A≈D>B>E, company B>D>F>A>E.
-                member(
-                    Id::A,
-                    Role::Biologist,
-                    VoiceRegister::Female,
-                    0.33,
-                    0.62,
-                    0.78,
-                    205.0,
-                    66.0,
-                ),
-                member(
-                    Id::B,
-                    Role::Commander,
-                    VoiceRegister::Female,
-                    0.35,
-                    0.58,
-                    1.00,
-                    215.0,
-                    68.0,
-                ),
-                member(
-                    Id::C,
-                    Role::Scientist,
-                    VoiceRegister::Male,
-                    1.00,
-                    0.82,
-                    0.88,
-                    125.0,
-                    70.0,
-                ),
-                member(
-                    Id::D,
-                    Role::Engineer,
-                    VoiceRegister::Female,
-                    0.66,
-                    0.70,
-                    0.93,
-                    200.0,
-                    67.0,
-                ),
-                member(
-                    Id::E,
-                    Role::StructuralMaterialScientist,
-                    VoiceRegister::Male,
-                    0.52,
-                    0.55,
-                    0.70,
-                    115.0,
-                    65.5,
-                ),
-                member(
-                    Id::F,
-                    Role::ChiefMedicalOfficer,
-                    VoiceRegister::Male,
-                    0.80,
-                    0.74,
-                    0.86,
-                    130.0,
-                    69.0,
-                ),
-            ],
+            members,
+            affinity: spec.affinity.clone(),
         }
     }
 
@@ -260,28 +226,15 @@ impl Roster {
     }
 
     /// Pairwise affinity (relative propensity, A–F's bond exceeding 1) of two astronauts to
-    /// seek each other's company and chat privately.
+    /// seek each other's company and chat privately — a stored table, so
+    /// generated crews can carry arbitrary social structure.
     ///
-    /// Calibrated to the paper's findings: "A and F talked privately with
-    /// each other for about 5 h more than D and E during the mission."
+    /// The canonical table is calibrated to the paper's findings: "A and F
+    /// talked privately with each other for about 5 h more than D and E
+    /// during the mission."
     #[must_use]
     pub fn affinity(&self, x: AstronautId, y: AstronautId) -> f64 {
-        use AstronautId as Id;
-        if x == y {
-            return 0.0;
-        }
-        let pair = |a, b| (x == a && y == b) || (x == b && y == a);
-        if pair(Id::A, Id::F) {
-            1.30
-        } else if pair(Id::D, Id::E) {
-            0.35
-        } else if x == Id::C || y == Id::C {
-            0.72 // C, "an energetic conversationalist", chats with everyone
-        } else if x == Id::B || y == Id::B {
-            0.66 // the commander keeps company with everyone
-        } else {
-            0.55
-        }
+        self.affinity[x.index() * 6 + y.index()]
     }
 }
 
@@ -354,6 +307,39 @@ mod tests {
             assert_eq!(r.affinity(x, x), 0.0);
         }
         assert!(r.affinity(Id::A, Id::F) > r.affinity(Id::D, Id::E) + 0.5);
+    }
+
+    #[test]
+    fn stored_affinity_table_matches_the_historical_rule() {
+        use AstronautId as Id;
+        let r = Roster::icares();
+        // The closed-form rule the table replaced, kept as the oracle.
+        let rule = |x: Id, y: Id| -> f64 {
+            if x == y {
+                return 0.0;
+            }
+            let pair = |a, b| (x == a && y == b) || (x == b && y == a);
+            if pair(Id::A, Id::F) {
+                1.30
+            } else if pair(Id::D, Id::E) {
+                0.35
+            } else if x == Id::C || y == Id::C {
+                0.72
+            } else if x == Id::B || y == Id::B {
+                0.66
+            } else {
+                0.55
+            }
+        };
+        for x in Id::ALL {
+            for y in Id::ALL {
+                assert_eq!(
+                    r.affinity(x, y).to_bits(),
+                    rule(x, y).to_bits(),
+                    "affinity({x}, {y})"
+                );
+            }
+        }
     }
 
     #[test]

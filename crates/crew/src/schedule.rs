@@ -94,7 +94,9 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Builds the canonical ICAres-1 schedule.
+    /// Builds the canonical ICAres-1 schedule — exactly
+    /// [`Schedule::from_spec`] over
+    /// [`ScheduleSpec::icares`](crate::spec::ScheduleSpec::icares).
     ///
     /// The structure of every day: briefing 08:00, meals at 07:00, 12:30 and
     /// 18:30 (1.5 h total), breaks at 10:30 and 16:00, a debriefing at 20:30,
@@ -103,18 +105,25 @@ impl Schedule {
     /// 10 and 13.
     #[must_use]
     pub fn icares() -> Self {
+        Self::from_spec(&crate::spec::ScheduleSpec::icares())
+    }
+
+    /// Builds a schedule from a spec: the fixed day frame plus the spec's
+    /// work rotations, exercise slot and EVA calendar.
+    #[must_use]
+    pub fn from_spec(spec: &crate::spec::ScheduleSpec) -> Self {
         let mut plans = Vec::with_capacity(MISSION_DAYS as usize);
         for day in 1..=MISSION_DAYS {
             let mut day_plan = [[Activity::Break; SLOTS_PER_DAY]; 6];
             for ast in AstronautId::ALL {
                 let plan = &mut day_plan[ast.index()];
                 for (slot, entry) in plan.iter_mut().enumerate() {
-                    *entry = Self::base_activity(day, slot, ast);
+                    *entry = Self::base_activity(spec, day, slot, ast);
                 }
             }
             // EVA pairs: (day, [two astronauts]) — slots 14..17 (14:00-16:00:
             // prep, EVA, EVA, post). They replace whatever work was there.
-            if let Some(pair) = Self::eva_pair(day) {
+            if let Some(pair) = spec.eva_pair_on(day) {
                 for ast in pair {
                     let plan = &mut day_plan[ast.index()];
                     plan[14] = Activity::EvaPrep;
@@ -144,8 +153,12 @@ impl Schedule {
         }
     }
 
-    fn base_activity(day: u32, slot: usize, ast: AstronautId) -> Activity {
-        use AstronautId as Id;
+    fn base_activity(
+        spec: &crate::spec::ScheduleSpec,
+        day: u32,
+        slot: usize,
+        ast: AstronautId,
+    ) -> Activity {
         // Common frame of the day (slot 0 = 07:00).
         match slot {
             0 => return Activity::Meal,      // breakfast 07:00
@@ -158,22 +171,15 @@ impl Schedule {
             _ => {}
         }
         // Exercise: one slot, staggered across crew, three times a week.
-        if day % 2 == ast.index() as u32 % 2 && slot == 20 {
+        if day % 2 == ast.index() as u32 % 2 && slot == spec.exercise_slot {
             return Activity::Exercise;
         }
-        // Role-specific work rooms, rotated by slot block so everyone moves
-        // around during the day.
+        // Work rooms rotated by slot block so everyone moves around during
+        // the day. The canonical rotations are chosen so A and F share most
+        // work blocks (their bond shows in the pairwise meeting hours) while
+        // D and E overlap only occasionally.
         let block = slot / 4 + day as usize; // slow rotation across days
-                                             // Chosen so A and F share most work blocks (their bond shows in the
-                                             // pairwise meeting hours) while D and E overlap only occasionally.
-        let rooms: [RoomId; 3] = match ast {
-            Id::A => [RoomId::Biolab, RoomId::Office, RoomId::Office],
-            Id::B => [RoomId::Office, RoomId::Office, RoomId::Workshop],
-            Id::C => [RoomId::Biolab, RoomId::Office, RoomId::Storage],
-            Id::D => [RoomId::Office, RoomId::Workshop, RoomId::Workshop],
-            Id::E => [RoomId::Biolab, RoomId::Workshop, RoomId::Storage],
-            Id::F => [RoomId::Biolab, RoomId::Office, RoomId::Workshop],
-        };
+        let rooms: [RoomId; 3] = spec.work_rooms[ast.index()];
         let room = rooms[block % 3];
         // Biolab protocols run shorter than a full 2 h block (the paper's
         // ≈2.5 h biolab stays): the block's last slot moves to the
@@ -310,6 +316,60 @@ mod tests {
                 b > office_slots(ast),
                 "commander outranks {ast} in office time"
             );
+        }
+    }
+
+    #[test]
+    fn from_spec_reproduces_the_hand_built_schedule() {
+        use AstronautId as Id;
+        // The historical hard-coded builder, kept verbatim as the oracle.
+        let oracle = |day: u32, slot: usize, ast: Id| -> Activity {
+            match slot {
+                0 | 11 | 23 => return Activity::Meal,
+                2 | 27 => return Activity::Briefing,
+                7 | 18 => return Activity::Break,
+                _ => {}
+            }
+            if day % 2 == ast.index() as u32 % 2 && slot == 20 {
+                return Activity::Exercise;
+            }
+            let block = slot / 4 + day as usize;
+            let rooms: [RoomId; 3] = match ast {
+                Id::A => [RoomId::Biolab, RoomId::Office, RoomId::Office],
+                Id::B => [RoomId::Office, RoomId::Office, RoomId::Workshop],
+                Id::C => [RoomId::Biolab, RoomId::Office, RoomId::Storage],
+                Id::D => [RoomId::Office, RoomId::Workshop, RoomId::Workshop],
+                Id::E => [RoomId::Biolab, RoomId::Workshop, RoomId::Storage],
+                Id::F => [RoomId::Biolab, RoomId::Office, RoomId::Workshop],
+            };
+            let room = rooms[block % 3];
+            if room == RoomId::Biolab && slot % 4 == 3 {
+                return Activity::Work(rooms[(block + 1) % 3]);
+            }
+            Activity::Work(room)
+        };
+        let s = Schedule::icares();
+        for day in 1..=MISSION_DAYS {
+            for ast in AstronautId::ALL {
+                let on_eva = Schedule::eva_pair(day).is_some_and(|p| p.contains(&ast));
+                for slot in 0..SLOTS_PER_DAY {
+                    let expected = if on_eva && (14..=17).contains(&slot) {
+                        [
+                            Activity::EvaPrep,
+                            Activity::Eva,
+                            Activity::Eva,
+                            Activity::EvaPost,
+                        ][slot - 14]
+                    } else {
+                        oracle(day, slot, ast)
+                    };
+                    assert_eq!(
+                        s.activity(day, slot, ast),
+                        expected,
+                        "day {day} slot {slot} {ast}"
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,264 @@
+//! Typed crew specification — the human half of a scenario spec.
+//!
+//! [`CrewSpec`] and [`ScheduleSpec`] describe a six-astronaut crew and its
+//! strict slot plan as plain data, so the scenario generator can vary
+//! personalities, affinities, work rotations and EVA pairings without
+//! touching the behaviour simulator. The canonical ICAres-1 crew is
+//! [`CrewSpec::icares`] / [`ScheduleSpec::icares`];
+//! [`Roster::from_spec`](crate::roster::Roster::from_spec) and
+//! [`Schedule::from_spec`](crate::schedule::Schedule::from_spec) rebuild the
+//! historical roster and plan from them byte-identically.
+//!
+//! The spec keeps the mission *doctrine* fixed — the day frame (meal,
+//! briefing and break slots), the 14-day span, the EVA slot block — and
+//! exposes only the degrees of freedom the generator is allowed to sample:
+//! behavioural profiles, the affinity matrix, work-room rotations, the
+//! exercise slot and the EVA calendar.
+
+use crate::roster::{AstronautId, Role, VoiceRegister};
+use ares_habitat::rooms::RoomId;
+use serde::{Deserialize, Serialize};
+
+/// One crew member as data. Mirrors
+/// [`CrewMember`](crate::roster::CrewMember) field-for-field, minus the
+/// derived F0 standard deviation (always `0.12 · voice_f0_hz`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberSpec {
+    /// The astronaut this entry describes.
+    pub id: AstronautId,
+    /// Mission role.
+    pub role: Role,
+    /// Vocal register.
+    pub register: VoiceRegister,
+    /// Relative rate of discretionary walking.
+    pub mobility: f64,
+    /// Relative share of speaking time in conversations.
+    pub talkativeness: f64,
+    /// Propensity to seek/keep company.
+    pub sociability: f64,
+    /// Mean fundamental voice frequency (Hz).
+    pub voice_f0_hz: f64,
+    /// Typical conversational loudness at 1 m (dB SPL).
+    pub voice_level_db: f64,
+    /// Physically impaired (central stations, cautious movement).
+    pub impaired: bool,
+    /// Uses a text-to-speech screen reader during solo desk work.
+    pub uses_screen_reader: bool,
+}
+
+/// The crew as data: six members in [`AstronautId::ALL`] order plus the
+/// 6×6 row-major pairwise affinity matrix (diagonal zero, symmetric).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrewSpec {
+    /// The six members, indexed like [`AstronautId::ALL`].
+    pub members: Vec<MemberSpec>,
+    /// Row-major 6×6 affinity table; entry `x.index() * 6 + y.index()`.
+    pub affinity: Vec<f64>,
+}
+
+impl CrewSpec {
+    /// The canonical ICAres-1 crew: the paper's profiles for astronauts A–F
+    /// and the affinity rule calibrated to its pairwise-meeting findings
+    /// (A–F strongest at 1.30, D–E weakest at 0.35, C and B sociable with
+    /// everyone).
+    #[must_use]
+    pub fn icares() -> Self {
+        use AstronautId as Id;
+        let member =
+            |id: Id, role, register, mobility, talk, soc, f0: f64, level: f64| MemberSpec {
+                id,
+                role,
+                register,
+                mobility,
+                talkativeness: talk,
+                sociability: soc,
+                voice_f0_hz: f0,
+                voice_level_db: level,
+                impaired: id == Id::A,
+                uses_screen_reader: id == Id::A,
+            };
+        let members = vec![
+            member(
+                Id::A,
+                Role::Biologist,
+                VoiceRegister::Female,
+                0.33,
+                0.62,
+                0.78,
+                205.0,
+                66.0,
+            ),
+            member(
+                Id::B,
+                Role::Commander,
+                VoiceRegister::Female,
+                0.35,
+                0.58,
+                1.00,
+                215.0,
+                68.0,
+            ),
+            member(
+                Id::C,
+                Role::Scientist,
+                VoiceRegister::Male,
+                1.00,
+                0.82,
+                0.88,
+                125.0,
+                70.0,
+            ),
+            member(
+                Id::D,
+                Role::Engineer,
+                VoiceRegister::Female,
+                0.66,
+                0.70,
+                0.93,
+                200.0,
+                67.0,
+            ),
+            member(
+                Id::E,
+                Role::StructuralMaterialScientist,
+                VoiceRegister::Male,
+                0.52,
+                0.55,
+                0.70,
+                115.0,
+                65.5,
+            ),
+            member(
+                Id::F,
+                Role::ChiefMedicalOfficer,
+                VoiceRegister::Male,
+                0.80,
+                0.74,
+                0.86,
+                130.0,
+                69.0,
+            ),
+        ];
+        // The historical closed-form affinity rule, tabulated.
+        let mut affinity = vec![0.0; 36];
+        for x in Id::ALL {
+            for y in Id::ALL {
+                if x == y {
+                    continue;
+                }
+                let pair = |a, b| (x == a && y == b) || (x == b && y == a);
+                affinity[x.index() * 6 + y.index()] = if pair(Id::A, Id::F) {
+                    1.30
+                } else if pair(Id::D, Id::E) {
+                    0.35
+                } else if x == Id::C || y == Id::C {
+                    0.72
+                } else if x == Id::B || y == Id::B {
+                    0.66
+                } else {
+                    0.55
+                };
+            }
+        }
+        CrewSpec { members, affinity }
+    }
+}
+
+impl Default for CrewSpec {
+    fn default() -> Self {
+        CrewSpec::icares()
+    }
+}
+
+/// The schedule's sampled degrees of freedom: work rotations, exercise slot
+/// and the EVA calendar. The day frame (meals at slots 0/11/23, briefings at
+/// 2/27, breaks at 7/18) and the EVA block (slots 14–17) are doctrine and
+/// stay fixed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleSpec {
+    /// Three-room work rotation per astronaut, indexed like
+    /// [`AstronautId::ALL`]; the rotation advances every 4-slot block.
+    pub work_rooms: [[RoomId; 3]; 6],
+    /// Slot of the staggered exercise session (must not hit a frame slot).
+    pub exercise_slot: usize,
+    /// EVA calendar: `(day, pair)` entries, at most one per day.
+    pub eva_days: Vec<(u32, [AstronautId; 2])>,
+}
+
+impl ScheduleSpec {
+    /// The canonical ICAres-1 plan parameters.
+    #[must_use]
+    pub fn icares() -> Self {
+        use crate::schedule::{Schedule, MISSION_DAYS};
+        ScheduleSpec {
+            work_rooms: [
+                [RoomId::Biolab, RoomId::Office, RoomId::Office],
+                [RoomId::Office, RoomId::Office, RoomId::Workshop],
+                [RoomId::Biolab, RoomId::Office, RoomId::Storage],
+                [RoomId::Office, RoomId::Workshop, RoomId::Workshop],
+                [RoomId::Biolab, RoomId::Workshop, RoomId::Storage],
+                [RoomId::Biolab, RoomId::Office, RoomId::Workshop],
+            ],
+            exercise_slot: 20,
+            eva_days: (1..=MISSION_DAYS)
+                .filter_map(|day| Schedule::eva_pair(day).map(|pair| (day, pair)))
+                .collect(),
+        }
+    }
+
+    /// The EVA pair scheduled for `day`, if any.
+    #[must_use]
+    pub fn eva_pair_on(&self, day: u32) -> Option<[AstronautId; 2]> {
+        self.eva_days
+            .iter()
+            .find(|&&(d, _)| d == day)
+            .map(|&(_, pair)| pair)
+    }
+}
+
+impl Default for ScheduleSpec {
+    fn default() -> Self {
+        ScheduleSpec::icares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icares_crew_spec_matches_the_paper_profiles() {
+        let s = CrewSpec::icares();
+        assert_eq!(s.members.len(), 6);
+        for (i, m) in s.members.iter().enumerate() {
+            assert_eq!(m.id.index(), i);
+        }
+        assert_eq!(s.affinity.len(), 36);
+        let aff = |x: AstronautId, y: AstronautId| s.affinity[x.index() * 6 + y.index()];
+        assert_eq!(aff(AstronautId::A, AstronautId::F), 1.30);
+        assert_eq!(aff(AstronautId::D, AstronautId::E), 0.35);
+        for x in AstronautId::ALL {
+            assert_eq!(aff(x, x), 0.0);
+            for y in AstronautId::ALL {
+                assert_eq!(aff(x, y), aff(y, x), "affinity symmetric {x}{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn icares_schedule_spec_pins_the_eva_calendar() {
+        let s = ScheduleSpec::icares();
+        assert_eq!(s.eva_days.len(), 7);
+        assert_eq!(s.eva_pair_on(3), Some([AstronautId::C, AstronautId::D]));
+        assert_eq!(s.eva_pair_on(4), None);
+        assert_eq!(s.exercise_slot, 20);
+    }
+
+    #[test]
+    fn specs_round_trip_through_serde() {
+        let c = CrewSpec::icares();
+        assert_eq!(CrewSpec::from_value(&c.to_value()).expect("crew"), c);
+        let s = ScheduleSpec::icares();
+        assert_eq!(ScheduleSpec::from_value(&s.to_value()).expect("sched"), s);
+    }
+}

@@ -6,7 +6,7 @@
 //! that, combined with the metal-wall shielding, room-level localization was
 //! perfect and in-room triangulation accurate.
 
-use crate::floorplan::{FloorPlan, PERIPHERAL_ORDER};
+use crate::floorplan::FloorPlan;
 use crate::rooms::RoomId;
 use ares_simkit::geometry::Point2;
 use ares_simkit::time::SimDuration;
@@ -46,10 +46,21 @@ impl BeaconDeployment {
 
     /// The canonical ICAres-1 deployment: 3 beacons in each of the eight
     /// peripheral modules (corner-ish spread for triangulation) plus 3 along
-    /// the main hall — 27 in total.
+    /// the main hall — 27 in total. Exactly the deployment of
+    /// [`HabitatSpec::lunares`](crate::spec::HabitatSpec::lunares).
     #[must_use]
     pub fn icares(plan: &FloorPlan) -> Self {
-        let mut beacons = Vec::with_capacity(27);
+        Self::from_spec(&crate::spec::HabitatSpec::lunares(), plan)
+    }
+
+    /// Builds a deployment from a habitat spec over its floor plan: the
+    /// spec's three fractional mounts per peripheral module (west to east)
+    /// followed by three mounts along the main hall, ids assigned in that
+    /// order. For the Lunares spec this reproduces the historical hand-built
+    /// 27-beacon deployment bit-for-bit.
+    #[must_use]
+    pub fn from_spec(spec: &crate::spec::HabitatSpec, plan: &FloorPlan) -> Self {
+        let mut beacons = Vec::with_capacity(spec.module_order.len() * 3 + 3);
         let mut next = 0u8;
         let mut push = |p: Point2, room: RoomId, beacons: &mut Vec<Beacon>| {
             beacons.push(Beacon {
@@ -59,32 +70,22 @@ impl BeaconDeployment {
             });
             next += 1;
         };
-        for &room in &PERIPHERAL_ORDER {
+        for (i, &room) in spec.module_order.iter().enumerate() {
             let (min, max) = plan.room_polygon(room).bounds();
             let (w, h) = (max.x - min.x, max.y - min.y);
-            // Spread into three non-collinear mounts: NW, NE, S-center.
-            push(
-                Point2::new(min.x + 0.15 * w, min.y + 0.85 * h),
-                room,
-                &mut beacons,
-            );
-            push(
-                Point2::new(min.x + 0.85 * w, min.y + 0.85 * h),
-                room,
-                &mut beacons,
-            );
-            push(
-                Point2::new(min.x + 0.50 * w, min.y + 0.15 * h),
-                room,
-                &mut beacons,
-            );
+            for &(fx, fy) in &spec.peripheral_mounts[i] {
+                push(
+                    Point2::new(min.x + fx * w, min.y + fy * h),
+                    room,
+                    &mut beacons,
+                );
+            }
         }
-        // Main hall: west, center, east.
         let (min, max) = plan.room_polygon(RoomId::Main).bounds();
         let (w, h) = (max.x - min.x, max.y - min.y);
-        for fx in [0.15, 0.5, 0.85] {
+        for &(fx, fy) in &spec.hall_mounts {
             push(
-                Point2::new(min.x + fx * w, min.y + 0.5 * h),
+                Point2::new(min.x + fx * w, min.y + fy * h),
                 RoomId::Main,
                 &mut beacons,
             );
@@ -190,6 +191,7 @@ impl BeaconIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::floorplan::PERIPHERAL_ORDER;
 
     #[test]
     fn index_agrees_with_linear_lookup() {
@@ -206,6 +208,31 @@ mod tests {
         for raw in 0u8..40 {
             let id = BeaconId(raw);
             assert_eq!(index.get(id), thin.get(id), "thinned beacon {id}");
+        }
+    }
+
+    #[test]
+    fn from_spec_reproduces_the_hand_built_deployment() {
+        let plan = FloorPlan::lunares();
+        let dep = BeaconDeployment::icares(&plan);
+        // The historical construction, kept as the byte-identity oracle.
+        let mut expected = Vec::new();
+        for &room in &PERIPHERAL_ORDER {
+            let (min, max) = plan.room_polygon(room).bounds();
+            let (w, h) = (max.x - min.x, max.y - min.y);
+            expected.push(Point2::new(min.x + 0.15 * w, min.y + 0.85 * h));
+            expected.push(Point2::new(min.x + 0.85 * w, min.y + 0.85 * h));
+            expected.push(Point2::new(min.x + 0.50 * w, min.y + 0.15 * h));
+        }
+        let (min, max) = plan.room_polygon(RoomId::Main).bounds();
+        let (w, h) = (max.x - min.x, max.y - min.y);
+        for fx in [0.15, 0.5, 0.85] {
+            expected.push(Point2::new(min.x + fx * w, min.y + 0.5 * h));
+        }
+        assert_eq!(dep.len(), expected.len());
+        for (b, e) in dep.beacons().iter().zip(&expected) {
+            assert_eq!(b.position.x.to_bits(), e.x.to_bits(), "beacon {}", b.id);
+            assert_eq!(b.position.y.to_bits(), e.y.to_bits(), "beacon {}", b.id);
         }
     }
 

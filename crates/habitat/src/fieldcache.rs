@@ -303,8 +303,12 @@ impl RfFieldCache {
 }
 
 /// A closed-form **lower bound** on `walls_crossed` between any point of room
-/// `a` and any point of room `b`, used to cull hopeless badge-to-badge links
-/// before touching geometry.
+/// `a` and any point of room `b` **on the canonical Lunares plan**.
+///
+/// Kept for the canonical-geometry tests; runtime cull sites use the
+/// plan-aware [`FloorPlan::wall_floor`], which computes the same bound from
+/// the plan's actual module order (identical to this function on the Lunares
+/// plan, and correct on every generated spec).
 ///
 /// Two distinct peripheral modules `i` and `j` (west-to-east positions in
 /// [`PERIPHERAL_ORDER`]) sit in closed rectangles spanning `y ∈ [0, 4]`; any

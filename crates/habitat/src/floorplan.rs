@@ -10,8 +10,13 @@
 //! 1. every inter-room movement transits the main hall, and
 //! 2. the metal walls of any room perfectly shield beacon signals from other
 //!    rooms, except for occasional leakage through open doors.
+//!
+//! Plans are built from a typed [`HabitatSpec`] ([`FloorPlan::from_spec`]);
+//! the canonical ICAres-1 plan is the spec [`HabitatSpec::lunares`], which
+//! [`FloorPlan::lunares`] rebuilds byte-identically.
 
 use crate::rooms::{RoomId, RoomTable};
+use crate::spec::HabitatSpec;
 use ares_simkit::geometry::{Point2, Polygon, Segment};
 use serde::{Deserialize, Serialize};
 
@@ -46,17 +51,68 @@ impl Door {
 }
 
 /// The full floor plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FloorPlan {
     rooms: RoomTable<Polygon>,
     doors: Vec<Door>,
     walls: Vec<Segment>,
+    /// Per-room `(neighbor, door index)` lists in door order — the
+    /// precomputed adjacency map behind `neighbors`/`door_between`/`route`.
+    adjacency: RoomTable<Vec<(RoomId, u16)>>,
+    /// Peripheral modules sorted west to east by their polygon's min-x —
+    /// the geometric order behind [`FloorPlan::wall_floor`].
+    module_order: Vec<RoomId>,
+    /// Dense `RoomId × RoomId` wall-crossing lower bounds (row-major by
+    /// `RoomId::index`).
+    wall_floor: Vec<u8>,
 }
 
-/// Order of the eight peripheral modules from west to east.
+// The wire format carries only geometry (rooms, doors, walls) — exactly the
+// fields the struct had before the derived caches existed. The adjacency
+// map, module order and wall-floor table are deterministic functions of the
+// geometry and are rebuilt on deserialization.
+impl serde::Serialize for FloorPlan {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("rooms".to_string(), self.rooms.to_value()),
+            ("doors".to_string(), self.doors.to_value()),
+            ("walls".to_string(), self.walls.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for FloorPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Map(fields) = v else {
+            return Err(serde::DeError(format!("expected FloorPlan map, got {v:?}")));
+        };
+        let field = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| serde::DeError(format!("FloorPlan missing field {name}")))
+        };
+        let rooms = RoomTable::<Polygon>::from_value(field("rooms")?)?;
+        let doors = Vec::<Door>::from_value(field("doors")?)?;
+        let walls = Vec::<Segment>::from_value(field("walls")?)?;
+        let mut plan = FloorPlan::assemble(rooms, doors);
+        plan.walls = walls;
+        Ok(plan)
+    }
+}
+
+/// Order of the eight peripheral modules from west to east **in the
+/// canonical Lunares plan**.
 ///
 /// The kitchen sits at the far end from the office and workshop — the very
 /// arrangement the paper's Fig. 2 analysis concludes was suboptimal.
+///
+/// This constant is also the fixed priority order of
+/// [`FloorPlan::room_at`]'s boundary tie-break, for *every* plan of the
+/// family — generated plans permute the geometric order but keep this
+/// resolution order, so localization of shared-boundary points never depends
+/// on the permutation.
 pub const PERIPHERAL_ORDER: [RoomId; 8] = [
     RoomId::Airlock,
     RoomId::Workshop,
@@ -69,52 +125,101 @@ pub const PERIPHERAL_ORDER: [RoomId; 8] = [
 ];
 
 impl FloorPlan {
-    /// Builds the canonical ICAres-1 floor plan.
+    /// Builds the canonical ICAres-1 floor plan — exactly
+    /// `FloorPlan::from_spec(&HabitatSpec::lunares())`.
     #[must_use]
     pub fn lunares() -> Self {
-        let total_w = MODULE_W * PERIPHERAL_ORDER.len() as f64;
+        Self::from_spec(&HabitatSpec::lunares())
+    }
+
+    /// Builds a floor plan from a habitat spec: the module row over the main
+    /// hall, one hall door per module, and the hangar behind the airlock.
+    ///
+    /// For [`HabitatSpec::lunares`] this reproduces the historical
+    /// hand-built plan bit-for-bit (pinned by a test): module x-origins are
+    /// exact cumulative sums, door centers exact fractions of module widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's module order omits the airlock.
+    #[must_use]
+    pub fn from_spec(spec: &HabitatSpec) -> Self {
+        let total_w = spec.total_width();
         let mut rooms: RoomTable<Polygon> =
             RoomTable::from_fn(|_| Polygon::rect(0.0, 0.0, 1.0, 1.0));
         // Main hall along the south.
-        rooms[RoomId::Main] = Polygon::rect(0.0, -MAIN_D, total_w, MAIN_D);
-        // Peripheral modules in a row on the north side.
-        for (i, &room) in PERIPHERAL_ORDER.iter().enumerate() {
-            let x = i as f64 * MODULE_W;
-            rooms[room] = Polygon::rect(x, 0.0, MODULE_W, MODULE_D);
-        }
-        // Hangar north of the airlock.
-        rooms[RoomId::Hangar] = Polygon::rect(-2.0, MODULE_D, 8.0, 8.0);
-
+        rooms[RoomId::Main] = Polygon::rect(0.0, -spec.hall_depth, total_w, spec.hall_depth);
+        // Peripheral modules in a row on the north side, with their hall
+        // doors in the south walls.
         let mut doors = Vec::new();
-        for (i, &room) in PERIPHERAL_ORDER.iter().enumerate() {
-            let cx = i as f64 * MODULE_W + MODULE_W / 2.0;
-            let center = Point2::new(cx, 0.0);
+        let mut x = 0.0;
+        for (i, &room) in spec.module_order.iter().enumerate() {
+            let w = spec.module_widths[i];
+            rooms[room] = Polygon::rect(x, 0.0, w, spec.module_depth);
+            let cx = x + spec.door_fractions[i] * w;
+            let half = spec.door_widths[i] / 2.0;
             doors.push(Door {
                 a: room,
                 b: RoomId::Main,
-                center,
-                gap: Segment::new(
-                    Point2::new(cx - DOOR_W / 2.0, 0.0),
-                    Point2::new(cx + DOOR_W / 2.0, 0.0),
-                ),
+                center: Point2::new(cx, 0.0),
+                gap: Segment::new(Point2::new(cx - half, 0.0), Point2::new(cx + half, 0.0)),
             });
+            x += w;
         }
-        // Airlock → hangar door in the airlock's north wall.
-        let hx = MODULE_W / 2.0;
+        // Hangar flush on the row, reached through the airlock's north wall.
+        let (hx, hy, hw, hh) = spec.hangar;
+        rooms[RoomId::Hangar] = Polygon::rect(hx, hy, hw, hh);
+        let ai = spec
+            .module_index(RoomId::Airlock)
+            .expect("airlock in module order");
+        let cx = spec.module_x(ai) + spec.hangar_door_fraction * spec.module_widths[ai];
+        let half = spec.hangar_door_width / 2.0;
         doors.push(Door {
             a: RoomId::Airlock,
             b: RoomId::Hangar,
-            center: Point2::new(hx, MODULE_D),
+            center: Point2::new(cx, spec.module_depth),
             gap: Segment::new(
-                Point2::new(hx - DOOR_W / 2.0, MODULE_D),
-                Point2::new(hx + DOOR_W / 2.0, MODULE_D),
+                Point2::new(cx - half, spec.module_depth),
+                Point2::new(cx + half, spec.module_depth),
             ),
         });
+        Self::assemble(rooms, doors)
+    }
 
+    /// Builds walls and the derived caches over finished rooms and doors.
+    fn assemble(rooms: RoomTable<Polygon>, doors: Vec<Door>) -> Self {
+        let mut adjacency: RoomTable<Vec<(RoomId, u16)>> = RoomTable::new();
+        for (i, d) in doors.iter().enumerate() {
+            let i = u16::try_from(i).expect("≤ 65 535 doors");
+            adjacency[d.a].push((d.b, i));
+            adjacency[d.b].push((d.a, i));
+        }
+        let mut order: Vec<RoomId> = RoomId::ALL
+            .iter()
+            .copied()
+            .filter(|&r| r != RoomId::Main && r != RoomId::Hangar)
+            .collect();
+        order.sort_by(|&a, &b| {
+            let (xa, xb) = (rooms[a].bounds().0.x, rooms[b].bounds().0.x);
+            xa.partial_cmp(&xb)
+                .expect("finite room bounds")
+                .then(a.index().cmp(&b.index()))
+        });
+        let n = RoomId::ALL.len();
+        let mut wall_floor = vec![0u8; n * n];
+        for (i, &a) in order.iter().enumerate() {
+            for (j, &b) in order.iter().enumerate() {
+                wall_floor[a.index() * n + b.index()] =
+                    u8::try_from(2 * i.abs_diff(j)).expect("≤ 127 modules");
+            }
+        }
         let mut plan = FloorPlan {
             rooms,
             doors,
             walls: Vec::new(),
+            adjacency,
+            module_order: order,
+            wall_floor,
         };
         plan.walls = plan.build_walls();
         plan
@@ -138,8 +243,22 @@ impl FloorPlan {
         &self.walls
     }
 
-    /// The room containing point `p`, preferring peripheral rooms over the
-    /// hangar and main hall when a point sits exactly on a shared boundary.
+    /// The peripheral modules of this plan, west to east (by polygon min-x).
+    #[must_use]
+    pub fn module_order(&self) -> &[RoomId] {
+        &self.module_order
+    }
+
+    /// The room containing point `p`.
+    ///
+    /// Room rectangles are closed, so points on a shared boundary (the wall
+    /// plane between two abutting modules, a module's south edge on the
+    /// hall, the hangar's south edge on the row) lie in more than one room.
+    /// The tie-break is **deterministic and plan-independent**: the first
+    /// containing room in the fixed priority [`PERIPHERAL_ORDER`], then
+    /// [`RoomId::Main`], then [`RoomId::Hangar`]. `RfFieldCache` classifies
+    /// grid cells with the same priority, so cached and exact room lookups
+    /// agree on every boundary point of every generated plan.
     #[must_use]
     pub fn room_at(&self, p: Point2) -> Option<RoomId> {
         // Peripheral rooms first so boundary points resolve deterministically.
@@ -157,31 +276,30 @@ impl FloorPlan {
         None
     }
 
-    /// Rooms adjacent to `room` through a door.
+    /// Rooms adjacent to `room` through a door, in door order (the same
+    /// order the historical door-list scan produced).
     #[must_use]
     pub fn neighbors(&self, room: RoomId) -> Vec<RoomId> {
-        let mut out = Vec::new();
-        for d in &self.doors {
-            if d.a == room {
-                out.push(d.b);
-            } else if d.b == room {
-                out.push(d.a);
-            }
-        }
-        out
+        self.adjacency[room].iter().map(|&(r, _)| r).collect()
     }
 
-    /// The door between two rooms, if directly connected.
+    /// The door between two rooms, if directly connected. Ties (several
+    /// doors between the same pair) resolve to the lowest door index, like
+    /// the historical linear scan.
     #[must_use]
     pub fn door_between(&self, a: RoomId, b: RoomId) -> Option<&Door> {
-        self.doors.iter().find(|d| d.connects(a, b))
+        self.adjacency[a]
+            .iter()
+            .find(|&&(r, _)| r == b)
+            .map(|&(_, i)| &self.doors[i as usize])
     }
 
     /// Shortest door-to-door route between rooms as a list of rooms
-    /// (inclusive of both endpoints), by breadth-first search.
+    /// (inclusive of both endpoints), by breadth-first search over the
+    /// precomputed adjacency map.
     ///
-    /// Returns `None` only if the rooms are disconnected (never happens in the
-    /// canonical plan).
+    /// Returns `None` only if the rooms are disconnected (never happens in
+    /// a validated plan).
     #[must_use]
     pub fn route(&self, from: RoomId, to: RoomId) -> Option<Vec<RoomId>> {
         if from == to {
@@ -192,7 +310,7 @@ impl FloorPlan {
         let mut visited: RoomTable<bool> = RoomTable::new();
         visited[from] = true;
         while let Some(cur) = queue.pop_front() {
-            for next in self.neighbors(cur) {
+            for &(next, _) in &self.adjacency[cur] {
                 if !visited[next] {
                     visited[next] = true;
                     prev[next] = Some(cur);
@@ -222,6 +340,29 @@ impl FloorPlan {
     pub fn walls_crossed(&self, a: Point2, b: Point2) -> usize {
         let ray = Segment::new(a, b);
         self.walls.iter().filter(|w| w.intersects(&ray)).count()
+    }
+
+    /// A closed-form **lower bound** on [`Self::walls_crossed`] between any
+    /// point of room `a` and any point of room `b`, from the precomputed
+    /// per-plan table — used to cull hopeless RF/audio links before touching
+    /// geometry.
+    ///
+    /// Two distinct peripheral modules at west-to-east positions `i` and `j`
+    /// of **this plan's** [`Self::module_order`] sit in closed rectangles
+    /// spanning the uniform row band `y ∈ [0, depth]`; any segment between
+    /// them is x-monotone and crosses each of the `|i − j|` module-boundary
+    /// planes, where both collinear wall copies lie with no door cuts (spec
+    /// plans put doors only in south walls, plus the airlock's north wall) —
+    /// `2·|i − j|` guaranteed crossings. Pairs involving the main hall or
+    /// hangar get the trivial bound 0 (their shared boundaries have doors).
+    ///
+    /// On the canonical plan this agrees with the free function
+    /// [`room_wall_floor`](crate::fieldcache::room_wall_floor); on permuted
+    /// generated plans only this method is sound, because the bound follows
+    /// the plan's geometric order, not the canonical one.
+    #[must_use]
+    pub fn wall_floor(&self, a: RoomId, b: RoomId) -> usize {
+        self.wall_floor[a.index() * RoomId::ALL.len() + b.index()] as usize
     }
 
     /// A representative interior point of a room (its centroid).
@@ -300,6 +441,74 @@ impl Default for FloorPlan {
 mod tests {
     use super::*;
 
+    /// The historical hand-built Lunares construction, kept verbatim as the
+    /// byte-identity oracle for `from_spec(&HabitatSpec::lunares())`.
+    fn lunares_oracle() -> (RoomTable<Polygon>, Vec<Door>) {
+        let total_w = MODULE_W * PERIPHERAL_ORDER.len() as f64;
+        let mut rooms: RoomTable<Polygon> =
+            RoomTable::from_fn(|_| Polygon::rect(0.0, 0.0, 1.0, 1.0));
+        rooms[RoomId::Main] = Polygon::rect(0.0, -MAIN_D, total_w, MAIN_D);
+        for (i, &room) in PERIPHERAL_ORDER.iter().enumerate() {
+            let x = i as f64 * MODULE_W;
+            rooms[room] = Polygon::rect(x, 0.0, MODULE_W, MODULE_D);
+        }
+        rooms[RoomId::Hangar] = Polygon::rect(-2.0, MODULE_D, 8.0, 8.0);
+        let mut doors = Vec::new();
+        for (i, &room) in PERIPHERAL_ORDER.iter().enumerate() {
+            let cx = i as f64 * MODULE_W + MODULE_W / 2.0;
+            doors.push(Door {
+                a: room,
+                b: RoomId::Main,
+                center: Point2::new(cx, 0.0),
+                gap: Segment::new(
+                    Point2::new(cx - DOOR_W / 2.0, 0.0),
+                    Point2::new(cx + DOOR_W / 2.0, 0.0),
+                ),
+            });
+        }
+        let hx = MODULE_W / 2.0;
+        doors.push(Door {
+            a: RoomId::Airlock,
+            b: RoomId::Hangar,
+            center: Point2::new(hx, MODULE_D),
+            gap: Segment::new(
+                Point2::new(hx - DOOR_W / 2.0, MODULE_D),
+                Point2::new(hx + DOOR_W / 2.0, MODULE_D),
+            ),
+        });
+        (rooms, doors)
+    }
+
+    fn bits(p: Point2) -> (u64, u64) {
+        (p.x.to_bits(), p.y.to_bits())
+    }
+
+    #[test]
+    fn lunares_from_spec_is_byte_identical_to_the_hand_built_plan() {
+        let plan = FloorPlan::from_spec(&HabitatSpec::lunares());
+        let (rooms, doors) = lunares_oracle();
+        for (room, poly) in rooms.iter() {
+            let got = plan.room_polygon(room);
+            assert_eq!(
+                got.vertices().len(),
+                poly.vertices().len(),
+                "{room} vertex count"
+            );
+            for (g, o) in got.vertices().iter().zip(poly.vertices()) {
+                assert_eq!(bits(*g), bits(*o), "{room} vertex bits");
+            }
+        }
+        assert_eq!(plan.doors().len(), doors.len());
+        for (g, o) in plan.doors().iter().zip(&doors) {
+            assert_eq!((g.a, g.b), (o.a, o.b));
+            assert_eq!(bits(g.center), bits(o.center), "door center bits");
+            assert_eq!(bits(g.gap.a), bits(o.gap.a), "door gap bits");
+            assert_eq!(bits(g.gap.b), bits(o.gap.b), "door gap bits");
+        }
+        // And `lunares()` itself is now just the spec path.
+        assert_eq!(plan, FloorPlan::lunares());
+    }
+
     #[test]
     fn every_room_has_positive_area_and_disjoint_interiors() {
         let plan = FloorPlan::lunares();
@@ -324,6 +533,126 @@ mod tests {
             assert_eq!(plan.room_at(plan.room_center(r)), Some(r), "center of {r}");
         }
         assert_eq!(plan.room_at(Point2::new(-100.0, 0.0)), None);
+    }
+
+    #[test]
+    fn room_at_boundary_tie_break_follows_the_documented_priority() {
+        let plan = FloorPlan::lunares();
+        // Shared plane between two abutting modules: the earlier room in
+        // PERIPHERAL_ORDER wins (airlock before workshop at x = 4).
+        assert_eq!(
+            plan.room_at(Point2::new(4.0, 2.0)),
+            Some(RoomId::Airlock),
+            "module/module boundary"
+        );
+        // Biolab|Bedroom boundary at x = 20: biolab precedes bedroom.
+        assert_eq!(plan.room_at(Point2::new(20.0, 2.0)), Some(RoomId::Biolab));
+        // Module south edge on the hall: the module wins over Main.
+        assert_eq!(plan.room_at(Point2::new(10.0, 0.0)), Some(RoomId::Office));
+        // Airlock north edge under the hangar: airlock wins over hangar.
+        assert_eq!(plan.room_at(Point2::new(1.0, 4.0)), Some(RoomId::Airlock));
+        // Hangar-only band (west overhang): hangar resolves where no module
+        // contains the point.
+        assert_eq!(plan.room_at(Point2::new(-1.0, 5.0)), Some(RoomId::Hangar));
+        // The tie-break is the canonical order even on permuted plans:
+        // swap kitchen west of the airlock and probe their shared plane.
+        let mut spec = HabitatSpec::lunares();
+        spec.module_order.swap(0, 7); // kitchen first, airlock last
+        let permuted = FloorPlan::from_spec(&spec);
+        let boundary = permuted.room_polygon(RoomId::Kitchen).bounds().1.x;
+        assert_eq!(
+            permuted.room_at(Point2::new(boundary, 2.0)),
+            Some(RoomId::Workshop),
+            "workshop precedes kitchen in PERIPHERAL_ORDER"
+        );
+    }
+
+    #[test]
+    fn adjacency_cache_matches_a_door_list_scan() {
+        // Satellite pin: the precomputed map answers exactly like the
+        // historical per-call scans, including ordering.
+        let plan = FloorPlan::lunares();
+        for room in RoomId::ALL {
+            let scanned: Vec<RoomId> = plan
+                .doors()
+                .iter()
+                .filter_map(|d| {
+                    if d.a == room {
+                        Some(d.b)
+                    } else if d.b == room {
+                        Some(d.a)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            assert_eq!(plan.neighbors(room), scanned, "{room} neighbor order");
+            for other in RoomId::ALL {
+                let scanned = plan.doors().iter().find(|d| d.connects(room, other));
+                assert_eq!(
+                    plan.door_between(room, other).map(|d| d.center),
+                    scanned.map(|d| d.center),
+                    "{room}→{other}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wall_floor_table_follows_the_geometric_module_order() {
+        let plan = FloorPlan::lunares();
+        assert_eq!(
+            plan.module_order(),
+            &PERIPHERAL_ORDER[..],
+            "canonical plan: geometric order is the canonical order"
+        );
+        assert_eq!(plan.wall_floor(RoomId::Airlock, RoomId::Workshop), 2);
+        assert_eq!(plan.wall_floor(RoomId::Airlock, RoomId::Kitchen), 14);
+        assert_eq!(plan.wall_floor(RoomId::Main, RoomId::Kitchen), 0);
+        assert_eq!(plan.wall_floor(RoomId::Hangar, RoomId::Airlock), 0);
+        assert_eq!(plan.wall_floor(RoomId::Office, RoomId::Office), 0);
+        // A permuted plan re-derives the bound from its own geometry.
+        let mut spec = HabitatSpec::lunares();
+        spec.module_order = [
+            RoomId::Kitchen,
+            RoomId::Restroom,
+            RoomId::Bedroom,
+            RoomId::Biolab,
+            RoomId::Storage,
+            RoomId::Office,
+            RoomId::Workshop,
+            RoomId::Airlock,
+        ];
+        spec.hangar = (26.0, MODULE_D, 8.0, 8.0);
+        let plan = FloorPlan::from_spec(&spec);
+        assert_eq!(plan.wall_floor(RoomId::Kitchen, RoomId::Airlock), 14);
+        assert_eq!(plan.wall_floor(RoomId::Kitchen, RoomId::Restroom), 2);
+        // The bound stays sound: sampled segments never cross fewer walls.
+        for (a, b) in [
+            (RoomId::Kitchen, RoomId::Airlock),
+            (RoomId::Bedroom, RoomId::Office),
+            (RoomId::Restroom, RoomId::Workshop),
+        ] {
+            let floor = plan.wall_floor(a, b);
+            let crossed = plan.walls_crossed(plan.room_center(a), plan.room_center(b));
+            assert!(crossed >= floor, "{a}→{b}: {crossed} < {floor}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_the_caches() {
+        let mut spec = HabitatSpec::lunares();
+        spec.module_order.swap(1, 6);
+        let plan = FloorPlan::from_spec(&spec);
+        let json = serde_json::to_string(&plan).expect("serializes");
+        // Wire format carries only geometry.
+        assert!(json.contains("\"rooms\""));
+        assert!(json.contains("\"doors\""));
+        assert!(json.contains("\"walls\""));
+        assert!(!json.contains("adjacency"));
+        assert!(!json.contains("wall_floor"));
+        let back = FloorPlan::from_value(&plan.to_value()).expect("deserializes");
+        assert_eq!(back, plan, "caches rebuilt deterministically");
     }
 
     #[test]

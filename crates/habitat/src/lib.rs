@@ -34,6 +34,7 @@ pub mod fieldcache;
 pub mod floorplan;
 pub mod rf;
 pub mod rooms;
+pub mod spec;
 
 /// Convenient glob-import of the most used habitat types.
 pub mod prelude {
@@ -43,4 +44,5 @@ pub mod prelude {
     pub use crate::floorplan::{Door, FloorPlan};
     pub use crate::rf::{Channel, ChannelParams, InfraredParams, Reception, Rssi};
     pub use crate::rooms::{RoomId, RoomTable};
+    pub use crate::spec::HabitatSpec;
 }

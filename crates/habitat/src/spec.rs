@@ -1,0 +1,131 @@
+//! Typed habitat specification — the geometry half of a scenario spec.
+//!
+//! A [`HabitatSpec`] describes the whole Lunares-class plan family as data:
+//! eight peripheral modules in a west-to-east row over a full-width main
+//! hall, a hangar attached north of the airlock, one hall door per module,
+//! per-room beacon mounts and the charging-station position. The canonical
+//! ICAres-1 plan is [`HabitatSpec::lunares`]; [`FloorPlan::from_spec`]
+//! rebuilds it byte-identically (`lunares()` is now just that spec).
+//!
+//! Every plan of the family preserves the two structural properties the
+//! engine's fast paths rely on:
+//!
+//! 1. modules form a contiguous row of uniform depth with full-height side
+//!    walls (doors only in the south walls, plus the airlock→hangar door in
+//!    the airlock's north wall), so the `2·|i − j|` wall-crossing lower
+//!    bound ([`FloorPlan::wall_floor`]) stays sound on any module order; and
+//! 2. all rooms are axis-aligned rectangles, which `RfFieldCache` requires
+//!    for its oracle-exact purity certification.
+//!
+//! [`FloorPlan::from_spec`]: crate::floorplan::FloorPlan::from_spec
+//! [`FloorPlan::wall_floor`]: crate::floorplan::FloorPlan::wall_floor
+
+use crate::floorplan::{DOOR_W, MAIN_D, MODULE_D, MODULE_W, PERIPHERAL_ORDER};
+use crate::rooms::RoomId;
+use serde::{Deserialize, Serialize};
+
+/// The geometry of one habitat as data: module row, hall, hangar, doors,
+/// beacon mounts and station. All lengths in metres; fractions in `0..=1`
+/// of the owning edge or room extent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HabitatSpec {
+    /// West-to-east order of the eight peripheral modules.
+    pub module_order: [RoomId; 8],
+    /// Width of each module, indexed like `module_order`.
+    pub module_widths: [f64; 8],
+    /// Uniform depth of the module row (the `y ∈ [0, depth]` band).
+    pub module_depth: f64,
+    /// Depth of the main hall south of the row (`y ∈ [-hall_depth, 0]`).
+    pub hall_depth: f64,
+    /// Width of each module's hall door, indexed like `module_order`.
+    pub door_widths: [f64; 8],
+    /// Door center as a fraction of the module width, indexed like
+    /// `module_order`.
+    pub door_fractions: [f64; 8],
+    /// Hangar rectangle `(x, y, w, h)`; `y` must equal `module_depth` so the
+    /// hangar sits flush on the row.
+    pub hangar: (f64, f64, f64, f64),
+    /// Width of the airlock→hangar door.
+    pub hangar_door_width: f64,
+    /// Hangar door center as a fraction of the airlock width.
+    pub hangar_door_fraction: f64,
+    /// Three beacon mounts per module as `(fx, fy)` fractions of the room
+    /// bounds, indexed like `module_order`.
+    pub peripheral_mounts: [[(f64, f64); 3]; 8],
+    /// Three beacon mounts in the main hall as `(fx, fy)` fractions.
+    pub hall_mounts: [(f64, f64); 3],
+    /// Badge charging-station position (must lie inside the main hall).
+    pub station: (f64, f64),
+}
+
+impl HabitatSpec {
+    /// The canonical ICAres-1 habitat: 4 m modules in [`PERIPHERAL_ORDER`],
+    /// a 6 m-deep hall, the hangar north of the airlock and the paper's
+    /// 27-beacon deployment pattern.
+    #[must_use]
+    pub fn lunares() -> Self {
+        HabitatSpec {
+            module_order: PERIPHERAL_ORDER,
+            module_widths: [MODULE_W; 8],
+            module_depth: MODULE_D,
+            hall_depth: MAIN_D,
+            door_widths: [DOOR_W; 8],
+            door_fractions: [0.5; 8],
+            hangar: (-2.0, MODULE_D, 8.0, 8.0),
+            hangar_door_width: DOOR_W,
+            hangar_door_fraction: 0.5,
+            peripheral_mounts: [[(0.15, 0.85), (0.85, 0.85), (0.50, 0.15)]; 8],
+            hall_mounts: [(0.15, 0.5), (0.5, 0.5), (0.85, 0.5)],
+            station: (30.0, -5.2),
+        }
+    }
+
+    /// Total width of the module row (and of the hall beneath it).
+    #[must_use]
+    pub fn total_width(&self) -> f64 {
+        self.module_widths.iter().sum()
+    }
+
+    /// West edge of the module at `index` in `module_order` (cumulative sum
+    /// of the widths before it).
+    #[must_use]
+    pub fn module_x(&self, index: usize) -> f64 {
+        self.module_widths[..index].iter().sum()
+    }
+
+    /// Position of `room` in `module_order`, if it is a peripheral module.
+    #[must_use]
+    pub fn module_index(&self, room: RoomId) -> Option<usize> {
+        self.module_order.iter().position(|&r| r == room)
+    }
+}
+
+impl Default for HabitatSpec {
+    fn default() -> Self {
+        HabitatSpec::lunares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lunares_spec_matches_canonical_constants() {
+        let s = HabitatSpec::lunares();
+        assert_eq!(s.total_width(), 32.0);
+        assert_eq!(s.module_x(0), 0.0);
+        assert_eq!(s.module_x(7), 28.0);
+        assert_eq!(s.module_index(RoomId::Airlock), Some(0));
+        assert_eq!(s.module_index(RoomId::Kitchen), Some(7));
+        assert_eq!(s.module_index(RoomId::Main), None);
+        assert_eq!(s.module_index(RoomId::Hangar), None);
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        let s = HabitatSpec::lunares();
+        let back = HabitatSpec::from_value(&s.to_value()).expect("deserializes");
+        assert_eq!(back, s);
+    }
+}

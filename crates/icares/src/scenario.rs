@@ -20,6 +20,10 @@ use ares_crew::behavior::{BehaviorConfig, BehaviorSim};
 use ares_crew::roster::Roster;
 use ares_crew::schedule::{Schedule, MISSION_DAYS};
 use ares_crew::truth::MissionTruth;
+use ares_habitat::beacons::BeaconDeployment;
+use ares_habitat::floorplan::FloorPlan;
+use ares_scenario::ScenarioSpec;
+use ares_simkit::geometry::Point2;
 use ares_simkit::rng::SeedTree;
 use ares_sociometrics::engine::{EngineMetrics, MissionContext, MissionEngine};
 use ares_sociometrics::fleet::{FleetConfig, HabitatSource, OpenHabitat};
@@ -33,6 +37,11 @@ pub const FIRST_INSTRUMENTED_DAY: u32 = 2;
 /// Configuration of a scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
+    /// The scenario spec the deployment is assembled from: habitat geometry,
+    /// crew, schedule and (via [`ScenarioConfig::from_spec`]) incidents. The
+    /// canonical Lunares spec by default — rebuilding the historical world
+    /// byte-identically.
+    pub spec: ScenarioSpec,
     /// Master seed for behaviour, clocks and channel noise.
     pub seed: u64,
     /// Behaviour-simulation parameters.
@@ -54,6 +63,7 @@ pub struct ScenarioConfig {
 impl Default for ScenarioConfig {
     fn default() -> Self {
         ScenarioConfig {
+            spec: ScenarioSpec::lunares(),
             seed: 0x1CA7E5,
             behavior: BehaviorConfig::default(),
             sampling: SamplingConfig::default(),
@@ -65,6 +75,18 @@ impl Default for ScenarioConfig {
 }
 
 impl ScenarioConfig {
+    /// A configuration running the given scenario spec: seed and incident
+    /// script come from the spec, everything else stays at the defaults.
+    #[must_use]
+    pub fn from_spec(spec: ScenarioSpec) -> ScenarioConfig {
+        ScenarioConfig {
+            seed: spec.seed,
+            incidents: spec.incidents.clone(),
+            spec,
+            ..ScenarioConfig::default()
+        }
+    }
+
     /// The seeded configuration of habitat `habitat` in a fleet of crew
     /// variant count `crews`.
     ///
@@ -120,18 +142,32 @@ pub struct MissionRunner {
 }
 
 impl MissionRunner {
-    /// Builds the canonical ICAres-1 scenario and simulates its ground truth.
+    /// Builds the scenario described by `config.spec` and simulates its
+    /// ground truth. With the default (Lunares) spec this assembles the
+    /// historical deployment byte-identically; generated specs assemble
+    /// their own plan, beacons, roster and schedule the same way. The
+    /// `config.incidents` script governs both truth and recording (so tests
+    /// can inject extra failures on top of the spec's script).
     #[must_use]
     pub fn new(config: ScenarioConfig) -> Self {
-        let mut world = World::icares();
-        world.incidents = config.incidents.clone();
-        let mut pipeline = Pipeline::icares();
-        *pipeline.params_mut() = config.pipeline;
+        let spec = &config.spec;
+        let plan = FloorPlan::from_spec(&spec.habitat);
+        let beacons = BeaconDeployment::from_spec(&spec.habitat, &plan);
+        let station = Point2::new(spec.habitat.station.0, spec.habitat.station.1);
+        let world = World::from_parts(
+            plan.clone(),
+            beacons.clone(),
+            config.incidents.clone(),
+            station,
+        );
+        let roster = Roster::from_spec(&spec.crew);
+        let schedule = Schedule::from_spec(&spec.schedule);
+        let ctx = MissionContext::new(plan, beacons, schedule.clone(), config.pipeline);
         MissionRunner::with_shared(
             Arc::new(world),
-            Arc::new(Roster::icares()),
-            Arc::new(Schedule::icares()),
-            pipeline,
+            Arc::new(roster),
+            Arc::new(schedule),
+            Pipeline::from_context(ctx),
             config,
         )
     }
@@ -332,11 +368,31 @@ impl FleetScenario {
     /// deployment.
     #[must_use]
     pub fn icares() -> Self {
+        FleetScenario::from_spec(&ScenarioSpec::lunares())
+    }
+
+    /// A fleet whose interned deployment is assembled from a scenario spec;
+    /// every habitat the scheduler opens shares this one world, roster,
+    /// schedule and analysis context.
+    #[must_use]
+    pub fn from_spec(spec: &ScenarioSpec) -> Self {
+        let plan = FloorPlan::from_spec(&spec.habitat);
+        let beacons = BeaconDeployment::from_spec(&spec.habitat, &plan);
+        let station = Point2::new(spec.habitat.station.0, spec.habitat.station.1);
+        let world = World::from_parts(
+            plan.clone(),
+            beacons.clone(),
+            spec.incidents.clone(),
+            station,
+        );
+        let roster = Roster::from_spec(&spec.crew);
+        let schedule = Schedule::from_spec(&spec.schedule);
+        let ctx = MissionContext::new(plan, beacons, schedule.clone(), PipelineParams::default());
         FleetScenario {
-            world: Arc::new(World::icares()),
-            roster: Arc::new(Roster::icares()),
-            schedule: Arc::new(Schedule::icares()),
-            ctx: Arc::new(MissionContext::icares()),
+            world: Arc::new(world),
+            roster: Arc::new(roster),
+            schedule: Arc::new(schedule),
+            ctx: Arc::new(ctx),
         }
     }
 
@@ -438,6 +494,45 @@ mod tests {
         let same_crew = ScenarioConfig::fleet_variant(0xF1EE7, 8, 3);
         assert_eq!(a.behavior.walk_speed_mps, same_crew.behavior.walk_speed_mps);
         assert_ne!(a.seed, same_crew.seed);
+    }
+
+    #[test]
+    fn fleet_variant_seed_derivation_is_pinned() {
+        // Golden values: the SeedTree "fleet"/"habitat"/"crew-variant"
+        // derivation is part of the reproducibility contract — fleet runs
+        // recorded under one build must replay under another. 17 significant
+        // digits round-trip f64 exactly.
+        let cases = [
+            (0xF1EE7u64, 0u32, 3u32, 0x32B0_2D7B_CB16_7529u64),
+            (0xF1EE7, 5, 3, 0x36FF_E080_3CAF_C8BB),
+            (0xA5A5_A5A5, 17, 4, 0xD90D_3DC9_8EE4_9381),
+        ];
+        for (fleet_seed, habitat, crews, seed) in cases {
+            let v = ScenarioConfig::fleet_variant(fleet_seed, habitat, crews);
+            assert_eq!(v.seed, seed, "seed drifted for {fleet_seed:#x}/{habitat}");
+        }
+        let v = ScenarioConfig::fleet_variant(0xF1EE7, 5, 3);
+        assert_eq!(v.behavior.walk_speed_mps, 1.113_588_986_556_735_7);
+        assert_eq!(v.behavior.chat_rate, 1.575_096_593_116_379_8);
+    }
+
+    #[test]
+    fn generated_spec_runs_the_vertical_slice() {
+        // A generated scenario must assemble and record end to end: plan,
+        // beacons, roster and schedule all come from the spec.
+        let spec = ares_scenario::generate(11);
+        let config = ScenarioConfig {
+            truth_days: FIRST_INSTRUMENTED_DAY,
+            sampling: ares_badge::records::SamplingConfig::fleet(),
+            ..ScenarioConfig::from_spec(spec)
+        };
+        let runner = MissionRunner::new(config);
+        let (_, analysis) = runner.run_day(FIRST_INSTRUMENTED_DAY);
+        let resolved = AstronautId::ALL
+            .iter()
+            .filter(|a| analysis.carrier_of[a.index()].is_some())
+            .count();
+        assert!(resolved >= 5, "only {resolved}/6 carriers resolved");
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! The habitat-layout rulebook: validates a [`ScenarioSpec`] against the
+//! constraints a deployable analog habitat must satisfy.
+//!
+//! The rules follow the habitat-layout-creator tradition: minimum net
+//! habitable volume per crew member, minimum door widths with corner
+//! clearances, zoning constraints forbidding incompatible functions in
+//! adjacent modules, full door connectivity, and beacon coverage sufficient
+//! for in-room triangulation. Crew and schedule sanity checks ride along so
+//! a generated spec is usable end to end.
+
+use crate::ScenarioSpec;
+use ares_crew::incidents::Incident;
+use ares_crew::roster::AstronautId;
+use ares_crew::schedule::{Schedule, MISSION_DAYS, SLOTS_PER_DAY};
+use ares_habitat::floorplan::FloorPlan;
+use ares_habitat::rooms::RoomId;
+use ares_simkit::geometry::Point2;
+
+/// Minimum net habitable volume per crew member (m³) — the rulebook's
+/// long-duration floor.
+pub const MIN_NHV_PER_PERSON_M3: f64 = 25.0;
+/// Assumed pressurized ceiling height (m) for NHV accounting.
+pub const CEILING_M: f64 = 2.1;
+/// Minimum clear door width (m).
+pub const MIN_DOOR_W: f64 = 0.7;
+/// Minimum clearance between a door edge and the module corner (m).
+pub const DOOR_CORNER_MARGIN: f64 = 0.3;
+
+/// Zoning: module functions that must not occupy adjacent positions in the
+/// row. Storage hosts the gym corner, so bedroom–storage is a
+/// sleep/exercise adjacency; Lunares itself violates the sleep/hygiene rule
+/// (bedroom abuts restroom).
+pub const INCOMPATIBLE_ADJACENT: [(RoomId, RoomId, &str); 3] = [
+    (RoomId::Bedroom, RoomId::Restroom, "sleep/hygiene"),
+    (RoomId::Bedroom, RoomId::Kitchen, "sleep/galley"),
+    (RoomId::Bedroom, RoomId::Storage, "sleep/exercise"),
+];
+
+/// Rooms a work rotation may schedule.
+pub const WORK_ROOMS: [RoomId; 4] = [
+    RoomId::Biolab,
+    RoomId::Office,
+    RoomId::Workshop,
+    RoomId::Storage,
+];
+
+/// Day-frame slots (meals, briefings, breaks) that individual activities
+/// must not displace.
+pub const FRAME_SLOTS: [usize; 7] = [0, 2, 7, 11, 18, 23, 27];
+
+/// One violated rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Short rule identifier (e.g. `"zoning"`, `"door-width"`).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+fn fail(out: &mut Vec<Violation>, rule: &'static str, detail: String) {
+    out.push(Violation { rule, detail });
+}
+
+/// Validates a scenario spec against the full rulebook; returns every
+/// violated rule (empty = valid). Generated scenarios must come back clean;
+/// the canonical Lunares spec reports exactly its historical sleep/hygiene
+/// zoning violation.
+#[must_use]
+pub fn validate(spec: &ScenarioSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let h = &spec.habitat;
+
+    // --- Geometry sanity ----------------------------------------------
+    for (i, &w) in h.module_widths.iter().enumerate() {
+        if w <= 0.0 {
+            fail(&mut out, "geometry", format!("module {i} width {w} <= 0"));
+        }
+    }
+    if h.module_depth <= 0.0 || h.hall_depth <= 0.0 {
+        fail(
+            &mut out,
+            "geometry",
+            format!(
+                "non-positive depths: module {} hall {}",
+                h.module_depth, h.hall_depth
+            ),
+        );
+    }
+    if h.hangar.1 != h.module_depth {
+        fail(
+            &mut out,
+            "geometry",
+            format!(
+                "hangar must sit flush on the module row (y {} != depth {})",
+                h.hangar.1, h.module_depth
+            ),
+        );
+    }
+    {
+        let mut seen = [false; 10];
+        for &r in &h.module_order {
+            if matches!(r, RoomId::Main | RoomId::Hangar) || seen[r.index()] {
+                fail(
+                    &mut out,
+                    "geometry",
+                    format!("module order must list each peripheral room once, got {r}"),
+                );
+            }
+            seen[r.index()] = true;
+        }
+    }
+    if !out.is_empty() {
+        // Geometry is broken enough that building a plan may panic; the
+        // remaining rules are meaningless anyway.
+        return out;
+    }
+
+    let plan = FloorPlan::from_spec(h);
+
+    // --- Net habitable volume -----------------------------------------
+    let area: f64 = RoomId::ALL
+        .iter()
+        .map(|&r| plan.room_polygon(r).area())
+        .sum();
+    let nhv = area * CEILING_M;
+    let required = MIN_NHV_PER_PERSON_M3 * 6.0;
+    if nhv < required {
+        fail(
+            &mut out,
+            "nhv",
+            format!("net habitable volume {nhv:.1} m³ < required {required:.1} m³"),
+        );
+    }
+
+    // --- Doors: widths and corner clearances --------------------------
+    for (i, &room) in h.module_order.iter().enumerate() {
+        let w = h.module_widths[i];
+        let dw = h.door_widths[i];
+        if dw < MIN_DOOR_W {
+            fail(
+                &mut out,
+                "door-width",
+                format!("{room} door {dw:.2} m < {MIN_DOOR_W} m"),
+            );
+        }
+        let cx = h.door_fractions[i] * w;
+        if cx - dw / 2.0 < DOOR_CORNER_MARGIN || cx + dw / 2.0 > w - DOOR_CORNER_MARGIN {
+            fail(
+                &mut out,
+                "door-clearance",
+                format!("{room} door violates the {DOOR_CORNER_MARGIN} m corner clearance"),
+            );
+        }
+    }
+    {
+        let ai = h
+            .module_index(RoomId::Airlock)
+            .expect("airlock is a module");
+        let aw = h.module_widths[ai];
+        let dw = h.hangar_door_width;
+        if dw < MIN_DOOR_W {
+            fail(
+                &mut out,
+                "door-width",
+                format!("hangar door {dw:.2} m < {MIN_DOOR_W} m"),
+            );
+        }
+        let cx_local = h.hangar_door_fraction * aw;
+        if cx_local - dw / 2.0 < DOOR_CORNER_MARGIN || cx_local + dw / 2.0 > aw - DOOR_CORNER_MARGIN
+        {
+            fail(
+                &mut out,
+                "door-clearance",
+                "hangar door violates the airlock corner clearance".to_string(),
+            );
+        }
+        // The hangar rectangle must span its own door with clearance.
+        let cx = h.module_x(ai) + cx_local;
+        let (hx, _, hw, _) = h.hangar;
+        if cx - dw / 2.0 < hx + DOOR_CORNER_MARGIN || cx + dw / 2.0 > hx + hw - DOOR_CORNER_MARGIN {
+            fail(
+                &mut out,
+                "door-clearance",
+                "hangar rectangle does not span its door with clearance".to_string(),
+            );
+        }
+    }
+
+    // --- Zoning: incompatible adjacent modules ------------------------
+    for pair in h.module_order.windows(2) {
+        for &(a, b, label) in &INCOMPATIBLE_ADJACENT {
+            if (pair[0] == a && pair[1] == b) || (pair[0] == b && pair[1] == a) {
+                fail(
+                    &mut out,
+                    "zoning",
+                    format!("{} next to {} ({label} adjacency)", pair[0], pair[1]),
+                );
+            }
+        }
+    }
+
+    // --- Connectivity: every room reaches every other through doors ---
+    for &a in &RoomId::ALL {
+        for &b in &RoomId::ALL {
+            if plan.route(a, b).is_none() {
+                fail(&mut out, "connectivity", format!("no door route {a} → {b}"));
+            }
+        }
+    }
+
+    // --- Beacon coverage ----------------------------------------------
+    for (i, &room) in h.module_order.iter().enumerate() {
+        let (min, max) = plan.room_polygon(room).bounds();
+        let (w, hgt) = (max.x - min.x, max.y - min.y);
+        let pos: Vec<Point2> = h.peripheral_mounts[i]
+            .iter()
+            .map(|&(fx, fy)| Point2::new(min.x + fx * w, min.y + fy * hgt))
+            .collect();
+        for p in &pos {
+            if plan.room_at(*p) != Some(room) {
+                fail(&mut out, "beacons", format!("{room} mount {p} off-room"));
+            }
+        }
+        let cross = (pos[1] - pos[0]).cross(pos[2] - pos[0]);
+        if cross.abs() <= 0.5 {
+            fail(
+                &mut out,
+                "beacons",
+                format!("{room} beacons nearly collinear (cross {cross:.2})"),
+            );
+        }
+    }
+    if h.hall_mounts.len() < 3 {
+        fail(&mut out, "beacons", "main hall needs 3 beacons".to_string());
+    }
+
+    // --- Charging station inside the hall -----------------------------
+    let station = Point2::new(h.station.0, h.station.1);
+    if plan.room_at(station) != Some(RoomId::Main) {
+        fail(
+            &mut out,
+            "station",
+            format!("charging station {station} outside the main hall"),
+        );
+    }
+
+    // --- Crew ----------------------------------------------------------
+    if spec.crew.members.len() != 6 {
+        fail(
+            &mut out,
+            "crew",
+            format!("{} members, expected 6", spec.crew.members.len()),
+        );
+    } else {
+        for (i, m) in spec.crew.members.iter().enumerate() {
+            if m.id.index() != i {
+                fail(&mut out, "crew", format!("member {i} out of id order"));
+            }
+        }
+    }
+    if spec.crew.affinity.len() != 36 {
+        fail(&mut out, "crew", "affinity must be a 6×6 table".to_string());
+    } else {
+        for x in AstronautId::ALL {
+            for y in AstronautId::ALL {
+                let a = spec.crew.affinity[x.index() * 6 + y.index()];
+                let b = spec.crew.affinity[y.index() * 6 + x.index()];
+                if x == y && a != 0.0 {
+                    fail(&mut out, "crew", format!("affinity({x},{x}) must be 0"));
+                }
+                if a != b {
+                    fail(&mut out, "crew", format!("affinity({x},{y}) asymmetric"));
+                }
+                if !(0.0..=2.0).contains(&a) {
+                    fail(
+                        &mut out,
+                        "crew",
+                        format!("affinity({x},{y}) = {a} outside [0, 2]"),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- Schedule -------------------------------------------------------
+    let ex = spec.schedule.exercise_slot;
+    if ex >= SLOTS_PER_DAY || FRAME_SLOTS.contains(&ex) || (14..=17).contains(&ex) {
+        fail(
+            &mut out,
+            "schedule",
+            format!("exercise slot {ex} collides with the day frame or EVA block"),
+        );
+    }
+    for rooms in &spec.schedule.work_rooms {
+        for r in rooms {
+            if !WORK_ROOMS.contains(r) {
+                fail(&mut out, "schedule", format!("{r} is not a work room"));
+            }
+        }
+    }
+    for &(day, pair) in &spec.schedule.eva_days {
+        if day == 0 || day > MISSION_DAYS {
+            fail(&mut out, "schedule", format!("EVA day {day} out of range"));
+        }
+        if pair[0] == pair[1] {
+            fail(
+                &mut out,
+                "schedule",
+                format!("EVA day {day} pair not distinct"),
+            );
+        }
+    }
+
+    // --- Incidents ------------------------------------------------------
+    let death_days: Vec<u32> = spec
+        .incidents
+        .incidents()
+        .iter()
+        .filter_map(|i| match i {
+            Incident::Death { at, .. } => Some(at.mission_day()),
+            _ => None,
+        })
+        .collect();
+    for i in spec.incidents.incidents() {
+        if let Incident::SpeShelterDrill { at, shelter } = i {
+            let day = at.mission_day();
+            match Schedule::slot_at(*at) {
+                Some((_, slot)) if slot + 1 < SLOTS_PER_DAY => {}
+                _ => fail(
+                    &mut out,
+                    "incidents",
+                    format!("SPE drill at {at} must start in a daytime slot ≤ 26"),
+                ),
+            }
+            if death_days.contains(&day) {
+                fail(
+                    &mut out,
+                    "incidents",
+                    format!("SPE drill on day {day} collides with a scripted death"),
+                );
+            }
+            if matches!(shelter, RoomId::Hangar) {
+                fail(
+                    &mut out,
+                    "incidents",
+                    "the unpressurized hangar cannot be the storm shelter".to_string(),
+                );
+            }
+            if spec.schedule.eva_pair_on(day).is_some() {
+                fail(
+                    &mut out,
+                    "incidents",
+                    format!("SPE drill on day {day} collides with an EVA"),
+                );
+            }
+        }
+    }
+    for &(day, _) in &spec.schedule.eva_days {
+        if death_days.contains(&day) {
+            fail(
+                &mut out,
+                "incidents",
+                format!("EVA on day {day} collides with a scripted death"),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioSpec;
+
+    #[test]
+    fn lunares_reports_exactly_its_historical_zoning_violation() {
+        // The paper's own conclusion: the analog habitat's layout was
+        // suboptimal. The bedroom abuts the restroom — a sleep/hygiene
+        // zoning violation the validator must flag, and the only rule the
+        // canonical world breaks.
+        let v = validate(&ScenarioSpec::lunares());
+        assert_eq!(v.len(), 1, "violations: {v:?}");
+        assert_eq!(v[0].rule, "zoning");
+        assert!(v[0].detail.contains("bedroom") && v[0].detail.contains("restroom"));
+    }
+
+    #[test]
+    fn broken_specs_are_rejected() {
+        let mut s = ScenarioSpec::lunares();
+        s.habitat.door_widths[3] = 0.5;
+        assert!(
+            validate(&s).iter().any(|v| v.rule == "door-width"),
+            "narrow door must be flagged"
+        );
+
+        let mut s = ScenarioSpec::lunares();
+        s.habitat.door_fractions[2] = 0.02;
+        assert!(
+            validate(&s).iter().any(|v| v.rule == "door-clearance"),
+            "corner-hugging door must be flagged"
+        );
+
+        let mut s = ScenarioSpec::lunares();
+        s.crew.affinity[AstronautId::A.index() * 6 + AstronautId::B.index()] = 1.9;
+        assert!(
+            validate(&s).iter().any(|v| v.rule == "crew"),
+            "asymmetric affinity must be flagged"
+        );
+
+        let mut s = ScenarioSpec::lunares();
+        s.schedule.exercise_slot = 11; // lunch
+        assert!(
+            validate(&s).iter().any(|v| v.rule == "schedule"),
+            "frame-slot exercise must be flagged"
+        );
+    }
+}

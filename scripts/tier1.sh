@@ -34,11 +34,22 @@ echo "== tier1: fleet soak (sharded mission service at fleet scale) =="
 # fleet-determinism bit into the artifact.
 cargo run --release -q -p ares-bench --bin fleet_soak BENCH_pipeline.json
 
+echo "== tier1: scenario soak (seeded generated worlds through the slice) =="
+# Generates dozens of seeded scenarios (the property tests in
+# tests/scenario_properties.rs already ran under `cargo test` above),
+# validates each against the layout rulebook, and proves recording/analysis/
+# streaming bit-identity on the generated geometry; splices the scenario
+# count, worst field-cache resolved fraction and a determinism bit into the
+# artifact.
+cargo run --release -q -p ares-bench --bin scenario_soak BENCH_pipeline.json
+
 echo "== tier1: bench regression guard =="
 # One structured pass over the artifact replaces the old grep/sed stanzas:
-# determinism bits (engine, recording, fleet), recovery divergence, the
-# localize/speech/ingest throughput floors, and the >=1000 badge-day fleet
-# scale floor. Any violation is a build failure, not a number to eyeball.
+# determinism bits (engine, recording, fleet, scenario generation), recovery
+# divergence, the localize/speech/ingest throughput floors, the >=1000
+# badge-day fleet scale floor, and the >=25 validated-scenario floor with
+# its field-cache purity minimum. Any violation is a build failure, not a
+# number to eyeball.
 cargo run --release -q -p ares-bench --bin bench_guard BENCH_pipeline.json
 
 echo "== tier1: OK =="

@@ -15,6 +15,8 @@
 //!   environment.
 //! * [`crew`] — the six-astronaut behaviour simulator with the mission's
 //!   scripted incidents.
+//! * [`scenario`] — seeded scenario generation and the habitat-layout
+//!   validator; the canonical world is one spec among many.
 //! * [`badge`] — the badge device model: sensors, radios, drifting clocks,
 //!   storage and power.
 //! * [`sociometrics`] — **the core contribution**: the offline pipeline that
@@ -38,6 +40,7 @@ pub use ares_badge as badge;
 pub use ares_crew as crew;
 pub use ares_habitat as habitat;
 pub use ares_icares as icares;
+pub use ares_scenario as scenario;
 pub use ares_simkit as simkit;
 pub use ares_sociometrics as sociometrics;
 pub use ares_support as support;
