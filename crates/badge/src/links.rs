@@ -34,8 +34,37 @@ pub fn proximity_sweep(
     t_local: SimTime,
     rng: &mut impl Rng,
 ) -> Vec<ProximityObs> {
-    let params = world.sub_ghz.params();
     let mut out = Vec::new();
+    proximity_sweep_into(
+        world,
+        mode,
+        listener,
+        listener_pos,
+        listener_room,
+        units,
+        t_local,
+        rng,
+        &mut out,
+    );
+    out
+}
+
+/// [`proximity_sweep`] appending into a caller-owned buffer (not cleared), so
+/// the recording tick loop reuses one allocation across every sweep of a
+/// unit-day. Observation order and RNG consumption are identical.
+#[allow(clippy::too_many_arguments)]
+pub fn proximity_sweep_into(
+    world: &World,
+    mode: RfMode,
+    listener: BadgeId,
+    listener_pos: Point2,
+    listener_room: RoomId,
+    units: &[(BadgeId, Point2, RoomId)],
+    t_local: SimTime,
+    rng: &mut impl Rng,
+    out: &mut Vec<ProximityObs>,
+) {
+    let params = world.sub_ghz.params();
     for &(other, pos, other_room) in units {
         if other == listener {
             continue;
@@ -78,7 +107,6 @@ pub fn proximity_sweep(
             });
         }
     }
-    out
 }
 
 /// Samples an infrared exchange between two *worn* badges. Badges on desks
@@ -142,6 +170,46 @@ pub fn sync_attempt(
     };
     let d = world.station.distance(badge_pos);
     match world.ble.transmit_known_walls(d, walls, rng) {
+        Reception::Received(_) => Some(SyncSample {
+            t_local: clocks.clock(badge).local_time(t_true),
+            t_reference: clocks.reference().local_time(t_true),
+        }),
+        Reception::Lost => None,
+    }
+}
+
+/// The run-level half of [`sync_attempt`]: the station link's deterministic
+/// mean RSSI for a badge at `badge_pos`, hoisted once per dwell run. Feeding
+/// it to [`sync_attempt_with_mean`] reproduces [`sync_attempt`] bit-for-bit
+/// (the mean is exactly what `transmit_known_walls` would recompute).
+#[must_use]
+pub fn sync_link_mean(world: &World, mode: RfMode, badge_pos: Point2) -> f64 {
+    let walls = match mode {
+        RfMode::Cached => {
+            world
+                .field_cache()
+                .walls_from(&world.plan, world.station_source(), badge_pos)
+        }
+        RfMode::Exact => world.plan.walls_crossed(world.station, badge_pos),
+    };
+    let d = world.station.distance(badge_pos);
+    world.ble.params().mean_rssi(d, walls)
+}
+
+/// [`sync_attempt`] with the station-link mean already hoisted (see
+/// [`sync_link_mean`]). Same early-outs, draws and result.
+pub fn sync_attempt_with_mean(
+    world: &World,
+    clocks: &ClockSet,
+    badge: BadgeId,
+    mean: f64,
+    t_true: SimTime,
+    rng: &mut impl Rng,
+) -> Option<SyncSample> {
+    if badge == BadgeId::REFERENCE {
+        return None;
+    }
+    match world.ble.transmit_precomputed_mean(mean, rng) {
         Reception::Received(_) => Some(SyncSample {
             t_local: clocks.clock(badge).local_time(t_true),
             t_reference: clocks.reference().local_time(t_true),

@@ -10,7 +10,7 @@
 
 use crate::records::AudioFrame;
 use crate::world::{RfMode, World};
-use ares_crew::truth::{MissionTruth, SpeechSegment};
+use ares_crew::truth::{MissionTruth, PathCursor, SpeechSegment};
 use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::Point2;
 use ares_simkit::time::{SimDuration, SimTime};
@@ -210,6 +210,81 @@ impl MicSampler {
             f0_hz: f0,
         }
     }
+
+    /// [`MicSampler::frame`] for the run-length batched recording kernel:
+    /// the room's ambient floor is hoisted per run (`noise_floor` must be
+    /// [`MicModel::noise_floor`]`(badge_room)`), and speaker positions come
+    /// from monotone [`PathCursor`]s (indexed by astronaut) instead of a
+    /// per-segment binary search. Both substitutions are bit-identical, so
+    /// the frame and its RNG consumption match the scalar path exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn frame_batched(
+        &self,
+        world: &World,
+        mode: RfMode,
+        speakers: &mut [PathCursor<'_>],
+        noise_floor: f64,
+        badge_pos: Point2,
+        badge_room: RoomId,
+        t_true: SimTime,
+        t_local: SimTime,
+        active: &[&SpeechSegment],
+        rng: &mut impl Rng,
+    ) -> AudioFrame {
+        let noise = noise_floor + self.noise_adjust_db + self.noise.sample(rng);
+        let mut best: Option<(f64, f64)> = None; // (level, f0)
+        for seg in active {
+            let Some(pos) = speakers[seg.source.located_with().index()].position(t_true) else {
+                continue;
+            };
+            let d = pos.distance(badge_pos).max(0.3);
+            let spread = seg.level_db - 20.0 * d.log10();
+            let level = match mode {
+                // Convex rooms: zero wall crossings by construction.
+                RfMode::Cached if world.room_in_mode(pos, mode) == badge_room => spread,
+                RfMode::Cached => {
+                    let speaker_room = world.room_in_mode(pos, mode);
+                    let bound = spread
+                        - world.plan.wall_floor(speaker_room, badge_room) as f64
+                            * self.model.wall_loss_db;
+                    if bound - self.muffle_db <= noise {
+                        // Provably cannot beat ambient noise: skip the wall
+                        // scan (output-identical, see type docs).
+                        continue;
+                    }
+                    spread
+                        - world.plan.walls_crossed(pos, badge_pos) as f64 * self.model.wall_loss_db
+                }
+                // The honest baseline: a wall scan per segment per frame.
+                RfMode::Exact => {
+                    spread
+                        - world.plan.walls_crossed(pos, badge_pos) as f64 * self.model.wall_loss_db
+                }
+            };
+            if best.is_none_or(|(b, _)| level > b) {
+                best = Some((level, seg.f0_hz));
+            }
+        }
+        let muffle = self.muffle_db;
+        let (mut level, voiced, f0) = match best {
+            Some((speech, f0))
+                if speech - muffle > noise + self.model.voiced_margin_db
+                    && speech - muffle > self.model.voiced_floor_db =>
+            {
+                let f0_est = f0 + self.f0.sample(rng);
+                (speech - muffle, true, Some(f0_est))
+            }
+            Some((speech, _)) => ((speech - muffle).max(noise), false, None),
+            None => (noise, false, None),
+        };
+        level += self.wobble.sample(rng);
+        AudioFrame {
+            t_local,
+            level_db: level,
+            voiced,
+            f0_hz: f0,
+        }
+    }
 }
 
 /// Gathers the speech segments overlapping a frame from a pre-sorted slice,
@@ -238,6 +313,32 @@ pub fn active_segments<'a>(
         i += 1;
     }
     out
+}
+
+/// [`active_segments`] writing into a caller-owned buffer, so the tick loop
+/// allocates nothing: `out` is cleared and refilled with the same segments in
+/// the same order.
+pub fn active_segments_into<'a>(
+    speech: &'a [SpeechSegment],
+    cursor: &mut usize,
+    frame_start: SimTime,
+    frame_len: SimDuration,
+    out: &mut Vec<&'a SpeechSegment>,
+) {
+    out.clear();
+    let frame_end = frame_start + frame_len;
+    while *cursor < speech.len()
+        && speech[*cursor].interval.end + SimDuration::from_secs(15) < frame_start
+    {
+        *cursor += 1;
+    }
+    let mut i = *cursor;
+    while i < speech.len() && speech[i].interval.start < frame_end {
+        if speech[i].interval.end > frame_start {
+            out.push(&speech[i]);
+        }
+        i += 1;
+    }
 }
 
 #[cfg(test)]

@@ -12,25 +12,36 @@
 //! RNG stream. Because no randomness is shared across units, the per-unit
 //! jobs can fan out across worker threads and the merged result is
 //! bit-identical to the sequential order for any worker count.
+//!
+//! The per-unit replay is a **run-length batched kernel**: astronauts dwell,
+//! so a unit's `(position, room)` is constant for long stretches of
+//! consecutive ticks. All geometry derived from the dwell point — the scan
+//! plan (candidate beacons with lane-batched mean RSSI), the station sync
+//! link's mean, the room's ambient noise floor — is hoisted to the run
+//! boundary, and the tick loop only performs the draws. Every hoisted value
+//! is exactly what the scalar path would recompute per tick, and the culls
+//! only skip packets the channel would reject *before* drawing, so the
+//! recorded bytes and the RNG stream are bit-identical to the retained
+//! scalar reference ([`Recorder::record_day_stores_scalar`]).
 
 use crate::clockdrift::{ClockSet, UNIT_COUNT};
 use crate::links;
 use crate::mic::{self, MicModel, MicSampler};
-use crate::records::{BadgeId, BadgeLog, MissionRecording, SamplingConfig};
+use crate::records::{BadgeId, BadgeLog, MissionRecording, ProximityObs, SamplingConfig};
 use crate::scanner;
 use crate::sensors::{EnvSampler, ImuModel, ImuSampler};
 use crate::storage::StorageMeter;
 use crate::telemetry::TelemetryStore;
 use crate::world::{RfMode, World};
 use ares_crew::roster::{AstronautId, Roster};
-use ares_crew::truth::{MissionTruth, SpeechSegment, WearState};
+use ares_crew::truth::{MissionTruth, PathCursor, SpeechSegment, WearState};
 use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::Point2;
 use ares_simkit::rng::SeedTree;
 use ares_simkit::time::{SimDuration, SimTime};
 use rand::Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 /// Mission-wide recording context.
 #[derive(Debug)]
@@ -46,6 +57,18 @@ pub struct Recorder<'a> {
     muffled_days: Vec<u32>,
 }
 
+/// One unit's resolved state at one master tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct UnitTick {
+    pos: Point2,
+    wear: WearState,
+    /// Room under the recorder's RF mode.
+    room: RoomId,
+    /// Raw `is_walking` of the carrier (false for uncarried units); the
+    /// kernel still ANDs it with `wear.is_worn()` like the scalar path.
+    walking: bool,
+}
+
 /// Shared per-day context, computed once before the per-unit fan-out.
 struct DayPrecomp {
     day: u32,
@@ -55,9 +78,17 @@ struct DayPrecomp {
     noise_adjust: f64,
     day_speech: Vec<SpeechSegment>,
     carriers: Vec<Option<AstronautId>>,
-    /// Tick-major daytime table: `states[tick][unit]` = (position, wear,
-    /// room). Rooms are resolved under the recorder's RF mode.
-    states: Vec<Vec<(Point2, WearState, RoomId)>>,
+    ticks: usize,
+    /// Flat tick-major SoA table: unit `u` at tick `k` is
+    /// `states[k * UNIT_COUNT + u]`.
+    states: Vec<UnitTick>,
+}
+
+impl DayPrecomp {
+    /// All units' states at tick `k`.
+    fn tick_states(&self, k: usize) -> &[UnitTick] {
+        &self.states[k * UNIT_COUNT..(k + 1) * UNIT_COUNT]
+    }
 }
 
 impl<'a> Recorder<'a> {
@@ -137,7 +168,8 @@ impl<'a> Recorder<'a> {
     ///
     /// Each unit draws from its own seeded stream, so the result is
     /// bit-identical to [`record_day_stores`] for any worker count; the
-    /// canonical unit order is restored by slot-indexed merging.
+    /// canonical unit order is restored by slot-indexed merging (write-once
+    /// slots — no locks, no copies on merge).
     ///
     /// [`record_day_stores`]: Recorder::record_day_stores
     #[must_use]
@@ -149,8 +181,8 @@ impl<'a> Recorder<'a> {
                 .map(|i| self.record_unit_day(&pre, i))
                 .collect()
         } else {
-            let slots: Vec<Mutex<Option<TelemetryStore>>> =
-                (0..UNIT_COUNT).map(|_| Mutex::new(None)).collect();
+            let slots: Vec<OnceLock<TelemetryStore>> =
+                (0..UNIT_COUNT).map(|_| OnceLock::new()).collect();
             let cursor = AtomicUsize::new(0);
             crossbeam::scope(|s| {
                 for _ in 0..workers {
@@ -159,27 +191,43 @@ impl<'a> Recorder<'a> {
                         if i >= UNIT_COUNT {
                             break;
                         }
-                        *slots[i].lock().expect("unshared slot") =
-                            Some(self.record_unit_day(&pre, i));
+                        slots[i]
+                            .set(self.record_unit_day(&pre, i))
+                            .expect("unshared slot");
                     });
                 }
             });
             slots
                 .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("unshared slot")
-                        .expect("every unit ran")
-                })
+                .map(|slot| slot.into_inner().expect("every unit ran"))
                 .collect()
         };
+        self.finish_day(&pre, &mut stores);
+        stores
+    }
 
+    /// Records one mission day with the pre-batching per-tick loop — the
+    /// reference implementation retained as the bit-identity oracle for the
+    /// run-length batched kernel (equivalence tests and `scenario_soak`
+    /// compare against it).
+    #[must_use]
+    pub fn record_day_stores_scalar(&self, day: u32) -> Vec<TelemetryStore> {
+        let pre = self.precompute_day(day);
+        let mut stores: Vec<TelemetryStore> = (0..UNIT_COUNT)
+            .map(|i| self.record_unit_day_scalar(&pre, i))
+            .collect();
+        self.finish_day(&pre, &mut stores);
+        stores
+    }
+
+    /// The shared post-merge steps: IR mirroring and storage accounting.
+    fn finish_day(&self, pre: &DayPrecomp, stores: &mut [TelemetryStore]) {
         // IR contacts are recorded on the lower-id unit only so far; mirror
         // them onto the partner, stamped with the partner's own clock at the
         // same true instant. The partner's stamp can land out of time order;
         // the column's sorted insert repairs that on append.
         let mut mirrored: Vec<(usize, crate::records::IrContact)> = Vec::new();
-        for store in &stores {
+        for store in stores.iter() {
             for (t_local, c) in store.ir.view().iter() {
                 let t_true = self.clocks.clock(store.badge).true_time(t_local);
                 mirrored.push((
@@ -206,13 +254,15 @@ impl<'a> Recorder<'a> {
             }
             store.bytes_written = meter.bytes();
         }
-
-        stores
     }
 
     /// Resolves everything the per-unit jobs share: the day's constants, the
     /// speech overlapping the duty window, and every unit's position, wear
-    /// state and room at each master tick.
+    /// state, room and walking flag at each master tick.
+    ///
+    /// The per-tick lookups run behind monotone cursors (amortized O(1) per
+    /// tick instead of a binary search), which is bit-identical to the plain
+    /// `Series`/`IntervalSet` lookups for the tick loop's ordered times.
     fn precompute_day(&self, day: u32) -> DayPrecomp {
         let start = SimTime::from_day_hms(day, 7, 0, 0);
         let duty_end = SimTime::from_day_hms(day, 21, 0, 0);
@@ -234,31 +284,50 @@ impl<'a> Recorder<'a> {
             .collect();
         let tick = SimDuration::from_secs(1);
         let ticks = ((duty_end - start).as_micros() / tick.as_micros()) as usize;
-        let mut states = Vec::with_capacity(ticks);
-        let mut t = start;
-        while t < duty_end {
-            // Same as `World::badge_position`/`badge_wear`, with the
-            // day-constant carrier lookup hoisted out of the tick loop.
-            states.push(
-                carriers
-                    .iter()
-                    .map(|&carrier| {
-                        let (pos, wear) = match carrier {
-                            Some(c) => {
-                                let a = self.truth.of(c);
-                                (
-                                    a.badge_position(t, self.world.station)
-                                        .unwrap_or(self.world.station),
-                                    a.wear_state(t),
-                                )
-                            }
-                            None => (self.world.station, WearState::Docked),
-                        };
-                        (pos, wear, self.world.room_in_mode(pos, self.rf_mode))
-                    })
-                    .collect(),
-            );
-            t += tick;
+        let station_room = self.world.room_in_mode(self.world.station, self.rf_mode);
+        let docked = UnitTick {
+            pos: self.world.station,
+            wear: WearState::Docked,
+            room: station_room,
+            walking: false,
+        };
+        let mut states = vec![docked; ticks * UNIT_COUNT];
+        for (u, carrier) in carriers.iter().enumerate() {
+            // Uncarried units sit docked at the station all day — the fill
+            // value already says so.
+            let Some(c) = carrier else { continue };
+            let a = self.truth.of(*c);
+            let mut wear_cur = a.wear.cursor();
+            let mut path_cur = a.path_cursor();
+            let mut walk_cur = a.walking.cursor();
+            let mut prev_pos = Point2::new(f64::NAN, f64::NAN);
+            let mut prev_room = station_room;
+            let mut t = start;
+            for k in 0..ticks {
+                // Same as `World::badge_position`/`badge_wear` with the
+                // carrier hoisted; rooms are reused across ticks at the same
+                // position (the lookup is a pure function of it).
+                let wear = wear_cur.at(t).map_or(WearState::Docked, |s| s.value);
+                let pos = match wear {
+                    WearState::Worn => path_cur.position(t).unwrap_or(self.world.station),
+                    WearState::LeftAt(p) => p,
+                    WearState::Docked => self.world.station,
+                };
+                let room = if pos == prev_pos {
+                    prev_room
+                } else {
+                    self.world.room_in_mode(pos, self.rf_mode)
+                };
+                prev_pos = pos;
+                prev_room = room;
+                states[k * UNIT_COUNT + u] = UnitTick {
+                    pos,
+                    wear,
+                    room,
+                    walking: walk_cur.contains(t),
+                };
+                t += tick;
+            }
         }
         DayPrecomp {
             day,
@@ -268,12 +337,15 @@ impl<'a> Recorder<'a> {
             noise_adjust,
             day_speech,
             carriers,
+            ticks,
             states,
         }
     }
 
     /// Records one unit's full day (duty + overnight) on the unit's own
-    /// seeded stream. No randomness is shared with other units.
+    /// seeded stream with the run-length batched kernel. No randomness is
+    /// shared with other units; bytes are bit-identical to
+    /// [`Recorder::record_unit_day_scalar`].
     fn record_unit_day(&self, pre: &DayPrecomp, idx: usize) -> TelemetryStore {
         let unit = BadgeId(idx as u8);
         let mut rng = self
@@ -299,14 +371,229 @@ impl<'a> Recorder<'a> {
             let muffled = carrier == Some(AstronautId::A) && self.muffled_days.contains(&pre.day);
             let imu = ImuSampler::new(ImuModel::default(), energy);
             let mic_sampler = MicSampler::new(MicModel::default(), pre.noise_adjust, muffled);
+
+            // Monotone cursors. Speech speakers and wearer facings need
+            // separate cursor sets: audio frames advance past the tick
+            // instant before the IR block reads it.
+            let mut speakers: Vec<PathCursor<'_>> = self
+                .truth
+                .astronauts
+                .iter()
+                .map(ares_crew::truth::AstronautTruth::path_cursor)
+                .collect();
+            let mut facings: Vec<Option<PathCursor<'_>>> = pre
+                .carriers
+                .iter()
+                .map(|c| c.map(|c| self.truth.of(c).path_cursor()))
+                .collect();
+
+            // Scratch buffers (allocated once per unit-day) and the per-run
+            // hoisted state, rebuilt whenever the unit's position changes.
+            let mut scan_plan: Vec<scanner::ScanPlanEntry> = Vec::new();
+            let mut dist_scratch: Vec<f64> = Vec::new();
+            let mut wall_scratch: Vec<f64> = Vec::new();
+            let mut mean_scratch: Vec<f64> = Vec::new();
+            let mut active_buf: Vec<&SpeechSegment> = Vec::new();
+            let mut prox_units: Vec<(BadgeId, Point2, RoomId)> = Vec::with_capacity(UNIT_COUNT);
+            let mut prox_obs: Vec<ProximityObs> = Vec::new();
+            let mut run_pos = Point2::new(f64::NAN, f64::NAN);
+            let mut sync_mean = 0.0f64;
+            let mut noise_floor = 0.0f64;
+
+            let af = self.config.audio_frame.as_micros();
+            let frames_per_tick = (tick.as_micros() / af).max(1);
             let mut speech_cursor = 0usize;
             let mut t = pre.start;
-            for tick_states in &pre.states {
-                let (pos, wear, room) = tick_states[idx];
+            for k in 0..pre.ticks {
+                let tick_states = pre.tick_states(k);
+                let ut = tick_states[idx];
                 let elapsed = (t - pre.start).as_micros();
                 let t_local = clock.local_time(t);
+                if ut.pos != run_pos {
+                    // New dwell run: one geometry resolution for the whole
+                    // run (NaN sentinel forces a build on the first tick).
+                    run_pos = ut.pos;
+                    scanner::scan_plan_into(
+                        self.world,
+                        self.rf_mode,
+                        ut.room,
+                        ut.pos,
+                        &mut scan_plan,
+                        &mut dist_scratch,
+                        &mut wall_scratch,
+                        &mut mean_scratch,
+                    );
+                    sync_mean = links::sync_link_mean(self.world, self.rf_mode, ut.pos);
+                    noise_floor = MicModel::noise_floor(ut.room);
+                }
                 // A docked badge (EVA, exercise, forgotten on the charger)
                 // pauses full sampling; environment and sync continue below.
+                let sampling = carrier.is_some() && !matches!(ut.wear, WearState::Docked);
+                if sampling {
+                    // BLE scan: replay the run's plan, draws only.
+                    if elapsed % self.config.scan_period.as_micros() == 0 {
+                        store.push_scan(scanner::scan_from_plan(
+                            self.world, &scan_plan, t_local, &mut rng,
+                        ));
+                    }
+                    // IMU window (walking flag precomputed per tick).
+                    if elapsed % self.config.imu_window.as_micros() == 0 {
+                        let walking = ut.walking && ut.wear.is_worn();
+                        store.push_imu(imu.sample(t_local, ut.wear, walking, &mut rng));
+                    }
+                    // Audio frames (two per second at the default config).
+                    if elapsed % af == 0 {
+                        mic::active_segments_into(
+                            &pre.day_speech,
+                            &mut speech_cursor,
+                            t,
+                            tick,
+                            &mut active_buf,
+                        );
+                        for f in 0..frames_per_tick {
+                            let ft = t + SimDuration::from_micros(f * af);
+                            store.push_audio(mic_sampler.frame_batched(
+                                self.world,
+                                self.rf_mode,
+                                &mut speakers,
+                                noise_floor,
+                                ut.pos,
+                                ut.room,
+                                ft,
+                                clock.local_time(ft),
+                                &active_buf,
+                                &mut rng,
+                            ));
+                        }
+                    }
+                    // Proximity sweep (scratch buffers, no per-sweep
+                    // allocation).
+                    if elapsed % self.config.proximity_period.as_micros() == 0 {
+                        prox_units.clear();
+                        prox_units.extend(
+                            tick_states
+                                .iter()
+                                .enumerate()
+                                .map(|(j, s)| (BadgeId(j as u8), s.pos, s.room)),
+                        );
+                        prox_obs.clear();
+                        links::proximity_sweep_into(
+                            self.world,
+                            self.rf_mode,
+                            unit,
+                            ut.pos,
+                            ut.room,
+                            &prox_units,
+                            t_local,
+                            &mut rng,
+                            &mut prox_obs,
+                        );
+                        for o in prox_obs.drain(..) {
+                            store.push_proximity(o);
+                        }
+                    }
+                    // Infrared exchanges (only toward higher unit ids to
+                    // sample each pair once; mirrored onto the partner after
+                    // the merge). An unworn badge faces nobody, so the whole
+                    // block is skipped — the scalar path would `continue` on
+                    // every pair with no draws either way. Wear states come
+                    // from the precomputed table and facings from the
+                    // monotone cursors instead of `worn_facing`'s per-call
+                    // carrier inversion; the values are identical.
+                    if elapsed % self.config.ir_period.as_micros() == 0 && ut.wear.is_worn() {
+                        for (j, other) in tick_states.iter().enumerate().skip(idx + 1) {
+                            if pre.carriers[j].is_none() {
+                                continue;
+                            }
+                            if ut.pos.distance(other.pos) > self.world.ir.range_m {
+                                continue;
+                            }
+                            if !other.wear.is_worn() {
+                                continue;
+                            }
+                            let fa = facings[idx].as_mut().and_then(|c| c.facing(t));
+                            let fb = facings[j].as_mut().and_then(|c| c.facing(t));
+                            let (Some(fa), Some(fb)) = (fa, fb) else {
+                                continue;
+                            };
+                            if links::ir_exchange(
+                                self.world,
+                                self.rf_mode,
+                                ut.pos,
+                                fa,
+                                ut.wear,
+                                ut.room,
+                                other.pos,
+                                fb,
+                                other.wear,
+                                other.room,
+                                &mut rng,
+                            ) {
+                                let contact = crate::records::IrContact {
+                                    t_local,
+                                    other: BadgeId(j as u8),
+                                };
+                                store.push_ir(contact);
+                            }
+                        }
+                    }
+                }
+                // Environment (all active units, including reference/backups).
+                if elapsed % self.config.env_period.as_micros() == 0 {
+                    store.push_env(env.sample(self.world, ut.room, t, t_local, &mut rng));
+                }
+                // Sync attempts, against the run's hoisted station-link mean
+                // (the reference unit never syncs to itself and never draws).
+                if elapsed % self.config.sync_period.as_micros() == 0 {
+                    if let Some(s) = links::sync_attempt_with_mean(
+                        self.world,
+                        &self.clocks,
+                        unit,
+                        sync_mean,
+                        t,
+                        &mut rng,
+                    ) {
+                        store.push_sync(s);
+                    }
+                }
+                t += tick;
+            }
+        }
+
+        self.record_unit_overnight(pre, unit, clock, &env, &mut rng, &mut store);
+        store
+    }
+
+    /// Records one unit's full day with the pre-batching per-tick loop (the
+    /// bit-identity oracle for [`Recorder::record_unit_day`]).
+    fn record_unit_day_scalar(&self, pre: &DayPrecomp, idx: usize) -> TelemetryStore {
+        let unit = BadgeId(idx as u8);
+        let mut rng = self
+            .seed
+            .child("badge")
+            .stream_indexed("recorder-unit-day", (u64::from(pre.day) << 8) | idx as u64);
+        let mut store = TelemetryStore::new(unit);
+        let clock = self.clocks.clock(unit);
+        let carrier = pre.carriers[idx];
+        let active_unit = carrier.is_some() || unit == BadgeId::REFERENCE;
+        let tick = SimDuration::from_secs(1);
+        let env = EnvSampler::default();
+
+        if active_unit || matches!(unit, BadgeId(6..=11)) {
+            let energy = carrier
+                .map(|c| 0.8 + 0.4 * self.roster.member(c).profile.mobility)
+                .unwrap_or(1.0);
+            let muffled = carrier == Some(AstronautId::A) && self.muffled_days.contains(&pre.day);
+            let imu = ImuSampler::new(ImuModel::default(), energy);
+            let mic_sampler = MicSampler::new(MicModel::default(), pre.noise_adjust, muffled);
+            let mut speech_cursor = 0usize;
+            let mut t = pre.start;
+            for k in 0..pre.ticks {
+                let tick_states = pre.tick_states(k);
+                let ut = tick_states[idx];
+                let (pos, wear, room) = (ut.pos, ut.wear, ut.room);
+                let elapsed = (t - pre.start).as_micros();
+                let t_local = clock.local_time(t);
                 let sampling = carrier.is_some() && !matches!(wear, WearState::Docked);
                 if sampling {
                     // BLE scan.
@@ -333,8 +620,8 @@ impl<'a> Recorder<'a> {
                         let frames_per_tick = (tick.as_micros() / af).max(1);
                         let active =
                             mic::active_segments(&pre.day_speech, &mut speech_cursor, t, tick);
-                        for k in 0..frames_per_tick {
-                            let ft = t + SimDuration::from_micros(k * af);
+                        for f in 0..frames_per_tick {
+                            let ft = t + SimDuration::from_micros(f * af);
                             store.push_audio(mic_sampler.frame(
                                 self.world,
                                 self.rf_mode,
@@ -353,7 +640,7 @@ impl<'a> Recorder<'a> {
                         let units: Vec<(BadgeId, Point2, RoomId)> = tick_states
                             .iter()
                             .enumerate()
-                            .map(|(j, &(p, _, r))| (BadgeId(j as u8), p, r))
+                            .map(|(j, s)| (BadgeId(j as u8), s.pos, s.room))
                             .collect();
                         for o in links::proximity_sweep(
                             self.world,
@@ -372,19 +659,17 @@ impl<'a> Recorder<'a> {
                     // sample each pair once; mirrored onto the partner after
                     // the merge).
                     if elapsed % self.config.ir_period.as_micros() == 0 {
-                        for (j, &(opos, owear, oroom)) in
-                            tick_states.iter().enumerate().skip(idx + 1)
-                        {
-                            let other = BadgeId(j as u8);
+                        for (j, other) in tick_states.iter().enumerate().skip(idx + 1) {
+                            let other_id = BadgeId(j as u8);
                             if pre.carriers[j].is_none() {
                                 continue;
                             }
-                            if pos.distance(opos) > self.world.ir.range_m {
+                            if pos.distance(other.pos) > self.world.ir.range_m {
                                 continue;
                             }
                             let (Some(fa), Some(fb)) = (
                                 links::worn_facing(self.world, unit, t, self.truth),
-                                links::worn_facing(self.world, other, t, self.truth),
+                                links::worn_facing(self.world, other_id, t, self.truth),
                             ) else {
                                 continue;
                             };
@@ -395,13 +680,16 @@ impl<'a> Recorder<'a> {
                                 fa,
                                 wear,
                                 room,
-                                opos,
+                                other.pos,
                                 fb,
-                                owear,
-                                oroom,
+                                other.wear,
+                                other.room,
                                 &mut rng,
                             ) {
-                                store.push_ir(crate::records::IrContact { t_local, other });
+                                store.push_ir(crate::records::IrContact {
+                                    t_local,
+                                    other: other_id,
+                                });
                             }
                         }
                     }
@@ -428,30 +716,37 @@ impl<'a> Recorder<'a> {
             }
         }
 
-        // --- Overnight: docked sampling (sparse) + dense sync ------------
+        self.record_unit_overnight(pre, unit, clock, &env, &mut rng, &mut store);
+        store
+    }
+
+    /// The overnight tail shared by both kernels: docked sampling (sparse)
+    /// plus dense sync at the charger. Continues on the unit-day's RNG
+    /// stream, so it must run after the daytime draws.
+    fn record_unit_overnight(
+        &self,
+        pre: &DayPrecomp,
+        unit: BadgeId,
+        clock: &ares_simkit::clock::DriftingClock,
+        env: &EnvSampler,
+        rng: &mut impl Rng,
+        store: &mut TelemetryStore,
+    ) {
         let mut tn = pre.duty_end;
         while tn < pre.night_end {
             let pos = self.world.badge_position(unit, tn, self.truth);
             let t_local = clock.local_time(tn);
             if (tn - pre.duty_end).as_micros() % self.config.env_period.as_micros() == 0 {
                 let room = self.world.room_in_mode(pos, self.rf_mode);
-                store.push_env(env.sample(self.world, room, tn, t_local, &mut rng));
+                store.push_env(env.sample(self.world, room, tn, t_local, rng));
             }
-            if let Some(s) = links::sync_attempt(
-                self.world,
-                self.rf_mode,
-                &self.clocks,
-                unit,
-                pos,
-                tn,
-                &mut rng,
-            ) {
+            if let Some(s) =
+                links::sync_attempt(self.world, self.rf_mode, &self.clocks, unit, pos, tn, rng)
+            {
                 store.push_sync(s);
             }
             tn += self.config.sync_period;
         }
-
-        store
     }
 
     /// Records the instrumented portion of the mission (days 2–14; badges
@@ -558,6 +853,22 @@ mod tests {
         let total: usize = day.logs.iter().map(|l| l.ir.len()).sum();
         assert!(total > 0, "some IR contacts on a normal day");
         assert_eq!(total % 2, 0, "contacts recorded pairwise");
+    }
+
+    #[test]
+    fn batched_kernel_matches_the_scalar_oracle() {
+        let (world, roster, truth) = setup();
+        let rec = Recorder::new(
+            &world,
+            &roster,
+            &truth,
+            SamplingConfig::default(),
+            SeedTree::new(99),
+        );
+        // Day 2 includes the A/B badge swap, so carrier hoisting is covered.
+        let batched = rec.record_day_stores(2);
+        assert_eq!(batched, rec.record_day_stores_scalar(2));
+        assert_eq!(batched, rec.record_day_stores_parallel(2, 2));
     }
 
     #[test]

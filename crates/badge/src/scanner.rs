@@ -71,6 +71,106 @@ pub fn scan_in(
     BeaconScan { t_local, hits }
 }
 
+/// One audible beacon in a [`scan plan`](scan_plan_into): its id and the
+/// precomputed deterministic mean RSSI at the planned badge position.
+pub type ScanPlanEntry = (ares_habitat::beacons::BeaconId, f64);
+
+/// Builds the per-run scan plan for a badge dwelling at `(badge_room,
+/// badge_pos)`: every candidate beacon [`scan_in`] would consider, in the
+/// same order, with its mean RSSI precomputed — minus the candidates whose
+/// mean is so deep below sensitivity that [`transmit_known_walls`] would
+/// return `Lost` *before drawing any randomness*. Replaying the plan with
+/// [`scan_from_plan`] therefore consumes the identical RNG stream and emits
+/// bit-identical scans, while the tick loop no longer touches geometry.
+///
+/// Means are computed through the lane-batched
+/// [`mean_rssi_batch`](ares_habitat::rf::ChannelParams::mean_rssi_batch),
+/// which is bit-identical to the scalar per-candidate computation.
+///
+/// [`transmit_known_walls`]: ares_habitat::rf::Channel::transmit_known_walls
+#[allow(clippy::too_many_arguments)]
+pub fn scan_plan_into(
+    world: &World,
+    mode: RfMode,
+    badge_room: RoomId,
+    badge_pos: Point2,
+    plan: &mut Vec<ScanPlanEntry>,
+    dist_scratch: &mut Vec<f64>,
+    wall_scratch: &mut Vec<f64>,
+    mean_scratch: &mut Vec<f64>,
+) {
+    plan.clear();
+    dist_scratch.clear();
+    wall_scratch.clear();
+    let mut push_candidate = |beacon: &ares_habitat::beacons::Beacon, walls: usize| {
+        plan.push((beacon.id, 0.0));
+        dist_scratch.push(beacon.position.distance(badge_pos));
+        wall_scratch.push(walls as f64);
+    };
+    match mode {
+        RfMode::Cached => {
+            let cache = world.field_cache();
+            for &bi in cache.candidates(badge_room) {
+                let beacon = &world.beacons.beacons()[bi as usize];
+                let walls = if beacon.room == badge_room {
+                    0
+                } else {
+                    cache.walls_from(&world.plan, bi as usize, badge_pos)
+                };
+                push_candidate(beacon, walls);
+            }
+        }
+        RfMode::Exact => {
+            for beacon in candidate_beacons(world, badge_room) {
+                let walls = if beacon.room == badge_room {
+                    0
+                } else {
+                    world.plan.walls_crossed(beacon.position, badge_pos)
+                };
+                push_candidate(beacon, walls);
+            }
+        }
+    }
+    mean_scratch.resize(plan.len(), 0.0);
+    world
+        .ble
+        .params()
+        .mean_rssi_batch(dist_scratch, wall_scratch, mean_scratch);
+    let sigma6 = 6.0 * world.ble.params().shadowing_sigma_db;
+    let sensitivity = world.ble.params().sensitivity_dbm;
+    let mut kept = 0;
+    for i in 0..plan.len() {
+        let mean = mean_scratch[i];
+        // Same pre-draw early-out as `transmit_known_walls`: these
+        // candidates are Lost without consuming randomness, so dropping
+        // them from the plan leaves the RNG stream untouched.
+        if mean + sigma6 < sensitivity {
+            continue;
+        }
+        plan[kept] = (plan[i].0, mean);
+        kept += 1;
+    }
+    plan.truncate(kept);
+}
+
+/// Replays one scan tick against a precomputed plan: one reception draw per
+/// audible candidate, in plan order. Paired with [`scan_plan_into`], emits
+/// exactly what [`scan_in`] would at the planned position.
+pub fn scan_from_plan(
+    world: &World,
+    plan: &[ScanPlanEntry],
+    t_local: SimTime,
+    rng: &mut impl Rng,
+) -> BeaconScan {
+    let mut hits = Vec::new();
+    for &(id, mean) in plan {
+        if let Reception::Received(rssi) = world.ble.transmit_precomputed_mean(mean, rng) {
+            hits.push((id, rssi));
+        }
+    }
+    BeaconScan { t_local, hits }
+}
+
 /// The beacons that could conceivably be heard from a room: its own plus
 /// those of door-adjacent rooms (leakage through doorways).
 fn candidate_beacons(
@@ -131,6 +231,54 @@ mod tests {
                 .count();
         }
         assert!(foreign > 0, "no doorway leakage observed");
+    }
+
+    #[test]
+    fn scan_plan_replay_is_bit_identical_near_cell_boundaries() {
+        // The plan is built once per dwell run, so it must reproduce
+        // `scan_in` exactly even when the badge sits right on a field-cache
+        // cell edge — where `walls_from` answers flip between neighbours.
+        let world = World::icares();
+        let cell = ares_habitat::fieldcache::CELL_M;
+        let offsets = [
+            -cell,
+            -cell + 1e-9,
+            -1e-9,
+            0.0,
+            1e-9,
+            cell / 2.0,
+            cell - 1e-9,
+            cell,
+        ];
+        let mut plan = Vec::new();
+        let (mut dist, mut walls, mut means) = (Vec::new(), Vec::new(), Vec::new());
+        let mut case = 0u64;
+        for room in RoomId::ALL {
+            let center = world.plan.room_center(room);
+            // Snap to the cell grid so the offsets actually straddle edges.
+            let snapped = Point2::new(
+                (center.x / cell).round() * cell,
+                (center.y / cell).round() * cell,
+            );
+            for dx in offsets {
+                for dy in offsets {
+                    let pos = Point2::new(snapped.x + dx, snapped.y + dy);
+                    for mode in [RfMode::Cached, RfMode::Exact] {
+                        let badge_room = world.room_in_mode(pos, mode);
+                        scan_plan_into(
+                            &world, mode, badge_room, pos, &mut plan, &mut dist, &mut walls,
+                            &mut means,
+                        );
+                        let seed = SeedTree::new(1234).stream_indexed("cell-edge", case);
+                        case += 1;
+                        let t = SimTime::from_secs(case as i64);
+                        let via_plan = scan_from_plan(&world, &plan, t, &mut seed.clone());
+                        let direct = scan_in(&world, mode, badge_room, pos, t, &mut seed.clone());
+                        assert_eq!(via_plan, direct, "{mode:?} at ({}, {})", pos.x, pos.y);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

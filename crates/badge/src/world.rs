@@ -13,7 +13,7 @@ use ares_habitat::rf::{Channel, ChannelParams, InfraredParams};
 use ares_habitat::rooms::RoomId;
 use ares_simkit::geometry::Point2;
 use ares_simkit::time::SimTime;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Which geometry path the recording front end takes.
 ///
@@ -50,8 +50,10 @@ pub struct World {
     pub incidents: IncidentScript,
     /// Position of the charging station / reference badge.
     pub station: Point2,
-    /// Lazily built RF field cache (plan + beacons + station sources).
-    field_cache: OnceLock<RfFieldCache>,
+    /// Lazily resolved RF field cache (plan + beacons + station sources),
+    /// interned process-wide by geometry so fleet shards and scenario
+    /// replicas of the same habitat share one grid.
+    field_cache: OnceLock<Arc<RfFieldCache>>,
 }
 
 impl World {
@@ -95,12 +97,23 @@ impl World {
         self
     }
 
-    /// The RF field cache, built on first use from the plan, beacon
-    /// deployment and station position.
+    /// The RF field cache, resolved on first use from the plan, beacon
+    /// deployment and station position — through the process-wide intern
+    /// table, so identical geometry is only ever built once
+    /// ([`RfFieldCache::build_interned`]).
     #[must_use]
     pub fn field_cache(&self) -> &RfFieldCache {
-        self.field_cache
-            .get_or_init(|| RfFieldCache::build(&self.plan, &self.beacons, &[self.station]))
+        self.field_cache.get_or_init(|| {
+            RfFieldCache::build_interned(&self.plan, &self.beacons, &[self.station])
+        })
+    }
+
+    /// The shared handle behind [`field_cache`](World::field_cache), for
+    /// callers that outlive the world or want to check interning identity.
+    #[must_use]
+    pub fn field_cache_arc(&self) -> Arc<RfFieldCache> {
+        let _ = self.field_cache();
+        Arc::clone(self.field_cache.get().expect("initialized above"))
     }
 
     /// Cache source index of the charging station (= one past the beacons).
@@ -216,6 +229,16 @@ mod tests {
         assert_eq!(w.carrier_of(BadgeId(5), 7), None);
         // C's unit is uncarried on days 5–6 (C dead, F not yet switched).
         assert_eq!(w.carrier_of(BadgeId(2), 5), None);
+    }
+
+    #[test]
+    fn identical_worlds_share_one_interned_field_cache() {
+        let a = World::icares();
+        let b = World::icares();
+        assert!(
+            Arc::ptr_eq(&a.field_cache_arc(), &b.field_cache_arc()),
+            "same geometry must intern to one grid"
+        );
     }
 
     #[test]

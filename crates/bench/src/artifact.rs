@@ -401,6 +401,12 @@ pub fn check_pipeline(doc: &Json) -> Vec<Violation> {
         20_000_000.0,
         &mut out,
     );
+    // Recording plane: the run-length batched kernel's throughput floor
+    // (~60 % of the ~2.8 days/s measured on the slowest host) and an
+    // honestly measured parallel ratio (interleaved on one core, so the
+    // ratio itself carries no floor — only the measurement discipline does).
+    expect_bool(doc, &["record", "speedup_measured"], true, &mut out);
+    expect_floor(doc, &["record", "days_per_s"], 1.7, &mut out);
     // Ingest: byte-identical recovery and a sustained-throughput floor
     // (~1/3 of the ~190k records/s measured on the slowest host).
     expect_bool(doc, &["ingest", "recovery_divergent"], false, &mut out);
@@ -414,6 +420,9 @@ pub fn check_pipeline(doc: &Json) -> Vec<Violation> {
     // across worker and shard counts.
     expect_bool(doc, &["fleet", "fleet_deterministic"], true, &mut out);
     expect_floor(doc, &["fleet", "badge_days"], 1_000.0, &mut out);
+    // Fleet recording throughput rides the same batched kernel; floor at
+    // ~60 % of the slowest host's steady state.
+    expect_floor(doc, &["fleet", "badge_days_per_s"], 55.0, &mut out);
     expect_positive(doc, &["fleet", "habitats"], &mut out);
     // Scenario generation: ≥ 25 seeded scenarios must pass the layout
     // validator and replay bit-identically (recording, analysis and
@@ -611,8 +620,9 @@ mod tests {
     "localize": {"records_per_s": 5359556.7},
     "speech": {"records_per_s": 50062568.6}
   },
+  "record": {"days_per_s": 2.8, "speedup_measured": true},
   "ingest": {"sustained_records_per_s": 262852.6, "recovery_divergent": false},
-  "fleet": {"habitats": 200, "badge_days": 2400, "fleet_deterministic": true},
+  "fleet": {"habitats": 200, "badge_days": 2400, "badge_days_per_s": 90.0, "fleet_deterministic": true},
   "scenario_gen": {"scenarios_validated": 30, "cache_purity_min": 1.0, "deterministic": true}
 }"#;
         assert_eq!(check_pipeline(&parse(healthy).expect("parses")), Vec::new());
@@ -626,8 +636,9 @@ mod tests {
     "localize": {"records_per_s": 100.0},
     "speech": {"records_per_s": 50062568.6}
   },
+  "record": {"days_per_s": 0.4, "speedup_measured": true},
   "ingest": {"sustained_records_per_s": 262852.6, "recovery_divergent": true},
-  "fleet": {"habitats": 200, "badge_days": 12, "fleet_deterministic": true},
+  "fleet": {"habitats": 200, "badge_days": 12, "badge_days_per_s": 9.0, "fleet_deterministic": true},
   "scenario_gen": {"scenarios_validated": 12, "cache_purity_min": 0.4, "deterministic": true}
 }"#;
         let violations = check_pipeline(&parse(sick).expect("parses"));
@@ -651,6 +662,15 @@ mod tests {
         );
         assert!(
             text.iter()
+                .any(|v| v.contains("fleet.badge_days_per_s regressed")),
+            "{text:?}"
+        );
+        assert!(
+            text.iter().any(|v| v.contains("record.days_per_s")),
+            "{text:?}"
+        );
+        assert!(
+            text.iter()
                 .any(|v| v.contains("scenario_gen.scenarios_validated")),
             "{text:?}"
         );
@@ -665,5 +685,6 @@ mod tests {
             .iter()
             .any(|v| v.0.contains("fleet.fleet_deterministic")));
         assert!(empty.iter().any(|v| v.0.contains("scenario_gen")));
+        assert!(empty.iter().any(|v| v.0.contains("record.days_per_s")));
     }
 }

@@ -7,8 +7,10 @@
 //! hold on the *generated* geometry, not just the canonical Lunares world:
 //!
 //! * recording is bit-identical sequential vs. parallel vs. exact-geometry
-//!   (the [`RfFieldCache`] purity contract — `.to_bits()` RSSI equality,
-//!   since the columnar stores compare byte for byte);
+//!   vs. the retained pre-batching scalar tick loop (the [`RfFieldCache`]
+//!   purity contract and the batched-kernel equivalence contract —
+//!   `.to_bits()` RSSI equality, since the columnar stores compare byte
+//!   for byte);
 //! * batch analysis is bit-identical to the parallel mission engine;
 //! * the streaming analyzer, checkpointed mid-feed and restored into a
 //!   fresh instance, replays to byte-identical events and checkpoints.
@@ -168,10 +170,12 @@ fn main() {
         };
         let runner = MissionRunner::new(config);
 
-        // Recording bit-identity: sequential vs. parallel vs. exact geometry
+        // Recording bit-identity: the batched kernel vs. its retained scalar
+        // oracle, sequential vs. parallel, and cached vs. exact geometry
         // (the field-cache purity contract on this plan's geometry).
         let stores = runner.record_day_stores(day);
-        let record_ok = runner.record_day_stores_parallel(day, 4) == stores
+        let record_ok = runner.record_day_stores_scalar(day) == stores
+            && runner.record_day_stores_parallel(day, 4) == stores
             && runner.record_day_stores_exact(day) == stores;
         drop(stores);
 

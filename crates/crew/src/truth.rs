@@ -166,6 +166,55 @@ impl AstronautTruth {
     pub fn is_walking(&self, t: SimTime) -> bool {
         self.walking.contains(t)
     }
+
+    /// A monotone cursor over the trajectory for time-ordered lookups.
+    #[must_use]
+    pub fn path_cursor(&self) -> PathCursor<'_> {
+        PathCursor {
+            cur: self.path.cursor(),
+        }
+    }
+}
+
+/// A forward-only trajectory cursor: [`AstronautTruth::position`] and
+/// [`AstronautTruth::facing`] with the per-query binary search replaced by a
+/// monotone advance. For non-decreasing query times the results are
+/// bit-identical to the plain lookups — the interpolation index and the lerp
+/// arithmetic are the same, only the search strategy differs.
+#[derive(Debug, Clone)]
+pub struct PathCursor<'a> {
+    cur: ares_simkit::series::SeriesCursor<'a, PathPoint>,
+}
+
+impl PathCursor<'_> {
+    /// The astronaut's position at `t` (see [`AstronautTruth::position`]);
+    /// `t` must be `>=` every previously queried time.
+    pub fn position(&mut self, t: SimTime) -> Option<Point2> {
+        let samples = self.cur.samples();
+        if samples.is_empty() {
+            return None;
+        }
+        let idx = self.cur.bound(t);
+        if idx == 0 {
+            return Some(samples[0].value.pos);
+        }
+        if idx == samples.len() {
+            return Some(samples[samples.len() - 1].value.pos);
+        }
+        let (a, b) = (&samples[idx - 1], &samples[idx]);
+        let span = (b.t - a.t).as_secs_f64();
+        if span <= 0.0 {
+            return Some(b.value.pos);
+        }
+        let f = (t - a.t).as_secs_f64() / span;
+        Some(a.value.pos.lerp(b.value.pos, f))
+    }
+
+    /// The astronaut's facing at `t` (see [`AstronautTruth::facing`]);
+    /// `t` must be `>=` every previously queried time.
+    pub fn facing(&mut self, t: SimTime) -> Option<Vec2> {
+        self.cur.at(t).map(|s| Vec2::from_angle(s.value.facing))
+    }
 }
 
 /// Ground truth for the whole mission.

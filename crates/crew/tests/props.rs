@@ -4,7 +4,8 @@ use ares_crew::conversation::{self, ConversationSpec, Participant};
 use ares_crew::incidents::IncidentScript;
 use ares_crew::roster::{AstronautId, Roster};
 use ares_crew::schedule::{Activity, Schedule, MISSION_DAYS, SLOTS_PER_DAY};
-use ares_crew::truth::VoiceSource;
+use ares_crew::truth::{AstronautTruth, PathPoint, VoiceSource};
+use ares_simkit::geometry::Point2;
 use ares_simkit::rng::SeedTree;
 use ares_simkit::series::Interval;
 use ares_simkit::time::{SimDuration, SimTime};
@@ -130,6 +131,48 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&m));
         if day != 11 && day != 12 {
             prop_assert_eq!(m, 1.0);
+        }
+    }
+
+    #[test]
+    fn path_cursor_is_bit_identical_to_binary_search_lookups(
+        waypoints in prop::collection::vec((0i64..100_000, -50.0f64..50.0, -50.0f64..50.0, -4.0f64..4.0), 0..40),
+        mut query_ts in prop::collection::vec(-1_000i64..110_000, 1..200),
+    ) {
+        // A synthetic trajectory with arbitrary waypoint spacing (including
+        // duplicate timestamps, which `Series::push` collapses).
+        let mut sorted = waypoints.clone();
+        sorted.sort_by_key(|&(t, ..)| t);
+        let mut truth = AstronautTruth::default();
+        for &(t, x, y, facing) in &sorted {
+            truth.path.push(
+                SimTime::from_micros(t),
+                PathPoint { pos: Point2::new(x, y), facing },
+            );
+        }
+        // The cursor contract covers non-decreasing query times; interpolated
+        // positions and facing vectors must match the binary-search originals
+        // to the bit.
+        query_ts.sort_unstable();
+        let mut cur = truth.path_cursor();
+        for &q in &query_ts {
+            let t = SimTime::from_micros(q);
+            let expect = truth.position(t);
+            let got = cur.position(t);
+            prop_assert_eq!(
+                got.map(|p| (p.x.to_bits(), p.y.to_bits())),
+                expect.map(|p| (p.x.to_bits(), p.y.to_bits()))
+            );
+        }
+        let mut cur = truth.path_cursor();
+        for &q in &query_ts {
+            let t = SimTime::from_micros(q);
+            let expect = truth.facing(t);
+            let got = cur.facing(t);
+            prop_assert_eq!(
+                got.map(|v| (v.x.to_bits(), v.y.to_bits())),
+                expect.map(|v| (v.x.to_bits(), v.y.to_bits()))
+            );
         }
     }
 }

@@ -60,6 +60,8 @@ use crate::beacons::BeaconDeployment;
 use crate::floorplan::{FloorPlan, PERIPHERAL_ORDER};
 use crate::rooms::{RoomId, RoomTable};
 use ares_simkit::geometry::{Grid, Point2, Segment};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 /// Side of a cache grid cell, in meters.
 pub const CELL_M: f64 = 0.25;
@@ -662,6 +664,104 @@ fn classify_rooms(plan: &FloorPlan, grid: &Grid, origin: Point2) -> Vec<u8> {
         }
     }
     codes
+}
+
+/// Process-wide intern table for [`RfFieldCache::build_interned`]: geometry
+/// fingerprint → weakly-held cache. Entries drop with their last `Arc`, so
+/// interning never pins memory past the worlds that use it.
+static INTERNED: OnceLock<Mutex<HashMap<u64, Weak<RfFieldCache>>>> = OnceLock::new();
+
+impl RfFieldCache {
+    /// Interning wrapper around [`RfFieldCache::build`]: returns the shared
+    /// cache for this geometry, building it only the first time the geometry
+    /// is seen. Keyed by [`geometry_fingerprint`], so every fleet shard and
+    /// scenario replica of the same habitat resolves to one grid instead of
+    /// rebuilding ~100 ms of tables per tenant. The build runs under the
+    /// table lock, so concurrent tenants of the same geometry never
+    /// duplicate the work.
+    #[must_use]
+    pub fn build_interned(
+        plan: &FloorPlan,
+        deployment: &BeaconDeployment,
+        extra_sources: &[Point2],
+    ) -> Arc<Self> {
+        let key = geometry_fingerprint(plan, deployment, extra_sources);
+        let mut map = INTERNED
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("intern table poisoned");
+        if let Some(cached) = map.get(&key).and_then(Weak::upgrade) {
+            return cached;
+        }
+        let built = Arc::new(Self::build(plan, deployment, extra_sources));
+        map.retain(|_, w| w.strong_count() > 0);
+        map.insert(key, Arc::downgrade(&built));
+        built
+    }
+}
+
+/// 64-bit FNV-1a fingerprint of everything an [`RfFieldCache`] is a pure
+/// function of: room polygons (in priority order), wall segments, doors,
+/// the deployment's beacons and the extra sources. Coordinates are hashed by
+/// bit pattern — the cache is exact, so any bit of geometric difference must
+/// key a different cache.
+#[must_use]
+pub fn geometry_fingerprint(
+    plan: &FloorPlan,
+    deployment: &BeaconDeployment,
+    extra_sources: &[Point2],
+) -> u64 {
+    let mut h = Fnv::new();
+    for room in RoomId::ALL {
+        let poly = plan.room_polygon(room);
+        h.mix(poly.vertices().len() as u64);
+        for &v in poly.vertices() {
+            h.point(v);
+        }
+    }
+    h.mix(plan.walls().len() as u64);
+    for w in plan.walls() {
+        h.point(w.a);
+        h.point(w.b);
+    }
+    h.mix(plan.doors().len() as u64);
+    for d in plan.doors() {
+        h.mix(d.a.index() as u64);
+        h.mix(d.b.index() as u64);
+        h.point(d.center);
+        h.point(d.gap.a);
+        h.point(d.gap.b);
+    }
+    h.mix(deployment.len() as u64);
+    for b in deployment.beacons() {
+        h.mix(u64::from(b.id.0));
+        h.mix(b.room.index() as u64);
+        h.point(b.position);
+    }
+    h.mix(extra_sources.len() as u64);
+    for &p in extra_sources {
+        h.point(p);
+    }
+    h.0
+}
+
+/// Minimal FNV-1a accumulator for [`geometry_fingerprint`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn mix(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn point(&mut self, p: Point2) {
+        self.mix(p.x.to_bits());
+        self.mix(p.y.to_bits());
+    }
 }
 
 #[cfg(test)]

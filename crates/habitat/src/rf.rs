@@ -92,6 +92,42 @@ impl ChannelParams {
             - walls as f64 * self.wall_loss_db
     }
 
+    /// Lane-batched [`ChannelParams::mean_rssi`]: fills `out[i]` with the
+    /// mean RSSI at `dist_m[i]` meters through `wall_counts[i]` crossings.
+    ///
+    /// Wall counts are pre-widened to `f64` (exactly representable for any
+    /// realistic count) so the kernel runs over fixed `[f64; LANES]` chunks;
+    /// per element the expression is exactly [`ChannelParams::mean_rssi`]'s,
+    /// so each lane is bit-identical to the scalar call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn mean_rssi_batch(&self, dist_m: &[f64], wall_counts: &[f64], out: &mut [f64]) {
+        use ares_simkit::lanes::{as_lanes, as_lanes_mut, LANES};
+        assert_eq!(dist_m.len(), wall_counts.len(), "length mismatch");
+        assert_eq!(dist_m.len(), out.len(), "length mismatch");
+        let (d_chunks, d_tail) = as_lanes(dist_m);
+        let (w_chunks, w_tail) = as_lanes(wall_counts);
+        let (o_chunks, o_tail) = as_lanes_mut(out);
+        for ((d, w), o) in d_chunks.iter().zip(w_chunks).zip(o_chunks) {
+            for l in 0..LANES {
+                let dist = d[l].max(0.1);
+                o[l] = self.tx_power_dbm
+                    - self.pl0_db
+                    - 10.0 * self.exponent * dist.log10()
+                    - w[l] * self.wall_loss_db;
+            }
+        }
+        for ((d, w), o) in d_tail.iter().zip(w_tail).zip(o_tail) {
+            let dist = d.max(0.1);
+            *o = self.tx_power_dbm
+                - self.pl0_db
+                - 10.0 * self.exponent * dist.log10()
+                - w * self.wall_loss_db;
+        }
+    }
+
     /// Inverts the deterministic model: estimated distance for a given RSSI
     /// assuming zero wall crossings. This is the ranging step used by the
     /// trilateration in `ares-sociometrics`.
@@ -292,7 +328,15 @@ impl Channel {
         walls: usize,
         rng: &mut impl Rng,
     ) -> Reception {
-        let mean = self.params.mean_rssi(distance_m, walls);
+        self.transmit_precomputed_mean(self.params.mean_rssi(distance_m, walls), rng)
+    }
+
+    /// Samples one packet whose deterministic mean RSSI is already known —
+    /// the run-length batched recording kernels hoist the mean out of the
+    /// tick loop and only pay for the draws here. Draw order and early-outs
+    /// are exactly [`Channel::transmit_known_walls`]'s (which delegates to
+    /// this method), so a hoisted mean consumes the identical RNG stream.
+    pub fn transmit_precomputed_mean(&self, mean: Rssi, rng: &mut impl Rng) -> Reception {
         // Skip the shadowing draw when even the most optimistic realization
         // cannot reach sensitivity (deep behind metal walls).
         if mean + 6.0 * self.params.shadowing_sigma_db < self.params.sensitivity_dbm {

@@ -192,6 +192,52 @@ proptest! {
     }
 
     #[test]
+    fn mean_rssi_batch_is_bit_identical_for_every_tail_length(
+        dists in prop::collection::vec(0.0f64..60.0, 1..(3 * ares_simkit::lanes::LANES)),
+        wall_counts in prop::collection::vec(0usize..6, 3 * ares_simkit::lanes::LANES),
+        ble in prop::bool::ANY,
+    ) {
+        // Lengths 1..3×LANES cover full lanes plus every possible tail.
+        let params = if ble { ChannelParams::ble() } else { ChannelParams::sub_ghz() };
+        let walls: Vec<f64> = wall_counts[..dists.len()].iter().map(|&w| w as f64).collect();
+        let mut batch = vec![0.0; dists.len()];
+        params.mean_rssi_batch(&dists, &walls, &mut batch);
+        for (i, (&d, &w)) in dists.iter().zip(&wall_counts[..dists.len()]).enumerate() {
+            // Bit-for-bit, not approximately: scan plans hang off this.
+            prop_assert_eq!(batch[i].to_bits(), params.mean_rssi(d, w).to_bits());
+        }
+    }
+
+    #[test]
+    fn interned_cache_is_shared_and_bit_identical_to_a_fresh_build(
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0, source_frac in 0.0f64..1.0,
+    ) {
+        let plan = FloorPlan::lunares();
+        let deployment = BeaconDeployment::icares(&plan);
+        let station = Point2::new(30.0, -5.2);
+        let a = RfFieldCache::build_interned(&plan, &deployment, &[station]);
+        let b = RfFieldCache::build_interned(&plan, &deployment, &[station]);
+        // Same geometry → the very same grid, not a copy.
+        prop_assert!(std::sync::Arc::ptr_eq(&a, &b));
+        // A different extra-source layout must not collide.
+        let c = RfFieldCache::build_interned(&plan, &deployment, &[Point2::new(31.0, -5.2)]);
+        prop_assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        // Hit-path answers are bit-identical to a cold, non-interned build.
+        let (fresh_plan, fresh) = canonical_cache();
+        let p = probe_point(fresh_plan, fx, fy);
+        let source = ((source_frac * fresh.source_count() as f64) as usize)
+            .min(fresh.source_count() - 1);
+        prop_assert_eq!(
+            a.walls_from(&plan, source, p),
+            fresh.walls_from(fresh_plan, source, p)
+        );
+        prop_assert_eq!(a.room_of(&plan, p), fresh.room_of(fresh_plan, p));
+        for room in RoomId::ALL {
+            prop_assert_eq!(a.candidates(room), fresh.candidates(room));
+        }
+    }
+
+    #[test]
     fn environment_fields_stay_physical(day in 1u32..15, h in 0u32..24, m in 0u32..60, room_idx in 0usize..10) {
         let env = Environment::icares();
         let t = SimTime::from_day_hms(day, h, m, 0);

@@ -279,6 +279,16 @@ impl MissionRunner {
             .record_day_stores(day)
     }
 
+    /// Records a single day through the retained pre-batching scalar tick
+    /// loop — the bit-identity oracle the run-length batched kernel is
+    /// checked against; bit-identical to [`record_day_stores`].
+    ///
+    /// [`record_day_stores`]: MissionRunner::record_day_stores
+    #[must_use]
+    pub fn record_day_stores_scalar(&self, day: u32) -> Vec<TelemetryStore> {
+        self.recorder().record_day_stores_scalar(day)
+    }
+
     /// Records and analyzes a single day; returns both the raw recording and
     /// the day analysis (used by Fig. 5 and by tests). Recording and analysis
     /// run on the columnar store; the returned [`MissionRecording`] is the

@@ -104,6 +104,57 @@ impl<T> Series<T> {
         let idx = self.samples.partition_point(|s| s.t <= t);
         idx.checked_sub(1).map(|i| &self.samples[i])
     }
+
+    /// A monotone cursor over the series for time-ordered query sequences.
+    #[must_use]
+    pub fn cursor(&self) -> SeriesCursor<'_, T> {
+        SeriesCursor {
+            samples: &self.samples,
+            hi: 0,
+        }
+    }
+}
+
+/// A forward-only cursor replacing [`Series::at`]'s per-query binary search
+/// with an amortized O(1) advance, for callers that query at non-decreasing
+/// times (the recording tick loop asks 50k ordered questions per day).
+///
+/// For any non-decreasing query sequence the answers are identical to
+/// [`Series::at`]: both resolve `hi = partition_point(s.t <= t)` — the cursor
+/// just reuses the previous bound as the starting point.
+#[derive(Debug, Clone)]
+pub struct SeriesCursor<'a, T> {
+    samples: &'a [Sample<T>],
+    /// Number of samples with `s.t <= t` for the last queried `t`.
+    hi: usize,
+}
+
+impl<'a, T> SeriesCursor<'a, T> {
+    /// The latest sample at or before `t`; `t` must be `>=` every previously
+    /// queried time (earlier queries return the stale bound, never panic).
+    pub fn at(&mut self, t: SimTime) -> Option<&'a Sample<T>> {
+        self.advance(t);
+        self.hi.checked_sub(1).map(|i| &self.samples[i])
+    }
+
+    /// The partition bound `partition_point(s.t <= t)` after advancing to `t`
+    /// (the interpolation index used by path lookups).
+    pub fn bound(&mut self, t: SimTime) -> usize {
+        self.advance(t);
+        self.hi
+    }
+
+    /// The underlying samples.
+    #[must_use]
+    pub fn samples(&self) -> &'a [Sample<T>] {
+        self.samples
+    }
+
+    fn advance(&mut self, t: SimTime) {
+        while self.hi < self.samples.len() && self.samples[self.hi].t <= t {
+            self.hi += 1;
+        }
+    }
 }
 
 impl<T> FromIterator<(SimTime, T)> for Series<T> {
@@ -266,6 +317,15 @@ impl IntervalSet {
         self.items.get(idx).filter(|iv| iv.contains(t))
     }
 
+    /// A monotone cursor over the set for time-ordered membership queries.
+    #[must_use]
+    pub fn cursor(&self) -> IntervalCursor<'_> {
+        IntervalCursor {
+            items: &self.items,
+            idx: 0,
+        }
+    }
+
     /// Total measure of the set restricted to `[lo, hi)`.
     #[must_use]
     pub fn duration_within(&self, lo: SimTime, hi: SimTime) -> SimDuration {
@@ -373,6 +433,27 @@ impl IntervalSet {
                 .filter_map(|iv| iv.intersect(&window))
                 .collect(),
         }
+    }
+}
+
+/// A forward-only cursor replacing [`IntervalSet::contains`]'s per-query
+/// binary search with an amortized O(1) advance for non-decreasing query
+/// times. Answers are identical to [`IntervalSet::contains`]: both resolve
+/// `idx = partition_point(iv.end <= t)` and test that interval.
+#[derive(Debug, Clone)]
+pub struct IntervalCursor<'a> {
+    items: &'a [Interval],
+    idx: usize,
+}
+
+impl IntervalCursor<'_> {
+    /// Whether `t` lies in any interval; `t` must be `>=` every previously
+    /// queried time.
+    pub fn contains(&mut self, t: SimTime) -> bool {
+        while self.idx < self.items.len() && self.items[self.idx].end <= t {
+            self.idx += 1;
+        }
+        self.items.get(self.idx).is_some_and(|iv| iv.contains(t))
     }
 }
 

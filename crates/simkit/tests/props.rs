@@ -3,6 +3,7 @@
 use ares_simkit::event::EventLoop;
 use ares_simkit::geometry::{Point2, Polygon, Segment, Vec2};
 use ares_simkit::rng::SeedTree;
+use ares_simkit::series::{Interval, IntervalSet, Series};
 use ares_simkit::stats::{linear_fit, median, pearson, Running};
 use ares_simkit::time::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -141,5 +142,59 @@ proptest! {
             xs.swap(i, j);
         }
         prop_assert!((median(&xs) - m1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_cursor_matches_binary_search_for_ordered_queries(
+        sample_ts in prop::collection::vec(0i64..100_000, 0..60),
+        mut query_ts in prop::collection::vec(-1_000i64..101_000, 1..200),
+    ) {
+        let mut sorted = sample_ts.clone();
+        sorted.sort_unstable();
+        let series: Series<usize> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (SimTime::from_micros(t), i))
+            .collect();
+        // The cursor contract only covers non-decreasing query times — the
+        // recorder's tick loop. Duplicates are kept to exercise re-queries.
+        query_ts.sort_unstable();
+        let mut cur = series.cursor();
+        for &q in &query_ts {
+            let t = SimTime::from_micros(q);
+            let expect = series.at(t);
+            let got = cur.at(t);
+            prop_assert_eq!(
+                got.map(|s| (s.t, s.value)),
+                expect.map(|s| (s.t, s.value))
+            );
+        }
+        // `bound` mirrors the partition point the binary search would find.
+        let mut cur = series.cursor();
+        for &q in &query_ts {
+            let t = SimTime::from_micros(q);
+            let expect = series.samples().partition_point(|s| s.t <= t);
+            prop_assert_eq!(cur.bound(t), expect);
+        }
+    }
+
+    #[test]
+    fn interval_cursor_matches_covering_for_ordered_queries(
+        spans in prop::collection::vec((0i64..100_000, 1i64..5_000), 0..30),
+        mut query_ts in prop::collection::vec(-1_000i64..110_000, 1..200),
+    ) {
+        let set: IntervalSet = spans
+            .iter()
+            .map(|&(start, len)| Interval::new(
+                SimTime::from_micros(start),
+                SimTime::from_micros(start + len),
+            ))
+            .collect();
+        query_ts.sort_unstable();
+        let mut cur = set.cursor();
+        for &q in &query_ts {
+            let t = SimTime::from_micros(q);
+            prop_assert_eq!(cur.contains(t), set.contains(t));
+        }
     }
 }
